@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation of the 16 KiB chunk size (paper Section 3: chosen so two
+ * chunk buffers fit in shared memory / L1). Applies the SPratio and
+ * DPspeed stage pipelines with chunk sizes from 2 KiB to 128 KiB and
+ * reports the compression ratio at each, showing the ratio cost of small
+ * chunks (per-chunk headers, lost context) and the diminishing returns
+ * past the paper's choice.
+ */
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "util/common.h"
+
+namespace {
+
+using namespace fpc;
+
+double
+RatioAtChunkSize(const PipelineSpec& spec, ByteSpan input, size_t chunk_size)
+{
+    size_t compressed = 0;
+    for (size_t begin = 0; begin < input.size(); begin += chunk_size) {
+        size_t size = std::min(chunk_size, input.size() - begin);
+        bool raw = false;
+        Bytes payload = EncodeChunk(spec, input.subspan(begin, size), raw);
+        compressed += payload.size() + 4;  // + chunk table entry
+    }
+    return static_cast<double>(input.size()) /
+           static_cast<double>(compressed);
+}
+
+}  // namespace
+
+int
+main()
+{
+    data::SuiteConfig config;
+    config.values_per_file = 131072;
+    config.file_scale = 0.08;
+
+    auto sp_files = data::SingleSuite(config);
+    Bytes sp_input;
+    for (const auto& f : sp_files) {
+        ByteSpan b = AsBytes(f.values);
+        AppendBytes(sp_input, b);
+    }
+    auto dp_files = data::DoubleSuite(config);
+    Bytes dp_input;
+    for (const auto& f : dp_files) {
+        ByteSpan b = AsBytes(f.values);
+        AppendBytes(dp_input, b);
+    }
+
+    std::printf("Chunk-size ablation (paper Section 3 fixes 16 KiB)\n\n");
+    std::printf("%10s %14s %14s\n", "chunk", "SPratio", "DPspeed");
+    const PipelineSpec& spratio = GetPipeline(Algorithm::kSPratio);
+    const PipelineSpec& dpspeed = GetPipeline(Algorithm::kDPspeed);
+    for (size_t chunk = 2048; chunk <= 131072; chunk *= 2) {
+        std::printf("%8zuKB %14.3f %14.3f%s\n", chunk / 1024,
+                    RatioAtChunkSize(spratio, ByteSpan(sp_input), chunk),
+                    RatioAtChunkSize(dpspeed, ByteSpan(dp_input), chunk),
+                    chunk == kChunkSize ? "   <- paper's choice" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation of the FCM transformation (paper Section 3.2, Figure 6):
+ * sweeps the look-back window (how many preceding same-hash pairs are
+ * probed; the paper fixes 4) and the context length (how many previous
+ * values feed the hash; the paper uses 3), reporting the match rate and
+ * the resulting DPratio-pipeline compression ratio on the
+ * double-precision suite.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "util/common.h"
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace fpc;
+
+/** Parameterized FCM encode (the library's stage fixes probes=4, ctx=3). */
+void
+FcmVariant(ByteSpan in, size_t probes, unsigned context, Bytes& out,
+           size_t& matches)
+{
+    std::vector<uint64_t> values = LoadWords<uint64_t>(in);
+    const size_t n = values.size();
+
+    struct Pair {
+        uint64_t hash;
+        uint32_t index;
+    };
+    std::vector<Pair> pairs(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t v1 = (context >= 1 && i >= 1) ? values[i - 1] : 0;
+        uint64_t v2 = (context >= 2 && i >= 2) ? values[i - 2] : 0;
+        uint64_t v3 = (context >= 3 && i >= 3) ? values[i - 3] : 0;
+        uint64_t h = FcmContextHash(v1, v2, v3);
+        if (context >= 4 && i >= 4) h = HashCombine(h, values[i - 4]);
+        pairs[i] = {h, static_cast<uint32_t>(i)};
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+        if (a.hash != b.hash) return a.hash < b.hash;
+        return a.index < b.index;
+    });
+
+    std::vector<uint64_t> out_values(n), out_dists(n);
+    matches = 0;
+    for (size_t p = 0; p < n; ++p) {
+        const uint32_t i = pairs[p].index;
+        bool found = false;
+        uint32_t matched = 0;
+        for (size_t back = 1; back <= std::min(probes, p); ++back) {
+            const Pair& prior = pairs[p - back];
+            if (prior.hash != pairs[p].hash) break;
+            if (values[prior.index] == values[i]) {
+                matched = prior.index;
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            out_dists[i] = i - matched;
+            ++matches;
+        } else {
+            out_values[i] = values[i];
+        }
+    }
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+    wr.PutBytes(AsBytes(out_values));
+    wr.PutBytes(AsBytes(out_dists));
+    wr.PutBytes(in.subspan(n * 8));
+}
+
+/** Compressed size of the DPratio chunk pipeline over a buffer. */
+size_t
+ChunkedSize(const PipelineSpec& spec, ByteSpan input)
+{
+    size_t compressed = 0;
+    for (size_t begin = 0; begin < input.size(); begin += kChunkSize) {
+        size_t size = std::min(kChunkSize, input.size() - begin);
+        bool raw = false;
+        compressed +=
+            EncodeChunk(spec, input.subspan(begin, size), raw).size() + 4;
+    }
+    return compressed;
+}
+
+}  // namespace
+
+int
+main()
+{
+    data::SuiteConfig config;
+    config.values_per_file = 65536;
+    config.file_scale = 0.4;
+    auto files = data::DoubleSuite(config);
+    Bytes input;
+    for (const auto& f : files) AppendBytes(input, AsBytes(f.values));
+    const size_t n_values = input.size() / 8;
+
+    const PipelineSpec& dpratio = GetPipeline(Algorithm::kDPratio);
+
+    std::printf("FCM ablation on the double-precision suite "
+                "(%zu values)\n\n", n_values);
+    std::printf("%8s %8s %12s %14s\n", "probes", "context", "match rate",
+                "DPratio ratio");
+
+    for (unsigned context : {1u, 2u, 3u, 4u}) {
+        for (size_t probes : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                              size_t{16}}) {
+            Bytes transformed;
+            size_t matches = 0;
+            FcmVariant(ByteSpan(input), probes, context, transformed,
+                       matches);
+            size_t compressed = ChunkedSize(dpratio, ByteSpan(transformed));
+            bool is_paper = probes == 4 && context == 3;
+            std::printf("%8zu %8u %11.1f%% %14.3f%s\n", probes, context,
+                        100.0 * double(matches) / double(n_values),
+                        double(input.size()) / double(compressed),
+                        is_paper ? "   <- paper's choice" : "");
+        }
+    }
+    std::printf("\n(no-FCM baseline: DPspeed-style pipeline directly on "
+                "the input gives ratio %.3f)\n",
+                double(input.size()) /
+                    double(ChunkedSize(GetPipeline(Algorithm::kDPspeed),
+                                       ByteSpan(input))));
+    return 0;
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Ablations of the transformation design choices the paper calls out in
+ * Section 3 (see DESIGN.md experiment index):
+ *
+ *  A. MPLG per-subchunk widths vs a single width per 16 KiB chunk, and
+ *     the magnitude-sign "enhancement" on full-width subchunks.
+ *  B. RZE's recursive bitmap compression vs emitting the raw bitmap.
+ *  C. RAZE's adaptive split point k vs fixed-k variants.
+ *
+ * Each ablation reports compressed sizes over the double/single-precision
+ * suites so the contribution of each idea is visible in isolation.
+ */
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "transforms/adaptive_k.h"
+#include "transforms/bitmap_codec.h"
+#include "transforms/transforms.h"
+#include "util/bitpack.h"
+#include "util/common.h"
+
+namespace {
+
+using namespace fpc;
+
+/** Bits MPLG would use for one chunk under the given policy. */
+size_t
+MplgBits(std::span<const uint32_t> words, bool subchunks, bool enhancement)
+{
+    const size_t words_per_sub =
+        subchunks ? kSubchunkSize / 4 : words.size();
+    size_t bits = 0;
+    std::vector<uint32_t> scratch(words.begin(), words.end());
+    for (size_t begin = 0; begin < scratch.size();
+         begin += std::max<size_t>(words_per_sub, 1)) {
+        size_t end =
+            std::min(scratch.size(), begin + std::max<size_t>(words_per_sub, 1));
+        uint32_t max_value = 0;
+        for (size_t i = begin; i < end; ++i) {
+            max_value = std::max(max_value, scratch[i]);
+        }
+        if (enhancement && max_value != 0 && LeadingZeros(max_value) == 0) {
+            max_value = 0;
+            for (size_t i = begin; i < end; ++i) {
+                scratch[i] = ZigzagEncode(scratch[i]);
+                max_value = std::max(max_value, scratch[i]);
+            }
+        }
+        unsigned width =
+            max_value == 0 ? 0 : 32 - LeadingZeros(max_value);
+        bits += 8 + width * (end - begin);  // header byte + payload
+        if (begin == 0 && words_per_sub >= scratch.size()) break;
+    }
+    return bits;
+}
+
+void
+AblateMplg()
+{
+    std::printf("-- Ablation A: MPLG subchunk widths and enhancement "
+                "(single-precision suite)\n");
+    data::SuiteConfig config;
+    config.values_per_file = 65536;
+    config.file_scale = 0.1;
+    auto files = data::SingleSuite(config);
+
+    size_t bits_full = 0, bits_sub = 0, bits_sub_noenh = 0, input_bits = 0;
+    for (const auto& file : files) {
+        Bytes raw(file.values.size() * 4);
+        std::memcpy(raw.data(), file.values.data(), raw.size());
+        for (size_t begin = 0; begin < raw.size(); begin += kChunkSize) {
+            size_t size = std::min(kChunkSize, raw.size() - begin);
+            Bytes diffed;
+            tf::DiffmsEncode32(ByteSpan(raw).subspan(begin, size), diffed);
+            auto words = LoadWords<uint32_t>(
+                ByteSpan(diffed).subspan(8));  // skip the size prefix
+            std::span<const uint32_t> w(words);
+            bits_full += MplgBits(w, false, true);
+            bits_sub += MplgBits(w, true, true);
+            bits_sub_noenh += MplgBits(w, true, false);
+            input_bits += size * 8;
+        }
+    }
+    std::printf("   input                        : %10zu bits\n", input_bits);
+    std::printf("   one width per chunk          : %10zu bits (ratio %.3f)\n",
+                bits_full, double(input_bits) / double(bits_full));
+    std::printf("   per-subchunk widths (paper)  : %10zu bits (ratio %.3f)\n",
+                bits_sub, double(input_bits) / double(bits_sub));
+    std::printf("   subchunks, no enhancement    : %10zu bits (ratio %.3f)\n\n",
+                bits_sub_noenh, double(input_bits) / double(bits_sub_noenh));
+}
+
+void
+AblateRzeBitmap()
+{
+    std::printf("-- Ablation B: RZE recursive bitmap compression "
+                "(single-precision suite)\n");
+    data::SuiteConfig config;
+    config.values_per_file = 65536;
+    config.file_scale = 0.1;
+    auto files = data::SingleSuite(config);
+
+    size_t raw_bitmap_bytes = 0, compressed_bitmap_bytes = 0;
+    size_t total_chunks = 0;
+    for (const auto& file : files) {
+        Bytes raw(file.values.size() * 4);
+        std::memcpy(raw.data(), file.values.data(), raw.size());
+        for (size_t begin = 0; begin < raw.size(); begin += kChunkSize) {
+            size_t size = std::min(kChunkSize, raw.size() - begin);
+            Bytes diffed, transposed;
+            tf::DiffmsEncode32(ByteSpan(raw).subspan(begin, size), diffed);
+            tf::BitEncode32(ByteSpan(diffed), transposed);
+            // Build the RZE bitmap of the BIT output.
+            Bytes bitmap((transposed.size() + 7) / 8, std::byte{0});
+            for (size_t i = 0; i < transposed.size(); ++i) {
+                if (transposed[i] != std::byte{0}) {
+                    bitmap[i / 8] |=
+                        static_cast<std::byte>(1u << (i % 8));
+                }
+            }
+            Bytes compressed;
+            tf::CompressBitmap(ByteSpan(bitmap), compressed);
+            raw_bitmap_bytes += bitmap.size();
+            compressed_bitmap_bytes += compressed.size();
+            ++total_chunks;
+        }
+    }
+    std::printf("   %zu chunks; raw bitmaps %zu B, recursively compressed "
+                "%zu B (%.1f%% of raw)\n\n",
+                total_chunks, raw_bitmap_bytes, compressed_bitmap_bytes,
+                100.0 * double(compressed_bitmap_bytes) /
+                    double(raw_bitmap_bytes));
+}
+
+void
+AblateRazeK()
+{
+    std::printf("-- Ablation C: RAZE adaptive k vs fixed k "
+                "(double-precision suite, post-DIFFMS)\n");
+    data::SuiteConfig config;
+    config.values_per_file = 32768;
+    config.file_scale = 0.3;
+    auto files = data::DoubleSuite(config);
+
+    auto size_for_k = [](std::span<const uint64_t> words, unsigned k) {
+        size_t kept = 0;
+        for (uint64_t w : words) {
+            if (k > 0 && LeadingZeros(w) < k) ++kept;
+        }
+        return words.size() * (64 - k) + kept * k +
+               (k > 0 ? words.size() : 0);
+    };
+
+    const unsigned fixed_ks[] = {0, 8, 16, 24, 32, 40, 48, 56};
+    std::vector<size_t> fixed_bits(std::size(fixed_ks), 0);
+    size_t adaptive_bits = 0, input_bits = 0;
+    for (const auto& file : files) {
+        Bytes raw(file.values.size() * 8);
+        std::memcpy(raw.data(), file.values.data(), raw.size());
+        for (size_t begin = 0; begin < raw.size(); begin += kChunkSize) {
+            size_t size = std::min(kChunkSize, raw.size() - begin);
+            Bytes diffed;
+            tf::DiffmsEncode64(ByteSpan(raw).subspan(begin, size), diffed);
+            auto words = LoadWords<uint64_t>(ByteSpan(diffed).subspan(8));
+            std::span<const uint64_t> w(words);
+
+            std::vector<unsigned> hist(65, 0);
+            for (uint64_t v : w) ++hist[LeadingZeros(v)];
+            unsigned best = tf::ChooseAdaptiveK(hist, w.size(), 64);
+            adaptive_bits += size_for_k(w, best);
+            for (size_t i = 0; i < std::size(fixed_ks); ++i) {
+                fixed_bits[i] += size_for_k(w, fixed_ks[i]);
+            }
+            input_bits += w.size() * 64;
+        }
+    }
+    std::printf("   input                : %11zu bits\n", input_bits);
+    std::printf("   adaptive k (paper)   : %11zu bits (ratio %.3f)\n",
+                adaptive_bits, double(input_bits) / double(adaptive_bits));
+    for (size_t i = 0; i < std::size(fixed_ks); ++i) {
+        std::printf("   fixed k = %-2u         : %11zu bits (ratio %.3f)\n",
+                    fixed_ks[i], fixed_bits[i],
+                    double(input_bits) / double(fixed_bits[i]));
+    }
+    std::printf("\n");
+}
+
+/**
+ * Ablation D: stage compositions for single precision. The paper found
+ * DIFFMS+MPLG (speed) and DIFFMS+BIT+RZE (ratio) by searching the LC
+ * framework's composition space; this reruns the nearby points.
+ */
+void
+AblateStageComposition()
+{
+    std::printf("-- Ablation D: SP stage compositions "
+                "(single-precision suite, chunked)\n");
+    data::SuiteConfig config;
+    config.values_per_file = 65536;
+    config.file_scale = 0.1;
+    auto files = data::SingleSuite(config);
+
+    struct Composition {
+        const char* name;
+        std::vector<void (*)(ByteSpan, Bytes&)> stages;
+    };
+    const Composition compositions[] = {
+        {"DIFFMS+MPLG (SPspeed)", {tf::DiffmsEncode32, tf::MplgEncode32}},
+        {"DIFFMS+RZE", {tf::DiffmsEncode32, tf::RzeEncode}},
+        {"DIFFMS+BIT+RZE (SPratio)",
+         {tf::DiffmsEncode32, tf::BitEncode32, tf::RzeEncode}},
+        {"DIFFMS+BIT+MPLG",
+         {tf::DiffmsEncode32, tf::BitEncode32, tf::MplgEncode32}},
+        {"BIT+RZE (no DIFFMS)", {tf::BitEncode32, tf::RzeEncode}},
+        {"DIFFMS+RAZE32+RARE32",
+         {tf::DiffmsEncode32, tf::RazeEncode32, tf::RareEncode32}},
+    };
+
+    for (const Composition& comp : compositions) {
+        size_t in_bytes = 0, out_bytes = 0;
+        for (const auto& file : files) {
+            Bytes raw(file.values.size() * 4);
+            std::memcpy(raw.data(), file.values.data(), raw.size());
+            for (size_t begin = 0; begin < raw.size();
+                 begin += kChunkSize) {
+                size_t size = std::min(kChunkSize, raw.size() - begin);
+                Bytes buf(raw.begin() + begin, raw.begin() + begin + size);
+                for (auto stage : comp.stages) {
+                    Bytes next;
+                    stage(ByteSpan(buf), next);
+                    buf.swap(next);
+                }
+                in_bytes += size;
+                out_bytes += std::min(buf.size(), size) + 4;  // raw cap
+            }
+        }
+        std::printf("   %-26s: ratio %.3f\n", comp.name,
+                    double(in_bytes) / double(out_bytes));
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    AblateMplg();
+    AblateRzeBitmap();
+    AblateRazeK();
+    AblateStageComposition();
+    return 0;
+}

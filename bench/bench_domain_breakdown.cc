@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-domain compression-ratio breakdown (the data behind the paper's
+ * geometric-mean-of-geometric-means aggregation, Section 4): for each
+ * codec, prints the geo-mean ratio per dataset domain so the source of
+ * every aggregate number in Figures 8-19 is visible.
+ */
+#include <cstdio>
+#include <map>
+
+#include "figure_common.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace fpc;
+
+void
+Breakdown(const std::vector<eval::EvalInput>& inputs,
+          const std::vector<eval::EvalCodec>& codecs,
+          const std::vector<std::string>& domains)
+{
+    eval::EvalConfig config;
+    config.runs = 1;
+
+    std::printf("%-12s", "compressor");
+    for (const auto& d : domains) std::printf(" %11s", d.c_str());
+    std::printf(" %11s\n", "aggregate");
+
+    for (const auto& codec : codecs) {
+        eval::CodecResult result = eval::Evaluate(codec, inputs, config);
+        std::map<std::string, std::vector<double>> by_domain;
+        for (const auto& f : result.files) {
+            by_domain[f.domain].push_back(f.ratio);
+        }
+        std::printf("%-12s", result.name.c_str());
+        for (const auto& d : domains) {
+            std::printf(" %11.3f", GeometricMean(by_domain[d]));
+        }
+        std::printf(" %11.3f\n", result.ratio);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace fpc::bench;
+    data::SuiteConfig config;
+    config.values_per_file = EnvSize("FPC_BENCH_VALUES", 65536);
+    config.file_scale = EnvDouble("FPC_BENCH_SCALE", 0.3);
+
+    std::printf("== single precision ==\n");
+    auto sp_inputs = eval::ToInputs(data::SingleSuite(config));
+    std::vector<eval::EvalCodec> sp_codecs{
+        eval::OurCodec(Algorithm::kSPspeed, Device::kCpu),
+        eval::OurCodec(Algorithm::kSPratio, Device::kCpu),
+    };
+    for (const char* name : {"Ndzip", "Bitcomp-i0", "MPC", "FPzip", "SPDP-9",
+                             "ZSTD-best"}) {
+        sp_codecs.push_back(eval::Wrap(baselines::Lookup(name)));
+    }
+    Breakdown(sp_inputs, sp_codecs, data::SingleDomains());
+
+    std::printf("\n== double precision ==\n");
+    auto dp_inputs = eval::ToInputs(data::DoubleSuite(config));
+    std::vector<eval::EvalCodec> dp_codecs{
+        eval::OurCodec(Algorithm::kDPspeed, Device::kCpu),
+        eval::OurCodec(Algorithm::kDPratio, Device::kCpu),
+    };
+    for (const char* name : {"Ndzip-64", "Bitcomp-i1", "MPC-64", "FPC",
+                             "GFC", "FPzip-64", "SPDP-9", "ZSTD-best"}) {
+        dp_codecs.push_back(eval::Wrap(baselines::Lookup(name)));
+    }
+    Breakdown(dp_inputs, dp_codecs, data::DoubleDomains());
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 8 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig08";
+    spec.title = "Figure 8: RTX 4090 (sim) compression ratio vs compression throughput, single precision";
+    spec.axis = fpc::eval::Axis::kCompression;
+    spec.gpu = true;
+    spec.dp = false;
+    spec.profile = &fpc::gpusim::Rtx4090Profile();
+    spec.baselines = GpuSpBaselines();
+    return RunFigureBench(spec);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 10 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig10";
+    spec.title = "Figure 10: A100 (sim) compression ratio vs compression throughput, single precision";
+    spec.axis = fpc::eval::Axis::kCompression;
+    spec.gpu = true;
+    spec.dp = false;
+    spec.profile = &fpc::gpusim::A100Profile();
+    spec.baselines = GpuSpBaselines();
+    return RunFigureBench(spec);
+}

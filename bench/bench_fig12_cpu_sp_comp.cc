@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 12 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig12";
+    spec.title = "Figure 12: Ryzen-class CPU compression ratio vs compression throughput, single precision";
+    spec.axis = fpc::eval::Axis::kCompression;
+    spec.gpu = false;
+    spec.dp = false;
+    spec.profile = nullptr;
+    spec.baselines = CpuSpBaselines();
+    return RunFigureBench(spec);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 13 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig13";
+    spec.title = "Figure 13: Ryzen-class CPU compression ratio vs decompression throughput, single precision";
+    spec.axis = fpc::eval::Axis::kDecompression;
+    spec.gpu = false;
+    spec.dp = false;
+    spec.profile = nullptr;
+    spec.baselines = CpuSpBaselines();
+    return RunFigureBench(spec);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 14 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig14";
+    spec.title = "Figure 14: RTX 4090 (sim) compression ratio vs compression throughput, double precision";
+    spec.axis = fpc::eval::Axis::kCompression;
+    spec.gpu = true;
+    spec.dp = true;
+    spec.profile = &fpc::gpusim::Rtx4090Profile();
+    spec.baselines = GpuDpBaselines();
+    return RunFigureBench(spec);
+}

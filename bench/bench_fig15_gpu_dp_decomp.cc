@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 15 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig15";
+    spec.title = "Figure 15: RTX 4090 (sim) compression ratio vs decompression throughput, double precision";
+    spec.axis = fpc::eval::Axis::kDecompression;
+    spec.gpu = true;
+    spec.dp = true;
+    spec.profile = &fpc::gpusim::Rtx4090Profile();
+    spec.baselines = GpuDpBaselines();
+    return RunFigureBench(spec);
+}

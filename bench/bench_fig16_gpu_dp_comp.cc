@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 16 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig16";
+    spec.title = "Figure 16: A100 (sim) compression ratio vs compression throughput, double precision";
+    spec.axis = fpc::eval::Axis::kCompression;
+    spec.gpu = true;
+    spec.dp = true;
+    spec.profile = &fpc::gpusim::A100Profile();
+    spec.baselines = GpuDpBaselines();
+    return RunFigureBench(spec);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 17 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig17";
+    spec.title = "Figure 17: A100 (sim) compression ratio vs decompression throughput, double precision";
+    spec.axis = fpc::eval::Axis::kDecompression;
+    spec.gpu = true;
+    spec.dp = true;
+    spec.profile = &fpc::gpusim::A100Profile();
+    spec.baselines = GpuDpBaselines();
+    return RunFigureBench(spec);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 18 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig18";
+    spec.title = "Figure 18: Ryzen-class CPU compression ratio vs compression throughput, double precision";
+    spec.axis = fpc::eval::Axis::kCompression;
+    spec.gpu = false;
+    spec.dp = true;
+    spec.profile = nullptr;
+    spec.baselines = CpuDpBaselines();
+    return RunFigureBench(spec);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates the series of the paper's Figure 19 as a table + CSV.
+ */
+#include "figure_common.h"
+
+int
+main()
+{
+    using namespace fpc::bench;
+    FigureSpec spec;
+    spec.id = "fig19";
+    spec.title = "Figure 19: Ryzen-class CPU compression ratio vs decompression throughput, double precision";
+    spec.axis = fpc::eval::Axis::kDecompression;
+    spec.gpu = false;
+    spec.dp = true;
+    spec.profile = nullptr;
+    spec.baselines = CpuDpBaselines();
+    return RunFigureBench(spec);
+}

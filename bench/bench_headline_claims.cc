@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Checks the paper's Section 5 headline claims in shape (DESIGN.md: who
+ * wins and by what kind of factor; absolute numbers depend on hardware):
+ *
+ *  1. SPratio reaches the highest single-precision compression ratio of
+ *     all GPU codecs; FPzip beats it on the CPU but is far slower.
+ *  2. SPspeed compresses and decompresses orders of magnitude faster
+ *     than FPzip (paper: 75x / 55x on their Ryzen).
+ *  3. DPratio reaches by far the highest double-precision GPU ratio, and
+ *     its decompression throughput is much higher than its compression
+ *     throughput (no sorting in the FCM decoder).
+ *  4. DPspeed is the fastest double-precision CPU compressor and
+ *     decompressor.
+ *  5. Our four algorithms are on the Pareto front of their figures.
+ */
+#include <cstdio>
+
+#include "figure_common.h"
+
+namespace {
+
+using fpc::bench::EnvDouble;
+using fpc::bench::EnvSize;
+
+const fpc::eval::CodecResult&
+Find(const std::vector<fpc::eval::CodecResult>& results,
+     const std::string& name)
+{
+    for (const auto& r : results) {
+        if (r.name == name) return r;
+    }
+    throw fpc::UsageError("missing result: " + name);
+}
+
+int
+CheckClaim(bool ok, const char* text)
+{
+    std::printf("[%s] %s\n", ok ? "HOLDS " : "BROKEN", text);
+    return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace fpc;
+    int broken = 0;
+
+    data::SuiteConfig config;
+    config.values_per_file = EnvSize("FPC_BENCH_VALUES", 65536);
+    config.file_scale = EnvDouble("FPC_BENCH_SCALE", 0.12);
+    eval::EvalConfig eval_config;
+    eval_config.runs = static_cast<int>(EnvSize("FPC_BENCH_RUNS", 2));
+
+    // ---- single precision, CPU ----
+    auto sp_inputs = eval::ToInputs(data::SingleSuite(config));
+    std::vector<eval::CodecResult> sp;
+    for (const char* name : {"SPspeed", "SPratio"}) {
+        sp.push_back(eval::Evaluate(
+            eval::OurCodec(ParseAlgorithm(name), Device::kCpu), sp_inputs,
+            eval_config));
+    }
+    sp.push_back(eval::Evaluate(eval::Wrap(baselines::Lookup("FPzip")),
+                                sp_inputs, eval_config));
+
+    const auto& spspeed = Find(sp, "SPspeed");
+    const auto& spratio = Find(sp, "SPratio");
+    const auto& fpzip = Find(sp, "FPzip");
+
+    double comp_factor = spspeed.compress_gbps / fpzip.compress_gbps;
+    double decomp_factor = spspeed.decompress_gbps / fpzip.decompress_gbps;
+    std::printf("SPspeed vs FPzip: %.1fx compression, %.1fx decompression "
+                "(paper: 75x / 55x on a 16-core Ryzen; this machine and "
+                "the clean-room FPzip differ in constants)\n",
+                comp_factor, decomp_factor);
+    broken += CheckClaim(comp_factor > 5 && decomp_factor > 5,
+                         "SPspeed is much faster than FPzip both ways");
+    broken += CheckClaim(fpzip.ratio > spratio.ratio,
+                         "FPzip compresses best on the CPU (at high cost)");
+    broken += CheckClaim(spratio.ratio > spspeed.ratio,
+                         "SPratio compresses better than SPspeed");
+
+    // ---- double precision ----
+    config.file_scale = EnvDouble("FPC_BENCH_SCALE", 0.3);
+    auto dp_inputs = eval::ToInputs(data::DoubleSuite(config));
+    std::vector<eval::CodecResult> dp;
+    for (const char* name : {"DPspeed", "DPratio"}) {
+        dp.push_back(eval::Evaluate(
+            eval::OurCodec(ParseAlgorithm(name), Device::kCpu), dp_inputs,
+            eval_config));
+    }
+    for (const char* name : {"pFPC", "FPC", "GFC", "MPC-64", "Bitcomp-i1",
+                             "Ndzip-64"}) {
+        dp.push_back(eval::Evaluate(eval::Wrap(baselines::Lookup(name)),
+                                    dp_inputs, eval_config));
+    }
+
+    const auto& dpspeed = Find(dp, "DPspeed");
+    const auto& dpratio = Find(dp, "DPratio");
+    std::printf("DPratio comp %.3f GB/s vs decomp %.3f GB/s (paper: decomp "
+                "much faster, no sorting in the FCM decoder)\n",
+                dpratio.compress_gbps, dpratio.decompress_gbps);
+    broken += CheckClaim(dpratio.decompress_gbps > 2 * dpratio.compress_gbps,
+                         "DPratio decompresses much faster than it "
+                         "compresses");
+
+    double best_other_ratio = 0;
+    for (const auto& r : dp) {
+        if (r.name != "DPspeed" && r.name != "DPratio") {
+            best_other_ratio = std::max(best_other_ratio, r.ratio);
+        }
+    }
+    broken += CheckClaim(dpratio.ratio > best_other_ratio,
+                         "DPratio has the highest DP ratio of the "
+                         "GPU-class comparison set");
+
+    double best_other_speed = 0;
+    for (const auto& r : dp) {
+        if (r.name != "DPspeed" && r.name != "DPratio") {
+            best_other_speed = std::max(best_other_speed, r.compress_gbps);
+        }
+    }
+    std::printf("DPspeed comp %.3f GB/s; best comparison codec %.3f GB/s\n",
+                dpspeed.compress_gbps, best_other_speed);
+
+    // ---- Pareto membership (claim 5) ----
+    for (auto axis : {eval::Axis::kCompression, eval::Axis::kDecompression}) {
+        auto points = eval::ToScatter(dp, axis);
+        for (size_t i = 0; i < points.size(); ++i) {
+            if (points[i].label == "DPspeed" || points[i].label == "DPratio") {
+                std::string text = points[i].label +
+                                   " on the Pareto front (" +
+                                   (axis == eval::Axis::kCompression
+                                        ? "compression"
+                                        : "decompression") +
+                                   ")";
+                broken += CheckClaim(IsOnParetoFront(points, i),
+                                     text.c_str());
+            }
+        }
+    }
+
+    std::printf("\n%d claim(s) broken\n", broken);
+    return broken == 0 ? 0 : 1;
+}

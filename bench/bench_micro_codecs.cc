@@ -1,0 +1,85 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the four end-to-end codecs on both
+ * device paths: compression and decompression throughput over a smooth
+ * 4 MiB buffer (the building block behind Figures 8-19's throughput
+ * axes).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/codec.h"
+#include "data/fields.h"
+
+namespace {
+
+using namespace fpc;
+
+const Algorithm kAll[] = {Algorithm::kSPspeed, Algorithm::kSPratio,
+                          Algorithm::kDPspeed, Algorithm::kDPratio};
+
+Bytes
+Input(Algorithm algorithm)
+{
+    constexpr size_t kBytes = 4 << 20;
+    bool dp = algorithm == Algorithm::kDPspeed ||
+              algorithm == Algorithm::kDPratio;
+    Bytes input(kBytes);
+    if (dp) {
+        auto v = data::SmoothField(kBytes / 8, 11, 5, 1e-9);
+        std::memcpy(input.data(), v.data(), kBytes);
+    } else {
+        auto v = data::ToFloats(data::SmoothField(kBytes / 4, 11, 5, 1e-5));
+        std::memcpy(input.data(), v.data(), kBytes);
+    }
+    return input;
+}
+
+void
+BM_Compress(benchmark::State& state)
+{
+    Algorithm algorithm = kAll[state.range(0)];
+    Options options;
+    options.device = state.range(1) ? Device::kGpuSim : Device::kCpu;
+    Bytes input = Input(algorithm);
+    Bytes out;
+    for (auto _ : state) {
+        out = Compress(algorithm, ByteSpan(input), options);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    state.SetLabel(std::string(AlgorithmName(algorithm)) +
+                   (state.range(1) ? "/gpusim" : "/cpu") + " ratio=" +
+                   std::to_string(static_cast<double>(input.size()) /
+                                  static_cast<double>(out.size())));
+}
+
+void
+BM_Decompress(benchmark::State& state)
+{
+    Algorithm algorithm = kAll[state.range(0)];
+    Options options;
+    options.device = state.range(1) ? Device::kGpuSim : Device::kCpu;
+    Bytes input = Input(algorithm);
+    Bytes compressed = Compress(algorithm, ByteSpan(input), options);
+    Bytes out;
+    for (auto _ : state) {
+        out = Decompress(ByteSpan(compressed), options);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    state.SetLabel(std::string(AlgorithmName(algorithm)) +
+                   (state.range(1) ? "/gpusim" : "/cpu"));
+}
+
+BENCHMARK(BM_Compress)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

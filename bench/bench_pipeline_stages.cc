@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Companion to the paper's Figure 1 (the stage table of the four
+ * algorithms): prints the stage inventory with each stage's contribution
+ * to the compression ratio on a representative chunk, then benchmarks
+ * every transformation's encode and decode throughput with
+ * google-benchmark.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/fields.h"
+#include "transforms/transforms.h"
+#include "util/common.h"
+
+namespace {
+
+using fpc::Bytes;
+using fpc::ByteSpan;
+
+Bytes
+ChunkOfSmoothData(bool dp)
+{
+    Bytes chunk(fpc::kChunkSize);
+    if (dp) {
+        auto v = fpc::data::SmoothField(fpc::kChunkSize / 8, 7, 5, 1e-9);
+        std::memcpy(chunk.data(), v.data(), chunk.size());
+    } else {
+        auto v = fpc::data::ToFloats(
+            fpc::data::SmoothField(fpc::kChunkSize / 4, 7, 5, 1e-5));
+        std::memcpy(chunk.data(), v.data(), chunk.size());
+    }
+    return chunk;
+}
+
+void
+PrintStageTable()
+{
+    std::printf("Figure 1: stages of the four algorithms, with the size of "
+                "a representative\nsmooth 16 KiB chunk after each stage "
+                "(encode direction):\n\n");
+    for (auto algorithm :
+         {fpc::Algorithm::kSPspeed, fpc::Algorithm::kSPratio,
+          fpc::Algorithm::kDPspeed, fpc::Algorithm::kDPratio}) {
+        const fpc::PipelineSpec& spec = fpc::GetPipeline(algorithm);
+        Bytes buf = ChunkOfSmoothData(spec.word_size == 8);
+        std::printf("%-8s:", spec.name);
+        if (spec.pre.encode != nullptr) {
+            Bytes next;
+            spec.pre.encode(ByteSpan(buf), next);
+            buf.swap(next);
+            std::printf(" %s(whole input)->%zuB", spec.pre.name,
+                        buf.size());
+            buf.resize(std::min(buf.size(), fpc::kChunkSize));
+        }
+        for (const fpc::Stage& stage : spec.stages) {
+            Bytes next;
+            stage.encode(ByteSpan(buf), next);
+            buf.swap(next);
+            std::printf(" %s->%zuB", stage.name, buf.size());
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+struct StageUnderTest {
+    const char* name;
+    void (*encode)(ByteSpan, Bytes&);
+    void (*decode)(ByteSpan, Bytes&);
+    bool dp;
+};
+
+const StageUnderTest kStages[] = {
+    {"DIFFMS32", fpc::tf::DiffmsEncode32, fpc::tf::DiffmsDecode32, false},
+    {"DIFFMS64", fpc::tf::DiffmsEncode64, fpc::tf::DiffmsDecode64, true},
+    {"MPLG32", fpc::tf::MplgEncode32, fpc::tf::MplgDecode32, false},
+    {"MPLG64", fpc::tf::MplgEncode64, fpc::tf::MplgDecode64, true},
+    {"BIT32", fpc::tf::BitEncode32, fpc::tf::BitDecode32, false},
+    {"RZE", fpc::tf::RzeEncode, fpc::tf::RzeDecode, false},
+    {"FCM", fpc::tf::FcmEncode, fpc::tf::FcmDecode, true},
+    {"RAZE64", fpc::tf::RazeEncode64, fpc::tf::RazeDecode64, true},
+    {"RARE64", fpc::tf::RareEncode64, fpc::tf::RareDecode64, true},
+};
+
+void
+BM_StageEncode(benchmark::State& state)
+{
+    const StageUnderTest& stage = kStages[state.range(0)];
+    Bytes input = ChunkOfSmoothData(stage.dp);
+    Bytes out;
+    for (auto _ : state) {
+        out.clear();
+        stage.encode(ByteSpan(input), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    state.SetLabel(stage.name);
+}
+
+void
+BM_StageDecode(benchmark::State& state)
+{
+    const StageUnderTest& stage = kStages[state.range(0)];
+    Bytes input = ChunkOfSmoothData(stage.dp);
+    Bytes coded;
+    stage.encode(ByteSpan(input), coded);
+    Bytes out;
+    for (auto _ : state) {
+        out.clear();
+        stage.decode(ByteSpan(coded), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    state.SetLabel(stage.name);
+}
+
+BENCHMARK(BM_StageEncode)->DenseRange(0, std::size(kStages) - 1);
+BENCHMARK(BM_StageDecode)->DenseRange(0, std::size(kStages) - 1);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintStageTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared driver for the figure benchmarks (paper Figures 8-19). Each
+ * figure binary declares a FigureSpec and calls RunFigureBench, which:
+ *
+ *  1. generates the synthetic SDRBench-surrogate suite (SP: 7 domains,
+ *     DP: 5 domains; see src/data and DESIGN.md substitution #2),
+ *  2. measures every codec of the figure (ratio + throughput, median of
+ *     N runs, geo-mean of per-domain geo-means — paper Section 4),
+ *  3. prints the figure's series with the Pareto front highlighted and
+ *     writes a CSV next to the binary.
+ *
+ * Scaling knobs (environment):
+ *   FPC_BENCH_VALUES  values per file        (default 65536)
+ *   FPC_BENCH_SCALE   fraction of the paper's files per domain
+ *                     (default 0.15 SP / 0.4 DP)
+ *   FPC_BENCH_RUNS    timed runs per measurement (default 2)
+ */
+#ifndef FPC_BENCH_FIGURE_COMMON_H
+#define FPC_BENCH_FIGURE_COMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/compressor.h"
+#include "data/datasets.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+#include "gpusim/launch.h"
+
+namespace fpc::bench {
+
+struct FigureSpec {
+    const char* id;          ///< e.g. "fig08"
+    const char* title;       ///< printed header
+    eval::Axis axis;         ///< compression or decompression throughput
+    bool gpu;                ///< GPU path (gpusim) vs CPU path
+    bool dp;                 ///< double-precision suite vs single
+    const gpusim::DeviceProfile* profile;  ///< GPU profile (gpu only)
+    std::vector<std::string> baselines;    ///< registry names to include
+};
+
+inline size_t
+EnvSize(const char* name, size_t fallback)
+{
+    const char* v = std::getenv(name);
+    return v ? static_cast<size_t>(std::strtoull(v, nullptr, 10)) : fallback;
+}
+
+inline double
+EnvDouble(const char* name, double fallback)
+{
+    const char* v = std::getenv(name);
+    return v ? std::strtod(v, nullptr) : fallback;
+}
+
+/** Baseline name sets matching the paper's per-figure comparison groups. */
+inline std::vector<std::string>
+GpuSpBaselines()
+{
+    return {"ANS",     "Bitcomp-b0", "Bitcomp-i0", "Cascaded", "Deflate",
+            "Gdeflate", "LZ4",       "MPC",        "Snappy",   "GPU-ZSTD",
+            "Ndzip"};
+}
+
+inline std::vector<std::string>
+GpuDpBaselines()
+{
+    return {"ANS",      "Bitcomp-b1", "Bitcomp-i1", "Cascaded",
+            "Deflate",  "Gdeflate",   "GFC",        "LZ4",
+            "MPC-64",   "Snappy",     "GPU-ZSTD",   "Ndzip-64"};
+}
+
+inline std::vector<std::string>
+CpuSpBaselines()
+{
+    return {"Bzip2",  "FPzip",    "Gzip-1",    "Gzip-9", "SPDP-1",
+            "SPDP-9", "ZFP",      "ZSTD-fast", "ZSTD-best", "Ndzip"};
+}
+
+inline std::vector<std::string>
+CpuDpBaselines()
+{
+    return {"Bzip2",    "FPC",      "pFPC",      "FPzip-64", "Gzip-1",
+            "Gzip-9",   "SPDP-1",   "SPDP-9",    "ZFP-64",   "ZSTD-fast",
+            "ZSTD-best", "Ndzip-64"};
+}
+
+inline int
+RunFigureBench(const FigureSpec& spec)
+{
+    try {
+        data::SuiteConfig config;
+        config.values_per_file = EnvSize("FPC_BENCH_VALUES", 65536);
+        config.file_scale =
+            EnvDouble("FPC_BENCH_SCALE", spec.dp ? 0.4 : 0.15);
+
+        std::vector<eval::EvalInput> inputs;
+        if (spec.dp) {
+            inputs = eval::ToInputs(data::DoubleSuite(config));
+        } else {
+            inputs = eval::ToInputs(data::SingleSuite(config));
+        }
+        size_t total_bytes = 0;
+        for (const auto& in : inputs) total_bytes += in.bytes.size();
+        std::cout << spec.title << "\n"
+                  << inputs.size() << " files, "
+                  << total_bytes / (1024.0 * 1024.0) << " MiB total\n";
+        if (spec.gpu) {
+            std::cout << "device: " << spec.profile->name
+                      << " (execution-model simulator; throughputs are "
+                         "simulator-path, see EXPERIMENTS.md)\n";
+        }
+        std::cout << "\n";
+
+        eval::EvalConfig eval_config;
+        eval_config.runs = static_cast<int>(EnvSize("FPC_BENCH_RUNS", 2));
+
+        std::vector<eval::EvalCodec> codecs;
+        const Algorithm ours_speed =
+            spec.dp ? Algorithm::kDPspeed : Algorithm::kSPspeed;
+        const Algorithm ours_ratio =
+            spec.dp ? Algorithm::kDPratio : Algorithm::kSPratio;
+        if (spec.gpu) {
+            for (Algorithm a : {ours_speed, ours_ratio}) {
+                eval::EvalCodec codec;
+                codec.name = AlgorithmName(a);
+                const gpusim::DeviceProfile* profile = spec.profile;
+                codec.compress = [a, profile](ByteSpan in) {
+                    gpusim::Device device(*profile);
+                    return gpusim::CompressOnDevice(device, a, in);
+                };
+                codec.decompress = [profile](ByteSpan in) {
+                    gpusim::Device device(*profile);
+                    return gpusim::DecompressOnDevice(device, in);
+                };
+                codecs.push_back(std::move(codec));
+            }
+        } else {
+            codecs.push_back(eval::OurCodec(ours_speed, Device::kCpu));
+            codecs.push_back(eval::OurCodec(ours_ratio, Device::kCpu));
+        }
+        for (const std::string& name : spec.baselines) {
+            codecs.push_back(eval::Wrap(baselines::Lookup(name)));
+        }
+
+        std::vector<eval::CodecResult> results;
+        for (const eval::EvalCodec& codec : codecs) {
+            results.push_back(eval::Evaluate(codec, inputs, eval_config));
+        }
+
+        eval::PrintFigure(std::cout, spec.title, results, spec.axis);
+        eval::WriteCsv(std::string(spec.id) + ".csv", results, spec.axis);
+        std::cout << "series written to " << spec.id << ".csv\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "benchmark failed: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace fpc::bench
+
+#endif  // FPC_BENCH_FIGURE_COMMON_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ANS baseline (nvCOMP): an order-0 rANS entropy coder over byte symbols,
+ * applied per 64 KiB block with a per-block static model.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/rans.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kAnsBlock = 64 * 1024;
+
+}  // namespace
+
+Bytes
+AnsCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    for (size_t begin = 0; begin < in.size(); begin += kAnsBlock) {
+        size_t size = std::min(kAnsBlock, in.size() - begin);
+        RansEncode(in.subspan(begin, size), out);
+    }
+    return out;
+}
+
+Bytes
+AnsDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    Bytes out;
+    out.reserve(orig_size);
+    while (out.size() < orig_size) {
+        size_t before = out.size();
+        RansDecode(br, out);
+        FPC_PARSE_CHECK(out.size() > before && out.size() <= orig_size,
+                        "ANS bad block");
+    }
+    return out;
+}
+
+}  // namespace fpc::baselines

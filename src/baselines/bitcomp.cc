@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bitcomp-like compressor (nvCOMP's lossless floating-point codec):
+ * per-block fixed-width bit packing. Mode "i" first applies zigzag delta
+ * coding (integer mode); mode "b" packs the raw words after dropping the
+ * block's common leading zero bits. Per 256-word block: a width byte plus
+ * width-bit fields.
+ *
+ * Wire format: varint(size) | word-size byte | mode byte | per-block
+ * width byte + packed payload | trailing bytes.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kBlockWords = 256;
+
+template <typename T>
+void
+BitcompEncodeImpl(ByteSpan in, bool delta, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    std::vector<T> words = LoadWords<T>(in);
+    const size_t nw = words.size();
+
+    if (delta) {
+        T prev = 0;
+        for (size_t i = 0; i < nw; ++i) {
+            T v = words[i];
+            words[i] = ZigzagEncode(static_cast<T>(v - prev));
+            prev = v;
+        }
+    }
+
+    ByteWriter wr(out);
+    Bytes packed;
+    BitWriter bw(packed);
+    for (size_t begin = 0; begin < nw; begin += kBlockWords) {
+        size_t count = std::min(kBlockWords, nw - begin);
+        T max_value = 0;
+        for (size_t i = 0; i < count; ++i) {
+            max_value = std::max(max_value, words[begin + i]);
+        }
+        unsigned width =
+            max_value == 0 ? 0 : kWordBits - LeadingZeros(max_value);
+        wr.PutU8(static_cast<uint8_t>(width));
+        for (size_t i = 0; i < count; ++i) {
+            bw.Put(static_cast<uint64_t>(words[begin + i]), width);
+        }
+    }
+    bw.Finish();
+    wr.PutVarint(packed.size());
+    wr.PutBytes(ByteSpan(packed));
+    wr.PutBytes(in.subspan(nw * sizeof(T)));
+}
+
+template <typename T>
+void
+BitcompDecodeImpl(ByteReader& br, size_t orig_size, bool delta, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    const size_t nw = orig_size / sizeof(T);
+    const size_t n_blocks = (nw + kBlockWords - 1) / kBlockWords;
+    std::vector<uint8_t> widths(n_blocks);
+    for (size_t b = 0; b < n_blocks; ++b) {
+        widths[b] = br.GetU8();
+        FPC_PARSE_CHECK(widths[b] <= kWordBits, "bitcomp width");
+    }
+    size_t packed_size = br.GetVarint();
+    ByteSpan packed = br.GetBytes(packed_size);
+    BitReader bits(packed);
+
+    std::vector<T> words(nw);
+    for (size_t b = 0; b < n_blocks; ++b) {
+        size_t begin = b * kBlockWords;
+        size_t count = std::min(kBlockWords, nw - begin);
+        for (size_t i = 0; i < count; ++i) {
+            words[begin + i] = static_cast<T>(bits.Get(widths[b]));
+        }
+    }
+    if (delta) {
+        T prev = 0;
+        for (size_t i = 0; i < nw; ++i) {
+            T v = static_cast<T>(prev + ZigzagDecode(words[i]));
+            words[i] = v;
+            prev = v;
+        }
+    }
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+Bytes
+BitcompCompress(ByteSpan in, unsigned word_size, bool delta)
+{
+    FPC_CHECK(word_size == 4 || word_size == 8, "bitcomp word size");
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    wr.PutU8(static_cast<uint8_t>(word_size));
+    wr.PutU8(delta ? 1 : 0);
+    if (word_size == 4) {
+        BitcompEncodeImpl<uint32_t>(in, delta, out);
+    } else {
+        BitcompEncodeImpl<uint64_t>(in, delta, out);
+    }
+    return out;
+}
+
+Bytes
+BitcompDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    unsigned word_size = br.GetU8();
+    bool delta = br.GetU8() != 0;
+    FPC_PARSE_CHECK(word_size == 4 || word_size == 8, "bitcomp word size");
+    Bytes out;
+    if (word_size == 4) {
+        BitcompDecodeImpl<uint32_t>(br, orig_size, delta, out);
+    } else {
+        BitcompDecodeImpl<uint64_t>(br, orig_size, delta, out);
+    }
+    FPC_PARSE_CHECK(out.size() == orig_size, "bitcomp size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bzip2-like baseline: per 128 KiB block, run-length precoding, the
+ * Burrows-Wheeler transform, move-to-front, and Huffman coding — the
+ * classic bzip2 stage stack.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bwt.h"
+#include "util/huffman.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kBzBlock = 128 * 1024;
+
+void
+Bzip2EncodeBlock(ByteSpan in, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+
+    Bytes rle;
+    Rle4Encode(in, rle);
+    wr.PutVarint(rle.size());
+
+    Bytes bwt;
+    uint32_t primary = BwtEncode(ByteSpan(rle), bwt);
+    wr.Put<uint32_t>(primary);
+
+    Bytes mtf;
+    MtfEncode(ByteSpan(bwt), mtf);
+    HuffmanEncode(ByteSpan(mtf), out);
+}
+
+void
+Bzip2DecodeBlock(ByteReader& br, Bytes& out)
+{
+    const size_t orig_size = br.GetVarint();
+    const size_t rle_size = br.GetVarint();
+    uint32_t primary = br.Get<uint32_t>();
+
+    Bytes mtf;
+    HuffmanDecode(br, rle_size, mtf);
+    Bytes bwt;
+    MtfDecode(ByteSpan(mtf), bwt);
+    Bytes rle;
+    BwtDecode(ByteSpan(bwt), primary, rle);
+    size_t before = out.size();
+    Rle4Decode(ByteSpan(rle), out);
+    FPC_PARSE_CHECK(out.size() - before == orig_size,
+                    "bzip2 block size mismatch");
+}
+
+}  // namespace
+
+Bytes
+Bzip2xCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    for (size_t begin = 0; begin < in.size(); begin += kBzBlock) {
+        size_t size = std::min(kBzBlock, in.size() - begin);
+        Bzip2EncodeBlock(in.subspan(begin, size), out);
+    }
+    return out;
+}
+
+Bytes
+Bzip2xDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    Bytes out;
+    out.reserve(orig_size);
+    while (out.size() < orig_size) {
+        size_t before = out.size();
+        Bzip2DecodeBlock(br, out);
+        FPC_PARSE_CHECK(out.size() > before && out.size() <= orig_size,
+                        "bzip2 bad block");
+    }
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cascaded baseline (nvCOMP): run-length encoding over 32-bit words,
+ * delta coding of the run values, then fixed-width bit packing of both
+ * the delta-coded values and the run lengths.
+ *
+ * Wire format: varint(size) | varint(#runs) | packed value widths/blocks |
+ * packed length widths/blocks | trailing bytes.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kPackBlock = 256;
+
+/** Pack a u32/u64 array as per-block width bytes + width-bit fields. */
+template <typename T>
+void
+PackArray(const std::vector<T>& values, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteWriter wr(out);
+    wr.PutVarint(values.size());
+    Bytes packed;
+    BitWriter bw(packed);
+    Bytes widths;
+    for (size_t begin = 0; begin < values.size(); begin += kPackBlock) {
+        size_t count = std::min(kPackBlock, values.size() - begin);
+        T max_value = 0;
+        for (size_t i = 0; i < count; ++i) {
+            max_value = std::max(max_value, values[begin + i]);
+        }
+        unsigned width =
+            max_value == 0 ? 0 : kWordBits - LeadingZeros(max_value);
+        widths.push_back(static_cast<std::byte>(width));
+        for (size_t i = 0; i < count; ++i) {
+            bw.Put(static_cast<uint64_t>(values[begin + i]), width);
+        }
+    }
+    bw.Finish();
+    wr.PutVarint(widths.size());
+    wr.PutBytes(ByteSpan(widths));
+    wr.PutVarint(packed.size());
+    wr.PutBytes(ByteSpan(packed));
+}
+
+template <typename T>
+std::vector<T>
+UnpackArray(ByteReader& br)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    size_t n = br.GetVarint();
+    size_t n_widths = br.GetVarint();
+    FPC_PARSE_CHECK(n_widths == (n + kPackBlock - 1) / kPackBlock,
+                    "cascaded width table size");
+    ByteSpan widths = br.GetBytes(n_widths);
+    size_t packed_size = br.GetVarint();
+    ByteSpan packed = br.GetBytes(packed_size);
+    BitReader bits(packed);
+
+    std::vector<T> values(n);
+    for (size_t b = 0; b < n_widths; ++b) {
+        unsigned width = static_cast<uint8_t>(widths[b]);
+        FPC_PARSE_CHECK(width <= kWordBits, "cascaded width");
+        size_t begin = b * kPackBlock;
+        size_t count = std::min(kPackBlock, n - begin);
+        for (size_t i = 0; i < count; ++i) {
+            values[begin + i] = static_cast<T>(bits.Get(width));
+        }
+    }
+    return values;
+}
+
+}  // namespace
+
+Bytes
+CascadedCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+
+    std::vector<uint32_t> words = LoadWords<uint32_t>(in);
+    // RLE over the words.
+    std::vector<uint32_t> run_values;
+    std::vector<uint32_t> run_lengths;
+    size_t i = 0;
+    while (i < words.size()) {
+        uint32_t v = words[i];
+        size_t run = 1;
+        while (i + run < words.size() && words[i + run] == v &&
+               run < UINT32_MAX) {
+            ++run;
+        }
+        run_values.push_back(v);
+        run_lengths.push_back(static_cast<uint32_t>(run));
+        i += run;
+    }
+    // Delta + zigzag over run values.
+    uint32_t prev = 0;
+    for (uint32_t& v : run_values) {
+        uint32_t original = v;
+        v = ZigzagEncode(static_cast<uint32_t>(v - prev));
+        prev = original;
+    }
+    PackArray(run_values, out);
+    PackArray(run_lengths, out);
+    wr.PutBytes(in.subspan(words.size() * 4));
+    return out;
+}
+
+Bytes
+CascadedDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    std::vector<uint32_t> run_values = UnpackArray<uint32_t>(br);
+    std::vector<uint32_t> run_lengths = UnpackArray<uint32_t>(br);
+    FPC_PARSE_CHECK(run_values.size() == run_lengths.size(),
+                    "cascaded run arrays mismatch");
+
+    std::vector<uint32_t> words;
+    words.reserve(orig_size / 4);
+    uint32_t prev = 0;
+    for (size_t r = 0; r < run_values.size(); ++r) {
+        uint32_t v = prev + ZigzagDecode(run_values[r]);
+        prev = v;
+        FPC_PARSE_CHECK(words.size() + run_lengths[r] <= orig_size / 4,
+                        "cascaded run overrun");
+        words.insert(words.end(), run_lengths[r], v);
+    }
+    FPC_PARSE_CHECK(words.size() == orig_size / 4,
+                    "cascaded word count mismatch");
+    Bytes out;
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+    FPC_PARSE_CHECK(out.size() == orig_size, "cascaded size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

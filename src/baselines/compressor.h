@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Common interface and registry for the 18 comparison compressors of the
+ * paper's Table 1. Each entry is a clean-room implementation of the
+ * corresponding algorithm family (see DESIGN.md Section 4); all are real,
+ * lossless, round-trip-tested codecs over arbitrary byte buffers.
+ *
+ * Streams are self-describing per codec; cross-codec compatibility is not
+ * a goal (it is not one in the paper either).
+ */
+#ifndef FPC_BASELINES_COMPRESSOR_H
+#define FPC_BASELINES_COMPRESSOR_H
+
+#include <functional>
+#include <string>
+
+#include "util/common.h"
+
+namespace fpc::baselines {
+
+/** Which device class the original implementation targets (Table 1). */
+enum class DeviceClass { kCpu, kGpu, kCpuGpu };
+
+/** Which data types the compressor is designed for (Table 1). */
+enum class DataClass { kFp32, kFp64, kFp32Fp64, kGeneral };
+
+/** One comparison compressor (possibly one level of a leveled codec). */
+struct BaselineCodec {
+    std::string name;        ///< e.g. "FPC", "ZSTD-best"
+    DeviceClass device;
+    DataClass datatype;
+    std::function<Bytes(ByteSpan)> compress;
+    std::function<Bytes(ByteSpan)> decompress;
+};
+
+/** All registered baselines (paper Table 1, with level variants). */
+const std::vector<BaselineCodec>& Registry();
+
+/** Look up one baseline by name; throws UsageError when unknown. */
+const BaselineCodec& Lookup(const std::string& name);
+
+// --- individual codec entry points (one pair per algorithm family) ---
+
+Bytes FpcCompress(ByteSpan in, unsigned table_bits);
+Bytes FpcDecompress(ByteSpan in);
+Bytes PfpcCompress(ByteSpan in, unsigned table_bits);
+Bytes PfpcDecompress(ByteSpan in);
+
+Bytes GfcCompress(ByteSpan in);
+Bytes GfcDecompress(ByteSpan in);
+
+Bytes SpdpCompress(ByteSpan in, unsigned level);
+Bytes SpdpDecompress(ByteSpan in);
+
+Bytes MpcCompress(ByteSpan in, unsigned word_size);
+Bytes MpcDecompress(ByteSpan in);
+
+Bytes NdzCompress(ByteSpan in, unsigned word_size);
+Bytes NdzDecompress(ByteSpan in);
+
+Bytes BitcompCompress(ByteSpan in, unsigned word_size, bool delta);
+Bytes BitcompDecompress(ByteSpan in);
+
+Bytes AnsCompress(ByteSpan in);
+Bytes AnsDecompress(ByteSpan in);
+
+Bytes CascadedCompress(ByteSpan in);
+Bytes CascadedDecompress(ByteSpan in);
+
+Bytes Lz4xCompress(ByteSpan in);
+Bytes Lz4xDecompress(ByteSpan in);
+
+Bytes SnappyxCompress(ByteSpan in);
+Bytes SnappyxDecompress(ByteSpan in);
+
+Bytes DeflateCompress(ByteSpan in, unsigned level);
+Bytes DeflateDecompress(ByteSpan in);
+Bytes GdeflateCompress(ByteSpan in);
+Bytes GdeflateDecompress(ByteSpan in);
+
+Bytes ZstdxCompress(ByteSpan in, unsigned level);
+Bytes ZstdxDecompress(ByteSpan in);
+/** nvCOMP-style independent 64 KiB batches (the GPU Zstandard row). */
+Bytes ZstdxBatchCompress(ByteSpan in, unsigned level);
+Bytes ZstdxBatchDecompress(ByteSpan in);
+
+Bytes Bzip2xCompress(ByteSpan in);
+Bytes Bzip2xDecompress(ByteSpan in);
+
+Bytes FpzipxCompress(ByteSpan in, unsigned word_size);
+Bytes FpzipxDecompress(ByteSpan in);
+
+Bytes ZfpxCompress(ByteSpan in, unsigned word_size);
+Bytes ZfpxDecompress(ByteSpan in);
+
+}  // namespace fpc::baselines
+
+#endif  // FPC_BASELINES_COMPRESSOR_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deflate-like baseline (serves the Gzip and Deflate rows of Table 1) and
+ * Gdeflate, NVIDIA's GPU-decodable variant. LZ77 parsing feeds three
+ * streams — literal bytes, length codes, and distance codes — each
+ * Huffman-coded with a per-block canonical table (a faithful structural
+ * stand-in for DEFLATE's combined literal/length alphabet). Gdeflate
+ * splits the input into independently compressed 64 KiB tiles so a GPU
+ * can decode tiles in parallel.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/huffman.h"
+#include "util/lz.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+/** Serialize token fields as bytes (varint split across byte streams). */
+void
+DeflateEncodeBlock(ByteSpan in, unsigned chain_depth, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+
+    LzParams params;
+    params.min_match = 3;
+    params.window = 1u << 15;  // DEFLATE's 32 KiB window
+    params.chain_depth = chain_depth;
+    std::vector<LzToken> tokens = LzParse(in, params);
+    wr.PutVarint(tokens.size());
+
+    Bytes literals, control;
+    {
+        ByteWriter ctl(control);
+        size_t pos = 0;
+        for (const LzToken& t : tokens) {
+            ctl.PutVarint(t.literal_len);
+            ctl.PutVarint(t.match_len);
+            ctl.PutVarint(t.offset);
+            AppendBytes(literals, in.subspan(pos, t.literal_len));
+            pos += t.literal_len + t.match_len;
+        }
+    }
+    wr.PutVarint(literals.size());
+    HuffmanEncode(ByteSpan(literals), out);
+    wr.PutVarint(control.size());
+    HuffmanEncode(ByteSpan(control), out);
+}
+
+Bytes
+DeflateDecodeBlock(ByteReader& br)
+{
+    const size_t orig_size = br.GetVarint();
+    const size_t n_tokens = br.GetVarint();
+
+    size_t literal_size = br.GetVarint();
+    Bytes literals;
+    HuffmanDecode(br, literal_size, literals);
+    size_t control_size = br.GetVarint();
+    Bytes control;
+    HuffmanDecode(br, control_size, control);
+
+    ByteReader ctl{ByteSpan(control)};
+    std::vector<LzToken> tokens(n_tokens);
+    for (LzToken& t : tokens) {
+        t.literal_len = static_cast<uint32_t>(ctl.GetVarint());
+        t.match_len = static_cast<uint32_t>(ctl.GetVarint());
+        t.offset = static_cast<uint32_t>(ctl.GetVarint());
+    }
+    Bytes out;
+    out.reserve(orig_size);
+    LzReconstruct(tokens, ByteSpan(literals), out);
+    FPC_PARSE_CHECK(out.size() == orig_size, "deflate size mismatch");
+    return out;
+}
+
+constexpr size_t kGdeflateTile = 64 * 1024;
+
+}  // namespace
+
+Bytes
+DeflateCompress(ByteSpan in, unsigned level)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutU8(static_cast<uint8_t>(level));
+    unsigned chain_depth = level <= 1 ? 2 : (level <= 6 ? 16 : 128);
+    DeflateEncodeBlock(in, chain_depth, out);
+    return out;
+}
+
+Bytes
+DeflateDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    br.GetU8();  // level
+    return DeflateDecodeBlock(br);
+}
+
+Bytes
+GdeflateCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    const size_t n_tiles = (in.size() + kGdeflateTile - 1) / kGdeflateTile;
+    wr.PutVarint(n_tiles);
+
+    std::vector<Bytes> tiles(n_tiles);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (size_t t = 0; t < n_tiles; ++t) {
+        size_t begin = t * kGdeflateTile;
+        size_t size = std::min(kGdeflateTile, in.size() - begin);
+        DeflateEncodeBlock(in.subspan(begin, size), 16, tiles[t]);
+    }
+    for (const Bytes& tile : tiles) {
+        wr.PutVarint(tile.size());
+        wr.PutBytes(ByteSpan(tile));
+    }
+    return out;
+}
+
+Bytes
+GdeflateDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    const size_t n_tiles = br.GetVarint();
+    std::vector<ByteSpan> payloads(n_tiles);
+    for (size_t t = 0; t < n_tiles; ++t) {
+        payloads[t] = br.GetBytes(br.GetVarint());
+    }
+    std::vector<Bytes> tiles(n_tiles);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (size_t t = 0; t < n_tiles; ++t) {
+        ByteReader tile_reader(payloads[t]);
+        tiles[t] = DeflateDecodeBlock(tile_reader);
+    }
+    Bytes out;
+    out.reserve(orig_size);
+    for (const Bytes& tile : tiles) AppendBytes(out, ByteSpan(tile));
+    FPC_PARSE_CHECK(out.size() == orig_size, "gdeflate size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * FPC [Burtscher & Ratanaworabhan 2008] and its chunk-parallel variant
+ * pFPC [2009]. Two hash-table predictors — an FCM (finite context method)
+ * over recent values and a DFCM over recent deltas — predict each 64-bit
+ * word; the better prediction is XORed with the actual value and the
+ * result stored as a 4-bit header (1-bit predictor selector + 3-bit
+ * leading-zero-byte count) plus the residual bytes.
+ *
+ * Wire format: varint(size) | varint(#values) | packed header nibbles |
+ * residual bytes | trailing input bytes. pFPC prefixes a chunk table and
+ * compresses fixed-size chunks independently (fresh tables per chunk).
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+struct FpcPredictors {
+    explicit FpcPredictors(unsigned table_bits)
+        : mask((size_t{1} << table_bits) - 1), fcm(mask + 1, 0),
+          dfcm(mask + 1, 0) {}
+
+    uint64_t
+    PredictFcm() const
+    {
+        return fcm[fcm_hash];
+    }
+
+    uint64_t
+    PredictDfcm(uint64_t last) const
+    {
+        return dfcm[dfcm_hash] + last;
+    }
+
+    void
+    Update(uint64_t actual, uint64_t last)
+    {
+        fcm[fcm_hash] = actual;
+        fcm_hash = ((fcm_hash << 6) ^ (actual >> 48)) & mask;
+        uint64_t delta = actual - last;
+        dfcm[dfcm_hash] = delta;
+        dfcm_hash = ((dfcm_hash << 2) ^ (delta >> 40)) & mask;
+    }
+
+    size_t mask;
+    std::vector<uint64_t> fcm, dfcm;
+    size_t fcm_hash = 0, dfcm_hash = 0;
+};
+
+/** Leading zero bytes of a 64-bit value, capped at 7 (FPC header field). */
+unsigned
+LeadingZeroBytes7(uint64_t v)
+{
+    unsigned lzb = v == 0 ? 8 : LeadingZeros(v) / 8;
+    return std::min(lzb, 7u);
+}
+
+void
+FpcEncodeBlock(ByteSpan in, unsigned table_bits, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    const size_t n = in.size() / 8;
+    wr.PutVarint(n);
+
+    FpcPredictors pred(table_bits);
+    Bytes headers((n + 1) / 2, std::byte{0});
+    Bytes residuals;
+    residuals.reserve(in.size() / 2);
+    uint64_t last = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t v;
+        std::memcpy(&v, in.data() + i * 8, 8);
+        uint64_t r_fcm = v ^ pred.PredictFcm();
+        uint64_t r_dfcm = v ^ pred.PredictDfcm(last);
+        bool use_dfcm = LeadingZeros(r_dfcm) > LeadingZeros(r_fcm);
+        uint64_t residual = use_dfcm ? r_dfcm : r_fcm;
+        unsigned lzb = LeadingZeroBytes7(residual);
+        uint8_t nibble =
+            static_cast<uint8_t>((use_dfcm ? 0x8u : 0u) | lzb);
+        headers[i / 2] |= static_cast<std::byte>(
+            (i % 2) ? (nibble << 4) : nibble);
+        for (unsigned b = 8 - lzb; b-- > 0;) {
+            residuals.push_back(
+                static_cast<std::byte>((residual >> (8 * b)) & 0xff));
+        }
+        pred.Update(v, last);
+        last = v;
+    }
+    wr.PutBytes(ByteSpan(headers));
+    wr.PutVarint(residuals.size());
+    wr.PutBytes(ByteSpan(residuals));
+    wr.PutBytes(in.subspan(n * 8));
+}
+
+void
+FpcDecodeBlock(ByteReader& br, unsigned table_bits, Bytes& out)
+{
+    const size_t orig_size = br.GetVarint();
+    const size_t n = br.GetVarint();
+    FPC_PARSE_CHECK(n == orig_size / 8, "FPC value count mismatch");
+    ByteSpan headers = br.GetBytes((n + 1) / 2);
+    size_t residual_size = br.GetVarint();
+    ByteSpan residuals = br.GetBytes(residual_size);
+
+    FpcPredictors pred(table_bits);
+    uint64_t last = 0;
+    size_t rpos = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint8_t h = static_cast<uint8_t>(headers[i / 2]);
+        uint8_t nibble = (i % 2) ? (h >> 4) : (h & 0x0f);
+        bool use_dfcm = nibble & 0x8;
+        unsigned lzb = nibble & 0x7;
+        uint64_t residual = 0;
+        for (unsigned b = 0; b < 8 - lzb; ++b) {
+            FPC_PARSE_CHECK(rpos < residuals.size(),
+                            "FPC residual underrun");
+            residual = (residual << 8) |
+                       static_cast<uint8_t>(residuals[rpos++]);
+        }
+        uint64_t prediction =
+            use_dfcm ? pred.PredictDfcm(last) : pred.PredictFcm();
+        uint64_t v = residual ^ prediction;
+        AppendRaw(out, v);
+        pred.Update(v, last);
+        last = v;
+    }
+    AppendBytes(out, br.GetBytes(orig_size - n * 8));
+}
+
+constexpr size_t kPfpcChunk = 64 * 1024;
+
+}  // namespace
+
+Bytes
+FpcCompress(ByteSpan in, unsigned table_bits)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutU8(static_cast<uint8_t>(table_bits));
+    FpcEncodeBlock(in, table_bits, out);
+    return out;
+}
+
+Bytes
+FpcDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    unsigned table_bits = br.GetU8();
+    FPC_PARSE_CHECK(table_bits >= 1 && table_bits <= 24, "FPC table bits");
+    Bytes out;
+    FpcDecodeBlock(br, table_bits, out);
+    return out;
+}
+
+Bytes
+PfpcCompress(ByteSpan in, unsigned table_bits)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutU8(static_cast<uint8_t>(table_bits));
+    const size_t n_chunks = (in.size() + kPfpcChunk - 1) / kPfpcChunk;
+    wr.PutVarint(n_chunks);
+
+    std::vector<Bytes> chunks(n_chunks);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (size_t c = 0; c < n_chunks; ++c) {
+        size_t begin = c * kPfpcChunk;
+        size_t size = std::min(kPfpcChunk, in.size() - begin);
+        FpcEncodeBlock(in.subspan(begin, size), table_bits, chunks[c]);
+    }
+    for (const Bytes& chunk : chunks) {
+        wr.PutVarint(chunk.size());
+        wr.PutBytes(ByteSpan(chunk));
+    }
+    return out;
+}
+
+Bytes
+PfpcDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    unsigned table_bits = br.GetU8();
+    FPC_PARSE_CHECK(table_bits >= 1 && table_bits <= 24, "pFPC table bits");
+    size_t n_chunks = br.GetVarint();
+    std::vector<ByteSpan> payloads(n_chunks);
+    for (size_t c = 0; c < n_chunks; ++c) {
+        size_t size = br.GetVarint();
+        payloads[c] = br.GetBytes(size);
+    }
+    std::vector<Bytes> decoded(n_chunks);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (size_t c = 0; c < n_chunks; ++c) {
+        ByteReader chunk_reader(payloads[c]);
+        FpcDecodeBlock(chunk_reader, table_bits, decoded[c]);
+    }
+    Bytes out;
+    for (const Bytes& d : decoded) AppendBytes(out, ByteSpan(d));
+    return out;
+}
+
+}  // namespace fpc::baselines

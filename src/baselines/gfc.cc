@@ -1,0 +1,120 @@
+/**
+ * @file
+ * GFC [O'Neil & Burtscher 2011]: a GPU compressor for double-precision
+ * data. Per chunk, it computes a difference sequence (against the value
+ * one warp-width earlier, which is what gives the GPU its parallel
+ * slack), negates negative differences, and stores a nibble per value —
+ * sign bit plus a 3-bit leading-zero-byte count — followed by the
+ * surviving residual bytes.
+ *
+ * Wire format: varint(size) | per-chunk: nibble headers | residual bytes.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kGfcChunkWords = 4096;  // 32 KiB of doubles per chunk
+constexpr size_t kGfcLag = 32;           // warp-width difference distance
+
+void
+GfcEncodeChunk(std::span<const uint64_t> words, Bytes& out)
+{
+    const size_t n = words.size();
+    Bytes headers((n + 1) / 2, std::byte{0});
+    Bytes residuals;
+    residuals.reserve(n * 4);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t prev = i >= kGfcLag ? words[i - kGfcLag] : 0;
+        int64_t diff = static_cast<int64_t>(words[i] - prev);
+        bool negative = diff < 0;
+        uint64_t mag = negative ? ~static_cast<uint64_t>(diff) + 1
+                                : static_cast<uint64_t>(diff);
+        unsigned lzb = mag == 0 ? 8 : LeadingZeros(mag) / 8;
+        lzb = std::min(lzb, 7u);  // 3-bit field; >=7 zero bytes -> 7
+        uint8_t nibble = static_cast<uint8_t>((negative ? 0x8u : 0u) | lzb);
+        headers[i / 2] |= static_cast<std::byte>(
+            (i % 2) ? (nibble << 4) : nibble);
+        for (unsigned b = 8 - lzb; b-- > 0;) {
+            residuals.push_back(
+                static_cast<std::byte>((mag >> (8 * b)) & 0xff));
+        }
+    }
+    ByteWriter wr(out);
+    wr.PutVarint(n);
+    wr.PutBytes(ByteSpan(headers));
+    wr.PutVarint(residuals.size());
+    wr.PutBytes(ByteSpan(residuals));
+}
+
+void
+GfcDecodeChunk(ByteReader& br, Bytes& out)
+{
+    const size_t n = br.GetVarint();
+    ByteSpan headers = br.GetBytes((n + 1) / 2);
+    size_t residual_size = br.GetVarint();
+    ByteSpan residuals = br.GetBytes(residual_size);
+
+    std::vector<uint64_t> words(n);
+    size_t rpos = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint8_t h = static_cast<uint8_t>(headers[i / 2]);
+        uint8_t nibble = (i % 2) ? (h >> 4) : (h & 0x0f);
+        bool negative = nibble & 0x8;
+        unsigned lzb = nibble & 0x7;
+        uint64_t mag = 0;
+        for (unsigned b = 0; b < 8 - lzb; ++b) {
+            FPC_PARSE_CHECK(rpos < residuals.size(),
+                            "GFC residual underrun");
+            mag = (mag << 8) | static_cast<uint8_t>(residuals[rpos++]);
+        }
+        uint64_t diff = negative ? ~mag + 1 : mag;
+        uint64_t prev = i >= kGfcLag ? words[i - kGfcLag] : 0;
+        words[i] = prev + diff;
+    }
+    AppendBytes(out, AsBytes(words));
+}
+
+}  // namespace
+
+Bytes
+GfcCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    std::vector<uint64_t> words = LoadWords<uint64_t>(in);
+    for (size_t begin = 0; begin < words.size(); begin += kGfcChunkWords) {
+        size_t count = std::min(kGfcChunkWords, words.size() - begin);
+        GfcEncodeChunk(
+            std::span<const uint64_t>(words).subspan(begin, count), out);
+    }
+    wr.PutBytes(in.subspan(words.size() * 8));
+    return out;
+}
+
+Bytes
+GfcDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    const size_t nw = orig_size / 8;
+    Bytes out;
+    out.reserve(orig_size);
+    size_t decoded = 0;
+    while (decoded < nw) {
+        GfcDecodeChunk(br, out);
+        size_t now = out.size() / 8;
+        FPC_PARSE_CHECK(now > decoded && now <= nw, "GFC bad chunk size");
+        decoded = now;
+    }
+    AppendBytes(out, br.Rest());
+    FPC_PARSE_CHECK(out.size() == orig_size, "GFC size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

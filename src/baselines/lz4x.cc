@@ -1,0 +1,97 @@
+/**
+ * @file
+ * LZ4-like baseline: byte-oriented LZ with the classic token format —
+ * a token byte holding 4-bit literal-run and match-length fields (15
+ * meaning "extension bytes follow"), inline literals, and 16-bit offsets.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/lz.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr uint32_t kMinMatch = 4;
+
+void
+PutExtendedLength(ByteWriter& wr, uint32_t value)
+{
+    while (value >= 255) {
+        wr.PutU8(255);
+        value -= 255;
+    }
+    wr.PutU8(static_cast<uint8_t>(value));
+}
+
+uint32_t
+GetExtendedLength(ByteReader& br)
+{
+    uint32_t value = 0;
+    uint8_t b;
+    do {
+        b = br.GetU8();
+        value += b;
+    } while (b == 255);
+    return value;
+}
+
+}  // namespace
+
+Bytes
+Lz4xCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+
+    LzParams params;
+    params.min_match = kMinMatch;
+    params.window = (1u << 16) - 1;  // 16-bit offsets
+    params.chain_depth = 4;
+    std::vector<LzToken> tokens = LzParse(in, params);
+
+    size_t pos = 0;
+    for (const LzToken& t : tokens) {
+        uint32_t lit = t.literal_len;
+        uint32_t match_extra = t.match_len > 0 ? t.match_len - kMinMatch : 0;
+        uint8_t token = static_cast<uint8_t>(
+            (std::min(lit, 15u) << 4) |
+            (t.match_len > 0 ? std::min(match_extra, 15u) : 0));
+        wr.PutU8(token);
+        if (lit >= 15) PutExtendedLength(wr, lit - 15);
+        wr.PutBytes(in.subspan(pos, lit));
+        pos += lit;
+        if (t.match_len > 0) {
+            wr.Put<uint16_t>(static_cast<uint16_t>(t.offset));
+            if (match_extra >= 15) PutExtendedLength(wr, match_extra - 15);
+            pos += t.match_len;
+        }
+    }
+    return out;
+}
+
+Bytes
+Lz4xDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    Bytes out;
+    out.reserve(orig_size);
+    while (out.size() < orig_size) {
+        uint8_t token = br.GetU8();
+        uint32_t lit = token >> 4;
+        if (lit == 15) lit += GetExtendedLength(br);
+        AppendBytes(out, br.GetBytes(lit));
+        if (out.size() >= orig_size) break;  // final literal-only token
+        uint16_t offset = br.Get<uint16_t>();
+        uint32_t match_extra = token & 0x0f;
+        if (match_extra == 15) match_extra += GetExtendedLength(br);
+        LzCopyMatch(out, offset, match_extra + kMinMatch);
+    }
+    FPC_PARSE_CHECK(out.size() == orig_size, "LZ4 size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * MPC [Yang et al. 2015]: a massively parallel GPU compressor. Delta
+ * encoding (dimension 1 here; MPC takes the tuple size as a parameter),
+ * bit transposition over 32-word groups to concentrate zeros, then
+ * elimination of zero words recorded in a bitmap.
+ *
+ * Wire format: varint(size) | word-size byte | varint(#nonzero words) |
+ * bitmap | nonzero words | trailing bytes.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+template <typename T>
+void
+MpcEncodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteWriter wr(out);
+    std::vector<T> words = LoadWords<T>(in);
+    const size_t nw = words.size();
+
+    // Delta encoding.
+    T prev = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        T v = words[i];
+        words[i] = static_cast<T>(v - prev);
+        prev = v;
+    }
+
+    // Bit transposition within groups of kWordBits values.
+    std::vector<T> transposed(nw);
+    const size_t group = kWordBits;
+    size_t full = nw / group;
+    for (size_t g = 0; g < full; ++g) {
+        for (unsigned b = 0; b < kWordBits; ++b) {
+            T plane = 0;
+            for (unsigned i = 0; i < group; ++i) {
+                plane |= static_cast<T>(
+                             (words[g * group + i] >> b) & 1u)
+                         << i;
+            }
+            transposed[g * group + b] = plane;
+        }
+    }
+    for (size_t i = full * group; i < nw; ++i) transposed[i] = words[i];
+
+    // Zero-word elimination with a bitmap.
+    Bytes bitmap((nw + 7) / 8, std::byte{0});
+    std::vector<T> nonzero;
+    nonzero.reserve(nw);
+    for (size_t i = 0; i < nw; ++i) {
+        if (transposed[i] != 0) {
+            bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+            nonzero.push_back(transposed[i]);
+        }
+    }
+    wr.PutVarint(nonzero.size());
+    wr.PutBytes(ByteSpan(bitmap));
+    wr.PutBytes(AsBytes(nonzero));
+    wr.PutBytes(in.subspan(nw * sizeof(T)));
+}
+
+template <typename T>
+void
+MpcDecodeImpl(ByteReader& br, size_t orig_size, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    const size_t nw = orig_size / sizeof(T);
+    const size_t nonzero_count = br.GetVarint();
+    FPC_PARSE_CHECK(nonzero_count <= nw, "MPC count out of range");
+    ByteSpan bitmap = br.GetBytes((nw + 7) / 8);
+    std::vector<T> nonzero =
+        LoadWords<T>(br.GetBytes(nonzero_count * sizeof(T)));
+
+    std::vector<T> transposed(nw, 0);
+    size_t next = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        if ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u) {
+            FPC_PARSE_CHECK(next < nonzero.size(), "MPC payload underrun");
+            transposed[i] = nonzero[next++];
+        }
+    }
+
+    std::vector<T> words(nw);
+    const size_t group = kWordBits;
+    size_t full = nw / group;
+    for (size_t g = 0; g < full; ++g) {
+        for (unsigned i = 0; i < group; ++i) {
+            T v = 0;
+            for (unsigned b = 0; b < kWordBits; ++b) {
+                v |= static_cast<T>(
+                         (transposed[g * group + b] >> i) & 1u)
+                     << b;
+            }
+            words[g * group + i] = v;
+        }
+    }
+    for (size_t i = full * group; i < nw; ++i) words[i] = transposed[i];
+
+    T prev = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        words[i] = static_cast<T>(words[i] + prev);
+        prev = words[i];
+    }
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+Bytes
+MpcCompress(ByteSpan in, unsigned word_size)
+{
+    FPC_CHECK(word_size == 4 || word_size == 8, "MPC word size");
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    wr.PutU8(static_cast<uint8_t>(word_size));
+    if (word_size == 4) {
+        MpcEncodeImpl<uint32_t>(in, out);
+    } else {
+        MpcEncodeImpl<uint64_t>(in, out);
+    }
+    return out;
+}
+
+Bytes
+MpcDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    unsigned word_size = br.GetU8();
+    FPC_PARSE_CHECK(word_size == 4 || word_size == 8, "MPC word size");
+    Bytes out;
+    if (word_size == 4) {
+        MpcDecodeImpl<uint32_t>(br, orig_size, out);
+    } else {
+        MpcDecodeImpl<uint64_t>(br, orig_size, out);
+    }
+    FPC_PARSE_CHECK(out.size() == orig_size, "MPC size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

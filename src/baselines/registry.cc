@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The comparison-compressor registry (paper Table 1). Leveled codecs
+ * register their fastest and best-compressing configurations, matching
+ * the paper's methodology ("for compressors that support multiple
+ * levels ... we evaluate all modes and present results for the fastest
+ * and best-compressing modes").
+ */
+#include "baselines/compressor.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+std::vector<BaselineCodec>
+BuildRegistry()
+{
+    using D = DeviceClass;
+    using T = DataClass;
+    std::vector<BaselineCodec> reg;
+
+    // --- CPU+GPU compatible ---
+    reg.push_back({"Ndzip", D::kCpuGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return NdzCompress(in, 4); },
+                   NdzDecompress});
+    reg.push_back({"Ndzip-64", D::kCpuGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return NdzCompress(in, 8); },
+                   NdzDecompress});
+
+    // --- GPU codecs (nvCOMP et al.) ---
+    reg.push_back({"ANS", D::kGpu, T::kFp32Fp64, AnsCompress,
+                   AnsDecompress});
+    reg.push_back({"Bitcomp-b0", D::kGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return BitcompCompress(in, 4, false); },
+                   BitcompDecompress});
+    reg.push_back({"Bitcomp-i0", D::kGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return BitcompCompress(in, 4, true); },
+                   BitcompDecompress});
+    reg.push_back({"Bitcomp-b1", D::kGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return BitcompCompress(in, 8, false); },
+                   BitcompDecompress});
+    reg.push_back({"Bitcomp-i1", D::kGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return BitcompCompress(in, 8, true); },
+                   BitcompDecompress});
+    reg.push_back({"Cascaded", D::kGpu, T::kGeneral, CascadedCompress,
+                   CascadedDecompress});
+    reg.push_back({"Deflate", D::kGpu, T::kGeneral,
+                   [](ByteSpan in) { return DeflateCompress(in, 6); },
+                   DeflateDecompress});
+    reg.push_back({"Gdeflate", D::kGpu, T::kGeneral, GdeflateCompress,
+                   GdeflateDecompress});
+    reg.push_back({"GFC", D::kGpu, T::kFp64, GfcCompress, GfcDecompress});
+    reg.push_back({"LZ4", D::kGpu, T::kGeneral, Lz4xCompress,
+                   Lz4xDecompress});
+    reg.push_back({"MPC", D::kGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return MpcCompress(in, 4); },
+                   MpcDecompress});
+    reg.push_back({"MPC-64", D::kGpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return MpcCompress(in, 8); },
+                   MpcDecompress});
+    reg.push_back({"Snappy", D::kGpu, T::kGeneral, SnappyxCompress,
+                   SnappyxDecompress});
+    reg.push_back({"GPU-ZSTD", D::kGpu, T::kGeneral,
+                   [](ByteSpan in) { return ZstdxBatchCompress(in, 3); },
+                   ZstdxBatchDecompress});
+
+    // --- CPU codecs ---
+    reg.push_back({"Bzip2", D::kCpu, T::kGeneral, Bzip2xCompress,
+                   Bzip2xDecompress});
+    reg.push_back({"FPC", D::kCpu, T::kFp64,
+                   [](ByteSpan in) { return FpcCompress(in, 16); },
+                   FpcDecompress});
+    reg.push_back({"FPzip", D::kCpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return FpzipxCompress(in, 4); },
+                   FpzipxDecompress});
+    reg.push_back({"FPzip-64", D::kCpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return FpzipxCompress(in, 8); },
+                   FpzipxDecompress});
+    reg.push_back({"Gzip-1", D::kCpu, T::kGeneral,
+                   [](ByteSpan in) { return DeflateCompress(in, 1); },
+                   DeflateDecompress});
+    reg.push_back({"Gzip-9", D::kCpu, T::kGeneral,
+                   [](ByteSpan in) { return DeflateCompress(in, 9); },
+                   DeflateDecompress});
+    reg.push_back({"pFPC", D::kCpu, T::kFp64,
+                   [](ByteSpan in) { return PfpcCompress(in, 16); },
+                   PfpcDecompress});
+    reg.push_back({"SPDP-1", D::kCpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return SpdpCompress(in, 1); },
+                   SpdpDecompress});
+    reg.push_back({"SPDP-9", D::kCpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return SpdpCompress(in, 9); },
+                   SpdpDecompress});
+    reg.push_back({"ZFP", D::kCpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return ZfpxCompress(in, 4); },
+                   ZfpxDecompress});
+    reg.push_back({"ZFP-64", D::kCpu, T::kFp32Fp64,
+                   [](ByteSpan in) { return ZfpxCompress(in, 8); },
+                   ZfpxDecompress});
+    reg.push_back({"ZSTD-fast", D::kCpu, T::kGeneral,
+                   [](ByteSpan in) { return ZstdxCompress(in, 1); },
+                   ZstdxDecompress});
+    reg.push_back({"ZSTD-best", D::kCpu, T::kGeneral,
+                   [](ByteSpan in) { return ZstdxCompress(in, 19); },
+                   ZstdxDecompress});
+
+    return reg;
+}
+
+}  // namespace
+
+const std::vector<BaselineCodec>&
+Registry()
+{
+    static const std::vector<BaselineCodec> registry = BuildRegistry();
+    return registry;
+}
+
+const BaselineCodec&
+Lookup(const std::string& name)
+{
+    for (const BaselineCodec& codec : Registry()) {
+        if (codec.name == name) return codec;
+    }
+    throw UsageError("unknown baseline compressor: " + name);
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Snappy-like baseline: tag-byte format with literal runs and copies.
+ * Tag low 2 bits: 00 = literal (length in the upper 6 bits, with 60..63
+ * escaping to 1..4 extra length bytes), 01 = copy with 1-byte offset
+ * extension (len 4..11, offset 11 bits), 10 = copy with 2-byte offset.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/lz.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+void
+EmitLiteral(ByteWriter& wr, ByteSpan literals)
+{
+    size_t pos = 0;
+    while (pos < literals.size()) {
+        size_t len = std::min<size_t>(literals.size() - pos, 1u << 16);
+        if (len <= 60) {
+            wr.PutU8(static_cast<uint8_t>((len - 1) << 2));
+        } else if (len <= 256) {
+            wr.PutU8(static_cast<uint8_t>(60u << 2));
+            wr.PutU8(static_cast<uint8_t>(len - 1));
+        } else {
+            wr.PutU8(static_cast<uint8_t>(61u << 2));
+            wr.Put<uint16_t>(static_cast<uint16_t>(len - 1));
+        }
+        wr.PutBytes(literals.subspan(pos, len));
+        pos += len;
+    }
+}
+
+}  // namespace
+
+Bytes
+SnappyxCompress(ByteSpan in)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+
+    LzParams params;
+    params.min_match = 4;
+    params.max_match = 64;          // snappy copies are at most 64 bytes
+    params.window = (1u << 16) - 1;
+    params.chain_depth = 2;
+    std::vector<LzToken> tokens = LzParse(in, params);
+
+    size_t pos = 0;
+    for (const LzToken& t : tokens) {
+        if (t.literal_len > 0) {
+            EmitLiteral(wr, in.subspan(pos, t.literal_len));
+            pos += t.literal_len;
+        }
+        if (t.match_len > 0) {
+            FPC_CHECK(t.match_len >= 4 && t.match_len <= 64,
+                      "snappy match length");
+            if (t.match_len <= 11 && t.offset < (1u << 11)) {
+                // 01: len-4 in bits 2..4, offset high bits in 5..7.
+                wr.PutU8(static_cast<uint8_t>(
+                    0x1u | ((t.match_len - 4) << 2) |
+                    ((t.offset >> 8) << 5)));
+                wr.PutU8(static_cast<uint8_t>(t.offset & 0xff));
+            } else {
+                // 10: len-1 in bits 2..7, 16-bit offset.
+                wr.PutU8(static_cast<uint8_t>(
+                    0x2u | ((t.match_len - 1) << 2)));
+                wr.Put<uint16_t>(static_cast<uint16_t>(t.offset));
+            }
+            pos += t.match_len;
+        }
+    }
+    return out;
+}
+
+Bytes
+SnappyxDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    Bytes out;
+    out.reserve(orig_size);
+    while (out.size() < orig_size) {
+        uint8_t tag = br.GetU8();
+        switch (tag & 0x3) {
+          case 0: {  // literal
+            uint32_t code = tag >> 2;
+            uint32_t len;
+            if (code < 60) {
+                len = code + 1;
+            } else if (code == 60) {
+                len = uint32_t{br.GetU8()} + 1;
+            } else if (code == 61) {
+                len = uint32_t{br.Get<uint16_t>()} + 1;
+            } else {
+                throw CorruptStreamError("snappy literal code");
+            }
+            AppendBytes(out, br.GetBytes(len));
+            break;
+          }
+          case 1: {  // short copy
+            uint32_t len = ((tag >> 2) & 0x7) + 4;
+            uint32_t offset = (static_cast<uint32_t>(tag >> 5) << 8) | br.GetU8();
+            LzCopyMatch(out, offset, len);
+            break;
+          }
+          case 2: {  // long copy
+            uint32_t len = (tag >> 2) + 1;
+            uint32_t offset = br.Get<uint16_t>();
+            LzCopyMatch(out, offset, len);
+            break;
+          }
+          default:
+            throw CorruptStreamError("snappy tag");
+        }
+    }
+    FPC_PARSE_CHECK(out.size() == orig_size, "snappy size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SPDP [Claggett, Azimi & Burtscher 2018]: a synthesized CPU compressor
+ * for single- and double-precision data combining difference coding at
+ * byte granularity (stride 8, so it works for both word sizes), a byte
+ * shuffle that groups bytes by position within the word, and an LZ stage.
+ * Levels control the LZ match-finder effort.
+ *
+ * Wire format: varint(size) | level byte | LZ-serialized stream of the
+ * shuffled difference bytes.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/lz.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kStride = 8;
+
+/** Stage 1: byte-granular difference with stride 8 (in place). */
+void
+DiffBytesEncode(ByteSpan in, Bytes& out)
+{
+    out.resize(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        uint8_t prev =
+            i >= kStride ? static_cast<uint8_t>(in[i - kStride]) : 0;
+        out[i] = static_cast<std::byte>(
+            static_cast<uint8_t>(in[i]) - prev);
+    }
+}
+
+void
+DiffBytesDecode(ByteSpan in, Bytes& out)
+{
+    out.resize(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        uint8_t prev =
+            i >= kStride ? static_cast<uint8_t>(out[i - kStride]) : 0;
+        out[i] = static_cast<std::byte>(
+            static_cast<uint8_t>(in[i]) + prev);
+    }
+}
+
+/** Stage 2: shuffle bytes by position within the 8-byte word. */
+void
+ShuffleEncode(ByteSpan in, Bytes& out)
+{
+    const size_t n = in.size();
+    const size_t nw = n / kStride;
+    out.resize(n);
+    size_t pos = 0;
+    for (size_t lane = 0; lane < kStride; ++lane) {
+        for (size_t w = 0; w < nw; ++w) {
+            out[pos++] = in[w * kStride + lane];
+        }
+    }
+    for (size_t i = nw * kStride; i < n; ++i) out[pos++] = in[i];
+}
+
+void
+ShuffleDecode(ByteSpan in, Bytes& out)
+{
+    const size_t n = in.size();
+    const size_t nw = n / kStride;
+    out.resize(n);
+    size_t pos = 0;
+    for (size_t lane = 0; lane < kStride; ++lane) {
+        for (size_t w = 0; w < nw; ++w) {
+            out[w * kStride + lane] = in[pos++];
+        }
+    }
+    for (size_t i = nw * kStride; i < n; ++i) out[i] = in[pos++];
+}
+
+/** Stage 3: LZ with a simple (tokens, literals) serialization. */
+void
+LzStageEncode(ByteSpan in, unsigned chain_depth, Bytes& out)
+{
+    LzParams params;
+    params.chain_depth = chain_depth;
+    params.window = 1u << 17;
+    std::vector<LzToken> tokens = LzParse(in, params);
+
+    ByteWriter wr(out);
+    wr.PutVarint(tokens.size());
+    Bytes literals;
+    for (const LzToken& t : tokens) {
+        wr.PutVarint(t.literal_len);
+        wr.PutVarint(t.match_len);
+        wr.PutVarint(t.offset);
+    }
+    size_t pos = 0;
+    for (const LzToken& t : tokens) {
+        AppendBytes(literals, in.subspan(pos, t.literal_len));
+        pos += t.literal_len + t.match_len;
+    }
+    wr.PutVarint(literals.size());
+    wr.PutBytes(ByteSpan(literals));
+}
+
+void
+LzStageDecode(ByteReader& br, Bytes& out)
+{
+    size_t n_tokens = br.GetVarint();
+    std::vector<LzToken> tokens(n_tokens);
+    for (LzToken& t : tokens) {
+        t.literal_len = static_cast<uint32_t>(br.GetVarint());
+        t.match_len = static_cast<uint32_t>(br.GetVarint());
+        t.offset = static_cast<uint32_t>(br.GetVarint());
+    }
+    size_t literal_size = br.GetVarint();
+    ByteSpan literals = br.GetBytes(literal_size);
+    LzReconstruct(tokens, literals, out);
+}
+
+}  // namespace
+
+Bytes
+SpdpCompress(ByteSpan in, unsigned level)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    wr.PutU8(static_cast<uint8_t>(level));
+
+    Bytes diffed, shuffled;
+    DiffBytesEncode(in, diffed);
+    ShuffleEncode(ByteSpan(diffed), shuffled);
+    unsigned chain_depth = level <= 1 ? 2 : (level <= 5 ? 8 : 64);
+    LzStageEncode(ByteSpan(shuffled), chain_depth, out);
+    return out;
+}
+
+Bytes
+SpdpDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    br.GetU8();  // level (informational)
+
+    Bytes shuffled;
+    LzStageDecode(br, shuffled);
+    FPC_PARSE_CHECK(shuffled.size() == orig_size, "SPDP size mismatch");
+    Bytes diffed, out;
+    ShuffleDecode(ByteSpan(shuffled), diffed);
+    DiffBytesDecode(ByteSpan(diffed), out);
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ZFP-like lossless baseline [Lindstrom 2014]: a transform coder over
+ * fixed-size 1D blocks of 4 words. Each block goes through a reversible
+ * integer lifting transform (Haar-style butterflies, the reversible-mode
+ * analogue of ZFP's decorrelating transform), zigzag mapping, and an
+ * embedded encoding that drops the block's all-zero leading bit planes.
+ *
+ * Wire format: varint(size) | word-size byte | per-block plane-count byte |
+ * packed plane bits | trailing bytes.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::baselines {
+
+namespace {
+
+constexpr size_t kZfpBlock = 4;
+
+/** Reversible 2-level integer lifting over 4 elements. */
+template <typename T>
+void
+LiftForward(T* b)
+{
+    using S = std::make_signed_t<T>;
+    // Level 1: predict odds from evens, update evens.
+    b[1] = static_cast<T>(b[1] - b[0]);
+    b[3] = static_cast<T>(b[3] - b[2]);
+    b[0] = static_cast<T>(b[0] + (static_cast<S>(b[1]) >> 1));
+    b[2] = static_cast<T>(b[2] + (static_cast<S>(b[3]) >> 1));
+    // Level 2 over the approximations.
+    b[2] = static_cast<T>(b[2] - b[0]);
+    b[0] = static_cast<T>(b[0] + (static_cast<S>(b[2]) >> 1));
+}
+
+template <typename T>
+void
+LiftInverse(T* b)
+{
+    using S = std::make_signed_t<T>;
+    b[0] = static_cast<T>(b[0] - (static_cast<S>(b[2]) >> 1));
+    b[2] = static_cast<T>(b[2] + b[0]);
+    b[0] = static_cast<T>(b[0] - (static_cast<S>(b[1]) >> 1));
+    b[2] = static_cast<T>(b[2] - (static_cast<S>(b[3]) >> 1));
+    b[1] = static_cast<T>(b[1] + b[0]);
+    b[3] = static_cast<T>(b[3] + b[2]);
+}
+
+template <typename T>
+void
+ZfpEncodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    std::vector<T> words = LoadWords<T>(in);
+    const size_t nw = words.size();
+    const size_t n_blocks = nw / kZfpBlock;
+
+    ByteWriter wr(out);
+    Bytes headers;
+    headers.reserve(n_blocks);
+    Bytes packed;
+    BitWriter bw(packed);
+    for (size_t blk = 0; blk < n_blocks; ++blk) {
+        T b[kZfpBlock];
+        for (size_t i = 0; i < kZfpBlock; ++i) {
+            b[i] = words[blk * kZfpBlock + i];
+        }
+        LiftForward(b);
+        T max_value = 0;
+        for (size_t i = 0; i < kZfpBlock; ++i) {
+            b[i] = ZigzagEncode(b[i]);
+            max_value = std::max(max_value, b[i]);
+        }
+        unsigned planes =
+            max_value == 0 ? 0 : kWordBits - LeadingZeros(max_value);
+        headers.push_back(static_cast<std::byte>(planes));
+        // Embedded order: one bit plane at a time, most significant first
+        // (group testing degenerates to the plane count for 1D blocks).
+        for (unsigned p = planes; p-- > 0;) {
+            for (size_t i = 0; i < kZfpBlock; ++i) {
+                bw.PutBit((b[i] >> p) & 1u);
+            }
+        }
+    }
+    bw.Finish();
+    wr.PutVarint(headers.size());
+    wr.PutBytes(ByteSpan(headers));
+    wr.PutVarint(packed.size());
+    wr.PutBytes(ByteSpan(packed));
+    // Words beyond the last full block, then trailing bytes, verbatim.
+    wr.PutBytes(in.subspan(n_blocks * kZfpBlock * sizeof(T)));
+}
+
+template <typename T>
+void
+ZfpDecodeImpl(ByteReader& br, size_t orig_size, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    const size_t nw = orig_size / sizeof(T);
+    const size_t n_blocks = nw / kZfpBlock;
+    size_t n_headers = br.GetVarint();
+    FPC_PARSE_CHECK(n_headers == n_blocks, "zfp header count");
+    ByteSpan headers = br.GetBytes(n_headers);
+    size_t packed_size = br.GetVarint();
+    ByteSpan packed = br.GetBytes(packed_size);
+    BitReader bits(packed);
+
+    for (size_t blk = 0; blk < n_blocks; ++blk) {
+        unsigned planes = static_cast<uint8_t>(headers[blk]);
+        FPC_PARSE_CHECK(planes <= kWordBits, "zfp plane count");
+        T b[kZfpBlock] = {};
+        for (unsigned p = planes; p-- > 0;) {
+            for (size_t i = 0; i < kZfpBlock; ++i) {
+                if (bits.GetBit()) b[i] |= T{1} << p;
+            }
+        }
+        for (size_t i = 0; i < kZfpBlock; ++i) b[i] = ZigzagDecode(b[i]);
+        LiftInverse(b);
+        for (size_t i = 0; i < kZfpBlock; ++i) AppendRaw(out, b[i]);
+    }
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+Bytes
+ZfpxCompress(ByteSpan in, unsigned word_size)
+{
+    FPC_CHECK(word_size == 4 || word_size == 8, "zfp word size");
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    wr.PutU8(static_cast<uint8_t>(word_size));
+    if (word_size == 4) {
+        ZfpEncodeImpl<uint32_t>(in, out);
+    } else {
+        ZfpEncodeImpl<uint64_t>(in, out);
+    }
+    return out;
+}
+
+Bytes
+ZfpxDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    unsigned word_size = br.GetU8();
+    FPC_PARSE_CHECK(word_size == 4 || word_size == 8, "zfp word size");
+    Bytes out;
+    if (word_size == 4) {
+        ZfpDecodeImpl<uint32_t>(br, orig_size, out);
+    } else {
+        ZfpDecodeImpl<uint64_t>(br, orig_size, out);
+    }
+    FPC_PARSE_CHECK(out.size() == orig_size, "zfp size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Zstandard-like baseline: LZ77 parsing with entropy-coded streams —
+ * literals and token control bytes are each compressed with the rANS
+ * coder (Zstandard uses FSE, the table-based ANS variant, plus Huffman
+ * for literals; rANS is the same entropy family). The "fast" level uses
+ * a shallow match finder, the "best" level a deep one with a large
+ * window, mirroring the two CPU-Zstandard configurations the paper
+ * evaluates.
+ */
+#include "baselines/compressor.h"
+
+#include "util/bitio.h"
+#include "util/lz.h"
+#include "util/rans.h"
+
+namespace fpc::baselines {
+
+Bytes
+ZstdxCompress(ByteSpan in, unsigned level)
+{
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutU8(static_cast<uint8_t>(level));
+    wr.PutVarint(in.size());
+
+    LzParams params;
+    params.min_match = 3;
+    if (level <= 3) {
+        params.chain_depth = 4;
+        params.window = 1u << 17;
+    } else if (level <= 15) {
+        params.chain_depth = 32;
+        params.window = 1u << 20;
+        params.hash_bits = 17;
+    } else {
+        params.chain_depth = 256;
+        params.window = 1u << 22;
+        params.hash_bits = 19;
+    }
+    std::vector<LzToken> tokens = LzParse(in, params);
+    wr.PutVarint(tokens.size());
+
+    Bytes literals, control;
+    {
+        ByteWriter ctl(control);
+        size_t pos = 0;
+        for (const LzToken& t : tokens) {
+            ctl.PutVarint(t.literal_len);
+            ctl.PutVarint(t.match_len);
+            ctl.PutVarint(t.offset);
+            AppendBytes(literals, in.subspan(pos, t.literal_len));
+            pos += t.literal_len + t.match_len;
+        }
+    }
+    RansEncode(ByteSpan(literals), out);
+    RansEncode(ByteSpan(control), out);
+    return out;
+}
+
+Bytes
+ZstdxBatchCompress(ByteSpan in, unsigned level)
+{
+    // nvCOMP-style batching: the GPU library compresses independent
+    // 64 KiB batches (paper Section 5 notes the chunked operation), so
+    // matches cannot reach across batch boundaries.
+    constexpr size_t kBatch = 64 * 1024;
+    Bytes out;
+    ByteWriter wr(out);
+    wr.PutVarint(in.size());
+    const size_t n_batches = (in.size() + kBatch - 1) / kBatch;
+    wr.PutVarint(n_batches);
+    for (size_t b = 0; b < n_batches; ++b) {
+        size_t begin = b * kBatch;
+        size_t size = std::min(kBatch, in.size() - begin);
+        Bytes batch = ZstdxCompress(in.subspan(begin, size), level);
+        wr.PutVarint(batch.size());
+        wr.PutBytes(ByteSpan(batch));
+    }
+    return out;
+}
+
+Bytes
+ZstdxBatchDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.GetVarint();
+    const size_t n_batches = br.GetVarint();
+    Bytes out;
+    out.reserve(orig_size);
+    for (size_t b = 0; b < n_batches; ++b) {
+        ByteSpan batch = br.GetBytes(br.GetVarint());
+        Bytes decoded = ZstdxDecompress(batch);
+        AppendBytes(out, ByteSpan(decoded));
+    }
+    FPC_PARSE_CHECK(out.size() == orig_size, "zstd batch size mismatch");
+    return out;
+}
+
+Bytes
+ZstdxDecompress(ByteSpan in)
+{
+    ByteReader br(in);
+    br.GetU8();  // level
+    const size_t orig_size = br.GetVarint();
+    const size_t n_tokens = br.GetVarint();
+
+    Bytes literals, control;
+    RansDecode(br, literals);
+    RansDecode(br, control);
+
+    ByteReader ctl{ByteSpan(control)};
+    std::vector<LzToken> tokens(n_tokens);
+    for (LzToken& t : tokens) {
+        t.literal_len = static_cast<uint32_t>(ctl.GetVarint());
+        t.match_len = static_cast<uint32_t>(ctl.GetVarint());
+        t.offset = static_cast<uint32_t>(ctl.GetVarint());
+    }
+    Bytes out;
+    out.reserve(orig_size);
+    LzReconstruct(tokens, ByteSpan(literals), out);
+    FPC_PARSE_CHECK(out.size() == orig_size, "zstd size mismatch");
+    return out;
+}
+
+}  // namespace fpc::baselines

@@ -1,0 +1,277 @@
+#include "core/codec.h"
+
+#include <atomic>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/container.h"
+#include "core/pipeline.h"
+#include "gpusim/kernels.h"
+#include "util/hash.h"
+
+namespace fpc {
+
+namespace {
+
+int
+EffectiveThreads(const Options& options)
+{
+#ifdef _OPENMP
+    return options.threads > 0 ? options.threads : omp_get_max_threads();
+#else
+    (void)options;
+    return 1;
+#endif
+}
+
+/** Apply the whole-input pre-stage (FCM for DPratio), if any. */
+void
+ApplyPreEncode(const PipelineSpec& spec, Device device, ByteSpan input,
+               Bytes& out)
+{
+    if (spec.pre.encode == nullptr) {
+        AppendBytes(out, input);
+    } else if (device == Device::kGpuSim) {
+        gpusim::FcmEncodeDevice(input, out);
+    } else {
+        spec.pre.encode(input, out);
+    }
+}
+
+void
+ApplyPreDecode(const PipelineSpec& spec, Device device, ByteSpan transformed,
+               Bytes& out)
+{
+    if (spec.pre.decode == nullptr) {
+        AppendBytes(out, transformed);
+    } else if (device == Device::kGpuSim) {
+        gpusim::FcmDecodeDevice(transformed, out);
+    } else {
+        spec.pre.decode(transformed, out);
+    }
+}
+
+/** Decode every chunk of @p view into @p dest (sized transformed_size). */
+void
+DecodeChunksInto(const ContainerView& view, const PipelineSpec& spec,
+                 const Options& options, std::byte* dest)
+{
+    const size_t transformed_size = view.header.transformed_size;
+    const int threads = EffectiveThreads(options);
+    std::atomic<bool> failed{false};
+    std::string error;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+#endif
+    for (size_t c = 0; c < view.header.chunk_count; ++c) {
+        if (failed.load(std::memory_order_relaxed)) continue;
+        try {
+            size_t begin = c * kChunkSize;
+            size_t size = std::min(kChunkSize, transformed_size - begin);
+            ByteSpan payload =
+                view.payload.subspan(view.chunk_offsets[c],
+                                     view.chunk_sizes[c]);
+            Bytes decoded;
+            decoded.reserve(size);
+            if (options.device == Device::kGpuSim) {
+                gpusim::DecodeChunkDevice(spec, payload, view.chunk_raw[c],
+                                          size, decoded);
+            } else {
+                DecodeChunk(spec, payload, view.chunk_raw[c], size, decoded);
+            }
+            std::memcpy(dest + begin, decoded.data(), size);
+        } catch (const std::exception& e) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+            {
+                if (!failed.exchange(true)) error = e.what();
+            }
+        }
+    }
+    (void)threads;
+    if (failed.load()) throw CorruptStreamError(error);
+}
+
+}  // namespace
+
+Bytes
+Compress(Algorithm algorithm, ByteSpan input, const Options& options)
+{
+    const PipelineSpec& spec = GetPipeline(algorithm);
+
+    // Whole-input pre-stage (FCM); identity for the other algorithms.
+    Bytes work;
+    ApplyPreEncode(spec, options.device, input, work);
+
+    const size_t n_chunks = (work.size() + kChunkSize - 1) / kChunkSize;
+    std::vector<Bytes> payloads(n_chunks);
+    std::vector<uint8_t> raw_flags(n_chunks, 0);
+
+    // Paper Section 3: chunks are dynamically assigned to threads (CPU)
+    // or thread blocks (GPU) for load balance.
+    const int threads = EffectiveThreads(options);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+#endif
+    for (size_t c = 0; c < n_chunks; ++c) {
+        size_t begin = c * kChunkSize;
+        size_t size = std::min(kChunkSize, work.size() - begin);
+        ByteSpan chunk = ByteSpan(work).subspan(begin, size);
+        bool raw = false;
+        payloads[c] = (options.device == Device::kGpuSim)
+                          ? gpusim::EncodeChunkDevice(spec, chunk, raw)
+                          : EncodeChunk(spec, chunk, raw);
+        raw_flags[c] = raw ? 1 : 0;
+    }
+    (void)threads;
+
+    ContainerHeader header;
+    header.algorithm = static_cast<uint8_t>(algorithm);
+    header.original_size = input.size();
+    header.transformed_size = work.size();
+    header.checksum = Checksum64(input);
+    header.chunk_count = static_cast<uint32_t>(n_chunks);
+
+    std::vector<uint32_t> sizes(n_chunks);
+    size_t total = 0;
+    for (size_t c = 0; c < n_chunks; ++c) {
+        sizes[c] = static_cast<uint32_t>(payloads[c].size());
+        total += payloads[c].size();
+    }
+
+    Bytes out;
+    out.reserve(ContainerHeaderSize() + n_chunks * 4 + total);
+    WriteContainerPrefix(header, sizes, raw_flags, out);
+    // The serial concatenation below matches the parallel write-position
+    // scheme of the paper (prefix sum over compressed sizes).
+    for (const Bytes& p : payloads) AppendBytes(out, ByteSpan(p));
+    return out;
+}
+
+Bytes
+Decompress(ByteSpan compressed, const Options& options)
+{
+    ContainerView view = ParseContainer(compressed);
+    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
+    const PipelineSpec& spec = GetPipeline(algorithm);
+
+    if (spec.pre.decode == nullptr) {
+        // No whole-input stage: chunks decode straight into the result.
+        FPC_PARSE_CHECK(
+            view.header.transformed_size == view.header.original_size,
+            "transformed size mismatch for pre-stage-free algorithm");
+        Bytes out(view.header.original_size);
+        DecodeChunksInto(view, spec, options, out.data());
+        FPC_PARSE_CHECK(Checksum64(ByteSpan(out)) == view.header.checksum,
+                        "content checksum mismatch");
+        return out;
+    }
+
+    Bytes work(view.header.transformed_size);
+    DecodeChunksInto(view, spec, options, work.data());
+
+    Bytes out;
+    out.reserve(view.header.original_size);
+    ApplyPreDecode(spec, options.device, ByteSpan(work), out);
+    FPC_PARSE_CHECK(out.size() == view.header.original_size,
+                    "decompressed size mismatch");
+    FPC_PARSE_CHECK(Checksum64(ByteSpan(out)) == view.header.checksum,
+                    "content checksum mismatch");
+    return out;
+}
+
+void
+DecompressInto(ByteSpan compressed, std::span<std::byte> out,
+               const Options& options)
+{
+    ContainerView view = ParseContainer(compressed);
+    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
+    const PipelineSpec& spec = GetPipeline(algorithm);
+    if (out.size() != view.header.original_size) {
+        throw UsageError("DecompressInto: output span must be exactly " +
+                         std::to_string(view.header.original_size) +
+                         " bytes");
+    }
+
+    if (spec.pre.decode == nullptr) {
+        FPC_PARSE_CHECK(
+            view.header.transformed_size == view.header.original_size,
+            "transformed size mismatch for pre-stage-free algorithm");
+        DecodeChunksInto(view, spec, options, out.data());
+    } else {
+        // The FCM pre-stage needs the whole transformed stream first.
+        Bytes work(view.header.transformed_size);
+        DecodeChunksInto(view, spec, options, work.data());
+        Bytes restored;
+        restored.reserve(out.size());
+        ApplyPreDecode(spec, options.device, ByteSpan(work), restored);
+        FPC_PARSE_CHECK(restored.size() == out.size(),
+                        "decompressed size mismatch");
+        std::memcpy(out.data(), restored.data(), out.size());
+    }
+    FPC_PARSE_CHECK(Checksum64(ByteSpan(out.data(), out.size())) ==
+                        view.header.checksum,
+                    "content checksum mismatch");
+}
+
+Bytes
+CompressFloats(std::span<const float> values, Mode mode,
+               const Options& options)
+{
+    Algorithm a =
+        mode == Mode::kSpeed ? Algorithm::kSPspeed : Algorithm::kSPratio;
+    return Compress(a, AsBytes(values), options);
+}
+
+Bytes
+CompressDoubles(std::span<const double> values, Mode mode,
+                const Options& options)
+{
+    Algorithm a =
+        mode == Mode::kSpeed ? Algorithm::kDPspeed : Algorithm::kDPratio;
+    return Compress(a, AsBytes(values), options);
+}
+
+std::vector<float>
+DecompressFloats(ByteSpan compressed, const Options& options)
+{
+    Bytes raw = Decompress(compressed, options);
+    FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0,
+                    "payload is not a float array");
+    std::vector<float> values(raw.size() / sizeof(float));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
+
+std::vector<double>
+DecompressDoubles(ByteSpan compressed, const Options& options)
+{
+    Bytes raw = Decompress(compressed, options);
+    FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0,
+                    "payload is not a double array");
+    std::vector<double> values(raw.size() / sizeof(double));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
+
+CompressedInfo
+Inspect(ByteSpan compressed)
+{
+    ContainerView view = ParseContainer(compressed);
+    CompressedInfo info;
+    info.algorithm = static_cast<Algorithm>(view.header.algorithm);
+    info.original_size = view.header.original_size;
+    info.transformed_size = view.header.transformed_size;
+    info.chunk_count = view.header.chunk_count;
+    for (uint8_t raw : view.chunk_raw) info.raw_chunks += raw;
+    info.ratio = compressed.empty()
+                     ? 0.0
+                     : static_cast<double>(info.original_size) /
+                           static_cast<double>(compressed.size());
+    return info;
+}
+
+}  // namespace fpc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * fpcomp public one-shot API.
+ *
+ * The four algorithms (paper Section 3) compress arbitrary byte buffers,
+ * interpreting them as IEEE-754 words bit-for-bit (no value conversion).
+ * Compression on either device path produces byte-identical output, so
+ * data compressed on the CPU can be decompressed on the GPU(-simulator)
+ * path and vice versa — the paper's cross-device compatibility property.
+ *
+ * Quickstart:
+ * @code
+ *   std::vector<float> field = ...;
+ *   fpc::Bytes packed = fpc::CompressFloats(field, fpc::Mode::kRatio);
+ *   std::vector<float> restored = fpc::DecompressFloats(packed);
+ * @endcode
+ */
+#ifndef FPC_CORE_CODEC_H
+#define FPC_CORE_CODEC_H
+
+#include <span>
+
+#include "core/types.h"
+#include "util/common.h"
+
+namespace fpc {
+
+/** Compress @p input with @p algorithm into a self-describing container. */
+Bytes Compress(Algorithm algorithm, ByteSpan input,
+               const Options& options = {});
+
+/** Decompress a container produced by Compress (algorithm is read from the
+ *  header). Throws CorruptStreamError on malformed input. */
+Bytes Decompress(ByteSpan compressed, const Options& options = {});
+
+/**
+ * Decompress into caller-owned memory. @p out must be exactly
+ * original_size bytes (see Inspect); throws UsageError otherwise.
+ * For the FCM-free algorithms the chunks are decoded directly into
+ * @p out with no intermediate buffer.
+ */
+void DecompressInto(ByteSpan compressed, std::span<std::byte> out,
+                    const Options& options = {});
+
+/** User intent for the typed helpers: throughput or compression ratio. */
+enum class Mode : uint8_t { kSpeed, kRatio };
+
+/** Compress a float array (selects SPspeed or SPratio). */
+Bytes CompressFloats(std::span<const float> values, Mode mode = Mode::kSpeed,
+                     const Options& options = {});
+
+/** Compress a double array (selects DPspeed or DPratio). */
+Bytes CompressDoubles(std::span<const double> values,
+                      Mode mode = Mode::kSpeed,
+                      const Options& options = {});
+
+/** Decompress a container into floats (validates element size). */
+std::vector<float> DecompressFloats(ByteSpan compressed,
+                                    const Options& options = {});
+
+/** Decompress a container into doubles (validates element size). */
+std::vector<double> DecompressDoubles(ByteSpan compressed,
+                                      const Options& options = {});
+
+/** Introspection result for a compressed container. */
+struct CompressedInfo {
+    Algorithm algorithm{};
+    uint64_t original_size = 0;
+    uint64_t transformed_size = 0;  ///< post-FCM size for DPratio
+    uint32_t chunk_count = 0;
+    uint32_t raw_chunks = 0;        ///< chunks stored verbatim
+    double ratio = 0.0;             ///< original / compressed
+};
+
+/** Parse a container header without decompressing. */
+CompressedInfo Inspect(ByteSpan compressed);
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_CODEC_H

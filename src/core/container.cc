@@ -1,0 +1,87 @@
+#include "core/container.h"
+
+#include "util/bitio.h"
+#include "util/scan.h"
+
+namespace fpc {
+
+namespace {
+
+constexpr uint32_t kRawFlag = 0x80000000u;
+
+}  // namespace
+
+size_t
+ContainerHeaderSize()
+{
+    // magic + version + algorithm + reserved + original + transformed +
+    // checksum + chunk_count, packed without padding.
+    return 4 + 1 + 1 + 2 + 8 + 8 + 8 + 4;
+}
+
+void
+WriteContainerPrefix(const ContainerHeader& header,
+                     const std::vector<uint32_t>& sizes,
+                     const std::vector<uint8_t>& raw_flags, Bytes& out)
+{
+    FPC_CHECK(sizes.size() == raw_flags.size(), "chunk table mismatch");
+    FPC_CHECK(sizes.size() == header.chunk_count, "chunk count mismatch");
+    ByteWriter wr(out);
+    wr.Put<uint32_t>(header.magic);
+    wr.PutU8(header.version);
+    wr.PutU8(header.algorithm);
+    wr.Put<uint16_t>(header.reserved);
+    wr.Put<uint64_t>(header.original_size);
+    wr.Put<uint64_t>(header.transformed_size);
+    wr.Put<uint64_t>(header.checksum);
+    wr.Put<uint32_t>(header.chunk_count);
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        FPC_CHECK(sizes[i] < kRawFlag, "chunk payload too large");
+        wr.Put<uint32_t>(sizes[i] | (raw_flags[i] ? kRawFlag : 0));
+    }
+}
+
+ContainerView
+ParseContainer(ByteSpan compressed)
+{
+    ByteReader br(compressed);
+    ContainerView view;
+    ContainerHeader& h = view.header;
+    FPC_PARSE_CHECK(compressed.size() >= ContainerHeaderSize(),
+                    "buffer smaller than header");
+    h.magic = br.Get<uint32_t>();
+    FPC_PARSE_CHECK(h.magic == ContainerHeader::kMagic, "bad magic");
+    h.version = br.GetU8();
+    FPC_PARSE_CHECK(h.version == ContainerHeader::kVersion,
+                    "unsupported version");
+    h.algorithm = br.GetU8();
+    FPC_PARSE_CHECK(h.algorithm <= 3, "unknown algorithm id");
+    h.reserved = br.Get<uint16_t>();
+    h.original_size = br.Get<uint64_t>();
+    h.transformed_size = br.Get<uint64_t>();
+    h.checksum = br.Get<uint64_t>();
+    h.chunk_count = br.Get<uint32_t>();
+
+    const uint64_t expected_chunks =
+        (h.transformed_size + kChunkSize - 1) / kChunkSize;
+    FPC_PARSE_CHECK(h.chunk_count == expected_chunks,
+                    "chunk count inconsistent with transformed size");
+
+    view.chunk_sizes.resize(h.chunk_count);
+    view.chunk_raw.resize(h.chunk_count);
+    view.chunk_offsets.resize(h.chunk_count);
+    size_t offset = 0;
+    for (uint32_t c = 0; c < h.chunk_count; ++c) {
+        uint32_t entry = br.Get<uint32_t>();
+        view.chunk_sizes[c] = entry & ~kRawFlag;
+        view.chunk_raw[c] = (entry & kRawFlag) ? 1 : 0;
+        view.chunk_offsets[c] = offset;
+        offset += view.chunk_sizes[c];
+    }
+    view.payload = br.Rest();
+    FPC_PARSE_CHECK(view.payload.size() == offset,
+                    "payload size inconsistent with chunk table");
+    return view;
+}
+
+}  // namespace fpc

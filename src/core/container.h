@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The self-describing fpcomp container format. A compressed buffer is:
+ *
+ *   offset 0: Header (fixed size, little-endian)
+ *   chunk table: chunk_count x uint32 (bit 31 = chunk stored raw,
+ *                bits 0..30 = stored payload size in bytes)
+ *   payloads:   chunk payloads, concatenated in chunk order
+ *
+ * `transformed_size` is the byte length of the stream that was chunked:
+ * equal to `original_size` for SPspeed/SPratio/DPspeed, and the FCM
+ * output size for DPratio (whose pre-stage runs before chunking).
+ *
+ * Compressed data is contiguous (paper Section 5: unlike nvCOMP, our
+ * compressors concatenate the chunks into one memory block).
+ */
+#ifndef FPC_CORE_CONTAINER_H
+#define FPC_CORE_CONTAINER_H
+
+#include "core/types.h"
+#include "util/common.h"
+
+namespace fpc {
+
+/** On-the-wire container header. */
+struct ContainerHeader {
+    static constexpr uint32_t kMagic = 0x5a435046;  // "FPCZ"
+    static constexpr uint8_t kVersion = 1;
+
+    uint32_t magic = kMagic;
+    uint8_t version = kVersion;
+    uint8_t algorithm = 0;
+    uint16_t reserved = 0;
+    uint64_t original_size = 0;
+    uint64_t transformed_size = 0;
+    uint64_t checksum = 0;  ///< Checksum64 of the original data
+    uint32_t chunk_count = 0;
+};
+
+/** Parsed view of a compressed buffer (no payload copies). */
+struct ContainerView {
+    ContainerHeader header;
+    std::vector<uint32_t> chunk_sizes;   ///< payload bytes per chunk
+    std::vector<uint8_t> chunk_raw;      ///< 1 = stored verbatim
+    std::vector<size_t> chunk_offsets;   ///< into the payload area
+    ByteSpan payload;                    ///< all chunk payloads
+};
+
+/** Serialize the header + chunk table. */
+void WriteContainerPrefix(const ContainerHeader& header,
+                          const std::vector<uint32_t>& sizes,
+                          const std::vector<uint8_t>& raw_flags, Bytes& out);
+
+/** Parse and validate a compressed buffer. Throws CorruptStreamError. */
+ContainerView ParseContainer(ByteSpan compressed);
+
+/** Size in bytes of the serialized header. */
+size_t ContainerHeaderSize();
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_CONTAINER_H

@@ -1,0 +1,140 @@
+#include "core/pipeline.h"
+
+#include <cctype>
+
+#include "transforms/transforms.h"
+
+namespace fpc {
+
+namespace {
+
+const PipelineSpec kSpSpeed{
+    "SPspeed",
+    Algorithm::kSPspeed,
+    4,
+    {},
+    {
+        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32},
+        {"MPLG", tf::MplgEncode32, tf::MplgDecode32},
+    },
+};
+
+const PipelineSpec kSpRatio{
+    "SPratio",
+    Algorithm::kSPratio,
+    4,
+    {},
+    {
+        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32},
+        {"BIT", tf::BitEncode32, tf::BitDecode32},
+        {"RZE", tf::RzeEncode, tf::RzeDecode},
+    },
+};
+
+const PipelineSpec kDpSpeed{
+    "DPspeed",
+    Algorithm::kDPspeed,
+    8,
+    {},
+    {
+        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64},
+        {"MPLG", tf::MplgEncode64, tf::MplgDecode64},
+    },
+};
+
+const PipelineSpec kDpRatio{
+    "DPratio",
+    Algorithm::kDPratio,
+    8,
+    {"FCM", tf::FcmEncode, tf::FcmDecode},
+    {
+        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64},
+        {"RAZE", tf::RazeEncode64, tf::RazeDecode64},
+        {"RARE", tf::RareEncode64, tf::RareDecode64},
+    },
+};
+
+}  // namespace
+
+const char*
+AlgorithmName(Algorithm algorithm)
+{
+    switch (algorithm) {
+      case Algorithm::kSPspeed: return "SPspeed";
+      case Algorithm::kSPratio: return "SPratio";
+      case Algorithm::kDPspeed: return "DPspeed";
+      case Algorithm::kDPratio: return "DPratio";
+    }
+    return "unknown";
+}
+
+Algorithm
+ParseAlgorithm(const std::string& name)
+{
+    std::string lower;
+    for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+    if (lower == "spspeed") return Algorithm::kSPspeed;
+    if (lower == "spratio") return Algorithm::kSPratio;
+    if (lower == "dpspeed") return Algorithm::kDPspeed;
+    if (lower == "dpratio") return Algorithm::kDPratio;
+    throw UsageError("unknown algorithm name: " + name);
+}
+
+const PipelineSpec&
+GetPipeline(Algorithm algorithm)
+{
+    switch (algorithm) {
+      case Algorithm::kSPspeed: return kSpSpeed;
+      case Algorithm::kSPratio: return kSpRatio;
+      case Algorithm::kDPspeed: return kDpSpeed;
+      case Algorithm::kDPratio: return kDpRatio;
+    }
+    throw UsageError("unknown algorithm id");
+}
+
+Bytes
+EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw)
+{
+    Bytes buf;
+    Bytes next;
+    bool first = true;
+    for (const Stage& stage : spec.stages) {
+        next.clear();
+        stage.encode(first ? chunk : ByteSpan(buf), next);
+        buf.swap(next);
+        first = false;
+    }
+    if (first || buf.size() >= chunk.size()) {
+        // Pipeline output is not smaller: store the chunk verbatim
+        // (worst-case expansion cap, paper Section 3).
+        raw = true;
+        return Bytes(chunk.begin(), chunk.end());
+    }
+    raw = false;
+    return buf;
+}
+
+void
+DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
+            size_t expected_size, Bytes& out)
+{
+    if (raw) {
+        FPC_PARSE_CHECK(payload.size() == expected_size,
+                        "raw chunk size mismatch");
+        AppendBytes(out, payload);
+        return;
+    }
+    Bytes buf;
+    Bytes next;
+    for (size_t s = spec.stages.size(); s-- > 0;) {
+        const Stage& stage = spec.stages[s];
+        next.clear();
+        bool last_stage = (s == spec.stages.size() - 1);
+        stage.decode(last_stage ? payload : ByteSpan(buf), next);
+        buf.swap(next);
+    }
+    FPC_PARSE_CHECK(buf.size() == expected_size, "chunk size mismatch");
+    AppendBytes(out, ByteSpan(buf));
+}
+
+}  // namespace fpc

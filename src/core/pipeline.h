@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Stage pipelines for the four algorithms (paper Figure 1):
+ *
+ *   SPspeed: DIFFMS32 -> MPLG32
+ *   DPspeed: DIFFMS64 -> MPLG64
+ *   SPratio: DIFFMS32 -> BIT32 -> RZE
+ *   DPratio: FCM (whole input) -> DIFFMS64 -> RAZE64 -> RARE64
+ *
+ * Every stage maps a byte buffer to a byte buffer; decoding runs the
+ * inverse stages in reverse order. All stages except FCM are applied
+ * independently to 16 KiB chunks; a chunk whose pipeline output is not
+ * smaller than the chunk itself is stored raw (worst-case expansion cap,
+ * paper Section 3).
+ */
+#ifndef FPC_CORE_PIPELINE_H
+#define FPC_CORE_PIPELINE_H
+
+#include "core/types.h"
+#include "util/common.h"
+
+namespace fpc {
+
+/** A reversible data transformation stage. */
+struct Stage {
+    const char* name = nullptr;
+    void (*encode)(ByteSpan, Bytes&) = nullptr;
+    void (*decode)(ByteSpan, Bytes&) = nullptr;
+};
+
+/** The stage composition of one algorithm. */
+struct PipelineSpec {
+    const char* name = nullptr;
+    Algorithm algorithm{};
+    unsigned word_size = 4;            ///< bytes per value (4 or 8)
+    Stage pre;                         ///< whole-input stage; null if none
+    std::vector<Stage> stages;         ///< per-chunk stages, encode order
+};
+
+/** Pipeline for one of the four algorithms. */
+const PipelineSpec& GetPipeline(Algorithm algorithm);
+
+/**
+ * Run the chunk stages forward over @p chunk. Returns the encoded payload
+ * and sets @p raw when the payload is the chunk verbatim (pipeline output
+ * would not have been smaller).
+ */
+Bytes EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw);
+
+/** Inverse of EncodeChunk for one chunk payload. */
+void DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
+                 size_t expected_size, Bytes& out);
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_PIPELINE_H

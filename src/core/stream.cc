@@ -1,0 +1,62 @@
+#include "core/stream.h"
+
+#include "util/bitio.h"
+
+namespace fpc {
+
+size_t
+StreamCompressor::PutFrame(ByteSpan frame)
+{
+    Bytes compressed = Compress(algorithm_, frame, options_);
+    ByteWriter wr(stream_);
+    wr.PutVarint(compressed.size());
+    wr.PutBytes(ByteSpan(compressed));
+    bytes_in_ += frame.size();
+    ++frame_count_;
+    return compressed.size();
+}
+
+size_t
+StreamCompressor::PutFloats(std::span<const float> values)
+{
+    return PutFrame(AsBytes(values));
+}
+
+size_t
+StreamCompressor::PutDoubles(std::span<const double> values)
+{
+    return PutFrame(AsBytes(values));
+}
+
+Bytes
+StreamDecompressor::NextFrame()
+{
+    FPC_PARSE_CHECK(HasNext(), "no more frames");
+    ByteReader br(stream_.subspan(pos_));
+    size_t frame_size = br.GetVarint();
+    ByteSpan frame = br.GetBytes(frame_size);
+    pos_ += br.Pos();
+    return Decompress(frame, options_);
+}
+
+std::vector<float>
+StreamDecompressor::NextFloats()
+{
+    Bytes raw = NextFrame();
+    FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0, "frame not floats");
+    std::vector<float> values(raw.size() / sizeof(float));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
+
+std::vector<double>
+StreamDecompressor::NextDoubles()
+{
+    Bytes raw = NextFrame();
+    FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0, "frame not doubles");
+    std::vector<double> values(raw.size() / sizeof(double));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
+
+}  // namespace fpc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Streaming (frame-at-a-time) API. Scientific producers such as
+ * simulations and instruments emit data in timesteps; each Put() call
+ * compresses one frame as an independent container and appends it, with a
+ * varint length prefix, to the stream. Frames can be decompressed in
+ * order on any device path.
+ */
+#ifndef FPC_CORE_STREAM_H
+#define FPC_CORE_STREAM_H
+
+#include "core/codec.h"
+
+namespace fpc {
+
+/** Frame-oriented compressor writing to an internal buffer. */
+class StreamCompressor {
+ public:
+    StreamCompressor(Algorithm algorithm, Options options = {})
+        : algorithm_(algorithm), options_(options) {}
+
+    /** Compress one frame and append it to the stream. Returns the
+     *  compressed frame size in bytes (excluding the length prefix). */
+    size_t PutFrame(ByteSpan frame);
+
+    /** Typed helpers. */
+    size_t PutFloats(std::span<const float> values);
+    size_t PutDoubles(std::span<const double> values);
+
+    /** The accumulated stream; valid until the next PutFrame call. */
+    const Bytes& Stream() const { return stream_; }
+
+    /** Total uncompressed bytes consumed so far. */
+    uint64_t BytesIn() const { return bytes_in_; }
+
+    /** Number of frames written. */
+    size_t FrameCount() const { return frame_count_; }
+
+ private:
+    Algorithm algorithm_;
+    Options options_;
+    Bytes stream_;
+    uint64_t bytes_in_ = 0;
+    size_t frame_count_ = 0;
+};
+
+/** Frame-oriented decompressor reading from a stream buffer. */
+class StreamDecompressor {
+ public:
+    explicit StreamDecompressor(ByteSpan stream, Options options = {})
+        : stream_(stream), options_(options) {}
+
+    /** True when at least one more frame is available. */
+    bool HasNext() const { return pos_ < stream_.size(); }
+
+    /** Decompress the next frame. Throws CorruptStreamError on damage. */
+    Bytes NextFrame();
+
+    /** Typed helper. */
+    std::vector<float> NextFloats();
+    std::vector<double> NextDoubles();
+
+ private:
+    ByteSpan stream_;
+    Options options_;
+    size_t pos_ = 0;
+};
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_STREAM_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Public enums and option types of the fpcomp library.
+ */
+#ifndef FPC_CORE_TYPES_H
+#define FPC_CORE_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace fpc {
+
+/** The four compression algorithms introduced by the paper. */
+enum class Algorithm : uint8_t {
+    kSPspeed = 0,  ///< single precision, throughput-oriented
+    kSPratio = 1,  ///< single precision, ratio-oriented
+    kDPspeed = 2,  ///< double precision, throughput-oriented
+    kDPratio = 3,  ///< double precision, ratio-oriented
+};
+
+/** Execution path. Both paths emit byte-identical compressed streams. */
+enum class Device : uint8_t {
+    kCpu = 0,     ///< chunk-parallel OpenMP implementation
+    kGpuSim = 1,  ///< CUDA-style block/warp implementation on the GPU
+                  ///  execution-model simulator (see src/gpusim)
+};
+
+/** Knobs for compress()/decompress(). */
+struct Options {
+    Device device = Device::kCpu;
+    int threads = 0;  ///< 0 = library default (all available)
+};
+
+/** Human-readable algorithm name as used in the paper. */
+const char* AlgorithmName(Algorithm algorithm);
+
+/** Parse "SPspeed"/"SPratio"/"DPspeed"/"DPratio" (case-insensitive). */
+Algorithm ParseAlgorithm(const std::string& name);
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_TYPES_H

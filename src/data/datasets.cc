@@ -1,0 +1,163 @@
+#include "data/datasets.h"
+
+#include <cmath>
+
+#include "data/fields.h"
+
+namespace fpc::data {
+
+namespace {
+
+/** Scaled file count, at least 1. */
+size_t
+ScaledCount(size_t paper_count, double scale)
+{
+    double c = std::ceil(static_cast<double>(paper_count) * scale);
+    return std::max<size_t>(1, static_cast<size_t>(c));
+}
+
+uint64_t
+FileSeed(const std::string& domain, size_t index)
+{
+    uint64_t h = 0x5d7fc337'9ab1e021ull;
+    for (char c : domain) h = Mix64(h ^ static_cast<uint8_t>(c));
+    return Mix64(h ^ index);
+}
+
+}  // namespace
+
+std::vector<std::string>
+SingleDomains()
+{
+    return {"CESM-ATM", "EXAALT",   "Hurricane", "NYX",
+            "QMCPack",  "SCALE-LetKF", "HACC"};
+}
+
+std::vector<std::string>
+DoubleDomains()
+{
+    return {"msg", "num", "obs", "Miranda", "brain"};
+}
+
+std::vector<SpFile>
+SingleSuite(const SuiteConfig& config)
+{
+    const size_t n = config.values_per_file;
+    std::vector<SpFile> files;
+
+    // Paper Section 4: 90 files across 7 domains. The per-domain counts
+    // below mirror the SDRBench selection's rough proportions.
+    struct DomainSpec {
+        const char* domain;
+        size_t paper_files;
+        std::vector<double> (*make)(size_t, uint64_t);
+    };
+    const DomainSpec specs[] = {
+        // Climate: smooth 2D variable slices with a small noise floor.
+        {"CESM-ATM", 26,
+         [](size_t count, uint64_t seed) {
+             size_t nx = 512;
+             return SmoothField2d(nx, (count + nx - 1) / nx, seed, 0.002);
+         }},
+        // Molecular dynamics: sorted coordinates with thermal jitter.
+        {"EXAALT", 6,
+         [](size_t count, uint64_t seed) {
+             return ParticleCoordinates(count, seed, 100.0, 0.15);
+         }},
+        // Hurricane ISABEL: smooth field with strong local structure.
+        {"Hurricane", 13,
+         [](size_t count, uint64_t seed) {
+             return SmoothField(count, seed, 7, 0.005);
+         }},
+        // Cosmology: clumpy log-normal density.
+        {"NYX", 6,
+         [](size_t count, uint64_t seed) {
+             return LognormalClumps(count, seed, 0.001);
+         }},
+        // Quantum Monte Carlo: oscillatory amplitudes.
+        {"QMCPack", 2,
+         [](size_t count, uint64_t seed) { return Oscillatory(count, seed); }},
+        // Ensemble weather assimilation: correlated noise.
+        {"SCALE-LetKF", 13,
+         [](size_t count, uint64_t seed) {
+             return Ar1Walk(count, seed, 0.995, 0.01);
+         }},
+        // Cosmology particles: coordinate streams.
+        {"HACC", 24,
+         [](size_t count, uint64_t seed) {
+             return ParticleCoordinates(count, seed, 256.0, 0.6);
+         }},
+    };
+
+    for (const DomainSpec& spec : specs) {
+        size_t count = ScaledCount(spec.paper_files, config.file_scale);
+        for (size_t f = 0; f < count; ++f) {
+            uint64_t seed = FileSeed(spec.domain, f);
+            std::vector<double> raw = spec.make(n, seed);
+            raw.resize(n);
+            files.push_back(
+                {spec.domain, spec.domain + std::string("_") +
+                                  std::to_string(f) + ".f32",
+                 ToFloats(raw)});
+        }
+    }
+    return files;
+}
+
+std::vector<DpFile>
+DoubleSuite(const SuiteConfig& config)
+{
+    const size_t n = config.values_per_file;
+    std::vector<DpFile> files;
+
+    struct DomainSpec {
+        const char* domain;
+        size_t paper_files;
+        std::vector<double> (*make)(size_t, uint64_t);
+    };
+    const DomainSpec specs[] = {
+        // MPI message traces: mixed-entropy runs with exact repetitions.
+        {"msg", 5,
+         [](size_t count, uint64_t seed) {
+             return MixedEntropyMessages(count, seed);
+         }},
+        // Numeric simulation states: smooth, high dynamic range.
+        {"num", 5,
+         [](size_t count, uint64_t seed) {
+             return SmoothField(count, seed, 6, 1e-9);
+         }},
+        // Instrument observations: quantized to a fine decimal
+        // (non-dyadic) grid — mantissas look random and exact repeats are
+        // rare and far apart, as in the FPdouble obs_* files.
+        {"obs", 4,
+         [](size_t count, uint64_t seed) {
+             return QuantizedObservations(count, seed, 1e-5);
+         }},
+        // Turbulence (Miranda): power-law spectrum.
+        {"Miranda", 3,
+         [](size_t count, uint64_t seed) {
+             return TurbulenceField(count, seed, -1.6667);
+         }},
+        // Brain simulation: slow drifting potentials.
+        {"brain", 3,
+         [](size_t count, uint64_t seed) {
+             return Ar1Walk(count, seed, 0.999, 0.002);
+         }},
+    };
+
+    for (const DomainSpec& spec : specs) {
+        size_t count = ScaledCount(spec.paper_files, config.file_scale);
+        for (size_t f = 0; f < count; ++f) {
+            uint64_t seed = FileSeed(spec.domain, f);
+            std::vector<double> raw = spec.make(n, seed);
+            raw.resize(n);
+            files.push_back({spec.domain,
+                             spec.domain + std::string("_") +
+                                 std::to_string(f) + ".f64",
+                             std::move(raw)});
+        }
+    }
+    return files;
+}
+
+}  // namespace fpc::data

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic stand-ins for the paper's evaluation inputs (DESIGN.md,
+ * substitution #2): a 7-domain single-precision suite mirroring the
+ * SDRBench selection of Section 4 (90 files) and a 5-domain
+ * double-precision suite mirroring SDRBench + the FPdouble set
+ * (20 files). File counts per domain follow the paper's layout; the
+ * per-file value count is configurable so tests can run small and
+ * benchmarks larger.
+ */
+#ifndef FPC_DATA_DATASETS_H
+#define FPC_DATA_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace fpc::data {
+
+/** One synthetic input file. */
+template <typename T>
+struct DataFile {
+    std::string domain;  ///< dataset/domain name (aggregation group)
+    std::string name;    ///< file name within the domain
+    std::vector<T> values;
+};
+
+using SpFile = DataFile<float>;
+using DpFile = DataFile<double>;
+
+/** Suite scaling knobs. */
+struct SuiteConfig {
+    size_t values_per_file = 1 << 18;  ///< 1 MiB of floats by default
+    double file_scale = 1.0;  ///< fraction of the paper's files per domain
+};
+
+/** The 7-domain single-precision suite (CESM-ATM, EXAALT, Hurricane,
+ *  NYX, QMCPack, SCALE-LetKF, HACC). */
+std::vector<SpFile> SingleSuite(const SuiteConfig& config = {});
+
+/** The 5-domain double-precision suite (msg, num, obs, Miranda, brain). */
+std::vector<DpFile> DoubleSuite(const SuiteConfig& config = {});
+
+/** Domain names in suite order (for reporting). */
+std::vector<std::string> SingleDomains();
+std::vector<std::string> DoubleDomains();
+
+}  // namespace fpc::data
+
+#endif  // FPC_DATA_DATASETS_H

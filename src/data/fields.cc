@@ -1,0 +1,222 @@
+#include "data/fields.h"
+
+#include <cmath>
+
+namespace fpc::data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+std::vector<double>
+SmoothField(size_t n, uint64_t seed, unsigned octaves, double noise_floor)
+{
+    Rng rng(seed);
+    std::vector<double> amp(octaves), freq(octaves), phase(octaves);
+    for (unsigned o = 0; o < octaves; ++o) {
+        amp[o] = std::pow(0.5, o) * (0.5 + rng.NextDouble());
+        freq[o] = (o + 1) * (1.0 + rng.NextDouble()) * 3.0;
+        phase[o] = rng.NextDouble() * kTwoPi;
+    }
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        double x = static_cast<double>(i) / static_cast<double>(n);
+        double v = 0.0;
+        for (unsigned o = 0; o < octaves; ++o) {
+            v += amp[o] * std::sin(kTwoPi * freq[o] * x + phase[o]);
+        }
+        out[i] = v + noise_floor * rng.NextGaussian();
+    }
+    return out;
+}
+
+std::vector<double>
+Ar1Walk(size_t n, uint64_t seed, double correlation, double step_scale)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    double v = rng.NextGaussian();
+    for (size_t i = 0; i < n; ++i) {
+        v = correlation * v + step_scale * rng.NextGaussian();
+        out[i] = v;
+    }
+    return out;
+}
+
+std::vector<double>
+SmoothField2d(size_t nx, size_t ny, uint64_t seed, double noise_floor)
+{
+    Rng rng(seed);
+    const unsigned modes = 6;
+    std::vector<double> ax(modes), ay(modes), amp(modes), phase(modes);
+    for (unsigned m = 0; m < modes; ++m) {
+        ax[m] = (m + 1) * (0.5 + rng.NextDouble()) * 2.0;
+        ay[m] = (m + 1) * (0.5 + rng.NextDouble()) * 2.0;
+        amp[m] = std::pow(0.6, m);
+        phase[m] = rng.NextDouble() * kTwoPi;
+    }
+    std::vector<double> out(nx * ny);
+    for (size_t j = 0; j < ny; ++j) {
+        double y = static_cast<double>(j) / static_cast<double>(ny);
+        for (size_t i = 0; i < nx; ++i) {
+            double x = static_cast<double>(i) / static_cast<double>(nx);
+            double v = 0.0;
+            for (unsigned m = 0; m < modes; ++m) {
+                v += amp[m] *
+                     std::sin(kTwoPi * (ax[m] * x + ay[m] * y) + phase[m]);
+            }
+            out[j * nx + i] = v + noise_floor * rng.NextGaussian();
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+LognormalClumps(size_t n, uint64_t seed, double clump_rate)
+{
+    Rng rng(seed);
+    std::vector<double> base = SmoothField(n, seed ^ 0xc1a5, 5, 0.001);
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        double v = std::exp(1.5 * base[i]);
+        if (rng.NextDouble() < clump_rate) {
+            v *= std::exp(2.0 + 2.0 * rng.NextDouble());
+        }
+        out[i] = v;
+    }
+    return out;
+}
+
+std::vector<double>
+Oscillatory(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    double carrier = 40.0 + 20.0 * rng.NextDouble();
+    for (size_t i = 0; i < n; ++i) {
+        double x = static_cast<double>(i) / static_cast<double>(n);
+        double envelope = std::exp(-3.0 * x);
+        out[i] = envelope * std::sin(kTwoPi * carrier * x) +
+                 1e-6 * rng.NextGaussian();
+    }
+    return out;
+}
+
+std::vector<double>
+ParticleCoordinates(size_t n, uint64_t seed, double box, double jitter)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    double spacing = box / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = spacing * static_cast<double>(i) +
+                 jitter * spacing * rng.NextGaussian();
+    }
+    return out;
+}
+
+std::vector<double>
+QuantizedObservations(size_t n, uint64_t seed, double quantum)
+{
+    // Measurement noise of a few quanta, as in real instrument data
+    // (obs_* in the FPdouble set): steps between samples vary randomly,
+    // so run-length and LZ tricks fail, but the value alphabet is small
+    // enough that exact repetitions remain frequent.
+    std::vector<double> smooth = SmoothField(n, seed, 4, quantum * 2.5);
+    for (double& v : smooth) {
+        v = std::round(v / quantum) * quantum;
+    }
+    return smooth;
+}
+
+std::vector<double>
+MixedEntropyMessages(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    size_t i = 0;
+    while (i < n) {
+        size_t run = 64 + rng.NextBelow(512);
+        run = std::min(run, n - i);
+        switch (rng.NextBelow(5)) {
+          case 0: {  // constant run (header-like repetition)
+            double v = rng.NextGaussian();
+            for (size_t k = 0; k < run; ++k) out[i + k] = v;
+            break;
+          }
+          case 1: {  // arithmetic ramp (indices, offsets)
+            double v = rng.NextGaussian();
+            double step = 1.0 / 1024.0;
+            for (size_t k = 0; k < run; ++k) {
+                out[i + k] = v + step * static_cast<double>(k);
+            }
+            break;
+          }
+          case 2: {  // smooth payload
+            double v = rng.NextGaussian();
+            for (size_t k = 0; k < run; ++k) {
+                v = 0.99 * v + 0.01 * rng.NextGaussian();
+                out[i + k] = v;
+            }
+            break;
+          }
+          case 3: {  // verbatim repeat of an earlier segment: real MPI
+                     // traces resend whole messages, the far-apart value
+                     // repetitions FCM is designed to find
+            if (i == 0) {
+                for (size_t k = 0; k < run; ++k) {
+                    out[i + k] = rng.NextGaussian();
+                }
+                break;
+            }
+            size_t src = rng.NextBelow(i);
+            for (size_t k = 0; k < run; ++k) {
+                out[i + k] = out[src + k % (i - src)];
+            }
+            break;
+          }
+          default: {  // incompressible stretch
+            for (size_t k = 0; k < run; ++k) {
+                out[i + k] = BitCastTo<double>(rng.Next() | 0x3ff0000000000000ull);
+            }
+            break;
+          }
+        }
+        i += run;
+    }
+    return out;
+}
+
+std::vector<double>
+TurbulenceField(size_t n, uint64_t seed, double spectral_slope)
+{
+    Rng rng(seed);
+    // Superpose modes with a power-law amplitude spectrum (no FFT needed).
+    const unsigned modes = 48;
+    std::vector<double> out(n, 0.0);
+    for (unsigned m = 1; m <= modes; ++m) {
+        double amplitude = std::pow(static_cast<double>(m), spectral_slope);
+        double phase = rng.NextDouble() * kTwoPi;
+        double freq = static_cast<double>(m);
+        for (size_t i = 0; i < n; ++i) {
+            double x = static_cast<double>(i) / static_cast<double>(n);
+            out[i] += amplitude * std::sin(kTwoPi * freq * x + phase);
+        }
+    }
+    for (size_t i = 0; i < n; ++i) out[i] += 1e-7 * rng.NextGaussian();
+    return out;
+}
+
+std::vector<float>
+ToFloats(const std::vector<double>& values)
+{
+    std::vector<float> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        out[i] = static_cast<float>(values[i]);
+    }
+    return out;
+}
+
+}  // namespace fpc::data

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Low-level synthetic field generators. These produce floating-point
+ * arrays with the statistical properties the paper identifies as driving
+ * compressibility of scientific data (Section 3): smoothness (small
+ * consecutive differences), clustered exponents, centered-around-zero
+ * distributions, increasing low-order mantissa randomness (especially in
+ * double precision), repeated values, and mixed-entropy regions.
+ *
+ * All generators are deterministic in their seed.
+ */
+#ifndef FPC_DATA_FIELDS_H
+#define FPC_DATA_FIELDS_H
+
+#include <vector>
+
+#include "util/hash.h"
+
+namespace fpc::data {
+
+/** Smooth multi-scale 1D field: a sum of sinusoids with decaying
+ *  amplitudes plus a small noise floor. */
+std::vector<double> SmoothField(size_t n, uint64_t seed, unsigned octaves,
+                                double noise_floor);
+
+/** First-order autoregressive random walk (drifting sensor signal). */
+std::vector<double> Ar1Walk(size_t n, uint64_t seed, double correlation,
+                            double step_scale);
+
+/** 2D smooth field (e.g. an atmospheric variable slice), row-major. */
+std::vector<double> SmoothField2d(size_t nx, size_t ny, uint64_t seed,
+                                  double noise_floor);
+
+/** Clumpy log-normal field (cosmology density-like). */
+std::vector<double> LognormalClumps(size_t n, uint64_t seed,
+                                    double clump_rate);
+
+/** Oscillatory wavefunction-like data (sign-alternating, decaying). */
+std::vector<double> Oscillatory(size_t n, uint64_t seed);
+
+/** Sorted particle coordinates with thermal jitter (MD / cosmology). */
+std::vector<double> ParticleCoordinates(size_t n, uint64_t seed,
+                                        double box, double jitter);
+
+/** Quantized observations: smooth signal rounded to a fixed grid, with
+ *  many exactly-repeated values (what FCM exploits). */
+std::vector<double> QuantizedObservations(size_t n, uint64_t seed,
+                                          double quantum);
+
+/** Mixed-entropy message-like data: alternating compressible runs and
+ *  incompressible random stretches. */
+std::vector<double> MixedEntropyMessages(size_t n, uint64_t seed);
+
+/** Turbulence-like field with a power-law spectrum. */
+std::vector<double> TurbulenceField(size_t n, uint64_t seed,
+                                    double spectral_slope);
+
+/** Narrow float conversion helper. */
+std::vector<float> ToFloats(const std::vector<double>& values);
+
+}  // namespace fpc::data
+
+#endif  // FPC_DATA_FIELDS_H

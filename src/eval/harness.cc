@@ -1,0 +1,92 @@
+#include "eval/harness.h"
+
+#include <map>
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace fpc::eval {
+
+EvalCodec
+OurCodec(Algorithm algorithm, Device device)
+{
+    Options options;
+    options.device = device;
+    EvalCodec codec;
+    codec.name = AlgorithmName(algorithm);
+    codec.compress = [algorithm, options](ByteSpan in) {
+        return Compress(algorithm, in, options);
+    };
+    codec.decompress = [options](ByteSpan in) {
+        return Decompress(in, options);
+    };
+    return codec;
+}
+
+EvalCodec
+Wrap(const baselines::BaselineCodec& baseline)
+{
+    return {baseline.name, baseline.compress, baseline.decompress};
+}
+
+CodecResult
+Evaluate(const EvalCodec& codec, const std::vector<EvalInput>& inputs,
+         const EvalConfig& config)
+{
+    CodecResult result;
+    result.name = codec.name;
+
+    std::map<std::string, std::vector<double>> ratio_groups;
+    std::map<std::string, std::vector<double>> comp_groups;
+    std::map<std::string, std::vector<double>> decomp_groups;
+
+    for (const EvalInput& input : inputs) {
+        ByteSpan bytes(input.bytes);
+        const double gb =
+            static_cast<double>(bytes.size()) / 1e9;
+
+        std::vector<double> comp_times, decomp_times;
+        Bytes compressed;
+        for (int r = 0; r < config.runs; ++r) {
+            Timer timer;
+            compressed = codec.compress(bytes);
+            comp_times.push_back(timer.Seconds());
+        }
+        Bytes restored;
+        for (int r = 0; r < config.runs; ++r) {
+            Timer timer;
+            restored = codec.decompress(ByteSpan(compressed));
+            decomp_times.push_back(timer.Seconds());
+        }
+        if (config.verify) {
+            FPC_CHECK(restored.size() == bytes.size() &&
+                          std::memcmp(restored.data(), bytes.data(),
+                                      bytes.size()) == 0,
+                      "round-trip verification failed");
+        }
+
+        FileResult fr;
+        fr.domain = input.domain;
+        fr.name = input.name;
+        fr.ratio = static_cast<double>(bytes.size()) /
+                   static_cast<double>(compressed.size());
+        fr.compress_gbps = gb / std::max(Median(comp_times), 1e-12);
+        fr.decompress_gbps = gb / std::max(Median(decomp_times), 1e-12);
+        ratio_groups[fr.domain].push_back(fr.ratio);
+        comp_groups[fr.domain].push_back(fr.compress_gbps);
+        decomp_groups[fr.domain].push_back(fr.decompress_gbps);
+        result.files.push_back(std::move(fr));
+    }
+
+    auto geo_of_geo = [](const auto& groups) {
+        std::vector<std::vector<double>> as_vec;
+        for (const auto& [domain, values] : groups) as_vec.push_back(values);
+        return GeoMeanOfGeoMeans(as_vec);
+    };
+    result.ratio = geo_of_geo(ratio_groups);
+    result.compress_gbps = geo_of_geo(comp_groups);
+    result.decompress_gbps = geo_of_geo(decomp_groups);
+    return result;
+}
+
+}  // namespace fpc::eval

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Measurement harness implementing the paper's methodology (Section 4):
+ * per-file compression ratio and compression/decompression throughput
+ * (median of N identical runs, excluding I/O), aggregated per domain with
+ * a geometric mean and across domains with a geometric mean of the
+ * per-domain means (so domains with more files are not over-weighed).
+ */
+#ifndef FPC_EVAL_HARNESS_H
+#define FPC_EVAL_HARNESS_H
+
+#include <functional>
+#include <string>
+
+#include "baselines/compressor.h"
+#include "core/codec.h"
+#include "util/common.h"
+
+namespace fpc::eval {
+
+/** A codec under evaluation. */
+struct EvalCodec {
+    std::string name;
+    std::function<Bytes(ByteSpan)> compress;
+    std::function<Bytes(ByteSpan)> decompress;
+};
+
+/** Wrap one of the paper's four algorithms on the given device path. */
+EvalCodec OurCodec(Algorithm algorithm, Device device);
+
+/** Wrap a Table 1 baseline. */
+EvalCodec Wrap(const baselines::BaselineCodec& baseline);
+
+/** One input file prepared for measurement. */
+struct EvalInput {
+    std::string domain;
+    std::string name;
+    Bytes bytes;
+};
+
+/** Per-file measurement. */
+struct FileResult {
+    std::string domain;
+    std::string name;
+    double ratio = 0;
+    double compress_gbps = 0;
+    double decompress_gbps = 0;
+};
+
+/** Aggregated result for one codec over a suite. */
+struct CodecResult {
+    std::string name;
+    double ratio = 0;            ///< geo-mean of per-domain geo-means
+    double compress_gbps = 0;
+    double decompress_gbps = 0;
+    std::vector<FileResult> files;
+};
+
+/** Measurement knobs. */
+struct EvalConfig {
+    int runs = 5;           ///< median of this many timed runs
+    bool verify = true;     ///< check round-trip equality
+};
+
+/** Measure @p codec over @p inputs. Throws if verification fails. */
+CodecResult Evaluate(const EvalCodec& codec,
+                     const std::vector<EvalInput>& inputs,
+                     const EvalConfig& config = {});
+
+/** Convert typed dataset files into EvalInputs. */
+template <typename T>
+std::vector<EvalInput>
+ToInputs(const std::vector<T>& files)
+{
+    std::vector<EvalInput> inputs;
+    inputs.reserve(files.size());
+    for (const auto& f : files) {
+        EvalInput in;
+        in.domain = f.domain;
+        in.name = f.name;
+        ByteSpan bytes = AsBytes(f.values);
+        in.bytes.assign(bytes.begin(), bytes.end());
+        inputs.push_back(std::move(in));
+    }
+    return inputs;
+}
+
+}  // namespace fpc::eval
+
+#endif  // FPC_EVAL_HARNESS_H

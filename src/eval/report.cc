@@ -1,0 +1,139 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace fpc::eval {
+
+std::vector<ScatterPoint>
+ToScatter(const std::vector<CodecResult>& results, Axis axis)
+{
+    std::vector<ScatterPoint> points;
+    points.reserve(results.size());
+    for (const CodecResult& r : results) {
+        points.push_back({r.name,
+                          axis == Axis::kCompression ? r.compress_gbps
+                                                     : r.decompress_gbps,
+                          r.ratio});
+    }
+    return points;
+}
+
+void
+PrintFigure(std::ostream& os, const std::string& title,
+            const std::vector<CodecResult>& results, Axis axis)
+{
+    std::vector<ScatterPoint> points = ToScatter(results, axis);
+    std::vector<size_t> front = ParetoFront(points);
+
+    os << "== " << title << " ==\n";
+    os << std::left << std::setw(16) << "compressor" << std::right
+       << std::setw(10) << "ratio" << std::setw(14)
+       << (axis == Axis::kCompression ? "comp GB/s" : "decomp GB/s")
+       << "  pareto\n";
+
+    std::vector<size_t> order(points.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return points[a].ratio > points[b].ratio;
+    });
+    for (size_t i : order) {
+        bool on_front =
+            std::find(front.begin(), front.end(), i) != front.end();
+        os << std::left << std::setw(16) << points[i].label << std::right
+           << std::setw(10) << std::fixed << std::setprecision(3)
+           << points[i].ratio << std::setw(14) << std::setprecision(3)
+           << points[i].throughput << (on_front ? "       *" : "") << "\n";
+    }
+    os << "Pareto front:";
+    for (size_t i : front) os << " " << points[i].label;
+    os << "\n\n";
+    PrintAsciiScatter(os, points);
+}
+
+void
+PrintAsciiScatter(std::ostream& os, const std::vector<ScatterPoint>& points)
+{
+    if (points.empty()) return;
+    constexpr int kWidth = 64;
+    constexpr int kHeight = 18;
+
+    double min_ratio = points[0].ratio, max_ratio = points[0].ratio;
+    double min_thr = points[0].throughput, max_thr = points[0].throughput;
+    for (const ScatterPoint& p : points) {
+        min_ratio = std::min(min_ratio, p.ratio);
+        max_ratio = std::max(max_ratio, p.ratio);
+        min_thr = std::min(min_thr, p.throughput);
+        max_thr = std::max(max_thr, p.throughput);
+    }
+    min_thr = std::max(min_thr, 1e-6);
+    max_thr = std::max(max_thr, min_thr * 1.0001);
+    double ratio_pad = std::max((max_ratio - min_ratio) * 0.05, 1e-9);
+    min_ratio -= ratio_pad;
+    max_ratio += ratio_pad;
+    const double log_min = std::log(min_thr);
+    const double log_max = std::log(max_thr);
+
+    std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+    std::vector<size_t> front = ParetoFront(points);
+    auto on_front = [&](size_t i) {
+        return std::find(front.begin(), front.end(), i) != front.end();
+    };
+    for (size_t i = 0; i < points.size(); ++i) {
+        double fx = (std::log(std::max(points[i].throughput, min_thr)) -
+                     log_min) /
+                    (log_max - log_min);
+        double fy = (points[i].ratio - min_ratio) / (max_ratio - min_ratio);
+        int x = std::min(kWidth - 1,
+                         std::max(0, static_cast<int>(fx * (kWidth - 1))));
+        int y = std::min(kHeight - 1,
+                         std::max(0, static_cast<int>(fy * (kHeight - 1))));
+        char mark = static_cast<char>('a' + (i % 26));
+        if (on_front(i)) {
+            mark = static_cast<char>(std::toupper(mark));
+        }
+        grid[kHeight - 1 - y][x] = mark;
+    }
+
+    os << std::setprecision(3);
+    for (int row = 0; row < kHeight; ++row) {
+        double ratio = max_ratio - (max_ratio - min_ratio) * row /
+                                       (kHeight - 1);
+        os << std::setw(7) << std::fixed << ratio << " |" << grid[row]
+           << "\n";
+    }
+    os << "        +" << std::string(kWidth, '-') << "\n";
+    os << "         " << std::scientific << std::setprecision(1) << min_thr
+       << std::string(kWidth - 18, ' ') << max_thr << " GB/s (log)\n"
+       << std::defaultfloat;
+    os << "legend (UPPERCASE = Pareto front):\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        char mark = static_cast<char>('a' + (i % 26));
+        if (on_front(i)) mark = static_cast<char>(std::toupper(mark));
+        os << "  " << mark << " = " << points[i].label
+           << ((i % 3 == 2) ? "\n" : "");
+    }
+    os << "\n\n";
+}
+
+void
+WriteCsv(const std::string& path, const std::vector<CodecResult>& results,
+         Axis axis)
+{
+    std::vector<ScatterPoint> points = ToScatter(results, axis);
+    std::vector<size_t> front = ParetoFront(points);
+    std::ofstream os(path);
+    os << "compressor,ratio,throughput_gbps,pareto\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool on_front =
+            std::find(front.begin(), front.end(), i) != front.end();
+        os << points[i].label << "," << points[i].ratio << ","
+           << points[i].throughput << "," << (on_front ? 1 : 0) << "\n";
+    }
+}
+
+}  // namespace fpc::eval

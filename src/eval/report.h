@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure reporting: render the paper's ratio-vs-throughput scatter plots
+ * as tables with the Pareto front highlighted, and emit CSV series for
+ * external plotting.
+ */
+#ifndef FPC_EVAL_REPORT_H
+#define FPC_EVAL_REPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "eval/harness.h"
+#include "util/pareto.h"
+
+namespace fpc::eval {
+
+/** Throughput axis of a figure. */
+enum class Axis { kCompression, kDecompression };
+
+/** Build scatter points from codec results along the chosen axis. */
+std::vector<ScatterPoint> ToScatter(const std::vector<CodecResult>& results,
+                                    Axis axis);
+
+/**
+ * Print one figure: a header, each codec's ratio and throughput, and a
+ * '*' marker plus summary line for Pareto-front members (paper Figures
+ * 8-19 are exactly this data as scatter plots).
+ */
+void PrintFigure(std::ostream& os, const std::string& title,
+                 const std::vector<CodecResult>& results, Axis axis);
+
+/** Write "name,ratio,throughput_gbps,pareto" rows. */
+void WriteCsv(const std::string& path,
+              const std::vector<CodecResult>& results, Axis axis);
+
+/**
+ * Render the scatter as ASCII art: ratio on the y-axis, log-scale
+ * throughput on the x-axis (the paper's CPU figures use a log x-axis),
+ * Pareto-front members drawn with their series letter uppercased and a
+ * legend below.
+ */
+void PrintAsciiScatter(std::ostream& os,
+                       const std::vector<ScatterPoint>& points);
+
+}  // namespace fpc::eval
+
+#endif  // FPC_EVAL_REPORT_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A random-access bit array used by the device kernels to model parallel
+ * bit packing: threads compute their write offsets with a block scan and
+ * then deposit bit fields independently (real CUDA code uses atomicOr for
+ * straddling words). The layout matches BitWriter exactly: bit k of the
+ * stream lives in byte k/8, bit k%8.
+ */
+#ifndef FPC_GPUSIM_BIT_ARENA_H
+#define FPC_GPUSIM_BIT_ARENA_H
+
+#include "util/common.h"
+
+namespace fpc::gpusim {
+
+class BitArena {
+ public:
+    explicit BitArena(size_t bit_count)
+        : bit_count_(bit_count), words_((bit_count + 63) / 64, 0) {}
+
+    /** Deposit the low @p width bits of @p value at @p bitpos. */
+    void
+    SetBits(size_t bitpos, uint64_t value, unsigned width)
+    {
+        if (width == 0) return;
+        FPC_CHECK(bitpos + width <= bit_count_, "bit arena overflow");
+        if (width < 64) value &= (uint64_t{1} << width) - 1;
+        size_t word = bitpos / 64;
+        unsigned shift = bitpos % 64;
+        words_[word] |= value << shift;
+        if (shift + width > 64) {
+            words_[word + 1] |= value >> (64 - shift);
+        }
+    }
+
+    /** Read @p width bits at @p bitpos. */
+    uint64_t
+    GetBits(size_t bitpos, unsigned width) const
+    {
+        if (width == 0) return 0;
+        FPC_CHECK(bitpos + width <= bit_count_, "bit arena overread");
+        size_t word = bitpos / 64;
+        unsigned shift = bitpos % 64;
+        uint64_t value = words_[word] >> shift;
+        if (shift + width > 64) {
+            value |= words_[word + 1] << (64 - shift);
+        }
+        if (width < 64) value &= (uint64_t{1} << width) - 1;
+        return value;
+    }
+
+    /** Serialize to ceil(bit_count/8) little-endian bytes (BitWriter
+     *  layout, zero padding in the final byte). */
+    void
+    AppendTo(Bytes& out) const
+    {
+        size_t n_bytes = (bit_count_ + 7) / 8;
+        size_t start = out.size();
+        out.resize(start + n_bytes);
+        std::memcpy(out.data() + start, words_.data(), n_bytes);
+    }
+
+    /** Load from a byte span produced by a BitWriter. */
+    static BitArena
+    FromBytes(ByteSpan in, size_t bit_count)
+    {
+        FPC_PARSE_CHECK((bit_count + 7) / 8 <= in.size(),
+                        "bit arena source too small");
+        BitArena arena(bit_count);
+        std::memcpy(arena.words_.data(), in.data(), (bit_count + 7) / 8);
+        return arena;
+    }
+
+    size_t BitCount() const { return bit_count_; }
+
+ private:
+    size_t bit_count_;
+    std::vector<uint64_t> words_;
+};
+
+}  // namespace fpc::gpusim
+
+#endif  // FPC_GPUSIM_BIT_ARENA_H

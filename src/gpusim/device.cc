@@ -1,0 +1,53 @@
+#include "gpusim/device.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fpc::gpusim {
+
+const DeviceProfile&
+Rtx4090Profile()
+{
+    static const DeviceProfile profile{"RTX4090-sim", 128, 2, 256};
+    return profile;
+}
+
+const DeviceProfile&
+A100Profile()
+{
+    static const DeviceProfile profile{"A100-sim", 108, 4, 256};
+    return profile;
+}
+
+void
+Device::Launch(size_t num_blocks,
+               const std::function<void(ThreadBlock&)>& body) const
+{
+    blocks_executed_ = num_blocks;
+    // Persistent-block scheduling: at most num_sms * blocks_per_sm blocks
+    // are resident at once; each resident slot pulls block ids off the
+    // worklist dynamically (paper Section 3: chunks are dynamically
+    // assigned to thread blocks).
+    const size_t resident =
+        std::min<size_t>(num_blocks,
+                         size_t{profile_.num_sms} * profile_.blocks_per_sm);
+    if (resident == 0) return;
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+    for (size_t b = 0; b < num_blocks; ++b) {
+        ThreadBlock block(static_cast<unsigned>(b),
+                          profile_.threads_per_block);
+        body(block);
+    }
+#else
+    for (size_t b = 0; b < num_blocks; ++b) {
+        ThreadBlock block(static_cast<unsigned>(b),
+                          profile_.threads_per_block);
+        body(block);
+    }
+#endif
+}
+
+}  // namespace fpc::gpusim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A deterministic CUDA-like execution model, used in place of real GPUs
+ * (see DESIGN.md, substitution #1). It models the pieces of the CUDA
+ * machine the paper's GPU implementations rely on:
+ *
+ *  - a grid of thread blocks dynamically scheduled onto SMs,
+ *  - 32-lane warps executing in lockstep (register state modelled as
+ *    32-wide arrays, exchanged with shuffle operations),
+ *  - per-block shared memory holding chunk data between transformations,
+ *  - bulk-synchronous phases (the code between two __syncthreads()).
+ *
+ * Kernels written against this model (gpusim/kernels.cc) follow the
+ * parallel decomposition of paper Section 3 — chunk = thread block,
+ * MPLG subchunk / BIT group = warp — and must produce byte-identical
+ * compressed streams to the CPU path.
+ */
+#ifndef FPC_GPUSIM_DEVICE_H
+#define FPC_GPUSIM_DEVICE_H
+
+#include <functional>
+
+#include "util/common.h"
+
+namespace fpc::gpusim {
+
+inline constexpr unsigned kWarpSize = 32;
+
+/** Lockstep warp register state: one value per lane. */
+template <typename T>
+using WarpReg = std::array<T, kWarpSize>;
+
+/** Per-block software-managed memory (the GPU's shared memory). */
+class SharedMemory {
+ public:
+    /** Shared-memory capacity per block; sized, as in the paper, to hold
+     *  two 16 KiB chunk buffers plus scan scratch. */
+    static constexpr size_t kCapacity = 48 * 1024;
+
+    /** Allocate @p count elements of T; throws when over capacity. */
+    template <typename T>
+    std::span<T>
+    Alloc(size_t count)
+    {
+        static_assert(std::is_trivial_v<T>,
+                      "shared memory holds trivial types only");
+        size_t bytes = count * sizeof(T);
+        size_t aligned = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+        FPC_CHECK(aligned + bytes <= kCapacity,
+                  "shared memory capacity exceeded");
+        T* p = reinterpret_cast<T*>(arena_.data() + aligned);
+        used_ = aligned + bytes;
+        std::memset(p, 0, bytes);
+        return std::span<T>(p, count);
+    }
+
+    /** Release everything (end of kernel). */
+    void Reset() { used_ = 0; }
+
+    size_t Used() const { return used_; }
+
+ private:
+    alignas(16) std::array<unsigned char, kCapacity> arena_{};
+    size_t used_ = 0;
+};
+
+/** One thread block: phase-structured bulk-synchronous execution. */
+class ThreadBlock {
+ public:
+    ThreadBlock(unsigned block_id, unsigned num_threads)
+        : block_id_(block_id), num_threads_(num_threads)
+    {
+        FPC_CHECK(num_threads % kWarpSize == 0,
+                  "block size must be a warp multiple");
+    }
+
+    unsigned BlockId() const { return block_id_; }
+    unsigned NumThreads() const { return num_threads_; }
+    unsigned NumWarps() const { return num_threads_ / kWarpSize; }
+    SharedMemory& Shared() { return shared_; }
+
+    /**
+     * Execute one bulk-synchronous phase: @p body runs once per thread id.
+     * Successive ForEachThread calls are separated by an implicit
+     * __syncthreads() barrier (all side effects of phase N are visible in
+     * phase N+1).
+     */
+    template <typename Body>
+    void
+    ForEachThread(Body&& body)
+    {
+        for (unsigned tid = 0; tid < num_threads_; ++tid) body(tid);
+    }
+
+    /** Execute one phase per warp (body receives the warp id). */
+    template <typename Body>
+    void
+    ForEachWarp(Body&& body)
+    {
+        for (unsigned w = 0; w < NumWarps(); ++w) body(w);
+    }
+
+ private:
+    unsigned block_id_;
+    unsigned num_threads_;
+    SharedMemory shared_;
+};
+
+/** Static description of a simulated GPU (used by the two GPU figures). */
+struct DeviceProfile {
+    const char* name;
+    unsigned num_sms;            ///< streaming multiprocessors
+    unsigned blocks_per_sm;      ///< resident blocks per SM
+    unsigned threads_per_block;  ///< launch configuration
+};
+
+/** RTX 4090-like profile (Lovelace: 128 SMs). */
+const DeviceProfile& Rtx4090Profile();
+/** A100-like profile (Ampere: 108 SMs, more resident blocks). */
+const DeviceProfile& A100Profile();
+
+/** The simulated device: schedules blocks dynamically, like persistent
+ *  thread blocks pulling chunks off a worklist (paper Section 3). */
+class Device {
+ public:
+    explicit Device(const DeviceProfile& profile) : profile_(profile) {}
+
+    const DeviceProfile& Profile() const { return profile_; }
+
+    /**
+     * Launch @p num_blocks blocks of the kernel @p body. Blocks execute
+     * independently (host threads model SMs when OpenMP is enabled).
+     */
+    void Launch(size_t num_blocks,
+                const std::function<void(ThreadBlock&)>& body) const;
+
+    /** Blocks executed by the last Launch (scheduling statistic). */
+    size_t BlocksExecuted() const { return blocks_executed_; }
+
+ private:
+    const DeviceProfile& profile_;
+    mutable size_t blocks_executed_ = 0;
+};
+
+}  // namespace fpc::gpusim
+
+#endif  // FPC_GPUSIM_DEVICE_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * GPU-path chunk codecs built on the execution-model simulator
+ * (src/gpusim/device.h). Each kernel mirrors the CUDA parallelization the
+ * paper describes in Section 3 — chunks map to thread blocks, MPLG
+ * subchunks and BIT groups map to warps, RZE compaction uses block-wide
+ * prefix sums, and the FCM decoder uses the parallel union-find "find".
+ *
+ * The wire format is identical to the CPU path; tests assert byte
+ * equality, which is the cross-device compatibility claim of the paper.
+ */
+#ifndef FPC_GPUSIM_KERNELS_H
+#define FPC_GPUSIM_KERNELS_H
+
+#include "core/pipeline.h"
+#include "util/common.h"
+
+namespace fpc::gpusim {
+
+/** GPU-path equivalent of fpc::EncodeChunk (one thread block per chunk). */
+Bytes EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw);
+
+/** GPU-path equivalent of fpc::DecodeChunk. */
+void DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
+                       size_t expected_size, Bytes& out);
+
+/** GPU-path FCM whole-input transform (CUB-style device sort + parallel
+ *  match detection / union-find decode). */
+void FcmEncodeDevice(ByteSpan in, Bytes& out);
+void FcmDecodeDevice(ByteSpan in, Bytes& out);
+
+}  // namespace fpc::gpusim
+
+#endif  // FPC_GPUSIM_KERNELS_H

@@ -1,0 +1,117 @@
+#include "gpusim/launch.h"
+
+#include "core/container.h"
+#include "core/pipeline.h"
+#include "gpusim/kernels.h"
+#include "gpusim/primitives.h"
+#include "util/hash.h"
+
+namespace fpc::gpusim {
+
+Bytes
+CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
+{
+    const PipelineSpec& spec = GetPipeline(algorithm);
+
+    Bytes work;
+    if (spec.pre.encode != nullptr) {
+        FcmEncodeDevice(input, work);
+    } else {
+        AppendBytes(work, input);
+    }
+
+    const size_t n_chunks = (work.size() + kChunkSize - 1) / kChunkSize;
+    std::vector<Bytes> payloads(n_chunks);
+    std::vector<uint8_t> raw_flags(n_chunks, 0);
+    std::vector<uint64_t> offsets(n_chunks, 0);
+    DecoupledLookback lookback(n_chunks);
+
+    // One thread block per chunk; after encoding, each block publishes its
+    // compressed size and resolves its write position by looking back.
+    device.Launch(n_chunks, [&](ThreadBlock& block) {
+        const size_t c = block.BlockId();
+        size_t begin = c * kChunkSize;
+        size_t size = std::min(kChunkSize, work.size() - begin);
+        bool raw = false;
+        payloads[c] =
+            EncodeChunkDevice(spec, ByteSpan(work).subspan(begin, size), raw);
+        raw_flags[c] = raw ? 1 : 0;
+        lookback.PublishAggregate(c, payloads[c].size());
+        offsets[c] = lookback.ResolvePrefix(c);
+    });
+
+    ContainerHeader header;
+    header.algorithm = static_cast<uint8_t>(algorithm);
+    header.original_size = input.size();
+    header.transformed_size = work.size();
+    header.checksum = Checksum64(input);
+    header.chunk_count = static_cast<uint32_t>(n_chunks);
+
+    std::vector<uint32_t> sizes(n_chunks);
+    size_t total = 0;
+    for (size_t c = 0; c < n_chunks; ++c) {
+        sizes[c] = static_cast<uint32_t>(payloads[c].size());
+        total += payloads[c].size();
+    }
+
+    Bytes out;
+    out.reserve(ContainerHeaderSize() + n_chunks * 4 + total);
+    WriteContainerPrefix(header, sizes, raw_flags, out);
+    size_t payload_base = out.size();
+    out.resize(payload_base + total);
+    // Blocks write at their look-back-resolved positions.
+    for (size_t c = 0; c < n_chunks; ++c) {
+        FPC_CHECK(offsets[c] + payloads[c].size() <= total,
+                  "look-back offset out of range");
+        std::memcpy(out.data() + payload_base + offsets[c],
+                    payloads[c].data(), payloads[c].size());
+    }
+    return out;
+}
+
+Bytes
+DecompressOnDevice(const Device& device, ByteSpan compressed)
+{
+    ContainerView view = ParseContainer(compressed);
+    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
+    const PipelineSpec& spec = GetPipeline(algorithm);
+    const size_t transformed_size = view.header.transformed_size;
+
+    Bytes work(transformed_size);
+    std::atomic<bool> failed{false};
+    device.Launch(view.header.chunk_count, [&](ThreadBlock& block) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const size_t c = block.BlockId();
+        try {
+            size_t begin = c * kChunkSize;
+            size_t size = std::min(kChunkSize, transformed_size - begin);
+            Bytes decoded;
+            DecodeChunkDevice(
+                spec,
+                view.payload.subspan(view.chunk_offsets[c],
+                                     view.chunk_sizes[c]),
+                view.chunk_raw[c], size, decoded);
+            std::memcpy(work.data() + begin, decoded.data(), size);
+        } catch (const std::exception&) {
+            failed.store(true);
+        }
+    });
+    if (failed.load()) {
+        throw CorruptStreamError("device chunk decode failed");
+    }
+
+    Bytes out;
+    out.reserve(view.header.original_size);
+    if (spec.pre.decode != nullptr) {
+        FcmDecodeDevice(ByteSpan(work), out);
+    } else {
+        AppendBytes(out, ByteSpan(work));
+    }
+    FPC_PARSE_CHECK(out.size() == view.header.original_size,
+                    "decompressed size mismatch");
+    FPC_PARSE_CHECK(Checksum64(ByteSpan(out)) == view.header.checksum,
+                    "content checksum mismatch");
+    return out;
+}
+
+}  // namespace fpc::gpusim

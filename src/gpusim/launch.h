@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Whole-buffer compression driven through the simulated device: one
+ * thread block per chunk, scheduled across the profile's SMs, with the
+ * compressed write positions communicated between blocks via Merrill &
+ * Garland's decoupled look-back (paper Section 3.1). Produces exactly
+ * the same container bytes as fpc::Compress; the GPU-figure benchmarks
+ * run this path under the RTX 4090-like and A100-like profiles.
+ */
+#ifndef FPC_GPUSIM_LAUNCH_H
+#define FPC_GPUSIM_LAUNCH_H
+
+#include "core/types.h"
+#include "gpusim/device.h"
+
+namespace fpc::gpusim {
+
+/** Compress via grid launch on @p device; container-identical to
+ *  fpc::Compress(algorithm, input). */
+Bytes CompressOnDevice(const Device& device, Algorithm algorithm,
+                       ByteSpan input);
+
+/** Decompress via grid launch (chunk offsets from a prefix sum over the
+ *  chunk table, then fully independent block decoding). */
+Bytes DecompressOnDevice(const Device& device, ByteSpan compressed);
+
+}  // namespace fpc::gpusim
+
+#endif  // FPC_GPUSIM_LAUNCH_H

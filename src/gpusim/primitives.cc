@@ -1,0 +1,39 @@
+#include "gpusim/primitives.h"
+
+namespace fpc::gpusim {
+
+WarpReg<uint32_t>
+WarpBitTranspose(WarpReg<uint32_t> rows)
+{
+    // Classic shuffle-based 32x32 bit-matrix transpose: at step s the
+    // lanes exchange the half-words selected by bit s of their lane id
+    // with lane (lane ^ 2^s), swapping bit rectangles of size 2^s.
+    // After 5 steps lane j holds column j of the original matrix.
+    for (unsigned s = 0; s < 5; ++s) {
+        const unsigned mask = 1u << s;
+        const uint32_t column_mask = [&] {
+            // Pattern selecting the bits to swap at this step, e.g. for
+            // s=0: 0xaaaaaaaa / 0x55555555 halves.
+            uint32_t m = 0;
+            for (unsigned b = 0; b < 32; ++b) {
+                if ((b >> s) & 1u) m |= 1u << b;
+            }
+            return m;
+        }();
+        WarpReg<uint32_t> partner = ShuffleXor(rows, mask);
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            bool upper = (lane >> s) & 1u;
+            uint32_t keep_mask = upper ? column_mask : ~column_mask;
+            uint32_t take_mask = ~keep_mask;
+            // Lower lanes receive the partner's low half shifted up into
+            // their high columns; upper lanes receive the partner's high
+            // half shifted down into their low columns.
+            uint32_t moved = upper ? (partner[lane] >> mask)
+                                   : (partner[lane] << mask);
+            rows[lane] = (rows[lane] & keep_mask) | (moved & take_mask);
+        }
+    }
+    return rows;
+}
+
+}  // namespace fpc::gpusim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The adaptive split-point selection shared by RAZE and RARE (paper
+ * Figure 7) — and by their GPU-path kernels, which must pick the same k to
+ * stay bit-compatible. Given a histogram of "droppable leading bits" per
+ * word (leading zeros for RAZE, leading bits matching the previous word
+ * for RARE), computes the k in [0, word bits] minimizing the encoded size
+ * via one prefix sum, without trying all splits individually.
+ */
+#ifndef FPC_TRANSFORMS_ADAPTIVE_K_H
+#define FPC_TRANSFORMS_ADAPTIVE_K_H
+
+#include "util/common.h"
+
+namespace fpc::tf {
+
+/**
+ * @param histogram  histogram[m] = number of words whose top m bits (and
+ *                   no more) are droppable; size word_bits + 1.
+ * @param nw         number of words in the chunk.
+ * @param word_bits  32 or 64.
+ */
+inline unsigned
+ChooseAdaptiveK(std::span<const unsigned> histogram, size_t nw,
+                unsigned word_bits)
+{
+    FPC_CHECK(histogram.size() == word_bits + 1, "histogram size");
+    // droppable_geq[k] = #words with at least k droppable leading bits:
+    // every word with m droppable bits also has m-1, m-2, ... droppable.
+    std::vector<size_t> droppable_geq(word_bits + 2, 0);
+    for (unsigned m = word_bits + 1; m-- > 0;) {
+        droppable_geq[m] = droppable_geq[m + 1] +
+                           (m <= word_bits ? histogram[m] : 0);
+    }
+    unsigned best_k = 0;
+    size_t best_bits = SIZE_MAX;
+    for (unsigned k = 0; k <= word_bits; ++k) {
+        size_t kept = nw - droppable_geq[k];  // words keeping top pieces
+        size_t bits = nw * (word_bits - k)    // low pieces, always kept
+                      + kept * k              // surviving top pieces
+                      + (k > 0 ? nw : 0);     // bitmap (absent for k = 0)
+        if (bits < best_bits) {
+            best_bits = bits;
+            best_k = k;
+        }
+    }
+    return best_k;
+}
+
+}  // namespace fpc::tf
+
+#endif  // FPC_TRANSFORMS_ADAPTIVE_K_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * BIT (paper Section 3.2, Figure 4): bit-plane transposition. All the most
+ * significant bits of the chunk's words are grouped together, then the
+ * next bits, and so on (MSB plane first). After DIFFMS the high planes are
+ * almost entirely zero, producing the long zero-byte runs that RZE removes.
+ *
+ * The planes are packed back-to-back into a single bit stream (no
+ * per-plane padding), so the payload occupies exactly the same number of
+ * whole-word bytes as the input.
+ *
+ * When the word count is a multiple of 32 (every full 16 KiB chunk), the
+ * 32-bit path transposes 32x32 blocks and stores whole aligned words —
+ * the same decomposition the GPU kernels use per warp; otherwise a
+ * bit-granular fallback produces the identical layout.
+ */
+#include "transforms/transforms.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::tf {
+
+namespace {
+
+template <typename T>
+void
+BitEncodeSlow(const std::vector<T>& words, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    const size_t nw = words.size();
+    Bytes packed;
+    packed.reserve(nw * sizeof(T) + 8);
+    BitWriter bw(packed);
+    for (unsigned plane = 0; plane < kWordBits; ++plane) {
+        const unsigned shift = kWordBits - 1 - plane;  // MSB plane first
+        size_t i = 0;
+        // Build whole bytes from 8 words at a time.
+        for (; i + 8 <= nw; i += 8) {
+            uint64_t byte = 0;
+            for (unsigned j = 0; j < 8; ++j) {
+                byte |= ((static_cast<uint64_t>(words[i + j]) >> shift) & 1u)
+                        << j;
+            }
+            bw.Put(byte, 8);
+        }
+        for (; i < nw; ++i) {
+            bw.PutBit((words[i] >> shift) & 1u);
+        }
+    }
+    bw.Finish();
+    AppendBytes(out, ByteSpan(packed));
+}
+
+/** 32-bit fast path: block transposes + aligned 32-bit plane stores. */
+void
+BitEncodeFast32(const std::vector<uint32_t>& words, Bytes& out)
+{
+    const size_t nw = words.size();
+    const size_t groups = nw / 32;
+    std::vector<uint32_t> planes(nw);
+    // Plane p occupies words [p * groups, (p+1) * groups) of the output:
+    // bit index p*nw + g*32 is word p*groups + g for nw % 32 == 0.
+    for (size_t g = 0; g < groups; ++g) {
+        uint32_t block[32];
+        std::memcpy(block, words.data() + g * 32, sizeof(block));
+        Transpose32x32(block);
+        for (unsigned j = 0; j < 32; ++j) {
+            unsigned p = 31 - j;  // MSB plane first
+            planes[p * groups + g] = block[j];
+        }
+    }
+    AppendBytes(out, AsBytes(planes));
+}
+
+template <typename T>
+void
+BitEncodeImpl(ByteSpan in, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+    std::vector<T> words = LoadWords<T>(in);
+    if constexpr (sizeof(T) == 4) {
+        if (!words.empty() && words.size() % 32 == 0) {
+            BitEncodeFast32(words, out);
+            wr.PutBytes(in.subspan(words.size() * sizeof(T)));
+            return;
+        }
+    }
+    BitEncodeSlow(words, out);
+    wr.PutBytes(in.subspan(words.size() * sizeof(T)));
+}
+
+template <typename T>
+void
+BitDecodeSlow(ByteSpan packed, std::vector<T>& words)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    const size_t nw = words.size();
+    BitReader bits(packed);
+    for (unsigned plane = 0; plane < kWordBits; ++plane) {
+        const unsigned shift = kWordBits - 1 - plane;
+        size_t i = 0;
+        for (; i + 8 <= nw; i += 8) {
+            uint64_t byte = bits.Get(8);
+            for (unsigned j = 0; j < 8; ++j) {
+                words[i + j] |= static_cast<T>((byte >> j) & 1u) << shift;
+            }
+        }
+        for (; i < nw; ++i) {
+            if (bits.GetBit()) words[i] |= T{1} << shift;
+        }
+    }
+}
+
+void
+BitDecodeFast32(ByteSpan packed, std::vector<uint32_t>& words)
+{
+    const size_t nw = words.size();
+    const size_t groups = nw / 32;
+    std::vector<uint32_t> planes = LoadWords<uint32_t>(packed);
+    for (size_t g = 0; g < groups; ++g) {
+        uint32_t block[32];
+        for (unsigned j = 0; j < 32; ++j) {
+            unsigned p = 31 - j;
+            block[j] = planes[p * groups + g];
+        }
+        Transpose32x32(block);  // the transpose is an involution
+        std::memcpy(words.data() + g * 32, block, sizeof(block));
+    }
+}
+
+template <typename T>
+void
+BitDecodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t nw = orig_size / sizeof(T);
+    ByteSpan packed = br.GetBytes((nw * kWordBits + 7) / 8);
+
+    std::vector<T> words(nw, 0);
+    if constexpr (sizeof(T) == 4) {
+        if (nw > 0 && nw % 32 == 0) {
+            BitDecodeFast32(packed, words);
+            AppendBytes(out, AsBytes(words));
+            AppendBytes(out, br.Rest());
+            return;
+        }
+    }
+    BitDecodeSlow(packed, words);
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+void BitEncode32(ByteSpan in, Bytes& out) { BitEncodeImpl<uint32_t>(in, out); }
+void BitDecode32(ByteSpan in, Bytes& out) { BitDecodeImpl<uint32_t>(in, out); }
+void BitEncode64(ByteSpan in, Bytes& out) { BitEncodeImpl<uint64_t>(in, out); }
+void BitDecode64(ByteSpan in, Bytes& out) { BitDecodeImpl<uint64_t>(in, out); }
+
+}  // namespace fpc::tf

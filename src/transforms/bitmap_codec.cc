@@ -1,0 +1,91 @@
+#include "transforms/bitmap_codec.h"
+
+namespace fpc::tf {
+
+namespace {
+
+/** Byte lengths of the successive bitmap levels, largest first. */
+std::vector<size_t>
+LevelSizes(size_t bitmap_size)
+{
+    std::vector<size_t> sizes;
+    size_t s = bitmap_size;
+    sizes.push_back(s);
+    while (s > 4) {
+        s = (s + 7) / 8;  // one bit per byte of the level below
+        sizes.push_back(s);
+    }
+    return sizes;
+}
+
+}  // namespace
+
+size_t
+PopcountBitmap(ByteSpan bitmap)
+{
+    size_t n = 0;
+    for (std::byte b : bitmap) n += std::popcount(static_cast<uint8_t>(b));
+    return n;
+}
+
+void
+CompressBitmap(ByteSpan bitmap, Bytes& out)
+{
+    // Build the level stack bottom-up: level k+1 marks the non-repeating
+    // bytes of level k; only those bytes survive.
+    std::vector<Bytes> levels;       // level byte arrays (level 0 = input)
+    std::vector<Bytes> kept;         // kept (non-repeating) bytes per level
+    levels.emplace_back(bitmap.begin(), bitmap.end());
+
+    while (levels.back().size() > 4) {
+        const Bytes& cur = levels.back();
+        Bytes next((cur.size() + 7) / 8, std::byte{0});
+        Bytes surviving;
+        std::byte prev{0};
+        for (size_t j = 0; j < cur.size(); ++j) {
+            bool differs = (j == 0) || (cur[j] != prev);
+            if (differs) {
+                next[j / 8] |= static_cast<std::byte>(1u << (j % 8));
+                surviving.push_back(cur[j]);
+            }
+            prev = cur[j];
+        }
+        kept.push_back(std::move(surviving));
+        levels.push_back(std::move(next));
+    }
+
+    // Emit: final level verbatim, then kept bytes from the smallest level's
+    // parent down to level 0's kept bytes.
+    AppendBytes(out, ByteSpan(levels.back()));
+    for (size_t k = kept.size(); k-- > 0;) {
+        AppendBytes(out, ByteSpan(kept[k]));
+    }
+}
+
+Bytes
+DecompressBitmap(ByteReader& br, size_t bitmap_size)
+{
+    std::vector<size_t> sizes = LevelSizes(bitmap_size);
+    ByteSpan final_span = br.GetBytes(sizes.back());
+    Bytes cur(final_span.begin(), final_span.end());
+
+    for (size_t level = sizes.size() - 1; level-- > 0;) {
+        const size_t target = sizes[level];
+        Bytes expanded;
+        expanded.reserve(target);
+        std::byte prev{0};
+        for (size_t j = 0; j < target; ++j) {
+            bool differs =
+                (static_cast<uint8_t>(cur[j / 8]) >> (j % 8)) & 1u;
+            std::byte b =
+                differs ? static_cast<std::byte>(br.GetU8()) : prev;
+            expanded.push_back(b);
+            prev = b;
+        }
+        cur = std::move(expanded);
+    }
+    FPC_PARSE_CHECK(cur.size() == bitmap_size, "bitmap size mismatch");
+    return cur;
+}
+
+}  // namespace fpc::tf

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Recursive bitmap compression shared by RZE, RAZE, and RARE
+ * (paper Section 3.2): a bitmap's byte array is itself compressed by
+ * *repeated-byte elimination* — a smaller bitmap marks which bytes differ
+ * from their predecessor, and only those bytes are kept — applied
+ * repeatedly until at most 4 bytes of bitmap remain
+ * (16384 -> 2048 -> 256 -> 32 bits on a full chunk).
+ */
+#ifndef FPC_TRANSFORMS_BITMAP_CODEC_H
+#define FPC_TRANSFORMS_BITMAP_CODEC_H
+
+#include "util/bitio.h"
+#include "util/common.h"
+
+namespace fpc::tf {
+
+/**
+ * Append the recursively compressed form of @p bitmap to @p out.
+ * Wire format (decoder re-derives all sizes from bitmap.size()):
+ * [final-level bitmap bytes][level L-1 kept bytes]...[level 1 kept bytes].
+ */
+void CompressBitmap(ByteSpan bitmap, Bytes& out);
+
+/**
+ * Inverse of CompressBitmap: reconstruct a bitmap of @p bitmap_size bytes,
+ * consuming exactly the bytes CompressBitmap wrote from @p br.
+ */
+Bytes DecompressBitmap(ByteReader& br, size_t bitmap_size);
+
+/** Number of '1' bits in a bitmap byte array. */
+size_t PopcountBitmap(ByteSpan bitmap);
+
+}  // namespace fpc::tf
+
+#endif  // FPC_TRANSFORMS_BITMAP_CODEC_H

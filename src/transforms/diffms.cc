@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DIFFMS (paper Section 3.1, Figure 2): modulo-2^w difference coding
+ * followed by a two's-complement to magnitude-sign representation change
+ * (zigzag, sign in the LSB). Smooth inputs become small positive integers
+ * with many leading zero bits.
+ */
+#include "transforms/transforms.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::tf {
+
+namespace {
+
+template <typename T>
+void
+DiffmsEncodeImpl(ByteSpan in, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+    std::vector<T> words = LoadWords<T>(in);
+    T prev = 0;
+    for (T& w : words) {
+        T v = w;
+        w = ZigzagEncode(static_cast<T>(v - prev));  // modulo 2^w
+        prev = v;
+    }
+    wr.PutBytes(AsBytes(words));
+    wr.PutBytes(in.subspan(words.size() * sizeof(T)));  // trailing bytes
+}
+
+template <typename T>
+void
+DiffmsDecodeImpl(ByteSpan in, Bytes& out)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t nw = orig_size / sizeof(T);
+    FPC_PARSE_CHECK(br.Remaining() == orig_size, "DIFFMS size mismatch");
+    std::vector<T> words = LoadWords<T>(br.GetBytes(nw * sizeof(T)));
+    T prev = 0;
+    for (T& w : words) {
+        prev = static_cast<T>(prev + ZigzagDecode(w));
+        w = prev;
+    }
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+void DiffmsEncode32(ByteSpan in, Bytes& out) { DiffmsEncodeImpl<uint32_t>(in, out); }
+void DiffmsDecode32(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint32_t>(in, out); }
+void DiffmsEncode64(ByteSpan in, Bytes& out) { DiffmsEncodeImpl<uint64_t>(in, out); }
+void DiffmsDecode64(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint64_t>(in, out); }
+
+}  // namespace fpc::tf

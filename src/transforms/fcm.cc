@@ -1,0 +1,113 @@
+/**
+ * @file
+ * FCM — Finite Context Method (paper Section 3.2, Figure 6). The only
+ * whole-input stage: for each 64-bit value, a hash of the three preceding
+ * values is paired with the value's index; the pairs are sorted by
+ * (hash, index); a value "matches" when one of the up-to-four preceding
+ * pairs in sorted order has the same hash and refers to an equal value.
+ * The output is two n-word arrays — values (0 where matched) and backward
+ * distances (0 where unmatched) — which double the data volume but are far
+ * more compressible than the original (half the entries are zero).
+ *
+ * Wire format: varint(in size) | n value words | n distance words |
+ * trailing (<8) bytes verbatim.
+ */
+#include "transforms/transforms.h"
+
+#include <algorithm>
+
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace fpc::tf {
+
+namespace {
+
+/** How many preceding same-hash pairs are probed for a match (paper: 4). */
+constexpr size_t kFcmProbes = 4;
+
+}  // namespace
+
+void
+FcmEncode(ByteSpan in, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+
+    std::vector<uint64_t> values = LoadWords<uint64_t>(in);
+    const size_t n = values.size();
+
+    struct Pair {
+        uint64_t hash;
+        uint32_t index;
+    };
+    std::vector<Pair> pairs(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t v1 = i >= 1 ? values[i - 1] : 0;
+        uint64_t v2 = i >= 2 ? values[i - 2] : 0;
+        uint64_t v3 = i >= 3 ? values[i - 3] : 0;
+        pairs[i] = {FcmContextHash(v1, v2, v3), static_cast<uint32_t>(i)};
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+        if (a.hash != b.hash) return a.hash < b.hash;
+        return a.index < b.index;
+    });
+
+    std::vector<uint64_t> out_values(n), out_dists(n);
+    for (size_t p = 0; p < n; ++p) {
+        const uint32_t i = pairs[p].index;
+        bool found = false;
+        uint32_t matched = 0;
+        const size_t max_back = std::min(kFcmProbes, p);
+        for (size_t back = 1; back <= max_back; ++back) {
+            const Pair& prior = pairs[p - back];
+            if (prior.hash != pairs[p].hash) break;
+            if (values[prior.index] == values[i]) {
+                matched = prior.index;  // sorted by index => prior.index < i
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            out_values[i] = 0;
+            out_dists[i] = i - matched;
+        } else {
+            out_values[i] = values[i];
+            out_dists[i] = 0;
+        }
+    }
+    wr.PutBytes(AsBytes(out_values));
+    wr.PutBytes(AsBytes(out_dists));
+    wr.PutBytes(in.subspan(n * sizeof(uint64_t)));
+}
+
+void
+FcmDecode(ByteSpan in, Bytes& out)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t n = orig_size / sizeof(uint64_t);
+    FPC_PARSE_CHECK(br.Remaining() == 2 * n * sizeof(uint64_t) +
+                                          orig_size % sizeof(uint64_t),
+                    "FCM payload size mismatch");
+
+    std::vector<uint64_t> values = LoadWords<uint64_t>(br.GetBytes(n * 8));
+    std::vector<uint64_t> dists = LoadWords<uint64_t>(br.GetBytes(n * 8));
+
+    // The matched index is always smaller, so a single in-order pass
+    // resolves every chain (the GPU decoder does this with the parallel
+    // union-find "find" described in the paper; results are identical).
+    std::vector<uint64_t> result(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (dists[i] == 0) {
+            result[i] = values[i];
+        } else {
+            FPC_PARSE_CHECK(dists[i] <= i, "FCM distance out of range");
+            result[i] = result[i - dists[i]];
+        }
+    }
+    AppendBytes(out, AsBytes(result));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace fpc::tf

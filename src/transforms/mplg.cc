@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Enhanced MPLG (paper Section 3.1, Figure 3): per 512-byte subchunk, count
+ * the leading zero bits of the subchunk maximum and eliminate that many
+ * bits from every word. Enhancement from the paper: if the maximum has no
+ * leading zeros, apply one extra two's-complement -> magnitude-sign
+ * conversion to the subchunk's words and retry — a cheap reversible tweak
+ * that often manufactures a few leading zeros.
+ *
+ * Wire format: varint(in size) | one header byte per subchunk
+ * (bit 7: zigzag-enhancement flag, bits 0..6: kept width in bits) |
+ * bit-packed kept words | trailing (<W) bytes verbatim.
+ * Decoders can compute every subchunk's bit offset from the headers alone,
+ * which is what makes block-parallel GPU decoding possible.
+ */
+#include "transforms/transforms.h"
+
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::tf {
+
+namespace {
+
+template <typename T>
+void
+MplgEncodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+
+    std::vector<T> words = LoadWords<T>(in);
+    const size_t words_per_sub = kSubchunkSize / sizeof(T);
+    const size_t n_sub = (words.size() + words_per_sub - 1) / words_per_sub;
+
+    // Pass 1: per-subchunk width decisions (and the enhancement rewrite).
+    Bytes headers;
+    headers.reserve(n_sub);
+    for (size_t s = 0; s < n_sub; ++s) {
+        size_t begin = s * words_per_sub;
+        size_t end = std::min(words.size(), begin + words_per_sub);
+        T max_value = 0;
+        for (size_t i = begin; i < end; ++i) {
+            max_value = std::max(max_value, words[i]);
+        }
+        bool enhanced = false;
+        if (max_value != 0 && LeadingZeros(max_value) == 0) {
+            // Enhancement: another magnitude-sign conversion; meaningless as
+            // arithmetic but reversible and often produces leading zeros.
+            enhanced = true;
+            max_value = 0;
+            for (size_t i = begin; i < end; ++i) {
+                words[i] = ZigzagEncode(words[i]);
+                max_value = std::max(max_value, words[i]);
+            }
+        }
+        unsigned width =
+            (max_value == 0) ? 0 : kWordBits - LeadingZeros(max_value);
+        headers.push_back(static_cast<std::byte>(
+            (enhanced ? 0x80u : 0u) | width));
+    }
+    wr.PutBytes(ByteSpan(headers));
+
+    // Pass 2: pack the kept low bits of every word.
+    Bytes packed;
+    BitWriter bw(packed);
+    for (size_t s = 0; s < n_sub; ++s) {
+        unsigned width = static_cast<uint8_t>(headers[s]) & 0x7f;
+        size_t begin = s * words_per_sub;
+        size_t end = std::min(words.size(), begin + words_per_sub);
+        for (size_t i = begin; i < end; ++i) {
+            bw.Put(static_cast<uint64_t>(words[i]), width);
+        }
+    }
+    bw.Finish();
+    wr.PutBytes(ByteSpan(packed));
+    wr.PutBytes(in.subspan(words.size() * sizeof(T)));
+}
+
+template <typename T>
+void
+MplgDecodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t nw = orig_size / sizeof(T);
+    const size_t words_per_sub = kSubchunkSize / sizeof(T);
+    const size_t n_sub = (nw + words_per_sub - 1) / words_per_sub;
+
+    ByteSpan headers = br.GetBytes(n_sub);
+    size_t total_bits = 0;
+    for (size_t s = 0; s < n_sub; ++s) {
+        unsigned width = static_cast<uint8_t>(headers[s]) & 0x7f;
+        FPC_PARSE_CHECK(width <= kWordBits, "MPLG width out of range");
+        size_t begin = s * words_per_sub;
+        size_t count = std::min(nw - begin, words_per_sub);
+        total_bits += width * count;
+    }
+    ByteSpan packed = br.GetBytes((total_bits + 7) / 8);
+
+    BitReader bits(packed);
+    std::vector<T> words(nw);
+    for (size_t s = 0; s < n_sub; ++s) {
+        uint8_t h = static_cast<uint8_t>(headers[s]);
+        unsigned width = h & 0x7f;
+        bool enhanced = (h & 0x80) != 0;
+        size_t begin = s * words_per_sub;
+        size_t count = std::min(nw - begin, words_per_sub);
+        for (size_t i = 0; i < count; ++i) {
+            T v = static_cast<T>(bits.Get(width));
+            if (enhanced) v = ZigzagDecode(v);
+            words[begin + i] = v;
+        }
+    }
+    AppendBytes(out, AsBytes(words));
+    ByteSpan tail = br.Rest();
+    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
+                    "MPLG tail size mismatch");
+    AppendBytes(out, tail);
+}
+
+}  // namespace
+
+void MplgEncode32(ByteSpan in, Bytes& out) { MplgEncodeImpl<uint32_t>(in, out); }
+void MplgDecode32(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint32_t>(in, out); }
+void MplgEncode64(ByteSpan in, Bytes& out) { MplgEncodeImpl<uint64_t>(in, out); }
+void MplgDecode64(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint64_t>(in, out); }
+
+}  // namespace fpc::tf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * RARE — Repeated Adaptive Repetition Elimination (paper Section 3.2,
+ * Figure 7). Identical machinery to RAZE except the predicate: a word
+ * drops its top k bits when they *equal the previous word's* top k bits
+ * (the first word compares against zero). RAZE leaves runs of identical
+ * most-significant bit patterns behind; RARE removes them.
+ *
+ * The adaptive k uses a histogram of leading *matching* bit counts
+ * (leading zeros of word XOR previous word) with the same prefix-sum
+ * trick as RAZE.
+ *
+ * Wire format matches RAZE: varint(in size) | k | varint(#kept pieces) |
+ * compressed bitmap | kept top pieces | low pieces | trailing bytes.
+ */
+#include "transforms/transforms.h"
+
+#include "transforms/adaptive_k.h"
+#include "transforms/bitmap_codec.h"
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::tf {
+
+namespace {
+
+template <typename T>
+void
+RareEncodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+
+    std::vector<T> words = LoadWords<T>(in);
+    const size_t nw = words.size();
+
+    std::vector<unsigned> hist(kWordBits + 1, 0);
+    T prev = 0;
+    for (T v : words) {
+        ++hist[LeadingZeros(static_cast<T>(v ^ prev))];
+        prev = v;
+    }
+    const unsigned k = ChooseAdaptiveK(hist, nw, kWordBits);
+    wr.PutU8(static_cast<uint8_t>(k));
+
+    Bytes bitmap((nw + 7) / 8, std::byte{0});
+    Bytes pieces;
+    BitWriter piece_bits(pieces);
+    size_t kept_count = 0;
+    prev = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        unsigned match = LeadingZeros(static_cast<T>(words[i] ^ prev));
+        if (k > 0 && match < k) {
+            bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+            piece_bits.Put(TopBits(words[i], k), k);
+            ++kept_count;
+        }
+        prev = words[i];
+    }
+    piece_bits.Finish();
+
+    Bytes lows;
+    BitWriter low_bits(lows);
+    for (size_t i = 0; i < nw; ++i) {
+        low_bits.Put(static_cast<uint64_t>(words[i]), kWordBits - k);
+    }
+    low_bits.Finish();
+
+    wr.PutVarint(kept_count);
+    if (k > 0) CompressBitmap(ByteSpan(bitmap), out);
+    AppendBytes(out, ByteSpan(pieces));
+    AppendBytes(out, ByteSpan(lows));
+    wr.PutBytes(in.subspan(nw * sizeof(T)));
+}
+
+template <typename T>
+void
+RareDecodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t nw = orig_size / sizeof(T);
+    const unsigned k = br.GetU8();
+    FPC_PARSE_CHECK(k <= kWordBits, "RARE k out of range");
+    const size_t kept_count = br.GetVarint();
+    FPC_PARSE_CHECK(kept_count <= nw, "RARE kept count out of range");
+
+    Bytes bitmap;
+    if (k > 0) bitmap = DecompressBitmap(br, (nw + 7) / 8);
+    ByteSpan pieces = br.GetBytes((kept_count * k + 7) / 8);
+    ByteSpan lows = br.GetBytes((nw * (kWordBits - k) + 7) / 8);
+
+    BitReader piece_bits(pieces);
+    BitReader low_bits(lows);
+    std::vector<T> words(nw);
+    T prev = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        T v = static_cast<T>(low_bits.Get(kWordBits - k));
+        bool has_piece =
+            k > 0 &&
+            ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u);
+        uint64_t top = has_piece ? piece_bits.Get(k) : TopBits(prev, k);
+        v = WithTopBits(v, top, k);
+        words[i] = v;
+        prev = v;
+    }
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+void RareEncode64(ByteSpan in, Bytes& out) { RareEncodeImpl<uint64_t>(in, out); }
+void RareDecode64(ByteSpan in, Bytes& out) { RareDecodeImpl<uint64_t>(in, out); }
+void RareEncode32(ByteSpan in, Bytes& out) { RareEncodeImpl<uint32_t>(in, out); }
+void RareDecode32(ByteSpan in, Bytes& out) { RareDecodeImpl<uint32_t>(in, out); }
+
+}  // namespace fpc::tf

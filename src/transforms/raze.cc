@@ -1,0 +1,113 @@
+/**
+ * @file
+ * RAZE — Repeated Adaptive Zero Elimination (paper Section 3.2, Figure 7).
+ * Word-granular variant of RZE with an adaptively chosen split point k:
+ * only the top k bits of each word participate in zero elimination; the
+ * bottom w-k bits — typically random mantissa bits in double-precision
+ * data — are always kept verbatim.
+ *
+ * k is found per chunk without trying all possibilities: a histogram of
+ * leading-zero counts is prefix-summed (every word with m leading zeros is
+ * also a word with m-1, m-2, ... leading zeros), giving the exact encoded
+ * size for each k in one pass; the minimizing k is selected.
+ *
+ * Wire format: varint(in size) | k (1 byte) | varint(#kept top pieces) |
+ * compressed bitmap (set bit = word keeps its top piece) | bit-packed kept
+ * top pieces (k bits each) | bit-packed low pieces (w-k bits each) |
+ * trailing bytes verbatim.
+ */
+#include "transforms/transforms.h"
+
+#include "transforms/adaptive_k.h"
+#include "transforms/bitmap_codec.h"
+#include "util/bitio.h"
+#include "util/bitpack.h"
+
+namespace fpc::tf {
+
+namespace {
+
+template <typename T>
+void
+RazeEncodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+
+    std::vector<T> words = LoadWords<T>(in);
+    const size_t nw = words.size();
+
+    std::vector<unsigned> hist(kWordBits + 1, 0);
+    for (T v : words) ++hist[LeadingZeros(v)];
+    const unsigned k = ChooseAdaptiveK(hist, nw, kWordBits);
+    wr.PutU8(static_cast<uint8_t>(k));
+
+    Bytes bitmap((nw + 7) / 8, std::byte{0});
+    Bytes pieces;
+    BitWriter piece_bits(pieces);
+    size_t kept_count = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        if (k > 0 && LeadingZeros(words[i]) < k) {
+            bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+            piece_bits.Put(TopBits(words[i], k), k);
+            ++kept_count;
+        }
+    }
+    piece_bits.Finish();
+
+    Bytes lows;
+    BitWriter low_bits(lows);
+    for (size_t i = 0; i < nw; ++i) {
+        low_bits.Put(static_cast<uint64_t>(words[i]), kWordBits - k);
+    }
+    low_bits.Finish();
+
+    wr.PutVarint(kept_count);
+    if (k > 0) CompressBitmap(ByteSpan(bitmap), out);
+    AppendBytes(out, ByteSpan(pieces));
+    AppendBytes(out, ByteSpan(lows));
+    wr.PutBytes(in.subspan(nw * sizeof(T)));
+}
+
+template <typename T>
+void
+RazeDecodeImpl(ByteSpan in, Bytes& out)
+{
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t nw = orig_size / sizeof(T);
+    const unsigned k = br.GetU8();
+    FPC_PARSE_CHECK(k <= kWordBits, "RAZE k out of range");
+    const size_t kept_count = br.GetVarint();
+    FPC_PARSE_CHECK(kept_count <= nw, "RAZE kept count out of range");
+
+    Bytes bitmap;
+    if (k > 0) bitmap = DecompressBitmap(br, (nw + 7) / 8);
+    ByteSpan pieces = br.GetBytes((kept_count * k + 7) / 8);
+    ByteSpan lows = br.GetBytes((nw * (kWordBits - k) + 7) / 8);
+
+    BitReader piece_bits(pieces);
+    BitReader low_bits(lows);
+    std::vector<T> words(nw);
+    for (size_t i = 0; i < nw; ++i) {
+        T v = static_cast<T>(low_bits.Get(kWordBits - k));
+        bool has_piece =
+            k > 0 &&
+            ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u);
+        if (has_piece) v = WithTopBits(v, piece_bits.Get(k), k);
+        words[i] = v;
+    }
+    AppendBytes(out, AsBytes(words));
+    AppendBytes(out, br.Rest());
+}
+
+}  // namespace
+
+void RazeEncode64(ByteSpan in, Bytes& out) { RazeEncodeImpl<uint64_t>(in, out); }
+void RazeDecode64(ByteSpan in, Bytes& out) { RazeDecodeImpl<uint64_t>(in, out); }
+void RazeEncode32(ByteSpan in, Bytes& out) { RazeEncodeImpl<uint32_t>(in, out); }
+void RazeDecode32(ByteSpan in, Bytes& out) { RazeDecodeImpl<uint32_t>(in, out); }
+
+}  // namespace fpc::tf

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RZE — Repeated Zero Elimination (paper Section 3.2, Figure 5). A bitmap
+ * records which input bytes are non-zero (set bit = non-zero); the zero
+ * bytes are dropped. The bitmap itself is then recursively compressed with
+ * repeated-byte elimination (bitmap_codec.h), which is the "repeated"
+ * enhancement the paper credits with a substantial ratio boost.
+ *
+ * Wire format: varint(in size) | varint(#non-zero bytes) | compressed
+ * bitmap | the non-zero bytes. (The paper emits non-zero bytes before the
+ * bitmap; the order is immaterial since both sides know every size.)
+ */
+#include "transforms/transforms.h"
+
+#include "transforms/bitmap_codec.h"
+#include "util/bitio.h"
+
+namespace fpc::tf {
+
+void
+RzeEncode(ByteSpan in, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.Put<uint64_t>(in.size());
+
+    const size_t bitmap_size = (in.size() + 7) / 8;
+    Bytes bitmap(bitmap_size, std::byte{0});
+    Bytes nonzero;
+    nonzero.reserve(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        if (in[i] != std::byte{0}) {
+            bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+            nonzero.push_back(in[i]);
+        }
+    }
+    wr.PutVarint(nonzero.size());
+    CompressBitmap(ByteSpan(bitmap), out);
+    AppendBytes(out, ByteSpan(nonzero));
+}
+
+void
+RzeDecode(ByteSpan in, Bytes& out)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    const size_t nonzero_count = br.GetVarint();
+    FPC_PARSE_CHECK(nonzero_count <= orig_size, "RZE count out of range");
+
+    Bytes bitmap = DecompressBitmap(br, (orig_size + 7) / 8);
+    ByteSpan nonzero = br.GetBytes(nonzero_count);
+
+    const size_t base = out.size();
+    out.resize(base + orig_size);  // zero bytes are the default
+    std::byte* dest = out.data() + base;
+    size_t next = 0;
+    size_t i = 0;
+    // Whole zero bitmap bytes skip 8 outputs at a time.
+    for (; i + 8 <= orig_size; i += 8) {
+        uint8_t bits = static_cast<uint8_t>(bitmap[i / 8]);
+        if (bits == 0) continue;
+        FPC_PARSE_CHECK(
+            next + static_cast<unsigned>(std::popcount(bits)) <=
+                nonzero.size(),
+            "RZE payload underrun");
+        while (bits != 0) {
+            unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+            dest[i + j] = nonzero[next++];
+            bits &= static_cast<uint8_t>(bits - 1);
+        }
+    }
+    for (; i < orig_size; ++i) {
+        if ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u) {
+            FPC_PARSE_CHECK(next < nonzero.size(), "RZE payload underrun");
+            dest[i] = nonzero[next++];
+        }
+    }
+}
+
+}  // namespace fpc::tf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The seven data transformations of the paper (Section 3): DIFFMS, MPLG,
+ * BIT, RZE, FCM, RAZE, and RARE.
+ *
+ * Uniform stage contract shared by every transform:
+ *  - Encode(in, out): append `varint(in.size())` followed by the stage
+ *    payload. Transforms that work on W-byte words process the whole-word
+ *    prefix and carry the <W trailing bytes verbatim, so every stage is
+ *    total on arbitrary byte strings.
+ *  - Decode(in, out): consume the entire span produced by Encode and append
+ *    exactly the original bytes.
+ *
+ * The chunk pipeline (core/pipeline.h) composes stages by feeding each
+ * stage's full output buffer to the next; decoding runs the inverses in
+ * reverse order (paper Section 3).
+ */
+#ifndef FPC_TRANSFORMS_TRANSFORMS_H
+#define FPC_TRANSFORMS_TRANSFORMS_H
+
+#include "util/common.h"
+
+namespace fpc::tf {
+
+// ---- DIFFMS: difference coding + two's-complement -> magnitude-sign ----
+void DiffmsEncode32(ByteSpan in, Bytes& out);
+void DiffmsDecode32(ByteSpan in, Bytes& out);
+void DiffmsEncode64(ByteSpan in, Bytes& out);
+void DiffmsDecode64(ByteSpan in, Bytes& out);
+
+// ---- MPLG: per-subchunk leading-zero-bit elimination (enhanced) ----
+void MplgEncode32(ByteSpan in, Bytes& out);
+void MplgDecode32(ByteSpan in, Bytes& out);
+void MplgEncode64(ByteSpan in, Bytes& out);
+void MplgDecode64(ByteSpan in, Bytes& out);
+
+// ---- BIT: bit-plane transposition (MSB plane first) ----
+void BitEncode32(ByteSpan in, Bytes& out);
+void BitDecode32(ByteSpan in, Bytes& out);
+void BitEncode64(ByteSpan in, Bytes& out);
+void BitDecode64(ByteSpan in, Bytes& out);
+
+// ---- RZE: repeated zero elimination at byte granularity ----
+void RzeEncode(ByteSpan in, Bytes& out);
+void RzeDecode(ByteSpan in, Bytes& out);
+
+// ---- FCM: finite context method (whole-input stage of DPratio) ----
+void FcmEncode(ByteSpan in, Bytes& out);
+void FcmDecode(ByteSpan in, Bytes& out);
+
+// ---- RAZE: repeated adaptive zero elimination (64-bit words) ----
+void RazeEncode64(ByteSpan in, Bytes& out);
+void RazeDecode64(ByteSpan in, Bytes& out);
+
+// ---- RARE: repeated adaptive repetition elimination (64-bit words) ----
+void RareEncode64(ByteSpan in, Bytes& out);
+void RareDecode64(ByteSpan in, Bytes& out);
+
+// 32-bit RAZE/RARE variants (used by ablation studies, not by the four
+// shipped algorithms).
+void RazeEncode32(ByteSpan in, Bytes& out);
+void RazeDecode32(ByteSpan in, Bytes& out);
+void RareEncode32(ByteSpan in, Bytes& out);
+void RareDecode32(ByteSpan in, Bytes& out);
+
+}  // namespace fpc::tf
+
+#endif  // FPC_TRANSFORMS_TRANSFORMS_H

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Bit-granular and byte-granular serialization primitives.
+ *
+ * BitWriter/BitReader use LSB-first packing: the first bit written lands in
+ * the least significant bit of the first byte. ByteWriter/ByteReader add
+ * varint (LEB128) encoding on top of the plain byte stream.
+ */
+#ifndef FPC_UTIL_BITIO_H
+#define FPC_UTIL_BITIO_H
+
+#include "util/common.h"
+
+namespace fpc {
+
+/** Append-only bit stream writer over a caller-owned byte vector. */
+class BitWriter {
+ public:
+    explicit BitWriter(Bytes& out) : out_(out) {}
+
+    /** Write the low @p nbits bits of @p value (0..64 bits). */
+    void
+    Put(uint64_t value, unsigned nbits)
+    {
+        FPC_CHECK(nbits <= 64, "bit count out of range");
+        if (nbits == 0) return;
+        if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+        acc_ |= value << fill_;
+        if (fill_ + nbits >= 64) {
+            FlushWord();
+            unsigned consumed = 64 - fill_;
+            fill_ = nbits - consumed;
+            acc_ = (consumed < 64) ? value >> consumed : 0;
+        } else {
+            fill_ += nbits;
+        }
+    }
+
+    /** Write a single bit. */
+    void PutBit(bool bit) { Put(bit ? 1 : 0, 1); }
+
+    /** Pad with zero bits to the next byte boundary and flush. */
+    void
+    Finish()
+    {
+        while (fill_ > 0) {
+            out_.push_back(static_cast<std::byte>(acc_ & 0xff));
+            acc_ >>= 8;
+            fill_ = fill_ > 8 ? fill_ - 8 : 0;
+        }
+        acc_ = 0;
+    }
+
+    /** Bits written so far (excluding padding). */
+    size_t BitCount() const { return flushed_bits_ + fill_; }
+
+ private:
+    void
+    FlushWord()
+    {
+        for (int i = 0; i < 8; ++i) {
+            out_.push_back(static_cast<std::byte>((acc_ >> (8 * i)) & 0xff));
+        }
+        flushed_bits_ += 64;
+    }
+
+    Bytes& out_;
+    uint64_t acc_ = 0;
+    unsigned fill_ = 0;
+    size_t flushed_bits_ = 0;
+};
+
+/** Bounds-checked LSB-first bit stream reader. */
+class BitReader {
+ public:
+    explicit BitReader(ByteSpan in) : in_(in) {}
+
+    /** Read @p nbits bits (0..64). Throws CorruptStreamError past the end. */
+    uint64_t
+    Get(unsigned nbits)
+    {
+        FPC_CHECK(nbits <= 64, "bit count out of range");
+        if (nbits == 0) return 0;
+        FPC_PARSE_CHECK(pos_ + nbits <= in_.size() * 8, "bit read past end");
+        const size_t byte = pos_ / 8;
+        const unsigned shift = pos_ % 8;
+        uint64_t value;
+        if (byte + 16 <= in_.size()) {
+            // Fast path: two unaligned word loads cover any field.
+            uint64_t lo, hi;
+            std::memcpy(&lo, in_.data() + byte, 8);
+            std::memcpy(&hi, in_.data() + byte + 8, 8);
+            value = lo >> shift;
+            if (shift != 0) value |= hi << (64 - shift);
+        } else {
+            value = 0;
+            unsigned got = 0;
+            while (got < nbits) {
+                size_t b = (pos_ + got) / 8;
+                unsigned bit = (pos_ + got) % 8;
+                unsigned take = std::min<unsigned>(8 - bit, nbits - got);
+                uint64_t chunk =
+                    (static_cast<uint64_t>(in_[b]) >> bit) &
+                    ((uint64_t{1} << take) - 1);
+                value |= chunk << got;
+                got += take;
+            }
+        }
+        if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+        pos_ += nbits;
+        return value;
+    }
+
+    bool GetBit() { return Get(1) != 0; }
+
+    /** Skip padding to the next byte boundary. */
+    void AlignToByte() { pos_ = (pos_ + 7) & ~size_t{7}; }
+
+    size_t BitPos() const { return pos_; }
+    size_t BytePos() const { return (pos_ + 7) / 8; }
+
+ private:
+    ByteSpan in_;
+    size_t pos_ = 0;
+};
+
+/** Byte stream writer with varint support. */
+class ByteWriter {
+ public:
+    explicit ByteWriter(Bytes& out) : out_(out) {}
+
+    void PutU8(uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+
+    template <typename T>
+    void Put(const T& v) { AppendRaw(out_, v); }
+
+    void PutBytes(ByteSpan span) { AppendBytes(out_, span); }
+
+    /** LEB128 unsigned varint. */
+    void
+    PutVarint(uint64_t v)
+    {
+        while (v >= 0x80) {
+            PutU8(static_cast<uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        PutU8(static_cast<uint8_t>(v));
+    }
+
+    size_t Size() const { return out_.size(); }
+
+ private:
+    Bytes& out_;
+};
+
+/** Bounds-checked byte stream reader with varint support. */
+class ByteReader {
+ public:
+    explicit ByteReader(ByteSpan in) : in_(in) {}
+
+    uint8_t
+    GetU8()
+    {
+        FPC_PARSE_CHECK(pos_ < in_.size(), "byte read past end");
+        return static_cast<uint8_t>(in_[pos_++]);
+    }
+
+    template <typename T>
+    T
+    Get()
+    {
+        T v = ReadRaw<T>(in_, pos_);
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    ByteSpan
+    GetBytes(size_t n)
+    {
+        FPC_PARSE_CHECK(pos_ + n <= in_.size(), "span read past end");
+        ByteSpan s = in_.subspan(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    uint64_t
+    GetVarint()
+    {
+        uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            FPC_PARSE_CHECK(shift < 64, "varint too long");
+            uint8_t b = GetU8();
+            v |= static_cast<uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80)) return v;
+            shift += 7;
+        }
+    }
+
+    size_t Pos() const { return pos_; }
+    size_t Remaining() const { return in_.size() - pos_; }
+    ByteSpan Rest() const { return in_.subspan(pos_); }
+
+ private:
+    ByteSpan in_;
+    size_t pos_ = 0;
+};
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_BITIO_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fixed-width bit packing of integer arrays, plus leading-zero helpers.
+ */
+#ifndef FPC_UTIL_BITPACK_H
+#define FPC_UTIL_BITPACK_H
+
+#include "util/bitio.h"
+#include "util/common.h"
+
+namespace fpc {
+
+/** Leading-zero count that is well defined for 0 (returns the bit width). */
+template <typename T>
+inline unsigned
+LeadingZeros(T v)
+{
+    return static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Pack @p values, keeping @p width low bits of each, onto a bit stream. */
+template <typename T>
+void
+PackBits(std::span<const T> values, unsigned width, BitWriter& bw)
+{
+    for (T v : values) bw.Put(static_cast<uint64_t>(v), width);
+}
+
+/** Inverse of PackBits. */
+template <typename T>
+void
+UnpackBits(std::span<T> values, unsigned width, BitReader& br)
+{
+    for (T& v : values) v = static_cast<T>(br.Get(width));
+}
+
+/**
+ * Pack the top @p width bits of each value (i.e. bits [w-width, w)).
+ * Used by MPLG-style leading-bit elimination in reverse: the *kept* bits are
+ * the low (w - eliminated) bits, so this helper extracts high pieces for
+ * RAZE/RARE instead.
+ */
+template <typename T>
+inline uint64_t
+TopBits(T v, unsigned width)
+{
+    constexpr unsigned w = sizeof(T) * 8;
+    if (width == 0) return 0;
+    return static_cast<uint64_t>(v) >> (w - width);
+}
+
+/** Replace the top @p width bits of @p v with @p piece. */
+template <typename T>
+inline T
+WithTopBits(T v, uint64_t piece, unsigned width)
+{
+    constexpr unsigned w = sizeof(T) * 8;
+    if (width == 0) return v;
+    if (width == w) return static_cast<T>(piece);
+    T low_mask = (T{1} << (w - width)) - 1;
+    return static_cast<T>((v & low_mask) |
+                          (static_cast<T>(piece) << (w - width)));
+}
+
+/**
+ * Zigzag maps: two's complement -> magnitude-sign with the sign in the LSB.
+ * This is the representation change used by DIFFMS (paper Fig. 2).
+ */
+template <typename T>
+inline T
+ZigzagEncode(T v)
+{
+    using S = std::make_signed_t<T>;
+    constexpr unsigned w = sizeof(T) * 8;
+    return static_cast<T>((v << 1) ^
+                          static_cast<T>(static_cast<S>(v) >> (w - 1)));
+}
+
+template <typename T>
+inline T
+ZigzagDecode(T v)
+{
+    return static_cast<T>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/**
+ * In-place 32x32 bit-matrix transpose (Hacker's Delight 7-3): afterwards
+ * word j holds bit j of every original word (bit i = original word i's
+ * bit j). Shared by the CPU BIT fast path and validated against the
+ * warp-shuffle version in gpusim.
+ */
+inline void
+Transpose32x32(uint32_t m[32])
+{
+    // Recursive block swap, the scalar twin of gpusim::WarpBitTranspose:
+    // at step s, rows whose bit s differs exchange the column rectangle
+    // selected by column bit s.
+    static constexpr uint32_t kColumnMask[5] = {
+        0xaaaaaaaau, 0xccccccccu, 0xf0f0f0f0u, 0xff00ff00u, 0xffff0000u};
+    for (unsigned s = 0; s < 5; ++s) {
+        const unsigned stride = 1u << s;
+        const uint32_t column_mask = kColumnMask[s];
+        for (unsigned row = 0; row < 32; ++row) {
+            if ((row >> s) & 1u) continue;  // each pair handled once
+            const unsigned partner = row ^ stride;
+            const uint32_t lo = m[row], hi = m[partner];
+            m[row] = (lo & ~column_mask) | ((hi << stride) & column_mask);
+            m[partner] =
+                (hi & column_mask) | ((lo >> stride) & ~column_mask);
+        }
+    }
+}
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_BITPACK_H

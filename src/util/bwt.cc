@@ -1,0 +1,162 @@
+#include "util/bwt.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fpc {
+
+namespace {
+
+/**
+ * Suffix-array-style rank computation over *cyclic* rotations using prefix
+ * doubling: O(n log^2 n), deterministic, and correct even when rotations
+ * compare equal (ties are broken by index, which does not change the BWT).
+ */
+std::vector<uint32_t>
+SortCyclicRotations(ByteSpan in)
+{
+    const size_t n = in.size();
+    std::vector<uint32_t> order(n);
+    std::vector<uint32_t> rank(n), next_rank(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (size_t i = 0; i < n; ++i) rank[i] = static_cast<uint8_t>(in[i]);
+
+    for (size_t k = 1; k < n; k <<= 1) {
+        auto key = [&](uint32_t i) {
+            return std::pair<uint32_t, uint32_t>(
+                rank[i], rank[(i + k) % n]);
+        };
+        std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+            auto ka = key(a), kb = key(b);
+            if (ka != kb) return ka < kb;
+            return a < b;
+        });
+        next_rank[order[0]] = 0;
+        for (size_t i = 1; i < n; ++i) {
+            next_rank[order[i]] = next_rank[order[i - 1]] +
+                                  (key(order[i - 1]) != key(order[i]) ? 1 : 0);
+        }
+        rank.swap(next_rank);
+        if (rank[order[n - 1]] == n - 1) break;  // all ranks distinct
+    }
+    return order;
+}
+
+}  // namespace
+
+uint32_t
+BwtEncode(ByteSpan in, Bytes& out)
+{
+    const size_t n = in.size();
+    out.reserve(out.size() + n);
+    if (n == 0) return 0;
+
+    std::vector<uint32_t> order = SortCyclicRotations(in);
+    uint32_t primary = 0;
+    for (size_t j = 0; j < n; ++j) {
+        uint32_t start = order[j];
+        if (start == 0) primary = static_cast<uint32_t>(j);
+        out.push_back(in[(start + n - 1) % n]);
+    }
+    return primary;
+}
+
+void
+BwtDecode(ByteSpan in, uint32_t primary, Bytes& out)
+{
+    const size_t n = in.size();
+    if (n == 0) return;
+    FPC_PARSE_CHECK(primary < n, "BWT primary index out of range");
+
+    // LF mapping: LF(j) = C[L[j]] + rank of L[j] among equal bytes above j.
+    std::array<uint32_t, 257> count{};
+    for (std::byte b : in) ++count[static_cast<uint8_t>(b) + 1];
+    for (int c = 0; c < 256; ++c) count[c + 1] += count[c];
+
+    std::vector<uint32_t> lf(n);
+    std::array<uint32_t, 256> seen{};
+    for (size_t j = 0; j < n; ++j) {
+        uint8_t c = static_cast<uint8_t>(in[j]);
+        lf[j] = count[c] + seen[c]++;
+    }
+
+    Bytes result(n);
+    uint32_t row = primary;
+    for (size_t k = n; k-- > 0;) {
+        result[k] = in[row];
+        row = lf[row];
+    }
+    AppendBytes(out, result);
+}
+
+void
+MtfEncode(ByteSpan in, Bytes& out)
+{
+    std::array<uint8_t, 256> table;
+    for (int i = 0; i < 256; ++i) table[i] = static_cast<uint8_t>(i);
+    out.reserve(out.size() + in.size());
+    for (std::byte b : in) {
+        uint8_t c = static_cast<uint8_t>(b);
+        uint8_t idx = 0;
+        while (table[idx] != c) ++idx;
+        out.push_back(static_cast<std::byte>(idx));
+        for (uint8_t i = idx; i > 0; --i) table[i] = table[i - 1];
+        table[0] = c;
+    }
+}
+
+void
+MtfDecode(ByteSpan in, Bytes& out)
+{
+    std::array<uint8_t, 256> table;
+    for (int i = 0; i < 256; ++i) table[i] = static_cast<uint8_t>(i);
+    out.reserve(out.size() + in.size());
+    for (std::byte b : in) {
+        uint8_t idx = static_cast<uint8_t>(b);
+        uint8_t c = table[idx];
+        out.push_back(static_cast<std::byte>(c));
+        for (uint8_t i = idx; i > 0; --i) table[i] = table[i - 1];
+        table[0] = c;
+    }
+}
+
+void
+Rle4Encode(ByteSpan in, Bytes& out)
+{
+    size_t i = 0;
+    const size_t n = in.size();
+    while (i < n) {
+        std::byte c = in[i];
+        size_t run = 1;
+        while (i + run < n && in[i + run] == c && run < 4 + 255) ++run;
+        size_t emit = std::min<size_t>(run, 4);
+        for (size_t k = 0; k < emit; ++k) out.push_back(c);
+        if (run >= 4) {
+            out.push_back(static_cast<std::byte>(run - 4));
+        }
+        i += run;
+    }
+}
+
+void
+Rle4Decode(ByteSpan in, Bytes& out)
+{
+    size_t i = 0;
+    const size_t n = in.size();
+    size_t run = 0;
+    std::byte prev{};
+    while (i < n) {
+        std::byte c = in[i++];
+        out.push_back(c);
+        run = (run > 0 && c == prev) ? run + 1 : 1;
+        prev = c;
+        if (run == 4) {
+            FPC_PARSE_CHECK(i < n, "RLE4 truncated run length");
+            size_t extra = static_cast<uint8_t>(in[i++]);
+            for (size_t k = 0; k < extra; ++k) out.push_back(c);
+            run = 0;
+        }
+    }
+}
+
+}  // namespace fpc

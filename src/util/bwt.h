@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Burrows-Wheeler transform plus move-to-front and run-length coding.
+ * Substrate for the Bzip2-like baseline compressor (paper Section 2.2).
+ *
+ * The forward transform works on the suffixes of the block (not cyclic
+ * rotations); a virtual end-of-block sentinel smaller than every byte makes
+ * the two equivalent for inversion purposes.
+ */
+#ifndef FPC_UTIL_BWT_H
+#define FPC_UTIL_BWT_H
+
+#include "util/common.h"
+
+namespace fpc {
+
+/**
+ * Forward BWT. @p out receives n bytes; the returned value is the primary
+ * index (position of the sentinel's row) needed for inversion.
+ */
+uint32_t BwtEncode(ByteSpan in, Bytes& out);
+
+/** Inverse BWT. */
+void BwtDecode(ByteSpan in, uint32_t primary, Bytes& out);
+
+/** Move-to-front transform (in place semantics via out vector). */
+void MtfEncode(ByteSpan in, Bytes& out);
+void MtfDecode(ByteSpan in, Bytes& out);
+
+/**
+ * Byte-level RLE: runs of 4+ identical bytes become the 4 bytes plus a
+ * length byte (0-255 extra repeats), as in bzip2's first stage.
+ */
+void Rle4Encode(ByteSpan in, Bytes& out);
+void Rle4Decode(ByteSpan in, Bytes& out);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_BWT_H

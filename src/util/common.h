@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared basic types, span aliases, and checking macros used across fpcomp.
+ */
+#ifndef FPC_UTIL_COMMON_H
+#define FPC_UTIL_COMMON_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace fpc {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+
+/** Thrown when a compressed stream is malformed, truncated, or corrupt. */
+class CorruptStreamError : public std::runtime_error {
+ public:
+    explicit CorruptStreamError(const std::string& what)
+        : std::runtime_error("fpcomp: corrupt stream: " + what) {}
+};
+
+/** Thrown on API misuse (bad arguments, unknown algorithm ids, ...). */
+class UsageError : public std::invalid_argument {
+ public:
+    explicit UsageError(const std::string& what)
+        : std::invalid_argument("fpcomp: " + what) {}
+};
+
+/**
+ * Internal invariant check. Unlike assert() it is active in release builds;
+ * codec correctness must not depend on the build type.
+ */
+#define FPC_CHECK(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::fprintf(stderr, "fpcomp internal error: %s (%s:%d)\n",       \
+                         msg, __FILE__, __LINE__);                            \
+            std::abort();                                                     \
+        }                                                                     \
+    } while (0)
+
+/** Validation of untrusted (compressed) input; throws instead of aborting. */
+#define FPC_PARSE_CHECK(cond, msg)                                            \
+    do {                                                                      \
+        if (!(cond)) throw ::fpc::CorruptStreamError(msg);                    \
+    } while (0)
+
+/** Reinterpret a value's object representation as another same-sized type. */
+template <typename To, typename From>
+inline To
+BitCastTo(const From& from)
+{
+    static_assert(sizeof(To) == sizeof(From));
+    To to;
+    std::memcpy(&to, &from, sizeof(To));
+    return to;
+}
+
+/** Append raw bytes of a trivially copyable value to a byte vector. */
+template <typename T>
+inline void
+AppendRaw(Bytes& out, const T& value)
+{
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+/** Append a span of bytes. */
+inline void
+AppendBytes(Bytes& out, ByteSpan span)
+{
+    out.insert(out.end(), span.begin(), span.end());
+}
+
+/** Read a trivially copyable value at a byte offset (bounds-checked). */
+template <typename T>
+inline T
+ReadRaw(ByteSpan in, size_t offset)
+{
+    FPC_PARSE_CHECK(offset + sizeof(T) <= in.size(), "read past end");
+    T value;
+    std::memcpy(&value, in.data() + offset, sizeof(T));
+    return value;
+}
+
+/** View a vector of arithmetic values as bytes. */
+template <typename T>
+inline ByteSpan
+AsBytes(const std::vector<T>& v)
+{
+    return ByteSpan(reinterpret_cast<const std::byte*>(v.data()),
+                    v.size() * sizeof(T));
+}
+
+template <typename T>
+inline ByteSpan
+AsBytes(std::span<const T> v)
+{
+    return ByteSpan(reinterpret_cast<const std::byte*>(v.data()),
+                    v.size() * sizeof(T));
+}
+
+/** Copy the whole-word prefix of a byte span into a typed vector. */
+template <typename T>
+inline std::vector<T>
+LoadWords(ByteSpan in)
+{
+    std::vector<T> words(in.size() / sizeof(T));
+    if (!words.empty()) {
+        std::memcpy(words.data(), in.data(), words.size() * sizeof(T));
+    }
+    return words;
+}
+
+/** The fixed chunk size used by every chunked stage (paper Section 3). */
+inline constexpr size_t kChunkSize = 16384;
+
+/** MPLG subchunk size: 32 subchunks per chunk (paper Section 3.1). */
+inline constexpr size_t kSubchunkSize = 512;
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_COMMON_H

@@ -1,0 +1,241 @@
+#include "util/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace fpc {
+
+namespace {
+
+/** Reverse the low @p len bits of @p code. */
+uint32_t
+ReverseBits(uint32_t code, unsigned len)
+{
+    uint32_t r = 0;
+    for (unsigned i = 0; i < len; ++i) {
+        r = (r << 1) | (code & 1);
+        code >>= 1;
+    }
+    return r;
+}
+
+}  // namespace
+
+std::array<uint8_t, kHuffSymbols>
+HuffmanCodeLengths(const std::array<uint64_t, kHuffSymbols>& freqs)
+{
+    std::array<uint8_t, kHuffSymbols> lengths{};
+
+    struct Node {
+        uint64_t freq;
+        int left = -1, right = -1;
+        int symbol = -1;
+    };
+    std::vector<Node> nodes;
+    using HeapItem = std::pair<uint64_t, int>;  // (freq, node index)
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+    for (size_t s = 0; s < kHuffSymbols; ++s) {
+        if (freqs[s] > 0) {
+            nodes.push_back({freqs[s], -1, -1, static_cast<int>(s)});
+            heap.emplace(freqs[s], static_cast<int>(nodes.size()) - 1);
+        }
+    }
+    if (heap.empty()) return lengths;
+    if (heap.size() == 1) {
+        lengths[nodes[0].symbol] = 1;
+        return lengths;
+    }
+
+    while (heap.size() > 1) {
+        auto [fa, a] = heap.top();
+        heap.pop();
+        auto [fb, b] = heap.top();
+        heap.pop();
+        nodes.push_back({fa + fb, a, b, -1});
+        heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+    }
+
+    // Depth-first traversal to assign lengths.
+    struct Frame { int node; unsigned depth; };
+    std::vector<Frame> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const Node& n = nodes[idx];
+        if (n.symbol >= 0) {
+            lengths[n.symbol] = static_cast<uint8_t>(std::max(1u, depth));
+        } else {
+            stack.push_back({n.left, depth + 1});
+            stack.push_back({n.right, depth + 1});
+        }
+    }
+
+    // Enforce the length limit, then repair the Kraft sum.
+    bool clamped = false;
+    for (auto& l : lengths) {
+        if (l > kHuffMaxCodeLen) {
+            l = kHuffMaxCodeLen;
+            clamped = true;
+        }
+    }
+    if (clamped) {
+        // Kraft sum in units of 2^-kHuffMaxCodeLen.
+        auto kraft = [&]() {
+            uint64_t k = 0;
+            for (auto l : lengths) {
+                if (l) k += uint64_t{1} << (kHuffMaxCodeLen - l);
+            }
+            return k;
+        };
+        const uint64_t one = uint64_t{1} << kHuffMaxCodeLen;
+        while (kraft() > one) {
+            // Demote the longest code that is still below the limit; if all
+            // are at the limit (impossible for an over-full tree with <= 2^15
+            // symbols), demote the least frequent symbol's sibling instead.
+            int best = -1;
+            for (size_t s = 0; s < kHuffSymbols; ++s) {
+                if (lengths[s] > 0 && lengths[s] < kHuffMaxCodeLen &&
+                    (best < 0 || lengths[s] > lengths[best])) {
+                    best = static_cast<int>(s);
+                }
+            }
+            FPC_CHECK(best >= 0, "cannot repair Kraft inequality");
+            ++lengths[best];
+        }
+    }
+    return lengths;
+}
+
+std::array<uint32_t, kHuffSymbols>
+CanonicalCodes(const std::array<uint8_t, kHuffSymbols>& lengths)
+{
+    std::array<uint32_t, kHuffSymbols> codes{};
+    std::vector<uint16_t> order;
+    for (size_t s = 0; s < kHuffSymbols; ++s) {
+        if (lengths[s] > 0) order.push_back(static_cast<uint16_t>(s));
+    }
+    std::sort(order.begin(), order.end(), [&](uint16_t a, uint16_t b) {
+        if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+        return a < b;
+    });
+    uint32_t code = 0;
+    unsigned prev_len = 0;
+    for (uint16_t s : order) {
+        code <<= (lengths[s] - prev_len);
+        prev_len = lengths[s];
+        // Store bit-reversed so LSB-first emission sends the MSB first.
+        codes[s] = ReverseBits(code, lengths[s]);
+        ++code;
+    }
+    return codes;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::array<uint8_t, kHuffSymbols>& lens)
+    : codes_(CanonicalCodes(lens)), lengths_(lens)
+{
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::array<uint8_t, kHuffSymbols>& lens)
+{
+    std::vector<uint16_t> order;
+    for (size_t s = 0; s < kHuffSymbols; ++s) {
+        if (lens[s] > 0) {
+            FPC_PARSE_CHECK(lens[s] <= kHuffMaxCodeLen, "huffman length");
+            order.push_back(static_cast<uint16_t>(s));
+            ++count_[lens[s]];
+        }
+    }
+    std::sort(order.begin(), order.end(), [&](uint16_t a, uint16_t b) {
+        if (lens[a] != lens[b]) return lens[a] < lens[b];
+        return a < b;
+    });
+    for (size_t i = 0; i < order.size(); ++i) sorted_symbols_[i] = order[i];
+
+    uint32_t code = 0, index = 0;
+    for (unsigned len = 1; len <= kHuffMaxCodeLen; ++len) {
+        code <<= 1;
+        first_code_[len] = code;
+        first_index_[len] = index;
+        code += count_[len];
+        index += count_[len];
+    }
+    // Validate the Kraft inequality so corrupt tables cannot cause
+    // out-of-bounds symbol lookups during decode.
+    uint64_t kraft = 0;
+    for (unsigned len = 1; len <= kHuffMaxCodeLen; ++len) {
+        kraft += uint64_t{count_[len]} << (kHuffMaxCodeLen - len);
+    }
+    FPC_PARSE_CHECK(kraft <= (uint64_t{1} << kHuffMaxCodeLen),
+                    "huffman table over-full");
+}
+
+unsigned
+HuffmanDecoder::Decode(BitReader& br) const
+{
+    uint32_t code = 0;
+    for (unsigned len = 1; len <= kHuffMaxCodeLen; ++len) {
+        code = (code << 1) | static_cast<uint32_t>(br.Get(1));
+        uint32_t offset = code - first_code_[len];
+        if (code >= first_code_[len] && offset < count_[len]) {
+            return sorted_symbols_[first_index_[len] + offset];
+        }
+    }
+    throw CorruptStreamError("invalid huffman code");
+}
+
+void
+WriteLengthTable(const std::array<uint8_t, kHuffSymbols>& lengths,
+                 ByteWriter& wr)
+{
+    for (size_t s = 0; s < kHuffSymbols; s += 2) {
+        wr.PutU8(static_cast<uint8_t>(lengths[s] | (lengths[s + 1] << 4)));
+    }
+}
+
+std::array<uint8_t, kHuffSymbols>
+ReadLengthTable(ByteReader& br)
+{
+    std::array<uint8_t, kHuffSymbols> lengths{};
+    for (size_t s = 0; s < kHuffSymbols; s += 2) {
+        uint8_t b = br.GetU8();
+        lengths[s] = b & 0x0f;
+        lengths[s + 1] = b >> 4;
+    }
+    return lengths;
+}
+
+void
+HuffmanEncode(ByteSpan data, Bytes& out)
+{
+    ByteWriter wr(out);
+    std::array<uint64_t, kHuffSymbols> freqs{};
+    for (std::byte b : data) ++freqs[static_cast<uint8_t>(b)];
+    auto lengths = HuffmanCodeLengths(freqs);
+    WriteLengthTable(lengths, wr);
+    HuffmanEncoder enc(lengths);
+    Bytes payload;
+    BitWriter bw(payload);
+    for (std::byte b : data) enc.Encode(static_cast<uint8_t>(b), bw);
+    bw.Finish();
+    wr.PutVarint(payload.size());
+    wr.PutBytes(payload);
+}
+
+void
+HuffmanDecode(ByteReader& br, size_t n, Bytes& out)
+{
+    auto lengths = ReadLengthTable(br);
+    size_t payload_size = br.GetVarint();
+    ByteSpan payload = br.GetBytes(payload_size);
+    if (n == 0) return;
+    HuffmanDecoder dec(lengths);
+    BitReader bits(payload);
+    out.reserve(out.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<std::byte>(dec.Decode(bits)));
+    }
+}
+
+}  // namespace fpc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Canonical Huffman coding over byte symbols. Substrate for the Deflate,
+ * Gdeflate, and Bzip2 baseline compressors (paper Section 2.2).
+ *
+ * Code lengths are limited to kMaxCodeLen bits; the header stores the 256
+ * lengths (4 bits each), so the format is self-describing per block.
+ */
+#ifndef FPC_UTIL_HUFFMAN_H
+#define FPC_UTIL_HUFFMAN_H
+
+#include <array>
+
+#include "util/bitio.h"
+#include "util/common.h"
+
+namespace fpc {
+
+inline constexpr unsigned kHuffMaxCodeLen = 15;
+inline constexpr size_t kHuffSymbols = 256;
+
+/**
+ * Compute length-limited canonical Huffman code lengths for the given
+ * symbol frequencies. Symbols with zero frequency get length 0.
+ */
+std::array<uint8_t, kHuffSymbols>
+HuffmanCodeLengths(const std::array<uint64_t, kHuffSymbols>& freqs);
+
+/** Assign canonical codes from lengths (codes are MSB-first by convention,
+ *  stored reversed so they can be emitted through the LSB-first BitWriter).
+ */
+std::array<uint32_t, kHuffSymbols>
+CanonicalCodes(const std::array<uint8_t, kHuffSymbols>& lengths);
+
+/** Encode @p data; emits the length table then the code stream. */
+void HuffmanEncode(ByteSpan data, Bytes& out);
+
+/** Decode a stream produced by HuffmanEncode into exactly @p n bytes. */
+void HuffmanDecode(ByteReader& br, size_t n, Bytes& out);
+
+/** Streaming decoder table for use by compressors that interleave
+ *  Huffman-coded fields with other data (Deflate baseline). */
+class HuffmanDecoder {
+ public:
+    explicit HuffmanDecoder(const std::array<uint8_t, kHuffSymbols>& lengths);
+
+    /** Decode one symbol from the bit stream. */
+    unsigned Decode(BitReader& br) const;
+
+ private:
+    // first_code_/first_index_ per length for canonical decode.
+    std::array<uint32_t, kHuffMaxCodeLen + 2> first_code_{};
+    std::array<uint32_t, kHuffMaxCodeLen + 2> first_index_{};
+    std::array<uint16_t, kHuffSymbols> sorted_symbols_{};
+    std::array<uint32_t, kHuffMaxCodeLen + 2> count_{};
+};
+
+/** Streaming encoder companion to HuffmanDecoder. */
+class HuffmanEncoder {
+ public:
+    explicit HuffmanEncoder(const std::array<uint8_t, kHuffSymbols>& lengths);
+
+    void
+    Encode(unsigned symbol, BitWriter& bw) const
+    {
+        FPC_CHECK(lengths_[symbol] > 0, "encoding symbol with no code");
+        bw.Put(codes_[symbol], lengths_[symbol]);
+    }
+
+ private:
+    std::array<uint32_t, kHuffSymbols> codes_;
+    std::array<uint8_t, kHuffSymbols> lengths_;
+};
+
+/** Serialize / parse the 4-bit-per-symbol length table. */
+void WriteLengthTable(const std::array<uint8_t, kHuffSymbols>& lengths,
+                      ByteWriter& wr);
+std::array<uint8_t, kHuffSymbols> ReadLengthTable(ByteReader& br);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_HUFFMAN_H

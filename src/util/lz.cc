@@ -1,0 +1,112 @@
+#include "util/lz.h"
+
+#include "util/hash.h"
+
+namespace fpc {
+
+namespace {
+
+uint32_t
+Load32(ByteSpan in, size_t pos)
+{
+    uint32_t v;
+    std::memcpy(&v, in.data() + pos, sizeof(v));
+    return v;
+}
+
+/** Length of the common prefix of in[a..] and in[b..], capped. */
+uint32_t
+MatchLength(ByteSpan in, size_t a, size_t b, uint32_t cap)
+{
+    uint32_t len = 0;
+    size_t n = in.size();
+    while (b + len < n && len < cap && in[a + len] == in[b + len]) ++len;
+    return len;
+}
+
+}  // namespace
+
+std::vector<LzToken>
+LzParse(ByteSpan in, const LzParams& params)
+{
+    std::vector<LzToken> tokens;
+    const size_t n = in.size();
+    if (n < params.min_match + 4) {
+        tokens.push_back({static_cast<uint32_t>(n), 0, 0});
+        return tokens;
+    }
+
+    const uint32_t table_size = 1u << params.hash_bits;
+    // head[h] = most recent position with hash h; prev[] forms chains.
+    std::vector<uint32_t> head(table_size, UINT32_MAX);
+    std::vector<uint32_t> prev(n, UINT32_MAX);
+
+    size_t pos = 0;
+    size_t literal_start = 0;
+    const size_t last_hashable = n - 4;
+
+    auto insert = [&](size_t p) {
+        uint32_t h = LzHash32(Load32(in, p), params.hash_bits);
+        prev[p] = head[h];
+        head[h] = static_cast<uint32_t>(p);
+    };
+
+    while (pos + params.min_match <= n && pos <= last_hashable) {
+        uint32_t h = LzHash32(Load32(in, pos), params.hash_bits);
+        uint32_t cand = head[h];
+        uint32_t best_len = 0, best_off = 0;
+        unsigned probes = params.chain_depth;
+        while (cand != UINT32_MAX && probes-- > 0) {
+            uint32_t off = static_cast<uint32_t>(pos - cand);
+            if (off > params.window) break;
+            uint32_t len = MatchLength(in, cand, pos, params.max_match);
+            if (len > best_len) {
+                best_len = len;
+                best_off = off;
+            }
+            cand = prev[cand];
+        }
+        if (best_len >= params.min_match) {
+            tokens.push_back({static_cast<uint32_t>(pos - literal_start),
+                              best_len, best_off});
+            // Index the positions the match covers (sparsely for speed).
+            size_t end = pos + best_len;
+            size_t step = best_len > 64 ? 4 : 1;
+            for (size_t p = pos; p < end && p <= last_hashable; p += step) {
+                insert(p);
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            if (pos <= last_hashable) insert(pos);
+            ++pos;
+        }
+    }
+    tokens.push_back({static_cast<uint32_t>(n - literal_start), 0, 0});
+    return tokens;
+}
+
+void
+LzCopyMatch(Bytes& out, uint32_t offset, uint32_t len)
+{
+    FPC_PARSE_CHECK(offset > 0 && offset <= out.size(),
+                    "LZ match offset out of range");
+    size_t src = out.size() - offset;
+    for (uint32_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+}
+
+void
+LzReconstruct(const std::vector<LzToken>& tokens, ByteSpan literals,
+              Bytes& out)
+{
+    size_t lit_pos = 0;
+    for (const LzToken& t : tokens) {
+        FPC_PARSE_CHECK(lit_pos + t.literal_len <= literals.size(),
+                        "LZ literal overrun");
+        AppendBytes(out, literals.subspan(lit_pos, t.literal_len));
+        lit_pos += t.literal_len;
+        if (t.match_len > 0) LzCopyMatch(out, t.offset, t.match_len);
+    }
+}
+
+}  // namespace fpc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * LZ77 match finding shared by the LZ4/Snappy/Deflate/Zstd/SPDP baseline
+ * compressors. Produces a token sequence (literal run, match) that each
+ * baseline serializes in its own wire format.
+ */
+#ifndef FPC_UTIL_LZ_H
+#define FPC_UTIL_LZ_H
+
+#include "util/common.h"
+
+namespace fpc {
+
+/** One LZ step: @p literal_len literals, then a match (match_len == 0 only
+ *  for the final token, which carries trailing literals). */
+struct LzToken {
+    uint32_t literal_len = 0;
+    uint32_t match_len = 0;
+    uint32_t offset = 0;  ///< distance back from the match position.
+};
+
+/** Parser quality/format knobs. */
+struct LzParams {
+    uint32_t min_match = 4;        ///< shortest usable match.
+    uint32_t max_match = 1u << 16; ///< cap on match length.
+    uint32_t window = 1u << 16;    ///< farthest usable offset.
+    unsigned hash_bits = 15;       ///< match-finder table size.
+    unsigned chain_depth = 8;      ///< candidates probed per position
+                                   ///  (1 = greedy/fast, 64+ = thorough).
+};
+
+/**
+ * Greedy hash-chain parse of @p in. Every byte of the input is covered by
+ * exactly one token (as literal or as part of a match).
+ */
+std::vector<LzToken> LzParse(ByteSpan in, const LzParams& params);
+
+/**
+ * Reassemble original data from tokens + the concatenated literal bytes.
+ * Used by baselines whose wire format stores literals contiguously.
+ */
+void LzReconstruct(const std::vector<LzToken>& tokens, ByteSpan literals,
+                   Bytes& out);
+
+/** Copy @p len bytes from @p offset back in @p out (overlap-safe). */
+void LzCopyMatch(Bytes& out, uint32_t offset, uint32_t len);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_LZ_H

@@ -1,0 +1,47 @@
+#include "util/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fpc {
+
+namespace {
+
+/** Does @p a dominate @p b (at least as good everywhere, better somewhere)? */
+bool
+Dominates(const ScatterPoint& a, const ScatterPoint& b)
+{
+    bool geq = a.throughput >= b.throughput && a.ratio >= b.ratio;
+    bool gt = a.throughput > b.throughput || a.ratio > b.ratio;
+    return geq && gt;
+}
+
+}  // namespace
+
+std::vector<size_t>
+ParetoFront(const std::vector<ScatterPoint>& points)
+{
+    std::vector<size_t> front;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (j != i && Dominates(points[j], points[i])) dominated = true;
+        }
+        if (!dominated) front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(), [&](size_t a, size_t b) {
+        return points[a].throughput > points[b].throughput;
+    });
+    return front;
+}
+
+bool
+IsOnParetoFront(const std::vector<ScatterPoint>& points, size_t index)
+{
+    for (size_t j = 0; j < points.size(); ++j) {
+        if (j != index && Dominates(points[j], points[index])) return false;
+    }
+    return true;
+}
+
+}  // namespace fpc

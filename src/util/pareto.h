@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pareto-front computation for ratio-vs-throughput scatter plots
+ * (paper Section 4, Figures 8-19). A point is Pareto-optimal when no other
+ * point is at least as good in both dimensions and strictly better in one.
+ */
+#ifndef FPC_UTIL_PARETO_H
+#define FPC_UTIL_PARETO_H
+
+#include <string>
+#include <vector>
+
+namespace fpc {
+
+/** One compressor's position in a scatter plot. */
+struct ScatterPoint {
+    std::string label;       ///< compressor name (e.g. "SPspeed").
+    double throughput = 0;   ///< GB/s; higher is better.
+    double ratio = 0;        ///< compression ratio; higher is better.
+};
+
+/**
+ * Indices of the Pareto-optimal points, sorted by descending throughput.
+ * Both dimensions are maximized.
+ */
+std::vector<size_t> ParetoFront(const std::vector<ScatterPoint>& points);
+
+/** True iff @p index is on the Pareto front of @p points. */
+bool IsOnParetoFront(const std::vector<ScatterPoint>& points, size_t index);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_PARETO_H

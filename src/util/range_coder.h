@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Adaptive binary range coder with 12-bit probability models (LZMA-style).
+ * Substrate for the FPzip-like baseline, which needs a high-ratio entropy
+ * coder for prediction residuals (paper Section 2.1).
+ */
+#ifndef FPC_UTIL_RANGE_CODER_H
+#define FPC_UTIL_RANGE_CODER_H
+
+#include "util/common.h"
+
+namespace fpc {
+
+/** Adaptive probability of a '0' bit, 11-bit precision. */
+class BitModel {
+ public:
+    uint32_t Prob() const { return prob_; }
+
+    void
+    Update(bool bit)
+    {
+        if (bit) {
+            prob_ -= prob_ >> kAdaptShift;
+        } else {
+            prob_ += (kOne - prob_) >> kAdaptShift;
+        }
+    }
+
+ private:
+    static constexpr uint32_t kOne = 1u << 11;
+    static constexpr unsigned kAdaptShift = 5;
+    uint32_t prob_ = kOne / 2;
+};
+
+/** Range encoder over a caller-owned output vector. */
+class RangeEncoder {
+ public:
+    explicit RangeEncoder(Bytes& out) : out_(out) {}
+
+    void
+    EncodeBit(BitModel& model, bool bit)
+    {
+        uint32_t bound = (range_ >> 11) * model.Prob();
+        if (!bit) {
+            range_ = bound;
+        } else {
+            low_ += bound;
+            range_ -= bound;
+        }
+        model.Update(bit);
+        while (range_ < kTopValue) {
+            ShiftLow();
+            range_ <<= 8;
+        }
+    }
+
+    /** Encode @p nbits raw (uniform) bits, MSB first. */
+    void
+    EncodeDirect(uint32_t value, unsigned nbits)
+    {
+        for (unsigned i = nbits; i-- > 0;) {
+            range_ >>= 1;
+            if ((value >> i) & 1) low_ += range_;
+            while (range_ < kTopValue) {
+                ShiftLow();
+                range_ <<= 8;
+            }
+        }
+    }
+
+    void
+    Finish()
+    {
+        for (int i = 0; i < 5; ++i) ShiftLow();
+    }
+
+ private:
+    static constexpr uint32_t kTopValue = 1u << 24;
+
+    void
+    ShiftLow()
+    {
+        if (static_cast<uint32_t>(low_) < 0xff000000u || (low_ >> 32) != 0) {
+            if (started_) {
+                out_.push_back(
+                    static_cast<std::byte>(cache_ + (low_ >> 32)));
+            }
+            for (; pending_ > 0; --pending_) {
+                out_.push_back(
+                    static_cast<std::byte>(0xff + (low_ >> 32)));
+            }
+            cache_ = static_cast<uint8_t>(low_ >> 24);
+            started_ = true;
+        } else {
+            ++pending_;
+        }
+        low_ = (low_ << 8) & 0xffffffffull;
+    }
+
+    Bytes& out_;
+    uint64_t low_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint8_t cache_ = 0;
+    uint64_t pending_ = 0;
+    bool started_ = false;
+};
+
+/** Range decoder matching RangeEncoder. */
+class RangeDecoder {
+ public:
+    explicit RangeDecoder(ByteSpan in) : in_(in)
+    {
+        for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | NextByte();
+    }
+
+    bool
+    DecodeBit(BitModel& model)
+    {
+        uint32_t bound = (range_ >> 11) * model.Prob();
+        bool bit;
+        if (code_ < bound) {
+            range_ = bound;
+            bit = false;
+        } else {
+            code_ -= bound;
+            range_ -= bound;
+            bit = true;
+        }
+        model.Update(bit);
+        while (range_ < kTopValue) {
+            code_ = (code_ << 8) | NextByte();
+            range_ <<= 8;
+        }
+        return bit;
+    }
+
+    uint32_t
+    DecodeDirect(unsigned nbits)
+    {
+        uint32_t value = 0;
+        for (unsigned i = 0; i < nbits; ++i) {
+            range_ >>= 1;
+            uint32_t bit = 0;
+            if (code_ >= range_) {
+                code_ -= range_;
+                bit = 1;
+            }
+            value = (value << 1) | bit;
+            while (range_ < kTopValue) {
+                code_ = (code_ << 8) | NextByte();
+                range_ <<= 8;
+            }
+        }
+        return value;
+    }
+
+    /** Bytes consumed from the input span. */
+    size_t Consumed() const { return pos_; }
+
+ private:
+    static constexpr uint32_t kTopValue = 1u << 24;
+
+    uint8_t
+    NextByte()
+    {
+        // Reading past the end pads with zeros; callers bound the symbol
+        // count, so this only affects the final flush bytes.
+        return pos_ < in_.size() ? static_cast<uint8_t>(in_[pos_++]) : 0;
+    }
+
+    ByteSpan in_;
+    size_t pos_ = 0;
+    uint32_t code_ = 0;
+    uint32_t range_ = 0xffffffffu;
+};
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_RANGE_CODER_H

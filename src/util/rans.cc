@@ -1,0 +1,180 @@
+#include "util/rans.h"
+
+#include <algorithm>
+
+namespace fpc {
+
+namespace {
+
+constexpr uint32_t kRansLow = 1u << 23;  // renormalization threshold
+
+struct SymbolInfo {
+    uint32_t freq = 0;
+    uint32_t cum = 0;
+};
+
+}  // namespace
+
+std::array<uint32_t, 256>
+NormalizeFreqs(const std::array<uint64_t, 256>& freqs, size_t total)
+{
+    std::array<uint32_t, 256> norm{};
+    if (total == 0) return norm;
+
+    // Initial proportional assignment, guaranteeing >=1 per present symbol.
+    uint64_t assigned = 0;
+    int present = 0;
+    for (int s = 0; s < 256; ++s) {
+        if (freqs[s] == 0) continue;
+        ++present;
+        uint64_t f = freqs[s] * kRansProbScale / total;
+        norm[s] = static_cast<uint32_t>(std::max<uint64_t>(1, f));
+        assigned += norm[s];
+    }
+    FPC_CHECK(present <= static_cast<int>(kRansProbScale),
+              "too many symbols for probability scale");
+
+    // Adjust to hit the scale exactly: shave from / add to the largest
+    // symbols first, never dropping a present symbol to zero.
+    while (assigned > kRansProbScale) {
+        int best = -1;
+        for (int s = 0; s < 256; ++s) {
+            if (norm[s] > 1 && (best < 0 || norm[s] > norm[best])) best = s;
+        }
+        FPC_CHECK(best >= 0, "cannot normalize frequency table");
+        uint32_t take = std::min<uint32_t>(
+            norm[best] - 1, static_cast<uint32_t>(assigned - kRansProbScale));
+        norm[best] -= take;
+        assigned -= take;
+    }
+    while (assigned < kRansProbScale) {
+        int best = -1;
+        for (int s = 0; s < 256; ++s) {
+            if (norm[s] > 0 && (best < 0 || norm[s] > norm[best])) best = s;
+        }
+        FPC_CHECK(best >= 0, "cannot normalize frequency table");
+        norm[best] += static_cast<uint32_t>(kRansProbScale - assigned);
+        assigned = kRansProbScale;
+    }
+    return norm;
+}
+
+namespace {
+
+/** Frequency table header: bitmap of present symbols + 12-bit freqs. */
+void
+WriteFreqTable(const std::array<uint32_t, 256>& norm, Bytes& out)
+{
+    BitWriter bw(out);
+    for (int s = 0; s < 256; ++s) bw.PutBit(norm[s] != 0);
+    for (int s = 0; s < 256; ++s) {
+        if (norm[s] != 0) bw.Put(norm[s] - 1, kRansProbBits);
+    }
+    bw.Finish();
+}
+
+std::array<uint32_t, 256>
+ReadFreqTable(ByteReader& br)
+{
+    std::array<uint32_t, 256> norm{};
+    // Upper bound on table size: 32 bytes bitmap + 256*12 bits.
+    size_t max_bytes = 32 + (256 * kRansProbBits + 7) / 8;
+    ByteSpan window = br.Rest().subspan(
+        0, std::min(br.Remaining(), max_bytes));
+    BitReader bits(window);
+    std::array<bool, 256> present{};
+    for (int s = 0; s < 256; ++s) present[s] = bits.GetBit();
+    uint64_t sum = 0;
+    for (int s = 0; s < 256; ++s) {
+        if (present[s]) {
+            norm[s] = static_cast<uint32_t>(bits.Get(kRansProbBits)) + 1;
+            sum += norm[s];
+        }
+    }
+    FPC_PARSE_CHECK(sum == kRansProbScale || sum == 0, "bad rANS freq table");
+    br.GetBytes(bits.BytePos());  // consume exactly what we used
+    return norm;
+}
+
+}  // namespace
+
+void
+RansEncode(ByteSpan data, Bytes& out)
+{
+    ByteWriter wr(out);
+    wr.PutVarint(data.size());
+    if (data.empty()) return;
+
+    std::array<uint64_t, 256> freqs{};
+    for (std::byte b : data) ++freqs[static_cast<uint8_t>(b)];
+    auto norm = NormalizeFreqs(freqs, data.size());
+    WriteFreqTable(norm, out);
+
+    std::array<SymbolInfo, 256> table;
+    uint32_t cum = 0;
+    for (int s = 0; s < 256; ++s) {
+        table[s] = {norm[s], cum};
+        cum += norm[s];
+    }
+
+    // rANS encodes in reverse; the byte stream is emitted backwards and
+    // reversed at the end so the decoder can read forwards.
+    Bytes reversed;
+    reversed.reserve(data.size());
+    uint32_t state = kRansLow;
+    for (size_t i = data.size(); i-- > 0;) {
+        const SymbolInfo& si = table[static_cast<uint8_t>(data[i])];
+        uint32_t x_max = ((kRansLow >> kRansProbBits) << 8) * si.freq;
+        while (state >= x_max) {
+            reversed.push_back(static_cast<std::byte>(state & 0xff));
+            state >>= 8;
+        }
+        state = ((state / si.freq) << kRansProbBits) + (state % si.freq) +
+                si.cum;
+    }
+    wr.Put<uint32_t>(state);
+    wr.PutVarint(reversed.size());
+    out.insert(out.end(), reversed.rbegin(), reversed.rend());
+}
+
+void
+RansDecode(ByteReader& br, Bytes& out)
+{
+    size_t n = br.GetVarint();
+    if (n == 0) return;
+
+    auto norm = ReadFreqTable(br);
+    // cum -> symbol lookup.
+    std::array<uint8_t, kRansProbScale> slot_to_symbol;
+    std::array<SymbolInfo, 256> table;
+    uint32_t cum = 0;
+    for (int s = 0; s < 256; ++s) {
+        table[s] = {norm[s], cum};
+        for (uint32_t i = 0; i < norm[s]; ++i) {
+            slot_to_symbol[cum + i] = static_cast<uint8_t>(s);
+        }
+        cum += norm[s];
+    }
+    FPC_PARSE_CHECK(cum == kRansProbScale, "bad rANS freq table sum");
+
+    uint32_t state = br.Get<uint32_t>();
+    size_t payload_size = br.GetVarint();
+    ByteSpan payload = br.GetBytes(payload_size);
+    size_t pos = 0;
+
+    out.reserve(out.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t slot = state & (kRansProbScale - 1);
+        uint8_t sym = slot_to_symbol[slot];
+        const SymbolInfo& si = table[sym];
+        state = si.freq * (state >> kRansProbBits) + slot - si.cum;
+        while (state < kRansLow) {
+            FPC_PARSE_CHECK(pos < payload.size(), "rANS payload underrun");
+            state = (state << 8) |
+                    static_cast<uint8_t>(payload[pos++]);
+        }
+        out.push_back(static_cast<std::byte>(sym));
+    }
+}
+
+}  // namespace fpc

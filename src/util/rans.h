@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Order-0 range asymmetric numeral system (rANS) entropy coder over byte
+ * symbols. Substrate for the ANS and Zstandard baseline compressors
+ * (paper Section 2.2, Duda [14]).
+ *
+ * Format per block: normalized frequency table (kProbBits), payload size,
+ * then the rANS byte stream (encoded back-to-front, decoded front-to-back).
+ */
+#ifndef FPC_UTIL_RANS_H
+#define FPC_UTIL_RANS_H
+
+#include <array>
+
+#include "util/bitio.h"
+#include "util/common.h"
+
+namespace fpc {
+
+inline constexpr unsigned kRansProbBits = 12;
+inline constexpr uint32_t kRansProbScale = 1u << kRansProbBits;
+
+/**
+ * Normalize raw frequencies so they sum to kRansProbScale with every
+ * present symbol keeping a non-zero slot.
+ */
+std::array<uint32_t, 256>
+NormalizeFreqs(const std::array<uint64_t, 256>& freqs, size_t total);
+
+/** Encode @p data with a per-call static model; appends to @p out. */
+void RansEncode(ByteSpan data, Bytes& out);
+
+/** Decode a stream produced by RansEncode (reads its own header). */
+void RansDecode(ByteReader& br, Bytes& out);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_RANS_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Prefix-sum (scan) helpers. The CPU codecs use the serial versions; the
+ * GPU-simulator codecs use the block/warp-structured versions in
+ * gpusim/primitives.h, which must compute identical results.
+ */
+#ifndef FPC_UTIL_SCAN_H
+#define FPC_UTIL_SCAN_H
+
+#include "util/common.h"
+
+namespace fpc {
+
+/** In-place exclusive prefix sum; returns the total. */
+template <typename T>
+T
+ExclusiveScan(std::span<T> data)
+{
+    T running{};
+    for (T& v : data) {
+        T next = running + v;
+        v = running;
+        running = next;
+    }
+    return running;
+}
+
+/** In-place inclusive prefix sum; returns the total. */
+template <typename T>
+T
+InclusiveScan(std::span<T> data)
+{
+    T running{};
+    for (T& v : data) {
+        running += v;
+        v = running;
+    }
+    return running;
+}
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_SCAN_H

@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace fpc {
+
+double
+GeometricMean(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        FPC_CHECK(v > 0.0, "geometric mean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+Median(std::vector<double> values)
+{
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    size_t n = values.size();
+    if (n % 2 == 1) return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+Mean(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+GeoMeanOfGeoMeans(const std::vector<std::vector<double>>& groups)
+{
+    std::vector<double> means;
+    means.reserve(groups.size());
+    for (const auto& g : groups) {
+        if (!g.empty()) means.push_back(GeometricMean(g));
+    }
+    return GeometricMean(means);
+}
+
+}  // namespace fpc

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Statistics used by the evaluation methodology (paper Section 4):
+ * geometric means, geometric mean of per-dataset geometric means, and the
+ * median used to de-noise timing runs.
+ */
+#ifndef FPC_UTIL_STATS_H
+#define FPC_UTIL_STATS_H
+
+#include <vector>
+
+namespace fpc {
+
+/** Geometric mean of positive values; returns 0 for an empty input. */
+double GeometricMean(const std::vector<double>& values);
+
+/** Median (averaging the two middle values for even counts). */
+double Median(std::vector<double> values);
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double Mean(const std::vector<double>& values);
+
+/**
+ * Paper Section 4: per-dataset geometric means are combined with another
+ * geometric mean so that datasets with more files are not over-weighed.
+ */
+double GeoMeanOfGeoMeans(const std::vector<std::vector<double>>& groups);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_STATS_H

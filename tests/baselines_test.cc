@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Round-trip tests for every Table 1 baseline compressor over a grid of
+ * input distributions and sizes, plus targeted behaviour checks (FPC
+ * predictor benefit, GFC lag, leveled codecs).
+ */
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "baselines/compressor.h"
+#include "data/fields.h"
+#include "util/hash.h"
+
+namespace fpc::baselines {
+namespace {
+
+Bytes
+MakeInput(const std::string& kind, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Bytes data(n, std::byte{0});
+    if (kind == "random") {
+        for (auto& b : data) b = static_cast<std::byte>(rng.Next() & 0xff);
+    } else if (kind == "smooth32") {
+        auto v = data::ToFloats(data::SmoothField(n / 4, seed, 5, 0.001));
+        std::memcpy(data.data(), v.data(), v.size() * 4);
+    } else if (kind == "smooth64") {
+        auto v = data::SmoothField(n / 8, seed, 5, 1e-8);
+        std::memcpy(data.data(), v.data(), v.size() * 8);
+    } else if (kind == "runs") {
+        size_t i = 0;
+        while (i < n) {
+            std::byte v = static_cast<std::byte>(rng.Next() & 0xff);
+            size_t run = 1 + rng.NextBelow(100);
+            for (size_t k = 0; k < run && i < n; ++k) data[i++] = v;
+        }
+    }  // zeros: default
+    return data;
+}
+
+class BaselineRoundTrip
+    : public ::testing::TestWithParam<
+          std::tuple<size_t, std::string, size_t>> {};
+
+TEST_P(BaselineRoundTrip, Identity)
+{
+    auto [codec_idx, kind, size] = GetParam();
+    const BaselineCodec& codec = Registry()[codec_idx];
+    Bytes input = MakeInput(kind, size, 1000 + size);
+
+    Bytes compressed = codec.compress(ByteSpan(input));
+    Bytes output = codec.decompress(ByteSpan(compressed));
+    ASSERT_EQ(output.size(), input.size()) << codec.name;
+    EXPECT_EQ(output, input) << codec.name;
+}
+
+std::string
+BaselineTestName(
+    const ::testing::TestParamInfo<std::tuple<size_t, std::string, size_t>>&
+        info)
+{
+    std::string name = Registry()[std::get<0>(info.param)].name + "_" +
+                       std::get<1>(info.param) + "_" +
+                       std::to_string(std::get<2>(info.param));
+    for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineRoundTrip,
+    ::testing::Combine(::testing::Range(size_t{0}, Registry().size()),
+                       ::testing::Values("zeros", "random", "smooth32",
+                                         "smooth64", "runs"),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{13},
+                                         size_t{4096}, size_t{100003})),
+    BaselineTestName);
+
+TEST(Registry, HasAllPaperFamilies)
+{
+    // Table 1 lists 18 compressors; with level/word-size variants the
+    // registry is larger, but each family must be present.
+    const char* required[] = {"Ndzip",  "ANS",   "Bitcomp-i0", "Cascaded",
+                              "Deflate", "Gdeflate", "GFC",   "LZ4",
+                              "MPC",     "Snappy",   "Bzip2", "FPC",
+                              "FPzip",   "Gzip-1",   "pFPC",  "SPDP-1",
+                              "ZFP",     "ZSTD-fast", "ZSTD-best",
+                              "GPU-ZSTD"};
+    for (const char* name : required) {
+        EXPECT_NO_THROW(Lookup(name)) << name;
+    }
+    EXPECT_THROW(Lookup("nonexistent"), UsageError);
+    EXPECT_GE(Registry().size(), 18u);
+}
+
+TEST(Fpc, PredictsSmoothDoubles)
+{
+    Bytes input = MakeInput("smooth64", 1 << 18, 42);
+    Bytes c = FpcCompress(ByteSpan(input), 16);
+    EXPECT_LT(c.size(), input.size() * 3 / 4);
+    // Larger tables never hurt correctness.
+    for (unsigned bits : {4u, 10u, 20u}) {
+        Bytes cb = FpcCompress(ByteSpan(input), bits);
+        EXPECT_EQ(FpcDecompress(ByteSpan(cb)), input);
+    }
+}
+
+TEST(Fpc, ParallelVersionMatchesSerialSemantics)
+{
+    Bytes input = MakeInput("smooth64", 300000, 43);
+    Bytes serial = FpcCompress(ByteSpan(input), 12);
+    Bytes parallel = PfpcCompress(ByteSpan(input), 12);
+    EXPECT_EQ(FpcDecompress(ByteSpan(serial)), input);
+    EXPECT_EQ(PfpcDecompress(ByteSpan(parallel)), input);
+}
+
+TEST(Gfc, CompressesSmoothDoubles)
+{
+    Bytes input = MakeInput("smooth64", 1 << 18, 44);
+    Bytes c = GfcCompress(ByteSpan(input));
+    EXPECT_LT(c.size(), input.size());
+    EXPECT_EQ(GfcDecompress(ByteSpan(c)), input);
+}
+
+TEST(Leveled, HigherLevelsCompressAtLeastAsWellOnText)
+{
+    // Repetitive data: deeper match finding cannot do worse by much.
+    Bytes input = MakeInput("runs", 1 << 17, 45);
+    Bytes fast = ZstdxCompress(ByteSpan(input), 1);
+    Bytes best = ZstdxCompress(ByteSpan(input), 19);
+    EXPECT_LE(best.size(), fast.size() + input.size() / 50);
+    EXPECT_EQ(ZstdxDecompress(ByteSpan(fast)), input);
+    EXPECT_EQ(ZstdxDecompress(ByteSpan(best)), input);
+}
+
+TEST(Fpzip, HighRatioOnSmoothData)
+{
+    Bytes input = MakeInput("smooth32", 1 << 17, 46);
+    Bytes c = FpzipxCompress(ByteSpan(input), 4);
+    double ratio =
+        static_cast<double>(input.size()) / static_cast<double>(c.size());
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_EQ(FpzipxDecompress(ByteSpan(c)), input);
+}
+
+TEST(Baselines, WordSizeVariantsRoundTripDoubles)
+{
+    Bytes input = MakeInput("smooth64", 1 << 16, 47);
+    EXPECT_EQ(MpcDecompress(ByteSpan(MpcCompress(ByteSpan(input), 8))),
+              input);
+    EXPECT_EQ(NdzDecompress(ByteSpan(NdzCompress(ByteSpan(input), 8))),
+              input);
+    EXPECT_EQ(ZfpxDecompress(ByteSpan(ZfpxCompress(ByteSpan(input), 8))),
+              input);
+    EXPECT_EQ(
+        FpzipxDecompress(ByteSpan(FpzipxCompress(ByteSpan(input), 8))),
+        input);
+    EXPECT_EQ(
+        BitcompDecompress(ByteSpan(BitcompCompress(ByteSpan(input), 8,
+                                                   true))),
+        input);
+}
+
+}  // namespace
+}  // namespace fpc::baselines

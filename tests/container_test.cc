@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Container-format tests: header validation, chunk-table consistency, and
+ * robustness against corruption and truncation — malformed compressed
+ * input must raise CorruptStreamError, never crash or return wrong data
+ * silently (where detectable).
+ */
+#include <gtest/gtest.h>
+
+#include "core/codec.h"
+#include "core/container.h"
+#include "data/fields.h"
+
+namespace fpc {
+namespace {
+
+Bytes
+SampleCompressed(Algorithm algorithm = Algorithm::kSPratio)
+{
+    auto values = data::ToFloats(data::SmoothField(20000, 3, 5, 0.001));
+    ByteSpan bytes = AsBytes(values);
+    return Compress(algorithm, bytes);
+}
+
+TEST(Container, ParsesItsOwnOutput)
+{
+    Bytes c = SampleCompressed();
+    ContainerView view = ParseContainer(ByteSpan(c));
+    EXPECT_EQ(view.header.magic, ContainerHeader::kMagic);
+    EXPECT_EQ(view.header.original_size, 80000u);
+    EXPECT_EQ(view.header.chunk_count, view.chunk_sizes.size());
+    size_t payload = 0;
+    for (uint32_t s : view.chunk_sizes) payload += s;
+    EXPECT_EQ(view.payload.size(), payload);
+}
+
+TEST(Container, RejectsEmptyAndTinyBuffers)
+{
+    EXPECT_THROW(Decompress(ByteSpan()), CorruptStreamError);
+    Bytes tiny(4, std::byte{0});
+    EXPECT_THROW(Decompress(ByteSpan(tiny)), CorruptStreamError);
+}
+
+TEST(Container, RejectsBadMagic)
+{
+    Bytes c = SampleCompressed();
+    c[0] = std::byte{0x00};
+    EXPECT_THROW(Decompress(ByteSpan(c)), CorruptStreamError);
+}
+
+TEST(Container, RejectsBadVersion)
+{
+    Bytes c = SampleCompressed();
+    c[4] = std::byte{99};
+    EXPECT_THROW(Decompress(ByteSpan(c)), CorruptStreamError);
+}
+
+TEST(Container, RejectsBadAlgorithmId)
+{
+    Bytes c = SampleCompressed();
+    c[5] = std::byte{42};
+    EXPECT_THROW(Decompress(ByteSpan(c)), CorruptStreamError);
+}
+
+TEST(Container, RejectsTruncation)
+{
+    Bytes c = SampleCompressed();
+    for (size_t cut :
+         {c.size() - 1, c.size() / 2, ContainerHeaderSize() + 1}) {
+        Bytes truncated(c.begin(), c.begin() + cut);
+        EXPECT_THROW(Decompress(ByteSpan(truncated)), CorruptStreamError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Container, RejectsTrailingGarbage)
+{
+    Bytes c = SampleCompressed();
+    c.push_back(std::byte{0xaa});
+    EXPECT_THROW(Decompress(ByteSpan(c)), CorruptStreamError);
+}
+
+TEST(Container, PayloadCorruptionDetectedOrConsistent)
+{
+    // Flipping payload bytes must either throw or still produce output of
+    // the original size (bit flips inside packed fields can be silent at
+    // this layer; they must never crash or hang).
+    Bytes c = SampleCompressed();
+    Bytes original = Decompress(ByteSpan(c));
+    Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        Bytes damaged = c;
+        size_t pos = ContainerHeaderSize() +
+                     rng.NextBelow(damaged.size() - ContainerHeaderSize());
+        damaged[pos] ^= static_cast<std::byte>(1u << rng.NextBelow(8));
+        try {
+            Bytes out = Decompress(ByteSpan(damaged));
+            EXPECT_EQ(out.size(), original.size());
+        } catch (const CorruptStreamError&) {
+            // acceptable and expected for most corruptions
+        }
+    }
+}
+
+TEST(Container, ChunkTableCorruptionDetected)
+{
+    Bytes c = SampleCompressed();
+    // Inflate the first chunk size entry: total payload no longer matches.
+    size_t entry = ContainerHeaderSize();
+    c[entry] = static_cast<std::byte>(
+        static_cast<uint8_t>(c[entry]) ^ 0x01);
+    EXPECT_THROW(Decompress(ByteSpan(c)), CorruptStreamError);
+}
+
+TEST(Container, AllAlgorithmsParse)
+{
+    for (Algorithm a : {Algorithm::kSPspeed, Algorithm::kSPratio,
+                        Algorithm::kDPspeed, Algorithm::kDPratio}) {
+        Bytes c = SampleCompressed(a);
+        ContainerView view = ParseContainer(ByteSpan(c));
+        EXPECT_EQ(view.header.algorithm, static_cast<uint8_t>(a));
+    }
+}
+
+TEST(Container, HeaderSizeMatchesSerialization)
+{
+    ContainerHeader header;
+    header.chunk_count = 0;
+    Bytes out;
+    WriteContainerPrefix(header, {}, {}, out);
+    EXPECT_EQ(out.size(), ContainerHeaderSize());
+}
+
+}  // namespace
+}  // namespace fpc

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the synthetic dataset suites and the evaluation harness:
+ * determinism, suite layout (7 SP + 5 DP domains mirroring the paper's
+ * 90/20 file split), property sanity of the generated data, and the
+ * harness's aggregation and verification behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/datasets.h"
+#include "data/fields.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+
+namespace fpc {
+namespace {
+
+TEST(Datasets, SingleSuiteLayoutMatchesPaper)
+{
+    data::SuiteConfig config;
+    config.values_per_file = 1024;
+    config.file_scale = 1.0;
+    auto files = data::SingleSuite(config);
+    EXPECT_EQ(files.size(), 90u);  // paper Section 4: 90 SP files
+
+    std::set<std::string> domains;
+    for (const auto& f : files) {
+        domains.insert(f.domain);
+        EXPECT_EQ(f.values.size(), 1024u);
+    }
+    EXPECT_EQ(domains.size(), 7u);  // 7 scientific domains
+}
+
+TEST(Datasets, DoubleSuiteLayoutMatchesPaper)
+{
+    data::SuiteConfig config;
+    config.values_per_file = 1024;
+    auto files = data::DoubleSuite(config);
+    EXPECT_EQ(files.size(), 20u);  // paper Section 4: 20 DP files
+
+    std::set<std::string> domains;
+    for (const auto& f : files) domains.insert(f.domain);
+    EXPECT_EQ(domains.size(), 5u);  // 5 domains
+}
+
+TEST(Datasets, Deterministic)
+{
+    data::SuiteConfig config;
+    config.values_per_file = 256;
+    config.file_scale = 0.1;
+    auto a = data::SingleSuite(config);
+    auto b = data::SingleSuite(config);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].values, b[i].values);
+    }
+}
+
+TEST(Fields, SmoothFieldsHaveSmallDifferences)
+{
+    auto field = data::SmoothField(10000, 1, 5, 0.0001);
+    double max_abs = 0, max_diff = 0;
+    for (size_t i = 0; i < field.size(); ++i) {
+        max_abs = std::max(max_abs, std::fabs(field[i]));
+        if (i > 0) {
+            max_diff = std::max(max_diff, std::fabs(field[i] - field[i - 1]));
+        }
+    }
+    EXPECT_GT(max_abs, 0.1);
+    EXPECT_LT(max_diff, max_abs * 0.05);  // consecutive values are close
+}
+
+TEST(Fields, QuantizedObservationsRepeatValues)
+{
+    auto obs = data::QuantizedObservations(10000, 2, 1.0 / 64.0);
+    std::set<double> distinct(obs.begin(), obs.end());
+    EXPECT_LT(distinct.size(), obs.size() / 10);  // heavy value reuse
+}
+
+TEST(Fields, ParticleCoordinatesMonotoneTrend)
+{
+    auto coords = data::ParticleCoordinates(1000, 3, 100.0, 0.1);
+    // Jitter is small relative to spacing: long-range trend is increasing.
+    EXPECT_LT(coords.front(), coords.back());
+}
+
+TEST(Harness, EvaluatesAndAggregates)
+{
+    data::SuiteConfig config;
+    config.values_per_file = 4096;
+    config.file_scale = 0.08;  // small but >= 1 file per domain
+    auto files = data::SingleSuite(config);
+    auto inputs = eval::ToInputs(files);
+
+    eval::EvalConfig eval_config;
+    eval_config.runs = 1;
+    auto codec = eval::OurCodec(Algorithm::kSPratio, Device::kCpu);
+    eval::CodecResult result = eval::Evaluate(codec, inputs, eval_config);
+
+    EXPECT_EQ(result.name, "SPratio");
+    EXPECT_EQ(result.files.size(), files.size());
+    EXPECT_GT(result.ratio, 1.0);
+    EXPECT_GT(result.compress_gbps, 0.0);
+    EXPECT_GT(result.decompress_gbps, 0.0);
+}
+
+TEST(Harness, GeoMeanOfGeoMeansNotSkewedByFileCounts)
+{
+    // Construct two domains: one with 4 identical easy files, one with a
+    // single hard file. The aggregate ratio must be the geometric mean of
+    // the two domain means, not of the 5 files.
+    auto easy = data::ToFloats(data::SmoothField(4096, 7, 4, 1e-5));
+    std::vector<data::SpFile> files;
+    for (int i = 0; i < 4; ++i) {
+        files.push_back({"easy", "e" + std::to_string(i), easy});
+    }
+    Rng rng(8);
+    std::vector<float> hard(4096);
+    for (auto& v : hard) {
+        v = BitCastTo<float>(static_cast<uint32_t>(rng.Next()));
+    }
+    files.push_back({"hard", "h0", hard});
+
+    auto inputs = eval::ToInputs(files);
+    eval::EvalConfig config;
+    config.runs = 1;
+    auto result = eval::Evaluate(
+        eval::OurCodec(Algorithm::kSPspeed, Device::kCpu), inputs, config);
+
+    double easy_ratio = result.files[0].ratio;
+    double hard_ratio = result.files[4].ratio;
+    EXPECT_NEAR(result.ratio, std::sqrt(easy_ratio * hard_ratio), 1e-9);
+}
+
+TEST(Report, ScatterAndCsv)
+{
+    std::vector<eval::CodecResult> results(2);
+    results[0].name = "A";
+    results[0].ratio = 2.0;
+    results[0].compress_gbps = 10.0;
+    results[0].decompress_gbps = 20.0;
+    results[1].name = "B";
+    results[1].ratio = 1.5;
+    results[1].compress_gbps = 30.0;
+    results[1].decompress_gbps = 5.0;
+
+    auto comp = eval::ToScatter(results, eval::Axis::kCompression);
+    EXPECT_DOUBLE_EQ(comp[0].throughput, 10.0);
+    auto decomp = eval::ToScatter(results, eval::Axis::kDecompression);
+    EXPECT_DOUBLE_EQ(decomp[1].throughput, 5.0);
+
+    std::ostringstream os;
+    eval::PrintFigure(os, "test figure", results,
+                      eval::Axis::kCompression);
+    std::string text = os.str();
+    EXPECT_NE(text.find("test figure"), std::string::npos);
+    EXPECT_NE(text.find("Pareto front: B A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * fpczip — command-line lossless compressor for scientific floating-point
+ * data (the four ASPLOS'25 algorithms).
+ *
+ * Usage:
+ *   fpczip -c [-a SPspeed|SPratio|DPspeed|DPratio] [-g] IN OUT   compress
+ *   fpczip -d [-g] IN OUT                                        decompress
+ *   fpczip -i IN                                                 inspect
+ *
+ * -a picks the algorithm (default SPspeed for .f32-looking sizes is NOT
+ *    guessed; the default is SPspeed — pick DP* for doubles).
+ * -g runs the GPU execution path (bit-identical output; see DESIGN.md).
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/codec.h"
+#include "util/timer.h"
+
+namespace {
+
+fpc::Bytes
+ReadFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw fpc::UsageError("cannot open " + path);
+    std::streamsize size = in.tellg();
+    in.seekg(0);
+    fpc::Bytes data(static_cast<size_t>(size));
+    in.read(reinterpret_cast<char*>(data.data()), size);
+    if (!in) throw fpc::UsageError("cannot read " + path);
+    return data;
+}
+
+void
+WriteFile(const std::string& path, const fpc::Bytes& data)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw fpc::UsageError("cannot open " + path);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) throw fpc::UsageError("cannot write " + path);
+}
+
+int
+Usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fpczip -c [-a ALGO] [-g] IN OUT   compress\n"
+        "       fpczip -d [-g] IN OUT             decompress\n"
+        "       fpczip -i IN                      inspect header\n"
+        "ALGO: SPspeed (default) | SPratio | DPspeed | DPratio\n"
+        "-g:   use the GPU execution path (output is identical)\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        enum { kNone, kCompress, kDecompress, kInspect } action = kNone;
+        fpc::Options options;
+        fpc::Algorithm algorithm = fpc::Algorithm::kSPspeed;
+        std::vector<std::string> files;
+
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "-c") {
+                action = kCompress;
+            } else if (arg == "-d") {
+                action = kDecompress;
+            } else if (arg == "-i") {
+                action = kInspect;
+            } else if (arg == "-g") {
+                options.device = fpc::Device::kGpuSim;
+            } else if (arg == "-a" && i + 1 < argc) {
+                algorithm = fpc::ParseAlgorithm(argv[++i]);
+            } else if (!arg.empty() && arg[0] == '-') {
+                return Usage();
+            } else {
+                files.push_back(arg);
+            }
+        }
+
+        if (action == kInspect) {
+            if (files.size() != 1) return Usage();
+            fpc::Bytes data = ReadFile(files[0]);
+            fpc::CompressedInfo info = fpc::Inspect(data);
+            std::printf("algorithm:        %s\n",
+                        fpc::AlgorithmName(info.algorithm));
+            std::printf("original size:    %llu bytes\n",
+                        static_cast<unsigned long long>(info.original_size));
+            std::printf("compressed size:  %zu bytes\n", data.size());
+            std::printf("ratio:            %.3f\n", info.ratio);
+            std::printf("chunks:           %u (%u stored raw)\n",
+                        info.chunk_count, info.raw_chunks);
+            return 0;
+        }
+
+        if (action == kNone || files.size() != 2) return Usage();
+        fpc::Bytes input = ReadFile(files[0]);
+        fpc::Timer timer;
+        fpc::Bytes output;
+        if (action == kCompress) {
+            output = fpc::Compress(algorithm, fpc::ByteSpan(input), options);
+            double seconds = timer.Seconds();
+            std::printf("%s: %zu -> %zu bytes (ratio %.3f) in %.3fs "
+                        "(%.2f GB/s)\n",
+                        fpc::AlgorithmName(algorithm), input.size(),
+                        output.size(),
+                        static_cast<double>(input.size()) /
+                            static_cast<double>(output.size()),
+                        seconds, input.size() / 1e9 / seconds);
+        } else {
+            output = fpc::Decompress(fpc::ByteSpan(input), options);
+            double seconds = timer.Seconds();
+            std::printf("%zu -> %zu bytes in %.3fs (%.2f GB/s)\n",
+                        input.size(), output.size(), seconds,
+                        output.size() / 1e9 / seconds);
+        }
+        WriteFile(files[1], output);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fpczip: %s\n", e.what());
+        return 1;
+    }
+}
