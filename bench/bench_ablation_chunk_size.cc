@@ -20,11 +20,13 @@ using namespace fpc;
 double
 RatioAtChunkSize(const PipelineSpec& spec, ByteSpan input, size_t chunk_size)
 {
+    ScratchArena scratch;
     size_t compressed = 0;
     for (size_t begin = 0; begin < input.size(); begin += chunk_size) {
         size_t size = std::min(chunk_size, input.size() - begin);
         bool raw = false;
-        Bytes payload = EncodeChunk(spec, input.subspan(begin, size), raw);
+        ByteSpan payload =
+            EncodeChunk(spec, input.subspan(begin, size), raw, scratch);
         compressed += payload.size() + 4;  // + chunk table entry
     }
     return static_cast<double>(input.size()) /

@@ -80,12 +80,15 @@ FcmVariant(ByteSpan in, size_t probes, unsigned context, Bytes& out,
 size_t
 ChunkedSize(const PipelineSpec& spec, ByteSpan input)
 {
+    ScratchArena scratch;
     size_t compressed = 0;
     for (size_t begin = 0; begin < input.size(); begin += kChunkSize) {
         size_t size = std::min(kChunkSize, input.size() - begin);
         bool raw = false;
         compressed +=
-            EncodeChunk(spec, input.subspan(begin, size), raw).size() + 4;
+            EncodeChunk(spec, input.subspan(begin, size), raw, scratch)
+                .size() +
+            4;
     }
     return compressed;
 }

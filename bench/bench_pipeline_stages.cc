@@ -45,11 +45,12 @@ PrintStageTable()
          {fpc::Algorithm::kSPspeed, fpc::Algorithm::kSPratio,
           fpc::Algorithm::kDPspeed, fpc::Algorithm::kDPratio}) {
         const fpc::PipelineSpec& spec = fpc::GetPipeline(algorithm);
+        fpc::ScratchArena scratch;
         Bytes buf = ChunkOfSmoothData(spec.word_size == 8);
         std::printf("%-8s:", spec.name);
         if (spec.pre.encode != nullptr) {
             Bytes next;
-            spec.pre.encode(ByteSpan(buf), next);
+            spec.pre.encode(ByteSpan(buf), next, scratch);
             buf.swap(next);
             std::printf(" %s(whole input)->%zuB", spec.pre.name,
                         buf.size());
@@ -57,7 +58,7 @@ PrintStageTable()
         }
         for (const fpc::Stage& stage : spec.stages) {
             Bytes next;
-            stage.encode(ByteSpan(buf), next);
+            stage.encode(ByteSpan(buf), next, scratch);
             buf.swap(next);
             std::printf(" %s->%zuB", stage.name, buf.size());
         }

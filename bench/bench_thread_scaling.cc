@@ -1,0 +1,118 @@
+/**
+ * @file
+ * CPU thread-scaling bench for the two-pass parallel container assembly
+ * (paper Section 3: chunks are dynamically assigned to threads; write
+ * positions come from a prefix sum over compressed sizes). Measures
+ * compress and decompress throughput of SPspeed and DPratio at 1/2/4/8
+ * threads on the synthetic suites and prints one JSON line per
+ * (algorithm, direction, threads) config, e.g.
+ *
+ *   {"bench": "thread_scaling", "algorithm": "SPspeed",
+ *    "direction": "compress", "threads": 4, "gbps": 1.234,
+ *    "speedup_vs_1t": 2.87, "bytes": 67108864, "ratio": 2.97}
+ *
+ * Scaling knobs (environment): FPC_BENCH_VALUES, FPC_BENCH_SCALE,
+ * FPC_BENCH_RUNS (see figure_common.h).
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "core/codec.h"
+#include "data/datasets.h"
+#include "figure_common.h"
+
+namespace {
+
+using namespace fpc;
+
+double
+Seconds()
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                             .time_since_epoch())
+        .count();
+}
+
+/** Best-of-N wall-clock throughput of @p fn over @p bytes. */
+template <typename Fn>
+double
+BestGbps(Fn&& fn, size_t bytes, int runs)
+{
+    double best = 0.0;
+    for (int r = 0; r < runs; ++r) {
+        const double t0 = Seconds();
+        fn();
+        const double elapsed = Seconds() - t0;
+        best = std::max(best, static_cast<double>(bytes) / elapsed / 1e9);
+    }
+    return best;
+}
+
+void
+RunAlgorithm(const char* name, Algorithm algorithm, ByteSpan input,
+             int runs)
+{
+    const int kThreadCounts[] = {1, 2, 4, 8};
+    double compress_1t = 0.0;
+    double decompress_1t = 0.0;
+    for (int threads : kThreadCounts) {
+        Options options;
+        options.threads = threads;
+
+        Bytes compressed = Compress(algorithm, input, options);
+        const double ratio = static_cast<double>(input.size()) /
+                             static_cast<double>(compressed.size());
+
+        const double comp = BestGbps(
+            [&] { Compress(algorithm, input, options); }, input.size(),
+            runs);
+        const double decomp = BestGbps(
+            [&] { Decompress(ByteSpan(compressed), options); },
+            input.size(), runs);
+        if (threads == 1) {
+            compress_1t = comp;
+            decompress_1t = decomp;
+        }
+
+        std::printf("{\"bench\": \"thread_scaling\", \"algorithm\": "
+                    "\"%s\", \"direction\": \"compress\", \"threads\": %d, "
+                    "\"gbps\": %.3f, \"speedup_vs_1t\": %.2f, "
+                    "\"bytes\": %zu, \"ratio\": %.3f}\n",
+                    name, threads, comp, comp / compress_1t, input.size(),
+                    ratio);
+        std::printf("{\"bench\": \"thread_scaling\", \"algorithm\": "
+                    "\"%s\", \"direction\": \"decompress\", \"threads\": "
+                    "%d, \"gbps\": %.3f, \"speedup_vs_1t\": %.2f, "
+                    "\"bytes\": %zu, \"ratio\": %.3f}\n",
+                    name, threads, decomp, decomp / decompress_1t,
+                    input.size(), ratio);
+        std::fflush(stdout);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    data::SuiteConfig config;
+    config.values_per_file = bench::EnvSize("FPC_BENCH_VALUES", 65536);
+    const int runs =
+        static_cast<int>(bench::EnvSize("FPC_BENCH_RUNS", 3));
+
+    config.file_scale = bench::EnvDouble("FPC_BENCH_SCALE", 0.15);
+    Bytes sp_input;
+    for (const auto& f : data::SingleSuite(config)) {
+        AppendBytes(sp_input, AsBytes(f.values));
+    }
+
+    config.file_scale = bench::EnvDouble("FPC_BENCH_SCALE", 0.4);
+    Bytes dp_input;
+    for (const auto& f : data::DoubleSuite(config)) {
+        AppendBytes(dp_input, AsBytes(f.values));
+    }
+
+    RunAlgorithm("SPspeed", Algorithm::kSPspeed, ByteSpan(sp_input), runs);
+    RunAlgorithm("DPratio", Algorithm::kDPratio, ByteSpan(dp_input), runs);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-thread scratch arena for the chunk codec hot path.
+ *
+ * The paper's throughput claims assume the transforms are memory-bound; an
+ * allocator call per chunk per stage would dominate them. A ScratchArena
+ * owns every buffer the chunk pipeline needs — the stage ping-pong pair,
+ * stage-local byte and word scratch, and the recursive bitmap-codec level
+ * pools — all capacity-retaining, so after the first few chunks warm the
+ * capacities, EncodeChunk/DecodeChunk perform zero heap allocations
+ * (steady state; asserted by tests/arena_test.cc).
+ *
+ * Ownership rules (see DESIGN.md "Execution & memory model"):
+ *  - One arena per worker thread, created once per Compress/Decompress
+ *    call and handed to every EncodeChunk/DecodeChunk that thread runs.
+ *    Arenas are never shared between threads.
+ *  - PipelineA/PipelineB are reserved for the pipeline driver's stage
+ *    ping-pong; a stage may read its input from one of them (via the
+ *    ByteSpan it is given) and writes its output to the other, so stages
+ *    must never touch them directly.
+ *  - Slot(i), Words<T>(), and Histogram() are stage-local: valid only
+ *    between entry and exit of a single stage call. A stage may use any of
+ *    them; the next stage will clobber them.
+ *  - BitmapLevel/BitmapKept belong to the bitmap codec
+ *    (transforms/bitmap_codec.h). DecompressBitmap's result lives in a
+ *    level slot and dies at the next bitmap-codec call on the same arena.
+ *  - Retained() accumulates a thread's encoded payloads across chunks for
+ *    the two-pass container assembly in Compress; only core/codec.cc and
+ *    gpusim/launch.cc append to it.
+ */
+#ifndef FPC_CORE_ARENA_H
+#define FPC_CORE_ARENA_H
+
+#include "util/common.h"
+
+namespace fpc {
+
+class ScratchArena {
+ public:
+    ScratchArena() = default;
+    ScratchArena(const ScratchArena&) = delete;
+    ScratchArena& operator=(const ScratchArena&) = delete;
+    ScratchArena(ScratchArena&&) = default;
+    ScratchArena& operator=(ScratchArena&&) = default;
+
+    /** Stage ping-pong buffers; reserved for the pipeline driver. */
+    Bytes& PipelineA() { return pipeline_a_; }
+    Bytes& PipelineB() { return pipeline_b_; }
+
+    /** Stage-local byte scratch slots (bitmap / packed-bits / low-bits). */
+    static constexpr size_t kSlots = 3;
+    Bytes&
+    Slot(size_t i)
+    {
+        FPC_CHECK(i < kSlots, "arena slot index out of range");
+        return slots_[i];
+    }
+
+    /** Stage-local word scratch (32- and 64-bit views are distinct). */
+    template <typename T>
+    std::vector<T>& Words();
+
+    /** Leading-bit histogram scratch for the adaptive-k transforms. */
+    std::vector<unsigned>& Histogram() { return histogram_; }
+
+    /** Bitmap-codec level buffer @p i (grown on first use, then reused). */
+    Bytes& BitmapLevel(size_t i);
+    /** Kept-bytes buffer of bitmap-codec level @p i. */
+    Bytes& BitmapKept(size_t i);
+
+    /** Per-thread retained encode output (two-pass container assembly). */
+    Bytes& Retained() { return retained_; }
+
+    /** Total heap bytes currently held across all buffers (diagnostics). */
+    size_t CapacityBytes() const;
+
+ private:
+    Bytes pipeline_a_;
+    Bytes pipeline_b_;
+    std::array<Bytes, kSlots> slots_;
+    std::vector<uint32_t> words32_;
+    std::vector<uint64_t> words64_;
+    std::vector<unsigned> histogram_;
+    std::vector<Bytes> bitmap_levels_;
+    std::vector<Bytes> bitmap_kept_;
+    Bytes retained_;
+};
+
+template <>
+inline std::vector<uint32_t>&
+ScratchArena::Words<uint32_t>()
+{
+    return words32_;
+}
+
+template <>
+inline std::vector<uint64_t>&
+ScratchArena::Words<uint64_t>()
+{
+    return words64_;
+}
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_ARENA_H

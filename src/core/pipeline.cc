@@ -14,7 +14,8 @@ const PipelineSpec kSpSpeed{
     4,
     {},
     {
-        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32},
+        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32,
+         tf::DiffmsDecodeInto32},
         {"MPLG", tf::MplgEncode32, tf::MplgDecode32},
     },
 };
@@ -25,7 +26,8 @@ const PipelineSpec kSpRatio{
     4,
     {},
     {
-        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32},
+        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32,
+         tf::DiffmsDecodeInto32},
         {"BIT", tf::BitEncode32, tf::BitDecode32},
         {"RZE", tf::RzeEncode, tf::RzeDecode},
     },
@@ -37,7 +39,8 @@ const PipelineSpec kDpSpeed{
     8,
     {},
     {
-        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64},
+        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64,
+         tf::DiffmsDecodeInto64},
         {"MPLG", tf::MplgEncode64, tf::MplgDecode64},
     },
 };
@@ -48,7 +51,8 @@ const PipelineSpec kDpRatio{
     8,
     {"FCM", tf::FcmEncode, tf::FcmDecode},
     {
-        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64},
+        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64,
+         tf::DiffmsDecodeInto64},
         {"RAZE", tf::RazeEncode64, tf::RazeDecode64},
         {"RARE", tf::RareEncode64, tf::RareDecode64},
     },
@@ -92,49 +96,59 @@ GetPipeline(Algorithm algorithm)
     throw UsageError("unknown algorithm id");
 }
 
-Bytes
-EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw)
+ByteSpan
+EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
+            ScratchArena& scratch)
 {
-    Bytes buf;
-    Bytes next;
+    Bytes* src = &scratch.PipelineA();
+    Bytes* dst = &scratch.PipelineB();
     bool first = true;
     for (const Stage& stage : spec.stages) {
-        next.clear();
-        stage.encode(first ? chunk : ByteSpan(buf), next);
-        buf.swap(next);
+        dst->clear();
+        stage.encode(first ? chunk : ByteSpan(*src), *dst, scratch);
+        std::swap(src, dst);
         first = false;
     }
-    if (first || buf.size() >= chunk.size()) {
+    if (first || src->size() >= chunk.size()) {
         // Pipeline output is not smaller: store the chunk verbatim
         // (worst-case expansion cap, paper Section 3).
         raw = true;
-        return Bytes(chunk.begin(), chunk.end());
+        return chunk;
     }
     raw = false;
-    return buf;
+    return ByteSpan(*src);
 }
 
 void
 DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
-            size_t expected_size, Bytes& out)
+            std::span<std::byte> dest, ScratchArena& scratch)
 {
     if (raw) {
-        FPC_PARSE_CHECK(payload.size() == expected_size,
+        FPC_PARSE_CHECK(payload.size() == dest.size(),
                         "raw chunk size mismatch");
-        AppendBytes(out, payload);
+        std::memcpy(dest.data(), payload.data(), payload.size());
         return;
     }
-    Bytes buf;
-    Bytes next;
-    for (size_t s = spec.stages.size(); s-- > 0;) {
-        const Stage& stage = spec.stages[s];
-        next.clear();
-        bool last_stage = (s == spec.stages.size() - 1);
-        stage.decode(last_stage ? payload : ByteSpan(buf), next);
-        buf.swap(next);
+    FPC_PARSE_CHECK(!spec.stages.empty(),
+                    "non-raw chunk in a stage-free pipeline");
+    Bytes* src = &scratch.PipelineA();
+    Bytes* dst = &scratch.PipelineB();
+    ByteSpan cur = payload;
+    for (size_t s = spec.stages.size(); s-- > 1;) {
+        dst->clear();
+        spec.stages[s].decode(cur, *dst, scratch);
+        std::swap(src, dst);
+        cur = ByteSpan(*src);
     }
-    FPC_PARSE_CHECK(buf.size() == expected_size, "chunk size mismatch");
-    AppendBytes(out, ByteSpan(buf));
+    const Stage& last = spec.stages.front();
+    if (last.decode_into != nullptr) {
+        last.decode_into(cur, dest, scratch);
+    } else {
+        dst->clear();
+        last.decode(cur, *dst, scratch);
+        FPC_PARSE_CHECK(dst->size() == dest.size(), "chunk size mismatch");
+        std::memcpy(dest.data(), dst->data(), dst->size());
+    }
 }
 
 }  // namespace fpc

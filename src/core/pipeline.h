@@ -12,10 +12,16 @@
  * independently to 16 KiB chunks; a chunk whose pipeline output is not
  * smaller than the chunk itself is stored raw (worst-case expansion cap,
  * paper Section 3).
+ *
+ * The chunk entry points are allocation-free in steady state: all stage
+ * buffers come from a caller-owned per-thread ScratchArena (core/arena.h),
+ * EncodeChunk returns a view into the arena instead of a fresh vector, and
+ * DecodeChunk writes straight into the caller's destination span.
  */
 #ifndef FPC_CORE_PIPELINE_H
 #define FPC_CORE_PIPELINE_H
 
+#include "core/arena.h"
 #include "core/types.h"
 #include "util/common.h"
 
@@ -24,8 +30,13 @@ namespace fpc {
 /** A reversible data transformation stage. */
 struct Stage {
     const char* name = nullptr;
-    void (*encode)(ByteSpan, Bytes&) = nullptr;
-    void (*decode)(ByteSpan, Bytes&) = nullptr;
+    void (*encode)(ByteSpan, Bytes&, ScratchArena&) = nullptr;
+    void (*decode)(ByteSpan, Bytes&, ScratchArena&) = nullptr;
+    /** Optional: decode directly into a span of exactly the decoded size.
+     *  Set on the first pipeline stage so chunk decode can write straight
+     *  into the destination buffer with no intermediate copy. */
+    void (*decode_into)(ByteSpan, std::span<std::byte>, ScratchArena&) =
+        nullptr;
 };
 
 /** The stage composition of one algorithm. */
@@ -41,15 +52,23 @@ struct PipelineSpec {
 const PipelineSpec& GetPipeline(Algorithm algorithm);
 
 /**
- * Run the chunk stages forward over @p chunk. Returns the encoded payload
- * and sets @p raw when the payload is the chunk verbatim (pipeline output
- * would not have been smaller).
+ * Run the chunk stages forward over @p chunk using @p scratch for every
+ * buffer. Returns a view of the encoded payload — into @p scratch's
+ * pipeline buffers, or @p chunk itself when the chunk is stored raw (sets
+ * @p raw; pipeline output would not have been smaller). The view is
+ * invalidated by the next EncodeChunk/DecodeChunk call on the same arena.
  */
-Bytes EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw);
+ByteSpan EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
+                     ScratchArena& scratch);
 
-/** Inverse of EncodeChunk for one chunk payload. */
+/**
+ * Inverse of EncodeChunk for one chunk payload. Writes exactly
+ * @p dest.size() bytes into @p dest (the chunk's slot in the output
+ * buffer); throws CorruptStreamError when the payload decodes to any other
+ * size.
+ */
 void DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
-                 size_t expected_size, Bytes& out);
+                 std::span<std::byte> dest, ScratchArena& scratch);
 
 }  // namespace fpc
 

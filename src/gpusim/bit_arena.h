@@ -57,7 +57,9 @@ class BitArena {
         size_t n_bytes = (bit_count_ + 7) / 8;
         size_t start = out.size();
         out.resize(start + n_bytes);
-        std::memcpy(out.data() + start, words_.data(), n_bytes);
+        if (n_bytes != 0) {
+            std::memcpy(out.data() + start, words_.data(), n_bytes);
+        }
     }
 
     /** Load from a byte span produced by a BitWriter. */
@@ -67,7 +69,10 @@ class BitArena {
         FPC_PARSE_CHECK((bit_count + 7) / 8 <= in.size(),
                         "bit arena source too small");
         BitArena arena(bit_count);
-        std::memcpy(arena.words_.data(), in.data(), (bit_count + 7) / 8);
+        if (bit_count != 0) {
+            std::memcpy(arena.words_.data(), in.data(),
+                        (bit_count + 7) / 8);
+        }
         return arena;
     }
 

@@ -35,8 +35,11 @@ Device::Launch(size_t num_blocks,
     if (resident == 0) return;
 
 #ifdef _OPENMP
+    // Signed loop index: unsigned induction variables are not portable
+    // across OpenMP implementations (pre-3.0 front ends reject them).
 #pragma omp parallel for schedule(dynamic)
-    for (size_t b = 0; b < num_blocks; ++b) {
+    for (std::int64_t b = 0; b < static_cast<std::int64_t>(num_blocks);
+         ++b) {
         ThreadBlock block(static_cast<unsigned>(b),
                           profile_.threads_per_block);
         body(block);

@@ -719,51 +719,55 @@ LookupDeviceStage(const std::string& name, unsigned word_size)
 
 }  // namespace
 
-Bytes
-EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw)
+ByteSpan
+EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
+                  ScratchArena& scratch)
 {
     ThreadBlock block(0, 256);
-    Bytes buf;
-    Bytes next;
+    Bytes* src = &scratch.PipelineA();
+    Bytes* dst = &scratch.PipelineB();
     bool first = true;
     for (const Stage& stage : spec.stages) {
         DeviceStage device = LookupDeviceStage(stage.name, spec.word_size);
-        next.clear();
-        device.encode(block, first ? chunk : ByteSpan(buf), next);
-        buf.swap(next);
+        dst->clear();
+        device.encode(block, first ? chunk : ByteSpan(*src), *dst);
+        std::swap(src, dst);
         first = false;
     }
-    if (first || buf.size() >= chunk.size()) {
+    if (first || src->size() >= chunk.size()) {
         raw = true;
-        return Bytes(chunk.begin(), chunk.end());
+        return chunk;
     }
     raw = false;
-    return buf;
+    return ByteSpan(*src);
 }
 
 void
 DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
-                  size_t expected_size, Bytes& out)
+                  std::span<std::byte> dest, ScratchArena& scratch)
 {
     if (raw) {
-        FPC_PARSE_CHECK(payload.size() == expected_size,
+        FPC_PARSE_CHECK(payload.size() == dest.size(),
                         "raw chunk size mismatch");
-        AppendBytes(out, payload);
+        std::memcpy(dest.data(), payload.data(), payload.size());
         return;
     }
+    FPC_PARSE_CHECK(!spec.stages.empty(),
+                    "non-raw chunk in a stage-free pipeline");
     ThreadBlock block(0, 256);
-    Bytes buf;
-    Bytes next;
+    Bytes* src = &scratch.PipelineA();
+    Bytes* dst = &scratch.PipelineB();
+    ByteSpan cur = payload;
     for (size_t s = spec.stages.size(); s-- > 0;) {
         DeviceStage device =
             LookupDeviceStage(spec.stages[s].name, spec.word_size);
-        next.clear();
-        bool last_stage = (s == spec.stages.size() - 1);
-        device.decode(block, last_stage ? payload : ByteSpan(buf), next);
-        buf.swap(next);
+        dst->clear();
+        device.decode(block, cur, *dst);
+        std::swap(src, dst);
+        cur = ByteSpan(*src);
     }
-    FPC_PARSE_CHECK(buf.size() == expected_size, "chunk size mismatch");
-    AppendBytes(out, ByteSpan(buf));
+    FPC_PARSE_CHECK(cur.size() == dest.size(), "chunk size mismatch");
+    std::memcpy(dest.data(), cur.data(), cur.size());
 }
 
 // ---------------------------------------------------------------------

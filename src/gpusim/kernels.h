@@ -17,12 +17,19 @@
 
 namespace fpc::gpusim {
 
-/** GPU-path equivalent of fpc::EncodeChunk (one thread block per chunk). */
-Bytes EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw);
+/**
+ * GPU-path equivalent of fpc::EncodeChunk (one thread block per chunk).
+ * Mirrors the CPU contract: stage ping-pong through @p scratch's pipeline
+ * buffers, result returned as a view into the arena (or @p chunk itself
+ * when stored raw), valid until the next chunk call on the same arena.
+ */
+ByteSpan EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk,
+                           bool& raw, ScratchArena& scratch);
 
-/** GPU-path equivalent of fpc::DecodeChunk. */
+/** GPU-path equivalent of fpc::DecodeChunk: writes exactly @p dest.size()
+ *  bytes into the chunk's slot of the output buffer. */
 void DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
-                       size_t expected_size, Bytes& out);
+                       std::span<std::byte> dest, ScratchArena& scratch);
 
 /** GPU-path FCM whole-input transform (CUB-style device sort + parallel
  *  match detection / union-find decode). */

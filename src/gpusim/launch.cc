@@ -1,5 +1,12 @@
 #include "gpusim/launch.h"
 
+#include <atomic>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/arena.h"
 #include "core/container.h"
 #include "core/pipeline.h"
 #include "gpusim/kernels.h"
@@ -8,63 +15,103 @@
 
 namespace fpc::gpusim {
 
+namespace {
+
+/** Arenas for the host threads that model SMs in Device::Launch. */
+size_t
+MaxLaunchWorkers()
+{
+#ifdef _OPENMP
+    return static_cast<size_t>(omp_get_max_threads());
+#else
+    return 1;
+#endif
+}
+
+size_t
+LaunchWorkerId()
+{
+#ifdef _OPENMP
+    return static_cast<size_t>(omp_get_thread_num());
+#else
+    return 0;
+#endif
+}
+
+}  // namespace
+
 Bytes
 CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
 {
     const PipelineSpec& spec = GetPipeline(algorithm);
 
     Bytes work;
+    ByteSpan chunk_src = input;
     if (spec.pre.encode != nullptr) {
         FcmEncodeDevice(input, work);
-    } else {
-        AppendBytes(work, input);
+        chunk_src = ByteSpan(work);
     }
 
-    const size_t n_chunks = (work.size() + kChunkSize - 1) / kChunkSize;
-    std::vector<Bytes> payloads(n_chunks);
+    const size_t n_chunks =
+        (chunk_src.size() + kChunkSize - 1) / kChunkSize;
     std::vector<uint8_t> raw_flags(n_chunks, 0);
+    std::vector<uint32_t> sizes(n_chunks, 0);
     std::vector<uint64_t> offsets(n_chunks, 0);
     DecoupledLookback lookback(n_chunks);
+
+    // Each encoded payload stays in its worker's arena-retained buffer
+    // (with the worker and in-buffer offset recorded) until assembly.
+    struct EncodedChunkRef {
+        uint32_t worker = 0;
+        size_t offset = 0;
+    };
+    std::vector<EncodedChunkRef> refs(n_chunks);
+    std::vector<ScratchArena> arenas(MaxLaunchWorkers());
 
     // One thread block per chunk; after encoding, each block publishes its
     // compressed size and resolves its write position by looking back.
     device.Launch(n_chunks, [&](ThreadBlock& block) {
         const size_t c = block.BlockId();
+        ScratchArena& scratch = arenas[LaunchWorkerId()];
         size_t begin = c * kChunkSize;
-        size_t size = std::min(kChunkSize, work.size() - begin);
+        size_t size = std::min(kChunkSize, chunk_src.size() - begin);
         bool raw = false;
-        payloads[c] =
-            EncodeChunkDevice(spec, ByteSpan(work).subspan(begin, size), raw);
+        ByteSpan payload = EncodeChunkDevice(
+            spec, chunk_src.subspan(begin, size), raw, scratch);
         raw_flags[c] = raw ? 1 : 0;
-        lookback.PublishAggregate(c, payloads[c].size());
+        sizes[c] = static_cast<uint32_t>(payload.size());
+        Bytes& retained = scratch.Retained();
+        refs[c] = {static_cast<uint32_t>(LaunchWorkerId()),
+                   retained.size()};
+        AppendBytes(retained, payload);
+        lookback.PublishAggregate(c, payload.size());
         offsets[c] = lookback.ResolvePrefix(c);
     });
 
     ContainerHeader header;
     header.algorithm = static_cast<uint8_t>(algorithm);
     header.original_size = input.size();
-    header.transformed_size = work.size();
+    header.transformed_size = chunk_src.size();
     header.checksum = Checksum64(input);
     header.chunk_count = static_cast<uint32_t>(n_chunks);
 
-    std::vector<uint32_t> sizes(n_chunks);
     size_t total = 0;
-    for (size_t c = 0; c < n_chunks; ++c) {
-        sizes[c] = static_cast<uint32_t>(payloads[c].size());
-        total += payloads[c].size();
-    }
+    for (size_t c = 0; c < n_chunks; ++c) total += sizes[c];
 
+    const size_t prefix_size = ContainerHeaderSize() + n_chunks * 4;
     Bytes out;
-    out.reserve(ContainerHeaderSize() + n_chunks * 4 + total);
+    out.reserve(prefix_size + total);
     WriteContainerPrefix(header, sizes, raw_flags, out);
-    size_t payload_base = out.size();
-    out.resize(payload_base + total);
+    FPC_CHECK(out.size() == prefix_size, "container prefix size mismatch");
+    out.resize(prefix_size + total);
     // Blocks write at their look-back-resolved positions.
     for (size_t c = 0; c < n_chunks; ++c) {
-        FPC_CHECK(offsets[c] + payloads[c].size() <= total,
+        FPC_CHECK(offsets[c] + sizes[c] <= total,
                   "look-back offset out of range");
-        std::memcpy(out.data() + payload_base + offsets[c],
-                    payloads[c].data(), payloads[c].size());
+        if (sizes[c] == 0) continue;
+        const Bytes& retained = arenas[refs[c].worker].Retained();
+        std::memcpy(out.data() + prefix_size + offsets[c],
+                    retained.data() + refs[c].offset, sizes[c]);
     }
     return out;
 }
@@ -78,20 +125,21 @@ DecompressOnDevice(const Device& device, ByteSpan compressed)
     const size_t transformed_size = view.header.transformed_size;
 
     Bytes work(transformed_size);
+    std::vector<ScratchArena> arenas(MaxLaunchWorkers());
     std::atomic<bool> failed{false};
     device.Launch(view.header.chunk_count, [&](ThreadBlock& block) {
         if (failed.load(std::memory_order_relaxed)) return;
         const size_t c = block.BlockId();
         try {
+            ScratchArena& scratch = arenas[LaunchWorkerId()];
             size_t begin = c * kChunkSize;
             size_t size = std::min(kChunkSize, transformed_size - begin);
-            Bytes decoded;
             DecodeChunkDevice(
                 spec,
                 view.payload.subspan(view.chunk_offsets[c],
                                      view.chunk_sizes[c]),
-                view.chunk_raw[c], size, decoded);
-            std::memcpy(work.data() + begin, decoded.data(), size);
+                view.chunk_raw[c],
+                std::span<std::byte>(work.data() + begin, size), scratch);
         } catch (const std::exception&) {
             failed.store(true);
         }

@@ -25,9 +25,11 @@ ChooseAdaptiveK(std::span<const unsigned> histogram, size_t nw,
                 unsigned word_bits)
 {
     FPC_CHECK(histogram.size() == word_bits + 1, "histogram size");
+    FPC_CHECK(word_bits <= 64, "word bits out of range");
     // droppable_geq[k] = #words with at least k droppable leading bits:
     // every word with m droppable bits also has m-1, m-2, ... droppable.
-    std::vector<size_t> droppable_geq(word_bits + 2, 0);
+    // Fixed-size: this runs once per chunk on the allocation-free hot path.
+    std::array<size_t, 66> droppable_geq{};
     for (unsigned m = word_bits + 1; m-- > 0;) {
         droppable_geq[m] = droppable_geq[m + 1] +
                            (m <= word_bits ? histogram[m] : 0);

@@ -10,9 +10,11 @@
  * whole-word bytes as the input.
  *
  * When the word count is a multiple of 32 (every full 16 KiB chunk), the
- * 32-bit path transposes 32x32 blocks and stores whole aligned words —
- * the same decomposition the GPU kernels use per warp; otherwise a
- * bit-granular fallback produces the identical layout.
+ * 32-bit path transposes 32x32 blocks between the input span and the
+ * output buffer with no intermediate word array — the same decomposition
+ * the GPU kernels use per warp; otherwise a bit-granular fallback produces
+ * the identical layout (the fallback's decode stages through the arena's
+ * word scratch because it ORs bits into words incrementally).
  */
 #include "transforms/transforms.h"
 
@@ -25,13 +27,10 @@ namespace {
 
 template <typename T>
 void
-BitEncodeSlow(const std::vector<T>& words, Bytes& out)
+BitEncodeSlow(ByteSpan in, size_t nw, std::byte* packed)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    const size_t nw = words.size();
-    Bytes packed;
-    packed.reserve(nw * sizeof(T) + 8);
-    BitWriter bw(packed);
+    RawBitSink bw(packed);
     for (unsigned plane = 0; plane < kWordBits; ++plane) {
         const unsigned shift = kWordBits - 1 - plane;  // MSB plane first
         size_t i = 0;
@@ -39,64 +38,77 @@ BitEncodeSlow(const std::vector<T>& words, Bytes& out)
         for (; i + 8 <= nw; i += 8) {
             uint64_t byte = 0;
             for (unsigned j = 0; j < 8; ++j) {
-                byte |= ((static_cast<uint64_t>(words[i + j]) >> shift) & 1u)
+                byte |= ((static_cast<uint64_t>(WordAt<T>(in, i + j)) >>
+                          shift) &
+                         1u)
                         << j;
             }
             bw.Put(byte, 8);
         }
         for (; i < nw; ++i) {
-            bw.PutBit((words[i] >> shift) & 1u);
+            bw.Put((WordAt<T>(in, i) >> shift) & 1u, 1);
         }
     }
     bw.Finish();
-    AppendBytes(out, ByteSpan(packed));
 }
 
 /** 32-bit fast path: block transposes + aligned 32-bit plane stores. */
 void
-BitEncodeFast32(const std::vector<uint32_t>& words, Bytes& out)
+BitEncodeFast32(ByteSpan in, size_t nw, std::byte* planes)
 {
-    const size_t nw = words.size();
     const size_t groups = nw / 32;
-    std::vector<uint32_t> planes(nw);
     // Plane p occupies words [p * groups, (p+1) * groups) of the output:
     // bit index p*nw + g*32 is word p*groups + g for nw % 32 == 0.
     for (size_t g = 0; g < groups; ++g) {
         uint32_t block[32];
-        std::memcpy(block, words.data() + g * 32, sizeof(block));
+        std::memcpy(block, in.data() + g * 32 * sizeof(uint32_t),
+                    sizeof(block));
         Transpose32x32(block);
         for (unsigned j = 0; j < 32; ++j) {
-            unsigned p = 31 - j;  // MSB plane first
-            planes[p * groups + g] = block[j];
+            const unsigned p = 31 - j;  // MSB plane first
+            std::memcpy(planes + (p * groups + g) * sizeof(uint32_t),
+                        &block[j], sizeof(uint32_t));
         }
     }
-    AppendBytes(out, AsBytes(planes));
 }
 
 template <typename T>
 void
 BitEncodeImpl(ByteSpan in, Bytes& out)
 {
-    ByteWriter wr(out);
-    wr.Put<uint64_t>(in.size());
-    std::vector<T> words = LoadWords<T>(in);
+    constexpr unsigned kWordBits = sizeof(T) * 8;
+    const size_t nw = in.size() / sizeof(T);
+    const size_t packed_bytes = (nw * kWordBits + 7) / 8;
+    const size_t tail = in.size() - nw * sizeof(T);
+
+    const size_t base = out.size();
+    out.resize(base + sizeof(uint64_t) + packed_bytes + tail);
+    const uint64_t size64 = in.size();
+    std::memcpy(out.data() + base, &size64, sizeof(size64));
+    std::byte* packed = out.data() + base + sizeof(uint64_t);
+
     if constexpr (sizeof(T) == 4) {
-        if (!words.empty() && words.size() % 32 == 0) {
-            BitEncodeFast32(words, out);
-            wr.PutBytes(in.subspan(words.size() * sizeof(T)));
-            return;
+        if (nw > 0 && nw % 32 == 0) {
+            BitEncodeFast32(in, nw, packed);
+        } else {
+            BitEncodeSlow<T>(in, nw, packed);
         }
+    } else {
+        BitEncodeSlow<T>(in, nw, packed);
     }
-    BitEncodeSlow(words, out);
-    wr.PutBytes(in.subspan(words.size() * sizeof(T)));
+    if (tail != 0) {
+        std::memcpy(packed + packed_bytes, in.data() + nw * sizeof(T), tail);
+    }
 }
 
 template <typename T>
 void
-BitDecodeSlow(ByteSpan packed, std::vector<T>& words)
+BitDecodeSlow(ByteSpan packed, size_t nw, std::byte* dest,
+              ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    const size_t nw = words.size();
+    std::vector<T>& words = scratch.Words<T>();
+    words.assign(nw, 0);
     BitReader bits(packed);
     for (unsigned plane = 0; plane < kWordBits; ++plane) {
         const unsigned shift = kWordBits - 1 - plane;
@@ -111,54 +123,77 @@ BitDecodeSlow(ByteSpan packed, std::vector<T>& words)
             if (bits.GetBit()) words[i] |= T{1} << shift;
         }
     }
+    if (nw != 0) std::memcpy(dest, words.data(), nw * sizeof(T));
 }
 
 void
-BitDecodeFast32(ByteSpan packed, std::vector<uint32_t>& words)
+BitDecodeFast32(ByteSpan packed, size_t nw, std::byte* dest)
 {
-    const size_t nw = words.size();
     const size_t groups = nw / 32;
-    std::vector<uint32_t> planes = LoadWords<uint32_t>(packed);
     for (size_t g = 0; g < groups; ++g) {
         uint32_t block[32];
         for (unsigned j = 0; j < 32; ++j) {
-            unsigned p = 31 - j;
-            block[j] = planes[p * groups + g];
+            const unsigned p = 31 - j;
+            block[j] = WordAt<uint32_t>(packed, p * groups + g);
         }
         Transpose32x32(block);  // the transpose is an involution
-        std::memcpy(words.data() + g * 32, block, sizeof(block));
+        std::memcpy(dest + g * 32 * sizeof(uint32_t), block, sizeof(block));
     }
 }
 
 template <typename T>
 void
-BitDecodeImpl(ByteSpan in, Bytes& out)
+BitDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
     ByteReader br(in);
     const size_t orig_size = br.Get<uint64_t>();
     const size_t nw = orig_size / sizeof(T);
     ByteSpan packed = br.GetBytes((nw * kWordBits + 7) / 8);
+    ByteSpan tail = br.Rest();
+    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
+                    "BIT tail size mismatch");
 
-    std::vector<T> words(nw, 0);
+    const size_t base = out.size();
+    out.resize(base + orig_size);
+    std::byte* dest = out.data() + base;
+
     if constexpr (sizeof(T) == 4) {
         if (nw > 0 && nw % 32 == 0) {
-            BitDecodeFast32(packed, words);
-            AppendBytes(out, AsBytes(words));
-            AppendBytes(out, br.Rest());
-            return;
+            BitDecodeFast32(packed, nw, dest);
+        } else {
+            BitDecodeSlow<T>(packed, nw, dest, scratch);
         }
+    } else {
+        BitDecodeSlow<T>(packed, nw, dest, scratch);
     }
-    BitDecodeSlow(packed, words);
-    AppendBytes(out, AsBytes(words));
-    AppendBytes(out, br.Rest());
+    if (!tail.empty()) {
+        std::memcpy(dest + nw * sizeof(T), tail.data(), tail.size());
+    }
 }
 
 }  // namespace
 
+void BitEncode32(ByteSpan in, Bytes& out, ScratchArena&) { BitEncodeImpl<uint32_t>(in, out); }
+void BitDecode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { BitDecodeImpl<uint32_t>(in, out, scratch); }
+void BitEncode64(ByteSpan in, Bytes& out, ScratchArena&) { BitEncodeImpl<uint64_t>(in, out); }
+void BitDecode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { BitDecodeImpl<uint64_t>(in, out, scratch); }
+
 void BitEncode32(ByteSpan in, Bytes& out) { BitEncodeImpl<uint32_t>(in, out); }
-void BitDecode32(ByteSpan in, Bytes& out) { BitDecodeImpl<uint32_t>(in, out); }
 void BitEncode64(ByteSpan in, Bytes& out) { BitEncodeImpl<uint64_t>(in, out); }
-void BitDecode64(ByteSpan in, Bytes& out) { BitDecodeImpl<uint64_t>(in, out); }
+
+void
+BitDecode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    BitDecodeImpl<uint32_t>(in, out, scratch);
+}
+
+void
+BitDecode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    BitDecodeImpl<uint64_t>(in, out, scratch);
+}
 
 }  // namespace fpc::tf

@@ -4,19 +4,26 @@ namespace fpc::tf {
 
 namespace {
 
-/** Byte lengths of the successive bitmap levels, largest first. */
-std::vector<size_t>
-LevelSizes(size_t bitmap_size)
-{
-    std::vector<size_t> sizes;
-    size_t s = bitmap_size;
-    sizes.push_back(s);
-    while (s > 4) {
-        s = (s + 7) / 8;  // one bit per byte of the level below
-        sizes.push_back(s);
+/**
+ * Byte lengths of the successive bitmap levels, largest first. Levels
+ * shrink 8x per step, so 24 entries cover any conceivable bitmap; the
+ * fixed array keeps level-size computation off the heap.
+ */
+struct LevelSizes {
+    std::array<size_t, 24> sizes;
+    size_t count = 0;
+
+    explicit LevelSizes(size_t bitmap_size)
+    {
+        size_t s = bitmap_size;
+        sizes[count++] = s;
+        while (s > 4) {
+            s = (s + 7) / 8;  // one bit per byte of the level below
+            FPC_CHECK(count < sizes.size(), "bitmap level overflow");
+            sizes[count++] = s;
+        }
     }
-    return sizes;
-}
+};
 
 }  // namespace
 
@@ -29,63 +36,84 @@ PopcountBitmap(ByteSpan bitmap)
 }
 
 void
-CompressBitmap(ByteSpan bitmap, Bytes& out)
+CompressBitmap(ByteSpan bitmap, Bytes& out, ScratchArena& scratch)
 {
     // Build the level stack bottom-up: level k+1 marks the non-repeating
-    // bytes of level k; only those bytes survive.
-    std::vector<Bytes> levels;       // level byte arrays (level 0 = input)
-    std::vector<Bytes> kept;         // kept (non-repeating) bytes per level
-    levels.emplace_back(bitmap.begin(), bitmap.end());
-
-    while (levels.back().size() > 4) {
-        const Bytes& cur = levels.back();
-        Bytes next((cur.size() + 7) / 8, std::byte{0});
-        Bytes surviving;
+    // bytes of level k; only those bytes survive. Level 0 is the input
+    // span; higher levels live in the arena's bitmap pool.
+    size_t n_levels = 1;
+    ByteSpan cur = bitmap;
+    while (cur.size() > 4) {
+        Bytes& next = scratch.BitmapLevel(n_levels);
+        next.assign((cur.size() + 7) / 8, std::byte{0});
+        Bytes& surviving = scratch.BitmapKept(n_levels - 1);
+        surviving.clear();
         std::byte prev{0};
         for (size_t j = 0; j < cur.size(); ++j) {
-            bool differs = (j == 0) || (cur[j] != prev);
+            const bool differs = (j == 0) || (cur[j] != prev);
             if (differs) {
                 next[j / 8] |= static_cast<std::byte>(1u << (j % 8));
                 surviving.push_back(cur[j]);
             }
             prev = cur[j];
         }
-        kept.push_back(std::move(surviving));
-        levels.push_back(std::move(next));
+        cur = ByteSpan(next);
+        ++n_levels;
     }
 
     // Emit: final level verbatim, then kept bytes from the smallest level's
     // parent down to level 0's kept bytes.
-    AppendBytes(out, ByteSpan(levels.back()));
-    for (size_t k = kept.size(); k-- > 0;) {
-        AppendBytes(out, ByteSpan(kept[k]));
+    AppendBytes(out, cur);
+    for (size_t k = n_levels - 1; k-- > 0;) {
+        AppendBytes(out, ByteSpan(scratch.BitmapKept(k)));
     }
+}
+
+void
+CompressBitmap(ByteSpan bitmap, Bytes& out)
+{
+    ScratchArena scratch;
+    CompressBitmap(bitmap, out, scratch);
+}
+
+const Bytes&
+DecompressBitmap(ByteReader& br, size_t bitmap_size, ScratchArena& scratch)
+{
+    const LevelSizes levels(bitmap_size);
+    ByteSpan cur = br.GetBytes(levels.sizes[levels.count - 1]);
+
+    for (size_t level = levels.count - 1; level-- > 0;) {
+        const size_t target = levels.sizes[level];
+        Bytes& expanded = scratch.BitmapLevel(level);
+        expanded.clear();
+        expanded.reserve(target);
+        std::byte prev{0};
+        for (size_t j = 0; j < target; ++j) {
+            const bool differs =
+                (static_cast<uint8_t>(cur[j / 8]) >> (j % 8)) & 1u;
+            const std::byte b =
+                differs ? static_cast<std::byte>(br.GetU8()) : prev;
+            expanded.push_back(b);
+            prev = b;
+        }
+        cur = ByteSpan(expanded);
+    }
+
+    Bytes& result = scratch.BitmapLevel(0);
+    if (levels.count == 1) {
+        // No expansion ran; copy the final level into the result slot.
+        result.assign(cur.begin(), cur.end());
+    }
+    FPC_PARSE_CHECK(result.size() == bitmap_size, "bitmap size mismatch");
+    return result;
 }
 
 Bytes
 DecompressBitmap(ByteReader& br, size_t bitmap_size)
 {
-    std::vector<size_t> sizes = LevelSizes(bitmap_size);
-    ByteSpan final_span = br.GetBytes(sizes.back());
-    Bytes cur(final_span.begin(), final_span.end());
-
-    for (size_t level = sizes.size() - 1; level-- > 0;) {
-        const size_t target = sizes[level];
-        Bytes expanded;
-        expanded.reserve(target);
-        std::byte prev{0};
-        for (size_t j = 0; j < target; ++j) {
-            bool differs =
-                (static_cast<uint8_t>(cur[j / 8]) >> (j % 8)) & 1u;
-            std::byte b =
-                differs ? static_cast<std::byte>(br.GetU8()) : prev;
-            expanded.push_back(b);
-            prev = b;
-        }
-        cur = std::move(expanded);
-    }
-    FPC_PARSE_CHECK(cur.size() == bitmap_size, "bitmap size mismatch");
-    return cur;
+    ScratchArena scratch;
+    // Copy out: the arena (and the slot the result lives in) dies here.
+    return DecompressBitmap(br, bitmap_size, scratch);
 }
 
 }  // namespace fpc::tf

@@ -6,10 +6,16 @@
  * from their predecessor, and only those bytes are kept — applied
  * repeatedly until at most 4 bytes of bitmap remain
  * (16384 -> 2048 -> 256 -> 32 bits on a full chunk).
+ *
+ * The level buffers come from the caller's ScratchArena bitmap pools, so
+ * the recursion allocates nothing once the arena is warm. The two-argument
+ * CompressBitmap / span-free DecompressBitmap overloads run on a throwaway
+ * arena for tests and one-off callers.
  */
 #ifndef FPC_TRANSFORMS_BITMAP_CODEC_H
 #define FPC_TRANSFORMS_BITMAP_CODEC_H
 
+#include "core/arena.h"
 #include "util/bitio.h"
 #include "util/common.h"
 
@@ -20,12 +26,17 @@ namespace fpc::tf {
  * Wire format (decoder re-derives all sizes from bitmap.size()):
  * [final-level bitmap bytes][level L-1 kept bytes]...[level 1 kept bytes].
  */
+void CompressBitmap(ByteSpan bitmap, Bytes& out, ScratchArena& scratch);
 void CompressBitmap(ByteSpan bitmap, Bytes& out);
 
 /**
  * Inverse of CompressBitmap: reconstruct a bitmap of @p bitmap_size bytes,
- * consuming exactly the bytes CompressBitmap wrote from @p br.
+ * consuming exactly the bytes CompressBitmap wrote from @p br. The result
+ * lives in @p scratch's level-0 bitmap buffer and is valid until the next
+ * bitmap-codec call on the same arena.
  */
+const Bytes& DecompressBitmap(ByteReader& br, size_t bitmap_size,
+                              ScratchArena& scratch);
 Bytes DecompressBitmap(ByteReader& br, size_t bitmap_size);
 
 /** Number of '1' bits in a bitmap byte array. */

@@ -4,6 +4,10 @@
  * followed by a two's-complement to magnitude-sign representation change
  * (zigzag, sign in the LSB). Smooth inputs become small positive integers
  * with many leading zero bits.
+ *
+ * Both directions stream words straight between the input span and the
+ * output buffer (unaligned loads/stores), so no arena scratch is needed;
+ * the only output-buffer growth is the single up-front resize.
  */
 #include "transforms/transforms.h"
 
@@ -18,38 +22,85 @@ template <typename T>
 void
 DiffmsEncodeImpl(ByteSpan in, Bytes& out)
 {
-    ByteWriter wr(out);
-    wr.Put<uint64_t>(in.size());
-    std::vector<T> words = LoadWords<T>(in);
-    T prev = 0;
-    for (T& w : words) {
-        T v = w;
-        w = ZigzagEncode(static_cast<T>(v - prev));  // modulo 2^w
-        prev = v;
+    const size_t base = out.size();
+    out.resize(base + sizeof(uint64_t) + in.size());
+    std::byte* p = out.data() + base;
+    const uint64_t size64 = in.size();
+    std::memcpy(p, &size64, sizeof(size64));
+    p += sizeof(size64);
+
+    const size_t nw = in.size() / sizeof(T);
+    if (nw != 0) {
+        const T z0 = ZigzagEncode(WordAt<T>(in, 0));
+        std::memcpy(p, &z0, sizeof(T));
+        // v[i-1] is reloaded instead of carried so the loop has no serial
+        // dependency and auto-vectorizes.
+        const std::byte* src = in.data();
+        for (size_t i = 1; i < nw; ++i) {
+            T a, b;
+            std::memcpy(&a, src + i * sizeof(T), sizeof(T));
+            std::memcpy(&b, src + (i - 1) * sizeof(T), sizeof(T));
+            const T z = ZigzagEncode(static_cast<T>(a - b));  // modulo 2^w
+            std::memcpy(p + i * sizeof(T), &z, sizeof(T));
+        }
     }
-    wr.PutBytes(AsBytes(words));
-    wr.PutBytes(in.subspan(words.size() * sizeof(T)));  // trailing bytes
+    p += nw * sizeof(T);
+    const size_t tail = in.size() - nw * sizeof(T);
+    if (tail != 0) std::memcpy(p, in.data() + nw * sizeof(T), tail);
+}
+
+template <typename T>
+void
+DiffmsDecodeIntoImpl(ByteSpan in, std::span<std::byte> dest)
+{
+    ByteReader br(in);
+    const size_t orig_size = br.Get<uint64_t>();
+    FPC_PARSE_CHECK(orig_size == dest.size(), "DIFFMS size mismatch");
+    FPC_PARSE_CHECK(br.Remaining() == orig_size, "DIFFMS size mismatch");
+    const size_t nw = orig_size / sizeof(T);
+    ByteSpan words = br.GetBytes(nw * sizeof(T));
+
+    std::byte* p = dest.data();
+    T prev = 0;
+    for (size_t i = 0; i < nw; ++i) {
+        prev = static_cast<T>(prev + ZigzagDecode(WordAt<T>(words, i)));
+        std::memcpy(p, &prev, sizeof(T));
+        p += sizeof(T);
+    }
+    ByteSpan tail = br.Rest();
+    if (!tail.empty()) std::memcpy(p, tail.data(), tail.size());
 }
 
 template <typename T>
 void
 DiffmsDecodeImpl(ByteSpan in, Bytes& out)
 {
-    ByteReader br(in);
-    const size_t orig_size = br.Get<uint64_t>();
-    const size_t nw = orig_size / sizeof(T);
-    FPC_PARSE_CHECK(br.Remaining() == orig_size, "DIFFMS size mismatch");
-    std::vector<T> words = LoadWords<T>(br.GetBytes(nw * sizeof(T)));
-    T prev = 0;
-    for (T& w : words) {
-        prev = static_cast<T>(prev + ZigzagDecode(w));
-        w = prev;
-    }
-    AppendBytes(out, AsBytes(words));
-    AppendBytes(out, br.Rest());
+    const size_t orig_size = ReadRaw<uint64_t>(in, 0);
+    const size_t base = out.size();
+    out.resize(base + orig_size);
+    DiffmsDecodeIntoImpl<T>(in,
+                            std::span<std::byte>(out.data() + base,
+                                                 orig_size));
 }
 
 }  // namespace
+
+void DiffmsEncode32(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsEncodeImpl<uint32_t>(in, out); }
+void DiffmsDecode32(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsDecodeImpl<uint32_t>(in, out); }
+void DiffmsEncode64(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsEncodeImpl<uint64_t>(in, out); }
+void DiffmsDecode64(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsDecodeImpl<uint64_t>(in, out); }
+
+void
+DiffmsDecodeInto32(ByteSpan in, std::span<std::byte> dest, ScratchArena&)
+{
+    DiffmsDecodeIntoImpl<uint32_t>(in, dest);
+}
+
+void
+DiffmsDecodeInto64(ByteSpan in, std::span<std::byte> dest, ScratchArena&)
+{
+    DiffmsDecodeIntoImpl<uint64_t>(in, dest);
+}
 
 void DiffmsEncode32(ByteSpan in, Bytes& out) { DiffmsEncodeImpl<uint32_t>(in, out); }
 void DiffmsDecode32(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint32_t>(in, out); }

@@ -110,4 +110,10 @@ FcmDecode(ByteSpan in, Bytes& out)
     AppendBytes(out, br.Rest());
 }
 
+// FCM is the one whole-input stage: it runs once per Compress/Decompress
+// rather than per chunk, so it keeps its own temporaries and ignores the
+// arena the uniform stage signature hands it.
+void FcmEncode(ByteSpan in, Bytes& out, ScratchArena&) { FcmEncode(in, out); }
+void FcmDecode(ByteSpan in, Bytes& out, ScratchArena&) { FcmDecode(in, out); }
+
 }  // namespace fpc::tf

@@ -12,6 +12,11 @@
  * bit-packed kept words | trailing (<W) bytes verbatim.
  * Decoders can compute every subchunk's bit offset from the headers alone,
  * which is what makes block-parallel GPU decoding possible.
+ *
+ * Encode stages through the arena's word scratch (the enhancement rewrites
+ * words in place) and packs bits into the exact-sized output region with a
+ * RawBitSink; decode streams words straight into the output buffer. Neither
+ * direction allocates once the arena is warm.
  */
 #include "transforms/transforms.h"
 
@@ -22,27 +27,68 @@ namespace fpc::tf {
 
 namespace {
 
+/**
+ * Pack words[0..count) (each < 2^width) into @p bw. Words are combined
+ * into 64-bit groups before sinking so the serial bit-stream dependency is
+ * paid once per group, not once per word.
+ */
+template <typename T, typename LoadFn>
+void
+PackWords(RawBitSink& bw, LoadFn load, size_t count, unsigned width)
+{
+    size_t i = 0;
+    if (width != 0 && width <= 16) {
+        for (; i + 4 <= count; i += 4) {
+            const uint64_t group =
+                static_cast<uint64_t>(load(i)) |
+                static_cast<uint64_t>(load(i + 1)) << width |
+                static_cast<uint64_t>(load(i + 2)) << (2 * width) |
+                static_cast<uint64_t>(load(i + 3)) << (3 * width);
+            bw.Put(group, 4 * width);
+        }
+    } else if (width <= 32) {
+        for (; i + 2 <= count; i += 2) {
+            const uint64_t group =
+                static_cast<uint64_t>(load(i)) |
+                static_cast<uint64_t>(load(i + 1)) << width;
+            bw.Put(group, 2 * width);
+        }
+    }
+    for (; i < count; ++i) {
+        bw.Put(static_cast<uint64_t>(load(i)), width);
+    }
+}
+
 template <typename T>
 void
-MplgEncodeImpl(ByteSpan in, Bytes& out)
+MplgEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    ByteWriter wr(out);
-    wr.Put<uint64_t>(in.size());
+    const size_t base = out.size();
 
-    std::vector<T> words = LoadWords<T>(in);
+    const size_t nw = in.size() / sizeof(T);
     const size_t words_per_sub = kSubchunkSize / sizeof(T);
-    const size_t n_sub = (words.size() + words_per_sub - 1) / words_per_sub;
+    const size_t n_sub = (nw + words_per_sub - 1) / words_per_sub;
 
-    // Pass 1: per-subchunk width decisions (and the enhancement rewrite).
-    Bytes headers;
-    headers.reserve(n_sub);
+    // Scratch words are only filled for enhanced subchunks (the common,
+    // unenhanced case packs straight from the input span). The resize is
+    // a steady-state no-op: chunk sizes are constant, so the vector keeps
+    // its size and nothing is re-initialized.
+    std::vector<T>& words = scratch.Words<T>();
+    words.resize(nw);
+
+    // Pass 1: per-subchunk width decisions (and the enhancement rewrite),
+    // emitting the header bytes and totalling the packed-bit count.
+    out.resize(base + sizeof(uint64_t) + n_sub);
+    const uint64_t size64 = in.size();
+    std::memcpy(out.data() + base, &size64, sizeof(size64));
+    size_t total_bits = 0;
     for (size_t s = 0; s < n_sub; ++s) {
-        size_t begin = s * words_per_sub;
-        size_t end = std::min(words.size(), begin + words_per_sub);
+        const size_t begin = s * words_per_sub;
+        const size_t end = std::min(nw, begin + words_per_sub);
         T max_value = 0;
         for (size_t i = begin; i < end; ++i) {
-            max_value = std::max(max_value, words[i]);
+            max_value = std::max(max_value, WordAt<T>(in, i));
         }
         bool enhanced = false;
         if (max_value != 0 && LeadingZeros(max_value) == 0) {
@@ -51,31 +97,46 @@ MplgEncodeImpl(ByteSpan in, Bytes& out)
             enhanced = true;
             max_value = 0;
             for (size_t i = begin; i < end; ++i) {
-                words[i] = ZigzagEncode(words[i]);
+                words[i] = ZigzagEncode(WordAt<T>(in, i));
                 max_value = std::max(max_value, words[i]);
             }
         }
-        unsigned width =
+        const unsigned width =
             (max_value == 0) ? 0 : kWordBits - LeadingZeros(max_value);
-        headers.push_back(static_cast<std::byte>(
-            (enhanced ? 0x80u : 0u) | width));
+        out[base + sizeof(uint64_t) + s] =
+            static_cast<std::byte>((enhanced ? 0x80u : 0u) | width);
+        total_bits += width * (end - begin);
     }
-    wr.PutBytes(ByteSpan(headers));
 
-    // Pass 2: pack the kept low bits of every word.
-    Bytes packed;
-    BitWriter bw(packed);
+    // Pass 2: pack the kept low bits of every word straight into the
+    // output region.
+    const size_t packed_bytes = (total_bits + 7) / 8;
+    const size_t tail = in.size() - nw * sizeof(T);
+    out.resize(base + sizeof(uint64_t) + n_sub + packed_bytes + tail);
+    RawBitSink bw(out.data() + base + sizeof(uint64_t) + n_sub);
     for (size_t s = 0; s < n_sub; ++s) {
-        unsigned width = static_cast<uint8_t>(headers[s]) & 0x7f;
-        size_t begin = s * words_per_sub;
-        size_t end = std::min(words.size(), begin + words_per_sub);
-        for (size_t i = begin; i < end; ++i) {
-            bw.Put(static_cast<uint64_t>(words[i]), width);
+        const uint8_t h =
+            static_cast<uint8_t>(out[base + sizeof(uint64_t) + s]);
+        const unsigned width = h & 0x7f;
+        const size_t begin = s * words_per_sub;
+        const size_t count = std::min(nw, begin + words_per_sub) - begin;
+        if ((h & 0x80u) != 0) {
+            const T* w = words.data() + begin;
+            PackWords<T>(bw, [w](size_t i) { return w[i]; }, count, width);
+        } else {
+            PackWords<T>(
+                bw, [&in, begin](size_t i) {
+                    return WordAt<T>(in, begin + i);
+                },
+                count, width);
         }
     }
     bw.Finish();
-    wr.PutBytes(ByteSpan(packed));
-    wr.PutBytes(in.subspan(words.size() * sizeof(T)));
+    if (tail != 0) {
+        std::memcpy(out.data() + base + sizeof(uint64_t) + n_sub +
+                        packed_bytes,
+                    in.data() + nw * sizeof(T), tail);
+    }
 }
 
 template <typename T>
@@ -92,40 +153,59 @@ MplgDecodeImpl(ByteSpan in, Bytes& out)
     ByteSpan headers = br.GetBytes(n_sub);
     size_t total_bits = 0;
     for (size_t s = 0; s < n_sub; ++s) {
-        unsigned width = static_cast<uint8_t>(headers[s]) & 0x7f;
+        const unsigned width = static_cast<uint8_t>(headers[s]) & 0x7f;
         FPC_PARSE_CHECK(width <= kWordBits, "MPLG width out of range");
-        size_t begin = s * words_per_sub;
-        size_t count = std::min(nw - begin, words_per_sub);
-        total_bits += width * count;
+        const size_t begin = s * words_per_sub;
+        total_bits += width * std::min(nw - begin, words_per_sub);
     }
     ByteSpan packed = br.GetBytes((total_bits + 7) / 8);
-
-    BitReader bits(packed);
-    std::vector<T> words(nw);
-    for (size_t s = 0; s < n_sub; ++s) {
-        uint8_t h = static_cast<uint8_t>(headers[s]);
-        unsigned width = h & 0x7f;
-        bool enhanced = (h & 0x80) != 0;
-        size_t begin = s * words_per_sub;
-        size_t count = std::min(nw - begin, words_per_sub);
-        for (size_t i = 0; i < count; ++i) {
-            T v = static_cast<T>(bits.Get(width));
-            if (enhanced) v = ZigzagDecode(v);
-            words[begin + i] = v;
-        }
-    }
-    AppendBytes(out, AsBytes(words));
     ByteSpan tail = br.Rest();
     FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
                     "MPLG tail size mismatch");
-    AppendBytes(out, tail);
+
+    const size_t base = out.size();
+    out.resize(base + orig_size);
+    std::byte* dest = out.data() + base;
+    BitReader bits(packed);
+    for (size_t s = 0; s < n_sub; ++s) {
+        const uint8_t h = static_cast<uint8_t>(headers[s]);
+        const unsigned width = h & 0x7f;
+        const bool enhanced = (h & 0x80) != 0;
+        const size_t begin = s * words_per_sub;
+        const size_t count = std::min(nw - begin, words_per_sub);
+        for (size_t i = 0; i < count; ++i) {
+            T v = static_cast<T>(bits.Get(width));
+            if (enhanced) v = ZigzagDecode(v);
+            std::memcpy(dest + (begin + i) * sizeof(T), &v, sizeof(T));
+        }
+    }
+    if (!tail.empty()) {
+        std::memcpy(dest + nw * sizeof(T), tail.data(), tail.size());
+    }
 }
 
 }  // namespace
 
-void MplgEncode32(ByteSpan in, Bytes& out) { MplgEncodeImpl<uint32_t>(in, out); }
+void MplgEncode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { MplgEncodeImpl<uint32_t>(in, out, scratch); }
+void MplgDecode32(ByteSpan in, Bytes& out, ScratchArena&) { MplgDecodeImpl<uint32_t>(in, out); }
+void MplgEncode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { MplgEncodeImpl<uint64_t>(in, out, scratch); }
+void MplgDecode64(ByteSpan in, Bytes& out, ScratchArena&) { MplgDecodeImpl<uint64_t>(in, out); }
+
+void
+MplgEncode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    MplgEncodeImpl<uint32_t>(in, out, scratch);
+}
+
+void
+MplgEncode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    MplgEncodeImpl<uint64_t>(in, out, scratch);
+}
+
 void MplgDecode32(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint32_t>(in, out); }
-void MplgEncode64(ByteSpan in, Bytes& out) { MplgEncodeImpl<uint64_t>(in, out); }
 void MplgDecode64(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint64_t>(in, out); }
 
 }  // namespace fpc::tf

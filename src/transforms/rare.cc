@@ -12,6 +12,9 @@
  *
  * Wire format matches RAZE: varint(in size) | k | varint(#kept pieces) |
  * compressed bitmap | kept top pieces | low pieces | trailing bytes.
+ *
+ * Scratch usage matches RAZE: bitmap / piece / low-bit streams in arena
+ * slots, histogram in the arena, decode straight into the output buffer.
  */
 #include "transforms/transforms.h"
 
@@ -26,49 +29,55 @@ namespace {
 
 template <typename T>
 void
-RareEncodeImpl(ByteSpan in, Bytes& out)
+RareEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
     ByteWriter wr(out);
     wr.Put<uint64_t>(in.size());
 
-    std::vector<T> words = LoadWords<T>(in);
-    const size_t nw = words.size();
+    const size_t nw = in.size() / sizeof(T);
 
-    std::vector<unsigned> hist(kWordBits + 1, 0);
+    std::vector<unsigned>& hist = scratch.Histogram();
+    hist.assign(kWordBits + 1, 0);
     T prev = 0;
-    for (T v : words) {
+    for (size_t i = 0; i < nw; ++i) {
+        const T v = WordAt<T>(in, i);
         ++hist[LeadingZeros(static_cast<T>(v ^ prev))];
         prev = v;
     }
     const unsigned k = ChooseAdaptiveK(hist, nw, kWordBits);
     wr.PutU8(static_cast<uint8_t>(k));
 
-    Bytes bitmap((nw + 7) / 8, std::byte{0});
-    Bytes pieces;
+    Bytes& bitmap = scratch.Slot(0);
+    bitmap.assign((nw + 7) / 8, std::byte{0});
+    Bytes& pieces = scratch.Slot(1);
+    pieces.clear();
     BitWriter piece_bits(pieces);
     size_t kept_count = 0;
     prev = 0;
     for (size_t i = 0; i < nw; ++i) {
-        unsigned match = LeadingZeros(static_cast<T>(words[i] ^ prev));
+        const T v = WordAt<T>(in, i);
+        const unsigned match = LeadingZeros(static_cast<T>(v ^ prev));
         if (k > 0 && match < k) {
             bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
-            piece_bits.Put(TopBits(words[i], k), k);
+            piece_bits.Put(TopBits(v, k), k);
             ++kept_count;
         }
-        prev = words[i];
+        prev = v;
     }
     piece_bits.Finish();
 
-    Bytes lows;
+    Bytes& lows = scratch.Slot(2);
+    lows.clear();
     BitWriter low_bits(lows);
     for (size_t i = 0; i < nw; ++i) {
-        low_bits.Put(static_cast<uint64_t>(words[i]), kWordBits - k);
+        low_bits.Put(static_cast<uint64_t>(WordAt<T>(in, i)),
+                     kWordBits - k);
     }
     low_bits.Finish();
 
     wr.PutVarint(kept_count);
-    if (k > 0) CompressBitmap(ByteSpan(bitmap), out);
+    if (k > 0) CompressBitmap(ByteSpan(bitmap), out, scratch);
     AppendBytes(out, ByteSpan(pieces));
     AppendBytes(out, ByteSpan(lows));
     wr.PutBytes(in.subspan(nw * sizeof(T)));
@@ -76,7 +85,7 @@ RareEncodeImpl(ByteSpan in, Bytes& out)
 
 template <typename T>
 void
-RareDecodeImpl(ByteSpan in, Bytes& out)
+RareDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
     ByteReader br(in);
@@ -87,34 +96,69 @@ RareDecodeImpl(ByteSpan in, Bytes& out)
     const size_t kept_count = br.GetVarint();
     FPC_PARSE_CHECK(kept_count <= nw, "RARE kept count out of range");
 
-    Bytes bitmap;
-    if (k > 0) bitmap = DecompressBitmap(br, (nw + 7) / 8);
+    ByteSpan bitmap;
+    if (k > 0) bitmap = ByteSpan(DecompressBitmap(br, (nw + 7) / 8, scratch));
     ByteSpan pieces = br.GetBytes((kept_count * k + 7) / 8);
     ByteSpan lows = br.GetBytes((nw * (kWordBits - k) + 7) / 8);
+    ByteSpan tail = br.Rest();
+    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
+                    "RARE tail size mismatch");
 
+    const size_t base = out.size();
+    out.resize(base + orig_size);
+    std::byte* dest = out.data() + base;
     BitReader piece_bits(pieces);
     BitReader low_bits(lows);
-    std::vector<T> words(nw);
     T prev = 0;
     for (size_t i = 0; i < nw; ++i) {
         T v = static_cast<T>(low_bits.Get(kWordBits - k));
-        bool has_piece =
+        const bool has_piece =
             k > 0 &&
             ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u);
-        uint64_t top = has_piece ? piece_bits.Get(k) : TopBits(prev, k);
+        const uint64_t top =
+            has_piece ? piece_bits.Get(k) : TopBits(prev, k);
         v = WithTopBits(v, top, k);
-        words[i] = v;
+        std::memcpy(dest + i * sizeof(T), &v, sizeof(T));
         prev = v;
     }
-    AppendBytes(out, AsBytes(words));
-    AppendBytes(out, br.Rest());
+    if (!tail.empty()) {
+        std::memcpy(dest + nw * sizeof(T), tail.data(), tail.size());
+    }
 }
 
 }  // namespace
 
-void RareEncode64(ByteSpan in, Bytes& out) { RareEncodeImpl<uint64_t>(in, out); }
-void RareDecode64(ByteSpan in, Bytes& out) { RareDecodeImpl<uint64_t>(in, out); }
-void RareEncode32(ByteSpan in, Bytes& out) { RareEncodeImpl<uint32_t>(in, out); }
-void RareDecode32(ByteSpan in, Bytes& out) { RareDecodeImpl<uint32_t>(in, out); }
+void RareEncode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { RareEncodeImpl<uint64_t>(in, out, scratch); }
+void RareDecode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { RareDecodeImpl<uint64_t>(in, out, scratch); }
+void RareEncode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { RareEncodeImpl<uint32_t>(in, out, scratch); }
+void RareDecode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { RareDecodeImpl<uint32_t>(in, out, scratch); }
+
+void
+RareEncode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RareEncodeImpl<uint64_t>(in, out, scratch);
+}
+
+void
+RareDecode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RareDecodeImpl<uint64_t>(in, out, scratch);
+}
+
+void
+RareEncode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RareEncodeImpl<uint32_t>(in, out, scratch);
+}
+
+void
+RareDecode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RareDecodeImpl<uint32_t>(in, out, scratch);
+}
 
 }  // namespace fpc::tf

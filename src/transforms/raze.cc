@@ -15,6 +15,10 @@
  * compressed bitmap (set bit = word keeps its top piece) | bit-packed kept
  * top pieces (k bits each) | bit-packed low pieces (w-k bits each) |
  * trailing bytes verbatim.
+ *
+ * Encode keeps the bitmap / piece / low-bit streams in arena scratch
+ * slots and the histogram in the arena's histogram buffer; decode streams
+ * reconstructed words straight into the output buffer.
  */
 #include "transforms/transforms.h"
 
@@ -29,42 +33,49 @@ namespace {
 
 template <typename T>
 void
-RazeEncodeImpl(ByteSpan in, Bytes& out)
+RazeEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
     ByteWriter wr(out);
     wr.Put<uint64_t>(in.size());
 
-    std::vector<T> words = LoadWords<T>(in);
-    const size_t nw = words.size();
+    const size_t nw = in.size() / sizeof(T);
 
-    std::vector<unsigned> hist(kWordBits + 1, 0);
-    for (T v : words) ++hist[LeadingZeros(v)];
+    std::vector<unsigned>& hist = scratch.Histogram();
+    hist.assign(kWordBits + 1, 0);
+    for (size_t i = 0; i < nw; ++i) {
+        ++hist[LeadingZeros(WordAt<T>(in, i))];
+    }
     const unsigned k = ChooseAdaptiveK(hist, nw, kWordBits);
     wr.PutU8(static_cast<uint8_t>(k));
 
-    Bytes bitmap((nw + 7) / 8, std::byte{0});
-    Bytes pieces;
+    Bytes& bitmap = scratch.Slot(0);
+    bitmap.assign((nw + 7) / 8, std::byte{0});
+    Bytes& pieces = scratch.Slot(1);
+    pieces.clear();
     BitWriter piece_bits(pieces);
     size_t kept_count = 0;
     for (size_t i = 0; i < nw; ++i) {
-        if (k > 0 && LeadingZeros(words[i]) < k) {
+        const T v = WordAt<T>(in, i);
+        if (k > 0 && LeadingZeros(v) < k) {
             bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
-            piece_bits.Put(TopBits(words[i], k), k);
+            piece_bits.Put(TopBits(v, k), k);
             ++kept_count;
         }
     }
     piece_bits.Finish();
 
-    Bytes lows;
+    Bytes& lows = scratch.Slot(2);
+    lows.clear();
     BitWriter low_bits(lows);
     for (size_t i = 0; i < nw; ++i) {
-        low_bits.Put(static_cast<uint64_t>(words[i]), kWordBits - k);
+        low_bits.Put(static_cast<uint64_t>(WordAt<T>(in, i)),
+                     kWordBits - k);
     }
     low_bits.Finish();
 
     wr.PutVarint(kept_count);
-    if (k > 0) CompressBitmap(ByteSpan(bitmap), out);
+    if (k > 0) CompressBitmap(ByteSpan(bitmap), out, scratch);
     AppendBytes(out, ByteSpan(pieces));
     AppendBytes(out, ByteSpan(lows));
     wr.PutBytes(in.subspan(nw * sizeof(T)));
@@ -72,7 +83,7 @@ RazeEncodeImpl(ByteSpan in, Bytes& out)
 
 template <typename T>
 void
-RazeDecodeImpl(ByteSpan in, Bytes& out)
+RazeDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
     ByteReader br(in);
@@ -83,31 +94,65 @@ RazeDecodeImpl(ByteSpan in, Bytes& out)
     const size_t kept_count = br.GetVarint();
     FPC_PARSE_CHECK(kept_count <= nw, "RAZE kept count out of range");
 
-    Bytes bitmap;
-    if (k > 0) bitmap = DecompressBitmap(br, (nw + 7) / 8);
+    ByteSpan bitmap;
+    if (k > 0) bitmap = ByteSpan(DecompressBitmap(br, (nw + 7) / 8, scratch));
     ByteSpan pieces = br.GetBytes((kept_count * k + 7) / 8);
     ByteSpan lows = br.GetBytes((nw * (kWordBits - k) + 7) / 8);
+    ByteSpan tail = br.Rest();
+    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
+                    "RAZE tail size mismatch");
 
+    const size_t base = out.size();
+    out.resize(base + orig_size);
+    std::byte* dest = out.data() + base;
     BitReader piece_bits(pieces);
     BitReader low_bits(lows);
-    std::vector<T> words(nw);
     for (size_t i = 0; i < nw; ++i) {
         T v = static_cast<T>(low_bits.Get(kWordBits - k));
-        bool has_piece =
+        const bool has_piece =
             k > 0 &&
             ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u);
         if (has_piece) v = WithTopBits(v, piece_bits.Get(k), k);
-        words[i] = v;
+        std::memcpy(dest + i * sizeof(T), &v, sizeof(T));
     }
-    AppendBytes(out, AsBytes(words));
-    AppendBytes(out, br.Rest());
+    if (!tail.empty()) {
+        std::memcpy(dest + nw * sizeof(T), tail.data(), tail.size());
+    }
 }
 
 }  // namespace
 
-void RazeEncode64(ByteSpan in, Bytes& out) { RazeEncodeImpl<uint64_t>(in, out); }
-void RazeDecode64(ByteSpan in, Bytes& out) { RazeDecodeImpl<uint64_t>(in, out); }
-void RazeEncode32(ByteSpan in, Bytes& out) { RazeEncodeImpl<uint32_t>(in, out); }
-void RazeDecode32(ByteSpan in, Bytes& out) { RazeDecodeImpl<uint32_t>(in, out); }
+void RazeEncode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { RazeEncodeImpl<uint64_t>(in, out, scratch); }
+void RazeDecode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { RazeDecodeImpl<uint64_t>(in, out, scratch); }
+void RazeEncode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { RazeEncodeImpl<uint32_t>(in, out, scratch); }
+void RazeDecode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { RazeDecodeImpl<uint32_t>(in, out, scratch); }
+
+void
+RazeEncode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RazeEncodeImpl<uint64_t>(in, out, scratch);
+}
+
+void
+RazeDecode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RazeDecodeImpl<uint64_t>(in, out, scratch);
+}
+
+void
+RazeEncode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RazeEncodeImpl<uint32_t>(in, out, scratch);
+}
+
+void
+RazeDecode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RazeDecodeImpl<uint32_t>(in, out, scratch);
+}
 
 }  // namespace fpc::tf

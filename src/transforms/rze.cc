@@ -9,6 +9,8 @@
  * Wire format: varint(in size) | varint(#non-zero bytes) | compressed
  * bitmap | the non-zero bytes. (The paper emits non-zero bytes before the
  * bitmap; the order is immaterial since both sides know every size.)
+ *
+ * The bitmap and the gathered non-zero bytes live in arena scratch slots.
  */
 #include "transforms/transforms.h"
 
@@ -17,15 +19,19 @@
 
 namespace fpc::tf {
 
+namespace {
+
 void
-RzeEncode(ByteSpan in, Bytes& out)
+RzeEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     ByteWriter wr(out);
     wr.Put<uint64_t>(in.size());
 
     const size_t bitmap_size = (in.size() + 7) / 8;
-    Bytes bitmap(bitmap_size, std::byte{0});
-    Bytes nonzero;
+    Bytes& bitmap = scratch.Slot(0);
+    bitmap.assign(bitmap_size, std::byte{0});
+    Bytes& nonzero = scratch.Slot(1);
+    nonzero.clear();
     nonzero.reserve(in.size());
     for (size_t i = 0; i < in.size(); ++i) {
         if (in[i] != std::byte{0}) {
@@ -34,19 +40,20 @@ RzeEncode(ByteSpan in, Bytes& out)
         }
     }
     wr.PutVarint(nonzero.size());
-    CompressBitmap(ByteSpan(bitmap), out);
+    CompressBitmap(ByteSpan(bitmap), out, scratch);
     AppendBytes(out, ByteSpan(nonzero));
 }
 
 void
-RzeDecode(ByteSpan in, Bytes& out)
+RzeDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     ByteReader br(in);
     const size_t orig_size = br.Get<uint64_t>();
     const size_t nonzero_count = br.GetVarint();
     FPC_PARSE_CHECK(nonzero_count <= orig_size, "RZE count out of range");
 
-    Bytes bitmap = DecompressBitmap(br, (orig_size + 7) / 8);
+    const Bytes& bitmap =
+        DecompressBitmap(br, (orig_size + 7) / 8, scratch);
     ByteSpan nonzero = br.GetBytes(nonzero_count);
 
     const size_t base = out.size();
@@ -74,6 +81,34 @@ RzeDecode(ByteSpan in, Bytes& out)
             dest[i] = nonzero[next++];
         }
     }
+}
+
+}  // namespace
+
+void
+RzeEncode(ByteSpan in, Bytes& out, ScratchArena& scratch)
+{
+    RzeEncodeImpl(in, out, scratch);
+}
+
+void
+RzeDecode(ByteSpan in, Bytes& out, ScratchArena& scratch)
+{
+    RzeDecodeImpl(in, out, scratch);
+}
+
+void
+RzeEncode(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RzeEncodeImpl(in, out, scratch);
+}
+
+void
+RzeDecode(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    RzeDecodeImpl(in, out, scratch);
 }
 
 }  // namespace fpc::tf

@@ -70,6 +70,52 @@ class BitWriter {
     size_t flushed_bits_ = 0;
 };
 
+/**
+ * BitWriter twin that stores into caller-managed memory instead of growing
+ * a vector; emits the identical LSB-first byte stream. The caller must have
+ * sized the destination to hold ceil(total bits / 8) bytes — full 64-bit
+ * accumulator flushes are single unaligned stores, so this is the fast path
+ * for bit packing into preallocated (arena) buffers.
+ */
+class RawBitSink {
+ public:
+    explicit RawBitSink(std::byte* dest) : p_(dest) {}
+
+    /** Write the low @p nbits bits of @p value (0..64 bits). */
+    void
+    Put(uint64_t value, unsigned nbits)
+    {
+        if (nbits == 0) return;
+        if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+        acc_ |= value << fill_;
+        fill_ += nbits;
+        if (fill_ >= 64) {
+            std::memcpy(p_, &acc_, 8);
+            p_ += 8;
+            fill_ -= 64;
+            const unsigned consumed = nbits - fill_;
+            acc_ = (consumed < 64) ? value >> consumed : 0;
+        }
+    }
+
+    /** Pad with zero bits to the next byte boundary and flush. */
+    void
+    Finish()
+    {
+        while (fill_ > 0) {
+            *p_++ = static_cast<std::byte>(acc_ & 0xff);
+            acc_ >>= 8;
+            fill_ = fill_ > 8 ? fill_ - 8 : 0;
+        }
+        acc_ = 0;
+    }
+
+ private:
+    std::byte* p_;
+    uint64_t acc_ = 0;
+    unsigned fill_ = 0;
+};
+
 /** Bounds-checked LSB-first bit stream reader. */
 class BitReader {
  public:

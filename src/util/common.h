@@ -125,6 +125,27 @@ LoadWords(ByteSpan in)
     return words;
 }
 
+/** LoadWords into a caller-provided (capacity-retaining) vector. */
+template <typename T>
+inline void
+LoadWordsInto(ByteSpan in, std::vector<T>& words)
+{
+    words.resize(in.size() / sizeof(T));
+    if (!words.empty()) {
+        std::memcpy(words.data(), in.data(), words.size() * sizeof(T));
+    }
+}
+
+/** Read the @p i-th T-sized word of @p in (unaligned load). */
+template <typename T>
+inline T
+WordAt(ByteSpan in, size_t i)
+{
+    T v;
+    std::memcpy(&v, in.data() + i * sizeof(T), sizeof(T));
+    return v;
+}
+
 /** The fixed chunk size used by every chunked stage (paper Section 3). */
 inline constexpr size_t kChunkSize = 16384;
 

@@ -55,7 +55,7 @@ MakeBytes(const std::string& kind, size_t n, uint64_t seed)
             x += 0.001f * static_cast<float>(rng.NextGaussian());
             f = x;
         }
-        std::memcpy(data.data(), v.data(), v.size() * 4);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 4);
         for (size_t i = v.size() * 4; i < n; ++i) {
             data[i] = static_cast<std::byte>(rng.Next() & 0xff);
         }
@@ -66,7 +66,7 @@ MakeBytes(const std::string& kind, size_t n, uint64_t seed)
             x += 0.0001 * rng.NextGaussian();
             f = x;
         }
-        std::memcpy(data.data(), v.data(), v.size() * 8);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 8);
         for (size_t i = v.size() * 8; i < n; ++i) {
             data[i] = static_cast<std::byte>(rng.Next() & 0xff);
         }
@@ -74,14 +74,14 @@ MakeBytes(const std::string& kind, size_t n, uint64_t seed)
         std::vector<double> pool{1.5, -2.25, 3.125, 0.0, 1e300};
         std::vector<double> v(n / 8);
         for (auto& f : v) f = pool[rng.NextBelow(pool.size())];
-        std::memcpy(data.data(), v.data(), v.size() * 8);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 8);
     } else if (kind == "alternating_signs") {
         std::vector<float> v(n / 4);
         for (size_t i = 0; i < v.size(); ++i) {
             v[i] = (i % 2 ? -1.0f : 1.0f) *
                    (1.0f + 0.01f * static_cast<float>(rng.NextDouble()));
         }
-        std::memcpy(data.data(), v.data(), v.size() * 4);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 4);
     } else if (kind == "special_values") {
         std::vector<float> pool{0.0f,
                                 -0.0f,
@@ -92,7 +92,7 @@ MakeBytes(const std::string& kind, size_t n, uint64_t seed)
                                 std::numeric_limits<float>::max()};
         std::vector<float> v(n / 4);
         for (auto& f : v) f = pool[rng.NextBelow(pool.size())];
-        std::memcpy(data.data(), v.data(), v.size() * 4);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 4);
     }
     return data;
 }
