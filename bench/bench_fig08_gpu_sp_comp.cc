@@ -14,7 +14,7 @@ main()
     spec.axis = fpc::eval::Axis::kCompression;
     spec.gpu = true;
     spec.dp = false;
-    spec.profile = &fpc::gpusim::Rtx4090Profile();
+    spec.backend = "gpusim:4090";
     spec.baselines = GpuSpBaselines();
     return RunFigureBench(spec);
 }

@@ -14,7 +14,7 @@ main()
     spec.axis = fpc::eval::Axis::kCompression;
     spec.gpu = true;
     spec.dp = false;
-    spec.profile = &fpc::gpusim::A100Profile();
+    spec.backend = "gpusim:a100";
     spec.baselines = GpuSpBaselines();
     return RunFigureBench(spec);
 }

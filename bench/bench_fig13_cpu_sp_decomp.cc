@@ -14,7 +14,7 @@ main()
     spec.axis = fpc::eval::Axis::kDecompression;
     spec.gpu = false;
     spec.dp = false;
-    spec.profile = nullptr;
+    spec.backend = "cpu";
     spec.baselines = CpuSpBaselines();
     return RunFigureBench(spec);
 }

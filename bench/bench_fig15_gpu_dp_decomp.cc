@@ -14,7 +14,7 @@ main()
     spec.axis = fpc::eval::Axis::kDecompression;
     spec.gpu = true;
     spec.dp = true;
-    spec.profile = &fpc::gpusim::Rtx4090Profile();
+    spec.backend = "gpusim:4090";
     spec.baselines = GpuDpBaselines();
     return RunFigureBench(spec);
 }

@@ -14,7 +14,7 @@ main()
     spec.axis = fpc::eval::Axis::kCompression;
     spec.gpu = true;
     spec.dp = true;
-    spec.profile = &fpc::gpusim::A100Profile();
+    spec.backend = "gpusim:a100";
     spec.baselines = GpuDpBaselines();
     return RunFigureBench(spec);
 }

@@ -14,7 +14,7 @@ main()
     spec.axis = fpc::eval::Axis::kCompression;
     spec.gpu = false;
     spec.dp = true;
-    spec.profile = nullptr;
+    spec.backend = "cpu";
     spec.baselines = CpuDpBaselines();
     return RunFigureBench(spec);
 }

@@ -12,12 +12,15 @@
  *    "speedup_vs_1t": 2.87, "bytes": 67108864, "ratio": 2.97}
  *
  * Scaling knobs (environment): FPC_BENCH_VALUES, FPC_BENCH_SCALE,
- * FPC_BENCH_RUNS (see figure_common.h).
+ * FPC_BENCH_RUNS (see figure_common.h). FPC_BENCH_BACKEND selects the
+ * executor-registry backend (default "cpu"; thread counts only matter on
+ * chunk-parallel backends).
  */
 #include <chrono>
 #include <cstdio>
 
 #include "core/codec.h"
+#include "core/executor.h"
 #include "data/datasets.h"
 #include "figure_common.h"
 
@@ -50,7 +53,7 @@ BestGbps(Fn&& fn, size_t bytes, int runs)
 
 void
 RunAlgorithm(const char* name, Algorithm algorithm, ByteSpan input,
-             int runs)
+             int runs, const Executor& executor)
 {
     const int kThreadCounts[] = {1, 2, 4, 8};
     double compress_1t = 0.0;
@@ -58,6 +61,7 @@ RunAlgorithm(const char* name, Algorithm algorithm, ByteSpan input,
     for (int threads : kThreadCounts) {
         Options options;
         options.threads = threads;
+        options.executor = &executor;
 
         Bytes compressed = Compress(algorithm, input, options);
         const double ratio = static_cast<double>(input.size()) /
@@ -112,7 +116,11 @@ main()
         AppendBytes(dp_input, AsBytes(f.values));
     }
 
-    RunAlgorithm("SPspeed", Algorithm::kSPspeed, ByteSpan(sp_input), runs);
-    RunAlgorithm("DPratio", Algorithm::kDPratio, ByteSpan(dp_input), runs);
+    const Executor& executor =
+        GetExecutor(bench::EnvString("FPC_BENCH_BACKEND", "cpu"));
+    RunAlgorithm("SPspeed", Algorithm::kSPspeed, ByteSpan(sp_input), runs,
+                 executor);
+    RunAlgorithm("DPratio", Algorithm::kDPratio, ByteSpan(dp_input), runs,
+                 executor);
     return 0;
 }

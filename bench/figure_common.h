@@ -25,10 +25,10 @@
 #include <vector>
 
 #include "baselines/compressor.h"
+#include "core/executor.h"
 #include "data/datasets.h"
 #include "eval/harness.h"
 #include "eval/report.h"
-#include "gpusim/launch.h"
 
 namespace fpc::bench {
 
@@ -38,8 +38,8 @@ struct FigureSpec {
     eval::Axis axis;         ///< compression or decompression throughput
     bool gpu;                ///< GPU path (gpusim) vs CPU path
     bool dp;                 ///< double-precision suite vs single
-    const gpusim::DeviceProfile* profile;  ///< GPU profile (gpu only)
-    std::vector<std::string> baselines;    ///< registry names to include
+    const char* backend = "cpu";  ///< executor-registry backend name
+    std::vector<std::string> baselines;   ///< registry names to include
 };
 
 inline size_t
@@ -54,6 +54,13 @@ EnvDouble(const char* name, double fallback)
 {
     const char* v = std::getenv(name);
     return v ? std::strtod(v, nullptr) : fallback;
+}
+
+inline std::string
+EnvString(const char* name, const char* fallback)
+{
+    const char* v = std::getenv(name);
+    return v ? v : fallback;
 }
 
 /** Baseline name sets matching the paper's per-figure comparison groups. */
@@ -103,13 +110,14 @@ RunFigureBench(const FigureSpec& spec)
         } else {
             inputs = eval::ToInputs(data::SingleSuite(config));
         }
+        const Executor& executor = GetExecutor(spec.backend);
         size_t total_bytes = 0;
         for (const auto& in : inputs) total_bytes += in.bytes.size();
         std::cout << spec.title << "\n"
                   << inputs.size() << " files, "
                   << total_bytes / (1024.0 * 1024.0) << " MiB total\n";
-        if (spec.gpu) {
-            std::cout << "device: " << spec.profile->name
+        if (const char* profile = executor.Capabilities().profile) {
+            std::cout << "device: " << profile
                       << " (execution-model simulator; throughputs are "
                          "simulator-path, see EXPERIMENTS.md)\n";
         }
@@ -123,25 +131,8 @@ RunFigureBench(const FigureSpec& spec)
             spec.dp ? Algorithm::kDPspeed : Algorithm::kSPspeed;
         const Algorithm ours_ratio =
             spec.dp ? Algorithm::kDPratio : Algorithm::kSPratio;
-        if (spec.gpu) {
-            for (Algorithm a : {ours_speed, ours_ratio}) {
-                eval::EvalCodec codec;
-                codec.name = AlgorithmName(a);
-                const gpusim::DeviceProfile* profile = spec.profile;
-                codec.compress = [a, profile](ByteSpan in) {
-                    gpusim::Device device(*profile);
-                    return gpusim::CompressOnDevice(device, a, in);
-                };
-                codec.decompress = [profile](ByteSpan in) {
-                    gpusim::Device device(*profile);
-                    return gpusim::DecompressOnDevice(device, in);
-                };
-                codecs.push_back(std::move(codec));
-            }
-        } else {
-            codecs.push_back(eval::OurCodec(ours_speed, Device::kCpu));
-            codecs.push_back(eval::OurCodec(ours_ratio, Device::kCpu));
-        }
+        codecs.push_back(eval::OurCodec(ours_speed, executor));
+        codecs.push_back(eval::OurCodec(ours_ratio, executor));
         for (const std::string& name : spec.baselines) {
             codecs.push_back(eval::Wrap(baselines::Lookup(name)));
         }

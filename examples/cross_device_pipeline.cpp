@@ -5,16 +5,18 @@
  * decompressed where it is analysed. Here a "GPU node" compresses a
  * double-precision dataset on the GPU execution path and a "CPU analysis
  * node" decompresses it on the CPU path — and vice versa — with
- * byte-identical streams either way.
+ * byte-identical streams either way. Backends are selected by name
+ * through the executor registry (core/executor.h).
  *
  *   $ ./cross_device_pipeline
  */
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/codec.h"
+#include "core/executor.h"
 #include "data/fields.h"
-#include "gpusim/launch.h"
 
 int
 main()
@@ -26,11 +28,12 @@ main()
     fpc::ByteSpan input = fpc::AsBytes(observations);
 
     // --- producer: GPU node (simulated device, paper Section 3) ---
-    fpc::gpusim::Device gpu(fpc::gpusim::Rtx4090Profile());
-    fpc::Bytes from_gpu = fpc::gpusim::CompressOnDevice(
-        gpu, fpc::Algorithm::kDPratio, input);
+    fpc::Options gpu_options;
+    gpu_options.executor = &fpc::GetExecutor("gpusim:4090");
+    fpc::Bytes from_gpu =
+        fpc::Compress(fpc::Algorithm::kDPratio, input, gpu_options);
 
-    // --- producer: CPU node (OpenMP path) ---
+    // --- producer: CPU node (OpenMP path, the default executor) ---
     fpc::Bytes from_cpu = fpc::Compress(fpc::Algorithm::kDPratio, input);
 
     std::printf("GPU-path stream: %zu bytes; CPU-path stream: %zu bytes\n",
@@ -45,11 +48,11 @@ main()
                     static_cast<double>(from_gpu.size()));
 
     // --- consumers: decompress each stream on the *other* device ---
-    fpc::Options cpu_options;  // default device: CPU
+    fpc::Options cpu_options;  // default backend: "cpu"
     fpc::Bytes on_cpu = fpc::Decompress(fpc::ByteSpan(from_gpu), cpu_options);
 
     fpc::Bytes on_gpu =
-        fpc::gpusim::DecompressOnDevice(gpu, fpc::ByteSpan(from_cpu));
+        fpc::Decompress(fpc::ByteSpan(from_cpu), gpu_options);
 
     bool ok = on_cpu.size() == input.size() && on_gpu.size() == input.size() &&
               std::memcmp(on_cpu.data(), input.data(), input.size()) == 0 &&

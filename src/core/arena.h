@@ -25,8 +25,8 @@
  *    (transforms/bitmap_codec.h). DecompressBitmap's result lives in a
  *    level slot and dies at the next bitmap-codec call on the same arena.
  *  - Retained() accumulates a thread's encoded payloads across chunks for
- *    the two-pass container assembly in Compress; only core/codec.cc and
- *    gpusim/launch.cc append to it.
+ *    the two-pass container assembly; only the executors' chunk drivers
+ *    (via EncodePlan::Record in core/orchestrate.h) append to it.
  */
 #ifndef FPC_CORE_ARENA_H
 #define FPC_CORE_ARENA_H

@@ -1,120 +1,25 @@
 #include "core/codec.h"
 
-#include <atomic>
-#include <cstdint>
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
-#include "core/arena.h"
 #include "core/container.h"
-#include "core/pipeline.h"
-#include "gpusim/kernels.h"
-#include "util/hash.h"
-#include "util/scan.h"
+#include "core/executor.h"
 
 namespace fpc {
 
 namespace {
 
-int
-EffectiveThreads(const Options& options)
-{
-#ifdef _OPENMP
-    return options.threads > 0 ? options.threads : omp_get_max_threads();
-#else
-    (void)options;
-    return 1;
-#endif
-}
-
-/** Index of the calling worker within the current parallel region. */
-int
-WorkerId()
-{
-#ifdef _OPENMP
-    return omp_get_thread_num();
-#else
-    return 0;
-#endif
-}
-
-/** Apply the whole-input pre-stage (FCM for DPratio), if any. */
+/** Reject typed decompression of a container whose algorithm holds the
+ *  other element width (e.g. NextFloats/DecompressFloats on a DP*
+ *  container) before any payload bytes are reinterpreted. */
 void
-ApplyPreEncode(const PipelineSpec& spec, Device device, ByteSpan input,
-               Bytes& out, ScratchArena& scratch)
+CheckElementSize(ByteSpan compressed, size_t element_size,
+                 const char* caller)
 {
-    if (spec.pre.encode == nullptr) {
-        AppendBytes(out, input);
-    } else if (device == Device::kGpuSim) {
-        gpusim::FcmEncodeDevice(input, out);
-    } else {
-        spec.pre.encode(input, out, scratch);
+    const Algorithm algorithm = Inspect(compressed).algorithm;
+    if (AlgorithmWordSize(algorithm) != element_size) {
+        throw UsageError(std::string(caller) + ": container holds " +
+                         AlgorithmName(algorithm) + " data, not " +
+                         std::to_string(element_size) + "-byte elements");
     }
-}
-
-void
-ApplyPreDecode(const PipelineSpec& spec, Device device, ByteSpan transformed,
-               Bytes& out, ScratchArena& scratch)
-{
-    if (spec.pre.decode == nullptr) {
-        AppendBytes(out, transformed);
-    } else if (device == Device::kGpuSim) {
-        gpusim::FcmDecodeDevice(transformed, out);
-    } else {
-        spec.pre.decode(transformed, out, scratch);
-    }
-}
-
-/**
- * Decode every chunk of @p view into @p dest (sized transformed_size).
- * Each worker thread owns one ScratchArena for the whole loop; the last
- * pipeline stage writes straight into the chunk's slot of @p dest, so the
- * loop performs no per-chunk allocations once the arenas are warm.
- */
-void
-DecodeChunksInto(const ContainerView& view, const PipelineSpec& spec,
-                 const Options& options, std::byte* dest)
-{
-    const size_t transformed_size = view.header.transformed_size;
-    const int threads = EffectiveThreads(options);
-    std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
-    std::atomic<bool> failed{false};
-    std::string error;
-    const auto n_chunks = static_cast<std::int64_t>(view.header.chunk_count);
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic) num_threads(threads)
-#endif
-    for (std::int64_t c = 0; c < n_chunks; ++c) {
-        if (failed.load(std::memory_order_relaxed)) continue;
-        try {
-            ScratchArena& scratch =
-                arenas[static_cast<size_t>(WorkerId())];
-            size_t begin = static_cast<size_t>(c) * kChunkSize;
-            size_t size = std::min(kChunkSize, transformed_size - begin);
-            ByteSpan payload =
-                view.payload.subspan(view.chunk_offsets[c],
-                                     view.chunk_sizes[c]);
-            std::span<std::byte> chunk_dest(dest + begin, size);
-            if (options.device == Device::kGpuSim) {
-                gpusim::DecodeChunkDevice(spec, payload, view.chunk_raw[c],
-                                          chunk_dest, scratch);
-            } else {
-                DecodeChunk(spec, payload, view.chunk_raw[c], chunk_dest,
-                            scratch);
-            }
-        } catch (const std::exception& e) {
-#ifdef _OPENMP
-#pragma omp critical
-#endif
-            {
-                if (!failed.exchange(true)) error = e.what();
-            }
-        }
-    }
-    (void)threads;
-    if (failed.load()) throw CorruptStreamError(error);
 }
 
 }  // namespace
@@ -122,161 +27,20 @@ DecodeChunksInto(const ContainerView& view, const PipelineSpec& spec,
 Bytes
 Compress(Algorithm algorithm, ByteSpan input, const Options& options)
 {
-    const PipelineSpec& spec = GetPipeline(algorithm);
-
-    // Whole-input pre-stage (FCM); algorithms without one chunk the input
-    // in place — no staging copy.
-    ScratchArena pre_scratch;
-    Bytes work;
-    ByteSpan chunk_src = input;
-    if (spec.pre.encode != nullptr) {
-        ApplyPreEncode(spec, options.device, input, work, pre_scratch);
-        chunk_src = ByteSpan(work);
-    }
-
-    const size_t n_chunks =
-        (chunk_src.size() + kChunkSize - 1) / kChunkSize;
-    std::vector<uint8_t> raw_flags(n_chunks, 0);
-    std::vector<uint32_t> sizes(n_chunks, 0);
-
-    // Where each encoded payload lives until assembly: the owning worker's
-    // retained buffer and the payload's offset within it.
-    struct EncodedChunkRef {
-        uint32_t worker = 0;
-        size_t offset = 0;
-    };
-    std::vector<EncodedChunkRef> refs(n_chunks);
-
-    // Paper Section 3: chunks are dynamically assigned to threads (CPU)
-    // or thread blocks (GPU) for load balance. Pass 1 encodes each chunk
-    // into its worker's arena-retained buffer — no allocations per chunk
-    // once the arenas are warm.
-    const int threads = EffectiveThreads(options);
-    std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic) num_threads(threads)
-#endif
-    for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_chunks); ++c) {
-        const int worker = WorkerId();
-        ScratchArena& scratch = arenas[static_cast<size_t>(worker)];
-        size_t begin = static_cast<size_t>(c) * kChunkSize;
-        size_t size = std::min(kChunkSize, chunk_src.size() - begin);
-        ByteSpan chunk = chunk_src.subspan(begin, size);
-        bool raw = false;
-        ByteSpan payload =
-            (options.device == Device::kGpuSim)
-                ? gpusim::EncodeChunkDevice(spec, chunk, raw, scratch)
-                : EncodeChunk(spec, chunk, raw, scratch);
-        raw_flags[c] = raw ? 1 : 0;
-        sizes[c] = static_cast<uint32_t>(payload.size());
-        Bytes& retained = scratch.Retained();
-        refs[c] = {static_cast<uint32_t>(worker), retained.size()};
-        AppendBytes(retained, payload);
-    }
-    (void)threads;
-
-    ContainerHeader header;
-    header.algorithm = static_cast<uint8_t>(algorithm);
-    header.original_size = input.size();
-    header.transformed_size = chunk_src.size();
-    header.checksum = Checksum64(input);
-    header.chunk_count = static_cast<uint32_t>(n_chunks);
-
-    // Final write positions from an exclusive prefix sum over the
-    // compressed sizes (the paper's parallel write-position scheme).
-    std::vector<size_t> positions(n_chunks);
-    for (size_t c = 0; c < n_chunks; ++c) positions[c] = sizes[c];
-    const size_t total = ExclusiveScan(std::span<size_t>(positions));
-
-    const size_t prefix_size = ContainerHeaderSize() + n_chunks * 4;
-    Bytes out;
-    out.reserve(prefix_size + total);
-    WriteContainerPrefix(header, sizes, raw_flags, out);
-    FPC_CHECK(out.size() == prefix_size, "container prefix size mismatch");
-    out.resize(prefix_size + total);
-
-    // Pass 2: every chunk's payload goes to its prefix-summed offset;
-    // chunks are independent, so placement parallelizes trivially.
-    std::byte* payload_base = out.data() + prefix_size;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) num_threads(threads)
-#endif
-    for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_chunks); ++c) {
-        if (sizes[c] == 0) continue;
-        const Bytes& retained = arenas[refs[c].worker].Retained();
-        std::memcpy(payload_base + positions[c],
-                    retained.data() + refs[c].offset, sizes[c]);
-    }
-    return out;
+    return ResolveExecutor(options).Compress(algorithm, input, options);
 }
 
 Bytes
 Decompress(ByteSpan compressed, const Options& options)
 {
-    ContainerView view = ParseContainer(compressed);
-    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
-    const PipelineSpec& spec = GetPipeline(algorithm);
-
-    if (spec.pre.decode == nullptr) {
-        // No whole-input stage: chunks decode straight into the result.
-        FPC_PARSE_CHECK(
-            view.header.transformed_size == view.header.original_size,
-            "transformed size mismatch for pre-stage-free algorithm");
-        Bytes out(view.header.original_size);
-        DecodeChunksInto(view, spec, options, out.data());
-        FPC_PARSE_CHECK(Checksum64(ByteSpan(out)) == view.header.checksum,
-                        "content checksum mismatch");
-        return out;
-    }
-
-    Bytes work(view.header.transformed_size);
-    DecodeChunksInto(view, spec, options, work.data());
-
-    ScratchArena pre_scratch;
-    Bytes out;
-    out.reserve(view.header.original_size);
-    ApplyPreDecode(spec, options.device, ByteSpan(work), out, pre_scratch);
-    FPC_PARSE_CHECK(out.size() == view.header.original_size,
-                    "decompressed size mismatch");
-    FPC_PARSE_CHECK(Checksum64(ByteSpan(out)) == view.header.checksum,
-                    "content checksum mismatch");
-    return out;
+    return ResolveExecutor(options).Decompress(compressed, options);
 }
 
 void
 DecompressInto(ByteSpan compressed, std::span<std::byte> out,
                const Options& options)
 {
-    ContainerView view = ParseContainer(compressed);
-    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
-    const PipelineSpec& spec = GetPipeline(algorithm);
-    if (out.size() != view.header.original_size) {
-        throw UsageError("DecompressInto: output span must be exactly " +
-                         std::to_string(view.header.original_size) +
-                         " bytes");
-    }
-
-    if (spec.pre.decode == nullptr) {
-        FPC_PARSE_CHECK(
-            view.header.transformed_size == view.header.original_size,
-            "transformed size mismatch for pre-stage-free algorithm");
-        DecodeChunksInto(view, spec, options, out.data());
-    } else {
-        // The FCM pre-stage needs the whole transformed stream first.
-        Bytes work(view.header.transformed_size);
-        DecodeChunksInto(view, spec, options, work.data());
-        ScratchArena pre_scratch;
-        Bytes restored;
-        restored.reserve(out.size());
-        ApplyPreDecode(spec, options.device, ByteSpan(work), restored,
-                       pre_scratch);
-        FPC_PARSE_CHECK(restored.size() == out.size(),
-                        "decompressed size mismatch");
-        std::memcpy(out.data(), restored.data(), out.size());
-    }
-    FPC_PARSE_CHECK(Checksum64(ByteSpan(out.data(), out.size())) ==
-                        view.header.checksum,
-                    "content checksum mismatch");
+    ResolveExecutor(options).DecompressInto(compressed, out, options);
 }
 
 Bytes
@@ -300,6 +64,7 @@ CompressDoubles(std::span<const double> values, Mode mode,
 std::vector<float>
 DecompressFloats(ByteSpan compressed, const Options& options)
 {
+    CheckElementSize(compressed, sizeof(float), "DecompressFloats");
     Bytes raw = Decompress(compressed, options);
     FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0,
                     "payload is not a float array");
@@ -311,6 +76,7 @@ DecompressFloats(ByteSpan compressed, const Options& options)
 std::vector<double>
 DecompressDoubles(ByteSpan compressed, const Options& options)
 {
+    CheckElementSize(compressed, sizeof(double), "DecompressDoubles");
     Bytes raw = Decompress(compressed, options);
     FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0,
                     "payload is not a double array");

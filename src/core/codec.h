@@ -25,7 +25,9 @@
 
 namespace fpc {
 
-/** Compress @p input with @p algorithm into a self-describing container. */
+/** Compress @p input with @p algorithm into a self-describing container.
+ *  Runs on the backend selected by @p options (core/executor.h); every
+ *  backend emits identical bytes. */
 Bytes Compress(Algorithm algorithm, ByteSpan input,
                const Options& options = {});
 

@@ -1,0 +1,309 @@
+#include "core/executor.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/orchestrate.h"
+#include "gpusim/launch.h"
+
+namespace fpc {
+
+namespace {
+
+int
+EffectiveThreads(const Options& options)
+{
+#ifdef _OPENMP
+    return options.threads > 0 ? options.threads : omp_get_max_threads();
+#else
+    (void)options;
+    return 1;
+#endif
+}
+
+/** Index of the calling worker within the current parallel region. */
+int
+WorkerId()
+{
+#ifdef _OPENMP
+    return omp_get_thread_num();
+#else
+    return 0;
+#endif
+}
+
+/**
+ * The paper's CPU implementation: chunks dynamically scheduled across
+ * OpenMP threads (Options::threads), per-thread scratch arenas, and the
+ * two-pass prefix-sum container assembly from core/orchestrate.h.
+ */
+class CpuExecutor final : public Executor {
+ public:
+    const std::string&
+    Name() const override
+    {
+        static const std::string name = "cpu";
+        return name;
+    }
+
+    ExecutorCaps
+    Capabilities() const override
+    {
+        return {.chunk_parallel = true, .device_kernels = false,
+                .profile = nullptr};
+    }
+
+    Bytes
+    Compress(Algorithm algorithm, ByteSpan input,
+             const Options& options) const override
+    {
+        const PipelineSpec& spec = GetPipeline(algorithm);
+
+        // Whole-input pre-stage (FCM); algorithms without one chunk the
+        // input in place — no staging copy.
+        Bytes work;
+        ByteSpan chunk_src = input;
+        if (spec.pre.encode != nullptr) {
+            ScratchArena pre_scratch;
+            spec.pre.encode(input, work, pre_scratch);
+            chunk_src = ByteSpan(work);
+        }
+
+        // Pass 1 (paper Section 3): chunks are dynamically assigned to
+        // threads; each encodes into its worker's arena-retained buffer —
+        // no allocations per chunk once the arenas are warm.
+        const size_t n_chunks = ChunkCountOf(chunk_src.size());
+        EncodePlan plan(n_chunks);
+        const int threads = EffectiveThreads(options);
+        std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+#endif
+        for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_chunks);
+             ++c) {
+            const auto worker = static_cast<uint32_t>(WorkerId());
+            ScratchArena& scratch = arenas[worker];
+            bool raw = false;
+            ByteSpan payload =
+                EncodeChunk(spec, ChunkAt(chunk_src, c), raw, scratch);
+            plan.Record(c, worker, payload, raw, scratch);
+        }
+
+        const ContainerHeader header =
+            MakeContainerHeader(algorithm, input, chunk_src.size());
+        const WritePositions wp = ComputeWritePositions(plan.sizes);
+        return AssembleContainer(header, plan, wp.offsets, wp.total,
+                                 arenas, threads);
+    }
+
+    Bytes
+    Decompress(ByteSpan compressed, const Options& options) const override
+    {
+        return RunDecompress(compressed, DecodeChunks(options), PreDecode());
+    }
+
+    void
+    DecompressInto(ByteSpan compressed, std::span<std::byte> out,
+                   const Options& options) const override
+    {
+        RunDecompressInto(compressed, out, DecodeChunks(options),
+                          PreDecode());
+    }
+
+ private:
+    /** Chunk decode hook: dynamic OpenMP loop, one arena per worker, the
+     *  last pipeline stage writing straight into the chunk's slot. */
+    static DecodeChunksFn
+    DecodeChunks(const Options& options)
+    {
+        return [options](const ContainerView& view, const PipelineSpec& spec,
+                         std::byte* dest) {
+            const size_t transformed_size = view.header.transformed_size;
+            const int threads = EffectiveThreads(options);
+            std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+            std::atomic<bool> failed{false};
+            std::string error;
+            const auto n_chunks =
+                static_cast<std::int64_t>(view.header.chunk_count);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+#endif
+            for (std::int64_t c = 0; c < n_chunks; ++c) {
+                if (failed.load(std::memory_order_relaxed)) continue;
+                try {
+                    ScratchArena& scratch =
+                        arenas[static_cast<size_t>(WorkerId())];
+                    ByteSpan payload =
+                        view.payload.subspan(view.chunk_offsets[c],
+                                             view.chunk_sizes[c]);
+                    DecodeChunk(spec, payload, view.chunk_raw[c],
+                                ChunkSlotAt(dest, transformed_size, c),
+                                scratch);
+                } catch (const std::exception& e) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+                    {
+                        if (!failed.exchange(true)) error = e.what();
+                    }
+                }
+            }
+            if (failed.load()) throw CorruptStreamError(error);
+        };
+    }
+
+    static PreDecodeFn
+    PreDecode()
+    {
+        return [](const PipelineSpec& spec, ByteSpan transformed,
+                  Bytes& out) {
+            ScratchArena pre_scratch;
+            spec.pre.decode(transformed, out, pre_scratch);
+        };
+    }
+};
+
+/**
+ * One simulated-GPU backend per device profile: whole-buffer compression
+ * through the grid launch in gpusim/launch.cc (persistent thread blocks,
+ * decoupled look-back write positions). A fresh Device is constructed per
+ * call so concurrent calls do not share scheduling state.
+ */
+class DeviceExecutor final : public Executor {
+ public:
+    DeviceExecutor(std::string name, const gpusim::DeviceProfile& profile)
+        : name_(std::move(name)), profile_(profile) {}
+
+    const std::string& Name() const override { return name_; }
+
+    ExecutorCaps
+    Capabilities() const override
+    {
+        return {.chunk_parallel = false, .device_kernels = true,
+                .profile = profile_.name};
+    }
+
+    Bytes
+    Compress(Algorithm algorithm, ByteSpan input,
+             const Options& options) const override
+    {
+        (void)options;  // grid scheduling comes from the device profile
+        gpusim::Device device(profile_);
+        return gpusim::CompressOnDevice(device, algorithm, input);
+    }
+
+    Bytes
+    Decompress(ByteSpan compressed, const Options& options) const override
+    {
+        (void)options;
+        gpusim::Device device(profile_);
+        return gpusim::DecompressOnDevice(device, compressed);
+    }
+
+    void
+    DecompressInto(ByteSpan compressed, std::span<std::byte> out,
+                   const Options& options) const override
+    {
+        (void)options;
+        gpusim::Device device(profile_);
+        gpusim::DecompressIntoOnDevice(device, compressed, out);
+    }
+
+ private:
+    std::string name_;
+    const gpusim::DeviceProfile& profile_;
+};
+
+std::string
+Lowered(const std::string& name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name) {
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return lower;
+}
+
+std::vector<std::unique_ptr<Executor>>&
+Registry()
+{
+    static std::vector<std::unique_ptr<Executor>> executors = [] {
+        std::vector<std::unique_ptr<Executor>> v;
+        v.push_back(std::make_unique<CpuExecutor>());
+        v.push_back(std::make_unique<DeviceExecutor>(
+            "gpusim:4090", gpusim::Rtx4090Profile()));
+        v.push_back(std::make_unique<DeviceExecutor>(
+            "gpusim:a100", gpusim::A100Profile()));
+        return v;
+    }();
+    return executors;
+}
+
+}  // namespace
+
+const Executor*
+FindExecutor(const std::string& name)
+{
+    const std::string lower = Lowered(name);
+    for (const auto& executor : Registry()) {
+        if (Lowered(executor->Name()) == lower) return executor.get();
+    }
+    return nullptr;
+}
+
+const Executor&
+GetExecutor(const std::string& name)
+{
+    if (const Executor* executor = FindExecutor(name)) return *executor;
+    std::string known;
+    for (const std::string& n : ExecutorNames()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+    }
+    throw UsageError("unknown executor \"" + name +
+                     "\" (registered: " + known + ")");
+}
+
+const Executor&
+DefaultExecutor()
+{
+    return *Registry().front();
+}
+
+const Executor&
+ResolveExecutor(const Options& options)
+{
+    if (options.executor != nullptr) return *options.executor;
+    if (options.device == Device::kGpuSim) return GetExecutor("gpusim:4090");
+    return DefaultExecutor();
+}
+
+std::vector<std::string>
+ExecutorNames()
+{
+    std::vector<std::string> names;
+    for (const auto& executor : Registry()) {
+        names.push_back(executor->Name());
+    }
+    return names;
+}
+
+void
+RegisterExecutor(std::unique_ptr<Executor> executor)
+{
+    FPC_CHECK(executor != nullptr, "null executor registration");
+    if (FindExecutor(executor->Name()) != nullptr) {
+        throw UsageError("executor \"" + executor->Name() +
+                         "\" is already registered");
+    }
+    Registry().push_back(std::move(executor));
+}
+
+}  // namespace fpc

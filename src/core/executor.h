@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Pluggable execution backends for the four algorithms. An Executor owns
+ * the *scheduling* of the chunk-parallel work — everything else (partition
+ * math, chunk tables, container assembly, checksum policy) is shared
+ * through core/orchestrate.h, so every backend produces byte-identical
+ * containers (the paper's cross-device compatibility property, asserted
+ * by tests/executor_test.cc across the whole registry).
+ *
+ * Built-in backends:
+ *   "cpu"          chunk-parallel OpenMP implementation (the default)
+ *   "gpusim:4090"  simulated grid launch, RTX 4090-like profile
+ *   "gpusim:a100"  simulated grid launch, A100-like profile
+ *
+ * Select one per call via Options::executor, or by name:
+ *
+ * @code
+ *   fpc::Options options;
+ *   options.executor = &fpc::GetExecutor("gpusim:4090");
+ *   fpc::Bytes packed = fpc::Compress(algorithm, input, options);
+ * @endcode
+ *
+ * A real CUDA or remote backend slots in by implementing Executor and
+ * calling RegisterExecutor at startup; nothing above this layer (stream
+ * API, eval harness, benches, fpczip) needs to change.
+ */
+#ifndef FPC_CORE_EXECUTOR_H
+#define FPC_CORE_EXECUTOR_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/common.h"
+
+namespace fpc {
+
+/** Static capabilities of a backend. */
+struct ExecutorCaps {
+    /** Honours Options::threads (host-thread chunk parallelism). */
+    bool chunk_parallel = true;
+    /** Runs the gpusim warp/block kernels rather than the scalar CPU
+     *  transforms. */
+    bool device_kernels = false;
+    /** Device profile name ("RTX4090-sim", ...), nullptr for host. */
+    const char* profile = nullptr;
+};
+
+/** One execution backend. Implementations must be stateless across calls
+ *  (a registered executor is shared by all threads). */
+class Executor {
+ public:
+    virtual ~Executor() = default;
+
+    /** Registry name, e.g. "cpu" or "gpusim:4090". */
+    virtual const std::string& Name() const = 0;
+
+    virtual ExecutorCaps Capabilities() const = 0;
+
+    /** Compress @p input; container-identical across all executors. */
+    virtual Bytes Compress(Algorithm algorithm, ByteSpan input,
+                           const Options& options) const = 0;
+
+    /** Decompress a container produced by any executor. */
+    virtual Bytes Decompress(ByteSpan compressed,
+                             const Options& options) const = 0;
+
+    /** Decompress into caller-owned memory of exactly original_size
+     *  bytes. */
+    virtual void DecompressInto(ByteSpan compressed,
+                                std::span<std::byte> out,
+                                const Options& options) const = 0;
+};
+
+/** Look up a backend by name (case-insensitive). Throws UsageError naming
+ *  the registered backends when @p name is unknown. */
+const Executor& GetExecutor(const std::string& name);
+
+/** Look up a backend by name; nullptr when unknown. */
+const Executor* FindExecutor(const std::string& name);
+
+/** The default backend ("cpu"). */
+const Executor& DefaultExecutor();
+
+/** The backend a call with @p options runs on: Options::executor when
+ *  set, otherwise the legacy Options::device mapping. */
+const Executor& ResolveExecutor(const Options& options);
+
+/** Names of all registered backends, registration order. */
+std::vector<std::string> ExecutorNames();
+
+/** Register a new backend (e.g. a real CUDA implementation). Throws
+ *  UsageError when the name is already taken. Not thread-safe against
+ *  concurrent lookups; register during startup. */
+void RegisterExecutor(std::unique_ptr<Executor> executor);
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_EXECUTOR_H

@@ -1,0 +1,142 @@
+#include "core/orchestrate.h"
+
+#include <cstdint>
+
+#include "util/hash.h"
+#include "util/scan.h"
+
+namespace fpc {
+
+ContainerHeader
+MakeContainerHeader(Algorithm algorithm, ByteSpan input,
+                    size_t transformed_size)
+{
+    ContainerHeader header;
+    header.algorithm = static_cast<uint8_t>(algorithm);
+    header.original_size = input.size();
+    header.transformed_size = transformed_size;
+    header.checksum = Checksum64(input);
+    header.chunk_count = static_cast<uint32_t>(ChunkCountOf(transformed_size));
+    return header;
+}
+
+WritePositions
+ComputeWritePositions(const std::vector<uint32_t>& sizes)
+{
+    WritePositions wp;
+    wp.offsets.assign(sizes.begin(), sizes.end());
+    wp.total = ExclusiveScan(std::span<uint64_t>(wp.offsets));
+    return wp;
+}
+
+Bytes
+AssembleContainer(const ContainerHeader& header, const EncodePlan& plan,
+                  std::span<const uint64_t> offsets, uint64_t total,
+                  std::span<ScratchArena> arenas, int threads)
+{
+    const size_t n_chunks = plan.ChunkCount();
+    FPC_CHECK(offsets.size() == n_chunks, "write-position count mismatch");
+
+    const size_t prefix_size = ContainerHeaderSize() + n_chunks * 4;
+    Bytes out;
+    out.reserve(prefix_size + total);
+    WriteContainerPrefix(header, plan.sizes, plan.raw_flags, out);
+    FPC_CHECK(out.size() == prefix_size, "container prefix size mismatch");
+    out.resize(prefix_size + total);
+
+    // Each payload goes to its prefix-summed offset; chunks are disjoint,
+    // so placement parallelizes trivially.
+    std::byte* payload_base = out.data() + prefix_size;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(std::max(threads, 1))
+#endif
+    for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_chunks); ++c) {
+        FPC_CHECK(offsets[c] + plan.sizes[c] <= total,
+                  "write position out of range");
+        if (plan.sizes[c] == 0) continue;
+        const EncodePlan::Ref& ref = plan.refs[c];
+        const Bytes& retained = arenas[ref.worker].Retained();
+        std::memcpy(payload_base + offsets[c], retained.data() + ref.offset,
+                    plan.sizes[c]);
+    }
+    (void)threads;
+    return out;
+}
+
+namespace {
+
+void
+CheckContent(const ContainerHeader& header, ByteSpan out)
+{
+    FPC_PARSE_CHECK(out.size() == header.original_size,
+                    "decompressed size mismatch");
+    FPC_PARSE_CHECK(Checksum64(out) == header.checksum,
+                    "content checksum mismatch");
+}
+
+}  // namespace
+
+Bytes
+RunDecompress(ByteSpan compressed, const DecodeChunksFn& decode_chunks,
+              const PreDecodeFn& pre_decode)
+{
+    ContainerView view = ParseContainer(compressed);
+    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
+    const PipelineSpec& spec = GetPipeline(algorithm);
+
+    if (spec.pre.decode == nullptr) {
+        // No whole-input stage: chunks decode straight into the result.
+        FPC_PARSE_CHECK(
+            view.header.transformed_size == view.header.original_size,
+            "transformed size mismatch for pre-stage-free algorithm");
+        Bytes out(view.header.original_size);
+        decode_chunks(view, spec, out.data());
+        CheckContent(view.header, ByteSpan(out));
+        return out;
+    }
+
+    Bytes work(view.header.transformed_size);
+    decode_chunks(view, spec, work.data());
+    Bytes out;
+    out.reserve(view.header.original_size);
+    pre_decode(spec, ByteSpan(work), out);
+    CheckContent(view.header, ByteSpan(out));
+    return out;
+}
+
+void
+RunDecompressInto(ByteSpan compressed, std::span<std::byte> out,
+                  const DecodeChunksFn& decode_chunks,
+                  const PreDecodeFn& pre_decode)
+{
+    ContainerView view = ParseContainer(compressed);
+    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
+    const PipelineSpec& spec = GetPipeline(algorithm);
+    if (out.size() != view.header.original_size) {
+        throw UsageError("DecompressInto: output span must be exactly " +
+                         std::to_string(view.header.original_size) +
+                         " bytes");
+    }
+
+    if (spec.pre.decode == nullptr) {
+        FPC_PARSE_CHECK(
+            view.header.transformed_size == view.header.original_size,
+            "transformed size mismatch for pre-stage-free algorithm");
+        decode_chunks(view, spec, out.data());
+    } else {
+        // The whole-input pre-stage needs the full transformed stream.
+        Bytes work(view.header.transformed_size);
+        decode_chunks(view, spec, work.data());
+        Bytes restored;
+        restored.reserve(out.size());
+        pre_decode(spec, ByteSpan(work), restored);
+        FPC_PARSE_CHECK(restored.size() == out.size(),
+                        "decompressed size mismatch");
+        std::memcpy(out.data(), restored.data(), out.size());
+    }
+    FPC_PARSE_CHECK(Checksum64(ByteSpan(out.data(), out.size())) ==
+                        view.header.checksum,
+                    "content checksum mismatch");
+}
+
+}  // namespace fpc

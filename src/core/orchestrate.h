@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared compression/decompression orchestration used by every executor
+ * (core/executor.h). The paper's container pipeline is the same on both
+ * device paths — partition the transformed stream into 16 KiB chunks,
+ * encode each chunk independently (raw fallback when a chunk expands),
+ * prefix-sum the compressed sizes into write positions, and place every
+ * payload behind one container prefix — and only the *scheduling* of the
+ * chunk work differs (OpenMP parallel-for vs simulated grid launch with
+ * decoupled look-back). This file owns everything except the scheduling,
+ * so the executors cannot drift apart: identical partition math, identical
+ * chunk tables, identical prefix bytes, identical checksum policy.
+ */
+#ifndef FPC_CORE_ORCHESTRATE_H
+#define FPC_CORE_ORCHESTRATE_H
+
+#include <functional>
+
+#include "core/arena.h"
+#include "core/container.h"
+#include "core/pipeline.h"
+#include "core/types.h"
+#include "util/common.h"
+
+namespace fpc {
+
+/** Number of 16 KiB chunks covering a transformed stream. */
+inline size_t
+ChunkCountOf(size_t transformed_size)
+{
+    return (transformed_size + kChunkSize - 1) / kChunkSize;
+}
+
+/** The @p c-th chunk of the transformed stream (last one may be short). */
+inline ByteSpan
+ChunkAt(ByteSpan chunk_src, size_t c)
+{
+    const size_t begin = c * kChunkSize;
+    return chunk_src.subspan(begin,
+                             std::min(kChunkSize, chunk_src.size() - begin));
+}
+
+/** The @p c-th chunk's slot in a decode destination buffer. */
+inline std::span<std::byte>
+ChunkSlotAt(std::byte* dest, size_t transformed_size, size_t c)
+{
+    const size_t begin = c * kChunkSize;
+    return {dest + begin, std::min(kChunkSize, transformed_size - begin)};
+}
+
+/**
+ * Pass-1 results of a parallel chunk encode: per-chunk stored size, raw
+ * flag, and where the payload lives until assembly (the owning worker's
+ * arena-retained buffer and the payload's offset within it). Workers fill
+ * disjoint chunk indices, so no synchronisation is needed beyond the
+ * scheduler's own join.
+ */
+struct EncodePlan {
+    struct Ref {
+        uint32_t worker = 0;
+        size_t offset = 0;
+    };
+
+    explicit EncodePlan(size_t n_chunks)
+        : raw_flags(n_chunks, 0), sizes(n_chunks, 0), refs(n_chunks) {}
+
+    /** Record chunk @p c's encoded @p payload: appends it to @p scratch's
+     *  retained buffer (which must belong to @p worker) and notes the
+     *  (worker, offset, size, raw) tuple for pass 2. */
+    void
+    Record(size_t c, uint32_t worker, ByteSpan payload, bool raw,
+           ScratchArena& scratch)
+    {
+        raw_flags[c] = raw ? 1 : 0;
+        sizes[c] = static_cast<uint32_t>(payload.size());
+        Bytes& retained = scratch.Retained();
+        refs[c] = {worker, retained.size()};
+        AppendBytes(retained, payload);
+    }
+
+    size_t ChunkCount() const { return sizes.size(); }
+
+    std::vector<uint8_t> raw_flags;
+    std::vector<uint32_t> sizes;
+    std::vector<Ref> refs;
+};
+
+/** Container header for @p input compressed with @p algorithm (computes
+ *  the content checksum). */
+ContainerHeader MakeContainerHeader(Algorithm algorithm, ByteSpan input,
+                                    size_t transformed_size);
+
+/** Final payload write positions: exclusive prefix sum over the stored
+ *  chunk sizes. The device path computes the same offsets with the
+ *  decoupled look-back instead and passes them to AssembleContainer. */
+struct WritePositions {
+    std::vector<uint64_t> offsets;  ///< payload-relative, per chunk
+    uint64_t total = 0;             ///< payload bytes overall
+};
+WritePositions ComputeWritePositions(const std::vector<uint32_t>& sizes);
+
+/**
+ * Pass 2: write the container prefix (header + chunk table), then place
+ * every retained payload at its prefix-summed offset. Placement is
+ * embarrassingly parallel; @p threads > 1 distributes the memcpys (pass 0
+ * or 1 for serial placement). The result is byte-identical regardless of
+ * @p threads or of which scheduler produced @p plan — that is the
+ * cross-device bit-identity the paper claims, and tests assert.
+ */
+Bytes AssembleContainer(const ContainerHeader& header,
+                        const EncodePlan& plan,
+                        std::span<const uint64_t> offsets, uint64_t total,
+                        std::span<ScratchArena> arenas, int threads);
+
+/** Executor hook: decode every chunk of @p view into @p dest, which is
+ *  sized view.header.transformed_size. */
+using DecodeChunksFn = std::function<void(
+    const ContainerView& view, const PipelineSpec& spec, std::byte* dest)>;
+
+/** Executor hook: the whole-input pre-stage decode (FCM for DPratio).
+ *  Only invoked when spec.pre.decode is set. */
+using PreDecodeFn = std::function<void(
+    const PipelineSpec& spec, ByteSpan transformed, Bytes& out)>;
+
+/**
+ * Shared decompression driver: parse + validate the container, decode the
+ * chunks through @p decode_chunks (directly into the result when the
+ * algorithm has no whole-input stage), run @p pre_decode otherwise, and
+ * verify the size and content checksum. Throws CorruptStreamError on any
+ * mismatch.
+ */
+Bytes RunDecompress(ByteSpan compressed, const DecodeChunksFn& decode_chunks,
+                    const PreDecodeFn& pre_decode);
+
+/** RunDecompress into caller-owned memory of exactly original_size bytes
+ *  (throws UsageError otherwise). */
+void RunDecompressInto(ByteSpan compressed, std::span<std::byte> out,
+                       const DecodeChunksFn& decode_chunks,
+                       const PreDecodeFn& pre_decode);
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_ORCHESTRATE_H

@@ -72,6 +72,12 @@ AlgorithmName(Algorithm algorithm)
     return "unknown";
 }
 
+unsigned
+AlgorithmWordSize(Algorithm algorithm)
+{
+    return GetPipeline(algorithm).word_size;
+}
+
 Algorithm
 ParseAlgorithm(const std::string& name)
 {

@@ -4,6 +4,24 @@
 
 namespace fpc {
 
+namespace {
+
+/** Reject a typed read of a frame whose container algorithm holds the
+ *  other element width, before any bytes are reinterpreted. */
+void
+CheckFrameElementSize(ByteSpan frame, size_t element_size,
+                      const char* caller)
+{
+    const Algorithm algorithm = Inspect(frame).algorithm;
+    if (AlgorithmWordSize(algorithm) != element_size) {
+        throw UsageError(std::string(caller) + ": frame holds " +
+                         AlgorithmName(algorithm) + " data, not " +
+                         std::to_string(element_size) + "-byte elements");
+    }
+}
+
+}  // namespace
+
 size_t
 StreamCompressor::PutFrame(ByteSpan frame)
 {
@@ -28,21 +46,34 @@ StreamCompressor::PutDoubles(std::span<const double> values)
     return PutFrame(AsBytes(values));
 }
 
-Bytes
-StreamDecompressor::NextFrame()
+ByteSpan
+StreamDecompressor::PeekFrame(size_t& advance) const
 {
     FPC_PARSE_CHECK(HasNext(), "no more frames");
     ByteReader br(stream_.subspan(pos_));
     size_t frame_size = br.GetVarint();
     ByteSpan frame = br.GetBytes(frame_size);
-    pos_ += br.Pos();
+    advance = br.Pos();
+    return frame;
+}
+
+Bytes
+StreamDecompressor::NextFrame()
+{
+    size_t advance = 0;
+    ByteSpan frame = PeekFrame(advance);
+    pos_ += advance;
     return Decompress(frame, options_);
 }
 
 std::vector<float>
 StreamDecompressor::NextFloats()
 {
-    Bytes raw = NextFrame();
+    size_t advance = 0;
+    ByteSpan frame = PeekFrame(advance);
+    CheckFrameElementSize(frame, sizeof(float), "NextFloats");
+    pos_ += advance;
+    Bytes raw = Decompress(frame, options_);
     FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0, "frame not floats");
     std::vector<float> values(raw.size() / sizeof(float));
     std::memcpy(values.data(), raw.data(), raw.size());
@@ -52,7 +83,11 @@ StreamDecompressor::NextFloats()
 std::vector<double>
 StreamDecompressor::NextDoubles()
 {
-    Bytes raw = NextFrame();
+    size_t advance = 0;
+    ByteSpan frame = PeekFrame(advance);
+    CheckFrameElementSize(frame, sizeof(double), "NextDoubles");
+    pos_ += advance;
+    Bytes raw = Decompress(frame, options_);
     FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0, "frame not doubles");
     std::vector<double> values(raw.size() / sizeof(double));
     std::memcpy(values.data(), raw.data(), raw.size());

@@ -19,6 +19,14 @@ class StreamCompressor {
     StreamCompressor(Algorithm algorithm, Options options = {})
         : algorithm_(algorithm), options_(options) {}
 
+    /** Compress frames on a specific backend (core/executor.h). */
+    StreamCompressor(Algorithm algorithm, const Executor& executor,
+                     Options options = {})
+        : algorithm_(algorithm), options_(options)
+    {
+        options_.executor = &executor;
+    }
+
     /** Compress one frame and append it to the stream. Returns the
      *  compressed frame size in bytes (excluding the length prefix). */
     size_t PutFrame(ByteSpan frame);
@@ -50,17 +58,30 @@ class StreamDecompressor {
     explicit StreamDecompressor(ByteSpan stream, Options options = {})
         : stream_(stream), options_(options) {}
 
+    /** Decompress frames on a specific backend (core/executor.h). */
+    StreamDecompressor(ByteSpan stream, const Executor& executor,
+                       Options options = {})
+        : stream_(stream), options_(options)
+    {
+        options_.executor = &executor;
+    }
+
     /** True when at least one more frame is available. */
     bool HasNext() const { return pos_ < stream_.size(); }
 
     /** Decompress the next frame. Throws CorruptStreamError on damage. */
     Bytes NextFrame();
 
-    /** Typed helper. */
+    /** Typed helpers. Throw UsageError (without consuming the frame) when
+     *  the frame's algorithm holds the other element width. */
     std::vector<float> NextFloats();
     std::vector<double> NextDoubles();
 
  private:
+    /** Parse the next frame without consuming it; @p advance receives the
+     *  byte count (prefix + frame) to add to pos_ on consumption. */
+    ByteSpan PeekFrame(size_t& advance) const;
+
     ByteSpan stream_;
     Options options_;
     size_t pos_ = 0;

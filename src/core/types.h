@@ -18,21 +18,32 @@ enum class Algorithm : uint8_t {
     kDPratio = 3,  ///< double precision, ratio-oriented
 };
 
-/** Execution path. Both paths emit byte-identical compressed streams. */
+/** Legacy execution-path selector (see Options::executor for the general
+ *  backend mechanism). Both paths emit byte-identical compressed
+ *  streams. */
 enum class Device : uint8_t {
     kCpu = 0,     ///< chunk-parallel OpenMP implementation
     kGpuSim = 1,  ///< CUDA-style block/warp implementation on the GPU
                   ///  execution-model simulator (see src/gpusim)
 };
 
+class Executor;  // core/executor.h
+
 /** Knobs for compress()/decompress(). */
 struct Options {
     Device device = Device::kCpu;
     int threads = 0;  ///< 0 = library default (all available)
+    /** Execution backend (core/executor.h). When set it takes precedence
+     *  over `device`; when null, `device` selects "cpu" or the default
+     *  gpusim backend. All backends emit identical compressed bytes. */
+    const Executor* executor = nullptr;
 };
 
 /** Human-readable algorithm name as used in the paper. */
 const char* AlgorithmName(Algorithm algorithm);
+
+/** Bytes per value of an algorithm's input type (4 for SP*, 8 for DP*). */
+unsigned AlgorithmWordSize(Algorithm algorithm);
 
 /** Parse "SPspeed"/"SPratio"/"DPspeed"/"DPratio" (case-insensitive). */
 Algorithm ParseAlgorithm(const std::string& name);

@@ -8,10 +8,10 @@
 namespace fpc::eval {
 
 EvalCodec
-OurCodec(Algorithm algorithm, Device device)
+OurCodec(Algorithm algorithm, const Executor& executor)
 {
     Options options;
-    options.device = device;
+    options.executor = &executor;
     EvalCodec codec;
     codec.name = AlgorithmName(algorithm);
     codec.compress = [algorithm, options](ByteSpan in) {
@@ -21,6 +21,18 @@ OurCodec(Algorithm algorithm, Device device)
         return Decompress(in, options);
     };
     return codec;
+}
+
+EvalCodec
+OurCodec(Algorithm algorithm, const std::string& backend)
+{
+    return OurCodec(algorithm, GetExecutor(backend));
+}
+
+EvalCodec
+OurCodec(Algorithm algorithm, Device device)
+{
+    return OurCodec(algorithm, ResolveExecutor(Options{.device = device}));
 }
 
 EvalCodec

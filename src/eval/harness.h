@@ -14,6 +14,7 @@
 
 #include "baselines/compressor.h"
 #include "core/codec.h"
+#include "core/executor.h"
 #include "util/common.h"
 
 namespace fpc::eval {
@@ -25,7 +26,14 @@ struct EvalCodec {
     std::function<Bytes(ByteSpan)> decompress;
 };
 
-/** Wrap one of the paper's four algorithms on the given device path. */
+/** Wrap one of the paper's four algorithms on the given backend. */
+EvalCodec OurCodec(Algorithm algorithm, const Executor& executor);
+
+/** Wrap an algorithm on a backend named in the executor registry. */
+EvalCodec OurCodec(Algorithm algorithm, const std::string& backend);
+
+/** Legacy device-enum selection (maps to "cpu" / the default gpusim
+ *  backend). */
 EvalCodec OurCodec(Algorithm algorithm, Device device);
 
 /** Wrap a Table 1 baseline. */

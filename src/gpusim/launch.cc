@@ -7,11 +7,9 @@
 #endif
 
 #include "core/arena.h"
-#include "core/container.h"
-#include "core/pipeline.h"
+#include "core/orchestrate.h"
 #include "gpusim/kernels.h"
 #include "gpusim/primitives.h"
-#include "util/hash.h"
 
 namespace fpc::gpusim {
 
@@ -38,6 +36,47 @@ LaunchWorkerId()
 #endif
 }
 
+/** Chunk decode hook for the orchestration driver: one thread block per
+ *  chunk, scheduled by the device. */
+DecodeChunksFn
+DecodeChunksOn(const Device& device)
+{
+    return [&device](const ContainerView& view, const PipelineSpec& spec,
+                     std::byte* dest) {
+        const size_t transformed_size = view.header.transformed_size;
+        std::vector<ScratchArena> arenas(MaxLaunchWorkers());
+        std::atomic<bool> failed{false};
+        device.Launch(view.header.chunk_count, [&](ThreadBlock& block) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            const size_t c = block.BlockId();
+            try {
+                ScratchArena& scratch = arenas[LaunchWorkerId()];
+                DecodeChunkDevice(
+                    spec,
+                    view.payload.subspan(view.chunk_offsets[c],
+                                         view.chunk_sizes[c]),
+                    view.chunk_raw[c],
+                    ChunkSlotAt(dest, transformed_size, c), scratch);
+            } catch (const std::exception&) {
+                failed.store(true);
+            }
+        });
+        if (failed.load()) {
+            throw CorruptStreamError("device chunk decode failed");
+        }
+    };
+}
+
+/** Whole-input pre-stage hook (FCM) on the device path. */
+PreDecodeFn
+DevicePreDecode()
+{
+    return [](const PipelineSpec& spec, ByteSpan transformed, Bytes& out) {
+        (void)spec;  // only DPratio has a pre-stage, and it is FCM
+        FcmDecodeDevice(transformed, out);
+    };
+}
+
 }  // namespace
 
 Bytes
@@ -52,20 +91,10 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
         chunk_src = ByteSpan(work);
     }
 
-    const size_t n_chunks =
-        (chunk_src.size() + kChunkSize - 1) / kChunkSize;
-    std::vector<uint8_t> raw_flags(n_chunks, 0);
-    std::vector<uint32_t> sizes(n_chunks, 0);
+    const size_t n_chunks = ChunkCountOf(chunk_src.size());
+    EncodePlan plan(n_chunks);
     std::vector<uint64_t> offsets(n_chunks, 0);
     DecoupledLookback lookback(n_chunks);
-
-    // Each encoded payload stays in its worker's arena-retained buffer
-    // (with the worker and in-buffer offset recorded) until assembly.
-    struct EncodedChunkRef {
-        uint32_t worker = 0;
-        size_t offset = 0;
-    };
-    std::vector<EncodedChunkRef> refs(n_chunks);
     std::vector<ScratchArena> arenas(MaxLaunchWorkers());
 
     // One thread block per chunk; after encoding, each block publishes its
@@ -73,93 +102,38 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
     device.Launch(n_chunks, [&](ThreadBlock& block) {
         const size_t c = block.BlockId();
         ScratchArena& scratch = arenas[LaunchWorkerId()];
-        size_t begin = c * kChunkSize;
-        size_t size = std::min(kChunkSize, chunk_src.size() - begin);
         bool raw = false;
-        ByteSpan payload = EncodeChunkDevice(
-            spec, chunk_src.subspan(begin, size), raw, scratch);
-        raw_flags[c] = raw ? 1 : 0;
-        sizes[c] = static_cast<uint32_t>(payload.size());
-        Bytes& retained = scratch.Retained();
-        refs[c] = {static_cast<uint32_t>(LaunchWorkerId()),
-                   retained.size()};
-        AppendBytes(retained, payload);
+        ByteSpan payload =
+            EncodeChunkDevice(spec, ChunkAt(chunk_src, c), raw, scratch);
+        plan.Record(c, static_cast<uint32_t>(LaunchWorkerId()), payload,
+                    raw, scratch);
         lookback.PublishAggregate(c, payload.size());
         offsets[c] = lookback.ResolvePrefix(c);
     });
 
-    ContainerHeader header;
-    header.algorithm = static_cast<uint8_t>(algorithm);
-    header.original_size = input.size();
-    header.transformed_size = chunk_src.size();
-    header.checksum = Checksum64(input);
-    header.chunk_count = static_cast<uint32_t>(n_chunks);
-
-    size_t total = 0;
-    for (size_t c = 0; c < n_chunks; ++c) total += sizes[c];
-
-    const size_t prefix_size = ContainerHeaderSize() + n_chunks * 4;
-    Bytes out;
-    out.reserve(prefix_size + total);
-    WriteContainerPrefix(header, sizes, raw_flags, out);
-    FPC_CHECK(out.size() == prefix_size, "container prefix size mismatch");
-    out.resize(prefix_size + total);
-    // Blocks write at their look-back-resolved positions.
-    for (size_t c = 0; c < n_chunks; ++c) {
-        FPC_CHECK(offsets[c] + sizes[c] <= total,
-                  "look-back offset out of range");
-        if (sizes[c] == 0) continue;
-        const Bytes& retained = arenas[refs[c].worker].Retained();
-        std::memcpy(out.data() + prefix_size + offsets[c],
-                    retained.data() + refs[c].offset, sizes[c]);
-    }
-    return out;
+    const ContainerHeader header =
+        MakeContainerHeader(algorithm, input, chunk_src.size());
+    uint64_t total = 0;
+    for (uint32_t size : plan.sizes) total += size;
+    // Placement at the look-back-resolved positions; bytes are identical
+    // to the CPU executor's prefix-sum placement (tests assert).
+    return AssembleContainer(header, plan, offsets, total, arenas,
+                             /*threads=*/1);
 }
 
 Bytes
 DecompressOnDevice(const Device& device, ByteSpan compressed)
 {
-    ContainerView view = ParseContainer(compressed);
-    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
-    const PipelineSpec& spec = GetPipeline(algorithm);
-    const size_t transformed_size = view.header.transformed_size;
+    return RunDecompress(compressed, DecodeChunksOn(device),
+                         DevicePreDecode());
+}
 
-    Bytes work(transformed_size);
-    std::vector<ScratchArena> arenas(MaxLaunchWorkers());
-    std::atomic<bool> failed{false};
-    device.Launch(view.header.chunk_count, [&](ThreadBlock& block) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const size_t c = block.BlockId();
-        try {
-            ScratchArena& scratch = arenas[LaunchWorkerId()];
-            size_t begin = c * kChunkSize;
-            size_t size = std::min(kChunkSize, transformed_size - begin);
-            DecodeChunkDevice(
-                spec,
-                view.payload.subspan(view.chunk_offsets[c],
-                                     view.chunk_sizes[c]),
-                view.chunk_raw[c],
-                std::span<std::byte>(work.data() + begin, size), scratch);
-        } catch (const std::exception&) {
-            failed.store(true);
-        }
-    });
-    if (failed.load()) {
-        throw CorruptStreamError("device chunk decode failed");
-    }
-
-    Bytes out;
-    out.reserve(view.header.original_size);
-    if (spec.pre.decode != nullptr) {
-        FcmDecodeDevice(ByteSpan(work), out);
-    } else {
-        AppendBytes(out, ByteSpan(work));
-    }
-    FPC_PARSE_CHECK(out.size() == view.header.original_size,
-                    "decompressed size mismatch");
-    FPC_PARSE_CHECK(Checksum64(ByteSpan(out)) == view.header.checksum,
-                    "content checksum mismatch");
-    return out;
+void
+DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
+                       std::span<std::byte> out)
+{
+    RunDecompressInto(compressed, out, DecodeChunksOn(device),
+                      DevicePreDecode());
 }
 
 }  // namespace fpc::gpusim

@@ -24,6 +24,11 @@ Bytes CompressOnDevice(const Device& device, Algorithm algorithm,
  *  chunk table, then fully independent block decoding). */
 Bytes DecompressOnDevice(const Device& device, ByteSpan compressed);
 
+/** DecompressOnDevice into caller-owned memory of exactly original_size
+ *  bytes (throws UsageError otherwise). */
+void DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
+                            std::span<std::byte> out);
+
 }  // namespace fpc::gpusim
 
 #endif  // FPC_GPUSIM_LAUNCH_H

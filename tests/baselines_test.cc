@@ -24,10 +24,10 @@ MakeInput(const std::string& kind, size_t n, uint64_t seed)
         for (auto& b : data) b = static_cast<std::byte>(rng.Next() & 0xff);
     } else if (kind == "smooth32") {
         auto v = data::ToFloats(data::SmoothField(n / 4, seed, 5, 0.001));
-        std::memcpy(data.data(), v.data(), v.size() * 4);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 4);
     } else if (kind == "smooth64") {
         auto v = data::SmoothField(n / 8, seed, 5, 1e-8);
-        std::memcpy(data.data(), v.data(), v.size() * 8);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 8);
     } else if (kind == "runs") {
         size_t i = 0;
         while (i < n) {

@@ -29,10 +29,10 @@ MakeInput(const std::string& kind, size_t n, uint64_t seed)
         for (auto& b : data) b = static_cast<std::byte>(rng.Next() & 0xff);
     } else if (kind == "smooth32") {
         auto v = data::ToFloats(data::SmoothField(n / 4, seed, 5, 0.001));
-        std::memcpy(data.data(), v.data(), v.size() * 4);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 4);
     } else if (kind == "smooth64") {
         auto v = data::SmoothField(n / 8, seed, 5, 1e-8);
-        std::memcpy(data.data(), v.data(), v.size() * 8);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 8);
     } else if (kind == "repeats64") {
         // Far-apart exact value repetitions (MPI-trace-like): a prime-
         // length random block tiled across the buffer. FCM finds these
@@ -44,7 +44,7 @@ MakeInput(const std::string& kind, size_t n, uint64_t seed)
         }
         std::vector<double> v(n / 8);
         for (size_t i = 0; i < v.size(); ++i) v[i] = block[i % period];
-        std::memcpy(data.data(), v.data(), v.size() * 8);
+        if (!v.empty()) std::memcpy(data.data(), v.data(), v.size() * 8);
     }  // "zeros": leave as-is
     return data;
 }

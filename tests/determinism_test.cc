@@ -6,13 +6,12 @@
  * two-pass container assembly makes this non-trivial — chunk payloads are
  * encoded into per-thread arenas in nondeterministic order and only the
  * prefix-summed placement restores a canonical layout — so this test
- * pins it down for every algorithm, plus golden checksums that detect
- * any accidental format change.
+ * pins it down for every algorithm. Golden wire-format checksums live in
+ * tests/executor_test.cc, asserted per registered backend.
  */
 #include <gtest/gtest.h>
 
 #include "core/codec.h"
-#include "util/hash.h"
 
 namespace fpc {
 namespace {
@@ -76,54 +75,6 @@ TEST(DeterminismTest, ThreadCountAndDeviceDoNotChangeOutput)
             EXPECT_EQ(input, Decompress(ByteSpan(reference), gpu));
             EXPECT_EQ(input, Decompress(ByteSpan(on_device), four));
         }
-    }
-}
-
-/**
- * Golden sizes and checksums of the compressed streams. These pin the
- * wire format: any change here is a breaking format change and must be
- * deliberate (bump the container version), not a side effect of a
- * performance change.
- */
-TEST(DeterminismTest, GoldenCompressedChecksums)
-{
-    struct Golden {
-        size_t size;
-        Algorithm algorithm;
-        size_t compressed_bytes;
-        uint64_t checksum;
-    };
-    const Golden kGolden[] = {
-        {size_t{1} << 20, Algorithm::kSPspeed, 352288,
-         0x8164796542bb988bull},
-        {size_t{1} << 20, Algorithm::kSPratio, 339156,
-         0x526deebca63acd9bull},
-        {size_t{1} << 20, Algorithm::kDPspeed, 718032,
-         0x82032e9934e4fad5ull},
-        {size_t{1} << 20, Algorithm::kDPratio, 709370,
-         0x69a8a775ae901fbcull},
-        {(size_t{1} << 18) + 13, Algorithm::kSPspeed, 88117,
-         0x6f130cb3aec62125ull},
-        {(size_t{1} << 18) + 13, Algorithm::kSPratio, 84488,
-         0x5b4e8bd20eba4a96ull},
-        {(size_t{1} << 18) + 13, Algorithm::kDPspeed, 179552,
-         0xe451776ff8bb5f24ull},
-        {(size_t{1} << 18) + 13, Algorithm::kDPratio, 177416,
-         0x28355c9472bc8f68ull},
-    };
-
-    Options options;
-    options.threads = 1;
-    for (const Golden& g : kGolden) {
-        const Bytes input = MakeInput(g.size, 0x5eed + g.size);
-        const Bytes compressed =
-            Compress(g.algorithm, ByteSpan(input), options);
-        EXPECT_EQ(compressed.size(), g.compressed_bytes)
-            << "alg " << static_cast<int>(g.algorithm) << ", size "
-            << g.size;
-        EXPECT_EQ(Checksum64(ByteSpan(compressed)), g.checksum)
-            << "alg " << static_cast<int>(g.algorithm) << ", size "
-            << g.size;
     }
 }
 

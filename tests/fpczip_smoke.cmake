@@ -1,0 +1,60 @@
+# End-to-end smoke test of the fpczip CLI, run by ctest as
+#   cmake -DFPCZIP=<path> -DWORK_DIR=<dir> -P fpczip_smoke.cmake
+#
+# Exercises the full user-visible loop: compress on the CPU backend,
+# `inspect` the container (one JSON line), decompress on a gpusim backend
+# (cross-device compatibility), and compare against the input bytes.
+
+if(NOT FPCZIP OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DFPCZIP=... -DWORK_DIR=... -P fpczip_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(input "${WORK_DIR}/input.bin")
+set(packed "${WORK_DIR}/input.fpcz")
+set(restored "${WORK_DIR}/restored.bin")
+
+# Deterministic ~192 KiB input (several 16 KiB chunks) of repeated ASCII:
+# compressible, and exercises chunking, the raw/coded decision, and the
+# container round trip. file(WRITE) of text is byte-exact for ASCII.
+set(pattern "fpcz-smoke-0123456789abcdefghijklmnopqrstuvwxyz-")
+set(data "")
+foreach(i RANGE 0 4095)
+    string(APPEND data "${pattern}")
+endforeach()
+file(WRITE "${input}" "${data}")
+
+function(run_fpczip expect_rc)
+    execute_process(COMMAND "${FPCZIP}" ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${expect_rc})
+        message(FATAL_ERROR "fpczip ${ARGN} exited ${rc} (expected ${expect_rc}):\n${out}\n${err}")
+    endif()
+    set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# compress (CPU backend, explicitly)
+run_fpczip(0 -c -a SPspeed --backend=cpu "${input}" "${packed}")
+
+# inspect: exactly one JSON line naming the algorithm
+run_fpczip(0 inspect "${packed}")
+if(NOT last_output MATCHES "^\\{\"algorithm\": \"SPspeed\".*\"ratio\": [0-9.]+\\}\n$")
+    message(FATAL_ERROR "unexpected inspect output: ${last_output}")
+endif()
+
+# decompress on a device backend: streams are cross-compatible
+run_fpczip(0 -d --backend=gpusim:4090 "${packed}" "${restored}")
+
+file(READ "${input}" original)
+file(READ "${restored}" roundtrip)
+if(NOT original STREQUAL roundtrip)
+    message(FATAL_ERROR "round trip through fpczip changed the bytes")
+endif()
+
+# unknown backend must fail with a usage error, not crash
+run_fpczip(1 -c --backend=tpu "${input}" "${packed}.bad")
+
+message(STATUS "fpczip smoke test passed")

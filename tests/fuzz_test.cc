@@ -165,6 +165,57 @@ TEST(FuzzDecompressInto, RejectsWrongSizes)
                  UsageError);
 }
 
+// Byte offset of the uint32 chunk_count field in the container header
+// (magic u32, version u8, algorithm u8, reserved u16, original u64,
+// transformed u64, checksum u64 precede it — see WriteContainerPrefix).
+constexpr size_t kChunkCountOffset = 32;
+
+TEST(FuzzContainer, RejectsInconsistentChunkCount)
+{
+    Bytes input = StructuredRandom(42);
+    Bytes c = Compress(Algorithm::kSPspeed, ByteSpan(input));
+    uint32_t count = 0;
+    std::memcpy(&count, c.data() + kChunkCountOffset, sizeof(count));
+    ASSERT_GT(count, 0u);
+
+    // chunk_count must match ceil(transformed_size / kChunkSize); any
+    // other value — one off either way, zero, or wildly oversized (which
+    // would otherwise drive huge table allocations) — is corruption.
+    for (uint32_t patched :
+         {count - 1, count + 1, uint32_t{0}, count + 1000000u,
+          uint32_t{0x7fffffff}}) {
+        Bytes bad = c;
+        std::memcpy(bad.data() + kChunkCountOffset, &patched,
+                    sizeof(patched));
+        EXPECT_THROW(Decompress(ByteSpan(bad)), CorruptStreamError)
+            << "patched chunk_count " << patched;
+        EXPECT_THROW(Inspect(ByteSpan(bad)), CorruptStreamError)
+            << "patched chunk_count " << patched;
+    }
+}
+
+TEST(FuzzContainer, RejectsTruncation)
+{
+    // Large enough for several chunks so truncation points land inside
+    // the header, inside the chunk table, and inside the payload.
+    Bytes input = StructuredRandom(34);
+    ASSERT_GT(input.size(), 2 * kChunkSize);
+    Bytes c = Compress(Algorithm::kSPratio, ByteSpan(input));
+
+    uint32_t count = 0;
+    std::memcpy(&count, c.data() + kChunkCountOffset, sizeof(count));
+    const size_t table_end = kChunkCountOffset + 4 + count * 4;
+    const size_t cuts[] = {0, 1, kChunkCountOffset,
+                           kChunkCountOffset + 4 + 2,  // mid chunk table
+                           table_end - 1, table_end, c.size() - 1};
+    for (size_t cut : cuts) {
+        ASSERT_LT(cut, c.size());
+        Bytes bad(c.begin(), c.begin() + static_cast<ptrdiff_t>(cut));
+        EXPECT_THROW(Decompress(ByteSpan(bad)), CorruptStreamError)
+            << "truncated to " << cut << " bytes";
+    }
+}
+
 TEST(FuzzChecksum, DistinctInputsDistinctChecksums)
 {
     // Smoke-check the checksum: different structured inputs essentially

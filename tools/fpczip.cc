@@ -4,13 +4,16 @@
  * data (the four ASPLOS'25 algorithms).
  *
  * Usage:
- *   fpczip -c [-a SPspeed|SPratio|DPspeed|DPratio] [-g] IN OUT   compress
- *   fpczip -d [-g] IN OUT                                        decompress
- *   fpczip -i IN                                                 inspect
+ *   fpczip -c [-a SPspeed|SPratio|DPspeed|DPratio] [--backend=NAME] IN OUT
+ *   fpczip -d [--backend=NAME] IN OUT
+ *   fpczip -i IN                  human-readable header summary
+ *   fpczip inspect IN             one JSON line of container metadata
  *
- * -a picks the algorithm (default SPspeed for .f32-looking sizes is NOT
- *    guessed; the default is SPspeed — pick DP* for doubles).
- * -g runs the GPU execution path (bit-identical output; see DESIGN.md).
+ * -a picks the algorithm (default SPspeed — pick DP* for doubles; the
+ *    element width is never guessed from the file size).
+ * --backend selects an executor-registry backend (cpu, gpusim:4090,
+ *    gpusim:a100); all backends produce bit-identical containers (see
+ *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
  */
 #include <cstdio>
 #include <cstring>
@@ -18,6 +21,7 @@
 #include <string>
 
 #include "core/codec.h"
+#include "core/executor.h"
 #include "util/timer.h"
 
 namespace {
@@ -50,12 +54,31 @@ Usage()
 {
     std::fprintf(
         stderr,
-        "usage: fpczip -c [-a ALGO] [-g] IN OUT   compress\n"
-        "       fpczip -d [-g] IN OUT             decompress\n"
-        "       fpczip -i IN                      inspect header\n"
-        "ALGO: SPspeed (default) | SPratio | DPspeed | DPratio\n"
-        "-g:   use the GPU execution path (output is identical)\n");
+        "usage: fpczip -c [-a ALGO] [--backend=NAME] IN OUT   compress\n"
+        "       fpczip -d [--backend=NAME] IN OUT             decompress\n"
+        "       fpczip -i IN                      inspect header (text)\n"
+        "       fpczip inspect IN                 inspect header (JSON)\n"
+        "ALGO:    SPspeed (default) | SPratio | DPspeed | DPratio\n"
+        "NAME:    cpu (default) | gpusim:4090 | gpusim:a100\n"
+        "-g:      shorthand for --backend=gpusim:4090 (identical output)\n");
     return 2;
+}
+
+/** Print the container metadata of @p files[0] as one JSON line. */
+int
+InspectJson(const std::string& path)
+{
+    fpc::Bytes data = ReadFile(path);
+    fpc::CompressedInfo info = fpc::Inspect(data);
+    std::printf("{\"algorithm\": \"%s\", \"original_size\": %llu, "
+                "\"transformed_size\": %llu, \"compressed_size\": %zu, "
+                "\"chunk_count\": %u, \"raw_chunks\": %u, "
+                "\"ratio\": %.6f}\n",
+                fpc::AlgorithmName(info.algorithm),
+                static_cast<unsigned long long>(info.original_size),
+                static_cast<unsigned long long>(info.transformed_size),
+                data.size(), info.chunk_count, info.raw_chunks, info.ratio);
+    return 0;
 }
 
 }  // namespace
@@ -64,7 +87,13 @@ int
 main(int argc, char** argv)
 {
     try {
-        enum { kNone, kCompress, kDecompress, kInspect } action = kNone;
+        enum {
+            kNone,
+            kCompress,
+            kDecompress,
+            kInspect,
+            kInspectJson
+        } action = kNone;
         fpc::Options options;
         fpc::Algorithm algorithm = fpc::Algorithm::kSPspeed;
         std::vector<std::string> files;
@@ -77,8 +106,13 @@ main(int argc, char** argv)
                 action = kDecompress;
             } else if (arg == "-i") {
                 action = kInspect;
+            } else if (arg == "inspect" && action == kNone) {
+                action = kInspectJson;
             } else if (arg == "-g") {
-                options.device = fpc::Device::kGpuSim;
+                options.executor = &fpc::GetExecutor("gpusim:4090");
+            } else if (arg.rfind("--backend=", 0) == 0) {
+                options.executor =
+                    &fpc::GetExecutor(arg.substr(std::strlen("--backend=")));
             } else if (arg == "-a" && i + 1 < argc) {
                 algorithm = fpc::ParseAlgorithm(argv[++i]);
             } else if (!arg.empty() && arg[0] == '-') {
@@ -86,6 +120,11 @@ main(int argc, char** argv)
             } else {
                 files.push_back(arg);
             }
+        }
+
+        if (action == kInspectJson) {
+            if (files.size() != 1) return Usage();
+            return InspectJson(files[0]);
         }
 
         if (action == kInspect) {
