@@ -71,6 +71,19 @@ class ScratchArena {
     /** Per-thread retained encode output (two-pass container assembly). */
     Bytes& Retained() { return retained_; }
 
+    /**
+     * Decode-side allocation budget: the maximum byte count a stage decoder
+     * may accept from a wire-declared size field before allocating. The
+     * pipeline driver (DecodeChunk) sets it to the destination chunk size
+     * plus a fixed slack covering per-stage framing overhead; every stage
+     * decoder checks its declared output size against it *before* any
+     * resize/reserve, so a corrupt size field cannot force a
+     * decompression-bomb allocation. Defaults to SIZE_MAX (unbounded) for
+     * standalone transform calls on trusted input.
+     */
+    size_t DecodeBudget() const { return decode_budget_; }
+    void SetDecodeBudget(size_t budget) { decode_budget_ = budget; }
+
     /** Total heap bytes currently held across all buffers (diagnostics). */
     size_t CapacityBytes() const;
 
@@ -84,6 +97,7 @@ class ScratchArena {
     std::vector<Bytes> bitmap_levels_;
     std::vector<Bytes> bitmap_kept_;
     Bytes retained_;
+    size_t decode_budget_ = SIZE_MAX;
 };
 
 template <>

@@ -44,18 +44,20 @@ WriteContainerPrefix(const ContainerHeader& header,
 ContainerView
 ParseContainer(ByteSpan compressed)
 {
-    ByteReader br(compressed);
+    constexpr const char* kStage = "container";
+    ByteReader br(compressed, kStage);
     ContainerView view;
     ContainerHeader& h = view.header;
-    FPC_PARSE_CHECK(compressed.size() >= ContainerHeaderSize(),
-                    "buffer smaller than header");
+    FPC_PARSE_CHECK_AT(compressed.size() >= ContainerHeaderSize(),
+                       "buffer smaller than header", kStage, 0);
     h.magic = br.Get<uint32_t>();
-    FPC_PARSE_CHECK(h.magic == ContainerHeader::kMagic, "bad magic");
+    FPC_PARSE_CHECK_AT(h.magic == ContainerHeader::kMagic, "bad magic",
+                       kStage, 0);
     h.version = br.GetU8();
-    FPC_PARSE_CHECK(h.version == ContainerHeader::kVersion,
-                    "unsupported version");
+    FPC_PARSE_CHECK_AT(h.version == ContainerHeader::kVersion,
+                       "unsupported version", kStage, 4);
     h.algorithm = br.GetU8();
-    FPC_PARSE_CHECK(h.algorithm <= 3, "unknown algorithm id");
+    FPC_PARSE_CHECK_AT(h.algorithm <= 3, "unknown algorithm id", kStage, 5);
     h.reserved = br.Get<uint16_t>();
     h.original_size = br.Get<uint64_t>();
     h.transformed_size = br.Get<uint64_t>();
@@ -64,8 +66,15 @@ ParseContainer(ByteSpan compressed)
 
     const uint64_t expected_chunks =
         (h.transformed_size + kChunkSize - 1) / kChunkSize;
-    FPC_PARSE_CHECK(h.chunk_count == expected_chunks,
-                    "chunk count inconsistent with transformed size");
+    FPC_PARSE_CHECK_AT(h.chunk_count == expected_chunks,
+                       "chunk count inconsistent with transformed size",
+                       kStage, 32);
+    // The chunk table must fit in the bytes that are actually present
+    // before the three per-chunk vectors are sized from it; a forged
+    // count would otherwise drive multi-gigabyte allocations from a
+    // tiny input.
+    FPC_PARSE_CHECK_AT(h.chunk_count <= br.Remaining() / sizeof(uint32_t),
+                       "chunk table exceeds buffer", kStage, 32);
 
     view.chunk_sizes.resize(h.chunk_count);
     view.chunk_raw.resize(h.chunk_count);
@@ -79,8 +88,9 @@ ParseContainer(ByteSpan compressed)
         offset += view.chunk_sizes[c];
     }
     view.payload = br.Rest();
-    FPC_PARSE_CHECK(view.payload.size() == offset,
-                    "payload size inconsistent with chunk table");
+    FPC_PARSE_CHECK_AT(view.payload.size() == offset,
+                       "payload size inconsistent with chunk table", kStage,
+                       br.Pos());
     return view;
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <cstdint>
+#include <exception>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -127,7 +128,7 @@ class CpuExecutor final : public Executor {
             const int threads = EffectiveThreads(options);
             std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
             std::atomic<bool> failed{false};
-            std::string error;
+            std::exception_ptr first_error;
             const auto n_chunks =
                 static_cast<std::int64_t>(view.header.chunk_count);
 #ifdef _OPENMP
@@ -144,16 +145,28 @@ class CpuExecutor final : public Executor {
                     DecodeChunk(spec, payload, view.chunk_raw[c],
                                 ChunkSlotAt(dest, transformed_size, c),
                                 scratch);
-                } catch (const std::exception& e) {
+                } catch (...) {
 #ifdef _OPENMP
 #pragma omp critical
 #endif
                     {
-                        if (!failed.exchange(true)) error = e.what();
+                        if (!failed.exchange(true)) {
+                            first_error = std::current_exception();
+                        }
                     }
                 }
             }
-            if (failed.load()) throw CorruptStreamError(error);
+            if (failed.load()) {
+                // Rethrow the first failure so stage/offset context in a
+                // CorruptStreamError survives the parallel region.
+                try {
+                    std::rethrow_exception(first_error);
+                } catch (const CorruptStreamError&) {
+                    throw;
+                } catch (const std::exception& e) {
+                    throw CorruptStreamError(e.what());
+                }
+            }
         };
     }
 

@@ -95,6 +95,13 @@ RunDecompress(ByteSpan compressed, const DecodeChunksFn& decode_chunks,
         return out;
     }
 
+    // FCM (the only pre-stage) always expands, so a valid container's
+    // declared original size never exceeds its transformed size. Check
+    // before reserving `out` so a forged original_size cannot drive an
+    // allocation beyond the file-bounded transformed stream.
+    FPC_PARSE_CHECK_AT(
+        view.header.original_size <= view.header.transformed_size,
+        "original size exceeds transformed size", "container", 8);
     Bytes work(view.header.transformed_size);
     decode_chunks(view, spec, work.data());
     Bytes out;
@@ -124,6 +131,9 @@ RunDecompressInto(ByteSpan compressed, std::span<std::byte> out,
             "transformed size mismatch for pre-stage-free algorithm");
         decode_chunks(view, spec, out.data());
     } else {
+        FPC_PARSE_CHECK_AT(
+            view.header.original_size <= view.header.transformed_size,
+            "original size exceeds transformed size", "container", 8);
         // The whole-input pre-stage needs the full transformed stream.
         Bytes work(view.header.transformed_size);
         decode_chunks(view, spec, work.data());

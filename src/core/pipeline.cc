@@ -137,6 +137,10 @@ DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
     }
     FPC_PARSE_CHECK(!spec.stages.empty(),
                     "non-raw chunk in a stage-free pipeline");
+    // Budget every stage's wire-declared output size before it allocates:
+    // intermediate stage outputs may exceed the destination only by the
+    // fixed per-stage framing slack (see kChunkDecodeSlack).
+    scratch.SetDecodeBudget(dest.size() + kChunkDecodeSlack);
     Bytes* src = &scratch.PipelineA();
     Bytes* dst = &scratch.PipelineB();
     ByteSpan cur = payload;

@@ -49,21 +49,27 @@ StreamCompressor::PutDoubles(std::span<const double> values)
 ByteSpan
 StreamDecompressor::PeekFrame(size_t& advance) const
 {
-    FPC_PARSE_CHECK(HasNext(), "no more frames");
-    ByteReader br(stream_.subspan(pos_));
+    constexpr const char* kStage = "stream";
+    FPC_PARSE_CHECK_AT(HasNext(), "no more frames", kStage, pos_);
+    ByteReader br(stream_.subspan(pos_), kStage);
     size_t frame_size = br.GetVarint();
     ByteSpan frame = br.GetBytes(frame_size);
     advance = br.Pos();
     return frame;
 }
 
+// Next* advance pos_ only after the frame decodes cleanly: a throw from a
+// corrupt frame leaves the cursor on that frame, so a caller can repair
+// the underlying buffer (or skip the frame explicitly) and retry.
+
 Bytes
 StreamDecompressor::NextFrame()
 {
     size_t advance = 0;
     ByteSpan frame = PeekFrame(advance);
+    Bytes result = Decompress(frame, options_);
     pos_ += advance;
-    return Decompress(frame, options_);
+    return result;
 }
 
 std::vector<float>
@@ -72,11 +78,11 @@ StreamDecompressor::NextFloats()
     size_t advance = 0;
     ByteSpan frame = PeekFrame(advance);
     CheckFrameElementSize(frame, sizeof(float), "NextFloats");
-    pos_ += advance;
     Bytes raw = Decompress(frame, options_);
     FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0, "frame not floats");
     std::vector<float> values(raw.size() / sizeof(float));
     std::memcpy(values.data(), raw.data(), raw.size());
+    pos_ += advance;
     return values;
 }
 
@@ -86,11 +92,11 @@ StreamDecompressor::NextDoubles()
     size_t advance = 0;
     ByteSpan frame = PeekFrame(advance);
     CheckFrameElementSize(frame, sizeof(double), "NextDoubles");
-    pos_ += advance;
     Bytes raw = Decompress(frame, options_);
     FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0, "frame not doubles");
     std::vector<double> values(raw.size() / sizeof(double));
     std::memcpy(values.data(), raw.data(), raw.size());
+    pos_ += advance;
     return values;
 }
 

@@ -66,7 +66,10 @@ class BitArena {
     static BitArena
     FromBytes(ByteSpan in, size_t bit_count)
     {
-        FPC_PARSE_CHECK((bit_count + 7) / 8 <= in.size(),
+        // Compare in bit space: `(bit_count + 7) / 8` wraps for a
+        // bit_count near SIZE_MAX, which would pass the byte-space check
+        // and leave bit_count_ far larger than the backing words.
+        FPC_PARSE_CHECK(bit_count <= in.size() * 8,
                         "bit arena source too small");
         BitArena arena(bit_count);
         if (bit_count != 0) {

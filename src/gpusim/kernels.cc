@@ -64,12 +64,18 @@ DiffmsEncodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
 
 template <typename T>
 void
-DiffmsDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
+DiffmsDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out,
+                   size_t budget)
 {
-    ByteReader br(in);
+    constexpr const char* kStage = "DIFFMS";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    FPC_PARSE_CHECK_AT(br.Remaining() == orig_size, "DIFFMS size mismatch",
+                       kStage, 0);
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "DIFFMS declared size exceeds decode budget",
+                       kStage, 0);
     const size_t nw = orig_size / sizeof(T);
-    FPC_PARSE_CHECK(br.Remaining() == orig_size, "DIFFMS size mismatch");
 
     std::vector<T> diffs = LoadWords<T>(br.GetBytes(nw * sizeof(T)));
     block.ForEachThread([&](unsigned tid) {
@@ -179,11 +185,16 @@ MplgEncodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
 
 template <typename T>
 void
-MplgDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
+MplgDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out, size_t budget)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    ByteReader br(in);
+    constexpr const char* kStage = "MPLG";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // Same amplification hazard as the CPU decoder: all-zero widths let a
+    // corrupt orig_size size the word vector at up to 512x the input.
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "MPLG declared size exceeds decode budget", kStage, 0);
     const size_t nw = orig_size / sizeof(T);
     const size_t words_per_sub = kSubchunkSize / sizeof(T);
     const size_t n_sub = (nw + words_per_sub - 1) / words_per_sub;
@@ -192,7 +203,8 @@ MplgDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
     std::vector<uint64_t> bit_offsets(n_sub, 0);
     for (size_t s = 0; s < n_sub; ++s) {
         unsigned width = static_cast<uint8_t>(headers[s]) & 0x7fu;
-        FPC_PARSE_CHECK(width <= kWordBits, "MPLG width out of range");
+        FPC_PARSE_CHECK_AT(width <= kWordBits, "MPLG width out of range",
+                           kStage, sizeof(uint64_t) + s);
         size_t begin = s * words_per_sub;
         size_t count = std::min(nw - begin, words_per_sub);
         bit_offsets[s] = uint64_t{width} * count;
@@ -222,8 +234,8 @@ MplgDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
     });
     AppendBytes(out, AsBytes(words));
     ByteSpan tail = br.Rest();
-    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
-                    "MPLG tail size mismatch");
+    FPC_PARSE_CHECK_AT(tail.size() == orig_size - nw * sizeof(T),
+                       "MPLG tail size mismatch", kStage, br.Pos());
     AppendBytes(out, tail);
 }
 
@@ -273,10 +285,19 @@ BitEncodeDevice32(ThreadBlock& block, ByteSpan in, Bytes& out)
 }
 
 void
-BitDecodeDevice32(ThreadBlock& block, ByteSpan in, Bytes& out)
+BitDecodeDevice32(ThreadBlock& block, ByteSpan in, Bytes& out,
+                  size_t budget)
 {
-    ByteReader br(in);
+    constexpr const char* kStage = "BIT";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // BIT encode emits exactly 8 + orig_size bytes; validating that and
+    // the budget first keeps a corrupt orig_size from wrapping the
+    // bit-count products below or sizing the word vector.
+    FPC_PARSE_CHECK_AT(br.Remaining() == orig_size, "BIT size mismatch",
+                       kStage, 0);
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "BIT declared size exceeds decode budget", kStage, 0);
     const size_t nw = orig_size / sizeof(uint32_t);
     ByteSpan packed = br.GetBytes((uint64_t{nw} * 32 + 7) / 8);
     BitArena arena = BitArena::FromBytes(packed, uint64_t{nw} * 32);
@@ -471,12 +492,18 @@ RzeEncodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
 }
 
 void
-RzeDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
+RzeDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out, size_t budget)
 {
-    ByteReader br(in);
+    constexpr const char* kStage = "RZE";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // Budget before the bitmap size and the result allocation are derived
+    // from the wire-declared size.
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "RZE declared size exceeds decode budget", kStage, 0);
     const size_t nonzero_count = br.GetVarint();
-    FPC_PARSE_CHECK(nonzero_count <= orig_size, "RZE count out of range");
+    FPC_PARSE_CHECK_AT(nonzero_count <= orig_size, "RZE count out of range",
+                       kStage, sizeof(uint64_t));
 
     Bytes bitmap = DecompressBitmapDevice(block, br, (orig_size + 7) / 8);
     ByteSpan nonzero = br.GetBytes(nonzero_count);
@@ -498,8 +525,9 @@ RzeDecodeDevice(ThreadBlock& block, ByteSpan in, Bytes& out)
                 bool set =
                     (static_cast<uint8_t>(bitmap[j / 8]) >> (j % 8)) & 1u;
                 if (set) {
-                    FPC_PARSE_CHECK(rank < nonzero.size(),
-                                    "RZE payload underrun");
+                    FPC_PARSE_CHECK_AT(rank < nonzero.size(),
+                                       "RZE payload underrun", kStage,
+                                       br.Pos());
                     result[j] = nonzero[rank++];
                 } else {
                     result[j] = std::byte{0};
@@ -595,16 +623,23 @@ AdaptiveEncodeDevice(ThreadBlock& block, AdaptiveKind kind, ByteSpan in,
 template <typename T>
 void
 AdaptiveDecodeDevice(ThreadBlock& block, AdaptiveKind kind, ByteSpan in,
-                     Bytes& out)
+                     Bytes& out, size_t budget)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    ByteReader br(in);
+    const char* kStage = kind == AdaptiveKind::kZero ? "RAZE" : "RARE";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // Budget before the bitmap size, the piece/low bit counts, and the
+    // word vector are derived from the wire-declared size.
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "declared size exceeds decode budget", kStage, 0);
     const size_t nw = orig_size / sizeof(T);
     const unsigned k = br.GetU8();
-    FPC_PARSE_CHECK(k <= kWordBits, "adaptive k out of range");
+    FPC_PARSE_CHECK_AT(k <= kWordBits, "adaptive k out of range", kStage,
+                       sizeof(uint64_t));
     const size_t kept_count = br.GetVarint();
-    FPC_PARSE_CHECK(kept_count <= nw, "kept count out of range");
+    FPC_PARSE_CHECK_AT(kept_count <= nw, "kept count out of range", kStage,
+                       sizeof(uint64_t) + 1);
 
     Bytes bitmap;
     if (k > 0) bitmap = DecompressBitmapDevice(block, br, (nw + 7) / 8);
@@ -624,7 +659,14 @@ AdaptiveDecodeDevice(ThreadBlock& block, AdaptiveKind kind, ByteSpan in,
             ranks[t] = static_cast<uint32_t>(
                 std::popcount(static_cast<uint8_t>(bitmap[t])));
         }
-        BlockExclusiveScan(block, std::span<uint32_t>(ranks));
+        const uint32_t total_set =
+            BlockExclusiveScan(block, std::span<uint32_t>(ranks));
+        // A corrupt bitmap with more set bits than declared pieces would
+        // drive piece reads past the arena's end (an internal-invariant
+        // abort, not a parse error) — reject the mismatch up front.
+        FPC_PARSE_CHECK_AT(total_set == kept_count,
+                           "bitmap population does not match kept count",
+                           kStage, br.Pos());
     }
 
     std::vector<T> words(nw);
@@ -666,11 +708,14 @@ AdaptiveDecodeDevice(ThreadBlock& block, AdaptiveKind kind, ByteSpan in,
 // Stage dispatch
 // ---------------------------------------------------------------------
 
-using DeviceStageFn = void (*)(ThreadBlock&, ByteSpan, Bytes&);
+using DeviceEncodeFn = void (*)(ThreadBlock&, ByteSpan, Bytes&);
+// Decoders additionally receive the chunk decode budget (the cap on any
+// wire-declared output size; see ScratchArena::DecodeBudget).
+using DeviceDecodeFn = void (*)(ThreadBlock&, ByteSpan, Bytes&, size_t);
 
 struct DeviceStage {
-    DeviceStageFn encode;
-    DeviceStageFn decode;
+    DeviceEncodeFn encode;
+    DeviceDecodeFn decode;
 };
 
 DeviceStage
@@ -699,9 +744,9 @@ LookupDeviceStage(const std::string& name, unsigned word_size)
                     AdaptiveEncodeDevice<uint64_t>(b, AdaptiveKind::kZero,
                                                    in, out);
                 },
-                [](ThreadBlock& b, ByteSpan in, Bytes& out) {
+                [](ThreadBlock& b, ByteSpan in, Bytes& out, size_t budget) {
                     AdaptiveDecodeDevice<uint64_t>(b, AdaptiveKind::kZero,
-                                                   in, out);
+                                                   in, out, budget);
                 }};
     }
     if (name == "RARE" && word_size == 8) {
@@ -709,9 +754,9 @@ LookupDeviceStage(const std::string& name, unsigned word_size)
                     AdaptiveEncodeDevice<uint64_t>(b, AdaptiveKind::kRepeat,
                                                    in, out);
                 },
-                [](ThreadBlock& b, ByteSpan in, Bytes& out) {
+                [](ThreadBlock& b, ByteSpan in, Bytes& out, size_t budget) {
                     AdaptiveDecodeDevice<uint64_t>(b, AdaptiveKind::kRepeat,
-                                                   in, out);
+                                                   in, out, budget);
                 }};
     }
     throw UsageError("no device kernel for stage " + name);
@@ -755,6 +800,8 @@ DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
     FPC_PARSE_CHECK(!spec.stages.empty(),
                     "non-raw chunk in a stage-free pipeline");
     ThreadBlock block(0, 256);
+    // Same decode budget as the CPU pipeline driver (see DecodeChunk).
+    const size_t budget = dest.size() + kChunkDecodeSlack;
     Bytes* src = &scratch.PipelineA();
     Bytes* dst = &scratch.PipelineB();
     ByteSpan cur = payload;
@@ -762,7 +809,7 @@ DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
         DeviceStage device =
             LookupDeviceStage(spec.stages[s].name, spec.word_size);
         dst->clear();
-        device.decode(block, cur, *dst);
+        device.decode(block, cur, *dst, budget);
         std::swap(src, dst);
         cur = ByteSpan(*src);
     }
@@ -787,12 +834,17 @@ FcmEncodeDevice(ByteSpan in, Bytes& out)
 void
 FcmDecodeDevice(ByteSpan in, Bytes& out)
 {
-    ByteReader br(in);
+    constexpr const char* kStage = "FCM";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
     const size_t n = orig_size / sizeof(uint64_t);
-    FPC_PARSE_CHECK(br.Remaining() == 2 * n * sizeof(uint64_t) +
-                                          orig_size % sizeof(uint64_t),
-                    "FCM payload size mismatch");
+    // Bound n by the actual payload first so the product below cannot wrap
+    // (mirrors the CPU FcmDecode).
+    FPC_PARSE_CHECK_AT(n <= br.Remaining() / (2 * sizeof(uint64_t)),
+                       "FCM payload size mismatch", kStage, 0);
+    FPC_PARSE_CHECK_AT(br.Remaining() == 2 * n * sizeof(uint64_t) +
+                                             orig_size % sizeof(uint64_t),
+                       "FCM payload size mismatch", kStage, 0);
 
     std::vector<uint64_t> values = LoadWords<uint64_t>(br.GetBytes(n * 8));
     std::vector<uint64_t> dists = LoadWords<uint64_t>(br.GetBytes(n * 8));
@@ -805,7 +857,10 @@ FcmDecodeDevice(ByteSpan in, Bytes& out)
     for (size_t i = 0; i < n; ++i) {
         size_t j = i;
         while (true) {
-            FPC_PARSE_CHECK(dists[j] <= j, "FCM distance out of range");
+            FPC_PARSE_CHECK_AT(dists[j] <= j, "FCM distance out of range",
+                               kStage,
+                               sizeof(uint64_t) +
+                                   (n + j) * sizeof(uint64_t));
             if (dists[j] == 0) break;
             j -= dists[j];
         }

@@ -1,6 +1,7 @@
 #include "gpusim/launch.h"
 
 #include <atomic>
+#include <exception>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -46,6 +47,11 @@ DecodeChunksOn(const Device& device)
         const size_t transformed_size = view.header.transformed_size;
         std::vector<ScratchArena> arenas(MaxLaunchWorkers());
         std::atomic<bool> failed{false};
+        std::exception_ptr first_error;
+#ifdef _OPENMP
+        omp_lock_t error_lock;
+        omp_init_lock(&error_lock);
+#endif
         device.Launch(view.header.chunk_count, [&](ThreadBlock& block) {
             if (failed.load(std::memory_order_relaxed)) return;
             const size_t c = block.BlockId();
@@ -57,12 +63,32 @@ DecodeChunksOn(const Device& device)
                                          view.chunk_sizes[c]),
                     view.chunk_raw[c],
                     ChunkSlotAt(dest, transformed_size, c), scratch);
-            } catch (const std::exception&) {
-                failed.store(true);
+            } catch (...) {
+#ifdef _OPENMP
+                omp_set_lock(&error_lock);
+#endif
+                if (!failed.exchange(true)) {
+                    first_error = std::current_exception();
+                }
+#ifdef _OPENMP
+                omp_unset_lock(&error_lock);
+#endif
             }
         });
+#ifdef _OPENMP
+        omp_destroy_lock(&error_lock);
+#endif
         if (failed.load()) {
-            throw CorruptStreamError("device chunk decode failed");
+            // Rethrow the first failure so stage/offset context in a
+            // CorruptStreamError survives the launch, matching the CPU
+            // executor's error reporting.
+            try {
+                std::rethrow_exception(first_error);
+            } catch (const CorruptStreamError&) {
+                throw;
+            } catch (const std::exception& e) {
+                throw CorruptStreamError(e.what());
+            }
         }
     };
 }

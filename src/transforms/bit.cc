@@ -146,13 +146,22 @@ void
 BitDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    ByteReader br(in);
+    constexpr const char* kStage = "BIT";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // BIT encode emits exactly 8 + orig_size bytes (packed planes plus the
+    // verbatim tail); validating that and the decode budget up front keeps
+    // a corrupt orig_size from wrapping the nw * kWordBits product below or
+    // sizing the output resize.
+    FPC_PARSE_CHECK_AT(br.Remaining() == orig_size, "BIT size mismatch",
+                       kStage, 0);
+    FPC_PARSE_CHECK_AT(orig_size <= scratch.DecodeBudget(),
+                       "BIT declared size exceeds decode budget", kStage, 0);
     const size_t nw = orig_size / sizeof(T);
     ByteSpan packed = br.GetBytes((nw * kWordBits + 7) / 8);
     ByteSpan tail = br.Rest();
-    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
-                    "BIT tail size mismatch");
+    FPC_PARSE_CHECK_AT(tail.size() == orig_size - nw * sizeof(T),
+                       "BIT tail size mismatch", kStage, br.Pos());
 
     const size_t base = out.size();
     out.resize(base + orig_size);

@@ -18,6 +18,8 @@ namespace fpc::tf {
 
 namespace {
 
+constexpr const char* kDiffmsStage = "DIFFMS";
+
 template <typename T>
 void
 DiffmsEncodeImpl(ByteSpan in, Bytes& out)
@@ -53,10 +55,12 @@ template <typename T>
 void
 DiffmsDecodeIntoImpl(ByteSpan in, std::span<std::byte> dest)
 {
-    ByteReader br(in);
+    ByteReader br(in, kDiffmsStage);
     const size_t orig_size = br.Get<uint64_t>();
-    FPC_PARSE_CHECK(orig_size == dest.size(), "DIFFMS size mismatch");
-    FPC_PARSE_CHECK(br.Remaining() == orig_size, "DIFFMS size mismatch");
+    FPC_PARSE_CHECK_AT(orig_size == dest.size(), "DIFFMS size mismatch",
+                       kDiffmsStage, 0);
+    FPC_PARSE_CHECK_AT(br.Remaining() == orig_size, "DIFFMS size mismatch",
+                       kDiffmsStage, 0);
     const size_t nw = orig_size / sizeof(T);
     ByteSpan words = br.GetBytes(nw * sizeof(T));
 
@@ -73,9 +77,18 @@ DiffmsDecodeIntoImpl(ByteSpan in, std::span<std::byte> dest)
 
 template <typename T>
 void
-DiffmsDecodeImpl(ByteSpan in, Bytes& out)
+DiffmsDecodeImpl(ByteSpan in, Bytes& out, size_t budget)
 {
+    FPC_PARSE_CHECK_AT(in.size() >= sizeof(uint64_t), "read past end",
+                       kDiffmsStage, 0);
     const size_t orig_size = ReadRaw<uint64_t>(in, 0);
+    // DIFFMS encode emits exactly 8 + orig_size bytes; validate that and
+    // the decode budget before sizing the output from the wire field.
+    FPC_PARSE_CHECK_AT(orig_size == in.size() - sizeof(uint64_t),
+                       "DIFFMS size mismatch", kDiffmsStage, 0);
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "DIFFMS declared size exceeds decode budget",
+                       kDiffmsStage, 0);
     const size_t base = out.size();
     out.resize(base + orig_size);
     DiffmsDecodeIntoImpl<T>(in,
@@ -86,9 +99,9 @@ DiffmsDecodeImpl(ByteSpan in, Bytes& out)
 }  // namespace
 
 void DiffmsEncode32(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsEncodeImpl<uint32_t>(in, out); }
-void DiffmsDecode32(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsDecodeImpl<uint32_t>(in, out); }
+void DiffmsDecode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { DiffmsDecodeImpl<uint32_t>(in, out, scratch.DecodeBudget()); }
 void DiffmsEncode64(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsEncodeImpl<uint64_t>(in, out); }
-void DiffmsDecode64(ByteSpan in, Bytes& out, ScratchArena&) { DiffmsDecodeImpl<uint64_t>(in, out); }
+void DiffmsDecode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { DiffmsDecodeImpl<uint64_t>(in, out, scratch.DecodeBudget()); }
 
 void
 DiffmsDecodeInto32(ByteSpan in, std::span<std::byte> dest, ScratchArena&)
@@ -103,8 +116,8 @@ DiffmsDecodeInto64(ByteSpan in, std::span<std::byte> dest, ScratchArena&)
 }
 
 void DiffmsEncode32(ByteSpan in, Bytes& out) { DiffmsEncodeImpl<uint32_t>(in, out); }
-void DiffmsDecode32(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint32_t>(in, out); }
+void DiffmsDecode32(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint32_t>(in, out, SIZE_MAX); }
 void DiffmsEncode64(ByteSpan in, Bytes& out) { DiffmsEncodeImpl<uint64_t>(in, out); }
-void DiffmsDecode64(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint64_t>(in, out); }
+void DiffmsDecode64(ByteSpan in, Bytes& out) { DiffmsDecodeImpl<uint64_t>(in, out, SIZE_MAX); }
 
 }  // namespace fpc::tf

@@ -84,12 +84,18 @@ FcmEncode(ByteSpan in, Bytes& out)
 void
 FcmDecode(ByteSpan in, Bytes& out)
 {
-    ByteReader br(in);
+    constexpr const char* kStage = "FCM";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
     const size_t n = orig_size / sizeof(uint64_t);
-    FPC_PARSE_CHECK(br.Remaining() == 2 * n * sizeof(uint64_t) +
-                                          orig_size % sizeof(uint64_t),
-                    "FCM payload size mismatch");
+    // Bound n by the actual payload first: for a huge wire-declared
+    // orig_size the product in the equality check below would wrap and
+    // could spuriously pass.
+    FPC_PARSE_CHECK_AT(n <= br.Remaining() / (2 * sizeof(uint64_t)),
+                       "FCM payload size mismatch", kStage, 0);
+    FPC_PARSE_CHECK_AT(br.Remaining() == 2 * n * sizeof(uint64_t) +
+                                             orig_size % sizeof(uint64_t),
+                       "FCM payload size mismatch", kStage, 0);
 
     std::vector<uint64_t> values = LoadWords<uint64_t>(br.GetBytes(n * 8));
     std::vector<uint64_t> dists = LoadWords<uint64_t>(br.GetBytes(n * 8));
@@ -102,7 +108,9 @@ FcmDecode(ByteSpan in, Bytes& out)
         if (dists[i] == 0) {
             result[i] = values[i];
         } else {
-            FPC_PARSE_CHECK(dists[i] <= i, "FCM distance out of range");
+            FPC_PARSE_CHECK_AT(dists[i] <= i, "FCM distance out of range",
+                               kStage,
+                               sizeof(uint64_t) + (n + i) * sizeof(uint64_t));
             result[i] = result[i - dists[i]];
         }
     }

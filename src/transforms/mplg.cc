@@ -141,11 +141,18 @@ MplgEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 
 template <typename T>
 void
-MplgDecodeImpl(ByteSpan in, Bytes& out)
+MplgDecodeImpl(ByteSpan in, Bytes& out, size_t budget)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    ByteReader br(in);
+    constexpr const char* kStage = "MPLG";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // A corrupt orig_size with all-zero widths would otherwise force an
+    // out.resize of up to 512x the input size (one header byte per
+    // 512-byte subchunk); reject against the decode budget before any
+    // quantity is derived from the wire field.
+    FPC_PARSE_CHECK_AT(orig_size <= budget,
+                       "MPLG declared size exceeds decode budget", kStage, 0);
     const size_t nw = orig_size / sizeof(T);
     const size_t words_per_sub = kSubchunkSize / sizeof(T);
     const size_t n_sub = (nw + words_per_sub - 1) / words_per_sub;
@@ -154,14 +161,15 @@ MplgDecodeImpl(ByteSpan in, Bytes& out)
     size_t total_bits = 0;
     for (size_t s = 0; s < n_sub; ++s) {
         const unsigned width = static_cast<uint8_t>(headers[s]) & 0x7f;
-        FPC_PARSE_CHECK(width <= kWordBits, "MPLG width out of range");
+        FPC_PARSE_CHECK_AT(width <= kWordBits, "MPLG width out of range",
+                           kStage, sizeof(uint64_t) + s);
         const size_t begin = s * words_per_sub;
         total_bits += width * std::min(nw - begin, words_per_sub);
     }
     ByteSpan packed = br.GetBytes((total_bits + 7) / 8);
     ByteSpan tail = br.Rest();
-    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
-                    "MPLG tail size mismatch");
+    FPC_PARSE_CHECK_AT(tail.size() == orig_size - nw * sizeof(T),
+                       "MPLG tail size mismatch", kStage, br.Pos());
 
     const size_t base = out.size();
     out.resize(base + orig_size);
@@ -187,9 +195,9 @@ MplgDecodeImpl(ByteSpan in, Bytes& out)
 }  // namespace
 
 void MplgEncode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { MplgEncodeImpl<uint32_t>(in, out, scratch); }
-void MplgDecode32(ByteSpan in, Bytes& out, ScratchArena&) { MplgDecodeImpl<uint32_t>(in, out); }
+void MplgDecode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { MplgDecodeImpl<uint32_t>(in, out, scratch.DecodeBudget()); }
 void MplgEncode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { MplgEncodeImpl<uint64_t>(in, out, scratch); }
-void MplgDecode64(ByteSpan in, Bytes& out, ScratchArena&) { MplgDecodeImpl<uint64_t>(in, out); }
+void MplgDecode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { MplgDecodeImpl<uint64_t>(in, out, scratch.DecodeBudget()); }
 
 void
 MplgEncode32(ByteSpan in, Bytes& out)
@@ -205,7 +213,7 @@ MplgEncode64(ByteSpan in, Bytes& out)
     MplgEncodeImpl<uint64_t>(in, out, scratch);
 }
 
-void MplgDecode32(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint32_t>(in, out); }
-void MplgDecode64(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint64_t>(in, out); }
+void MplgDecode32(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint32_t>(in, out, SIZE_MAX); }
+void MplgDecode64(ByteSpan in, Bytes& out) { MplgDecodeImpl<uint64_t>(in, out, SIZE_MAX); }
 
 }  // namespace fpc::tf

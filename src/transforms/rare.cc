@@ -88,21 +88,29 @@ void
 RareDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
-    ByteReader br(in);
+    constexpr const char* kStage = "RARE";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // Budget before the bitmap size, the piece/low bit counts (whose
+    // products would wrap for a huge nw), and the output resize are all
+    // derived from the wire-declared size.
+    FPC_PARSE_CHECK_AT(orig_size <= scratch.DecodeBudget(),
+                       "RARE declared size exceeds decode budget", kStage, 0);
     const size_t nw = orig_size / sizeof(T);
     const unsigned k = br.GetU8();
-    FPC_PARSE_CHECK(k <= kWordBits, "RARE k out of range");
+    FPC_PARSE_CHECK_AT(k <= kWordBits, "RARE k out of range", kStage,
+                       sizeof(uint64_t));
     const size_t kept_count = br.GetVarint();
-    FPC_PARSE_CHECK(kept_count <= nw, "RARE kept count out of range");
+    FPC_PARSE_CHECK_AT(kept_count <= nw, "RARE kept count out of range",
+                       kStage, sizeof(uint64_t) + 1);
 
     ByteSpan bitmap;
     if (k > 0) bitmap = ByteSpan(DecompressBitmap(br, (nw + 7) / 8, scratch));
     ByteSpan pieces = br.GetBytes((kept_count * k + 7) / 8);
     ByteSpan lows = br.GetBytes((nw * (kWordBits - k) + 7) / 8);
     ByteSpan tail = br.Rest();
-    FPC_PARSE_CHECK(tail.size() == orig_size - nw * sizeof(T),
-                    "RARE tail size mismatch");
+    FPC_PARSE_CHECK_AT(tail.size() == orig_size - nw * sizeof(T),
+                       "RARE tail size mismatch", kStage, br.Pos());
 
     const size_t base = out.size();
     out.resize(base + orig_size);

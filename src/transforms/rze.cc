@@ -47,10 +47,17 @@ RzeEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 void
 RzeDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
-    ByteReader br(in);
+    constexpr const char* kStage = "RZE";
+    ByteReader br(in, kStage);
     const size_t orig_size = br.Get<uint64_t>();
+    // Budget before anything (bitmap size, output resize) is derived from
+    // the wire-declared size: the recursively expanded bitmap alone would
+    // otherwise amplify a corrupt orig_size into a huge allocation.
+    FPC_PARSE_CHECK_AT(orig_size <= scratch.DecodeBudget(),
+                       "RZE declared size exceeds decode budget", kStage, 0);
     const size_t nonzero_count = br.GetVarint();
-    FPC_PARSE_CHECK(nonzero_count <= orig_size, "RZE count out of range");
+    FPC_PARSE_CHECK_AT(nonzero_count <= orig_size, "RZE count out of range",
+                       kStage, sizeof(uint64_t));
 
     const Bytes& bitmap =
         DecompressBitmap(br, (orig_size + 7) / 8, scratch);
@@ -65,10 +72,10 @@ RzeDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
     for (; i + 8 <= orig_size; i += 8) {
         uint8_t bits = static_cast<uint8_t>(bitmap[i / 8]);
         if (bits == 0) continue;
-        FPC_PARSE_CHECK(
+        FPC_PARSE_CHECK_AT(
             next + static_cast<unsigned>(std::popcount(bits)) <=
                 nonzero.size(),
-            "RZE payload underrun");
+            "RZE payload underrun", kStage, br.Pos());
         while (bits != 0) {
             unsigned j = static_cast<unsigned>(std::countr_zero(bits));
             dest[i + j] = nonzero[next++];
@@ -77,7 +84,8 @@ RzeDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
     }
     for (; i < orig_size; ++i) {
         if ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u) {
-            FPC_PARSE_CHECK(next < nonzero.size(), "RZE payload underrun");
+            FPC_PARSE_CHECK_AT(next < nonzero.size(), "RZE payload underrun",
+                               kStage, br.Pos());
             dest[i] = nonzero[next++];
         }
     }

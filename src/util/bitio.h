@@ -119,7 +119,9 @@ class RawBitSink {
 /** Bounds-checked LSB-first bit stream reader. */
 class BitReader {
  public:
-    explicit BitReader(ByteSpan in) : in_(in) {}
+    /** @p stage, if given, names the decode stage in thrown errors. */
+    explicit BitReader(ByteSpan in, const char* stage = nullptr)
+        : in_(in), stage_(stage) {}
 
     /** Read @p nbits bits (0..64). Throws CorruptStreamError past the end. */
     uint64_t
@@ -127,7 +129,12 @@ class BitReader {
     {
         FPC_CHECK(nbits <= 64, "bit count out of range");
         if (nbits == 0) return 0;
-        FPC_PARSE_CHECK(pos_ + nbits <= in_.size() * 8, "bit read past end");
+        // Subtract form: pos_ <= size*8 is a class invariant (it only grows
+        // after this check passes, and AlignToByte cannot exceed a whole
+        // number of bytes), so the difference cannot wrap the way
+        // `pos_ + nbits` could.
+        FPC_PARSE_CHECK_AT(nbits <= in_.size() * 8 - pos_,
+                           "bit read past end", stage_, pos_ / 8);
         const size_t byte = pos_ / 8;
         const unsigned shift = pos_ % 8;
         uint64_t value;
@@ -168,6 +175,7 @@ class BitReader {
  private:
     ByteSpan in_;
     size_t pos_ = 0;
+    const char* stage_ = nullptr;
 };
 
 /** Byte stream writer with varint support. */
@@ -202,12 +210,15 @@ class ByteWriter {
 /** Bounds-checked byte stream reader with varint support. */
 class ByteReader {
  public:
-    explicit ByteReader(ByteSpan in) : in_(in) {}
+    /** @p stage, if given, names the decode stage in thrown errors. */
+    explicit ByteReader(ByteSpan in, const char* stage = nullptr)
+        : in_(in), stage_(stage) {}
 
     uint8_t
     GetU8()
     {
-        FPC_PARSE_CHECK(pos_ < in_.size(), "byte read past end");
+        FPC_PARSE_CHECK_AT(pos_ < in_.size(), "byte read past end",
+                           stage_, pos_);
         return static_cast<uint8_t>(in_[pos_++]);
     }
 
@@ -215,7 +226,11 @@ class ByteReader {
     T
     Get()
     {
-        T v = ReadRaw<T>(in_, pos_);
+        // pos_ <= size is a class invariant, so the subtraction is safe.
+        FPC_PARSE_CHECK_AT(sizeof(T) <= in_.size() - pos_, "read past end",
+                           stage_, pos_);
+        T v;
+        std::memcpy(&v, in_.data() + pos_, sizeof(T));
         pos_ += sizeof(T);
         return v;
     }
@@ -223,7 +238,11 @@ class ByteReader {
     ByteSpan
     GetBytes(size_t n)
     {
-        FPC_PARSE_CHECK(pos_ + n <= in_.size(), "span read past end");
+        // Subtract form: `pos_ + n` wraps when n comes from a corrupt
+        // varint near SIZE_MAX, which would pass the naive check and hand
+        // span::subspan an out-of-range length (UB).
+        FPC_PARSE_CHECK_AT(n <= in_.size() - pos_, "span read past end",
+                           stage_, pos_);
         ByteSpan s = in_.subspan(pos_, n);
         pos_ += n;
         return s;
@@ -235,7 +254,7 @@ class ByteReader {
         uint64_t v = 0;
         unsigned shift = 0;
         for (;;) {
-            FPC_PARSE_CHECK(shift < 64, "varint too long");
+            FPC_PARSE_CHECK_AT(shift < 64, "varint too long", stage_, pos_);
             uint8_t b = GetU8();
             v |= static_cast<uint64_t>(b & 0x7f) << shift;
             if (!(b & 0x80)) return v;
@@ -250,6 +269,7 @@ class ByteReader {
  private:
     ByteSpan in_;
     size_t pos_ = 0;
+    const char* stage_ = nullptr;
 };
 
 }  // namespace fpc

@@ -25,11 +25,54 @@ namespace fpc {
 using Bytes = std::vector<std::byte>;
 using ByteSpan = std::span<const std::byte>;
 
-/** Thrown when a compressed stream is malformed, truncated, or corrupt. */
+/** Sentinel for "byte offset unknown" in CorruptStreamError. */
+inline constexpr size_t kNoOffset = static_cast<size_t>(-1);
+
+/**
+ * Thrown when a compressed stream is malformed, truncated, or corrupt.
+ *
+ * Carries the decode stage that rejected the input ("MPLG", "container",
+ * "stream", ...) and the byte offset of the failed read, relative to the
+ * payload that stage was decoding. Both are optional: errors raised before
+ * a stage is known report Stage() == nullptr / Offset() == kNoOffset.
+ */
 class CorruptStreamError : public std::runtime_error {
  public:
     explicit CorruptStreamError(const std::string& what)
-        : std::runtime_error("fpcomp: corrupt stream: " + what) {}
+        : CorruptStreamError(nullptr, kNoOffset, what) {}
+
+    CorruptStreamError(const char* stage, size_t offset,
+                       const std::string& what)
+        : std::runtime_error(Format(stage, offset, what)),
+          stage_(stage),
+          offset_(offset) {}
+
+    /** Decode stage that rejected the input, or nullptr if unknown. */
+    const char* Stage() const noexcept { return stage_; }
+
+    /** Byte offset within that stage's payload, or kNoOffset. */
+    size_t Offset() const noexcept { return offset_; }
+
+ private:
+    static std::string
+    Format(const char* stage, size_t offset, const std::string& what)
+    {
+        std::string m = "fpcomp: corrupt stream: ";
+        if (stage != nullptr) {
+            m += '[';
+            m += stage;
+            if (offset != kNoOffset) {
+                m += " @ byte ";
+                m += std::to_string(offset);
+            }
+            m += "] ";
+        }
+        m += what;
+        return m;
+    }
+
+    const char* stage_;
+    size_t offset_;
 };
 
 /** Thrown on API misuse (bad arguments, unknown algorithm ids, ...). */
@@ -56,6 +99,14 @@ class UsageError : public std::invalid_argument {
 #define FPC_PARSE_CHECK(cond, msg)                                            \
     do {                                                                      \
         if (!(cond)) throw ::fpc::CorruptStreamError(msg);                    \
+    } while (0)
+
+/** FPC_PARSE_CHECK with stage name / byte offset attached to the error. */
+#define FPC_PARSE_CHECK_AT(cond, msg, stage, offset)                          \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            throw ::fpc::CorruptStreamError((stage), (offset), (msg));        \
+        }                                                                     \
     } while (0)
 
 /** Reinterpret a value's object representation as another same-sized type. */
@@ -90,7 +141,10 @@ template <typename T>
 inline T
 ReadRaw(ByteSpan in, size_t offset)
 {
-    FPC_PARSE_CHECK(offset + sizeof(T) <= in.size(), "read past end");
+    // Subtract-form bounds check: `offset + sizeof(T)` would wrap for an
+    // attacker-controlled offset near SIZE_MAX and pass the naive check.
+    FPC_PARSE_CHECK(offset <= in.size() && sizeof(T) <= in.size() - offset,
+                    "read past end");
     T value;
     std::memcpy(&value, in.data() + offset, sizeof(T));
     return value;
@@ -151,6 +205,16 @@ inline constexpr size_t kChunkSize = 16384;
 
 /** MPLG subchunk size: 32 subchunks per chunk (paper Section 3.1). */
 inline constexpr size_t kSubchunkSize = 512;
+
+/**
+ * Slack added on top of the destination chunk size to form a chunk's decode
+ * budget (ScratchArena::DecodeBudget). Legitimately encoded intermediate
+ * stage outputs exceed the chunk size only by per-stage framing: an 8-byte
+ * size header per stage plus the adaptive transforms' bitmap framing
+ * (~ chunk/8 bits compressed, well under 1 KiB per stage at 16 KiB chunks).
+ * 2 KiB covers the deepest pipeline (DIFFMS+RAZE+RARE) with margin.
+ */
+inline constexpr size_t kChunkDecodeSlack = 2048;
 
 }  // namespace fpc
 

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Structure-aware corruption-injection harness (the "no byte of damage may
+ * do anything but throw CorruptStreamError" property): golden containers
+ * for all four algorithms are mutated at EVERY byte position (single-bit
+ * flip, zero, 0xFF) and truncated at every length, then decoded on both
+ * the cpu and gpusim backends. Every attempt must either throw
+ * CorruptStreamError or round-trip the exact original bytes — never crash,
+ * hang, or allocate more than a fixed cap (global operator new is replaced
+ * with a max-single-allocation tracker, so decompression-bomb amplification
+ * from forged size fields fails the test even when the decode eventually
+ * throws). The single tolerated exception is payload damage that collides
+ * with the stored 64-bit content checksum — the wire format's only stored
+ * redundancy — which the harness identifies exactly and bounds (see
+ * ExpectSafeDecode and DESIGN.md "Untrusted-input validation"). Also pins
+ * the stream-layer recovery contract: a corrupt frame leaves the cursor in
+ * place so callers can repair and retry.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string_view>
+
+#include "core/codec.h"
+#include "core/container.h"
+#include "core/executor.h"
+#include "core/stream.h"
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace {
+
+std::atomic<size_t> g_max_alloc{0};
+
+void
+NoteAlloc(std::size_t size)
+{
+    size_t cur = g_max_alloc.load(std::memory_order_relaxed);
+    while (size > cur && !g_max_alloc.compare_exchange_weak(
+                             cur, size, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    NoteAlloc(size);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    NoteAlloc(size);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace fpc {
+namespace {
+
+/**
+ * Hard cap on any single heap allocation during a decode attempt. The
+ * legitimate maximum is tens of KiB (a chunk plus kChunkDecodeSlack, the
+ * FCM word arrays for these inputs, the output buffer itself); a forged
+ * size field that escaped budget enforcement would ask for MiB to GiB.
+ */
+constexpr size_t kMaxSingleAllocation = size_t{4} << 20;
+
+/** Smooth low-entropy walk, the same character as executor_test's golden
+ *  inputs (compressible, so the coded paths — not raw chunks — are hit). */
+Bytes
+SmoothInput(size_t n_bytes, uint64_t seed)
+{
+    Bytes data(n_bytes);
+    uint64_t state = seed;
+    uint32_t x = 0x3f800000u;
+    for (size_t i = 0; i + 4 <= n_bytes; i += 4) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        x += static_cast<uint32_t>((state >> 33) & 0x3ff) - 512;
+        std::memcpy(data.data() + i, &x, 4);
+    }
+    for (size_t i = n_bytes & ~size_t{3}; i < n_bytes; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        data[i] = static_cast<std::byte>(state >> 56);
+    }
+    return data;
+}
+
+constexpr Algorithm kAlgorithms[] = {
+    Algorithm::kSPspeed,
+    Algorithm::kSPratio,
+    Algorithm::kDPspeed,
+    Algorithm::kDPratio,
+};
+
+struct SweepStats {
+    size_t attempts = 0;
+    size_t silent_escapes = 0;
+};
+
+/**
+ * One decode attempt. The required outcome is: throw CorruptStreamError or
+ * reproduce the original bytes, under the allocation cap either way. One
+ * narrow third outcome is tolerated and counted: damage to *payload* bytes
+ * whose decoded result collides with the stored 64-bit content checksum.
+ * That channel is inherent to the frozen wire format — the header checksum
+ * is the only stored redundancy, and no decode-side check can tell a
+ * colliding output from clean data (see DESIGN.md "Untrusted-input
+ * validation" for the collision pattern and the fix path). Mutations of
+ * structural bytes (header + chunk table, pos < payload_start) are fully
+ * cross-checked and get no such exemption.
+ */
+void
+ExpectSafeDecode(ByteSpan container, const Bytes& original,
+                 const Options& options, size_t pos, int mutant,
+                 size_t payload_start, SweepStats& stats)
+{
+    ++stats.attempts;
+    g_max_alloc.store(0, std::memory_order_relaxed);
+    try {
+        Bytes out = Decompress(container, options);
+        if (out != original) {
+            EXPECT_EQ(Checksum64(ByteSpan(out)),
+                      Checksum64(ByteSpan(original)))
+                << "mutant " << mutant << " at byte " << pos
+                << " silently decoded to wrong bytes that the content "
+                << "checksum should have caught";
+            EXPECT_GE(pos, payload_start)
+                << "structural mutation at byte " << pos
+                << " escaped the header/chunk-table cross-checks";
+            ++stats.silent_escapes;
+        }
+    } catch (const CorruptStreamError&) {
+        // The expected rejection.
+    }
+    EXPECT_LE(g_max_alloc.load(std::memory_order_relaxed),
+              kMaxSingleAllocation)
+        << "oversized allocation decoding mutant " << mutant << " at byte "
+        << pos;
+}
+
+class CorruptionSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, const char*>> {};
+
+TEST_P(CorruptionSweep, EveryByteMutationIsRejectedOrHarmless)
+{
+    auto [algo_idx, backend] = GetParam();
+    const Algorithm algorithm = kAlgorithms[algo_idx];
+    // DPratio's FCM pre-stage doubles the transformed stream, so halve the
+    // input to keep the sweep size comparable; all containers span at
+    // least two 16 KiB chunks so the chunk table is exercised.
+    const size_t n_bytes =
+        algorithm == Algorithm::kDPratio ? 9000 : 18000;
+    const Bytes input = SmoothInput(n_bytes, 0xabcd + algo_idx);
+    Bytes container = Compress(algorithm, ByteSpan(input));
+    const CompressedInfo info = Inspect(ByteSpan(container));
+    ASSERT_GE(info.chunk_count, 2u);
+    const size_t payload_start =
+        ContainerHeaderSize() + info.chunk_count * sizeof(uint32_t);
+
+    Options options;
+    options.executor = &GetExecutor(backend);
+    options.threads = 2;
+
+    SweepStats stats;
+
+    // The undamaged container must round-trip (and obey the cap).
+    ExpectSafeDecode(ByteSpan(container), input, options, SIZE_MAX, -1,
+                     payload_start, stats);
+    ASSERT_EQ(stats.silent_escapes, 0u);
+
+    // cpu: all three mutants at every position. gpusim models the same
+    // kernels but is slower per call, so it rotates through the mutants —
+    // still covering every byte position of every container.
+    const bool all_mutants = std::string_view(backend) == "cpu";
+    for (size_t pos = 0; pos < container.size(); ++pos) {
+        const auto orig = static_cast<uint8_t>(container[pos]);
+        const uint8_t mutants[3] = {static_cast<uint8_t>(orig ^ 0x01), 0x00,
+                                    0xff};
+        const int first = all_mutants ? 0 : static_cast<int>(pos % 3);
+        const int last = all_mutants ? 2 : first;
+        for (int m = first; m <= last; ++m) {
+            if (mutants[m] == orig) continue;
+            container[pos] = static_cast<std::byte>(mutants[m]);
+            ExpectSafeDecode(ByteSpan(container), input, options, pos, m,
+                             payload_start, stats);
+        }
+        container[pos] = static_cast<std::byte>(orig);
+    }
+
+    // The checksum-collision channel must stay what it is: a rare payload
+    // accident (~2^-4 for the DIFFMS constant-offset pattern, see
+    // DESIGN.md), not a systematic validation hole.
+    EXPECT_LT(stats.silent_escapes, stats.attempts / 100)
+        << stats.silent_escapes << " of " << stats.attempts
+        << " mutants decoded to wrong bytes";
+}
+
+TEST_P(CorruptionSweep, EveryTruncationLengthThrows)
+{
+    auto [algo_idx, backend] = GetParam();
+    const Algorithm algorithm = kAlgorithms[algo_idx];
+    const size_t n_bytes =
+        algorithm == Algorithm::kDPratio ? 9000 : 18000;
+    const Bytes input = SmoothInput(n_bytes, 0xabcd + algo_idx);
+    const Bytes container = Compress(algorithm, ByteSpan(input));
+
+    Options options;
+    options.executor = &GetExecutor(backend);
+    options.threads = 2;
+
+    // A shortened container can never round-trip; every prefix length must
+    // be rejected (header cut, chunk-table cut, payload cut alike).
+    for (size_t len = 0; len < container.size(); ++len) {
+        g_max_alloc.store(0, std::memory_order_relaxed);
+        EXPECT_THROW(Decompress(ByteSpan(container.data(), len), options),
+                     CorruptStreamError)
+            << "truncated to " << len << " of " << container.size();
+        EXPECT_LE(g_max_alloc.load(std::memory_order_relaxed),
+                  kMaxSingleAllocation)
+            << "oversized allocation at truncation " << len;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, CorruptionSweep,
+    ::testing::Combine(::testing::Range(size_t{0}, size_t{4}),
+                       ::testing::Values("cpu", "gpusim:4090")),
+    [](const auto& info) {
+        std::string backend = std::get<1>(info.param);
+        for (char& c : backend) {
+            if (c == ':') c = '_';
+        }
+        return std::string(
+                   AlgorithmName(kAlgorithms[std::get<0>(info.param)])) +
+               "_" + backend;
+    });
+
+TEST(CorruptionError, TruncationReportsStageAndOffset)
+{
+    const Bytes input = SmoothInput(18000, 7);
+    const Bytes container = Compress(Algorithm::kSPspeed, ByteSpan(input));
+    try {
+        Decompress(ByteSpan(container.data(), container.size() - 5));
+        FAIL() << "truncated container decoded";
+    } catch (const CorruptStreamError& e) {
+        EXPECT_STREQ(e.Stage(), "container");
+        EXPECT_NE(e.Offset(), kNoOffset);
+        EXPECT_NE(std::string(e.what()).find("[container"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CorruptionStream, NearSizeMaxFrameLengthDoesNotWrap)
+{
+    // Regression for the wrap-prone reader bounds: a stream frame whose
+    // varint length is near SIZE_MAX must throw, not wrap `pos_ + n` and
+    // read out of bounds (or allocate).
+    for (uint64_t declared :
+         {uint64_t{SIZE_MAX}, uint64_t{SIZE_MAX} - 7, uint64_t{1} << 62}) {
+        Bytes stream;
+        ByteWriter wr(stream);
+        wr.PutVarint(declared);
+        for (int i = 0; i < 64; ++i) wr.PutU8(0x5a);
+
+        StreamDecompressor dec{ByteSpan(stream)};
+        g_max_alloc.store(0, std::memory_order_relaxed);
+        EXPECT_THROW(dec.NextFrame(), CorruptStreamError);
+        EXPECT_LE(g_max_alloc.load(std::memory_order_relaxed),
+                  kMaxSingleAllocation);
+        // The failed frame was not consumed.
+        EXPECT_TRUE(dec.HasNext());
+    }
+}
+
+TEST(CorruptionStream, CorruptFrameLeavesCursorForRetry)
+{
+    std::vector<float> frame0(5000);
+    std::vector<float> frame1(300);
+    for (size_t i = 0; i < frame0.size(); ++i) {
+        frame0[i] = 0.5f * static_cast<float>(i % 61);
+    }
+    for (size_t i = 0; i < frame1.size(); ++i) {
+        frame1[i] = 2.0f / static_cast<float>(i + 1);
+    }
+    StreamCompressor compressor(Algorithm::kSPspeed);
+    compressor.PutFloats(frame0);
+    compressor.PutFloats(frame1);
+    Bytes stream = compressor.Stream();
+
+    // Damage a byte of the first frame's container header (well past the
+    // frame-length varint). The decompressor views the caller's buffer, so
+    // the caller can repair it in place and retry.
+    const size_t target = 20;
+    const std::byte original = stream[target];
+    stream[target] ^= std::byte{0xff};
+
+    StreamDecompressor dec{ByteSpan(stream)};
+    EXPECT_THROW(dec.NextFrame(), CorruptStreamError);
+    EXPECT_TRUE(dec.HasNext());
+    EXPECT_THROW(dec.NextFloats(), CorruptStreamError);
+    EXPECT_TRUE(dec.HasNext());
+
+    stream[target] = original;
+    EXPECT_EQ(dec.NextFloats(), frame0);
+    EXPECT_EQ(dec.NextFloats(), frame1);
+    EXPECT_FALSE(dec.HasNext());
+}
+
+}  // namespace
+}  // namespace fpc

@@ -4,6 +4,8 @@
 # Exercises the full user-visible loop: compress on the CPU backend,
 # `inspect` the container (one JSON line), decompress on a gpusim backend
 # (cross-device compatibility), and compare against the input bytes.
+# Also pins the exit-code contract: 2 for usage errors, 3 for corrupt or
+# truncated compressed input (distinct from 1 for I/O failures).
 
 if(NOT FPCZIP OR NOT WORK_DIR)
     message(FATAL_ERROR "usage: cmake -DFPCZIP=... -DWORK_DIR=... -P fpczip_smoke.cmake")
@@ -54,7 +56,29 @@ if(NOT original STREQUAL roundtrip)
     message(FATAL_ERROR "round trip through fpczip changed the bytes")
 endif()
 
-# unknown backend must fail with a usage error, not crash
-run_fpczip(1 -c --backend=tpu "${input}" "${packed}.bad")
+# unknown backend must fail with the usage exit code, not crash
+run_fpczip(2 -c --backend=tpu "${input}" "${packed}.bad")
+
+# bytes that are not a container must be rejected with the dedicated
+# corrupt-stream exit code (3), distinct from usage and I/O failures
+set(nonsense "${WORK_DIR}/not-a-container.fpcz")
+file(WRITE "${nonsense}"
+    "this is not an fpcz container but is longer than a header")
+run_fpczip(3 -d "${nonsense}" "${restored}.bad")
+
+# a truncated container (last 64 bytes missing) must also exit 3
+find_program(HEAD_TOOL head)
+if(HEAD_TOOL)
+    set(truncated "${WORK_DIR}/truncated.fpcz")
+    file(SIZE "${packed}" packed_size)
+    math(EXPR keep "${packed_size} - 64")
+    execute_process(COMMAND "${HEAD_TOOL}" -c ${keep} "${packed}"
+        OUTPUT_FILE "${truncated}"
+        RESULT_VARIABLE head_rc)
+    if(NOT head_rc EQUAL 0)
+        message(FATAL_ERROR "head -c ${keep} failed: ${head_rc}")
+    endif()
+    run_fpczip(3 -d "${truncated}" "${restored}.bad")
+endif()
 
 message(STATUS "fpczip smoke test passed")

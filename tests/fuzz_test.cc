@@ -10,6 +10,7 @@
 
 #include "core/codec.h"
 #include "transforms/bitmap_codec.h"
+#include "transforms/transforms.h"
 #include "util/bitio.h"
 #include "util/hash.h"
 
@@ -213,6 +214,123 @@ TEST(FuzzContainer, RejectsTruncation)
         Bytes bad(c.begin(), c.begin() + static_cast<ptrdiff_t>(cut));
         EXPECT_THROW(Decompress(ByteSpan(bad)), CorruptStreamError)
             << "truncated to " << cut << " bytes";
+    }
+}
+
+/**
+ * Per-transform decoder fuzzing: encode a valid input, then hit the coded
+ * bytes with an exhaustive mutation + truncation sweep and decode on an
+ * arena whose decode budget matches what the chunk pipeline would set. A
+ * stage decoder has no checksum, so a mutant may decode "successfully" to
+ * wrong bytes — the container layer catches that — but it must never
+ * crash, hang, or throw anything except CorruptStreamError, and must
+ * respect the budget.
+ */
+void
+SweepTransformDecoder(const char* name,
+                      void (*encode)(ByteSpan, Bytes&, ScratchArena&),
+                      void (*decode)(ByteSpan, Bytes&, ScratchArena&),
+                      ByteSpan input)
+{
+    ScratchArena scratch;
+    Bytes coded;
+    encode(input, coded, scratch);
+
+    ScratchArena decode_scratch;
+    decode_scratch.SetDecodeBudget(input.size() + kChunkDecodeSlack);
+    const auto attempt = [&](ByteSpan damaged, size_t pos, int mutant) {
+        Bytes out;
+        try {
+            decode(damaged, out, decode_scratch);
+        } catch (const CorruptStreamError&) {
+            return;  // the expected rejection
+        }
+        // Tolerated: decoded without error. The budget bounds the output.
+        EXPECT_LE(out.size(), input.size() + kChunkDecodeSlack)
+            << name << " mutant " << mutant << " at byte " << pos
+            << " exceeded the decode budget";
+    };
+
+    Bytes damaged = coded;
+    for (size_t pos = 0; pos < damaged.size(); ++pos) {
+        const auto orig = static_cast<uint8_t>(damaged[pos]);
+        for (uint8_t mutant : {static_cast<uint8_t>(orig ^ 0x01),
+                               static_cast<uint8_t>(0x00),
+                               static_cast<uint8_t>(0xff)}) {
+            if (mutant == orig) continue;
+            damaged[pos] = static_cast<std::byte>(mutant);
+            attempt(ByteSpan(damaged), pos, mutant);
+        }
+        damaged[pos] = static_cast<std::byte>(orig);
+    }
+    for (size_t len = 0; len < coded.size(); ++len) {
+        attempt(ByteSpan(coded.data(), len), len, -1);
+    }
+}
+
+TEST(FuzzTransformDecoders, RareRazeFcmSurviveMutationSweep)
+{
+    // Word-structured data with zero runs and repeats: all three adaptive
+    // paths (zero elimination, repetition elimination, context matches)
+    // are exercised, so the mutants hit populated bitmaps and survivors.
+    Rng rng(1234);
+    std::vector<uint64_t> words(700);
+    uint64_t prev = 0;
+    for (auto& w : words) {
+        switch (rng.NextBelow(4)) {
+          case 0: w = 0; break;
+          case 1: w = prev; break;
+          case 2: w = rng.Next() & 0xffff; break;
+          default: w = rng.Next(); break;
+        }
+        prev = w;
+    }
+    Bytes input(AsBytes(words).begin(), AsBytes(words).end());
+    input.push_back(std::byte{0x7e});  // odd tail byte
+
+    SweepTransformDecoder("RARE64", tf::RareEncode64, tf::RareDecode64,
+                          ByteSpan(input));
+    SweepTransformDecoder("RAZE64", tf::RazeEncode64, tf::RazeDecode64,
+                          ByteSpan(input));
+    SweepTransformDecoder("FCM", tf::FcmEncode, tf::FcmDecode,
+                          ByteSpan(input));
+}
+
+TEST(FuzzBitmapCodec, DecoderSurvivesMutationSweep)
+{
+    // Sparse bitmap: several recursion levels with non-trivial kept sets.
+    Rng rng(99);
+    Bytes bitmap(2048);
+    for (auto& b : bitmap) {
+        b = static_cast<std::byte>(rng.NextBelow(50) == 0 ? 0xff : 0);
+    }
+    Bytes coded;
+    tf::CompressBitmap(ByteSpan(bitmap), coded);
+
+    const auto attempt = [&](ByteSpan damaged) {
+        ByteReader br{damaged};
+        try {
+            Bytes out = tf::DecompressBitmap(br, bitmap.size());
+            EXPECT_EQ(out.size(), bitmap.size());
+        } catch (const CorruptStreamError&) {
+            // expected for most mutants
+        }
+    };
+
+    Bytes damaged = coded;
+    for (size_t pos = 0; pos < damaged.size(); ++pos) {
+        const auto orig = static_cast<uint8_t>(damaged[pos]);
+        for (uint8_t mutant : {static_cast<uint8_t>(orig ^ 0x01),
+                               static_cast<uint8_t>(0x00),
+                               static_cast<uint8_t>(0xff)}) {
+            if (mutant == orig) continue;
+            damaged[pos] = static_cast<std::byte>(mutant);
+            attempt(ByteSpan(damaged));
+        }
+        damaged[pos] = static_cast<std::byte>(orig);
+    }
+    for (size_t len = 0; len < coded.size(); ++len) {
+        attempt(ByteSpan(coded.data(), len));
     }
 }
 

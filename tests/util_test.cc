@@ -87,6 +87,59 @@ TEST(Varint, TruncatedThrows)
     EXPECT_THROW(br.GetVarint(), CorruptStreamError);
 }
 
+TEST(BitIo, ByteReaderNearSizeMaxLengthDoesNotWrap)
+{
+    // Regression: the bounds check used to be `pos_ + n <= size`, which
+    // wraps for an attacker-declared length near SIZE_MAX (e.g. a corrupt
+    // varint frame length) and hands subspan an out-of-range count.
+    Bytes buf(16);
+    ByteReader br{ByteSpan(buf)};
+    br.GetBytes(8);
+    EXPECT_THROW(br.GetBytes(SIZE_MAX), CorruptStreamError);
+    EXPECT_THROW(br.GetBytes(SIZE_MAX - 7), CorruptStreamError);
+    EXPECT_THROW(br.GetBytes(9), CorruptStreamError);
+    // Failed reads consume nothing; the reader stays usable.
+    EXPECT_EQ(br.Remaining(), 8u);
+    EXPECT_EQ(br.GetBytes(8).size(), 8u);
+    EXPECT_THROW(br.Get<uint32_t>(), CorruptStreamError);
+}
+
+TEST(BitIo, BitReaderBoundsDoNotWrapNearEnd)
+{
+    Bytes buf(8);
+    BitReader br{ByteSpan(buf)};
+    br.Get(60);
+    EXPECT_THROW(br.Get(5), CorruptStreamError);
+    EXPECT_EQ(br.Get(4), 0u);  // exactly to the end still works
+    EXPECT_THROW(br.Get(1), CorruptStreamError);
+}
+
+TEST(BitIo, ReaderErrorsCarryStageAndOffset)
+{
+    Bytes buf(4);
+    ByteReader br{ByteSpan(buf), "TESTSTAGE"};
+    br.GetBytes(2);
+    try {
+        br.Get<uint64_t>();
+        FAIL() << "read past end did not throw";
+    } catch (const CorruptStreamError& e) {
+        EXPECT_STREQ(e.Stage(), "TESTSTAGE");
+        EXPECT_EQ(e.Offset(), 2u);
+        EXPECT_NE(std::string(e.what()).find("[TESTSTAGE @ byte 2]"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Untagged readers report no stage and kNoOffset.
+    ByteReader plain{ByteSpan(buf)};
+    try {
+        plain.GetBytes(5);
+        FAIL() << "read past end did not throw";
+    } catch (const CorruptStreamError& e) {
+        EXPECT_EQ(e.Stage(), nullptr);
+        EXPECT_EQ(e.Offset(), 0u);
+    }
+}
+
 TEST(Zigzag, RoundTrip32And64)
 {
     for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{12345},

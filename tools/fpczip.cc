@@ -14,6 +14,10 @@
  * --backend selects an executor-registry backend (cpu, gpusim:4090,
  *    gpusim:a100); all backends produce bit-identical containers (see
  *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
+ *
+ * Exit codes: 0 success, 1 I/O or internal error, 2 usage error,
+ * 3 corrupt or truncated compressed stream (the message names the stage
+ * and byte offset that failed validation).
  */
 #include <cstdio>
 #include <cstring>
@@ -165,6 +169,14 @@ main(int argc, char** argv)
         }
         WriteFile(files[1], output);
         return 0;
+    } catch (const fpc::CorruptStreamError& e) {
+        // Distinct exit code so scripted callers can tell damaged input
+        // from I/O or usage failures; e.what() carries stage + offset.
+        std::fprintf(stderr, "fpczip: %s\n", e.what());
+        return 3;
+    } catch (const fpc::UsageError& e) {
+        std::fprintf(stderr, "fpczip: %s\n", e.what());
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "fpczip: %s\n", e.what());
         return 1;
