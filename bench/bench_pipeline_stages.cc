@@ -10,7 +10,9 @@
 
 #include <cstdio>
 
+#include "core/codec.h"
 #include "core/pipeline.h"
+#include "core/telemetry.h"
 #include "data/fields.h"
 #include "transforms/transforms.h"
 #include "util/common.h"
@@ -123,12 +125,39 @@ BM_StageDecode(benchmark::State& state)
 BENCHMARK(BM_StageEncode)->DenseRange(0, std::size(kStages) - 1);
 BENCHMARK(BM_StageDecode)->DenseRange(0, std::size(kStages) - 1);
 
+/** In-pipeline per-stage breakdown from the telemetry subsystem: unlike
+ *  the microbenchmarks above (which re-run each transform standalone),
+ *  these numbers come from the hooks inside a real whole-input round
+ *  trip, so they include the stage interleaving of production runs. */
+void
+PrintTelemetryBreakdown()
+{
+    std::printf("In-pipeline stage metrics (core/telemetry.h), one JSON "
+                "line per algorithm:\n\n");
+    for (auto algorithm :
+         {fpc::Algorithm::kSPspeed, fpc::Algorithm::kSPratio,
+          fpc::Algorithm::kDPspeed, fpc::Algorithm::kDPratio}) {
+        const bool dp = fpc::AlgorithmWordSize(algorithm) == 8;
+        Bytes input;
+        for (int i = 0; i < 64; ++i) {
+            fpc::AppendBytes(input, ByteSpan(ChunkOfSmoothData(dp)));
+        }
+        fpc::Codec codec{algorithm};
+        fpc::Telemetry& sink = codec.enable_telemetry();
+        Bytes packed = codec.compress(ByteSpan(input));
+        codec.decompress(ByteSpan(packed));
+        std::printf("%s\n", sink.ToJson().c_str());
+    }
+    std::printf("\n");
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     PrintStageTable();
+    PrintTelemetryBreakdown();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

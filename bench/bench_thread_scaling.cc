@@ -21,6 +21,7 @@
 
 #include "core/codec.h"
 #include "core/executor.h"
+#include "core/telemetry.h"
 #include "data/datasets.h"
 #include "figure_common.h"
 
@@ -90,6 +91,16 @@ RunAlgorithm(const char* name, Algorithm algorithm, ByteSpan input,
                     "\"bytes\": %zu, \"ratio\": %.3f}\n",
                     name, threads, decomp, decomp / decompress_1t,
                     input.size(), ratio);
+
+        // Per-stage breakdown from a separate instrumented round trip, so
+        // the timed runs above stay on the null-sink fast path.
+        Telemetry sink;
+        options.telemetry = &sink;
+        Bytes stats_out = Compress(algorithm, input, options);
+        Decompress(ByteSpan(stats_out), options);
+        std::printf("{\"bench\": \"thread_scaling_stages\", \"threads\": "
+                    "%d, \"telemetry\": %s}\n",
+                    threads, sink.ToJson().c_str());
         std::fflush(stdout);
     }
 }

@@ -143,8 +143,17 @@ RunFigureBench(const FigureSpec& spec)
         }
 
         eval::PrintFigure(std::cout, spec.title, results, spec.axis);
+        eval::PrintStageBreakdown(std::cout, results);
+        // One schema-stable JSON line per instrumented codec
+        // (tools/check_stats_schema.py validates these).
+        for (const eval::CodecResult& result : results) {
+            if (result.telemetry.counters.chunks_encoded == 0) continue;
+            std::cout << ToJson(result.telemetry) << "\n";
+        }
         eval::WriteCsv(std::string(spec.id) + ".csv", results, spec.axis);
-        std::cout << "series written to " << spec.id << ".csv\n";
+        eval::WriteStageCsv(std::string(spec.id) + "_stages.csv", results);
+        std::cout << "series written to " << spec.id << ".csv, stage "
+                  << "breakdown to " << spec.id << "_stages.csv\n";
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "benchmark failed: " << e.what() << "\n";

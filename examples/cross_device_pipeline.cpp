@@ -28,8 +28,7 @@ main()
     fpc::ByteSpan input = fpc::AsBytes(observations);
 
     // --- producer: GPU node (simulated device, paper Section 3) ---
-    fpc::Options gpu_options;
-    gpu_options.executor = &fpc::GetExecutor("gpusim:4090");
+    fpc::Options gpu_options = fpc::Options{}.with_executor("gpusim:4090");
     fpc::Bytes from_gpu =
         fpc::Compress(fpc::Algorithm::kDPratio, input, gpu_options);
 

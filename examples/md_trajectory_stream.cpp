@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/stream.h"
+#include "core/telemetry.h"
 #include "data/fields.h"
 #include "util/hash.h"
 #include "util/timer.h"
@@ -28,6 +29,7 @@ main()
         fpc::data::ParticleCoordinates(n_atoms, 42, 250.0, 0.2);
 
     fpc::StreamCompressor stream(fpc::Algorithm::kDPspeed);
+    stream.stats();  // attach the telemetry sink before the first frame
     std::vector<std::vector<double>> truth;
 
     fpc::Rng rng(7);
@@ -61,5 +63,9 @@ main()
         ++frame;
     }
     std::printf("consumer verified all %d frames bit-for-bit\n", frame);
+
+    // Producer-side per-stage metrics accumulated across all frames
+    // (schema fpc.telemetry.v1 — see DESIGN.md "Observability").
+    std::printf("%s\n", fpc::ToJson(stream.stats()).c_str());
     return 0;
 }

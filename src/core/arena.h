@@ -33,7 +33,15 @@
 
 #include "util/common.h"
 
+// Mirrors the default in core/telemetry.h (kept independent so this header
+// stays free of the telemetry include).
+#ifndef FPC_TELEMETRY
+#define FPC_TELEMETRY 1
+#endif
+
 namespace fpc {
+
+struct TelemetryShard;  // core/telemetry.h
 
 class ScratchArena {
  public:
@@ -87,6 +95,21 @@ class ScratchArena {
     /** Total heap bytes currently held across all buffers (diagnostics). */
     size_t CapacityBytes() const;
 
+    /**
+     * Telemetry shard of the worker this arena belongs to, or nullptr when
+     * no sink is attached (the common case — hooks then cost one pointer
+     * test). Wired per run by TelemetryRunScope (core/telemetry.h); with
+     * FPC_TELEMETRY=0 the getter is a constant nullptr, so every hook
+     * guarded by it folds away.
+     */
+#if FPC_TELEMETRY
+    TelemetryShard* Telemetry() const { return telemetry_; }
+    void SetTelemetryShard(TelemetryShard* shard) { telemetry_ = shard; }
+#else
+    static constexpr TelemetryShard* Telemetry() { return nullptr; }
+    void SetTelemetryShard(TelemetryShard*) {}
+#endif
+
  private:
     Bytes pipeline_a_;
     Bytes pipeline_b_;
@@ -98,6 +121,9 @@ class ScratchArena {
     std::vector<Bytes> bitmap_kept_;
     Bytes retained_;
     size_t decode_budget_ = SIZE_MAX;
+#if FPC_TELEMETRY
+    TelemetryShard* telemetry_ = nullptr;
+#endif
 };
 
 template <>

@@ -1,7 +1,10 @@
 #include "core/codec.h"
 
+#include <optional>
+
 #include "core/container.h"
 #include "core/executor.h"
+#include "core/telemetry.h"
 
 namespace fpc {
 
@@ -14,7 +17,8 @@ void
 CheckElementSize(ByteSpan compressed, size_t element_size,
                  const char* caller)
 {
-    const Algorithm algorithm = Inspect(compressed).algorithm;
+    const Algorithm algorithm = static_cast<Algorithm>(
+        ParseContainer(compressed).header.algorithm);
     if (AlgorithmWordSize(algorithm) != element_size) {
         throw UsageError(std::string(caller) + ": container holds " +
                          AlgorithmName(algorithm) + " data, not " +
@@ -22,25 +26,71 @@ CheckElementSize(ByteSpan compressed, size_t element_size,
     }
 }
 
+/** Algorithm recorded in a container's header, for telemetry context.
+ *  Returns nullopt instead of throwing so the executor's own parse keeps
+ *  sole ownership of corrupt-stream error reporting. */
+std::optional<Algorithm>
+HeaderAlgorithm(ByteSpan compressed)
+{
+    try {
+        return static_cast<Algorithm>(
+            ParseContainer(compressed).header.algorithm);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
 }  // namespace
+
+// Run totals are recorded here — the single spot every executor's calls
+// funnel through — so per-backend code never repeats the bookkeeping.
 
 Bytes
 Compress(Algorithm algorithm, ByteSpan input, const Options& options)
 {
-    return ResolveExecutor(options).Compress(algorithm, input, options);
+    const Executor& executor = ResolveExecutor(options);
+    Telemetry* sink = SinkOf(options);
+    if (sink == nullptr) return executor.Compress(algorithm, input, options);
+    sink->SetContext(executor.Name(), algorithm);
+    const uint64_t t0 = TelemetryNowNs();
+    Bytes out = executor.Compress(algorithm, input, options);
+    sink->AddCompress(input.size(), out.size(), TelemetryNowNs() - t0);
+    return out;
 }
 
 Bytes
 Decompress(ByteSpan compressed, const Options& options)
 {
-    return ResolveExecutor(options).Decompress(compressed, options);
+    const Executor& executor = ResolveExecutor(options);
+    Telemetry* sink = SinkOf(options);
+    if (sink == nullptr) return executor.Decompress(compressed, options);
+    const uint64_t t0 = TelemetryNowNs();
+    Bytes out = executor.Decompress(compressed, options);
+    sink->AddDecompress(compressed.size(), out.size(),
+                        TelemetryNowNs() - t0);
+    if (auto algorithm = HeaderAlgorithm(compressed)) {
+        sink->SetContext(executor.Name(), *algorithm);
+    }
+    return out;
 }
 
 void
 DecompressInto(ByteSpan compressed, std::span<std::byte> out,
                const Options& options)
 {
-    ResolveExecutor(options).DecompressInto(compressed, out, options);
+    const Executor& executor = ResolveExecutor(options);
+    Telemetry* sink = SinkOf(options);
+    if (sink == nullptr) {
+        executor.DecompressInto(compressed, out, options);
+        return;
+    }
+    const uint64_t t0 = TelemetryNowNs();
+    executor.DecompressInto(compressed, out, options);
+    sink->AddDecompress(compressed.size(), out.size(),
+                        TelemetryNowNs() - t0);
+    if (auto algorithm = HeaderAlgorithm(compressed)) {
+        sink->SetContext(executor.Name(), *algorithm);
+    }
 }
 
 Bytes
@@ -91,15 +141,76 @@ Inspect(ByteSpan compressed)
     ContainerView view = ParseContainer(compressed);
     CompressedInfo info;
     info.algorithm = static_cast<Algorithm>(view.header.algorithm);
+    info.algorithm_name = AlgorithmName(info.algorithm);
     info.original_size = view.header.original_size;
+    info.compressed_size = compressed.size();
     info.transformed_size = view.header.transformed_size;
     info.chunk_count = view.header.chunk_count;
-    for (uint8_t raw : view.chunk_raw) info.raw_chunks += raw;
+    info.chunk_sizes = std::move(view.chunk_sizes);
+    info.chunk_raw = std::move(view.chunk_raw);
+    for (uint8_t raw : info.chunk_raw) info.raw_chunks += raw;
     info.ratio = compressed.empty()
                      ? 0.0
                      : static_cast<double>(info.original_size) /
                            static_cast<double>(compressed.size());
     return info;
+}
+
+// ---------------------------------------------------------------------
+// Codec facade
+// ---------------------------------------------------------------------
+
+Codec::Codec(Algorithm algorithm, const std::string& executor_name)
+    : algorithm_(algorithm)
+{
+    options_.with_executor(executor_name);
+}
+
+Bytes
+Codec::compress(ByteSpan input) const
+{
+    return Compress(algorithm_, input, options_);
+}
+
+Bytes
+Codec::decompress(ByteSpan compressed) const
+{
+    return Decompress(compressed, options_);
+}
+
+void
+Codec::decompress_into(ByteSpan compressed, std::span<std::byte> out) const
+{
+    DecompressInto(compressed, out, options_);
+}
+
+Telemetry&
+Codec::enable_telemetry()
+{
+    if (options_.telemetry == nullptr) {
+        owned_sink_ = std::make_shared<Telemetry>();
+        options_.telemetry = owned_sink_.get();
+    }
+    return *options_.telemetry;
+}
+
+void
+Codec::RequireWordSize(size_t element_size, const char* caller) const
+{
+    if (AlgorithmWordSize(algorithm_) != element_size) {
+        throw UsageError(std::string(caller) + ": " +
+                         AlgorithmName(algorithm_) + " expects " +
+                         std::to_string(AlgorithmWordSize(algorithm_)) +
+                         "-byte elements, got " +
+                         std::to_string(element_size) + "-byte elements");
+    }
+}
+
+void
+Codec::RequireContainerWordSize(ByteSpan compressed, size_t element_size,
+                                const char* caller)
+{
+    CheckElementSize(compressed, element_size, caller);
 }
 
 }  // namespace fpc

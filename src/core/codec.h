@@ -8,22 +8,31 @@
  * data compressed on the CPU can be decompressed on the GPU(-simulator)
  * path and vice versa — the paper's cross-device compatibility property.
  *
- * Quickstart:
+ * The preferred entry point is the typed `fpc::Codec` facade:
  * @code
  *   std::vector<float> field = ...;
- *   fpc::Bytes packed = fpc::CompressFloats(field, fpc::Mode::kRatio);
- *   std::vector<float> restored = fpc::DecompressFloats(packed);
+ *   fpc::Codec codec = fpc::Codec::For<float>(fpc::Mode::kRatio);
+ *   fpc::Bytes packed = codec.compress(std::span<const float>(field));
+ *   std::vector<float> restored = codec.decompress_as<float>(packed);
  * @endcode
+ *
+ * The free functions below remain as thin wrappers for existing callers;
+ * new code should construct a Codec (one object carries the algorithm,
+ * backend, thread count, and optional telemetry sink together).
  */
 #ifndef FPC_CORE_CODEC_H
 #define FPC_CORE_CODEC_H
 
+#include <memory>
 #include <span>
+#include <type_traits>
 
 #include "core/types.h"
 #include "util/common.h"
 
 namespace fpc {
+
+class Telemetry;  // core/telemetry.h
 
 /** Compress @p input with @p algorithm into a self-describing container.
  *  Runs on the backend selected by @p options (core/executor.h); every
@@ -47,35 +56,163 @@ void DecompressInto(ByteSpan compressed, std::span<std::byte> out,
 /** User intent for the typed helpers: throughput or compression ratio. */
 enum class Mode : uint8_t { kSpeed, kRatio };
 
-/** Compress a float array (selects SPspeed or SPratio). */
+/** Compress a float array (selects SPspeed or SPratio).
+ *  @deprecated Prefer fpc::Codec::For<float>(mode).compress(values). */
 Bytes CompressFloats(std::span<const float> values, Mode mode = Mode::kSpeed,
                      const Options& options = {});
 
-/** Compress a double array (selects DPspeed or DPratio). */
+/** Compress a double array (selects DPspeed or DPratio).
+ *  @deprecated Prefer fpc::Codec::For<double>(mode).compress(values). */
 Bytes CompressDoubles(std::span<const double> values,
                       Mode mode = Mode::kSpeed,
                       const Options& options = {});
 
-/** Decompress a container into floats (validates element size). */
+/** Decompress a container into floats (validates element size).
+ *  @deprecated Prefer fpc::Codec::decompress_as<float>. */
 std::vector<float> DecompressFloats(ByteSpan compressed,
                                     const Options& options = {});
 
-/** Decompress a container into doubles (validates element size). */
+/** Decompress a container into doubles (validates element size).
+ *  @deprecated Prefer fpc::Codec::decompress_as<double>. */
 std::vector<double> DecompressDoubles(ByteSpan compressed,
                                       const Options& options = {});
 
 /** Introspection result for a compressed container. */
 struct CompressedInfo {
     Algorithm algorithm{};
+    std::string algorithm_name;     ///< AlgorithmName(algorithm)
     uint64_t original_size = 0;
+    uint64_t compressed_size = 0;   ///< whole container, header included
     uint64_t transformed_size = 0;  ///< post-FCM size for DPratio
     uint32_t chunk_count = 0;
     uint32_t raw_chunks = 0;        ///< chunks stored verbatim
     double ratio = 0.0;             ///< original / compressed
+    std::vector<uint32_t> chunk_sizes;  ///< stored payload bytes per chunk
+    std::vector<uint8_t> chunk_raw;     ///< 1 = chunk stored verbatim
 };
 
-/** Parse a container header without decompressing. */
+/** Parse a container header + chunk table without decompressing. */
 CompressedInfo Inspect(ByteSpan compressed);
+
+/**
+ * Typed facade over the one-shot entry points: one value object carrying
+ * the algorithm plus the run options (backend, threads, telemetry sink).
+ *
+ * @code
+ *   fpc::Codec codec(fpc::Algorithm::kDPratio,
+ *                    fpc::Options{}.with_executor("gpusim:a100"));
+ *   fpc::Telemetry& stats = codec.enable_telemetry();
+ *   fpc::Bytes packed = codec.compress(std::span<const double>(values));
+ *   std::cout << stats.ToJson() << "\n";
+ * @endcode
+ *
+ * Codec is copyable; copies share the owned telemetry sink (if any), so a
+ * codec handed to worker threads aggregates into one set of counters.
+ */
+class Codec {
+ public:
+    explicit Codec(Algorithm algorithm, Options options = {})
+        : algorithm_(algorithm), options_(options) {}
+
+    /** Backend-by-name convenience; throws UsageError for unknown names:
+     *  Codec(Algorithm::kSPspeed, "gpusim:4090"). */
+    Codec(Algorithm algorithm, const std::string& executor_name);
+
+    /** Typed factory: For<float>(Mode::kRatio) selects SPratio,
+     *  For<double>(Mode::kSpeed) selects DPspeed, and so on. */
+    template <typename T>
+    static Codec
+    For(Mode mode, Options options = {})
+    {
+        static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                      "fpc::Codec::For supports float and double");
+        if constexpr (std::is_same_v<T, float>) {
+            return Codec(mode == Mode::kSpeed ? Algorithm::kSPspeed
+                                              : Algorithm::kSPratio,
+                         options);
+        } else {
+            return Codec(mode == Mode::kSpeed ? Algorithm::kDPspeed
+                                              : Algorithm::kDPratio,
+                         options);
+        }
+    }
+
+    Algorithm algorithm() const { return algorithm_; }
+    const Options& options() const { return options_; }
+
+    /** Compress raw bytes (interpreted as the algorithm's word type). */
+    Bytes compress(ByteSpan input) const;
+
+    /** Compress a typed array; sizeof(T) must match the algorithm's word
+     *  size (throws UsageError otherwise — e.g. floats into a DP* codec). */
+    template <typename T>
+    Bytes
+    compress(std::span<const T> values) const
+    {
+        RequireWordSize(sizeof(T), "Codec::compress");
+        return compress(AsBytes(values));
+    }
+
+    /** Decompress a container produced by any backend/codec. */
+    Bytes decompress(ByteSpan compressed) const;
+
+    /** Decompress into caller-owned memory of exactly original_size
+     *  bytes (throws UsageError otherwise). */
+    void decompress_into(ByteSpan compressed,
+                         std::span<std::byte> out) const;
+
+    /** Typed decompress_into; validates the container's element width. */
+    template <typename T>
+    void
+    decompress_into(ByteSpan compressed, std::span<T> out) const
+    {
+        RequireContainerWordSize(compressed, sizeof(T),
+                                 "Codec::decompress_into");
+        decompress_into(compressed, std::as_writable_bytes(out));
+    }
+
+    /** Decompress into a typed vector; validates the element width. */
+    template <typename T>
+    std::vector<T>
+    decompress_as(ByteSpan compressed) const
+    {
+        static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                      "fpc::Codec::decompress_as supports float and double");
+        if constexpr (std::is_same_v<T, float>) {
+            return DecompressFloats(compressed, options_);
+        } else {
+            return DecompressDoubles(compressed, options_);
+        }
+    }
+
+    /** Container introspection (no decompression). */
+    static CompressedInfo
+    inspect(ByteSpan compressed)
+    {
+        return Inspect(compressed);
+    }
+
+    /**
+     * Attach a codec-owned metrics sink (created on first call) and return
+     * it; subsequent compress/decompress calls through this codec report
+     * into it. A sink already supplied via Options::with_telemetry is
+     * returned instead of being replaced.
+     */
+    Telemetry& enable_telemetry();
+
+    /** The sink runs report to — owned or user-supplied — or nullptr. */
+    Telemetry* telemetry() const { return options_.telemetry; }
+
+ private:
+    void RequireWordSize(size_t element_size, const char* caller) const;
+    static void RequireContainerWordSize(ByteSpan compressed,
+                                         size_t element_size,
+                                         const char* caller);
+
+    Algorithm algorithm_;
+    Options options_;
+    std::shared_ptr<Telemetry> owned_sink_;  ///< copies share one sink
+};
 
 }  // namespace fpc
 

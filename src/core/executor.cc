@@ -10,9 +10,17 @@
 #endif
 
 #include "core/orchestrate.h"
+#include "core/telemetry.h"
 #include "gpusim/launch.h"
 
 namespace fpc {
+
+Options&
+Options::with_executor(const std::string& name)
+{
+    executor = &GetExecutor(name);
+    return *this;
+}
 
 namespace {
 
@@ -64,6 +72,9 @@ class CpuExecutor final : public Executor {
              const Options& options) const override
     {
         const PipelineSpec& spec = GetPipeline(algorithm);
+        const int threads = EffectiveThreads(options);
+        TelemetryRunScope scope(SinkOf(options),
+                                static_cast<size_t>(threads));
 
         // Whole-input pre-stage (FCM); algorithms without one chunk the
         // input in place — no staging copy.
@@ -71,7 +82,12 @@ class CpuExecutor final : public Executor {
         ByteSpan chunk_src = input;
         if (spec.pre.encode != nullptr) {
             ScratchArena pre_scratch;
+            const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
             spec.pre.encode(input, work, pre_scratch);
+            if (TelemetryShard* shard = scope.MainShard()) {
+                shard->OnStageEncode(spec.pre.id, input.size(),
+                                     work.size(), TelemetryNowNs() - t0);
+            }
             chunk_src = ByteSpan(work);
         }
 
@@ -80,8 +96,8 @@ class CpuExecutor final : public Executor {
         // no allocations per chunk once the arenas are warm.
         const size_t n_chunks = ChunkCountOf(chunk_src.size());
         EncodePlan plan(n_chunks);
-        const int threads = EffectiveThreads(options);
         std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+        scope.Attach(arenas);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
 #endif
@@ -98,14 +114,18 @@ class CpuExecutor final : public Executor {
         const ContainerHeader header =
             MakeContainerHeader(algorithm, input, chunk_src.size());
         const WritePositions wp = ComputeWritePositions(plan.sizes);
-        return AssembleContainer(header, plan, wp.offsets, wp.total,
-                                 arenas, threads);
+        Bytes out = AssembleContainer(header, plan, wp.offsets, wp.total,
+                                      arenas, threads);
+        // Counters merge once, at the barrier — never on the chunk path.
+        scope.Finish(arenas);
+        return out;
     }
 
     Bytes
     Decompress(ByteSpan compressed, const Options& options) const override
     {
-        return RunDecompress(compressed, DecodeChunks(options), PreDecode());
+        return RunDecompress(compressed, DecodeChunks(options),
+                             PreDecode(options));
     }
 
     void
@@ -113,7 +133,7 @@ class CpuExecutor final : public Executor {
                    const Options& options) const override
     {
         RunDecompressInto(compressed, out, DecodeChunks(options),
-                          PreDecode());
+                          PreDecode(options));
     }
 
  private:
@@ -127,6 +147,9 @@ class CpuExecutor final : public Executor {
             const size_t transformed_size = view.header.transformed_size;
             const int threads = EffectiveThreads(options);
             std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+            TelemetryRunScope scope(SinkOf(options),
+                                    static_cast<size_t>(threads));
+            scope.Attach(arenas);
             std::atomic<bool> failed{false};
             std::exception_ptr first_error;
             const auto n_chunks =
@@ -156,6 +179,7 @@ class CpuExecutor final : public Executor {
                     }
                 }
             }
+            scope.Finish(arenas);
             if (failed.load()) {
                 // Rethrow the first failure so stage/offset context in a
                 // CorruptStreamError survives the parallel region.
@@ -171,12 +195,22 @@ class CpuExecutor final : public Executor {
     }
 
     static PreDecodeFn
-    PreDecode()
+    PreDecode(const Options& options)
     {
-        return [](const PipelineSpec& spec, ByteSpan transformed,
-                  Bytes& out) {
+        return [options](const PipelineSpec& spec, ByteSpan transformed,
+                         Bytes& out) {
             ScratchArena pre_scratch;
+            Telemetry* sink = SinkOf(options);
+            if (sink == nullptr) {
+                spec.pre.decode(transformed, out, pre_scratch);
+                return;
+            }
+            const uint64_t t0 = TelemetryNowNs();
             spec.pre.decode(transformed, out, pre_scratch);
+            TelemetryShard shard;
+            shard.OnStageDecode(spec.pre.id, transformed.size(), out.size(),
+                                TelemetryNowNs() - t0);
+            sink->Merge(shard);
         };
     }
 };
@@ -205,26 +239,28 @@ class DeviceExecutor final : public Executor {
     Compress(Algorithm algorithm, ByteSpan input,
              const Options& options) const override
     {
-        (void)options;  // grid scheduling comes from the device profile
+        // Grid scheduling comes from the device profile; only the
+        // telemetry sink is taken from the options.
         gpusim::Device device(profile_);
-        return gpusim::CompressOnDevice(device, algorithm, input);
+        return gpusim::CompressOnDevice(device, algorithm, input,
+                                        SinkOf(options));
     }
 
     Bytes
     Decompress(ByteSpan compressed, const Options& options) const override
     {
-        (void)options;
         gpusim::Device device(profile_);
-        return gpusim::DecompressOnDevice(device, compressed);
+        return gpusim::DecompressOnDevice(device, compressed,
+                                          SinkOf(options));
     }
 
     void
     DecompressInto(ByteSpan compressed, std::span<std::byte> out,
                    const Options& options) const override
     {
-        (void)options;
         gpusim::Device device(profile_);
-        gpusim::DecompressIntoOnDevice(device, compressed, out);
+        gpusim::DecompressIntoOnDevice(device, compressed, out,
+                                       SinkOf(options));
     }
 
  private:

@@ -14,9 +14,9 @@ const PipelineSpec kSpSpeed{
     4,
     {},
     {
-        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32,
+        {"DIFFMS", StageId::kDiffms, tf::DiffmsEncode32, tf::DiffmsDecode32,
          tf::DiffmsDecodeInto32},
-        {"MPLG", tf::MplgEncode32, tf::MplgDecode32},
+        {"MPLG", StageId::kMplg, tf::MplgEncode32, tf::MplgDecode32},
     },
 };
 
@@ -26,10 +26,10 @@ const PipelineSpec kSpRatio{
     4,
     {},
     {
-        {"DIFFMS", tf::DiffmsEncode32, tf::DiffmsDecode32,
+        {"DIFFMS", StageId::kDiffms, tf::DiffmsEncode32, tf::DiffmsDecode32,
          tf::DiffmsDecodeInto32},
-        {"BIT", tf::BitEncode32, tf::BitDecode32},
-        {"RZE", tf::RzeEncode, tf::RzeDecode},
+        {"BIT", StageId::kBit, tf::BitEncode32, tf::BitDecode32},
+        {"RZE", StageId::kRze, tf::RzeEncode, tf::RzeDecode},
     },
 };
 
@@ -39,9 +39,9 @@ const PipelineSpec kDpSpeed{
     8,
     {},
     {
-        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64,
+        {"DIFFMS", StageId::kDiffms, tf::DiffmsEncode64, tf::DiffmsDecode64,
          tf::DiffmsDecodeInto64},
-        {"MPLG", tf::MplgEncode64, tf::MplgDecode64},
+        {"MPLG", StageId::kMplg, tf::MplgEncode64, tf::MplgDecode64},
     },
 };
 
@@ -49,12 +49,12 @@ const PipelineSpec kDpRatio{
     "DPratio",
     Algorithm::kDPratio,
     8,
-    {"FCM", tf::FcmEncode, tf::FcmDecode},
+    {"FCM", StageId::kFcm, tf::FcmEncode, tf::FcmDecode},
     {
-        {"DIFFMS", tf::DiffmsEncode64, tf::DiffmsDecode64,
+        {"DIFFMS", StageId::kDiffms, tf::DiffmsEncode64, tf::DiffmsDecode64,
          tf::DiffmsDecodeInto64},
-        {"RAZE", tf::RazeEncode64, tf::RazeDecode64},
-        {"RARE", tf::RareEncode64, tf::RareDecode64},
+        {"RAZE", StageId::kRaze, tf::RazeEncode64, tf::RazeDecode64},
+        {"RARE", StageId::kRare, tf::RareEncode64, tf::RareDecode64},
     },
 };
 
@@ -106,12 +106,21 @@ ByteSpan
 EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
             ScratchArena& scratch)
 {
+    TelemetryShard* shard = scratch.Telemetry();
     Bytes* src = &scratch.PipelineA();
     Bytes* dst = &scratch.PipelineB();
     bool first = true;
     for (const Stage& stage : spec.stages) {
         dst->clear();
-        stage.encode(first ? chunk : ByteSpan(*src), *dst, scratch);
+        const ByteSpan stage_in = first ? chunk : ByteSpan(*src);
+        if (shard != nullptr) {
+            const uint64_t t0 = TelemetryNowNs();
+            stage.encode(stage_in, *dst, scratch);
+            shard->OnStageEncode(stage.id, stage_in.size(), dst->size(),
+                                 TelemetryNowNs() - t0);
+        } else {
+            stage.encode(stage_in, *dst, scratch);
+        }
         std::swap(src, dst);
         first = false;
     }
@@ -119,9 +128,14 @@ EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
         // Pipeline output is not smaller: store the chunk verbatim
         // (worst-case expansion cap, paper Section 3).
         raw = true;
+        if (shard != nullptr) {
+            ++shard->chunks_encoded;
+            ++shard->chunks_raw;
+        }
         return chunk;
     }
     raw = false;
+    if (shard != nullptr) ++shard->chunks_encoded;
     return ByteSpan(*src);
 }
 
@@ -129,10 +143,12 @@ void
 DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
             std::span<std::byte> dest, ScratchArena& scratch)
 {
+    TelemetryShard* shard = scratch.Telemetry();
     if (raw) {
         FPC_PARSE_CHECK(payload.size() == dest.size(),
                         "raw chunk size mismatch");
         std::memcpy(dest.data(), payload.data(), payload.size());
+        if (shard != nullptr) ++shard->chunks_decoded;
         return;
     }
     FPC_PARSE_CHECK(!spec.stages.empty(),
@@ -146,11 +162,19 @@ DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
     ByteSpan cur = payload;
     for (size_t s = spec.stages.size(); s-- > 1;) {
         dst->clear();
-        spec.stages[s].decode(cur, *dst, scratch);
+        if (shard != nullptr) {
+            const uint64_t t0 = TelemetryNowNs();
+            spec.stages[s].decode(cur, *dst, scratch);
+            shard->OnStageDecode(spec.stages[s].id, cur.size(), dst->size(),
+                                 TelemetryNowNs() - t0);
+        } else {
+            spec.stages[s].decode(cur, *dst, scratch);
+        }
         std::swap(src, dst);
         cur = ByteSpan(*src);
     }
     const Stage& last = spec.stages.front();
+    const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
     if (last.decode_into != nullptr) {
         last.decode_into(cur, dest, scratch);
     } else {
@@ -158,6 +182,11 @@ DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
         last.decode(cur, *dst, scratch);
         FPC_PARSE_CHECK(dst->size() == dest.size(), "chunk size mismatch");
         std::memcpy(dest.data(), dst->data(), dst->size());
+    }
+    if (shard != nullptr) {
+        shard->OnStageDecode(last.id, cur.size(), dest.size(),
+                             TelemetryNowNs() - t0);
+        ++shard->chunks_decoded;
     }
 }
 

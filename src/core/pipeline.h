@@ -22,6 +22,7 @@
 #define FPC_CORE_PIPELINE_H
 
 #include "core/arena.h"
+#include "core/telemetry.h"
 #include "core/types.h"
 #include "util/common.h"
 
@@ -30,6 +31,7 @@ namespace fpc {
 /** A reversible data transformation stage. */
 struct Stage {
     const char* name = nullptr;
+    StageId id{};  ///< telemetry identity (core/telemetry.h)
     void (*encode)(ByteSpan, Bytes&, ScratchArena&) = nullptr;
     void (*decode)(ByteSpan, Bytes&, ScratchArena&) = nullptr;
     /** Optional: decode directly into a span of exactly the decoded size.

@@ -20,6 +20,17 @@ CheckFrameElementSize(ByteSpan frame, size_t element_size,
     }
 }
 
+/** Shared lazy-sink logic behind both stats() methods. */
+TelemetrySnapshot
+StatsOf(Options& options, std::shared_ptr<Telemetry>& owned_sink)
+{
+    if (options.telemetry == nullptr) {
+        owned_sink = std::make_shared<Telemetry>();
+        options.telemetry = owned_sink.get();
+    }
+    return options.telemetry->Snapshot();
+}
+
 }  // namespace
 
 size_t
@@ -44,6 +55,12 @@ size_t
 StreamCompressor::PutDoubles(std::span<const double> values)
 {
     return PutFrame(AsBytes(values));
+}
+
+TelemetrySnapshot
+StreamCompressor::stats()
+{
+    return StatsOf(options_, owned_sink_);
 }
 
 ByteSpan
@@ -98,6 +115,12 @@ StreamDecompressor::NextDoubles()
     std::memcpy(values.data(), raw.data(), raw.size());
     pos_ += advance;
     return values;
+}
+
+TelemetrySnapshot
+StreamDecompressor::stats()
+{
+    return StatsOf(options_, owned_sink_);
 }
 
 }  // namespace fpc

@@ -9,7 +9,10 @@
 #ifndef FPC_CORE_STREAM_H
 #define FPC_CORE_STREAM_H
 
+#include <memory>
+
 #include "core/codec.h"
+#include "core/telemetry.h"
 
 namespace fpc {
 
@@ -44,12 +47,22 @@ class StreamCompressor {
     /** Number of frames written. */
     size_t FrameCount() const { return frame_count_; }
 
+    /**
+     * Per-stage metrics aggregated over every frame compressed so far
+     * (see core/telemetry.h). Lazily attaches a compressor-owned sink, so
+     * frames written before the first stats() call are not counted; pass a
+     * sink via Options::with_telemetry to collect from frame one. With
+     * FPC_TELEMETRY=0 the snapshot stays empty.
+     */
+    TelemetrySnapshot stats();
+
  private:
     Algorithm algorithm_;
     Options options_;
     Bytes stream_;
     uint64_t bytes_in_ = 0;
     size_t frame_count_ = 0;
+    std::shared_ptr<Telemetry> owned_sink_;
 };
 
 /** Frame-oriented decompressor reading from a stream buffer. */
@@ -77,6 +90,9 @@ class StreamDecompressor {
     std::vector<float> NextFloats();
     std::vector<double> NextDoubles();
 
+    /** Decode-side twin of StreamCompressor::stats(). */
+    TelemetrySnapshot stats();
+
  private:
     /** Parse the next frame without consuming it; @p advance receives the
      *  byte count (prefix + frame) to add to pos_ on consumption. */
@@ -85,6 +101,7 @@ class StreamDecompressor {
     ByteSpan stream_;
     Options options_;
     size_t pos_ = 0;
+    std::shared_ptr<Telemetry> owned_sink_;
 };
 
 }  // namespace fpc

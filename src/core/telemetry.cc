@@ -1,0 +1,169 @@
+#include "core/telemetry.h"
+
+namespace fpc {
+
+const char*
+StageName(StageId id)
+{
+    switch (id) {
+      case StageId::kDiffms: return "DIFFMS";
+      case StageId::kMplg: return "MPLG";
+      case StageId::kBit: return "BIT";
+      case StageId::kRze: return "RZE";
+      case StageId::kFcm: return "FCM";
+      case StageId::kRaze: return "RAZE";
+      case StageId::kRare: return "RARE";
+    }
+    return "unknown";
+}
+
+void
+TelemetryShard::Merge(const TelemetryShard& other)
+{
+    for (size_t s = 0; s < kStageCount; ++s) {
+        stages[s].encode.Add(other.stages[s].encode);
+        stages[s].decode.Add(other.stages[s].decode);
+    }
+    chunks_encoded += other.chunks_encoded;
+    chunks_raw += other.chunks_raw;
+    chunks_decoded += other.chunks_decoded;
+    mplg_subchunks += other.mplg_subchunks;
+    mplg_enhanced += other.mplg_enhanced;
+    arena_high_water_bytes =
+        std::max(arena_high_water_bytes, other.arena_high_water_bytes);
+}
+
+void
+Telemetry::Merge(const TelemetryShard& shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.counters.Merge(shard);
+}
+
+void
+Telemetry::AddCompress(uint64_t input_bytes, uint64_t output_bytes,
+                       uint64_t wall_ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++state_.compress.calls;
+    state_.compress.input_bytes += input_bytes;
+    state_.compress.output_bytes += output_bytes;
+    state_.compress.wall_ns += wall_ns;
+}
+
+void
+Telemetry::AddDecompress(uint64_t input_bytes, uint64_t output_bytes,
+                         uint64_t wall_ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++state_.decompress.calls;
+    state_.decompress.input_bytes += input_bytes;
+    state_.decompress.output_bytes += output_bytes;
+    state_.decompress.wall_ns += wall_ns;
+}
+
+void
+Telemetry::SetContext(const std::string& executor, Algorithm algorithm)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.executor = executor;
+    state_.algorithm = AlgorithmName(algorithm);
+}
+
+TelemetrySnapshot
+Telemetry::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+void
+Telemetry::Reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = TelemetrySnapshot{};
+}
+
+namespace {
+
+void
+AppendField(std::string& out, const char* key, uint64_t value, bool last)
+{
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += std::to_string(value);
+    if (!last) out += ", ";
+}
+
+void
+AppendRunTotals(std::string& out, const char* key, const RunTotals& totals)
+{
+    out += '"';
+    out += key;
+    out += "\": {";
+    AppendField(out, "calls", totals.calls, false);
+    AppendField(out, "input_bytes", totals.input_bytes, false);
+    AppendField(out, "output_bytes", totals.output_bytes, false);
+    AppendField(out, "wall_ns", totals.wall_ns, true);
+    out += '}';
+}
+
+void
+AppendStageStats(std::string& out, const char* key, const StageStats& stats)
+{
+    out += '"';
+    out += key;
+    out += "\": {";
+    AppendField(out, "calls", stats.calls, false);
+    AppendField(out, "wall_ns", stats.wall_ns, false);
+    AppendField(out, "input_bytes", stats.input_bytes, false);
+    AppendField(out, "output_bytes", stats.output_bytes, true);
+    out += '}';
+}
+
+}  // namespace
+
+// Schema "fpc.telemetry.v1": the key set, nesting, and the fixed
+// seven-entry stage order below are load-bearing — fpczip --stats, the
+// figure benches' CSV columns, and tools/check_stats_schema.py all
+// consume this shape. Extend by adding keys; never rename or reorder
+// without bumping the schema tag.
+std::string
+ToJson(const TelemetrySnapshot& snapshot)
+{
+    std::string out;
+    out.reserve(1536);
+    out += "{\"schema\": \"fpc.telemetry.v1\", ";
+    out += "\"executor\": \"" + snapshot.executor + "\", ";
+    out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
+    AppendRunTotals(out, "compress", snapshot.compress);
+    out += ", ";
+    AppendRunTotals(out, "decompress", snapshot.decompress);
+    out += ", \"chunks\": {";
+    AppendField(out, "encoded", snapshot.counters.chunks_encoded, false);
+    AppendField(out, "raw_fallback", snapshot.counters.chunks_raw, false);
+    AppendField(out, "decoded", snapshot.counters.chunks_decoded, true);
+    out += "}, \"mplg\": {";
+    AppendField(out, "subchunks", snapshot.counters.mplg_subchunks, false);
+    AppendField(out, "enhanced_subchunks", snapshot.counters.mplg_enhanced,
+                true);
+    out += "}, \"arena\": {";
+    AppendField(out, "high_water_bytes",
+                snapshot.counters.arena_high_water_bytes, true);
+    out += "}, \"stages\": [";
+    for (size_t s = 0; s < kStageCount; ++s) {
+        if (s != 0) out += ", ";
+        out += "{\"stage\": \"";
+        out += StageName(static_cast<StageId>(s));
+        out += "\", ";
+        AppendStageStats(out, "encode", snapshot.counters.stages[s].encode);
+        out += ", ";
+        AppendStageStats(out, "decode", snapshot.counters.stages[s].decode);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace fpc

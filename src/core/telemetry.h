@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Low-overhead metrics/tracing for the compression pipeline.
+ *
+ * The paper's headline claims are per-stage throughput numbers, so the
+ * library can account for where time and bytes go instead of forcing
+ * callers to re-measure end-to-end from outside. A caller hands a
+ * `Telemetry*` sink to any compress/decompress call via
+ * `Options::with_telemetry`; the run then collects, per stage
+ * (DIFFMS/MPLG/BIT/RZE/FCM/RAZE/RARE) and aggregated over the run:
+ * wall time, input/output bytes, and call counts — plus raw-chunk
+ * fallback counts, MPLG enhancement (subchunk retry) counts, and arena
+ * high-water marks.
+ *
+ * Design rules (see DESIGN.md "Observability"):
+ *  - **No atomics on the hot path.** Every worker (OpenMP thread or
+ *    gpusim launch worker) owns a TelemetryShard and bumps plain
+ *    counters; shards are merged into the sink once, at the barrier that
+ *    ends the parallel region. The sink itself takes a mutex only at
+ *    merge time.
+ *  - **Null-sink fast path.** When no sink is attached the per-stage
+ *    hooks reduce to one pointer test (no clock reads); golden streams
+ *    and throughput are untouched.
+ *  - **Compile-time off switch.** Building with -DFPC_TELEMETRY=0 turns
+ *    every hook into a no-op and the sink never fills; the API keeps
+ *    compiling so callers need no #ifdefs.
+ *  - **Bytes are exact.** Stage input/output byte counters are summed
+ *    from the same spans the stages see, so they reconcile with the
+ *    container totals (asserted by tests/telemetry_test.cc).
+ *
+ * The JSON exported by ToJson() is a stable, versioned schema
+ * ("fpc.telemetry.v1") consumed by `fpczip --stats`, the eval harness,
+ * and the figure benches; tools/check_stats_schema.py pins it.
+ */
+#ifndef FPC_CORE_TELEMETRY_H
+#define FPC_CORE_TELEMETRY_H
+
+#include <chrono>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "core/arena.h"
+#include "core/types.h"
+#include "util/common.h"
+
+// Compile-time switch; CMake option FPC_TELEMETRY (default ON) defines it
+// on every target. 0 compiles every hook out of the pipeline.
+#ifndef FPC_TELEMETRY
+#define FPC_TELEMETRY 1
+#endif
+
+namespace fpc {
+
+/** True when the library was built with telemetry hooks compiled in. */
+inline constexpr bool kTelemetryEnabled = FPC_TELEMETRY != 0;
+
+/** The seven instrumented transform stages (paper Figure 1). */
+enum class StageId : uint8_t {
+    kDiffms = 0,
+    kMplg = 1,
+    kBit = 2,
+    kRze = 3,
+    kFcm = 4,
+    kRaze = 5,
+    kRare = 6,
+};
+inline constexpr size_t kStageCount = 7;
+
+/** Wire/JSON name of a stage ("DIFFMS", "MPLG", ...). */
+const char* StageName(StageId id);
+
+/** Monotonic nanosecond clock used by all telemetry timing. */
+inline uint64_t
+TelemetryNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** One direction (encode or decode) of one stage's counters. */
+struct StageStats {
+    uint64_t calls = 0;
+    uint64_t wall_ns = 0;
+    uint64_t input_bytes = 0;
+    uint64_t output_bytes = 0;
+
+    void
+    Add(const StageStats& other)
+    {
+        calls += other.calls;
+        wall_ns += other.wall_ns;
+        input_bytes += other.input_bytes;
+        output_bytes += other.output_bytes;
+    }
+};
+
+/** Both directions of one stage. */
+struct StageMetrics {
+    StageStats encode;
+    StageStats decode;
+};
+
+/**
+ * Per-worker counter block. Each OpenMP thread / gpusim launch worker owns
+ * one shard for the duration of a run (wired to its ScratchArena), bumps
+ * it without synchronisation, and the orchestrating thread merges all
+ * shards into the Telemetry sink after the join. Plain aggregate: merging
+ * is memberwise addition (max for the high-water mark).
+ */
+struct TelemetryShard {
+    std::array<StageMetrics, kStageCount> stages{};
+    uint64_t chunks_encoded = 0;
+    uint64_t chunks_raw = 0;      ///< raw-fallback chunks (pipeline lost)
+    uint64_t chunks_decoded = 0;
+    uint64_t mplg_subchunks = 0;  ///< MPLG subchunks seen on encode
+    uint64_t mplg_enhanced = 0;   ///< subchunks that took the retry path
+    uint64_t arena_high_water_bytes = 0;  ///< max arena capacity observed
+
+    StageMetrics& operator[](StageId id) {
+        return stages[static_cast<size_t>(id)];
+    }
+    const StageMetrics& operator[](StageId id) const {
+        return stages[static_cast<size_t>(id)];
+    }
+
+    /** Hot-path hooks; callers hold a non-null shard only when a sink is
+     *  attached, so the null-sink path never reaches these. */
+    void
+    OnStageEncode(StageId id, size_t in_bytes, size_t out_bytes,
+                  uint64_t wall_ns)
+    {
+        StageStats& s = (*this)[id].encode;
+        ++s.calls;
+        s.wall_ns += wall_ns;
+        s.input_bytes += in_bytes;
+        s.output_bytes += out_bytes;
+    }
+
+    void
+    OnStageDecode(StageId id, size_t in_bytes, size_t out_bytes,
+                  uint64_t wall_ns)
+    {
+        StageStats& s = (*this)[id].decode;
+        ++s.calls;
+        s.wall_ns += wall_ns;
+        s.input_bytes += in_bytes;
+        s.output_bytes += out_bytes;
+    }
+
+    void Merge(const TelemetryShard& other);
+};
+
+/** Run-direction totals (meaning of input/output follows the direction:
+ *  compress consumes uncompressed bytes and emits container bytes,
+ *  decompress the reverse). */
+struct RunTotals {
+    uint64_t calls = 0;
+    uint64_t input_bytes = 0;
+    uint64_t output_bytes = 0;
+    uint64_t wall_ns = 0;
+};
+
+/** Aggregated view of a sink; a plain value, safe to copy and inspect
+ *  after the sink keeps collecting. */
+struct TelemetrySnapshot {
+    RunTotals compress;
+    RunTotals decompress;
+    TelemetryShard counters;
+    std::string executor;   ///< last executor name recorded
+    std::string algorithm;  ///< last algorithm name recorded
+};
+
+/** Render a snapshot as one line of schema-stable JSON
+ *  ("fpc.telemetry.v1"; see DESIGN.md "Observability"). */
+std::string ToJson(const TelemetrySnapshot& snapshot);
+
+/**
+ * A metrics sink. Attach one to any number of compress/decompress calls
+ * (`Options::with_telemetry(&sink)`); counters accumulate across calls
+ * until Reset(). Merges lock a mutex, so one sink may serve concurrent
+ * calls; the hot path never touches the sink directly.
+ */
+class Telemetry {
+ public:
+    Telemetry() = default;
+    Telemetry(const Telemetry&) = delete;
+    Telemetry& operator=(const Telemetry&) = delete;
+
+    /** Merge one worker shard (barrier-time, never per chunk). */
+    void Merge(const TelemetryShard& shard);
+
+    /** Record run totals for one compress / decompress call. */
+    void AddCompress(uint64_t input_bytes, uint64_t output_bytes,
+                     uint64_t wall_ns);
+    void AddDecompress(uint64_t input_bytes, uint64_t output_bytes,
+                       uint64_t wall_ns);
+
+    /** Record which backend/algorithm the (last) run used. */
+    void SetContext(const std::string& executor, Algorithm algorithm);
+
+    TelemetrySnapshot Snapshot() const;
+    std::string ToJson() const { return fpc::ToJson(Snapshot()); }
+    void Reset();
+
+ private:
+    mutable std::mutex mutex_;
+    TelemetrySnapshot state_;
+};
+
+/**
+ * Stack-scoped per-run collection used by the executors: when @p sink is
+ * non-null (and telemetry is compiled in), owns one TelemetryShard per
+ * worker, wires each shard to its worker's ScratchArena, and merges all
+ * shards — plus the arenas' high-water marks — into the sink at
+ * Finish(). When the sink is null every method is a cheap no-op, which is
+ * the null-sink fast path of the whole subsystem.
+ */
+class TelemetryRunScope {
+ public:
+    TelemetryRunScope(Telemetry* sink, size_t n_workers)
+    {
+#if FPC_TELEMETRY
+        if (sink != nullptr) {
+            sink_ = sink;
+            shards_.resize(n_workers + 1);  // +1: the orchestrating thread
+        }
+#else
+        (void)sink;
+        (void)n_workers;
+#endif
+    }
+
+    bool Enabled() const { return sink_ != nullptr; }
+
+    /** Worker @p i's shard, or nullptr when disabled. */
+    TelemetryShard*
+    WorkerShard(size_t i)
+    {
+        return Enabled() ? &shards_[i] : nullptr;
+    }
+
+    /** Shard of the orchestrating thread (whole-input pre-stages). */
+    TelemetryShard*
+    MainShard()
+    {
+        return Enabled() ? &shards_.back() : nullptr;
+    }
+
+    /** Point every arena at its worker's shard (index-aligned). */
+    void
+    Attach(std::span<ScratchArena> arenas)
+    {
+        if (!Enabled()) return;
+        for (size_t i = 0; i < arenas.size(); ++i) {
+            arenas[i].SetTelemetryShard(WorkerShard(i));
+        }
+    }
+
+    /** Merge every shard and @p arenas' high-water marks into the sink.
+     *  Call once, after the parallel region's barrier. */
+    void
+    Finish(std::span<ScratchArena> arenas)
+    {
+        if (!Enabled()) return;
+        for (ScratchArena& arena : arenas) {
+            arena.SetTelemetryShard(nullptr);
+        }
+        TelemetryShard merged;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+            if (i < arenas.size()) {
+                shards_[i].arena_high_water_bytes =
+                    std::max(shards_[i].arena_high_water_bytes,
+                             static_cast<uint64_t>(
+                                 arenas[i].CapacityBytes()));
+            }
+            merged.Merge(shards_[i]);
+        }
+        sink_->Merge(merged);
+        sink_ = nullptr;
+    }
+
+ private:
+    Telemetry* sink_ = nullptr;
+    std::vector<TelemetryShard> shards_;
+};
+
+/** The sink a call should report to: Options::telemetry when the build
+ *  has telemetry compiled in, nullptr otherwise (makes -DFPC_TELEMETRY=0
+ *  a whole-subsystem no-op without #ifdefs at call sites). */
+inline Telemetry*
+SinkOf(const Options& options)
+{
+    return kTelemetryEnabled ? options.telemetry : nullptr;
+}
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_TELEMETRY_H

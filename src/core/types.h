@@ -27,16 +27,65 @@ enum class Device : uint8_t {
                   ///  execution-model simulator (see src/gpusim)
 };
 
-class Executor;  // core/executor.h
+class Executor;   // core/executor.h
+class Telemetry;  // core/telemetry.h
 
-/** Knobs for compress()/decompress(). */
+/**
+ * Knobs for compress()/decompress(). A plain value type with builder-style
+ * chaining, so call sites read as one expression:
+ *
+ * @code
+ *   fpc::Options options = fpc::Options{}
+ *       .with_executor("gpusim:a100")
+ *       .with_threads(8)
+ *       .with_telemetry(&sink);
+ * @endcode
+ */
 struct Options {
+    /** Legacy device selector. Superseded by `executor`; it is mapped onto
+     *  the registry in exactly one place (ResolveExecutor in
+     *  core/executor.cc) — nothing else may interpret it. */
     Device device = Device::kCpu;
     int threads = 0;  ///< 0 = library default (all available)
     /** Execution backend (core/executor.h). When set it takes precedence
      *  over `device`; when null, `device` selects "cpu" or the default
      *  gpusim backend. All backends emit identical compressed bytes. */
     const Executor* executor = nullptr;
+    /** Metrics sink (core/telemetry.h); null = collect nothing (the
+     *  fast path — no clocks, no counters). */
+    Telemetry* telemetry = nullptr;
+
+    Options&
+    with_device(Device d)
+    {
+        device = d;
+        return *this;
+    }
+
+    Options&
+    with_threads(int n)
+    {
+        threads = n;
+        return *this;
+    }
+
+    Options&
+    with_executor(const Executor& e)
+    {
+        executor = &e;
+        return *this;
+    }
+
+    /** Select a backend by registry name ("cpu", "gpusim:a100", ...).
+     *  Throws UsageError for unknown names. Defined in core/executor.cc. */
+    Options& with_executor(const std::string& name);
+
+    Options&
+    with_telemetry(Telemetry* sink)
+    {
+        telemetry = sink;
+        return *this;
+    }
 };
 
 /** Human-readable algorithm name as used in the paper. */

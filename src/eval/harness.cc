@@ -10,10 +10,12 @@ namespace fpc::eval {
 EvalCodec
 OurCodec(Algorithm algorithm, const Executor& executor)
 {
-    Options options;
-    options.executor = &executor;
     EvalCodec codec;
     codec.name = AlgorithmName(algorithm);
+    codec.telemetry = std::make_shared<Telemetry>();
+    Options options;
+    options.executor = &executor;
+    options.telemetry = codec.telemetry.get();
     codec.compress = [algorithm, options](ByteSpan in) {
         return Compress(algorithm, in, options);
     };
@@ -38,7 +40,7 @@ OurCodec(Algorithm algorithm, Device device)
 EvalCodec
 Wrap(const baselines::BaselineCodec& baseline)
 {
-    return {baseline.name, baseline.compress, baseline.decompress};
+    return {baseline.name, baseline.compress, baseline.decompress, nullptr};
 }
 
 CodecResult
@@ -47,6 +49,9 @@ Evaluate(const EvalCodec& codec, const std::vector<EvalInput>& inputs,
 {
     CodecResult result;
     result.name = codec.name;
+    // Scope the sink to this evaluation: counters from earlier runs of the
+    // same codec must not leak into this result's snapshot.
+    if (codec.telemetry != nullptr) codec.telemetry->Reset();
 
     std::map<std::string, std::vector<double>> ratio_groups;
     std::map<std::string, std::vector<double>> comp_groups;
@@ -98,6 +103,9 @@ Evaluate(const EvalCodec& codec, const std::vector<EvalInput>& inputs,
     result.ratio = geo_of_geo(ratio_groups);
     result.compress_gbps = geo_of_geo(comp_groups);
     result.decompress_gbps = geo_of_geo(decomp_groups);
+    if (codec.telemetry != nullptr) {
+        result.telemetry = codec.telemetry->Snapshot();
+    }
     return result;
 }
 

@@ -10,11 +10,13 @@
 #define FPC_EVAL_HARNESS_H
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "baselines/compressor.h"
 #include "core/codec.h"
 #include "core/executor.h"
+#include "core/telemetry.h"
 #include "util/common.h"
 
 namespace fpc::eval {
@@ -24,6 +26,9 @@ struct EvalCodec {
     std::string name;
     std::function<Bytes(ByteSpan)> compress;
     std::function<Bytes(ByteSpan)> decompress;
+    /** Stage-metrics sink the compress/decompress closures report into;
+     *  null for baselines (they have no instrumented stages). */
+    std::shared_ptr<Telemetry> telemetry;
 };
 
 /** Wrap one of the paper's four algorithms on the given backend. */
@@ -62,6 +67,9 @@ struct CodecResult {
     double compress_gbps = 0;
     double decompress_gbps = 0;
     std::vector<FileResult> files;
+    /** Per-stage metrics over every timed run of this evaluation (default
+     *  snapshot for baselines / FPC_TELEMETRY=0 builds). */
+    TelemetrySnapshot telemetry;
 };
 
 /** Measurement knobs. */

@@ -120,6 +120,101 @@ PrintAsciiScatter(std::ostream& os, const std::vector<ScatterPoint>& points)
     os << "\n\n";
 }
 
+namespace {
+
+/** True when @p snapshot recorded at least one stage call. */
+bool
+HasStageData(const TelemetrySnapshot& snapshot)
+{
+    for (const StageMetrics& stage : snapshot.counters.stages) {
+        if (stage.encode.calls != 0 || stage.decode.calls != 0) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+void
+PrintStageBreakdown(std::ostream& os,
+                    const std::vector<CodecResult>& results)
+{
+    for (const CodecResult& result : results) {
+        if (!HasStageData(result.telemetry)) continue;
+        uint64_t encode_total_ns = 0;
+        uint64_t decode_total_ns = 0;
+        for (const StageMetrics& stage : result.telemetry.counters.stages) {
+            encode_total_ns += stage.encode.wall_ns;
+            decode_total_ns += stage.decode.wall_ns;
+        }
+        os << "-- " << result.name << " stage breakdown ("
+           << result.telemetry.executor << ") --\n";
+        os << std::left << std::setw(8) << "stage" << std::right
+           << std::setw(12) << "enc calls" << std::setw(10) << "enc %"
+           << std::setw(14) << "enc out/in" << std::setw(12) << "dec calls"
+           << std::setw(10) << "dec %\n";
+        for (size_t s = 0; s < kStageCount; ++s) {
+            const StageMetrics& stage = result.telemetry.counters.stages[s];
+            if (stage.encode.calls == 0 && stage.decode.calls == 0) continue;
+            const double enc_share =
+                encode_total_ns == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(stage.encode.wall_ns) /
+                          static_cast<double>(encode_total_ns);
+            const double dec_share =
+                decode_total_ns == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(stage.decode.wall_ns) /
+                          static_cast<double>(decode_total_ns);
+            const double shrink =
+                stage.encode.input_bytes == 0
+                    ? 0.0
+                    : static_cast<double>(stage.encode.output_bytes) /
+                          static_cast<double>(stage.encode.input_bytes);
+            os << std::left << std::setw(8)
+               << StageName(static_cast<StageId>(s)) << std::right
+               << std::setw(12) << stage.encode.calls << std::setw(9)
+               << std::fixed << std::setprecision(1) << enc_share << "%"
+               << std::setw(14) << std::setprecision(3) << shrink
+               << std::setw(12) << stage.decode.calls << std::setw(9)
+               << std::setprecision(1) << dec_share << "%\n";
+        }
+        const TelemetryShard& counters = result.telemetry.counters;
+        os << "chunks: " << counters.chunks_encoded << " encoded, "
+           << counters.chunks_raw << " raw fallback; mplg subchunks: "
+           << counters.mplg_subchunks << " (" << counters.mplg_enhanced
+           << " enhanced); arena high-water: "
+           << counters.arena_high_water_bytes << " bytes\n\n";
+    }
+}
+
+void
+WriteStageCsv(const std::string& path,
+              const std::vector<CodecResult>& results)
+{
+    std::ofstream os(path);
+    os << "compressor,stage,direction,calls,wall_ns,input_bytes,"
+          "output_bytes\n";
+    for (const CodecResult& result : results) {
+        if (!HasStageData(result.telemetry)) continue;
+        for (size_t s = 0; s < kStageCount; ++s) {
+            const StageMetrics& stage = result.telemetry.counters.stages[s];
+            const char* name = StageName(static_cast<StageId>(s));
+            if (stage.encode.calls != 0) {
+                os << result.name << "," << name << ",encode,"
+                   << stage.encode.calls << "," << stage.encode.wall_ns
+                   << "," << stage.encode.input_bytes << ","
+                   << stage.encode.output_bytes << "\n";
+            }
+            if (stage.decode.calls != 0) {
+                os << result.name << "," << name << ",decode,"
+                   << stage.decode.calls << "," << stage.decode.wall_ns
+                   << "," << stage.decode.input_bytes << ","
+                   << stage.decode.output_bytes << "\n";
+            }
+        }
+    }
+}
+
 void
 WriteCsv(const std::string& path, const std::vector<CodecResult>& results,
          Axis axis)

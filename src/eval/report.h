@@ -35,6 +35,19 @@ void WriteCsv(const std::string& path,
               const std::vector<CodecResult>& results, Axis axis);
 
 /**
+ * Print the telemetry stage breakdown of each instrumented codec: per
+ * stage and direction, calls, wall-time share, and the byte flow. Codecs
+ * without telemetry (baselines, FPC_TELEMETRY=0 builds) are skipped.
+ */
+void PrintStageBreakdown(std::ostream& os,
+                         const std::vector<CodecResult>& results);
+
+/** Write "compressor,stage,direction,calls,wall_ns,input_bytes,
+ *  output_bytes" rows for every instrumented codec. */
+void WriteStageCsv(const std::string& path,
+                   const std::vector<CodecResult>& results);
+
+/**
  * Render the scatter as ASCII art: ratio on the y-axis, log-scale
  * throughput on the x-axis (the paper's CPU figures use a log x-axis),
  * Pareto-front members drawn with their series letter uppercased and a

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/telemetry.h"
 #include "gpusim/bit_arena.h"
 #include "gpusim/primitives.h"
 #include "transforms/adaptive_k.h"
@@ -762,12 +763,37 @@ LookupDeviceStage(const std::string& name, unsigned word_size)
     throw UsageError("no device kernel for stage " + name);
 }
 
+/**
+ * Subchunk counters from an MPLG stage output. The device kernels do not
+ * share MplgEncodeImpl's pass-1 loop (where the CPU path counts), but the
+ * wire format is self-describing: uint64 input size, then one header byte
+ * per subchunk whose bit 7 is the enhancement flag.
+ */
+void
+CountMplgSubchunks(ByteSpan encoded, unsigned word_size,
+                   TelemetryShard& shard)
+{
+    if (encoded.size() < sizeof(uint64_t)) return;
+    uint64_t orig_size = 0;
+    std::memcpy(&orig_size, encoded.data(), sizeof(orig_size));
+    const size_t words_per_sub = kSubchunkSize / word_size;
+    const size_t nw = static_cast<size_t>(orig_size) / word_size;
+    const size_t n_sub = (nw + words_per_sub - 1) / words_per_sub;
+    shard.mplg_subchunks += n_sub;
+    for (size_t s = 0; s < n_sub; ++s) {
+        const auto h =
+            static_cast<uint8_t>(encoded[sizeof(uint64_t) + s]);
+        shard.mplg_enhanced += (h & 0x80u) != 0 ? 1 : 0;
+    }
+}
+
 }  // namespace
 
 ByteSpan
 EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
                   ScratchArena& scratch)
 {
+    TelemetryShard* shard = scratch.Telemetry();
     ThreadBlock block(0, 256);
     Bytes* src = &scratch.PipelineA();
     Bytes* dst = &scratch.PipelineB();
@@ -775,15 +801,31 @@ EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
     for (const Stage& stage : spec.stages) {
         DeviceStage device = LookupDeviceStage(stage.name, spec.word_size);
         dst->clear();
-        device.encode(block, first ? chunk : ByteSpan(*src), *dst);
+        const ByteSpan stage_in = first ? chunk : ByteSpan(*src);
+        if (shard != nullptr) {
+            const uint64_t t0 = TelemetryNowNs();
+            device.encode(block, stage_in, *dst);
+            shard->OnStageEncode(stage.id, stage_in.size(), dst->size(),
+                                 TelemetryNowNs() - t0);
+            if (stage.id == StageId::kMplg) {
+                CountMplgSubchunks(ByteSpan(*dst), spec.word_size, *shard);
+            }
+        } else {
+            device.encode(block, stage_in, *dst);
+        }
         std::swap(src, dst);
         first = false;
     }
     if (first || src->size() >= chunk.size()) {
         raw = true;
+        if (shard != nullptr) {
+            ++shard->chunks_encoded;
+            ++shard->chunks_raw;
+        }
         return chunk;
     }
     raw = false;
+    if (shard != nullptr) ++shard->chunks_encoded;
     return ByteSpan(*src);
 }
 
@@ -791,10 +833,12 @@ void
 DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
                   std::span<std::byte> dest, ScratchArena& scratch)
 {
+    TelemetryShard* shard = scratch.Telemetry();
     if (raw) {
         FPC_PARSE_CHECK(payload.size() == dest.size(),
                         "raw chunk size mismatch");
         std::memcpy(dest.data(), payload.data(), payload.size());
+        if (shard != nullptr) ++shard->chunks_decoded;
         return;
     }
     FPC_PARSE_CHECK(!spec.stages.empty(),
@@ -809,12 +853,20 @@ DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
         DeviceStage device =
             LookupDeviceStage(spec.stages[s].name, spec.word_size);
         dst->clear();
-        device.decode(block, cur, *dst, budget);
+        if (shard != nullptr) {
+            const uint64_t t0 = TelemetryNowNs();
+            device.decode(block, cur, *dst, budget);
+            shard->OnStageDecode(spec.stages[s].id, cur.size(), dst->size(),
+                                 TelemetryNowNs() - t0);
+        } else {
+            device.decode(block, cur, *dst, budget);
+        }
         std::swap(src, dst);
         cur = ByteSpan(*src);
     }
     FPC_PARSE_CHECK(cur.size() == dest.size(), "chunk size mismatch");
     std::memcpy(dest.data(), cur.data(), cur.size());
+    if (shard != nullptr) ++shard->chunks_decoded;
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include "core/arena.h"
 #include "core/orchestrate.h"
+#include "core/telemetry.h"
 #include "gpusim/kernels.h"
 #include "gpusim/primitives.h"
 
@@ -40,12 +41,14 @@ LaunchWorkerId()
 /** Chunk decode hook for the orchestration driver: one thread block per
  *  chunk, scheduled by the device. */
 DecodeChunksFn
-DecodeChunksOn(const Device& device)
+DecodeChunksOn(const Device& device, Telemetry* sink)
 {
-    return [&device](const ContainerView& view, const PipelineSpec& spec,
-                     std::byte* dest) {
+    return [&device, sink](const ContainerView& view,
+                           const PipelineSpec& spec, std::byte* dest) {
         const size_t transformed_size = view.header.transformed_size;
         std::vector<ScratchArena> arenas(MaxLaunchWorkers());
+        TelemetryRunScope scope(sink, MaxLaunchWorkers());
+        scope.Attach(arenas);
         std::atomic<bool> failed{false};
         std::exception_ptr first_error;
 #ifdef _OPENMP
@@ -78,6 +81,7 @@ DecodeChunksOn(const Device& device)
 #ifdef _OPENMP
         omp_destroy_lock(&error_lock);
 #endif
+        scope.Finish(arenas);
         if (failed.load()) {
             // Rethrow the first failure so stage/offset context in a
             // CorruptStreamError survives the launch, matching the CPU
@@ -95,25 +99,42 @@ DecodeChunksOn(const Device& device)
 
 /** Whole-input pre-stage hook (FCM) on the device path. */
 PreDecodeFn
-DevicePreDecode()
+DevicePreDecode(Telemetry* sink)
 {
-    return [](const PipelineSpec& spec, ByteSpan transformed, Bytes& out) {
-        (void)spec;  // only DPratio has a pre-stage, and it is FCM
+    return [sink](const PipelineSpec& spec, ByteSpan transformed,
+                  Bytes& out) {
+        if (sink == nullptr) {
+            (void)spec;  // only DPratio has a pre-stage, and it is FCM
+            FcmDecodeDevice(transformed, out);
+            return;
+        }
+        const uint64_t t0 = TelemetryNowNs();
         FcmDecodeDevice(transformed, out);
+        TelemetryShard shard;
+        shard.OnStageDecode(spec.pre.id, transformed.size(), out.size(),
+                            TelemetryNowNs() - t0);
+        sink->Merge(shard);
     };
 }
 
 }  // namespace
 
 Bytes
-CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
+CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
+                 Telemetry* sink)
 {
     const PipelineSpec& spec = GetPipeline(algorithm);
+    TelemetryRunScope scope(sink, MaxLaunchWorkers());
 
     Bytes work;
     ByteSpan chunk_src = input;
     if (spec.pre.encode != nullptr) {
+        const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
         FcmEncodeDevice(input, work);
+        if (TelemetryShard* shard = scope.MainShard()) {
+            shard->OnStageEncode(spec.pre.id, input.size(), work.size(),
+                                 TelemetryNowNs() - t0);
+        }
         chunk_src = ByteSpan(work);
     }
 
@@ -122,6 +143,7 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
     std::vector<uint64_t> offsets(n_chunks, 0);
     DecoupledLookback lookback(n_chunks);
     std::vector<ScratchArena> arenas(MaxLaunchWorkers());
+    scope.Attach(arenas);
 
     // One thread block per chunk; after encoding, each block publishes its
     // compressed size and resolves its write position by looking back.
@@ -143,23 +165,26 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input)
     for (uint32_t size : plan.sizes) total += size;
     // Placement at the look-back-resolved positions; bytes are identical
     // to the CPU executor's prefix-sum placement (tests assert).
-    return AssembleContainer(header, plan, offsets, total, arenas,
-                             /*threads=*/1);
+    Bytes out = AssembleContainer(header, plan, offsets, total, arenas,
+                                  /*threads=*/1);
+    scope.Finish(arenas);
+    return out;
 }
 
 Bytes
-DecompressOnDevice(const Device& device, ByteSpan compressed)
+DecompressOnDevice(const Device& device, ByteSpan compressed,
+                   Telemetry* sink)
 {
-    return RunDecompress(compressed, DecodeChunksOn(device),
-                         DevicePreDecode());
+    return RunDecompress(compressed, DecodeChunksOn(device, sink),
+                         DevicePreDecode(sink));
 }
 
 void
 DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
-                       std::span<std::byte> out)
+                       std::span<std::byte> out, Telemetry* sink)
 {
-    RunDecompressInto(compressed, out, DecodeChunksOn(device),
-                      DevicePreDecode());
+    RunDecompressInto(compressed, out, DecodeChunksOn(device, sink),
+                      DevicePreDecode(sink));
 }
 
 }  // namespace fpc::gpusim

@@ -16,18 +16,22 @@
 namespace fpc::gpusim {
 
 /** Compress via grid launch on @p device; container-identical to
- *  fpc::Compress(algorithm, input). */
+ *  fpc::Compress(algorithm, input). Per-block counters accumulate into
+ *  @p sink (one shard per launch worker, merged at the launch barrier)
+ *  when it is non-null. */
 Bytes CompressOnDevice(const Device& device, Algorithm algorithm,
-                       ByteSpan input);
+                       ByteSpan input, Telemetry* sink = nullptr);
 
 /** Decompress via grid launch (chunk offsets from a prefix sum over the
  *  chunk table, then fully independent block decoding). */
-Bytes DecompressOnDevice(const Device& device, ByteSpan compressed);
+Bytes DecompressOnDevice(const Device& device, ByteSpan compressed,
+                         Telemetry* sink = nullptr);
 
 /** DecompressOnDevice into caller-owned memory of exactly original_size
  *  bytes (throws UsageError otherwise). */
 void DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
-                            std::span<std::byte> out);
+                            std::span<std::byte> out,
+                            Telemetry* sink = nullptr);
 
 }  // namespace fpc::gpusim
 

@@ -20,6 +20,7 @@
  */
 #include "transforms/transforms.h"
 
+#include "core/telemetry.h"
 #include "util/bitio.h"
 #include "util/bitpack.h"
 
@@ -83,6 +84,7 @@ MplgEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
     const uint64_t size64 = in.size();
     std::memcpy(out.data() + base, &size64, sizeof(size64));
     size_t total_bits = 0;
+    size_t enhanced_subchunks = 0;
     for (size_t s = 0; s < n_sub; ++s) {
         const size_t begin = s * words_per_sub;
         const size_t end = std::min(nw, begin + words_per_sub);
@@ -106,6 +108,11 @@ MplgEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
         out[base + sizeof(uint64_t) + s] =
             static_cast<std::byte>((enhanced ? 0x80u : 0u) | width);
         total_bits += width * (end - begin);
+        enhanced_subchunks += enhanced ? 1 : 0;
+    }
+    if (TelemetryShard* shard = scratch.Telemetry()) {
+        shard->mplg_subchunks += n_sub;
+        shard->mplg_enhanced += enhanced_subchunks;
     }
 
     // Pass 2: pack the kept low bits of every word straight into the

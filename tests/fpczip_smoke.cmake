@@ -36,15 +36,23 @@ function(run_fpczip expect_rc)
         message(FATAL_ERROR "fpczip ${ARGN} exited ${rc} (expected ${expect_rc}):\n${out}\n${err}")
     endif()
     set(last_output "${out}" PARENT_SCOPE)
+    set(last_error "${err}" PARENT_SCOPE)
 endfunction()
 
 # compress (CPU backend, explicitly)
 run_fpczip(0 -c -a SPspeed --backend=cpu "${input}" "${packed}")
 
-# inspect: exactly one JSON line naming the algorithm
+# inspect: exactly one JSON line naming the algorithm (by name and id) and
+# carrying the per-chunk raw-fallback detail
 run_fpczip(0 inspect "${packed}")
-if(NOT last_output MATCHES "^\\{\"algorithm\": \"SPspeed\".*\"ratio\": [0-9.]+\\}\n$")
+if(NOT last_output MATCHES "^\\{\"algorithm\": \"SPspeed\", \"algorithm_id\": 0, .*\"ratio\": [0-9.]+\\}\n$")
     message(FATAL_ERROR "unexpected inspect output: ${last_output}")
+endif()
+if(NOT last_output MATCHES "\"raw_chunk_indices\": \\[[0-9, ]*\\]")
+    message(FATAL_ERROR "inspect output lacks raw_chunk_indices: ${last_output}")
+endif()
+if(NOT last_output MATCHES "\"compressed_size\": [0-9]+")
+    message(FATAL_ERROR "inspect output lacks compressed_size: ${last_output}")
 endif()
 
 # decompress on a device backend: streams are cross-compatible
@@ -54,6 +62,30 @@ file(READ "${input}" original)
 file(READ "${restored}" roundtrip)
 if(NOT original STREQUAL roundtrip)
     message(FATAL_ERROR "round trip through fpczip changed the bytes")
+endif()
+
+# --stats prints one fpc.telemetry.v1 JSON line on stderr; the container
+# bytes must be identical to the un-instrumented run. In FPC_TELEMETRY=0
+# builds (TELEMETRY passed by the registering CMakeLists) the line still
+# appears but its context/counters stay empty, so only the schema tag and
+# the byte identity are checked there.
+set(packed_stats "${WORK_DIR}/input-stats.fpcz")
+run_fpczip(0 -c -a SPspeed --stats "${input}" "${packed_stats}")
+if(NOT last_error MATCHES "\\{\"schema\": \"fpc\\.telemetry\\.v1\"")
+    message(FATAL_ERROR "--stats did not print a telemetry JSON line: ${last_error}")
+endif()
+if(TELEMETRY)
+    if(NOT last_error MATCHES "\"executor\": \"cpu\", \"algorithm\": \"SPspeed\"")
+        message(FATAL_ERROR "--stats line lacks run context: ${last_error}")
+    endif()
+    if(NOT last_error MATCHES "\"stages\": \\[\\{\"stage\": \"DIFFMS\"")
+        message(FATAL_ERROR "--stats line lacks the stage array: ${last_error}")
+    endif()
+endif()
+file(READ "${packed}" plain_bytes HEX)
+file(READ "${packed_stats}" stats_bytes HEX)
+if(NOT plain_bytes STREQUAL stats_bytes)
+    message(FATAL_ERROR "--stats changed the compressed bytes")
 endif()
 
 # unknown backend must fail with the usage exit code, not crash

@@ -1,0 +1,55 @@
+# ctest driver for tools/check_stats_schema.py, registered by
+# tests/CMakeLists.txt as
+#   cmake -DFPCZIP=... -DPYTHON=... -DCHECKER=... -DWORK_DIR=...
+#         -DTELEMETRY=<ON|OFF> -P stats_schema.cmake
+#
+# Runs `fpczip --stats` for one speed and one ratio algorithm, captures
+# the telemetry JSON lines from stderr, and validates them field-by-field
+# with the Python schema checker. In FPC_TELEMETRY=0 builds the lines
+# still appear but stay empty, so the checker runs with --allow-empty.
+
+if(NOT FPCZIP OR NOT PYTHON OR NOT CHECKER OR NOT WORK_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DFPCZIP=... -DPYTHON=... -DCHECKER=... -DWORK_DIR=... -P stats_schema.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(input "${WORK_DIR}/input.bin")
+set(pattern "stats-schema-0123456789abcdefghijklmnopqrstuvwxyz-")
+set(data "")
+foreach(i RANGE 0 2047)
+    string(APPEND data "${pattern}")
+endforeach()
+file(WRITE "${input}" "${data}")
+
+set(stats_log "${WORK_DIR}/stats.jsonl")
+file(WRITE "${stats_log}" "")
+foreach(algorithm SPspeed DPratio)
+    execute_process(
+        COMMAND "${FPCZIP}" -c -a ${algorithm} --stats
+            "${input}" "${WORK_DIR}/${algorithm}.fpcz"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "fpczip -c -a ${algorithm} --stats exited ${rc}:\n${out}\n${err}")
+    endif()
+    file(APPEND "${stats_log}" "${err}")
+endforeach()
+
+set(flags "")
+if(NOT TELEMETRY)
+    set(flags "--allow-empty")
+endif()
+execute_process(
+    COMMAND "${PYTHON}" "${CHECKER}" ${flags} "${stats_log}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "schema check failed (${rc}):\n${out}\n${err}")
+endif()
+
+message(STATUS "stats_schema test passed: ${out}")

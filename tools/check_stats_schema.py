@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate fpc.telemetry.v1 JSON lines.
+
+Reads stdin (or the files named on the command line), ignores every line
+that is not a JSON object carrying ``"schema": "fpc.telemetry.v1"``, and
+checks each telemetry line field-by-field against the schema emitted by
+``Telemetry::ToJson`` (src/core/telemetry.cc):
+
+  - top-level keys: schema, executor, algorithm, compress, decompress,
+    chunks, mplg, arena, stages;
+  - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
+    non-negative integers;
+  - chunks: encoded, raw_fallback, decoded with raw_fallback <= encoded;
+  - mplg: subchunks, enhanced_subchunks with enhanced <= subchunks;
+  - arena: high_water_bytes;
+  - stages: exactly the seven stages, in StageId order, each with an
+    encode and a decode block of the four counter fields.
+
+Exit code 0 when every telemetry line validates and at least one was seen
+(pass ``--allow-empty`` when hooks are compiled out and context/counter
+content is not expected), 1 otherwise. Wired into ctest as the
+``stats_schema`` test (tests/stats_schema.cmake); also usable ad hoc:
+
+    fpczip -c -a DPratio --stats in.bin out.fpcz 2>&1 | \\
+        python3 tools/check_stats_schema.py
+"""
+
+import json
+import sys
+
+SCHEMA_TAG = "fpc.telemetry.v1"
+
+STAGE_ORDER = ["DIFFMS", "MPLG", "BIT", "RZE", "FCM", "RAZE", "RARE"]
+
+COUNTER_FIELDS = ["calls", "input_bytes", "output_bytes", "wall_ns"]
+
+TOP_KEYS = [
+    "schema",
+    "executor",
+    "algorithm",
+    "compress",
+    "decompress",
+    "chunks",
+    "mplg",
+    "arena",
+    "stages",
+]
+
+
+def fail(line_no, message):
+    print(f"check_stats_schema: line {line_no}: {message}", file=sys.stderr)
+    return False
+
+
+def check_counters(line_no, where, block):
+    if not isinstance(block, dict):
+        return fail(line_no, f"{where} is not an object")
+    ok = True
+    for field in COUNTER_FIELDS:
+        value = block.get(field)
+        if not isinstance(value, int) or value < 0:
+            ok = fail(line_no, f"{where}.{field} missing or not a"
+                               f" non-negative integer: {value!r}")
+    return ok
+
+
+def check_line(line_no, doc):
+    ok = True
+    for key in TOP_KEYS:
+        if key not in doc:
+            ok = fail(line_no, f"missing top-level key {key!r}")
+    if not ok:
+        return False
+    extra = set(doc) - set(TOP_KEYS)
+    if extra:
+        ok = fail(line_no, f"unknown top-level keys {sorted(extra)}"
+                           " (bump the schema tag instead)")
+
+    for direction in ("compress", "decompress"):
+        ok = check_counters(line_no, direction, doc[direction]) and ok
+
+    chunks = doc["chunks"]
+    for field in ("encoded", "raw_fallback", "decoded"):
+        if not isinstance(chunks.get(field), int) or chunks[field] < 0:
+            ok = fail(line_no, f"chunks.{field} missing or invalid")
+    if ok and chunks["raw_fallback"] > chunks["encoded"]:
+        ok = fail(line_no, "chunks.raw_fallback exceeds chunks.encoded")
+
+    mplg = doc["mplg"]
+    for field in ("subchunks", "enhanced_subchunks"):
+        if not isinstance(mplg.get(field), int) or mplg[field] < 0:
+            ok = fail(line_no, f"mplg.{field} missing or invalid")
+    if ok and mplg["enhanced_subchunks"] > mplg["subchunks"]:
+        ok = fail(line_no, "mplg.enhanced_subchunks exceeds subchunks")
+
+    arena = doc["arena"]
+    if not isinstance(arena.get("high_water_bytes"), int):
+        ok = fail(line_no, "arena.high_water_bytes missing or invalid")
+
+    stages = doc["stages"]
+    if not isinstance(stages, list):
+        return fail(line_no, "stages is not an array")
+    names = [s.get("stage") for s in stages if isinstance(s, dict)]
+    if names != STAGE_ORDER:
+        ok = fail(line_no, f"stage array is {names}, expected fixed order"
+                           f" {STAGE_ORDER}")
+    for stage in stages:
+        if not isinstance(stage, dict):
+            ok = fail(line_no, "stage entry is not an object")
+            continue
+        label = f"stages[{stage.get('stage')!r}]"
+        for direction in ("encode", "decode"):
+            if direction not in stage:
+                ok = fail(line_no, f"{label} lacks a {direction} block")
+            else:
+                ok = check_counters(line_no, f"{label}.{direction}",
+                                    stage[direction]) and ok
+    return ok
+
+
+def check_content(line_no, doc):
+    """Extra checks for builds with hooks compiled in: an instrumented
+    compress run must have filled in its context and counters."""
+    ok = True
+    if not doc["executor"]:
+        ok = fail(line_no, "executor is empty (no SetContext call?)")
+    if not doc["algorithm"]:
+        ok = fail(line_no, "algorithm is empty")
+    if doc["compress"]["calls"] + doc["decompress"]["calls"] == 0:
+        ok = fail(line_no, "neither compress nor decompress ran in an"
+                           " instrumented run")
+    if doc["chunks"]["encoded"] + doc["chunks"]["decoded"] == 0:
+        ok = fail(line_no, "no chunks processed in an instrumented run")
+    sum_of_stages = sum(s["encode"]["calls"] + s["decode"]["calls"]
+                        for s in doc["stages"])
+    if sum_of_stages == 0:
+        ok = fail(line_no, "every stage counter is 0 for an instrumented"
+                           " run")
+    return ok
+
+
+def main(argv):
+    allow_empty = "--allow-empty" in argv
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+
+    lines = []
+    if paths:
+        for path in paths:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                lines.extend(f.read().splitlines())
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    seen = 0
+    ok = True
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # not for us (e.g. an inspect line)
+        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_TAG:
+            continue
+        seen += 1
+        ok = check_line(line_no, doc) and ok
+        if ok and not allow_empty:
+            ok = check_content(line_no, doc)
+
+    if seen == 0:
+        print("check_stats_schema: no fpc.telemetry.v1 lines found",
+              file=sys.stderr)
+        return 1
+    if ok:
+        print(f"check_stats_schema: {seen} telemetry line(s) OK")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

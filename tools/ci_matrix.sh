@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Build-and-test matrix for CI-style local runs:
+#
+#   tools/ci_matrix.sh [jobs]
+#
+# Configurations:
+#   default        — Release, telemetry hooks compiled in (the shipping config)
+#   telemetry-off  — -DFPC_TELEMETRY=OFF: every hook compiles to a no-op;
+#                    proves the API still builds and the wire format is
+#                    unchanged (telemetry_test asserts empty sinks, the
+#                    golden-checksum tests pin the bytes)
+#   sanitize       — ASan+UBSan over the memory-sensitive test subset
+#
+# Each configuration builds into build-matrix/<name> so the normal
+# ./build tree is left alone. Exits non-zero on the first failure.
+
+set -eu
+
+jobs="${1:-2}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${root}/build-matrix"
+
+run_config() {
+    name="$1"; shift
+    echo "==> [${name}] configure: $*"
+    cmake -B "${out}/${name}" -S "${root}" "$@" >/dev/null
+    echo "==> [${name}] build"
+    cmake --build "${out}/${name}" -j "${jobs}" >/dev/null
+    echo "==> [${name}] test"
+}
+
+run_config default -DFPC_WERROR=ON
+ctest --test-dir "${out}/default" --output-on-failure -j "${jobs}"
+
+run_config telemetry-off -DFPC_WERROR=ON -DFPC_TELEMETRY=OFF
+ctest --test-dir "${out}/telemetry-off" --output-on-failure -j "${jobs}"
+
+run_config sanitize -DFPC_SANITIZE=ON -DFPC_BUILD_BENCH=OFF \
+    -DFPC_BUILD_EXAMPLES=OFF
+ctest --test-dir "${out}/sanitize" -L sanitize --output-on-failure \
+    -j "${jobs}"
+
+echo "==> matrix OK (default, telemetry-off, sanitize)"

@@ -14,6 +14,9 @@
  * --backend selects an executor-registry backend (cpu, gpusim:4090,
  *    gpusim:a100); all backends produce bit-identical containers (see
  *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
+ * --stats prints one "fpc.telemetry.v1" JSON line (per-stage wall time
+ *    and byte flow, chunk/raw counts; see DESIGN.md "Observability") to
+ *    stderr after a -c/-d run, so stdout stays scriptable.
  *
  * Exit codes: 0 success, 1 I/O or internal error, 2 usage error,
  * 3 corrupt or truncated compressed stream (the message names the stage
@@ -26,6 +29,7 @@
 
 #include "core/codec.h"
 #include "core/executor.h"
+#include "core/telemetry.h"
 #include "util/timer.h"
 
 namespace {
@@ -64,7 +68,8 @@ Usage()
         "       fpczip inspect IN                 inspect header (JSON)\n"
         "ALGO:    SPspeed (default) | SPratio | DPspeed | DPratio\n"
         "NAME:    cpu (default) | gpusim:4090 | gpusim:a100\n"
-        "-g:      shorthand for --backend=gpusim:4090 (identical output)\n");
+        "-g:      shorthand for --backend=gpusim:4090 (identical output)\n"
+        "--stats: print per-stage telemetry JSON to stderr after -c/-d\n");
     return 2;
 }
 
@@ -74,14 +79,25 @@ InspectJson(const std::string& path)
 {
     fpc::Bytes data = ReadFile(path);
     fpc::CompressedInfo info = fpc::Inspect(data);
-    std::printf("{\"algorithm\": \"%s\", \"original_size\": %llu, "
-                "\"transformed_size\": %llu, \"compressed_size\": %zu, "
+    std::string raw_indices = "[";
+    for (size_t c = 0; c < info.chunk_raw.size(); ++c) {
+        if (info.chunk_raw[c] == 0) continue;
+        if (raw_indices.size() > 1) raw_indices += ", ";
+        raw_indices += std::to_string(c);
+    }
+    raw_indices += "]";
+    std::printf("{\"algorithm\": \"%s\", \"algorithm_id\": %u, "
+                "\"original_size\": %llu, "
+                "\"transformed_size\": %llu, \"compressed_size\": %llu, "
                 "\"chunk_count\": %u, \"raw_chunks\": %u, "
-                "\"ratio\": %.6f}\n",
-                fpc::AlgorithmName(info.algorithm),
+                "\"raw_chunk_indices\": %s, \"ratio\": %.6f}\n",
+                info.algorithm_name.c_str(),
+                static_cast<unsigned>(info.algorithm),
                 static_cast<unsigned long long>(info.original_size),
                 static_cast<unsigned long long>(info.transformed_size),
-                data.size(), info.chunk_count, info.raw_chunks, info.ratio);
+                static_cast<unsigned long long>(info.compressed_size),
+                info.chunk_count, info.raw_chunks, raw_indices.c_str(),
+                info.ratio);
     return 0;
 }
 
@@ -99,6 +115,8 @@ main(int argc, char** argv)
             kInspectJson
         } action = kNone;
         fpc::Options options;
+        fpc::Telemetry stats_sink;
+        bool want_stats = false;
         fpc::Algorithm algorithm = fpc::Algorithm::kSPspeed;
         std::vector<std::string> files;
 
@@ -117,6 +135,9 @@ main(int argc, char** argv)
             } else if (arg.rfind("--backend=", 0) == 0) {
                 options.executor =
                     &fpc::GetExecutor(arg.substr(std::strlen("--backend=")));
+            } else if (arg == "--stats") {
+                want_stats = true;
+                options.telemetry = &stats_sink;
             } else if (arg == "-a" && i + 1 < argc) {
                 algorithm = fpc::ParseAlgorithm(argv[++i]);
             } else if (!arg.empty() && arg[0] == '-') {
@@ -168,6 +189,11 @@ main(int argc, char** argv)
                         output.size() / 1e9 / seconds);
         }
         WriteFile(files[1], output);
+        if (want_stats) {
+            // stderr keeps stdout scriptable; with FPC_TELEMETRY=0 the
+            // line still appears, with zeroed counters.
+            std::fprintf(stderr, "%s\n", stats_sink.ToJson().c_str());
+        }
         return 0;
     } catch (const fpc::CorruptStreamError& e) {
         // Distinct exit code so scripted callers can tell damaged input
