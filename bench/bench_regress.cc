@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Standing perf-regression harness: measure all four algorithms on the
+ * CPU and a gpusim backend over a small seeded synthetic corpus and emit
+ * one "fpc.bench.v1" JSON line — ratio, median throughput, and the chunk
+ * latency digests of each configuration, plus a config fingerprint so
+ * two reports are only ever compared when they measured the same corpus.
+ *
+ * The ctest `bench` label runs this binary and feeds its output to
+ * tools/compare_bench.py against the last committed BENCH_pr<N>.json
+ * baseline (repo root); the gate fails on any ratio regression or a
+ * throughput drop beyond the tolerance. Refresh the baseline by
+ * committing the new report when a change legitimately moves the
+ * numbers:
+ *
+ *   ./bench_regress BENCH_pr<N>.json
+ *
+ * Usage: bench_regress [OUT.json]      (stdout when OUT is omitted)
+ * Environment: FPC_BENCH_VALUES (default 16384), FPC_BENCH_RUNS (3),
+ * FPC_BENCH_REPEATS (5), FPC_BENCH_SP_SCALE (0.1), FPC_BENCH_DP_SCALE
+ * (0.25) — all part of the fingerprint, so a scaled run never gates
+ * against a default baseline.
+ *
+ * Throughput is the best (max) of FPC_BENCH_REPEATS whole evaluations,
+ * each itself a median over FPC_BENCH_RUNS: timing noise on a shared
+ * machine is one-sided (things only ever get slower), so best-of-N is a
+ * far more stable estimator for a regression gate than a single median.
+ * Ratios are deterministic and asserted identical across repeats.
+ */
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/telemetry.h"
+#include "data/datasets.h"
+#include "eval/harness.h"
+#include "figure_common.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace fpc;
+
+struct BenchConfig {
+    size_t values_per_file = 16384;
+    double sp_scale = 0.1;
+    double dp_scale = 0.25;
+    int runs = 3;
+    int repeats = 5;
+};
+
+/** Identity of the measured corpus + methodology. Deliberately excludes
+ *  machine facts (threads, telemetry build flag): those are recorded
+ *  alongside and the comparator decides what stays comparable. */
+std::string
+Fingerprint(const BenchConfig& config)
+{
+    char key[128];
+    std::snprintf(key, sizeof(key),
+                  "values=%zu;sp=%.6f;dp=%.6f;runs=%d;repeats=%d",
+                  config.values_per_file, config.sp_scale, config.dp_scale,
+                  config.runs, config.repeats);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64,
+                  Checksum64(AsBytes(std::span<const char>(
+                      key, std::char_traits<char>::length(key)))));
+    return hex;
+}
+
+void
+AppendDigest(std::string& out, const char* key,
+             const LatencyHistogram& hist, bool last)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\": {\"count\": %" PRIu64 ", \"p50_ns\": %" PRIu64
+                  ", \"p95_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64
+                  ", \"max_ns\": %" PRIu64 "}%s",
+                  key, hist.count, hist.P50(), hist.P95(), hist.P99(),
+                  hist.max_ns, last ? "" : ", ");
+    out += buf;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        BenchConfig config;
+        config.values_per_file = bench::EnvSize("FPC_BENCH_VALUES", 16384);
+        config.runs =
+            static_cast<int>(bench::EnvSize("FPC_BENCH_RUNS", 3));
+        config.repeats =
+            static_cast<int>(bench::EnvSize("FPC_BENCH_REPEATS", 5));
+        config.sp_scale = bench::EnvDouble("FPC_BENCH_SP_SCALE", 0.1);
+        config.dp_scale = bench::EnvDouble("FPC_BENCH_DP_SCALE", 0.25);
+
+        data::SuiteConfig sp_config;
+        sp_config.values_per_file = config.values_per_file;
+        sp_config.file_scale = config.sp_scale;
+        data::SuiteConfig dp_config;
+        dp_config.values_per_file = config.values_per_file;
+        dp_config.file_scale = config.dp_scale;
+        const std::vector<eval::EvalInput> sp_inputs =
+            eval::ToInputs(data::SingleSuite(sp_config));
+        const std::vector<eval::EvalInput> dp_inputs =
+            eval::ToInputs(data::DoubleSuite(dp_config));
+
+        eval::EvalConfig eval_config;
+        eval_config.runs = config.runs;
+
+        constexpr Algorithm kAlgorithms[] = {
+            Algorithm::kSPspeed,
+            Algorithm::kSPratio,
+            Algorithm::kDPspeed,
+            Algorithm::kDPratio,
+        };
+        constexpr const char* kBackends[] = {"cpu", "gpusim:4090"};
+
+        std::string out;
+        out.reserve(4096);
+        out += "{\"schema\": \"fpc.bench.v1\", \"config\": {";
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "\"values_per_file\": %zu, \"sp_scale\": %.6f, "
+                      "\"dp_scale\": %.6f, \"runs\": %d, \"repeats\": %d, "
+                      "\"threads\": %u, "
+                      "\"telemetry\": %s, \"fingerprint\": \"%s\"}, "
+                      "\"results\": [",
+                      config.values_per_file, config.sp_scale,
+                      config.dp_scale, config.runs, config.repeats,
+                      std::max(1u, std::thread::hardware_concurrency()),
+                      kTelemetryEnabled ? "true" : "false",
+                      Fingerprint(config).c_str());
+        out += buf;
+
+        bool first = true;
+        for (const char* backend : kBackends) {
+            const Executor& executor = GetExecutor(backend);
+            for (Algorithm algorithm : kAlgorithms) {
+                const bool dp = AlgorithmWordSize(algorithm) == 8;
+                // Best-of-repeats: keep the evaluation with the highest
+                // compress throughput, tracking the decompress max
+                // independently (noise is uncorrelated between the two).
+                eval::CodecResult result = eval::Evaluate(
+                    eval::OurCodec(algorithm, executor),
+                    dp ? dp_inputs : sp_inputs, eval_config);
+                for (int rep = 1; rep < config.repeats; ++rep) {
+                    eval::CodecResult again = eval::Evaluate(
+                        eval::OurCodec(algorithm, executor),
+                        dp ? dp_inputs : sp_inputs, eval_config);
+                    if (again.ratio != result.ratio) {
+                        std::fprintf(stderr,
+                                     "bench_regress: non-deterministic "
+                                     "ratio for %s@%s\n",
+                                     AlgorithmName(algorithm), backend);
+                        return 1;
+                    }
+                    const double decomp_best = std::max(
+                        result.decompress_gbps, again.decompress_gbps);
+                    if (again.compress_gbps > result.compress_gbps)
+                        result = again;
+                    result.decompress_gbps = decomp_best;
+                }
+                if (!first) out += ", ";
+                first = false;
+                std::snprintf(buf, sizeof(buf),
+                              "{\"algorithm\": \"%s\", \"backend\": "
+                              "\"%s\", \"ratio\": %.6f, "
+                              "\"compress_gbps\": %.6f, "
+                              "\"decompress_gbps\": %.6f, "
+                              "\"histograms\": {",
+                              AlgorithmName(algorithm), backend,
+                              result.ratio, result.compress_gbps,
+                              result.decompress_gbps);
+                out += buf;
+                AppendDigest(out, "chunk_encode",
+                             result.telemetry.counters.chunk_latency.encode,
+                             false);
+                AppendDigest(out, "chunk_decode",
+                             result.telemetry.counters.chunk_latency.decode,
+                             true);
+                out += "}}";
+            }
+        }
+        out += "]}";
+
+        if (argc > 1) {
+            std::FILE* f = std::fopen(argv[1], "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "bench_regress: cannot open %s\n",
+                             argv[1]);
+                return 1;
+            }
+            std::fprintf(f, "%s\n", out.c_str());
+            std::fclose(f);
+            std::fprintf(stderr, "bench report written to %s\n", argv[1]);
+        } else {
+            std::printf("%s\n", out.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_regress: %s\n", e.what());
+        return 1;
+    }
+}

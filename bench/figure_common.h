@@ -15,6 +15,11 @@
  *   FPC_BENCH_SCALE   fraction of the paper's files per domain
  *                     (default 0.15 SP / 0.4 DP)
  *   FPC_BENCH_RUNS    timed runs per measurement (default 2)
+ *   FPC_BENCH_TRACE   when set to a path, record the span timeline of
+ *                     every run of the figure's own codecs (both of them
+ *                     into one merged trace; run spans carry the
+ *                     algorithm@backend label) and write it there as
+ *                     Chrome trace-event JSON ("fpc.trace.v1")
  */
 #ifndef FPC_BENCH_FIGURE_COMMON_H
 #define FPC_BENCH_FIGURE_COMMON_H
@@ -126,13 +131,17 @@ RunFigureBench(const FigureSpec& spec)
         eval::EvalConfig eval_config;
         eval_config.runs = static_cast<int>(EnvSize("FPC_BENCH_RUNS", 2));
 
+        const std::string trace_path = EnvString("FPC_BENCH_TRACE", "");
+        std::shared_ptr<TraceSink> trace;
+        if (!trace_path.empty()) trace = std::make_shared<TraceSink>();
+
         std::vector<eval::EvalCodec> codecs;
         const Algorithm ours_speed =
             spec.dp ? Algorithm::kDPspeed : Algorithm::kSPspeed;
         const Algorithm ours_ratio =
             spec.dp ? Algorithm::kDPratio : Algorithm::kSPratio;
-        codecs.push_back(eval::OurCodec(ours_speed, executor));
-        codecs.push_back(eval::OurCodec(ours_ratio, executor));
+        codecs.push_back(eval::OurCodec(ours_speed, executor, trace));
+        codecs.push_back(eval::OurCodec(ours_ratio, executor, trace));
         for (const std::string& name : spec.baselines) {
             codecs.push_back(eval::Wrap(baselines::Lookup(name)));
         }
@@ -154,6 +163,15 @@ RunFigureBench(const FigureSpec& spec)
         eval::WriteStageCsv(std::string(spec.id) + "_stages.csv", results);
         std::cout << "series written to " << spec.id << ".csv, stage "
                   << "breakdown to " << spec.id << "_stages.csv\n";
+        if (trace != nullptr) {
+            if (trace->WriteJson(trace_path)) {
+                std::cout << "trace written to " << trace_path << " ("
+                          << trace->SpanCount() << " spans)\n";
+            } else {
+                std::cerr << "cannot write trace to " << trace_path
+                          << "\n";
+            }
+        }
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "benchmark failed: " << e.what() << "\n";

@@ -5,6 +5,7 @@
 #include "core/container.h"
 #include "core/executor.h"
 #include "core/telemetry.h"
+#include "core/trace.h"
 
 namespace fpc {
 
@@ -40,21 +41,45 @@ HeaderAlgorithm(ByteSpan compressed)
     }
 }
 
+/** Run-span label: "compress SPspeed@cpu", "decompress DPratio@gpusim". */
+std::string
+RunLabel(const char* verb, std::optional<Algorithm> algorithm,
+         const Executor& executor)
+{
+    std::string label = verb;
+    if (algorithm.has_value()) {
+        label += ' ';
+        label += AlgorithmName(*algorithm);
+    }
+    label += '@';
+    label += executor.Name();
+    return label;
+}
+
 }  // namespace
 
-// Run totals are recorded here — the single spot every executor's calls
-// funnel through — so per-backend code never repeats the bookkeeping.
+// Run totals and run spans are recorded here — the single spot every
+// executor's calls funnel through — so per-backend code never repeats
+// the bookkeeping.
 
 Bytes
 Compress(Algorithm algorithm, ByteSpan input, const Options& options)
 {
     const Executor& executor = ResolveExecutor(options);
     Telemetry* sink = SinkOf(options);
-    if (sink == nullptr) return executor.Compress(algorithm, input, options);
-    sink->SetContext(executor.Name(), algorithm);
+    TraceSink* trace = TraceOf(options);
+    if (sink == nullptr && trace == nullptr) {
+        return executor.Compress(algorithm, input, options);
+    }
+    if (sink != nullptr) sink->SetContext(executor.Name(), algorithm);
     const uint64_t t0 = TelemetryNowNs();
     Bytes out = executor.Compress(algorithm, input, options);
-    sink->AddCompress(input.size(), out.size(), TelemetryNowNs() - t0);
+    const uint64_t t1 = TelemetryNowNs();
+    if (sink != nullptr) sink->AddCompress(input.size(), out.size(), t1 - t0);
+    if (trace != nullptr) {
+        trace->RecordRun(kTraceEncode,
+                         RunLabel("compress", algorithm, executor), t0, t1);
+    }
     return out;
 }
 
@@ -63,13 +88,24 @@ Decompress(ByteSpan compressed, const Options& options)
 {
     const Executor& executor = ResolveExecutor(options);
     Telemetry* sink = SinkOf(options);
-    if (sink == nullptr) return executor.Decompress(compressed, options);
+    TraceSink* trace = TraceOf(options);
+    if (sink == nullptr && trace == nullptr) {
+        return executor.Decompress(compressed, options);
+    }
     const uint64_t t0 = TelemetryNowNs();
     Bytes out = executor.Decompress(compressed, options);
-    sink->AddDecompress(compressed.size(), out.size(),
-                        TelemetryNowNs() - t0);
-    if (auto algorithm = HeaderAlgorithm(compressed)) {
-        sink->SetContext(executor.Name(), *algorithm);
+    const uint64_t t1 = TelemetryNowNs();
+    const std::optional<Algorithm> algorithm = HeaderAlgorithm(compressed);
+    if (sink != nullptr) {
+        sink->AddDecompress(compressed.size(), out.size(), t1 - t0);
+        if (algorithm.has_value()) {
+            sink->SetContext(executor.Name(), *algorithm);
+        }
+    }
+    if (trace != nullptr) {
+        trace->RecordRun(kTraceDecode,
+                         RunLabel("decompress", algorithm, executor), t0,
+                         t1);
     }
     return out;
 }
@@ -80,18 +116,58 @@ DecompressInto(ByteSpan compressed, std::span<std::byte> out,
 {
     const Executor& executor = ResolveExecutor(options);
     Telemetry* sink = SinkOf(options);
-    if (sink == nullptr) {
+    TraceSink* trace = TraceOf(options);
+    if (sink == nullptr && trace == nullptr) {
         executor.DecompressInto(compressed, out, options);
         return;
     }
     const uint64_t t0 = TelemetryNowNs();
     executor.DecompressInto(compressed, out, options);
-    sink->AddDecompress(compressed.size(), out.size(),
-                        TelemetryNowNs() - t0);
-    if (auto algorithm = HeaderAlgorithm(compressed)) {
-        sink->SetContext(executor.Name(), *algorithm);
+    const uint64_t t1 = TelemetryNowNs();
+    const std::optional<Algorithm> algorithm = HeaderAlgorithm(compressed);
+    if (sink != nullptr) {
+        sink->AddDecompress(compressed.size(), out.size(), t1 - t0);
+        if (algorithm.has_value()) {
+            sink->SetContext(executor.Name(), *algorithm);
+        }
+    }
+    if (trace != nullptr) {
+        trace->RecordRun(kTraceDecode,
+                         RunLabel("decompress", algorithm, executor), t0,
+                         t1);
     }
 }
+
+namespace detail {
+
+std::vector<float>
+DecompressFloats(ByteSpan compressed, const Options& options)
+{
+    CheckElementSize(compressed, sizeof(float), "DecompressFloats");
+    Bytes raw = fpc::Decompress(compressed, options);
+    FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0,
+                    "payload is not a float array");
+    std::vector<float> values(raw.size() / sizeof(float));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
+
+std::vector<double>
+DecompressDoubles(ByteSpan compressed, const Options& options)
+{
+    CheckElementSize(compressed, sizeof(double), "DecompressDoubles");
+    Bytes raw = fpc::Decompress(compressed, options);
+    FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0,
+                    "payload is not a double array");
+    std::vector<double> values(raw.size() / sizeof(double));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
+
+}  // namespace detail
+
+// Deprecated wrappers: definitions must not themselves use deprecated
+// symbols, so they forward to the detail implementations above.
 
 Bytes
 CompressFloats(std::span<const float> values, Mode mode,
@@ -114,25 +190,13 @@ CompressDoubles(std::span<const double> values, Mode mode,
 std::vector<float>
 DecompressFloats(ByteSpan compressed, const Options& options)
 {
-    CheckElementSize(compressed, sizeof(float), "DecompressFloats");
-    Bytes raw = Decompress(compressed, options);
-    FPC_PARSE_CHECK(raw.size() % sizeof(float) == 0,
-                    "payload is not a float array");
-    std::vector<float> values(raw.size() / sizeof(float));
-    std::memcpy(values.data(), raw.data(), raw.size());
-    return values;
+    return detail::DecompressFloats(compressed, options);
 }
 
 std::vector<double>
 DecompressDoubles(ByteSpan compressed, const Options& options)
 {
-    CheckElementSize(compressed, sizeof(double), "DecompressDoubles");
-    Bytes raw = Decompress(compressed, options);
-    FPC_PARSE_CHECK(raw.size() % sizeof(double) == 0,
-                    "payload is not a double array");
-    std::vector<double> values(raw.size() / sizeof(double));
-    std::memcpy(values.data(), raw.data(), raw.size());
-    return values;
+    return detail::DecompressDoubles(compressed, options);
 }
 
 CompressedInfo
@@ -192,6 +256,28 @@ Codec::enable_telemetry()
         options_.telemetry = owned_sink_.get();
     }
     return *options_.telemetry;
+}
+
+TraceSink&
+Codec::enable_tracing(const std::string& path)
+{
+    if (options_.trace == nullptr) {
+        if (path.empty()) {
+            owned_trace_ = std::make_shared<TraceSink>();
+        } else {
+            // Flush to the requested file when the last sharing codec
+            // copy lets go; destructors must not throw, so a failed
+            // write is dropped (flush explicitly via WriteJson to
+            // observe errors).
+            owned_trace_ = std::shared_ptr<TraceSink>(
+                new TraceSink, [path](TraceSink* sink) {
+                    sink->WriteJson(path);
+                    delete sink;
+                });
+        }
+        options_.trace = owned_trace_.get();
+    }
+    return *options_.trace;
 }
 
 void

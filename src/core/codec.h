@@ -32,7 +32,13 @@
 
 namespace fpc {
 
-class Telemetry;  // core/telemetry.h
+class Telemetry;   // core/telemetry.h
+class TraceSink;   // core/trace.h
+
+/** Marks the pre-Codec typed free functions; silence in a migration
+ *  shim with `#pragma GCC diagnostic ignored "-Wdeprecated-declarations"`. */
+#define FPC_DEPRECATED_API(replacement) \
+    [[deprecated("use " replacement " (see fpc::Codec, core/codec.h)")]]
 
 /** Compress @p input with @p algorithm into a self-describing container.
  *  Runs on the backend selected by @p options (core/executor.h); every
@@ -56,24 +62,37 @@ void DecompressInto(ByteSpan compressed, std::span<std::byte> out,
 /** User intent for the typed helpers: throughput or compression ratio. */
 enum class Mode : uint8_t { kSpeed, kRatio };
 
+namespace detail {
+/** Non-deprecated implementations behind the typed wrappers, shared with
+ *  Codec::decompress_as so the facade never calls a deprecated symbol. */
+std::vector<float> DecompressFloats(ByteSpan compressed,
+                                    const Options& options);
+std::vector<double> DecompressDoubles(ByteSpan compressed,
+                                      const Options& options);
+}  // namespace detail
+
 /** Compress a float array (selects SPspeed or SPratio).
  *  @deprecated Prefer fpc::Codec::For<float>(mode).compress(values). */
+FPC_DEPRECATED_API("fpc::Codec::For<float>(mode).compress(values)")
 Bytes CompressFloats(std::span<const float> values, Mode mode = Mode::kSpeed,
                      const Options& options = {});
 
 /** Compress a double array (selects DPspeed or DPratio).
  *  @deprecated Prefer fpc::Codec::For<double>(mode).compress(values). */
+FPC_DEPRECATED_API("fpc::Codec::For<double>(mode).compress(values)")
 Bytes CompressDoubles(std::span<const double> values,
                       Mode mode = Mode::kSpeed,
                       const Options& options = {});
 
 /** Decompress a container into floats (validates element size).
  *  @deprecated Prefer fpc::Codec::decompress_as<float>. */
+FPC_DEPRECATED_API("fpc::Codec::decompress_as<float>")
 std::vector<float> DecompressFloats(ByteSpan compressed,
                                     const Options& options = {});
 
 /** Decompress a container into doubles (validates element size).
  *  @deprecated Prefer fpc::Codec::decompress_as<double>. */
+FPC_DEPRECATED_API("fpc::Codec::decompress_as<double>")
 std::vector<double> DecompressDoubles(ByteSpan compressed,
                                       const Options& options = {});
 
@@ -179,9 +198,9 @@ class Codec {
         static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
                       "fpc::Codec::decompress_as supports float and double");
         if constexpr (std::is_same_v<T, float>) {
-            return DecompressFloats(compressed, options_);
+            return detail::DecompressFloats(compressed, options_);
         } else {
-            return DecompressDoubles(compressed, options_);
+            return detail::DecompressDoubles(compressed, options_);
         }
     }
 
@@ -203,6 +222,21 @@ class Codec {
     /** The sink runs report to — owned or user-supplied — or nullptr. */
     Telemetry* telemetry() const { return options_.telemetry; }
 
+    /**
+     * Attach a codec-owned span tracer (created on first call) and return
+     * it; subsequent compress/decompress calls record their timeline into
+     * it (core/trace.h). When @p path is non-empty, the accumulated trace
+     * is written there as Chrome trace-event JSON when the last codec
+     * copy sharing the tracer is destroyed (call
+     * `trace()->WriteJson(path)` to flush earlier). A tracer already
+     * supplied via Options::with_trace is returned instead of being
+     * replaced (no file is written for it).
+     */
+    TraceSink& enable_tracing(const std::string& path = "");
+
+    /** The tracer runs record into — owned or user-supplied — or nullptr. */
+    TraceSink* trace() const { return options_.trace; }
+
  private:
     void RequireWordSize(size_t element_size, const char* caller) const;
     static void RequireContainerWordSize(ByteSpan compressed,
@@ -211,7 +245,8 @@ class Codec {
 
     Algorithm algorithm_;
     Options options_;
-    std::shared_ptr<Telemetry> owned_sink_;  ///< copies share one sink
+    std::shared_ptr<Telemetry> owned_sink_;   ///< copies share one sink
+    std::shared_ptr<TraceSink> owned_trace_;  ///< copies share one tracer
 };
 
 }  // namespace fpc

@@ -73,7 +73,7 @@ class CpuExecutor final : public Executor {
     {
         const PipelineSpec& spec = GetPipeline(algorithm);
         const int threads = EffectiveThreads(options);
-        TelemetryRunScope scope(SinkOf(options),
+        TelemetryRunScope scope(SinkOf(options), TraceOf(options),
                                 static_cast<size_t>(threads));
 
         // Whole-input pre-stage (FCM); algorithms without one chunk the
@@ -85,8 +85,14 @@ class CpuExecutor final : public Executor {
             const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
             spec.pre.encode(input, work, pre_scratch);
             if (TelemetryShard* shard = scope.MainShard()) {
+                const uint64_t t1 = TelemetryNowNs();
                 shard->OnStageEncode(spec.pre.id, input.size(),
-                                     work.size(), TelemetryNowNs() - t0);
+                                     work.size(), t1 - t0);
+                if (shard->trace != nullptr) {
+                    shard->trace->Record(TraceSpanKind::kPre, kTraceEncode,
+                                         static_cast<uint8_t>(spec.pre.id),
+                                         0, t0, t1);
+                }
             }
             chunk_src = ByteSpan(work);
         }
@@ -97,6 +103,7 @@ class CpuExecutor final : public Executor {
         const size_t n_chunks = ChunkCountOf(chunk_src.size());
         EncodePlan plan(n_chunks);
         std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+        scope.HintChunks(n_chunks);
         scope.Attach(arenas);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
@@ -105,10 +112,22 @@ class CpuExecutor final : public Executor {
              ++c) {
             const auto worker = static_cast<uint32_t>(WorkerId());
             ScratchArena& scratch = arenas[worker];
+            TelemetryShard* shard = scratch.Telemetry();
+            TraceRing* ring = shard != nullptr ? shard->trace : nullptr;
+            if (ring != nullptr) ring->SetChunk(static_cast<uint64_t>(c));
+            const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
             bool raw = false;
             ByteSpan payload =
                 EncodeChunk(spec, ChunkAt(chunk_src, c), raw, scratch);
             plan.Record(c, worker, payload, raw, scratch);
+            if (shard != nullptr) {
+                const uint64_t t1 = TelemetryNowNs();
+                shard->OnChunkEncode(t1 - t0);
+                if (ring != nullptr) {
+                    ring->Record(TraceSpanKind::kChunk, kTraceEncode, 0,
+                                 static_cast<uint64_t>(c), t0, t1);
+                }
+            }
         }
 
         const ContainerHeader header =
@@ -147,8 +166,9 @@ class CpuExecutor final : public Executor {
             const size_t transformed_size = view.header.transformed_size;
             const int threads = EffectiveThreads(options);
             std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
-            TelemetryRunScope scope(SinkOf(options),
+            TelemetryRunScope scope(SinkOf(options), TraceOf(options),
                                     static_cast<size_t>(threads));
+            scope.HintChunks(view.header.chunk_count);
             scope.Attach(arenas);
             std::atomic<bool> failed{false};
             std::exception_ptr first_error;
@@ -162,12 +182,29 @@ class CpuExecutor final : public Executor {
                 try {
                     ScratchArena& scratch =
                         arenas[static_cast<size_t>(WorkerId())];
+                    TelemetryShard* shard = scratch.Telemetry();
+                    TraceRing* ring =
+                        shard != nullptr ? shard->trace : nullptr;
+                    if (ring != nullptr) {
+                        ring->SetChunk(static_cast<uint64_t>(c));
+                    }
+                    const uint64_t t0 =
+                        shard != nullptr ? TelemetryNowNs() : 0;
                     ByteSpan payload =
                         view.payload.subspan(view.chunk_offsets[c],
                                              view.chunk_sizes[c]);
                     DecodeChunk(spec, payload, view.chunk_raw[c],
                                 ChunkSlotAt(dest, transformed_size, c),
                                 scratch);
+                    if (shard != nullptr) {
+                        const uint64_t t1 = TelemetryNowNs();
+                        shard->OnChunkDecode(t1 - t0);
+                        if (ring != nullptr) {
+                            ring->Record(TraceSpanKind::kChunk,
+                                         kTraceDecode, 0,
+                                         static_cast<uint64_t>(c), t0, t1);
+                        }
+                    }
                 } catch (...) {
 #ifdef _OPENMP
 #pragma omp critical
@@ -201,16 +238,30 @@ class CpuExecutor final : public Executor {
                          Bytes& out) {
             ScratchArena pre_scratch;
             Telemetry* sink = SinkOf(options);
-            if (sink == nullptr) {
+            TraceSink* trace = TraceOf(options);
+            if (sink == nullptr && trace == nullptr) {
                 spec.pre.decode(transformed, out, pre_scratch);
                 return;
             }
             const uint64_t t0 = TelemetryNowNs();
             spec.pre.decode(transformed, out, pre_scratch);
-            TelemetryShard shard;
-            shard.OnStageDecode(spec.pre.id, transformed.size(), out.size(),
-                                TelemetryNowNs() - t0);
-            sink->Merge(shard);
+            const uint64_t t1 = TelemetryNowNs();
+            if (sink != nullptr) {
+                TelemetryShard shard;
+                shard.OnStageDecode(spec.pre.id, transformed.size(),
+                                    out.size(), t1 - t0);
+                sink->Merge(shard);
+            }
+            if (trace != nullptr) {
+                TraceSpan span;
+                span.start_ns = t0;
+                span.dur_ns = t1 - t0;
+                span.worker = 0;  // runs on the orchestrating thread
+                span.kind = TraceSpanKind::kPre;
+                span.dir = kTraceDecode;
+                span.stage = static_cast<uint8_t>(spec.pre.id);
+                trace->Record(span);
+            }
         };
     }
 };
@@ -240,10 +291,10 @@ class DeviceExecutor final : public Executor {
              const Options& options) const override
     {
         // Grid scheduling comes from the device profile; only the
-        // telemetry sink is taken from the options.
+        // telemetry/trace sinks are taken from the options.
         gpusim::Device device(profile_);
         return gpusim::CompressOnDevice(device, algorithm, input,
-                                        SinkOf(options));
+                                        SinkOf(options), TraceOf(options));
     }
 
     Bytes
@@ -251,7 +302,7 @@ class DeviceExecutor final : public Executor {
     {
         gpusim::Device device(profile_);
         return gpusim::DecompressOnDevice(device, compressed,
-                                          SinkOf(options));
+                                          SinkOf(options), TraceOf(options));
     }
 
     void
@@ -260,7 +311,7 @@ class DeviceExecutor final : public Executor {
     {
         gpusim::Device device(profile_);
         gpusim::DecompressIntoOnDevice(device, compressed, out,
-                                       SinkOf(options));
+                                       SinkOf(options), TraceOf(options));
     }
 
  private:

@@ -116,8 +116,13 @@ EncodeChunk(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
         if (shard != nullptr) {
             const uint64_t t0 = TelemetryNowNs();
             stage.encode(stage_in, *dst, scratch);
+            const uint64_t t1 = TelemetryNowNs();
             shard->OnStageEncode(stage.id, stage_in.size(), dst->size(),
-                                 TelemetryNowNs() - t0);
+                                 t1 - t0);
+            if (shard->trace != nullptr) {
+                shard->trace->RecordStage(
+                    kTraceEncode, static_cast<uint8_t>(stage.id), t0, t1);
+            }
         } else {
             stage.encode(stage_in, *dst, scratch);
         }
@@ -165,8 +170,14 @@ DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
         if (shard != nullptr) {
             const uint64_t t0 = TelemetryNowNs();
             spec.stages[s].decode(cur, *dst, scratch);
+            const uint64_t t1 = TelemetryNowNs();
             shard->OnStageDecode(spec.stages[s].id, cur.size(), dst->size(),
-                                 TelemetryNowNs() - t0);
+                                 t1 - t0);
+            if (shard->trace != nullptr) {
+                shard->trace->RecordStage(
+                    kTraceDecode, static_cast<uint8_t>(spec.stages[s].id),
+                    t0, t1);
+            }
         } else {
             spec.stages[s].decode(cur, *dst, scratch);
         }
@@ -184,8 +195,12 @@ DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
         std::memcpy(dest.data(), dst->data(), dst->size());
     }
     if (shard != nullptr) {
-        shard->OnStageDecode(last.id, cur.size(), dest.size(),
-                             TelemetryNowNs() - t0);
+        const uint64_t t1 = TelemetryNowNs();
+        shard->OnStageDecode(last.id, cur.size(), dest.size(), t1 - t0);
+        if (shard->trace != nullptr) {
+            shard->trace->RecordStage(
+                kTraceDecode, static_cast<uint8_t>(last.id), t0, t1);
+        }
         ++shard->chunks_decoded;
     }
 }

@@ -23,7 +23,11 @@ TelemetryShard::Merge(const TelemetryShard& other)
     for (size_t s = 0; s < kStageCount; ++s) {
         stages[s].encode.Add(other.stages[s].encode);
         stages[s].decode.Add(other.stages[s].decode);
+        stage_latency[s].encode.Add(other.stage_latency[s].encode);
+        stage_latency[s].decode.Add(other.stage_latency[s].decode);
     }
+    chunk_latency.encode.Add(other.chunk_latency.encode);
+    chunk_latency.decode.Add(other.chunk_latency.decode);
     chunks_encoded += other.chunks_encoded;
     chunks_raw += other.chunks_raw;
     chunks_decoded += other.chunks_decoded;
@@ -122,19 +126,37 @@ AppendStageStats(std::string& out, const char* key, const StageStats& stats)
     out += '}';
 }
 
+/** Histogram digest: sample count, log-bucket p50/p95/p99, exact max. */
+void
+AppendDigest(std::string& out, const char* key,
+             const LatencyHistogram& hist, bool last)
+{
+    out += '"';
+    out += key;
+    out += "\": {";
+    AppendField(out, "count", hist.count, false);
+    AppendField(out, "p50_ns", hist.P50(), false);
+    AppendField(out, "p95_ns", hist.P95(), false);
+    AppendField(out, "p99_ns", hist.P99(), false);
+    AppendField(out, "max_ns", hist.max_ns, true);
+    out += '}';
+    if (!last) out += ", ";
+}
+
 }  // namespace
 
-// Schema "fpc.telemetry.v1": the key set, nesting, and the fixed
-// seven-entry stage order below are load-bearing — fpczip --stats, the
-// figure benches' CSV columns, and tools/check_stats_schema.py all
+// Schema "fpc.telemetry.v2" (v1 + latency-histogram digests): the key
+// set, nesting, and the fixed seven-entry stage order below are
+// load-bearing — fpczip --stats, the figure benches' CSV columns, the
+// bench-regression baselines, and tools/check_stats_schema.py all
 // consume this shape. Extend by adding keys; never rename or reorder
 // without bumping the schema tag.
 std::string
 ToJson(const TelemetrySnapshot& snapshot)
 {
     std::string out;
-    out.reserve(1536);
-    out += "{\"schema\": \"fpc.telemetry.v1\", ";
+    out.reserve(3072);
+    out += "{\"schema\": \"fpc.telemetry.v2\", ";
     out += "\"executor\": \"" + snapshot.executor + "\", ";
     out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
     AppendRunTotals(out, "compress", snapshot.compress);
@@ -151,6 +173,11 @@ ToJson(const TelemetrySnapshot& snapshot)
     out += "}, \"arena\": {";
     AppendField(out, "high_water_bytes",
                 snapshot.counters.arena_high_water_bytes, true);
+    out += "}, \"histograms\": {";
+    AppendDigest(out, "chunk_encode", snapshot.counters.chunk_latency.encode,
+                 false);
+    AppendDigest(out, "chunk_decode", snapshot.counters.chunk_latency.decode,
+                 true);
     out += "}, \"stages\": [";
     for (size_t s = 0; s < kStageCount; ++s) {
         if (s != 0) out += ", ";
@@ -160,7 +187,12 @@ ToJson(const TelemetrySnapshot& snapshot)
         AppendStageStats(out, "encode", snapshot.counters.stages[s].encode);
         out += ", ";
         AppendStageStats(out, "decode", snapshot.counters.stages[s].decode);
-        out += '}';
+        out += ", \"latency\": {";
+        AppendDigest(out, "encode",
+                     snapshot.counters.stage_latency[s].encode, false);
+        AppendDigest(out, "decode",
+                     snapshot.counters.stage_latency[s].decode, true);
+        out += "}}";
     }
     out += "]}";
     return out;

@@ -29,8 +29,11 @@
  *    container totals (asserted by tests/telemetry_test.cc).
  *
  * The JSON exported by ToJson() is a stable, versioned schema
- * ("fpc.telemetry.v1") consumed by `fpczip --stats`, the eval harness,
- * and the figure benches; tools/check_stats_schema.py pins it.
+ * ("fpc.telemetry.v2": v1 plus per-stage and per-chunk latency-histogram
+ * digests) consumed by `fpczip --stats`, the eval harness, and the
+ * figure benches; tools/check_stats_schema.py pins it. Timeline tracing
+ * (span-level, exported as Chrome trace-event JSON) lives in
+ * core/trace.h and shares this file's shard/barrier machinery.
  */
 #ifndef FPC_CORE_TELEMETRY_H
 #define FPC_CORE_TELEMETRY_H
@@ -41,6 +44,7 @@
 #include <string>
 
 #include "core/arena.h"
+#include "core/trace.h"
 #include "core/types.h"
 #include "util/common.h"
 
@@ -104,6 +108,70 @@ struct StageMetrics {
 };
 
 /**
+ * Log-bucketed latency histogram (fixed storage, hot-path friendly).
+ * Bucket i holds samples whose bit width is i: bucket 0 = {0 ns},
+ * bucket i = [2^(i-1), 2^i) ns — power-of-two buckets cover the ns..s
+ * range in 65 counters with no allocation. The exact maximum is kept
+ * alongside, so the top quantiles never report a bucket bound past the
+ * largest observed sample.
+ */
+struct LatencyHistogram {
+    static constexpr size_t kBuckets = 65;  // bit_width(uint64) ∈ [0, 64]
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t max_ns = 0;
+
+    void
+    Record(uint64_t ns)
+    {
+        ++buckets[std::bit_width(ns)];
+        ++count;
+        if (ns > max_ns) max_ns = ns;
+    }
+
+    void
+    Add(const LatencyHistogram& other)
+    {
+        for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+        count += other.count;
+        max_ns = std::max(max_ns, other.max_ns);
+    }
+
+    /** Upper bound of the bucket holding the q-quantile sample (0 when
+     *  empty), clamped to the exact observed maximum. */
+    uint64_t
+    Quantile(double q) const
+    {
+        if (count == 0) return 0;
+        auto rank = static_cast<uint64_t>(q * static_cast<double>(count));
+        if (rank < 1) rank = 1;
+        if (rank > count) rank = count;
+        uint64_t seen = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            seen += buckets[i];
+            if (seen >= rank) {
+                const uint64_t upper =
+                    i == 0 ? 0
+                    : i >= 64 ? UINT64_MAX
+                              : (uint64_t{1} << i) - 1;
+                return std::min(upper, max_ns);
+            }
+        }
+        return max_ns;
+    }
+
+    uint64_t P50() const { return Quantile(0.50); }
+    uint64_t P95() const { return Quantile(0.95); }
+    uint64_t P99() const { return Quantile(0.99); }
+};
+
+/** Encode + decode latency histograms of one stage / of the chunk loop. */
+struct LatencyMetrics {
+    LatencyHistogram encode;
+    LatencyHistogram decode;
+};
+
+/**
  * Per-worker counter block. Each OpenMP thread / gpusim launch worker owns
  * one shard for the duration of a run (wired to its ScratchArena), bumps
  * it without synchronisation, and the orchestrating thread merges all
@@ -112,12 +180,17 @@ struct StageMetrics {
  */
 struct TelemetryShard {
     std::array<StageMetrics, kStageCount> stages{};
+    std::array<LatencyMetrics, kStageCount> stage_latency{};
+    LatencyMetrics chunk_latency;  ///< whole-chunk encode/decode latency
     uint64_t chunks_encoded = 0;
     uint64_t chunks_raw = 0;      ///< raw-fallback chunks (pipeline lost)
     uint64_t chunks_decoded = 0;
     uint64_t mplg_subchunks = 0;  ///< MPLG subchunks seen on encode
     uint64_t mplg_enhanced = 0;   ///< subchunks that took the retry path
     uint64_t arena_high_water_bytes = 0;  ///< max arena capacity observed
+    /** This worker's span ring, or nullptr when tracing is not attached
+     *  for the run. Wired by TelemetryRunScope; never merged. */
+    TraceRing* trace = nullptr;
 
     StageMetrics& operator[](StageId id) {
         return stages[static_cast<size_t>(id)];
@@ -137,6 +210,7 @@ struct TelemetryShard {
         s.wall_ns += wall_ns;
         s.input_bytes += in_bytes;
         s.output_bytes += out_bytes;
+        stage_latency[static_cast<size_t>(id)].encode.Record(wall_ns);
     }
 
     void
@@ -148,7 +222,12 @@ struct TelemetryShard {
         s.wall_ns += wall_ns;
         s.input_bytes += in_bytes;
         s.output_bytes += out_bytes;
+        stage_latency[static_cast<size_t>(id)].decode.Record(wall_ns);
     }
+
+    /** Whole-chunk latency hooks (executor chunk loops, both backends). */
+    void OnChunkEncode(uint64_t wall_ns) { chunk_latency.encode.Record(wall_ns); }
+    void OnChunkDecode(uint64_t wall_ns) { chunk_latency.decode.Record(wall_ns); }
 
     void Merge(const TelemetryShard& other);
 };
@@ -174,7 +253,7 @@ struct TelemetrySnapshot {
 };
 
 /** Render a snapshot as one line of schema-stable JSON
- *  ("fpc.telemetry.v1"; see DESIGN.md "Observability"). */
+ *  ("fpc.telemetry.v2"; see DESIGN.md "Observability"). */
 std::string ToJson(const TelemetrySnapshot& snapshot);
 
 /**
@@ -211,29 +290,56 @@ class Telemetry {
 };
 
 /**
- * Stack-scoped per-run collection used by the executors: when @p sink is
- * non-null (and telemetry is compiled in), owns one TelemetryShard per
- * worker, wires each shard to its worker's ScratchArena, and merges all
- * shards — plus the arenas' high-water marks — into the sink at
- * Finish(). When the sink is null every method is a cheap no-op, which is
- * the null-sink fast path of the whole subsystem.
+ * Stack-scoped per-run collection used by the executors: when a sink
+ * and/or a trace is attached (and telemetry is compiled in), owns one
+ * TelemetryShard — and, when tracing, one TraceRing — per worker, wires
+ * each shard to its worker's ScratchArena, and merges all shards (plus
+ * the arenas' high-water marks) into the sink and all rings into the
+ * trace at Finish(), the run barrier. With neither attached every method
+ * is a cheap no-op, which is the null-sink fast path of the whole
+ * subsystem.
  */
 class TelemetryRunScope {
  public:
-    TelemetryRunScope(Telemetry* sink, size_t n_workers)
+    TelemetryRunScope(Telemetry* sink, TraceSink* trace, size_t n_workers)
     {
 #if FPC_TELEMETRY
-        if (sink != nullptr) {
+        if (sink != nullptr || trace != nullptr) {
             sink_ = sink;
+            trace_ = trace;
             shards_.resize(n_workers + 1);  // +1: the orchestrating thread
+            if (trace_ != nullptr) {
+                rings_.resize(n_workers + 1);
+                // The orchestrating thread only records pre-stage spans.
+                rings_.back().Reserve(kMainRingSpans);
+                for (size_t i = 0; i < shards_.size(); ++i) {
+                    shards_[i].trace = &rings_[i];
+                }
+            }
         }
 #else
         (void)sink;
+        (void)trace;
         (void)n_workers;
 #endif
     }
 
-    bool Enabled() const { return sink_ != nullptr; }
+    TelemetryRunScope(Telemetry* sink, size_t n_workers)
+        : TelemetryRunScope(sink, nullptr, n_workers) {}
+
+    bool Enabled() const { return !shards_.empty(); }
+    bool Tracing() const { return trace_ != nullptr; }
+
+    /** Size the worker rings for a run of @p n_chunks chunks: worst case
+     *  one worker takes every chunk, each contributing a chunk span, a
+     *  block span, and one span per pipeline stage. Capped (spans past
+     *  capacity are dropped and counted) so pathological inputs cannot
+     *  demand unbounded ring memory. Call before Attach(). */
+    void
+    HintChunks(size_t n_chunks)
+    {
+        chunk_hint_ = n_chunks;
+    }
 
     /** Worker @p i's shard, or nullptr when disabled. */
     TelemetryShard*
@@ -249,18 +355,28 @@ class TelemetryRunScope {
         return Enabled() ? &shards_.back() : nullptr;
     }
 
-    /** Point every arena at its worker's shard (index-aligned). */
+    /** Point every arena at its worker's shard (index-aligned) and
+     *  preallocate the worker trace rings (never on the chunk path). */
     void
     Attach(std::span<ScratchArena> arenas)
     {
         if (!Enabled()) return;
+        if (Tracing()) {
+            const size_t per_chunk = kStageCount + 2;
+            const size_t spans = std::min(
+                kMaxRingSpans,
+                std::max<size_t>(chunk_hint_, 1) * per_chunk + 8);
+            for (size_t i = 0; i + 1 < rings_.size(); ++i) {
+                rings_[i].Reserve(spans);
+            }
+        }
         for (size_t i = 0; i < arenas.size(); ++i) {
             arenas[i].SetTelemetryShard(WorkerShard(i));
         }
     }
 
-    /** Merge every shard and @p arenas' high-water marks into the sink.
-     *  Call once, after the parallel region's barrier. */
+    /** Merge every shard (and ring) and @p arenas' high-water marks into
+     *  the sinks. Call once, after the parallel region's barrier. */
     void
     Finish(std::span<ScratchArena> arenas)
     {
@@ -278,13 +394,26 @@ class TelemetryRunScope {
             }
             merged.Merge(shards_[i]);
         }
-        sink_->Merge(merged);
+        if (sink_ != nullptr) sink_->Merge(merged);
+        if (trace_ != nullptr) {
+            for (size_t i = 0; i < rings_.size(); ++i) {
+                trace_->MergeRing(static_cast<uint32_t>(i), rings_[i]);
+            }
+        }
         sink_ = nullptr;
+        trace_ = nullptr;
+        shards_.clear();
     }
 
  private:
+    static constexpr size_t kMainRingSpans = 16;
+    static constexpr size_t kMaxRingSpans = size_t{1} << 18;  // 8 MiB/ring
+
     Telemetry* sink_ = nullptr;
+    TraceSink* trace_ = nullptr;
+    size_t chunk_hint_ = 0;
     std::vector<TelemetryShard> shards_;
+    std::vector<TraceRing> rings_;
 };
 
 /** The sink a call should report to: Options::telemetry when the build
@@ -294,6 +423,15 @@ inline Telemetry*
 SinkOf(const Options& options)
 {
     return kTelemetryEnabled ? options.telemetry : nullptr;
+}
+
+/** Trace counterpart of SinkOf: Options::trace when the build has
+ *  telemetry compiled in, nullptr otherwise — -DFPC_TELEMETRY=0 turns
+ *  tracing into a whole-subsystem no-op the same way. */
+inline TraceSink*
+TraceOf(const Options& options)
+{
+    return kTelemetryEnabled ? options.trace : nullptr;
 }
 
 }  // namespace fpc

@@ -29,6 +29,7 @@ enum class Device : uint8_t {
 
 class Executor;   // core/executor.h
 class Telemetry;  // core/telemetry.h
+class TraceSink;  // core/trace.h
 
 /**
  * Knobs for compress()/decompress(). A plain value type with builder-style
@@ -54,6 +55,9 @@ struct Options {
     /** Metrics sink (core/telemetry.h); null = collect nothing (the
      *  fast path — no clocks, no counters). */
     Telemetry* telemetry = nullptr;
+    /** Span tracer (core/trace.h); null = record no timeline. Attaching
+     *  one never changes the compressed bytes. */
+    TraceSink* trace = nullptr;
 
     Options&
     with_device(Device d)
@@ -84,6 +88,13 @@ struct Options {
     with_telemetry(Telemetry* sink)
     {
         telemetry = sink;
+        return *this;
+    }
+
+    Options&
+    with_trace(TraceSink* sink)
+    {
+        trace = sink;
         return *this;
     }
 };

@@ -10,12 +10,21 @@ namespace fpc::eval {
 EvalCodec
 OurCodec(Algorithm algorithm, const Executor& executor)
 {
+    return OurCodec(algorithm, executor, nullptr);
+}
+
+EvalCodec
+OurCodec(Algorithm algorithm, const Executor& executor,
+         std::shared_ptr<TraceSink> trace)
+{
     EvalCodec codec;
     codec.name = AlgorithmName(algorithm);
     codec.telemetry = std::make_shared<Telemetry>();
+    codec.trace = std::move(trace);
     Options options;
     options.executor = &executor;
     options.telemetry = codec.telemetry.get();
+    options.trace = codec.trace.get();
     codec.compress = [algorithm, options](ByteSpan in) {
         return Compress(algorithm, in, options);
     };
@@ -40,7 +49,8 @@ OurCodec(Algorithm algorithm, Device device)
 EvalCodec
 Wrap(const baselines::BaselineCodec& baseline)
 {
-    return {baseline.name, baseline.compress, baseline.decompress, nullptr};
+    return {baseline.name, baseline.compress, baseline.decompress, nullptr,
+            nullptr};
 }
 
 CodecResult

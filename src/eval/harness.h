@@ -29,10 +29,20 @@ struct EvalCodec {
     /** Stage-metrics sink the compress/decompress closures report into;
      *  null for baselines (they have no instrumented stages). */
     std::shared_ptr<Telemetry> telemetry;
+    /** Span tracer the closures record into, or null (the default).
+     *  Unlike the telemetry sink it is never reset by Evaluate, so one
+     *  tracer may be shared across codecs to collect a single timeline
+     *  (write it out with TraceSink::WriteJson). */
+    std::shared_ptr<TraceSink> trace;
 };
 
 /** Wrap one of the paper's four algorithms on the given backend. */
 EvalCodec OurCodec(Algorithm algorithm, const Executor& executor);
+
+/** Same, recording every run's span timeline into @p trace
+ *  (core/trace.h); pass null for no tracing. */
+EvalCodec OurCodec(Algorithm algorithm, const Executor& executor,
+                   std::shared_ptr<TraceSink> trace);
 
 /** Wrap an algorithm on a backend named in the executor registry. */
 EvalCodec OurCodec(Algorithm algorithm, const std::string& backend);

@@ -187,29 +187,43 @@ PrintStageBreakdown(std::ostream& os,
     }
 }
 
+namespace {
+
+/** One WriteStageCsv row, in the kStageCsvHeader column order. */
+void
+WriteStageRow(std::ofstream& os, const std::string& compressor,
+              const char* stage, const char* direction,
+              const StageStats& stats, const LatencyHistogram& latency)
+{
+    os << compressor << "," << stage << "," << direction << ","
+       << stats.calls << "," << stats.wall_ns << "," << stats.input_bytes
+       << "," << stats.output_bytes << "," << latency.P50() << ","
+       << latency.P95() << "," << latency.P99() << "," << latency.max_ns
+       << "\n";
+}
+
+}  // namespace
+
 void
 WriteStageCsv(const std::string& path,
               const std::vector<CodecResult>& results)
 {
     std::ofstream os(path);
-    os << "compressor,stage,direction,calls,wall_ns,input_bytes,"
-          "output_bytes\n";
+    os << kStageCsvHeader << "\n";
     for (const CodecResult& result : results) {
         if (!HasStageData(result.telemetry)) continue;
         for (size_t s = 0; s < kStageCount; ++s) {
             const StageMetrics& stage = result.telemetry.counters.stages[s];
+            const LatencyMetrics& latency =
+                result.telemetry.counters.stage_latency[s];
             const char* name = StageName(static_cast<StageId>(s));
             if (stage.encode.calls != 0) {
-                os << result.name << "," << name << ",encode,"
-                   << stage.encode.calls << "," << stage.encode.wall_ns
-                   << "," << stage.encode.input_bytes << ","
-                   << stage.encode.output_bytes << "\n";
+                WriteStageRow(os, result.name, name, "encode",
+                              stage.encode, latency.encode);
             }
             if (stage.decode.calls != 0) {
-                os << result.name << "," << name << ",decode,"
-                   << stage.decode.calls << "," << stage.decode.wall_ns
-                   << "," << stage.decode.input_bytes << ","
-                   << stage.decode.output_bytes << "\n";
+                WriteStageRow(os, result.name, name, "decode",
+                              stage.decode, latency.decode);
             }
         }
     }

@@ -42,8 +42,21 @@ void WriteCsv(const std::string& path,
 void PrintStageBreakdown(std::ostream& os,
                          const std::vector<CodecResult>& results);
 
-/** Write "compressor,stage,direction,calls,wall_ns,input_bytes,
- *  output_bytes" rows for every instrumented codec. */
+/**
+ * Column order of WriteStageCsv, fixed and versioned with the telemetry
+ * schema: identity (compressor, stage, direction), then the stage
+ * counters in StageStats order (calls, wall_ns, input_bytes,
+ * output_bytes), then the latency digest in digest order (p50_ns,
+ * p95_ns, p99_ns, max_ns). Downstream plot scripts index columns by this
+ * header; extend by appending, never by reordering
+ * (tests/data_eval_test.cc pins it).
+ */
+inline constexpr const char* kStageCsvHeader =
+    "compressor,stage,direction,calls,wall_ns,input_bytes,output_bytes,"
+    "p50_ns,p95_ns,p99_ns,max_ns";
+
+/** Write kStageCsvHeader plus one row per instrumented codec, stage (in
+ *  StageId order), and direction with at least one call. */
 void WriteStageCsv(const std::string& path,
                    const std::vector<CodecResult>& results);
 

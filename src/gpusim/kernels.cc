@@ -805,8 +805,13 @@ EncodeChunkDevice(const PipelineSpec& spec, ByteSpan chunk, bool& raw,
         if (shard != nullptr) {
             const uint64_t t0 = TelemetryNowNs();
             device.encode(block, stage_in, *dst);
+            const uint64_t t1 = TelemetryNowNs();
             shard->OnStageEncode(stage.id, stage_in.size(), dst->size(),
-                                 TelemetryNowNs() - t0);
+                                 t1 - t0);
+            if (shard->trace != nullptr) {
+                shard->trace->RecordStage(
+                    kTraceEncode, static_cast<uint8_t>(stage.id), t0, t1);
+            }
             if (stage.id == StageId::kMplg) {
                 CountMplgSubchunks(ByteSpan(*dst), spec.word_size, *shard);
             }
@@ -856,8 +861,14 @@ DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
         if (shard != nullptr) {
             const uint64_t t0 = TelemetryNowNs();
             device.decode(block, cur, *dst, budget);
+            const uint64_t t1 = TelemetryNowNs();
             shard->OnStageDecode(spec.stages[s].id, cur.size(), dst->size(),
-                                 TelemetryNowNs() - t0);
+                                 t1 - t0);
+            if (shard->trace != nullptr) {
+                shard->trace->RecordStage(
+                    kTraceDecode, static_cast<uint8_t>(spec.stages[s].id),
+                    t0, t1);
+            }
         } else {
             device.decode(block, cur, *dst, budget);
         }

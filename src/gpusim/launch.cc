@@ -41,13 +41,15 @@ LaunchWorkerId()
 /** Chunk decode hook for the orchestration driver: one thread block per
  *  chunk, scheduled by the device. */
 DecodeChunksFn
-DecodeChunksOn(const Device& device, Telemetry* sink)
+DecodeChunksOn(const Device& device, Telemetry* sink, TraceSink* trace)
 {
-    return [&device, sink](const ContainerView& view,
-                           const PipelineSpec& spec, std::byte* dest) {
+    return [&device, sink, trace](const ContainerView& view,
+                                  const PipelineSpec& spec,
+                                  std::byte* dest) {
         const size_t transformed_size = view.header.transformed_size;
         std::vector<ScratchArena> arenas(MaxLaunchWorkers());
-        TelemetryRunScope scope(sink, MaxLaunchWorkers());
+        TelemetryRunScope scope(sink, trace, MaxLaunchWorkers());
+        scope.HintChunks(view.header.chunk_count);
         scope.Attach(arenas);
         std::atomic<bool> failed{false};
         std::exception_ptr first_error;
@@ -60,12 +62,28 @@ DecodeChunksOn(const Device& device, Telemetry* sink)
             const size_t c = block.BlockId();
             try {
                 ScratchArena& scratch = arenas[LaunchWorkerId()];
+                TelemetryShard* shard = scratch.Telemetry();
+                TraceRing* ring = shard != nullptr ? shard->trace : nullptr;
+                if (ring != nullptr) ring->SetChunk(c);
+                const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
                 DecodeChunkDevice(
                     spec,
                     view.payload.subspan(view.chunk_offsets[c],
                                          view.chunk_sizes[c]),
                     view.chunk_raw[c],
                     ChunkSlotAt(dest, transformed_size, c), scratch);
+                if (shard != nullptr) {
+                    const uint64_t t1 = TelemetryNowNs();
+                    shard->OnChunkDecode(t1 - t0);
+                    if (ring != nullptr) {
+                        // The decode block body is the chunk decode, so
+                        // the block span shares the chunk span's extent.
+                        ring->Record(TraceSpanKind::kBlock, kTraceDecode,
+                                     0, c, t0, t1);
+                        ring->Record(TraceSpanKind::kChunk, kTraceDecode,
+                                     0, c, t0, t1);
+                    }
+                }
             } catch (...) {
 #ifdef _OPENMP
                 omp_set_lock(&error_lock);
@@ -99,21 +117,34 @@ DecodeChunksOn(const Device& device, Telemetry* sink)
 
 /** Whole-input pre-stage hook (FCM) on the device path. */
 PreDecodeFn
-DevicePreDecode(Telemetry* sink)
+DevicePreDecode(Telemetry* sink, TraceSink* trace)
 {
-    return [sink](const PipelineSpec& spec, ByteSpan transformed,
-                  Bytes& out) {
-        if (sink == nullptr) {
+    return [sink, trace](const PipelineSpec& spec, ByteSpan transformed,
+                         Bytes& out) {
+        if (sink == nullptr && trace == nullptr) {
             (void)spec;  // only DPratio has a pre-stage, and it is FCM
             FcmDecodeDevice(transformed, out);
             return;
         }
         const uint64_t t0 = TelemetryNowNs();
         FcmDecodeDevice(transformed, out);
-        TelemetryShard shard;
-        shard.OnStageDecode(spec.pre.id, transformed.size(), out.size(),
-                            TelemetryNowNs() - t0);
-        sink->Merge(shard);
+        const uint64_t t1 = TelemetryNowNs();
+        if (sink != nullptr) {
+            TelemetryShard shard;
+            shard.OnStageDecode(spec.pre.id, transformed.size(), out.size(),
+                                t1 - t0);
+            sink->Merge(shard);
+        }
+        if (trace != nullptr) {
+            TraceSpan span;
+            span.start_ns = t0;
+            span.dur_ns = t1 - t0;
+            span.worker = 0;  // runs on the orchestrating thread
+            span.kind = TraceSpanKind::kPre;
+            span.dir = kTraceDecode;
+            span.stage = static_cast<uint8_t>(spec.pre.id);
+            trace->Record(span);
+        }
     };
 }
 
@@ -121,10 +152,10 @@ DevicePreDecode(Telemetry* sink)
 
 Bytes
 CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
-                 Telemetry* sink)
+                 Telemetry* sink, TraceSink* trace)
 {
     const PipelineSpec& spec = GetPipeline(algorithm);
-    TelemetryRunScope scope(sink, MaxLaunchWorkers());
+    TelemetryRunScope scope(sink, trace, MaxLaunchWorkers());
 
     Bytes work;
     ByteSpan chunk_src = input;
@@ -132,8 +163,14 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
         const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
         FcmEncodeDevice(input, work);
         if (TelemetryShard* shard = scope.MainShard()) {
+            const uint64_t t1 = TelemetryNowNs();
             shard->OnStageEncode(spec.pre.id, input.size(), work.size(),
-                                 TelemetryNowNs() - t0);
+                                 t1 - t0);
+            if (shard->trace != nullptr) {
+                shard->trace->Record(TraceSpanKind::kPre, kTraceEncode,
+                                     static_cast<uint8_t>(spec.pre.id), 0,
+                                     t0, t1);
+            }
         }
         chunk_src = ByteSpan(work);
     }
@@ -143,6 +180,7 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
     std::vector<uint64_t> offsets(n_chunks, 0);
     DecoupledLookback lookback(n_chunks);
     std::vector<ScratchArena> arenas(MaxLaunchWorkers());
+    scope.HintChunks(n_chunks);
     scope.Attach(arenas);
 
     // One thread block per chunk; after encoding, each block publishes its
@@ -150,13 +188,28 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
     device.Launch(n_chunks, [&](ThreadBlock& block) {
         const size_t c = block.BlockId();
         ScratchArena& scratch = arenas[LaunchWorkerId()];
+        TelemetryShard* shard = scratch.Telemetry();
+        TraceRing* ring = shard != nullptr ? shard->trace : nullptr;
+        if (ring != nullptr) ring->SetChunk(c);
+        const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
         bool raw = false;
         ByteSpan payload =
             EncodeChunkDevice(spec, ChunkAt(chunk_src, c), raw, scratch);
         plan.Record(c, static_cast<uint32_t>(LaunchWorkerId()), payload,
                     raw, scratch);
+        const uint64_t t1 = shard != nullptr ? TelemetryNowNs() : 0;
         lookback.PublishAggregate(c, payload.size());
         offsets[c] = lookback.ResolvePrefix(c);
+        if (shard != nullptr) {
+            shard->OnChunkEncode(t1 - t0);
+            if (ring != nullptr) {
+                ring->Record(TraceSpanKind::kChunk, kTraceEncode, 0, c, t0,
+                             t1);
+                // Block span additionally covers the look-back hand-off.
+                ring->Record(TraceSpanKind::kBlock, kTraceEncode, 0, c, t0,
+                             TelemetryNowNs());
+            }
+        }
     });
 
     const ContainerHeader header =
@@ -173,18 +226,19 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
 
 Bytes
 DecompressOnDevice(const Device& device, ByteSpan compressed,
-                   Telemetry* sink)
+                   Telemetry* sink, TraceSink* trace)
 {
-    return RunDecompress(compressed, DecodeChunksOn(device, sink),
-                         DevicePreDecode(sink));
+    return RunDecompress(compressed, DecodeChunksOn(device, sink, trace),
+                         DevicePreDecode(sink, trace));
 }
 
 void
 DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
-                       std::span<std::byte> out, Telemetry* sink)
+                       std::span<std::byte> out, Telemetry* sink,
+                       TraceSink* trace)
 {
-    RunDecompressInto(compressed, out, DecodeChunksOn(device, sink),
-                      DevicePreDecode(sink));
+    RunDecompressInto(compressed, out, DecodeChunksOn(device, sink, trace),
+                      DevicePreDecode(sink, trace));
 }
 
 }  // namespace fpc::gpusim

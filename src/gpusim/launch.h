@@ -17,21 +17,25 @@ namespace fpc::gpusim {
 
 /** Compress via grid launch on @p device; container-identical to
  *  fpc::Compress(algorithm, input). Per-block counters accumulate into
- *  @p sink (one shard per launch worker, merged at the launch barrier)
- *  when it is non-null. */
+ *  @p sink, and per-block/chunk/stage spans into @p trace (one shard and
+ *  ring per launch worker, merged at the launch barrier), when they are
+ *  non-null. */
 Bytes CompressOnDevice(const Device& device, Algorithm algorithm,
-                       ByteSpan input, Telemetry* sink = nullptr);
+                       ByteSpan input, Telemetry* sink = nullptr,
+                       TraceSink* trace = nullptr);
 
 /** Decompress via grid launch (chunk offsets from a prefix sum over the
  *  chunk table, then fully independent block decoding). */
 Bytes DecompressOnDevice(const Device& device, ByteSpan compressed,
-                         Telemetry* sink = nullptr);
+                         Telemetry* sink = nullptr,
+                         TraceSink* trace = nullptr);
 
 /** DecompressOnDevice into caller-owned memory of exactly original_size
  *  bytes (throws UsageError otherwise). */
 void DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
                             std::span<std::byte> out,
-                            Telemetry* sink = nullptr);
+                            Telemetry* sink = nullptr,
+                            TraceSink* trace = nullptr);
 
 }  // namespace fpc::gpusim
 

@@ -1,0 +1,85 @@
+# ctest driver for the standing perf-regression gate (label `bench`),
+# registered by bench/CMakeLists.txt as
+#   cmake -DBENCH=<bench_regress> -DPYTHON=... -DCOMPARATOR=...
+#         -DCHECKER=... -DBASELINE_DIR=<repo root> -DWORK_DIR=<dir>
+#         -DTOLERANCE=<fraction> -P bench_regress.cmake
+#
+# Runs bench_regress (all four algorithms x {cpu, gpusim:4090} on the
+# seeded synthetic corpus), validates the emitted fpc.bench.v1 report
+# against the schema checker, then gates it with tools/compare_bench.py
+# against the newest committed BENCH_pr<N>.json baseline: any ratio
+# regression or a >TOLERANCE throughput drop fails the test. Refresh the
+# baseline by committing the report this driver leaves in WORK_DIR when a
+# change legitimately moves the numbers.
+#
+# The measure+compare cycle is attempted up to 3 times and passes if any
+# attempt passes: real regressions are deterministic and fail every
+# attempt, while a transiently loaded machine (the usual cause of a
+# throughput dip) recovers on retry. Ratio regressions, being exact,
+# still fail all attempts.
+
+if(NOT BENCH OR NOT PYTHON OR NOT COMPARATOR OR NOT CHECKER
+   OR NOT BASELINE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DBENCH=... -DPYTHON=... -DCOMPARATOR=... -DCHECKER=... -DBASELINE_DIR=... -DWORK_DIR=... [-DTOLERANCE=0.10] -P bench_regress.cmake")
+endif()
+if(NOT TOLERANCE)
+    set(TOLERANCE 0.10)
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(report "${WORK_DIR}/BENCH_current.json")
+
+# Gate against the newest committed baseline (BENCH_pr<N>.json sorts by
+# PR number for single digits; NATURAL keeps pr10 after pr9).
+file(GLOB baselines "${BASELINE_DIR}/BENCH_pr*.json")
+if(NOT baselines)
+    message(FATAL_ERROR "no BENCH_pr*.json baseline found in ${BASELINE_DIR}")
+endif()
+list(SORT baselines COMPARE NATURAL)
+list(GET baselines -1 baseline)
+
+set(passed FALSE)
+foreach(attempt RANGE 1 3)
+    execute_process(
+        COMMAND "${BENCH}" "${report}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "bench_regress exited ${rc}:\n${out}\n${err}")
+    endif()
+
+    # The report must itself be schema-valid before it gates anything.
+    execute_process(
+        COMMAND "${PYTHON}" "${CHECKER}" "${report}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "bench report failed schema check (${rc}):\n${out}\n${err}")
+    endif()
+
+    execute_process(
+        COMMAND "${PYTHON}" "${COMPARATOR}" "--tolerance=${TOLERANCE}"
+            "${baseline}" "${report}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(rc EQUAL 0)
+        set(passed TRUE)
+        break()
+    endif()
+    message(STATUS
+        "attempt ${attempt}/3 failed vs ${baseline}:\n${out}\n${err}")
+endforeach()
+
+if(NOT passed)
+    message(FATAL_ERROR
+        "perf-regression gate failed on all 3 attempts vs ${baseline}.\n"
+        "If the change legitimately moves the numbers, refresh the baseline by committing ${report} as BENCH_pr<N>.json.")
+endif()
+
+message(STATUS "bench_regress gate passed vs ${baseline}: ${out}")

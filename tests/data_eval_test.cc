@@ -7,8 +7,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "data/datasets.h"
 #include "data/fields.h"
@@ -159,6 +162,56 @@ TEST(Report, ScatterAndCsv)
     std::string text = os.str();
     EXPECT_NE(text.find("test figure"), std::string::npos);
     EXPECT_NE(text.find("Pareto front: B A"), std::string::npos);
+}
+
+TEST(Report, StageCsvHeaderPinned)
+{
+    // The column order is a published contract (downstream plot scripts
+    // index by it); spell it out so a reorder fails here, not in a
+    // notebook. Extend by appending only.
+    EXPECT_STREQ(eval::kStageCsvHeader,
+                 "compressor,stage,direction,calls,wall_ns,input_bytes,"
+                 "output_bytes,p50_ns,p95_ns,p99_ns,max_ns");
+
+    data::SuiteConfig config;
+    config.values_per_file = 4096;
+    config.file_scale = 0.08;
+    auto inputs = eval::ToInputs(data::SingleSuite(config));
+    eval::EvalConfig eval_config;
+    eval_config.runs = 1;
+    auto result = eval::Evaluate(
+        eval::OurCodec(Algorithm::kSPratio, Device::kCpu), inputs,
+        eval_config);
+
+    const std::string path =
+        testing::TempDir() + "/stage_csv_header_test.csv";
+    eval::WriteStageCsv(path, {result});
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header, eval::kStageCsvHeader);
+
+    // Every data row has exactly the header's column count, and in
+    // instrumented builds the instrumented codec produces rows.
+    const size_t columns =
+        1 + static_cast<size_t>(
+            std::count(header.begin(), header.end(), ','));
+    size_t rows = 0;
+    std::string row;
+    while (std::getline(in, row)) {
+        if (row.empty()) continue;
+        ++rows;
+        EXPECT_EQ(1 + static_cast<size_t>(
+                      std::count(row.begin(), row.end(), ',')),
+                  columns)
+            << row;
+    }
+    if (kTelemetryEnabled) {
+        EXPECT_GT(rows, 0u);
+    } else {
+        EXPECT_EQ(rows, 0u);
+    }
 }
 
 }  // namespace

@@ -250,17 +250,19 @@ TEST(ExecutorStream, TypedReadRejectsWrongElementWidthWithoutConsuming)
     }
 }
 
-TEST(ExecutorTyped, DecompressFloatsRejectsDoubleContainers)
+TEST(ExecutorTyped, TypedDecodeRejectsWrongWidthContainers)
 {
     std::vector<double> values(1000, 2.5);
-    Bytes c = CompressDoubles(values, Mode::kSpeed);
-    EXPECT_THROW(DecompressFloats(ByteSpan(c)), UsageError);
-    EXPECT_EQ(DecompressDoubles(ByteSpan(c)), values);
+    const Codec dp = Codec::For<double>(Mode::kSpeed);
+    Bytes c = dp.compress(std::span<const double>(values));
+    EXPECT_THROW(dp.decompress_as<float>(ByteSpan(c)), UsageError);
+    EXPECT_EQ(dp.decompress_as<double>(ByteSpan(c)), values);
 
     std::vector<float> fvalues(1000, 2.5f);
-    Bytes fc = CompressFloats(fvalues, Mode::kRatio);
-    EXPECT_THROW(DecompressDoubles(ByteSpan(fc)), UsageError);
-    EXPECT_EQ(DecompressFloats(ByteSpan(fc)), fvalues);
+    const Codec sp = Codec::For<float>(Mode::kRatio);
+    Bytes fc = sp.compress(std::span<const float>(fvalues));
+    EXPECT_THROW(sp.decompress_as<double>(ByteSpan(fc)), UsageError);
+    EXPECT_EQ(sp.decompress_as<float>(ByteSpan(fc)), fvalues);
 }
 
 }  // namespace

@@ -64,14 +64,14 @@ if(NOT original STREQUAL roundtrip)
     message(FATAL_ERROR "round trip through fpczip changed the bytes")
 endif()
 
-# --stats prints one fpc.telemetry.v1 JSON line on stderr; the container
+# --stats prints one fpc.telemetry.v2 JSON line on stderr; the container
 # bytes must be identical to the un-instrumented run. In FPC_TELEMETRY=0
 # builds (TELEMETRY passed by the registering CMakeLists) the line still
 # appears but its context/counters stay empty, so only the schema tag and
 # the byte identity are checked there.
 set(packed_stats "${WORK_DIR}/input-stats.fpcz")
 run_fpczip(0 -c -a SPspeed --stats "${input}" "${packed_stats}")
-if(NOT last_error MATCHES "\\{\"schema\": \"fpc\\.telemetry\\.v1\"")
+if(NOT last_error MATCHES "\\{\"schema\": \"fpc\\.telemetry\\.v2\"")
     message(FATAL_ERROR "--stats did not print a telemetry JSON line: ${last_error}")
 endif()
 if(TELEMETRY)
@@ -81,11 +81,56 @@ if(TELEMETRY)
     if(NOT last_error MATCHES "\"stages\": \\[\\{\"stage\": \"DIFFMS\"")
         message(FATAL_ERROR "--stats line lacks the stage array: ${last_error}")
     endif()
+    if(NOT last_error MATCHES "\"histograms\": \\{\"chunk_encode\": \\{\"count\": [0-9]+")
+        message(FATAL_ERROR "--stats line lacks the latency histograms: ${last_error}")
+    endif()
 endif()
 file(READ "${packed}" plain_bytes HEX)
 file(READ "${packed_stats}" stats_bytes HEX)
 if(NOT plain_bytes STREQUAL stats_bytes)
     message(FATAL_ERROR "--stats changed the compressed bytes")
+endif()
+
+# --stats-file writes the same JSON line to a file instead of stderr, and
+# --trace writes a Chrome trace-event timeline; neither may perturb the
+# compressed bytes. Both files must parse as the expected schema even in
+# FPC_TELEMETRY=0 builds (empty counters / empty traceEvents).
+set(packed_traced "${WORK_DIR}/input-traced.fpcz")
+set(stats_json "${WORK_DIR}/stats.json")
+set(trace_json "${WORK_DIR}/trace.json")
+run_fpczip(0 -c -a SPspeed "--stats-file=${stats_json}"
+    "--trace=${trace_json}" "${input}" "${packed_traced}")
+if(last_error MATCHES "fpc\\.telemetry")
+    message(FATAL_ERROR "--stats-file still printed telemetry to stderr: ${last_error}")
+endif()
+if(NOT EXISTS "${stats_json}")
+    message(FATAL_ERROR "--stats-file did not create ${stats_json}")
+endif()
+file(READ "${stats_json}" stats_file_line)
+if(NOT stats_file_line MATCHES "^\\{\"schema\": \"fpc\\.telemetry\\.v2\"")
+    message(FATAL_ERROR "--stats-file wrote unexpected content: ${stats_file_line}")
+endif()
+if(NOT EXISTS "${trace_json}")
+    message(FATAL_ERROR "--trace did not create ${trace_json}")
+endif()
+file(READ "${trace_json}" trace_line)
+if(NOT trace_line MATCHES "^\\{\"schema\": \"fpc\\.trace\\.v1\"")
+    message(FATAL_ERROR "--trace wrote unexpected content: ${trace_line}")
+endif()
+if(NOT trace_line MATCHES "\"traceEvents\": \\[")
+    message(FATAL_ERROR "--trace output lacks traceEvents: ${trace_line}")
+endif()
+if(TELEMETRY)
+    if(NOT trace_line MATCHES "\"name\": \"compress SPspeed@cpu\"")
+        message(FATAL_ERROR "--trace output lacks the run span: ${trace_line}")
+    endif()
+    if(NOT trace_line MATCHES "\"name\": \"chunk encode\"")
+        message(FATAL_ERROR "--trace output lacks chunk spans: ${trace_line}")
+    endif()
+endif()
+file(READ "${packed_traced}" traced_bytes HEX)
+if(NOT plain_bytes STREQUAL traced_bytes)
+    message(FATAL_ERROR "--trace/--stats-file changed the compressed bytes")
 endif()
 
 # unknown backend must fail with the usage exit code, not crash

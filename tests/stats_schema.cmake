@@ -5,8 +5,11 @@
 #
 # Runs `fpczip --stats` for one speed and one ratio algorithm, captures
 # the telemetry JSON lines from stderr, and validates them field-by-field
-# with the Python schema checker. In FPC_TELEMETRY=0 builds the lines
-# still appear but stay empty, so the checker runs with --allow-empty.
+# with the Python schema checker; also runs a decompress with
+# --stats-file and --trace so the fpc.telemetry.v2 decode digests and the
+# fpc.trace.v1 timeline go through the same checker. In FPC_TELEMETRY=0
+# builds the lines still appear but stay empty, so the checker runs with
+# --allow-empty.
 
 if(NOT FPCZIP OR NOT PYTHON OR NOT CHECKER OR NOT WORK_DIR)
     message(FATAL_ERROR
@@ -37,6 +40,28 @@ foreach(algorithm SPspeed DPratio)
         message(FATAL_ERROR "fpczip -c -a ${algorithm} --stats exited ${rc}:\n${out}\n${err}")
     endif()
     file(APPEND "${stats_log}" "${err}")
+endforeach()
+
+# Decompress with --stats-file and --trace: both artifacts are JSON the
+# checker recognises (telemetry v2 with decode-side digests, trace v1).
+set(stats_file "${WORK_DIR}/decode-stats.json")
+set(trace_file "${WORK_DIR}/decode-trace.json")
+execute_process(
+    COMMAND "${FPCZIP}" -d "--stats-file=${stats_file}"
+        "--trace=${trace_file}"
+        "${WORK_DIR}/SPspeed.fpcz" "${WORK_DIR}/SPspeed.out"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fpczip -d --stats-file --trace exited ${rc}:\n${out}\n${err}")
+endif()
+foreach(artifact "${stats_file}" "${trace_file}")
+    if(NOT EXISTS "${artifact}")
+        message(FATAL_ERROR "fpczip did not write ${artifact}")
+    endif()
+    file(READ "${artifact}" artifact_content)
+    file(APPEND "${stats_log}" "${artifact_content}")
 endforeach()
 
 set(flags "")

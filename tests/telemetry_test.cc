@@ -333,7 +333,7 @@ TEST(TelemetryCompileSwitch, OffBuildCollectsNothing)
         EXPECT_TRUE(snap.executor.empty());
     }
     // The JSON schema line renders either way.
-    EXPECT_NE(sink.ToJson().find("\"schema\": \"fpc.telemetry.v1\""),
+    EXPECT_NE(sink.ToJson().find("\"schema\": \"fpc.telemetry.v2\""),
               std::string::npos);
 }
 
@@ -346,9 +346,11 @@ TEST(TelemetryJson, SchemaShape)
     Decompress(ByteSpan(compressed), options);
     const std::string json = sink.ToJson();
     for (const char* field :
-         {"\"schema\": \"fpc.telemetry.v1\"", "\"compress\"",
+         {"\"schema\": \"fpc.telemetry.v2\"", "\"compress\"",
           "\"decompress\"", "\"chunks\"", "\"mplg\"", "\"arena\"",
-          "\"stages\"", "\"DIFFMS\"", "\"RARE\""}) {
+          "\"stages\"", "\"DIFFMS\"", "\"RARE\"", "\"histograms\"",
+          "\"chunk_encode\"", "\"chunk_decode\"", "\"latency\"",
+          "\"p50_ns\"", "\"p95_ns\"", "\"p99_ns\"", "\"max_ns\""}) {
         EXPECT_NE(json.find(field), std::string::npos) << field;
     }
     sink.Reset();

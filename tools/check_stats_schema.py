@@ -1,25 +1,37 @@
 #!/usr/bin/env python3
-"""Validate fpc.telemetry.v1 JSON lines.
+"""Validate the observability JSON documents the library emits.
 
-Reads stdin (or the files named on the command line), ignores every line
-that is not a JSON object carrying ``"schema": "fpc.telemetry.v1"``, and
-checks each telemetry line field-by-field against the schema emitted by
-``Telemetry::ToJson`` (src/core/telemetry.cc):
+Reads stdin (or the files named on the command line) line by line and
+validates every JSON object whose schema tag it recognises:
 
+``fpc.telemetry.v2`` (``Telemetry::ToJson``, src/core/telemetry.cc):
   - top-level keys: schema, executor, algorithm, compress, decompress,
-    chunks, mplg, arena, stages;
+    chunks, mplg, arena, histograms, stages;
   - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
     non-negative integers;
   - chunks: encoded, raw_fallback, decoded with raw_fallback <= encoded;
   - mplg: subchunks, enhanced_subchunks with enhanced <= subchunks;
   - arena: high_water_bytes;
+  - histograms: chunk_encode and chunk_decode latency digests (count,
+    p50_ns, p95_ns, p99_ns, max_ns with p50 <= p95 <= p99 <= max);
   - stages: exactly the seven stages, in StageId order, each with an
-    encode and a decode block of the four counter fields.
+    encode and a decode counter block plus a latency digest pair whose
+    counts match the stage call counters.
 
-Exit code 0 when every telemetry line validates and at least one was seen
-(pass ``--allow-empty`` when hooks are compiled out and context/counter
-content is not expected), 1 otherwise. Wired into ctest as the
-``stats_schema`` test (tests/stats_schema.cmake); also usable ad hoc:
+``fpc.trace.v1`` (``TraceSink::ToChromeJson``, src/core/trace.cc):
+  - top-level schema, dropped (non-negative), traceEvents array;
+  - every event is Chrome trace-event shaped: ph "M" (metadata) or "X"
+    (complete span with numeric ts/dur >= 0, name, pid, tid).
+
+``fpc.bench.v1`` (bench/bench_regress.cc):
+  - config block carrying the corpus fingerprint;
+  - results entries with algorithm, backend, positive ratio and
+    throughputs, and chunk latency digests.
+
+Exit code 0 when every recognised line validates and at least one was
+seen (pass ``--allow-empty`` when hooks are compiled out and
+context/counter content is not expected), 1 otherwise. Wired into ctest
+as the ``stats_schema`` test (tests/stats_schema.cmake); also ad hoc:
 
     fpczip -c -a DPratio --stats in.bin out.fpcz 2>&1 | \\
         python3 tools/check_stats_schema.py
@@ -28,11 +40,15 @@ content is not expected), 1 otherwise. Wired into ctest as the
 import json
 import sys
 
-SCHEMA_TAG = "fpc.telemetry.v1"
+TELEMETRY_TAG = "fpc.telemetry.v2"
+TRACE_TAG = "fpc.trace.v1"
+BENCH_TAG = "fpc.bench.v1"
 
 STAGE_ORDER = ["DIFFMS", "MPLG", "BIT", "RZE", "FCM", "RAZE", "RARE"]
 
 COUNTER_FIELDS = ["calls", "input_bytes", "output_bytes", "wall_ns"]
+
+DIGEST_FIELDS = ["count", "p50_ns", "p95_ns", "p99_ns", "max_ns"]
 
 TOP_KEYS = [
     "schema",
@@ -43,8 +59,11 @@ TOP_KEYS = [
     "chunks",
     "mplg",
     "arena",
+    "histograms",
     "stages",
 ]
+
+ALGORITHMS = ["SPspeed", "SPratio", "DPspeed", "DPratio"]
 
 
 def fail(line_no, message):
@@ -64,7 +83,26 @@ def check_counters(line_no, where, block):
     return ok
 
 
-def check_line(line_no, doc):
+def check_digest(line_no, where, block):
+    """A latency-histogram digest: counts plus ordered quantiles."""
+    if not isinstance(block, dict):
+        return fail(line_no, f"{where} is not an object")
+    ok = True
+    for field in DIGEST_FIELDS:
+        value = block.get(field)
+        if not isinstance(value, int) or value < 0:
+            ok = fail(line_no, f"{where}.{field} missing or not a"
+                               f" non-negative integer: {value!r}")
+    if ok and not (block["p50_ns"] <= block["p95_ns"] <= block["p99_ns"]
+                   <= block["max_ns"]):
+        ok = fail(line_no, f"{where} quantiles are not ordered:"
+                           f" {block!r}")
+    if ok and block["count"] == 0 and block["max_ns"] != 0:
+        ok = fail(line_no, f"{where} is empty but max_ns != 0")
+    return ok
+
+
+def check_telemetry(line_no, doc):
     ok = True
     for key in TOP_KEYS:
         if key not in doc:
@@ -97,6 +135,21 @@ def check_line(line_no, doc):
     if not isinstance(arena.get("high_water_bytes"), int):
         ok = fail(line_no, "arena.high_water_bytes missing or invalid")
 
+    hists = doc["histograms"]
+    if not isinstance(hists, dict):
+        ok = fail(line_no, "histograms is not an object")
+    else:
+        for key in ("chunk_encode", "chunk_decode"):
+            if key not in hists:
+                ok = fail(line_no, f"histograms lacks {key}")
+            else:
+                ok = check_digest(line_no, f"histograms.{key}",
+                                  hists[key]) and ok
+        if ok and chunks["encoded"] != hists["chunk_encode"]["count"]:
+            ok = fail(line_no, "histograms.chunk_encode.count"
+                               f" ({hists['chunk_encode']['count']}) !="
+                               f" chunks.encoded ({chunks['encoded']})")
+
     stages = doc["stages"]
     if not isinstance(stages, list):
         return fail(line_no, "stages is not an array")
@@ -115,10 +168,27 @@ def check_line(line_no, doc):
             else:
                 ok = check_counters(line_no, f"{label}.{direction}",
                                     stage[direction]) and ok
+        latency = stage.get("latency")
+        if not isinstance(latency, dict):
+            ok = fail(line_no, f"{label} lacks a latency block")
+            continue
+        for direction in ("encode", "decode"):
+            if direction not in latency:
+                ok = fail(line_no,
+                          f"{label}.latency lacks {direction}")
+                continue
+            ok = check_digest(line_no, f"{label}.latency.{direction}",
+                              latency[direction]) and ok
+            if (ok and direction in stage
+                    and latency[direction]["count"]
+                    != stage[direction]["calls"]):
+                ok = fail(line_no,
+                          f"{label}.latency.{direction}.count !="
+                          f" {label}.{direction}.calls")
     return ok
 
 
-def check_content(line_no, doc):
+def check_telemetry_content(line_no, doc):
     """Extra checks for builds with hooks compiled in: an instrumented
     compress run must have filled in its context and counters."""
     ok = True
@@ -133,9 +203,107 @@ def check_content(line_no, doc):
         ok = fail(line_no, "no chunks processed in an instrumented run")
     sum_of_stages = sum(s["encode"]["calls"] + s["decode"]["calls"]
                         for s in doc["stages"])
-    if sum_of_stages == 0:
+    coded = doc["chunks"]["encoded"] - doc["chunks"]["raw_fallback"]
+    if sum_of_stages == 0 and coded > 0:
+        # Decode-only runs of all-raw containers legitimately run no
+        # stages; a compress run with coded chunks must have.
         ok = fail(line_no, "every stage counter is 0 for an instrumented"
-                           " run")
+                           " run with coded chunks")
+    hist_counts = (doc["histograms"]["chunk_encode"]["count"]
+                   + doc["histograms"]["chunk_decode"]["count"])
+    if hist_counts == 0:
+        ok = fail(line_no, "chunk latency histograms are empty for an"
+                           " instrumented run")
+    return ok
+
+
+def check_trace(line_no, doc):
+    ok = True
+    dropped = doc.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        ok = fail(line_no, f"dropped missing or invalid: {dropped!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(line_no, "traceEvents missing or not an array")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            ok = fail(line_no, f"{where} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("M", "X"):
+            ok = fail(line_no, f"{where}.ph is {ph!r}, expected M or X")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                ok = fail(line_no, f"{where} lacks {field}")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    ok = fail(line_no, f"{where}.{field} missing or"
+                                       f" negative: {value!r}")
+    return ok
+
+
+def check_trace_content(line_no, doc):
+    """An instrumented trace must contain at least one complete span."""
+    spans = [e for e in doc["traceEvents"]
+             if isinstance(e, dict) and e.get("ph") == "X"]
+    if not spans:
+        return fail(line_no, "trace has no complete (ph=X) spans for an"
+                             " instrumented run")
+    return True
+
+
+def check_bench(line_no, doc):
+    ok = True
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        ok = fail(line_no, "config missing or not an object")
+    else:
+        for field in ("values_per_file", "runs", "repeats", "threads"):
+            value = config.get(field)
+            if not isinstance(value, int) or value <= 0:
+                ok = fail(line_no, f"config.{field} missing or invalid:"
+                                   f" {value!r}")
+        for field in ("sp_scale", "dp_scale"):
+            value = config.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                ok = fail(line_no, f"config.{field} missing or invalid:"
+                                   f" {value!r}")
+        if not isinstance(config.get("fingerprint"), str) \
+                or not config["fingerprint"]:
+            ok = fail(line_no, "config.fingerprint missing or empty")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return fail(line_no, "results missing, not an array, or empty")
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(entry, dict):
+            ok = fail(line_no, f"{where} is not an object")
+            continue
+        if entry.get("algorithm") not in ALGORITHMS:
+            ok = fail(line_no, f"{where}.algorithm is"
+                               f" {entry.get('algorithm')!r}")
+        if not isinstance(entry.get("backend"), str) \
+                or not entry["backend"]:
+            ok = fail(line_no, f"{where}.backend missing or empty")
+        for field in ("ratio", "compress_gbps", "decompress_gbps"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                ok = fail(line_no, f"{where}.{field} missing or not"
+                                   f" positive: {value!r}")
+        hists = entry.get("histograms")
+        if not isinstance(hists, dict):
+            ok = fail(line_no, f"{where}.histograms missing")
+            continue
+        for key in ("chunk_encode", "chunk_decode"):
+            if key not in hists:
+                ok = fail(line_no, f"{where}.histograms lacks {key}")
+            else:
+                ok = check_digest(line_no, f"{where}.histograms.{key}",
+                                  hists[key]) and ok
     return ok
 
 
@@ -161,19 +329,33 @@ def main(argv):
             doc = json.loads(line)
         except json.JSONDecodeError:
             continue  # not for us (e.g. an inspect line)
-        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_TAG:
+        if not isinstance(doc, dict):
             continue
-        seen += 1
-        ok = check_line(line_no, doc) and ok
-        if ok and not allow_empty:
-            ok = check_content(line_no, doc)
+        tag = doc.get("schema")
+        if tag == TELEMETRY_TAG:
+            seen += 1
+            line_ok = check_telemetry(line_no, doc)
+            if line_ok and not allow_empty:
+                line_ok = check_telemetry_content(line_no, doc)
+        elif tag == TRACE_TAG:
+            seen += 1
+            line_ok = check_trace(line_no, doc)
+            if line_ok and not allow_empty:
+                line_ok = check_trace_content(line_no, doc)
+        elif tag == BENCH_TAG:
+            seen += 1
+            line_ok = check_bench(line_no, doc)
+        else:
+            continue
+        ok = line_ok and ok
 
     if seen == 0:
-        print("check_stats_schema: no fpc.telemetry.v1 lines found",
+        print("check_stats_schema: no recognised schema lines found"
+              f" ({TELEMETRY_TAG} / {TRACE_TAG} / {BENCH_TAG})",
               file=sys.stderr)
         return 1
     if ok:
-        print(f"check_stats_schema: {seen} telemetry line(s) OK")
+        print(f"check_stats_schema: {seen} line(s) OK")
         return 0
     return 1
 

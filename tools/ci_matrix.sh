@@ -4,11 +4,23 @@
 #   tools/ci_matrix.sh [jobs]
 #
 # Configurations:
-#   default        — Release, telemetry hooks compiled in (the shipping config)
-#   telemetry-off  — -DFPC_TELEMETRY=OFF: every hook compiles to a no-op;
-#                    proves the API still builds and the wire format is
-#                    unchanged (telemetry_test asserts empty sinks, the
-#                    golden-checksum tests pin the bytes)
+#   default        — Release, telemetry hooks compiled in (the shipping
+#                    config). Runs the full suite, which includes the
+#                    standing perf-regression gate (ctest -L bench:
+#                    bench_regress vs the last committed BENCH_pr<N>.json)
+#                    and the span-tracer reconciliation (ctest -L
+#                    telemetry), then exports a figure-bench timeline via
+#                    FPC_BENCH_TRACE and schema-checks the fpc.trace.v1
+#                    output.
+#   telemetry-off  — -DFPC_TELEMETRY=OFF: every hook (telemetry *and* the
+#                    span tracer) compiles to a no-op; proves the API
+#                    still builds and the wire format is unchanged
+#                    (telemetry_test asserts empty sinks, trace_test
+#                    asserts empty-but-valid trace exports, the
+#                    golden-checksum tests pin the bytes). The bench gate
+#                    still runs: ratios are still compared, throughput is
+#                    skipped because the recorded telemetry flag differs
+#                    from the committed baseline.
 #   sanitize       — ASan+UBSan over the memory-sensitive test subset
 #
 # Each configuration builds into build-matrix/<name> so the normal
@@ -31,6 +43,15 @@ run_config() {
 
 run_config default -DFPC_WERROR=ON
 ctest --test-dir "${out}/default" --output-on-failure -j "${jobs}"
+
+# Trace-export smoke: drive one figure bench with FPC_BENCH_TRACE on a
+# tiny corpus and validate the resulting Chrome trace document.
+echo "==> [default] trace export"
+(cd "${out}/default/bench" && \
+    FPC_BENCH_VALUES=8192 FPC_BENCH_SCALE=0.05 FPC_BENCH_RUNS=1 \
+    FPC_BENCH_TRACE="${out}/default/ci_trace.json" \
+    ./bench_fig12_cpu_sp_comp >/dev/null)
+python3 "${root}/tools/check_stats_schema.py" "${out}/default/ci_trace.json"
 
 run_config telemetry-off -DFPC_WERROR=ON -DFPC_TELEMETRY=OFF
 ctest --test-dir "${out}/telemetry-off" --output-on-failure -j "${jobs}"

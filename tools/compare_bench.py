@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two fpc.bench.v1 reports and fail on regressions.
+
+    compare_bench.py BASELINE.json CURRENT.json [--tolerance=0.10]
+
+Gate rules (the ctest ``bench`` label wires this against the last
+committed BENCH_pr<N>.json at the repo root):
+
+  - Both files must be ``fpc.bench.v1`` with the same config fingerprint
+    (same corpus + methodology); anything else is an error, not a pass —
+    rerun ``bench_regress`` with default knobs or refresh the baseline.
+  - Every (algorithm, backend) configuration in the baseline must still
+    be present.
+  - Compression ratio must not drop at all: the codec is deterministic,
+    so any ratio change is a real behaviour change (improvements pass and
+    should be committed as a new baseline).
+  - Compression/decompression throughput must not drop by more than the
+    tolerance (default 10%). Throughput checks are skipped — with a
+    notice — when the recorded machine facts (threads, telemetry build
+    flag) differ between the two reports, because those numbers are not
+    comparable; the ratio check still applies.
+
+Exit code 0 when the gate passes, 1 on any regression or usage error.
+"""
+
+import json
+import sys
+
+SCHEMA_TAG = "fpc.bench.v1"
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            doc = json.loads(line)
+            if isinstance(doc, dict) and doc.get("schema") == SCHEMA_TAG:
+                return doc
+    raise ValueError(f"{path}: no {SCHEMA_TAG} line found")
+
+
+def result_map(doc):
+    return {(r["algorithm"], r["backend"]): r for r in doc["results"]}
+
+
+def main(argv):
+    tolerance = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"compare_bench: unknown option {arg}", file=sys.stderr)
+            return 1
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    try:
+        baseline = load_report(paths[0])
+        current = load_report(paths[1])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"compare_bench: {e}", file=sys.stderr)
+        return 1
+
+    base_cfg = baseline["config"]
+    cur_cfg = current["config"]
+    if base_cfg["fingerprint"] != cur_cfg["fingerprint"]:
+        print("compare_bench: config fingerprint mismatch "
+              f"({base_cfg['fingerprint']} vs {cur_cfg['fingerprint']}); "
+              "the reports measured different corpora and cannot be "
+              "compared — rerun with default knobs or refresh the "
+              "baseline", file=sys.stderr)
+        return 1
+
+    check_throughput = True
+    for fact in ("threads", "telemetry"):
+        if base_cfg.get(fact) != cur_cfg.get(fact):
+            print(f"compare_bench: note: {fact} differs "
+                  f"({base_cfg.get(fact)} vs {cur_cfg.get(fact)}); "
+                  "skipping throughput checks (ratios still gated)")
+            check_throughput = False
+
+    base_results = result_map(baseline)
+    cur_results = result_map(current)
+    failures = []
+    checked = 0
+    for key, base in sorted(base_results.items()):
+        label = f"{key[0]}@{key[1]}"
+        cur = cur_results.get(key)
+        if cur is None:
+            failures.append(f"{label}: configuration missing from current"
+                            " report")
+            continue
+        checked += 1
+        if cur["ratio"] < base["ratio"] - 1e-9:
+            failures.append(
+                f"{label}: ratio regressed {base['ratio']:.6f} -> "
+                f"{cur['ratio']:.6f}")
+        if not check_throughput:
+            continue
+        for metric in ("compress_gbps", "decompress_gbps"):
+            floor = base[metric] * (1.0 - tolerance)
+            if cur[metric] < floor:
+                drop = 100.0 * (1.0 - cur[metric] / base[metric])
+                failures.append(
+                    f"{label}: {metric} regressed {drop:.1f}% "
+                    f"({base[metric]:.3f} -> {cur[metric]:.3f}, "
+                    f"tolerance {100 * tolerance:.0f}%)")
+
+    for failure in failures:
+        print(f"compare_bench: FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"compare_bench: OK: {checked} configuration(s) within "
+          f"tolerance ({100 * tolerance:.0f}% throughput, 0% ratio)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

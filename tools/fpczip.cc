@@ -14,9 +14,15 @@
  * --backend selects an executor-registry backend (cpu, gpusim:4090,
  *    gpusim:a100); all backends produce bit-identical containers (see
  *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
- * --stats prints one "fpc.telemetry.v1" JSON line (per-stage wall time
- *    and byte flow, chunk/raw counts; see DESIGN.md "Observability") to
- *    stderr after a -c/-d run, so stdout stays scriptable.
+ * --stats prints one "fpc.telemetry.v2" JSON line (per-stage wall time
+ *    and byte flow, chunk/raw counts, latency histogram digests; see
+ *    DESIGN.md "Observability") to stderr after a -c/-d run, so stdout
+ *    stays scriptable.
+ * --stats-file=PATH writes that same JSON line to PATH instead of stderr
+ *    (implies --stats).
+ * --trace=FILE records a hierarchical span timeline of the run (run →
+ *    worker → chunk → stage; "fpc.trace.v1") and writes it to FILE as
+ *    Chrome trace-event JSON, loadable in Perfetto / chrome://tracing.
  *
  * Exit codes: 0 success, 1 I/O or internal error, 2 usage error,
  * 3 corrupt or truncated compressed stream (the message names the stage
@@ -30,6 +36,7 @@
 #include "core/codec.h"
 #include "core/executor.h"
 #include "core/telemetry.h"
+#include "core/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -69,7 +76,9 @@ Usage()
         "ALGO:    SPspeed (default) | SPratio | DPspeed | DPratio\n"
         "NAME:    cpu (default) | gpusim:4090 | gpusim:a100\n"
         "-g:      shorthand for --backend=gpusim:4090 (identical output)\n"
-        "--stats: print per-stage telemetry JSON to stderr after -c/-d\n");
+        "--stats: print per-stage telemetry JSON to stderr after -c/-d\n"
+        "--stats-file=PATH: write that JSON to PATH instead of stderr\n"
+        "--trace=FILE: write a Chrome trace-event timeline of the run\n");
     return 2;
 }
 
@@ -116,7 +125,10 @@ main(int argc, char** argv)
         } action = kNone;
         fpc::Options options;
         fpc::Telemetry stats_sink;
+        fpc::TraceSink trace_sink;
         bool want_stats = false;
+        std::string stats_path;
+        std::string trace_path;
         fpc::Algorithm algorithm = fpc::Algorithm::kSPspeed;
         std::vector<std::string> files;
 
@@ -138,6 +150,15 @@ main(int argc, char** argv)
             } else if (arg == "--stats") {
                 want_stats = true;
                 options.telemetry = &stats_sink;
+            } else if (arg.rfind("--stats-file=", 0) == 0) {
+                want_stats = true;
+                stats_path = arg.substr(std::strlen("--stats-file="));
+                if (stats_path.empty()) return Usage();
+                options.telemetry = &stats_sink;
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                trace_path = arg.substr(std::strlen("--trace="));
+                if (trace_path.empty()) return Usage();
+                options.trace = &trace_sink;
             } else if (arg == "-a" && i + 1 < argc) {
                 algorithm = fpc::ParseAlgorithm(argv[++i]);
             } else if (!arg.empty() && arg[0] == '-') {
@@ -190,9 +211,23 @@ main(int argc, char** argv)
         }
         WriteFile(files[1], output);
         if (want_stats) {
-            // stderr keeps stdout scriptable; with FPC_TELEMETRY=0 the
-            // line still appears, with zeroed counters.
-            std::fprintf(stderr, "%s\n", stats_sink.ToJson().c_str());
+            if (stats_path.empty()) {
+                // stderr keeps stdout scriptable; with FPC_TELEMETRY=0
+                // the line still appears, with zeroed counters.
+                std::fprintf(stderr, "%s\n", stats_sink.ToJson().c_str());
+            } else {
+                std::ofstream stats_out(stats_path);
+                if (!stats_out) {
+                    throw fpc::UsageError("cannot open " + stats_path);
+                }
+                stats_out << stats_sink.ToJson() << "\n";
+                if (!stats_out) {
+                    throw fpc::UsageError("cannot write " + stats_path);
+                }
+            }
+        }
+        if (!trace_path.empty() && !trace_sink.WriteJson(trace_path)) {
+            throw fpc::UsageError("cannot write " + trace_path);
         }
         return 0;
     } catch (const fpc::CorruptStreamError& e) {
