@@ -5,10 +5,18 @@
  * to the compression ratio on a representative chunk, then benchmarks
  * every transformation's encode and decode throughput with
  * google-benchmark.
+ *
+ * With FPC_BENCH_ISA=1 it instead times every stage under each available
+ * kernel ISA level (scalar/avx2/avx512), prints one "fpc.bench_isa.v1"
+ * JSON line per (stage, isa) — including whether the level's output is
+ * byte-identical to the scalar kernels' — and exits.
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 
 #include "core/codec.h"
 #include "core/pipeline.h"
@@ -16,6 +24,8 @@
 #include "data/fields.h"
 #include "transforms/transforms.h"
 #include "util/common.h"
+#include "util/cpu_features.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -69,23 +79,36 @@ PrintStageTable()
     std::printf("\n");
 }
 
+using StageFn3 = void (*)(ByteSpan, Bytes&, fpc::ScratchArena&);
+
 struct StageUnderTest {
     const char* name;
     void (*encode)(ByteSpan, Bytes&);
     void (*decode)(ByteSpan, Bytes&);
     bool dp;
+    StageFn3 encode3;  ///< arena-taking overload, for the ISA matrix mode
+    StageFn3 decode3;
 };
 
 const StageUnderTest kStages[] = {
-    {"DIFFMS32", fpc::tf::DiffmsEncode32, fpc::tf::DiffmsDecode32, false},
-    {"DIFFMS64", fpc::tf::DiffmsEncode64, fpc::tf::DiffmsDecode64, true},
-    {"MPLG32", fpc::tf::MplgEncode32, fpc::tf::MplgDecode32, false},
-    {"MPLG64", fpc::tf::MplgEncode64, fpc::tf::MplgDecode64, true},
-    {"BIT32", fpc::tf::BitEncode32, fpc::tf::BitDecode32, false},
-    {"RZE", fpc::tf::RzeEncode, fpc::tf::RzeDecode, false},
-    {"FCM", fpc::tf::FcmEncode, fpc::tf::FcmDecode, true},
-    {"RAZE64", fpc::tf::RazeEncode64, fpc::tf::RazeDecode64, true},
-    {"RARE64", fpc::tf::RareEncode64, fpc::tf::RareDecode64, true},
+    {"DIFFMS32", fpc::tf::DiffmsEncode32, fpc::tf::DiffmsDecode32, false,
+     fpc::tf::DiffmsEncode32, fpc::tf::DiffmsDecode32},
+    {"DIFFMS64", fpc::tf::DiffmsEncode64, fpc::tf::DiffmsDecode64, true,
+     fpc::tf::DiffmsEncode64, fpc::tf::DiffmsDecode64},
+    {"MPLG32", fpc::tf::MplgEncode32, fpc::tf::MplgDecode32, false,
+     fpc::tf::MplgEncode32, fpc::tf::MplgDecode32},
+    {"MPLG64", fpc::tf::MplgEncode64, fpc::tf::MplgDecode64, true,
+     fpc::tf::MplgEncode64, fpc::tf::MplgDecode64},
+    {"BIT32", fpc::tf::BitEncode32, fpc::tf::BitDecode32, false,
+     fpc::tf::BitEncode32, fpc::tf::BitDecode32},
+    {"RZE", fpc::tf::RzeEncode, fpc::tf::RzeDecode, false,
+     fpc::tf::RzeEncode, fpc::tf::RzeDecode},
+    {"FCM", fpc::tf::FcmEncode, fpc::tf::FcmDecode, true,
+     fpc::tf::FcmEncode, fpc::tf::FcmDecode},
+    {"RAZE64", fpc::tf::RazeEncode64, fpc::tf::RazeDecode64, true,
+     fpc::tf::RazeEncode64, fpc::tf::RazeDecode64},
+    {"RARE64", fpc::tf::RareEncode64, fpc::tf::RareDecode64, true,
+     fpc::tf::RareEncode64, fpc::tf::RareDecode64},
 };
 
 void
@@ -151,11 +174,88 @@ PrintTelemetryBreakdown()
     std::printf("\n");
 }
 
+/** Best-of-@p reps seconds for one timed call of @p fn. */
+double
+BestSeconds(int reps, const std::function<void()>& fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        fpc::Timer timer;
+        fn();
+        best = std::min(best, timer.Seconds());
+    }
+    return best;
+}
+
+/**
+ * FPC_BENCH_ISA=1 mode: time every stage's encode and decode under each
+ * compiled-and-supported kernel ISA level through the arena-taking
+ * overloads, emit one JSON line per (stage, isa), and exit without
+ * running google-benchmark. Each level's encoded bytes are also compared
+ * against the scalar kernels' — any divergence is a dispatch bug, and
+ * the line reports it as "identical": false.
+ */
+int
+RunIsaComparison()
+{
+    constexpr int kIters = 64;
+    constexpr int kReps = 5;
+    for (const StageUnderTest& stage : kStages) {
+        Bytes input = ChunkOfSmoothData(stage.dp);
+
+        fpc::ScratchArena scalar_scratch;
+        scalar_scratch.SetKernelIsa(fpc::simd::Isa::kScalar);
+        Bytes scalar_coded;
+        stage.encode3(ByteSpan(input), scalar_coded, scalar_scratch);
+
+        for (fpc::simd::Isa isa :
+             {fpc::simd::Isa::kScalar, fpc::simd::Isa::kAvx2,
+              fpc::simd::Isa::kAvx512}) {
+            if (!fpc::simd::IsaAvailable(isa)) continue;
+            fpc::ScratchArena scratch;
+            scratch.SetKernelIsa(isa);
+            Bytes coded;
+            stage.encode3(ByteSpan(input), coded, scratch);
+            Bytes decoded;
+            stage.decode3(ByteSpan(coded), decoded, scratch);
+            const bool identical =
+                coded == scalar_coded && decoded == input;
+
+            Bytes out;
+            const double enc_s = BestSeconds(kReps, [&] {
+                for (int i = 0; i < kIters; ++i) {
+                    out.clear();
+                    stage.encode3(ByteSpan(input), out, scratch);
+                }
+            });
+            const double dec_s = BestSeconds(kReps, [&] {
+                for (int i = 0; i < kIters; ++i) {
+                    out.clear();
+                    stage.decode3(ByteSpan(coded), out, scratch);
+                }
+            });
+            const double bytes = static_cast<double>(input.size()) * kIters;
+            std::printf("{\"schema\": \"fpc.bench_isa.v1\", "
+                        "\"stage\": \"%s\", \"isa\": \"%s\", "
+                        "\"encode_gbps\": %.6f, \"decode_gbps\": %.6f, "
+                        "\"identical\": %s}\n",
+                        stage.name, fpc::simd::IsaName(isa),
+                        bytes / 1e9 / enc_s, bytes / 1e9 / dec_s,
+                        identical ? "true" : "false");
+        }
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
+    const char* isa_mode = std::getenv("FPC_BENCH_ISA");
+    if (isa_mode != nullptr && isa_mode[0] != '\0' && isa_mode[0] != '0') {
+        return RunIsaComparison();
+    }
     PrintStageTable();
     PrintTelemetryBreakdown();
     benchmark::Initialize(&argc, argv);

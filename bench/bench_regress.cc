@@ -54,8 +54,8 @@ struct BenchConfig {
 };
 
 /** Identity of the measured corpus + methodology. Deliberately excludes
- *  machine facts (threads, telemetry build flag): those are recorded
- *  alongside and the comparator decides what stays comparable. */
+ *  machine facts (threads, telemetry build flag, kernel ISA): those are
+ *  recorded alongside and the comparator decides what stays comparable. */
 std::string
 Fingerprint(const BenchConfig& config)
 {
@@ -129,12 +129,13 @@ main(int argc, char** argv)
         std::snprintf(buf, sizeof(buf),
                       "\"values_per_file\": %zu, \"sp_scale\": %.6f, "
                       "\"dp_scale\": %.6f, \"runs\": %d, \"repeats\": %d, "
-                      "\"threads\": %u, "
+                      "\"threads\": %u, \"isa\": \"%s\", "
                       "\"telemetry\": %s, \"fingerprint\": \"%s\"}, "
                       "\"results\": [",
                       config.values_per_file, config.sp_scale,
                       config.dp_scale, config.runs, config.repeats,
                       std::max(1u, std::thread::hardware_concurrency()),
+                      simd::IsaName(simd::DefaultIsa()),
                       kTelemetryEnabled ? "true" : "false",
                       Fingerprint(config).c_str());
         out += buf;

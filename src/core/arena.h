@@ -32,6 +32,7 @@
 #define FPC_CORE_ARENA_H
 
 #include "util/common.h"
+#include "util/cpu_features.h"
 
 // Mirrors the default in core/telemetry.h (kept independent so this header
 // stays free of the telemetry include).
@@ -110,6 +111,16 @@ class ScratchArena {
     void SetTelemetryShard(TelemetryShard*) {}
 #endif
 
+    /**
+     * Kernel ISA level the transforms dispatch on (util/simd.h). Arenas
+     * are born at the process default, so standalone transform calls and
+     * the gpusim backend follow FPC_FORCE_SCALAR / SetDefaultIsa with no
+     * plumbing; the cpu executor overrides it per call from
+     * Options::with_isa (core/executor.cc ResolveIsa).
+     */
+    simd::Isa KernelIsa() const { return kernel_isa_; }
+    void SetKernelIsa(simd::Isa isa) { kernel_isa_ = isa; }
+
  private:
     Bytes pipeline_a_;
     Bytes pipeline_b_;
@@ -121,6 +132,7 @@ class ScratchArena {
     std::vector<Bytes> bitmap_kept_;
     Bytes retained_;
     size_t decode_budget_ = SIZE_MAX;
+    simd::Isa kernel_isa_ = simd::DefaultIsa();
 #if FPC_TELEMETRY
     TelemetryShard* telemetry_ = nullptr;
 #endif

@@ -56,6 +56,15 @@ RunLabel(const char* verb, std::optional<Algorithm> algorithm,
     return label;
 }
 
+/** Kernel ISA the run dispatches: Options::with_isa is honoured by the
+ *  cpu executor; every other backend's arenas take the process default. */
+const char*
+RunIsaName(const Executor& executor, const Options& options)
+{
+    return simd::IsaName(executor.Name() == "cpu" ? ResolveIsa(options)
+                                                  : simd::DefaultIsa());
+}
+
 }  // namespace
 
 // Run totals and run spans are recorded here — the single spot every
@@ -71,7 +80,10 @@ Compress(Algorithm algorithm, ByteSpan input, const Options& options)
     if (sink == nullptr && trace == nullptr) {
         return executor.Compress(algorithm, input, options);
     }
-    if (sink != nullptr) sink->SetContext(executor.Name(), algorithm);
+    if (sink != nullptr) {
+        sink->SetContext(executor.Name(), algorithm,
+                         RunIsaName(executor, options));
+    }
     const uint64_t t0 = TelemetryNowNs();
     Bytes out = executor.Compress(algorithm, input, options);
     const uint64_t t1 = TelemetryNowNs();
@@ -99,7 +111,8 @@ Decompress(ByteSpan compressed, const Options& options)
     if (sink != nullptr) {
         sink->AddDecompress(compressed.size(), out.size(), t1 - t0);
         if (algorithm.has_value()) {
-            sink->SetContext(executor.Name(), *algorithm);
+            sink->SetContext(executor.Name(), *algorithm,
+                             RunIsaName(executor, options));
         }
     }
     if (trace != nullptr) {
@@ -128,7 +141,8 @@ DecompressInto(ByteSpan compressed, std::span<std::byte> out,
     if (sink != nullptr) {
         sink->AddDecompress(compressed.size(), out.size(), t1 - t0);
         if (algorithm.has_value()) {
-            sink->SetContext(executor.Name(), *algorithm);
+            sink->SetContext(executor.Name(), *algorithm,
+                             RunIsaName(executor, options));
         }
     }
     if (trace != nullptr) {

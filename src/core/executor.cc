@@ -22,6 +22,32 @@ Options::with_executor(const std::string& name)
     return *this;
 }
 
+Options&
+Options::with_isa(const std::string& name)
+{
+    const simd::Isa requested = simd::ParseIsa(name);
+    if (!simd::IsaAvailable(requested)) {
+        throw UsageError("ISA \"" + name +
+                         "\" is not available on this CPU/build");
+    }
+    isa = static_cast<uint8_t>(requested);
+    return *this;
+}
+
+simd::Isa
+ResolveIsa(const Options& options)
+{
+    if (options.isa == Options::kIsaAuto) return simd::DefaultIsa();
+    const auto requested = static_cast<simd::Isa>(options.isa);
+    if (!simd::IsaAvailable(requested)) {
+        // A raw Options::isa value (bypassing with_isa) above the
+        // machine's capability would silently change behaviour; reject.
+        throw UsageError(std::string("ISA \"") + simd::IsaName(requested) +
+                         "\" is not available on this CPU/build");
+    }
+    return requested;
+}
+
 namespace {
 
 int
@@ -82,6 +108,7 @@ class CpuExecutor final : public Executor {
         ByteSpan chunk_src = input;
         if (spec.pre.encode != nullptr) {
             ScratchArena pre_scratch;
+            pre_scratch.SetKernelIsa(ResolveIsa(options));
             const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
             spec.pre.encode(input, work, pre_scratch);
             if (TelemetryShard* shard = scope.MainShard()) {
@@ -103,6 +130,8 @@ class CpuExecutor final : public Executor {
         const size_t n_chunks = ChunkCountOf(chunk_src.size());
         EncodePlan plan(n_chunks);
         std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+        const simd::Isa isa = ResolveIsa(options);
+        for (ScratchArena& arena : arenas) arena.SetKernelIsa(isa);
         scope.HintChunks(n_chunks);
         scope.Attach(arenas);
 #ifdef _OPENMP
@@ -166,6 +195,8 @@ class CpuExecutor final : public Executor {
             const size_t transformed_size = view.header.transformed_size;
             const int threads = EffectiveThreads(options);
             std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+            const simd::Isa isa = ResolveIsa(options);
+            for (ScratchArena& arena : arenas) arena.SetKernelIsa(isa);
             TelemetryRunScope scope(SinkOf(options), TraceOf(options),
                                     static_cast<size_t>(threads));
             scope.HintChunks(view.header.chunk_count);
@@ -237,6 +268,7 @@ class CpuExecutor final : public Executor {
         return [options](const PipelineSpec& spec, ByteSpan transformed,
                          Bytes& out) {
             ScratchArena pre_scratch;
+            pre_scratch.SetKernelIsa(ResolveIsa(options));
             Telemetry* sink = SinkOf(options);
             TraceSink* trace = TraceOf(options);
             if (sink == nullptr && trace == nullptr) {

@@ -34,6 +34,7 @@
 
 #include "core/types.h"
 #include "util/common.h"
+#include "util/cpu_features.h"
 
 namespace fpc {
 
@@ -87,6 +88,11 @@ const Executor& DefaultExecutor();
 /** The backend a call with @p options runs on: Options::executor when
  *  set, otherwise the legacy Options::device mapping. */
 const Executor& ResolveExecutor(const Options& options);
+
+/** The kernel ISA a call with @p options dispatches on:
+ *  Options::with_isa when set, otherwise the process default
+ *  (util/cpu_features.h). Throws UsageError for an unavailable level. */
+simd::Isa ResolveIsa(const Options& options);
 
 /** Names of all registered backends, registration order. */
 std::vector<std::string> ExecutorNames();

@@ -67,11 +67,13 @@ Telemetry::AddDecompress(uint64_t input_bytes, uint64_t output_bytes,
 }
 
 void
-Telemetry::SetContext(const std::string& executor, Algorithm algorithm)
+Telemetry::SetContext(const std::string& executor, Algorithm algorithm,
+                      const char* isa)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     state_.executor = executor;
     state_.algorithm = AlgorithmName(algorithm);
+    state_.isa = isa;
 }
 
 TelemetrySnapshot
@@ -159,6 +161,7 @@ ToJson(const TelemetrySnapshot& snapshot)
     out += "{\"schema\": \"fpc.telemetry.v2\", ";
     out += "\"executor\": \"" + snapshot.executor + "\", ";
     out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
+    out += "\"isa\": \"" + snapshot.isa + "\", ";
     AppendRunTotals(out, "compress", snapshot.compress);
     out += ", ";
     AppendRunTotals(out, "decompress", snapshot.decompress);

@@ -250,6 +250,7 @@ struct TelemetrySnapshot {
     TelemetryShard counters;
     std::string executor;   ///< last executor name recorded
     std::string algorithm;  ///< last algorithm name recorded
+    std::string isa;        ///< kernel ISA the last run dispatched
 };
 
 /** Render a snapshot as one line of schema-stable JSON
@@ -277,8 +278,9 @@ class Telemetry {
     void AddDecompress(uint64_t input_bytes, uint64_t output_bytes,
                        uint64_t wall_ns);
 
-    /** Record which backend/algorithm the (last) run used. */
-    void SetContext(const std::string& executor, Algorithm algorithm);
+    /** Record which backend/algorithm/kernel-ISA the (last) run used. */
+    void SetContext(const std::string& executor, Algorithm algorithm,
+                    const char* isa);
 
     TelemetrySnapshot Snapshot() const;
     std::string ToJson() const { return fpc::ToJson(Snapshot()); }

@@ -58,6 +58,11 @@ struct Options {
     /** Span tracer (core/trace.h); null = record no timeline. Attaching
      *  one never changes the compressed bytes. */
     TraceSink* trace = nullptr;
+    /** Kernel ISA request, stored as a simd::Isa value or kIsaAuto
+     *  (= follow the process default, see util/cpu_features.h). Every
+     *  level emits identical bytes; this is a throughput/debug knob. */
+    static constexpr uint8_t kIsaAuto = 0xff;
+    uint8_t isa = kIsaAuto;
 
     Options&
     with_device(Device d)
@@ -83,6 +88,13 @@ struct Options {
     /** Select a backend by registry name ("cpu", "gpusim:a100", ...).
      *  Throws UsageError for unknown names. Defined in core/executor.cc. */
     Options& with_executor(const std::string& name);
+
+    /** Pin the kernel ISA level ("scalar", "avx2", "avx512") for this
+     *  call. Throws UsageError for unknown names or levels unavailable
+     *  on this CPU/build. Honoured by the cpu executor; the gpusim
+     *  backends always follow the process default. Defined in
+     *  core/executor.cc. */
+    Options& with_isa(const std::string& name);
 
     Options&
     with_telemetry(Telemetry* sink)

@@ -9,17 +9,21 @@
  * per-plane padding), so the payload occupies exactly the same number of
  * whole-word bytes as the input.
  *
- * When the word count is a multiple of 32 (every full 16 KiB chunk), the
- * 32-bit path transposes 32x32 blocks between the input span and the
- * output buffer with no intermediate word array — the same decomposition
- * the GPU kernels use per warp; otherwise a bit-granular fallback produces
- * the identical layout (the fallback's decode stages through the arena's
- * word scratch because it ORs bits into words incrementally).
+ * The 32-bit path transposes 32x32 blocks between the input span and the
+ * output buffer — the same decomposition the GPU kernels use per warp.
+ * When the word count is a multiple of 32 the plane rows are word-aligned
+ * and the transposed words store directly; otherwise (the pipeline norm:
+ * DIFFMS prepends an 8-byte header) they are OR-spliced at the rows'
+ * unaligned bit offsets. Inputs under 32 words use a bit-granular
+ * fallback producing the identical layout (the fallback's decode stages
+ * through the arena's word scratch because it ORs bits into words
+ * incrementally).
  */
 #include "transforms/transforms.h"
 
 #include "util/bitio.h"
 #include "util/bitpack.h"
+#include "util/simd.h"
 
 namespace fpc::tf {
 
@@ -54,7 +58,8 @@ BitEncodeSlow(ByteSpan in, size_t nw, std::byte* packed)
 
 /** 32-bit fast path: block transposes + aligned 32-bit plane stores. */
 void
-BitEncodeFast32(ByteSpan in, size_t nw, std::byte* planes)
+BitEncodeFast32(ByteSpan in, size_t nw, std::byte* planes,
+                const simd::KernelTable& kernels)
 {
     const size_t groups = nw / 32;
     // Plane p occupies words [p * groups, (p+1) * groups) of the output:
@@ -63,7 +68,7 @@ BitEncodeFast32(ByteSpan in, size_t nw, std::byte* planes)
         uint32_t block[32];
         std::memcpy(block, in.data() + g * 32 * sizeof(uint32_t),
                     sizeof(block));
-        Transpose32x32(block);
+        kernels.transpose32x32(block);
         for (unsigned j = 0; j < 32; ++j) {
             const unsigned p = 31 - j;  // MSB plane first
             std::memcpy(planes + (p * groups + g) * sizeof(uint32_t),
@@ -72,9 +77,50 @@ BitEncodeFast32(ByteSpan in, size_t nw, std::byte* planes)
     }
 }
 
+/**
+ * 32-bit blocked path for any word count (the pipeline's usual shape:
+ * DIFFMS prepends an 8-byte header, so BIT sees nw % 32 == 2). Plane
+ * rows are not word-aligned here, so the encode runs in two passes:
+ * first every whole 32-word block is transposed into the arena's word
+ * scratch, then a single sequential bit sink emits plane after plane —
+ * 32 bits per block plus the <32 leftover words bit by bit — exactly
+ * the stream BitEncodeSlow produces (stream bit p * nw + i is word i's
+ * bit 31 - p in both). Splicing each plane word in place at its
+ * unaligned offset would be read-modify-write on bytes the previous
+ * block just stored; the sequential sink keeps the carry in a register
+ * instead.
+ */
+void
+BitEncodeBlocked32(ByteSpan in, size_t nw, std::byte* planes,
+                   ScratchArena& scratch)
+{
+    const simd::KernelTable& kernels = simd::Kernels(scratch.KernelIsa());
+    const size_t blocks = nw / 32;
+    std::vector<uint32_t>& tr = scratch.Words<uint32_t>();
+    tr.resize(blocks * 32);
+    for (size_t g = 0; g < blocks; ++g) {
+        uint32_t block[32];
+        std::memcpy(block, in.data() + g * 32 * sizeof(uint32_t),
+                    sizeof(block));
+        kernels.transpose32x32(block);
+        std::memcpy(tr.data() + g * 32, block, sizeof(block));
+    }
+    RawBitSink bw(planes);
+    for (unsigned p = 0; p < 32; ++p) {
+        const unsigned j = 31 - p;  // MSB plane first
+        for (size_t g = 0; g < blocks; ++g) {
+            bw.Put(tr[g * 32 + j], 32);
+        }
+        for (size_t i = blocks * 32; i < nw; ++i) {
+            bw.Put((WordAt<uint32_t>(in, i) >> j) & 1u, 1);
+        }
+    }
+    bw.Finish();
+}
+
 template <typename T>
 void
-BitEncodeImpl(ByteSpan in, Bytes& out)
+BitEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 {
     constexpr unsigned kWordBits = sizeof(T) * 8;
     const size_t nw = in.size() / sizeof(T);
@@ -89,11 +135,15 @@ BitEncodeImpl(ByteSpan in, Bytes& out)
 
     if constexpr (sizeof(T) == 4) {
         if (nw > 0 && nw % 32 == 0) {
-            BitEncodeFast32(in, nw, packed);
+            BitEncodeFast32(in, nw, packed,
+                            simd::Kernels(scratch.KernelIsa()));
+        } else if (nw >= 32) {
+            BitEncodeBlocked32(in, nw, packed, scratch);
         } else {
             BitEncodeSlow<T>(in, nw, packed);
         }
     } else {
+        (void)scratch;  // the 64-bit path has no vectorized kernel yet
         BitEncodeSlow<T>(in, nw, packed);
     }
     if (tail != 0) {
@@ -127,7 +177,8 @@ BitDecodeSlow(ByteSpan packed, size_t nw, std::byte* dest,
 }
 
 void
-BitDecodeFast32(ByteSpan packed, size_t nw, std::byte* dest)
+BitDecodeFast32(ByteSpan packed, size_t nw, std::byte* dest,
+                const simd::KernelTable& kernels)
 {
     const size_t groups = nw / 32;
     for (size_t g = 0; g < groups; ++g) {
@@ -136,8 +187,43 @@ BitDecodeFast32(ByteSpan packed, size_t nw, std::byte* dest)
             const unsigned p = 31 - j;
             block[j] = WordAt<uint32_t>(packed, p * groups + g);
         }
-        Transpose32x32(block);  // the transpose is an involution
+        kernels.transpose32x32(block);  // the transpose is an involution
         std::memcpy(dest + g * 32 * sizeof(uint32_t), block, sizeof(block));
+    }
+}
+
+/** Inverse of BitEncodeBlocked32: reads the plane stream sequentially
+ * into the arena's word scratch (plus a small register-file of tail
+ * words), then transposes each block back out. */
+void
+BitDecodeBlocked32(ByteSpan packed, size_t nw, std::byte* dest,
+                   ScratchArena& scratch)
+{
+    const simd::KernelTable& kernels = simd::Kernels(scratch.KernelIsa());
+    const size_t blocks = nw / 32;
+    const size_t tail_words = nw - blocks * 32;
+    std::vector<uint32_t>& tr = scratch.Words<uint32_t>();
+    tr.resize(blocks * 32);
+    uint32_t tailw[32] = {0};
+    BitReader bits(packed);
+    for (unsigned p = 0; p < 32; ++p) {
+        const unsigned j = 31 - p;
+        for (size_t g = 0; g < blocks; ++g) {
+            tr[g * 32 + j] = static_cast<uint32_t>(bits.Get(32));
+        }
+        for (size_t i = 0; i < tail_words; ++i) {
+            if (bits.GetBit()) tailw[i] |= 1u << j;
+        }
+    }
+    for (size_t g = 0; g < blocks; ++g) {
+        uint32_t block[32];
+        std::memcpy(block, tr.data() + g * 32, sizeof(block));
+        kernels.transpose32x32(block);
+        std::memcpy(dest + g * 32 * sizeof(uint32_t), block, sizeof(block));
+    }
+    if (tail_words != 0) {
+        std::memcpy(dest + blocks * 32 * sizeof(uint32_t), tailw,
+                    tail_words * sizeof(uint32_t));
     }
 }
 
@@ -169,7 +255,10 @@ BitDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 
     if constexpr (sizeof(T) == 4) {
         if (nw > 0 && nw % 32 == 0) {
-            BitDecodeFast32(packed, nw, dest);
+            BitDecodeFast32(packed, nw, dest,
+                            simd::Kernels(scratch.KernelIsa()));
+        } else if (nw >= 32) {
+            BitDecodeBlocked32(packed, nw, dest, scratch);
         } else {
             BitDecodeSlow<T>(packed, nw, dest, scratch);
         }
@@ -183,13 +272,24 @@ BitDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
 
 }  // namespace
 
-void BitEncode32(ByteSpan in, Bytes& out, ScratchArena&) { BitEncodeImpl<uint32_t>(in, out); }
+void BitEncode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { BitEncodeImpl<uint32_t>(in, out, scratch); }
 void BitDecode32(ByteSpan in, Bytes& out, ScratchArena& scratch) { BitDecodeImpl<uint32_t>(in, out, scratch); }
-void BitEncode64(ByteSpan in, Bytes& out, ScratchArena&) { BitEncodeImpl<uint64_t>(in, out); }
+void BitEncode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { BitEncodeImpl<uint64_t>(in, out, scratch); }
 void BitDecode64(ByteSpan in, Bytes& out, ScratchArena& scratch) { BitDecodeImpl<uint64_t>(in, out, scratch); }
 
-void BitEncode32(ByteSpan in, Bytes& out) { BitEncodeImpl<uint32_t>(in, out); }
-void BitEncode64(ByteSpan in, Bytes& out) { BitEncodeImpl<uint64_t>(in, out); }
+void
+BitEncode32(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    BitEncodeImpl<uint32_t>(in, out, scratch);
+}
+
+void
+BitEncode64(ByteSpan in, Bytes& out)
+{
+    ScratchArena scratch;
+    BitEncodeImpl<uint64_t>(in, out, scratch);
+}
 
 void
 BitDecode32(ByteSpan in, Bytes& out)

@@ -1,5 +1,7 @@
 #include "transforms/bitmap_codec.h"
 
+#include "util/simd.h"
+
 namespace fpc::tf {
 
 namespace {
@@ -30,9 +32,7 @@ struct LevelSizes {
 size_t
 PopcountBitmap(ByteSpan bitmap)
 {
-    size_t n = 0;
-    for (std::byte b : bitmap) n += std::popcount(static_cast<uint8_t>(b));
-    return n;
+    return simd::PopcountBits(bitmap.data(), bitmap.size() * 8);
 }
 
 void
@@ -41,22 +41,18 @@ CompressBitmap(ByteSpan bitmap, Bytes& out, ScratchArena& scratch)
     // Build the level stack bottom-up: level k+1 marks the non-repeating
     // bytes of level k; only those bytes survive. Level 0 is the input
     // span; higher levels live in the arena's bitmap pool.
+    const simd::KernelTable& kernels = simd::Kernels(scratch.KernelIsa());
     size_t n_levels = 1;
     ByteSpan cur = bitmap;
     while (cur.size() > 4) {
         Bytes& next = scratch.BitmapLevel(n_levels);
         next.assign((cur.size() + 7) / 8, std::byte{0});
         Bytes& surviving = scratch.BitmapKept(n_levels - 1);
-        surviving.clear();
-        std::byte prev{0};
-        for (size_t j = 0; j < cur.size(); ++j) {
-            const bool differs = (j == 0) || (cur[j] != prev);
-            if (differs) {
-                next[j / 8] |= static_cast<std::byte>(1u << (j % 8));
-                surviving.push_back(cur[j]);
-            }
-            prev = cur[j];
-        }
+        surviving.resize(cur.size());
+        const size_t count = kernels.diff_scan(cur.data(), cur.size(),
+                                               next.data(),
+                                               surviving.data());
+        surviving.resize(count);
         cur = ByteSpan(next);
         ++n_levels;
     }
@@ -79,23 +75,21 @@ CompressBitmap(ByteSpan bitmap, Bytes& out)
 const Bytes&
 DecompressBitmap(ByteReader& br, size_t bitmap_size, ScratchArena& scratch)
 {
+    const simd::KernelTable& kernels = simd::Kernels(scratch.KernelIsa());
     const LevelSizes levels(bitmap_size);
     ByteSpan cur = br.GetBytes(levels.sizes[levels.count - 1]);
 
     for (size_t level = levels.count - 1; level-- > 0;) {
         const size_t target = levels.sizes[level];
+        // Each set bit of the level above consumes one kept byte; taking
+        // them as one span (bounds-checked by the reader) lets the
+        // expand kernel run unchecked.
+        const size_t kept_count = simd::PopcountBits(cur.data(), target);
+        ByteSpan kept = br.GetBytes(kept_count);
         Bytes& expanded = scratch.BitmapLevel(level);
-        expanded.clear();
-        expanded.reserve(target);
-        std::byte prev{0};
-        for (size_t j = 0; j < target; ++j) {
-            const bool differs =
-                (static_cast<uint8_t>(cur[j / 8]) >> (j % 8)) & 1u;
-            const std::byte b =
-                differs ? static_cast<std::byte>(br.GetU8()) : prev;
-            expanded.push_back(b);
-            prev = b;
-        }
+        expanded.resize(target);
+        kernels.diff_expand(cur.data(), target, kept.data(),
+                            expanded.data());
         cur = ByteSpan(expanded);
     }
 

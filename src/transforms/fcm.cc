@@ -2,34 +2,39 @@
  * @file
  * FCM — Finite Context Method (paper Section 3.2, Figure 6). The only
  * whole-input stage: for each 64-bit value, a hash of the three preceding
- * values is paired with the value's index; the pairs are sorted by
- * (hash, index); a value "matches" when one of the up-to-four preceding
- * pairs in sorted order has the same hash and refers to an equal value.
+ * values selects a context; a value "matches" when one of the up to four
+ * most recent earlier values with the same context hash is equal to it.
  * The output is two n-word arrays — values (0 where matched) and backward
  * distances (0 where unmatched) — which double the data volume but are far
  * more compressible than the original (half the entries are zero).
+ *
+ * The match search is a chained hash table walked newest-first: bucket
+ * heads plus one per-index link, O(n) total, replacing an earlier
+ * sort-by-(hash, index) formulation. The probe order is identical — the
+ * four most recent same-hash predecessors, nearest first — so the output
+ * bytes are unchanged. Hashing itself is the kernel-layer fcm_hash
+ * (vectorized per util/simd.h).
  *
  * Wire format: varint(in size) | n value words | n distance words |
  * trailing (<8) bytes verbatim.
  */
 #include "transforms/transforms.h"
 
-#include <algorithm>
-
 #include "util/bitio.h"
 #include "util/hash.h"
+#include "util/simd.h"
 
 namespace fpc::tf {
 
 namespace {
 
-/** How many preceding same-hash pairs are probed for a match (paper: 4). */
+/** How many preceding same-hash values are probed for a match (paper: 4). */
 constexpr size_t kFcmProbes = 4;
 
-}  // namespace
+constexpr uint32_t kNil = 0xffffffffu;
 
 void
-FcmEncode(ByteSpan in, Bytes& out)
+FcmEncodeImpl(ByteSpan in, Bytes& out, simd::Isa isa)
 {
     ByteWriter wr(out);
     wr.Put<uint64_t>(in.size());
@@ -37,36 +42,38 @@ FcmEncode(ByteSpan in, Bytes& out)
     std::vector<uint64_t> values = LoadWords<uint64_t>(in);
     const size_t n = values.size();
 
-    struct Pair {
-        uint64_t hash;
-        uint32_t index;
-    };
-    std::vector<Pair> pairs(n);
-    for (size_t i = 0; i < n; ++i) {
-        uint64_t v1 = i >= 1 ? values[i - 1] : 0;
-        uint64_t v2 = i >= 2 ? values[i - 2] : 0;
-        uint64_t v3 = i >= 3 ? values[i - 3] : 0;
-        pairs[i] = {FcmContextHash(v1, v2, v3), static_cast<uint32_t>(i)};
+    std::vector<uint64_t> hashes(n);
+    if (n > 0) {
+        simd::Kernels(isa).fcm_hash(values.data(), n, hashes.data());
     }
-    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
-        if (a.hash != b.hash) return a.hash < b.hash;
-        return a.index < b.index;
-    });
+
+    // Chained hash table over the context hashes: heads[slot] is the most
+    // recent index whose hash landed in the slot, link[i] the next-older
+    // one in the same slot. Walking a chain yields same-hash predecessors
+    // newest first; slot collisions between different hashes are skipped
+    // without counting against the probe budget (they would not have been
+    // adjacent in the old sorted order either).
+    size_t cap = 16;
+    while (cap < 2 * n) cap *= 2;
+    std::vector<uint32_t> heads(cap, kNil);
+    std::vector<uint32_t> link(n);
+    const size_t mask = cap - 1;
 
     std::vector<uint64_t> out_values(n), out_dists(n);
-    for (size_t p = 0; p < n; ++p) {
-        const uint32_t i = pairs[p].index;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t h = hashes[i];
+        const size_t slot = static_cast<size_t>(h) & mask;
         bool found = false;
         uint32_t matched = 0;
-        const size_t max_back = std::min(kFcmProbes, p);
-        for (size_t back = 1; back <= max_back; ++back) {
-            const Pair& prior = pairs[p - back];
-            if (prior.hash != pairs[p].hash) break;
-            if (values[prior.index] == values[i]) {
-                matched = prior.index;  // sorted by index => prior.index < i
+        size_t probes = 0;
+        for (uint32_t j = heads[slot]; j != kNil; j = link[j]) {
+            if (hashes[j] != h) continue;
+            if (values[j] == values[i]) {
+                matched = j;
                 found = true;
                 break;
             }
+            if (++probes == kFcmProbes) break;
         }
         if (found) {
             out_values[i] = 0;
@@ -75,10 +82,20 @@ FcmEncode(ByteSpan in, Bytes& out)
             out_values[i] = values[i];
             out_dists[i] = 0;
         }
+        link[i] = heads[slot];
+        heads[slot] = static_cast<uint32_t>(i);
     }
     wr.PutBytes(AsBytes(out_values));
     wr.PutBytes(AsBytes(out_dists));
     wr.PutBytes(in.subspan(n * sizeof(uint64_t)));
+}
+
+}  // namespace
+
+void
+FcmEncode(ByteSpan in, Bytes& out)
+{
+    FcmEncodeImpl(in, out, simd::DefaultIsa());
 }
 
 void
@@ -119,9 +136,13 @@ FcmDecode(ByteSpan in, Bytes& out)
 }
 
 // FCM is the one whole-input stage: it runs once per Compress/Decompress
-// rather than per chunk, so it keeps its own temporaries and ignores the
-// arena the uniform stage signature hands it.
-void FcmEncode(ByteSpan in, Bytes& out, ScratchArena&) { FcmEncode(in, out); }
+// rather than per chunk, so it keeps its own temporaries and only takes
+// the kernel ISA level from the arena the uniform stage signature hands it.
+void
+FcmEncode(ByteSpan in, Bytes& out, ScratchArena& scratch)
+{
+    FcmEncodeImpl(in, out, scratch.KernelIsa());
+}
 void FcmDecode(ByteSpan in, Bytes& out, ScratchArena&) { FcmDecode(in, out); }
 
 }  // namespace fpc::tf

@@ -22,6 +22,7 @@
 #include "transforms/bitmap_codec.h"
 #include "util/bitio.h"
 #include "util/bitpack.h"
+#include "util/simd.h"
 
 namespace fpc::tf {
 
@@ -48,33 +49,61 @@ RareEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
     const unsigned k = ChooseAdaptiveK(hist, nw, kWordBits);
     wr.PutU8(static_cast<uint8_t>(k));
 
+    // Pass 1: predicate bitmap — set bit = word's top k bits differ
+    // from its predecessor's (vectorized for 64-bit words). Pass 2
+    // packs the k-bit top pieces of the marked words; pass 3 packs
+    // every word's low bits.
     Bytes& bitmap = scratch.Slot(0);
     bitmap.assign((nw + 7) / 8, std::byte{0});
-    Bytes& pieces = scratch.Slot(1);
-    pieces.clear();
-    BitWriter piece_bits(pieces);
     size_t kept_count = 0;
-    prev = 0;
-    for (size_t i = 0; i < nw; ++i) {
-        const T v = WordAt<T>(in, i);
-        const unsigned match = LeadingZeros(static_cast<T>(v ^ prev));
-        if (k > 0 && match < k) {
-            bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
-            piece_bits.Put(TopBits(v, k), k);
-            ++kept_count;
+    if (k > 0) {
+        if constexpr (sizeof(T) == 8) {
+            kept_count =
+                simd::Kernels(scratch.KernelIsa())
+                    .match_bitmap64(in.data(), nw, k, bitmap.data());
+        } else {
+            prev = 0;
+            for (size_t i = 0; i < nw; ++i) {
+                const T v = WordAt<T>(in, i);
+                if (LeadingZeros(static_cast<T>(v ^ prev)) < k) {
+                    bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+                    ++kept_count;
+                }
+                prev = v;
+            }
         }
-        prev = v;
     }
-    piece_bits.Finish();
+
+    Bytes& pieces = scratch.Slot(1);
+    pieces.resize((kept_count * k + 7) / 8);
+    if (kept_count > 0) {
+        RawBitSink piece_bits(pieces.data());
+        for (size_t byte_i = 0; byte_i < bitmap.size(); ++byte_i) {
+            auto bits = static_cast<uint8_t>(bitmap[byte_i]);
+            while (bits != 0) {
+                const size_t i =
+                    byte_i * 8 + unsigned(std::countr_zero(bits));
+                bits &= static_cast<uint8_t>(bits - 1);
+                piece_bits.Put(TopBits(WordAt<T>(in, i), k), k);
+            }
+        }
+        piece_bits.Finish();
+    }
 
     Bytes& lows = scratch.Slot(2);
-    lows.clear();
-    BitWriter low_bits(lows);
-    for (size_t i = 0; i < nw; ++i) {
-        low_bits.Put(static_cast<uint64_t>(WordAt<T>(in, i)),
-                     kWordBits - k);
+    const unsigned low_width = kWordBits - k;
+    lows.resize((nw * low_width + 7) / 8);
+    if (low_width == kWordBits) {
+        // Guarded: an empty span's data() may be null, which memcpy
+        // forbids even for a zero length.
+        if (nw != 0) std::memcpy(lows.data(), in.data(), nw * sizeof(T));
+    } else if (low_width > 0) {
+        RawBitSink low_bits(lows.data());
+        for (size_t i = 0; i < nw; ++i) {
+            low_bits.Put(static_cast<uint64_t>(WordAt<T>(in, i)), low_width);
+        }
+        low_bits.Finish();
     }
-    low_bits.Finish();
 
     wr.PutVarint(kept_count);
     if (k > 0) CompressBitmap(ByteSpan(bitmap), out, scratch);

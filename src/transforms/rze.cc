@@ -16,6 +16,7 @@
 
 #include "transforms/bitmap_codec.h"
 #include "util/bitio.h"
+#include "util/simd.h"
 
 namespace fpc::tf {
 
@@ -31,14 +32,11 @@ RzeEncodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
     Bytes& bitmap = scratch.Slot(0);
     bitmap.assign(bitmap_size, std::byte{0});
     Bytes& nonzero = scratch.Slot(1);
-    nonzero.clear();
-    nonzero.reserve(in.size());
-    for (size_t i = 0; i < in.size(); ++i) {
-        if (in[i] != std::byte{0}) {
-            bitmap[i / 8] |= static_cast<std::byte>(1u << (i % 8));
-            nonzero.push_back(in[i]);
-        }
-    }
+    nonzero.resize(in.size());
+    const size_t count = simd::Kernels(scratch.KernelIsa())
+                             .nonzero_scan(in.data(), in.size(),
+                                           bitmap.data(), nonzero.data());
+    nonzero.resize(count);
     wr.PutVarint(nonzero.size());
     CompressBitmap(ByteSpan(bitmap), out, scratch);
     AppendBytes(out, ByteSpan(nonzero));
@@ -66,29 +64,14 @@ RzeDecodeImpl(ByteSpan in, Bytes& out, ScratchArena& scratch)
     const size_t base = out.size();
     out.resize(base + orig_size);  // zero bytes are the default
     std::byte* dest = out.data() + base;
-    size_t next = 0;
-    size_t i = 0;
-    // Whole zero bitmap bytes skip 8 outputs at a time.
-    for (; i + 8 <= orig_size; i += 8) {
-        uint8_t bits = static_cast<uint8_t>(bitmap[i / 8]);
-        if (bits == 0) continue;
-        FPC_PARSE_CHECK_AT(
-            next + static_cast<unsigned>(std::popcount(bits)) <=
-                nonzero.size(),
-            "RZE payload underrun", kStage, br.Pos());
-        while (bits != 0) {
-            unsigned j = static_cast<unsigned>(std::countr_zero(bits));
-            dest[i + j] = nonzero[next++];
-            bits &= static_cast<uint8_t>(bits - 1);
-        }
-    }
-    for (; i < orig_size; ++i) {
-        if ((static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1u) {
-            FPC_PARSE_CHECK_AT(next < nonzero.size(), "RZE payload underrun",
-                               kStage, br.Pos());
-            dest[i] = nonzero[next++];
-        }
-    }
+    // Every set bit consumes one payload byte; checking the total up
+    // front (trailing padding bits masked off) lets the scatter kernel
+    // run unchecked.
+    const size_t needed = simd::PopcountBits(bitmap.data(), orig_size);
+    FPC_PARSE_CHECK_AT(needed <= nonzero.size(), "RZE payload underrun",
+                       kStage, br.Pos());
+    simd::Kernels(scratch.KernelIsa())
+        .nonzero_scatter(bitmap.data(), orig_size, nonzero.data(), dest);
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/common.h"
+
+// The build system defines FPC_SIMD_AVX2 / FPC_SIMD_AVX512 when the
+// matching kernel translation units are compiled in (src/CMakeLists.txt);
+// -DFPC_SIMD=OFF or a non-x86 target leaves them undefined.
+#ifndef FPC_SIMD_AVX2
+#define FPC_SIMD_AVX2 0
+#endif
+#ifndef FPC_SIMD_AVX512
+#define FPC_SIMD_AVX512 0
+#endif
+
+namespace fpc::simd {
+
+namespace {
+
+bool
+CpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+CpuHasAvx512()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // The kernel set needs F (foundation), BW (byte/word compares),
+    // VL (256-bit forms), DQ (vpmullq), VBMI2 (compress/expand bytes),
+    // and VPOPCNTDQ.
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512bw") != 0 &&
+           __builtin_cpu_supports("avx512vl") != 0 &&
+           __builtin_cpu_supports("avx512dq") != 0 &&
+           __builtin_cpu_supports("avx512vbmi2") != 0 &&
+           __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+    return false;
+#endif
+}
+
+Isa
+DetectBestIsa()
+{
+    if (FPC_SIMD_AVX512 && CpuHasAvx512()) return Isa::kAvx512;
+    if (FPC_SIMD_AVX2 && CpuHasAvx2()) return Isa::kAvx2;
+    return Isa::kScalar;
+}
+
+/** Environment-clamped initial default, computed once. */
+Isa
+InitialDefaultIsa()
+{
+    if (const char* force = std::getenv("FPC_FORCE_SCALAR");
+        force != nullptr && force[0] != '\0' && force[0] != '0') {
+        return Isa::kScalar;
+    }
+    if (const char* name = std::getenv("FPC_ISA");
+        name != nullptr && name[0] != '\0') {
+        const Isa requested = ParseIsa(name);
+        if (IsaAvailable(requested)) return requested;
+        // An env request above the machine's capability falls back to
+        // the best level instead of failing every call site.
+        return DetectBestIsa();
+    }
+    return DetectBestIsa();
+}
+
+std::atomic<Isa>&
+DefaultIsaSlot()
+{
+    static std::atomic<Isa> slot{InitialDefaultIsa()};
+    return slot;
+}
+
+}  // namespace
+
+const char*
+IsaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::kScalar: return "scalar";
+      case Isa::kAvx2: return "avx2";
+      case Isa::kAvx512: return "avx512";
+    }
+    return "unknown";
+}
+
+Isa
+ParseIsa(const std::string& name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name) {
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "scalar") return Isa::kScalar;
+    if (lower == "avx2") return Isa::kAvx2;
+    if (lower == "avx512" || lower == "avx-512") return Isa::kAvx512;
+    throw UsageError("unknown ISA \"" + name +
+                     "\" (valid: scalar, avx2, avx512)");
+}
+
+bool
+IsaAvailable(Isa isa)
+{
+    switch (isa) {
+      case Isa::kScalar: return true;
+      case Isa::kAvx2: return FPC_SIMD_AVX2 != 0 && CpuHasAvx2();
+      case Isa::kAvx512: return FPC_SIMD_AVX512 != 0 && CpuHasAvx512();
+    }
+    return false;
+}
+
+Isa
+BestSupportedIsa()
+{
+    static const Isa best = DetectBestIsa();
+    return best;
+}
+
+Isa
+DefaultIsa()
+{
+    return DefaultIsaSlot().load(std::memory_order_relaxed);
+}
+
+void
+SetDefaultIsa(Isa isa)
+{
+    if (!IsaAvailable(isa)) {
+        throw UsageError(std::string("ISA \"") + IsaName(isa) +
+                         "\" is not available on this CPU/build");
+    }
+    DefaultIsaSlot().store(isa, std::memory_order_relaxed);
+}
+
+std::string
+CompiledIsaLevels()
+{
+    std::string levels = "scalar";
+    if (FPC_SIMD_AVX2) levels += ",avx2";
+    if (FPC_SIMD_AVX512) levels += ",avx512";
+    return levels;
+}
+
+}  // namespace fpc::simd

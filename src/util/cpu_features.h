@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Runtime CPU-feature detection and kernel ISA selection for the SIMD
+ * kernel layer (util/simd.h).
+ *
+ * Three ISA levels exist; every level is bit-identical to the scalar
+ * reference (asserted by tests/simd_test.cc against the golden
+ * containers), so the choice is purely a throughput knob:
+ *
+ *   kScalar — portable C++, always available (the reference semantics).
+ *   kAvx2   — 256-bit kernels (requires AVX2).
+ *   kAvx512 — 512-bit kernels (requires AVX-512
+ *             F/BW/VL/DQ/VBMI2/VPOPCNTDQ, the Ice-Lake-and-later
+ *             server baseline).
+ *
+ * Selection precedence, resolved once per Compress/Decompress call
+ * (core/executor.cc ResolveIsa):
+ *
+ *   1. Options::with_isa("scalar"|"avx2"|"avx512") — explicit, per call.
+ *   2. SetDefaultIsa() — process-wide override (tests, tools).
+ *   3. FPC_FORCE_SCALAR=1 or FPC_ISA=<name> environment variables,
+ *      read once at first use.
+ *   4. BestSupportedIsa() — the highest level both compiled in
+ *      (-DFPC_SIMD=OFF strips the vector kernels) and supported by the
+ *      CPU at runtime, so a binary built with AVX-512 kernels still runs
+ *      on plain x86-64.
+ */
+#ifndef FPC_UTIL_CPU_FEATURES_H
+#define FPC_UTIL_CPU_FEATURES_H
+
+#include <cstdint>
+#include <string>
+
+namespace fpc::simd {
+
+enum class Isa : uint8_t {
+    kScalar = 0,
+    kAvx2 = 1,
+    kAvx512 = 2,
+};
+
+inline constexpr size_t kIsaCount = 3;
+
+/** "scalar" / "avx2" / "avx512". */
+const char* IsaName(Isa isa);
+
+/** Inverse of IsaName (case-insensitive). Throws UsageError for unknown
+ *  names; the message lists the valid ones. */
+Isa ParseIsa(const std::string& name);
+
+/** True when @p isa is both compiled into this binary and supported by
+ *  the CPU it is running on. kScalar is always available. */
+bool IsaAvailable(Isa isa);
+
+/** Highest available level (compiled in && CPU-supported), ignoring the
+ *  environment and any SetDefaultIsa override. */
+Isa BestSupportedIsa();
+
+/**
+ * The process-wide dispatch level: BestSupportedIsa() clamped by the
+ * FPC_FORCE_SCALAR / FPC_ISA environment (read once, cached), or the
+ * last SetDefaultIsa() value. Every ScratchArena is born with this
+ * level, so standalone transform calls and the gpusim backend follow it
+ * without any plumbing.
+ */
+Isa DefaultIsa();
+
+/** Override DefaultIsa() process-wide (tests and tools; not thread-safe
+ *  against concurrent Compress calls). Throws UsageError when @p isa is
+ *  not available on this CPU/build. */
+void SetDefaultIsa(Isa isa);
+
+/** Comma-separated list of the kernel levels compiled into this binary,
+ *  e.g. "scalar,avx2,avx512" (or just "scalar" with -DFPC_SIMD=OFF). */
+std::string CompiledIsaLevels();
+
+}  // namespace fpc::simd
+
+#endif  // FPC_UTIL_CPU_FEATURES_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Kernel-table dispatch for the SIMD layer (util/simd.h). The vector
+ * tables live in their own translation units compiled with the matching
+ * -m flags (src/CMakeLists.txt); this file is baseline x86-64 / portable
+ * and only routes between them.
+ */
+#include "util/simd.h"
+
+#ifndef FPC_SIMD_AVX2
+#define FPC_SIMD_AVX2 0
+#endif
+#ifndef FPC_SIMD_AVX512
+#define FPC_SIMD_AVX512 0
+#endif
+
+namespace fpc::simd {
+
+#if FPC_SIMD_AVX2
+const KernelTable& Avx2Kernels();  // simd_avx2.cc
+#endif
+#if FPC_SIMD_AVX512
+const KernelTable& Avx512Kernels();  // simd_avx512.cc
+#endif
+
+const KernelTable&
+Kernels(Isa isa)
+{
+    // Compile-time absence and runtime CPU capability both fall back to
+    // the scalar table: a caller may hold any Isa value and still get a
+    // correct (identical-output) kernel set.
+    switch (isa) {
+      case Isa::kScalar:
+        break;
+      case Isa::kAvx2:
+#if FPC_SIMD_AVX2
+        if (IsaAvailable(Isa::kAvx2)) return Avx2Kernels();
+#endif
+        break;
+      case Isa::kAvx512:
+#if FPC_SIMD_AVX512
+        if (IsaAvailable(Isa::kAvx512)) return Avx512Kernels();
+#endif
+#if FPC_SIMD_AVX2
+        if (IsaAvailable(Isa::kAvx2)) return Avx2Kernels();
+#endif
+        break;
+    }
+    return ScalarKernels();
+}
+
+}  // namespace fpc::simd

@@ -5,8 +5,9 @@ Reads stdin (or the files named on the command line) line by line and
 validates every JSON object whose schema tag it recognises:
 
 ``fpc.telemetry.v2`` (``Telemetry::ToJson``, src/core/telemetry.cc):
-  - top-level keys: schema, executor, algorithm, compress, decompress,
-    chunks, mplg, arena, histograms, stages;
+  - top-level keys: schema, executor, algorithm, isa, compress,
+    decompress, chunks, mplg, arena, histograms, stages;
+  - isa names the dispatched kernel level (scalar/avx2/avx512);
   - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
     non-negative integers;
   - chunks: encoded, raw_fallback, decoded with raw_fallback <= encoded;
@@ -54,6 +55,7 @@ TOP_KEYS = [
     "schema",
     "executor",
     "algorithm",
+    "isa",
     "compress",
     "decompress",
     "chunks",
@@ -64,6 +66,8 @@ TOP_KEYS = [
 ]
 
 ALGORITHMS = ["SPspeed", "SPratio", "DPspeed", "DPratio"]
+
+ISA_LEVELS = ["scalar", "avx2", "avx512"]
 
 
 def fail(line_no, message):
@@ -196,6 +200,9 @@ def check_telemetry_content(line_no, doc):
         ok = fail(line_no, "executor is empty (no SetContext call?)")
     if not doc["algorithm"]:
         ok = fail(line_no, "algorithm is empty")
+    if doc["isa"] not in ISA_LEVELS:
+        ok = fail(line_no, f"isa is {doc['isa']!r}, expected one of"
+                           f" {ISA_LEVELS}")
     if doc["compress"]["calls"] + doc["decompress"]["calls"] == 0:
         ok = fail(line_no, "neither compress nor decompress ran in an"
                            " instrumented run")

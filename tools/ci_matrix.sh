@@ -21,7 +21,19 @@
 #                    still runs: ratios are still compared, throughput is
 #                    skipped because the recorded telemetry flag differs
 #                    from the committed baseline.
-#   sanitize       — ASan+UBSan over the memory-sensitive test subset
+#   forced-scalar  — the default build re-tested with FPC_FORCE_SCALAR=1:
+#                    every kernel dispatches to the portable reference
+#                    implementations, proving the wire format (golden
+#                    checksums) and the whole suite hold without vector
+#                    kernels at runtime. Reuses the default build tree —
+#                    dispatch is a runtime decision.
+#   simd-off       — -DFPC_SIMD=OFF: the vector translation units are not
+#                    compiled at all (CompiledIsaLevels() == "scalar");
+#                    proves the scalar-only build is complete, not just
+#                    reachable, for targets without x86 vector extensions.
+#   sanitize       — ASan+UBSan over the memory-sensitive test subset,
+#                    which includes the SIMD kernel equivalence + ISA
+#                    golden matrix (ctest -L sanitize covers -L simd).
 #
 # Each configuration builds into build-matrix/<name> so the normal
 # ./build tree is left alone. Exits non-zero on the first failure.
@@ -53,6 +65,17 @@ echo "==> [default] trace export"
     ./bench_fig12_cpu_sp_comp >/dev/null)
 python3 "${root}/tools/check_stats_schema.py" "${out}/default/ci_trace.json"
 
+# Forced-scalar dispatch over the default build: same binaries, kernel
+# tables pinned to the portable reference. The bench gate still runs;
+# compare_bench skips throughput (the recorded ISA differs from the
+# committed baseline) and keeps gating the ratios.
+echo "==> [forced-scalar] test (default build, FPC_FORCE_SCALAR=1)"
+FPC_FORCE_SCALAR=1 ctest --test-dir "${out}/default" \
+    --output-on-failure -j "${jobs}"
+
+run_config simd-off -DFPC_WERROR=ON -DFPC_SIMD=OFF
+ctest --test-dir "${out}/simd-off" --output-on-failure -j "${jobs}"
+
 run_config telemetry-off -DFPC_WERROR=ON -DFPC_TELEMETRY=OFF
 ctest --test-dir "${out}/telemetry-off" --output-on-failure -j "${jobs}"
 
@@ -61,4 +84,5 @@ run_config sanitize -DFPC_SANITIZE=ON -DFPC_BUILD_BENCH=OFF \
 ctest --test-dir "${out}/sanitize" -L sanitize --output-on-failure \
     -j "${jobs}"
 
-echo "==> matrix OK (default, telemetry-off, sanitize)"
+echo "==> matrix OK (default, forced-scalar, simd-off, telemetry-off," \
+    "sanitize)"

@@ -17,8 +17,8 @@ committed BENCH_pr<N>.json at the repo root):
   - Compression/decompression throughput must not drop by more than the
     tolerance (default 10%). Throughput checks are skipped — with a
     notice — when the recorded machine facts (threads, telemetry build
-    flag) differ between the two reports, because those numbers are not
-    comparable; the ratio check still applies.
+    flag, dispatched kernel ISA) differ between the two reports, because
+    those numbers are not comparable; the ratio check still applies.
 
 Exit code 0 when the gate passes, 1 on any regression or usage error.
 """
@@ -78,7 +78,7 @@ def main(argv):
         return 1
 
     check_throughput = True
-    for fact in ("threads", "telemetry"):
+    for fact in ("threads", "telemetry", "isa"):
         if base_cfg.get(fact) != cur_cfg.get(fact):
             print(f"compare_bench: note: {fact} differs "
                   f"({base_cfg.get(fact)} vs {cur_cfg.get(fact)}); "

@@ -8,6 +8,7 @@
  *   fpczip -d [--backend=NAME] IN OUT
  *   fpczip -i IN                  human-readable header summary
  *   fpczip inspect IN             one JSON line of container metadata
+ *   fpczip -V | --version         version, compiled + dispatched ISA
  *
  * -a picks the algorithm (default SPspeed — pick DP* for doubles; the
  *    element width is never guessed from the file size).
@@ -23,6 +24,9 @@
  * --trace=FILE records a hierarchical span timeline of the run (run →
  *    worker → chunk → stage; "fpc.trace.v1") and writes it to FILE as
  *    Chrome trace-event JSON, loadable in Perfetto / chrome://tracing.
+ * --isa=NAME forces the CPU kernel dispatch level (scalar, avx2,
+ *    avx512); errors out if the level is not compiled in or the CPU
+ *    lacks it. Every level produces bit-identical containers.
  *
  * Exit codes: 0 success, 1 I/O or internal error, 2 usage error,
  * 3 corrupt or truncated compressed stream (the message names the stage
@@ -37,6 +41,7 @@
 #include "core/executor.h"
 #include "core/telemetry.h"
 #include "core/trace.h"
+#include "util/cpu_features.h"
 #include "util/timer.h"
 
 namespace {
@@ -73,9 +78,12 @@ Usage()
         "       fpczip -d [--backend=NAME] IN OUT             decompress\n"
         "       fpczip -i IN                      inspect header (text)\n"
         "       fpczip inspect IN                 inspect header (JSON)\n"
+        "       fpczip -V | --version     version + SIMD kernel levels\n"
         "ALGO:    SPspeed (default) | SPratio | DPspeed | DPratio\n"
         "NAME:    cpu (default) | gpusim:4090 | gpusim:a100\n"
         "-g:      shorthand for --backend=gpusim:4090 (identical output)\n"
+        "--isa=LEVEL: force the CPU kernel level (scalar | avx2 | avx512;\n"
+        "         every level produces bit-identical containers)\n"
         "--stats: print per-stage telemetry JSON to stderr after -c/-d\n"
         "--stats-file=PATH: write that JSON to PATH instead of stderr\n"
         "--trace=FILE: write a Chrome trace-event timeline of the run\n");
@@ -99,14 +107,27 @@ InspectJson(const std::string& path)
                 "\"original_size\": %llu, "
                 "\"transformed_size\": %llu, \"compressed_size\": %llu, "
                 "\"chunk_count\": %u, \"raw_chunks\": %u, "
-                "\"raw_chunk_indices\": %s, \"ratio\": %.6f}\n",
+                "\"raw_chunk_indices\": %s, \"isa\": \"%s\", "
+                "\"ratio\": %.6f}\n",
                 info.algorithm_name.c_str(),
                 static_cast<unsigned>(info.algorithm),
                 static_cast<unsigned long long>(info.original_size),
                 static_cast<unsigned long long>(info.transformed_size),
                 static_cast<unsigned long long>(info.compressed_size),
                 info.chunk_count, info.raw_chunks, raw_indices.c_str(),
-                info.ratio);
+                fpc::simd::IsaName(fpc::simd::DefaultIsa()), info.ratio);
+    return 0;
+}
+
+/** -V / --version: version plus compiled and dispatched kernel levels. */
+int
+PrintVersion()
+{
+    std::printf("fpczip 1.0.0\n"
+                "compiled ISA levels: %s\n"
+                "dispatched ISA:      %s\n",
+                fpc::simd::CompiledIsaLevels().c_str(),
+                fpc::simd::IsaName(fpc::simd::DefaultIsa()));
     return 0;
 }
 
@@ -142,6 +163,10 @@ main(int argc, char** argv)
                 action = kInspect;
             } else if (arg == "inspect" && action == kNone) {
                 action = kInspectJson;
+            } else if (arg == "-V" || arg == "--version") {
+                return PrintVersion();
+            } else if (arg.rfind("--isa=", 0) == 0) {
+                options.with_isa(arg.substr(std::strlen("--isa=")));
             } else if (arg == "-g") {
                 options.executor = &fpc::GetExecutor("gpusim:4090");
             } else if (arg.rfind("--backend=", 0) == 0) {
