@@ -4,8 +4,11 @@
 
 #include "core/container.h"
 #include "core/executor.h"
+#include "core/orchestrate.h"
+#include "core/stream.h"
 #include "core/telemetry.h"
 #include "core/trace.h"
+#include "util/byte_source.h"
 
 namespace fpc {
 
@@ -152,7 +155,183 @@ DecompressInto(ByteSpan compressed, std::span<std::byte> out,
     }
 }
 
+namespace {
+
+/** Frame body bytes: a zero-copy view when the source supports one, a
+ *  ReadAt copy into @p staging otherwise. */
+ByteSpan
+FrameBytes(const ByteSource& source, uint64_t offset, uint64_t size,
+           Bytes& staging)
+{
+    ByteSpan view = source.View(offset, static_cast<size_t>(size));
+    if (view.size() == size) return view;
+    staging.resize(static_cast<size_t>(size));
+    source.ReadAt(offset, staging);
+    return ByteSpan(staging);
+}
+
+}  // namespace
+
 namespace detail {
+
+Bytes
+DecompressRange(const ByteSource& source, uint64_t first_value,
+                uint64_t count, const Options& options, size_t expected_word,
+                const char* caller)
+{
+    const Executor& executor = ResolveExecutor(options);
+    Telemetry* sink = SinkOf(options);
+    TraceSink* trace = TraceOf(options);
+    const ByteSourceStats io_before = source.Stats();
+    const uint64_t t0 = TelemetryNowNs();
+
+    const StreamLayout layout = ResolveStreamLayout(source);
+    const uint64_t total = layout.TotalElements();
+    if (!(first_value <= total && count <= total - first_value)) {
+        throw UsageError(std::string(caller) + ": range first=" +
+                         std::to_string(first_value) + " count=" +
+                         std::to_string(count) +
+                         " reaches past the stream's " +
+                         std::to_string(total) + " elements");
+    }
+
+    Bytes out;
+    RangedTotals delta;
+    delta.calls = 1;
+    delta.elements = count;
+    if (layout.from_index) delta.index_hits = 1;
+    std::optional<Algorithm> run_algorithm;
+    size_t word = 0;
+
+    if (count > 0) {
+        const size_t frame_lo = layout.FrameCovering(first_value);
+        const size_t frame_hi = layout.FrameCovering(first_value + count - 1);
+        Bytes staging;
+        for (size_t f = frame_lo; f <= frame_hi; ++f) {
+            const SeekIndexEntry& frame = layout.frames[f];
+            const ContainerPrefix prefix = ParseContainerPrefix(
+                source, frame.frame_offset, frame.frame_size);
+            const Algorithm algorithm =
+                static_cast<Algorithm>(prefix.header.algorithm);
+            const size_t frame_word = AlgorithmWordSize(algorithm);
+            if (expected_word != 0 && frame_word != expected_word) {
+                throw UsageError(std::string(caller) + ": frame holds " +
+                                 AlgorithmName(algorithm) + " data, not " +
+                                 std::to_string(expected_word) +
+                                 "-byte elements");
+            }
+            if (word == 0) {
+                word = frame_word;
+            } else if (frame_word != word) {
+                throw UsageError(
+                    std::string(caller) +
+                    ": covering frames hold mixed element widths");
+            }
+            if (prefix.header.original_size % frame_word != 0) {
+                throw UsageError(
+                    std::string(caller) +
+                    ": frame is not element-aligned; element-ranged "
+                    "decode is undefined");
+            }
+            FPC_PARSE_CHECK_AT(
+                prefix.header.original_size ==
+                    frame.element_count * frame_word,
+                "seek index disagrees with frame header", "seek-index",
+                static_cast<size_t>(frame.frame_offset));
+            run_algorithm = algorithm;
+
+            // Frame-local element range covered by [first, first+count).
+            const uint64_t frame_first =
+                std::max(first_value, frame.element_prefix) -
+                frame.element_prefix;
+            const uint64_t frame_end =
+                std::min(first_value + count,
+                         frame.element_prefix + frame.element_count) -
+                frame.element_prefix;
+            const size_t n_chunks = prefix.chunk_sizes.size();
+            if (frame_end <= frame_first) {  // empty frame inside the range
+                delta.chunks_skipped += n_chunks;
+                continue;
+            }
+            const uint64_t lo_b = frame_first * frame_word;
+            const uint64_t hi_b = frame_end * frame_word;
+            const PipelineSpec& spec = GetPipeline(algorithm);
+            if (spec.pre.decode != nullptr) {
+                // The whole-input pre-stage (FCM) needs every transformed
+                // byte: decode the full frame, then slice.
+                ByteSpan body = FrameBytes(source, frame.frame_offset,
+                                           frame.frame_size, staging);
+                Bytes whole = executor.Decompress(body, options);
+                AppendBytes(out, ByteSpan(whole).subspan(
+                                     static_cast<size_t>(lo_b),
+                                     static_cast<size_t>(hi_b - lo_b)));
+                delta.frames_decoded += 1;
+                delta.chunks_decoded += n_chunks;
+            } else {
+                // transformed == original here, so chunk c holds bytes
+                // [c*16Ki, ...): decode only the covering chunks.
+                const size_t first_chunk =
+                    static_cast<size_t>(lo_b / kChunkSize);
+                const size_t chunk_end = std::min(
+                    n_chunks,
+                    static_cast<size_t>((hi_b + kChunkSize - 1) /
+                                        kChunkSize));
+                const uint64_t payload_begin =
+                    prefix.chunk_offsets[first_chunk];
+                const uint64_t payload_end =
+                    chunk_end == n_chunks ? prefix.payload_size
+                                          : prefix.chunk_offsets[chunk_end];
+                ByteSpan payload = FrameBytes(
+                    source,
+                    frame.frame_offset + prefix.payload_offset +
+                        payload_begin,
+                    payload_end - payload_begin, staging);
+                const ContainerView sub = MakeChunkRangeView(
+                    prefix, first_chunk, chunk_end, payload);
+                Bytes buf(ChunkRangeBytes(
+                    static_cast<size_t>(prefix.header.transformed_size),
+                    first_chunk, chunk_end));
+                executor.DecodeChunks(sub, spec, buf.data(), options);
+                const uint64_t base =
+                    static_cast<uint64_t>(first_chunk) * kChunkSize;
+                AppendBytes(out, ByteSpan(buf).subspan(
+                                     static_cast<size_t>(lo_b - base),
+                                     static_cast<size_t>(hi_b - lo_b)));
+                delta.frames_decoded += 1;
+                delta.chunks_decoded += chunk_end - first_chunk;
+                delta.chunks_skipped += n_chunks - (chunk_end - first_chunk);
+            }
+        }
+    }
+
+    const uint64_t t1 = TelemetryNowNs();
+    if (sink != nullptr) {
+        const ByteSourceStats io_after = source.Stats();
+        delta.io_reads = io_after.reads - io_before.reads;
+        delta.io_bytes = io_after.bytes - io_before.bytes;
+        sink->AddRangedRead(delta);
+        if (run_algorithm.has_value()) {
+            sink->SetContext(executor.Name(), *run_algorithm,
+                             RunIsaName(executor, options));
+        }
+    }
+    if (trace != nullptr) {
+        trace->RecordRun(
+            kTraceDecode,
+            RunLabel("decompress-range", run_algorithm, executor), t0, t1);
+    }
+    return out;
+}
+
+Bytes
+DecompressRange(ByteSpan stream, uint64_t first_value, uint64_t count,
+                const Options& options, size_t expected_word,
+                const char* caller)
+{
+    MemoryByteSource source(stream);
+    return DecompressRange(source, first_value, count, options,
+                           expected_word, caller);
+}
 
 std::vector<float>
 DecompressFloats(ByteSpan compressed, const Options& options)
@@ -213,6 +392,22 @@ DecompressDoubles(ByteSpan compressed, const Options& options)
     return detail::DecompressDoubles(compressed, options);
 }
 
+Bytes
+DecompressRange(const ByteSource& source, uint64_t first_value,
+                uint64_t count, const Options& options)
+{
+    return detail::DecompressRange(source, first_value, count, options, 0,
+                                   "DecompressRange");
+}
+
+Bytes
+DecompressRange(ByteSpan stream, uint64_t first_value, uint64_t count,
+                const Options& options)
+{
+    return detail::DecompressRange(stream, first_value, count, options, 0,
+                                   "DecompressRange");
+}
+
 CompressedInfo
 Inspect(ByteSpan compressed)
 {
@@ -260,6 +455,22 @@ void
 Codec::decompress_into(ByteSpan compressed, std::span<std::byte> out) const
 {
     DecompressInto(compressed, out, options_);
+}
+
+Bytes
+Codec::decompress_range(const ByteSource& source, uint64_t first_value,
+                        uint64_t count) const
+{
+    return detail::DecompressRange(source, first_value, count, options_, 0,
+                                   "Codec::decompress_range");
+}
+
+Bytes
+Codec::decompress_range(ByteSpan stream, uint64_t first_value,
+                        uint64_t count) const
+{
+    return detail::DecompressRange(stream, first_value, count, options_, 0,
+                                   "Codec::decompress_range");
 }
 
 Telemetry&

@@ -34,6 +34,7 @@ namespace fpc {
 
 class Telemetry;   // core/telemetry.h
 class TraceSink;   // core/trace.h
+class ByteSource;  // util/byte_source.h
 
 /** Marks the pre-Codec typed free functions; silence in a migration
  *  shim with `#pragma GCC diagnostic ignored "-Wdeprecated-declarations"`. */
@@ -69,6 +70,27 @@ std::vector<float> DecompressFloats(ByteSpan compressed,
                                     const Options& options);
 std::vector<double> DecompressDoubles(ByteSpan compressed,
                                       const Options& options);
+
+/** Shared ranged-decode implementation (see DecompressRange below).
+ *  @p expected_word, when non-zero, is the caller's element width; a
+ *  covering frame holding the other width throws UsageError before any
+ *  bytes decode. */
+Bytes DecompressRange(const ByteSource& source, uint64_t first_value,
+                      uint64_t count, const Options& options,
+                      size_t expected_word, const char* caller);
+Bytes DecompressRange(ByteSpan stream, uint64_t first_value, uint64_t count,
+                      const Options& options, size_t expected_word,
+                      const char* caller);
+
+/** Reinterpret a ranged-decode result (count * sizeof(T) bytes). */
+template <typename T>
+std::vector<T>
+RangeToVector(Bytes&& raw)
+{
+    std::vector<T> values(raw.size() / sizeof(T));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+}
 }  // namespace detail
 
 /** Compress a float array (selects SPspeed or SPratio).
@@ -112,6 +134,30 @@ struct CompressedInfo {
 
 /** Parse a container header + chunk table without decompressing. */
 CompressedInfo Inspect(ByteSpan compressed);
+
+/**
+ * Random access: decompress values [@p first_value, @p first_value +
+ * @p count) of the compressed input in @p source — a bare container, a
+ * frame stream, or an indexed stream (core/stream.h
+ * ResolveStreamLayout) — returning exactly `count * word_size` bytes.
+ *
+ * Only the frames covering the range are touched, and within each
+ * FCM-free frame only the covering 16 KiB chunks are read and decoded
+ * (DPratio's whole-input pre-stage forces a full-frame decode, then
+ * slices). The result is bit-identical to the same slice of a full
+ * decode; the container's content checksum spans the whole frame and is
+ * therefore NOT verified on this path.
+ *
+ * Throws UsageError when the range reaches past the stream's total
+ * element count or a covering frame is not element-aligned, and
+ * CorruptStreamError for damaged input.
+ */
+Bytes DecompressRange(const ByteSource& source, uint64_t first_value,
+                      uint64_t count, const Options& options = {});
+
+/** DecompressRange over an in-memory stream. */
+Bytes DecompressRange(ByteSpan stream, uint64_t first_value, uint64_t count,
+                      const Options& options = {});
 
 /**
  * Typed facade over the one-shot entry points: one value object carrying
@@ -202,6 +248,41 @@ class Codec {
         } else {
             return detail::DecompressDoubles(compressed, options_);
         }
+    }
+
+    /** Ranged decode through this codec's backend and options (see the
+     *  free DecompressRange above for semantics). */
+    Bytes decompress_range(const ByteSource& source, uint64_t first_value,
+                           uint64_t count) const;
+    Bytes decompress_range(ByteSpan stream, uint64_t first_value,
+                           uint64_t count) const;
+
+    /** Typed ranged decode; validates every covering frame's element
+     *  width before decoding. */
+    template <typename T>
+    std::vector<T>
+    decompress_range_as(const ByteSource& source, uint64_t first_value,
+                        uint64_t count) const
+    {
+        static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                      "fpc::Codec::decompress_range_as supports float and "
+                      "double");
+        return detail::RangeToVector<T>(detail::DecompressRange(
+            source, first_value, count, options_, sizeof(T),
+            "Codec::decompress_range_as"));
+    }
+
+    template <typename T>
+    std::vector<T>
+    decompress_range_as(ByteSpan stream, uint64_t first_value,
+                        uint64_t count) const
+    {
+        static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                      "fpc::Codec::decompress_range_as supports float and "
+                      "double");
+        return detail::RangeToVector<T>(detail::DecompressRange(
+            stream, first_value, count, options_, sizeof(T),
+            "Codec::decompress_range_as"));
     }
 
     /** Container introspection (no decompression). */

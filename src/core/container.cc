@@ -1,6 +1,9 @@
 #include "core/container.h"
 
+#include <array>
+
 #include "util/bitio.h"
+#include "util/hash.h"
 #include "util/scan.h"
 
 namespace fpc {
@@ -8,6 +11,37 @@ namespace fpc {
 namespace {
 
 constexpr uint32_t kRawFlag = 0x80000000u;
+
+/** Parse + validate the fixed-size header fields. @p bytes must hold
+ *  exactly ContainerHeaderSize() bytes; @p base is the absolute position
+ *  of the header in the stream, used only for error offsets. */
+ContainerHeader
+ParseHeaderBytes(ByteSpan bytes, const char* stage, size_t base)
+{
+    ByteReader br(bytes, stage);
+    ContainerHeader h;
+    h.magic = br.Get<uint32_t>();
+    FPC_PARSE_CHECK_AT(h.magic == ContainerHeader::kMagic, "bad magic",
+                       stage, base);
+    h.version = br.GetU8();
+    FPC_PARSE_CHECK_AT(h.version == ContainerHeader::kVersion,
+                       "unsupported version", stage, base + 4);
+    h.algorithm = br.GetU8();
+    FPC_PARSE_CHECK_AT(h.algorithm <= 3, "unknown algorithm id", stage,
+                       base + 5);
+    h.reserved = br.Get<uint16_t>();
+    h.original_size = br.Get<uint64_t>();
+    h.transformed_size = br.Get<uint64_t>();
+    h.checksum = br.Get<uint64_t>();
+    h.chunk_count = br.Get<uint32_t>();
+
+    const uint64_t expected_chunks =
+        (h.transformed_size + kChunkSize - 1) / kChunkSize;
+    FPC_PARSE_CHECK_AT(h.chunk_count == expected_chunks,
+                       "chunk count inconsistent with transformed size",
+                       stage, base + 32);
+    return h;
+}
 
 }  // namespace
 
@@ -45,30 +79,14 @@ ContainerView
 ParseContainer(ByteSpan compressed)
 {
     constexpr const char* kStage = "container";
-    ByteReader br(compressed, kStage);
+    const size_t header_size = ContainerHeaderSize();
+    FPC_PARSE_CHECK_AT(compressed.size() >= header_size,
+                       "buffer smaller than header", kStage, 0);
     ContainerView view;
     ContainerHeader& h = view.header;
-    FPC_PARSE_CHECK_AT(compressed.size() >= ContainerHeaderSize(),
-                       "buffer smaller than header", kStage, 0);
-    h.magic = br.Get<uint32_t>();
-    FPC_PARSE_CHECK_AT(h.magic == ContainerHeader::kMagic, "bad magic",
-                       kStage, 0);
-    h.version = br.GetU8();
-    FPC_PARSE_CHECK_AT(h.version == ContainerHeader::kVersion,
-                       "unsupported version", kStage, 4);
-    h.algorithm = br.GetU8();
-    FPC_PARSE_CHECK_AT(h.algorithm <= 3, "unknown algorithm id", kStage, 5);
-    h.reserved = br.Get<uint16_t>();
-    h.original_size = br.Get<uint64_t>();
-    h.transformed_size = br.Get<uint64_t>();
-    h.checksum = br.Get<uint64_t>();
-    h.chunk_count = br.Get<uint32_t>();
+    h = ParseHeaderBytes(compressed.first(header_size), kStage, 0);
 
-    const uint64_t expected_chunks =
-        (h.transformed_size + kChunkSize - 1) / kChunkSize;
-    FPC_PARSE_CHECK_AT(h.chunk_count == expected_chunks,
-                       "chunk count inconsistent with transformed size",
-                       kStage, 32);
+    ByteReader br(compressed.subspan(header_size), kStage);
     // The chunk table must fit in the bytes that are actually present
     // before the three per-chunk vectors are sized from it; a forged
     // count would otherwise drive multi-gigabyte allocations from a
@@ -90,8 +108,194 @@ ParseContainer(ByteSpan compressed)
     view.payload = br.Rest();
     FPC_PARSE_CHECK_AT(view.payload.size() == offset,
                        "payload size inconsistent with chunk table", kStage,
-                       br.Pos());
+                       header_size + br.Pos());
     return view;
+}
+
+ContainerHeader
+ParseContainerHeader(const ByteSource& source, uint64_t container_start,
+                     uint64_t container_size)
+{
+    constexpr const char* kStage = "container";
+    const size_t header_size = ContainerHeaderSize();
+    FPC_PARSE_CHECK_AT(container_size >= header_size,
+                       "buffer smaller than header", kStage,
+                       static_cast<size_t>(container_start));
+    // Validates container_start/container_size against the stream before
+    // any field is trusted; a forged frame entry dies here, not later.
+    source.CheckRangeIsReadable(container_start, container_size);
+
+    Bytes header_bytes(header_size);
+    source.ReadAt(container_start, header_bytes);
+    ContainerHeader h = ParseHeaderBytes(
+        header_bytes, kStage, static_cast<size_t>(container_start));
+    FPC_PARSE_CHECK_AT(
+        h.chunk_count <= (container_size - header_size) / sizeof(uint32_t),
+        "chunk table exceeds buffer", kStage,
+        static_cast<size_t>(container_start) + 32);
+    return h;
+}
+
+ContainerPrefix
+ParseContainerPrefix(const ByteSource& source, uint64_t container_start,
+                     uint64_t container_size)
+{
+    constexpr const char* kStage = "container";
+    const size_t header_size = ContainerHeaderSize();
+    ContainerPrefix prefix;
+    prefix.header =
+        ParseContainerHeader(source, container_start, container_size);
+    const ContainerHeader& h = prefix.header;
+
+    Bytes table(size_t{h.chunk_count} * sizeof(uint32_t));
+    source.ReadAt(container_start + header_size, table);
+    ByteReader br(table, kStage);
+    prefix.chunk_sizes.resize(h.chunk_count);
+    prefix.chunk_raw.resize(h.chunk_count);
+    prefix.chunk_offsets.resize(h.chunk_count);
+    size_t offset = 0;
+    for (uint32_t c = 0; c < h.chunk_count; ++c) {
+        uint32_t entry = br.Get<uint32_t>();
+        prefix.chunk_sizes[c] = entry & ~kRawFlag;
+        prefix.chunk_raw[c] = (entry & kRawFlag) ? 1 : 0;
+        prefix.chunk_offsets[c] = offset;
+        offset += prefix.chunk_sizes[c];
+    }
+    prefix.payload_offset = header_size + table.size();
+    prefix.payload_size = container_size - prefix.payload_offset;
+    FPC_PARSE_CHECK_AT(
+        prefix.payload_size == offset,
+        "payload size inconsistent with chunk table", kStage,
+        static_cast<size_t>(container_start + prefix.payload_offset));
+    return prefix;
+}
+
+size_t
+FrameCoveringElement(std::span<const SeekIndexEntry> frames,
+                     uint64_t element)
+{
+    FPC_CHECK(!frames.empty() &&
+                  element < frames.back().element_prefix +
+                                frames.back().element_count,
+              "element outside the frame table");
+    // Last frame whose element_prefix <= element; empty frames share the
+    // prefix of their successor and sort earlier, so this always lands on
+    // the frame that actually holds the element.
+    size_t lo = 0;
+    size_t hi = frames.size();
+    while (hi - lo > 1) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (frames[mid].element_prefix <= element) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+size_t
+SeekIndex::FrameCovering(uint64_t element) const
+{
+    return FrameCoveringElement(frames, element);
+}
+
+void
+AppendSeekIndex(const std::vector<SeekIndexEntry>& frames, Bytes& out)
+{
+    Bytes entries;
+    entries.reserve(frames.size() * SeekIndex::kEntrySize);
+    ByteWriter ew(entries);
+    uint64_t expect_prefix = 0;
+    for (const SeekIndexEntry& e : frames) {
+        FPC_CHECK(e.element_prefix == expect_prefix,
+                  "seek index element prefixes out of order");
+        expect_prefix += e.element_count;
+        ew.Put<uint64_t>(e.frame_offset);
+        ew.Put<uint64_t>(e.frame_size);
+        ew.Put<uint64_t>(e.element_count);
+        ew.Put<uint64_t>(e.element_prefix);
+    }
+    AppendBytes(out, entries);
+    ByteWriter fw(out);
+    fw.Put<uint64_t>(Checksum64(entries));
+    fw.Put<uint64_t>(frames.size());
+    fw.Put<uint64_t>(entries.size());
+    fw.Put<uint32_t>(SeekIndex::kIndexVersion);
+    fw.Put<uint32_t>(SeekIndex::kFooterMagic);
+}
+
+std::optional<SeekIndex>
+TryParseSeekIndex(const ByteSource& source)
+{
+    constexpr const char* kStage = "seek-index";
+    const uint64_t stream_size = source.Size();
+    if (stream_size < SeekIndex::kFooterSize) return std::nullopt;
+
+    const uint64_t footer_offset = stream_size - SeekIndex::kFooterSize;
+    std::array<std::byte, SeekIndex::kFooterSize> footer_bytes;
+    source.ReadAt(footer_offset, footer_bytes);
+    ByteReader fr(ByteSpan(footer_bytes.data(), footer_bytes.size()), kStage);
+    const uint64_t checksum = fr.Get<uint64_t>();
+    const uint64_t frame_count = fr.Get<uint64_t>();
+    const uint64_t index_size = fr.Get<uint64_t>();
+    const uint32_t version = fr.Get<uint32_t>();
+    const uint32_t magic = fr.Get<uint32_t>();
+    if (magic != SeekIndex::kFooterMagic) return std::nullopt;
+
+    const size_t footer_pos = static_cast<size_t>(footer_offset);
+    FPC_PARSE_CHECK_AT(version == SeekIndex::kIndexVersion,
+                       "unsupported seek-index version", kStage, footer_pos);
+    // Bound the entry count by what the stream can physically hold before
+    // sizing any allocation from it.
+    FPC_PARSE_CHECK_AT(frame_count <= footer_offset / SeekIndex::kEntrySize,
+                       "seek-index larger than stream", kStage, footer_pos);
+    FPC_PARSE_CHECK_AT(index_size == frame_count * SeekIndex::kEntrySize,
+                       "seek-index size inconsistent with frame count",
+                       kStage, footer_pos);
+
+    SeekIndex index;
+    index.index_offset = footer_offset - index_size;
+    Bytes entries(static_cast<size_t>(index_size));
+    source.ReadAt(index.index_offset, entries);
+    FPC_PARSE_CHECK_AT(Checksum64(entries) == checksum,
+                       "seek-index checksum mismatch", kStage,
+                       static_cast<size_t>(index.index_offset));
+
+    ByteReader er(entries, kStage);
+    index.frames.resize(static_cast<size_t>(frame_count));
+    uint64_t expect_prefix = 0;
+    // A frame body is preceded by its (at least 1 byte) varint prefix, so
+    // the first body starts at offset >= 1 and each body starts at least
+    // one byte past the previous body's end.
+    uint64_t min_offset = 1;
+    for (size_t i = 0; i < index.frames.size(); ++i) {
+        SeekIndexEntry& e = index.frames[i];
+        e.frame_offset = er.Get<uint64_t>();
+        e.frame_size = er.Get<uint64_t>();
+        e.element_count = er.Get<uint64_t>();
+        e.element_prefix = er.Get<uint64_t>();
+        const size_t entry_pos = static_cast<size_t>(
+            index.index_offset + i * SeekIndex::kEntrySize);
+        FPC_PARSE_CHECK_AT(e.frame_offset >= min_offset,
+                           "seek-index frame offsets overlap", kStage,
+                           entry_pos);
+        // Subtract form: the body must end at or before the index start.
+        FPC_PARSE_CHECK_AT(e.frame_size <= index.index_offset &&
+                               e.frame_offset <=
+                                   index.index_offset - e.frame_size,
+                           "seek-index frame outside stream", kStage,
+                           entry_pos);
+        FPC_PARSE_CHECK_AT(e.element_prefix == expect_prefix,
+                           "seek-index element prefixes inconsistent",
+                           kStage, entry_pos);
+        FPC_PARSE_CHECK_AT(
+            e.element_count <= UINT64_MAX - expect_prefix,
+            "seek-index element counts overflow", kStage, entry_pos);
+        expect_prefix += e.element_count;
+        min_offset = e.frame_offset + e.frame_size + 1;
+    }
+    return index;
 }
 
 }  // namespace fpc

@@ -13,11 +13,38 @@
  *
  * Compressed data is contiguous (paper Section 5: unlike nvCOMP, our
  * compressors concatenate the chunks into one memory block).
+ *
+ * ## File format v2: the seekable container (DESIGN.md "Container v2 &
+ * random access")
+ *
+ * A *stream* is a sequence of varint-length-prefixed frames, each frame
+ * one container exactly as above (the frame bytes are untouched — that is
+ * the v1 compatibility rule). Format v2 optionally appends a trailing
+ * **seek index** after the last frame:
+ *
+ *   entries: frame_count x 32-byte little-endian SeekIndexEntry
+ *            {frame_offset, frame_size, element_count, element_prefix}
+ *   footer:  32 bytes at EOF — {index_checksum (Checksum64 over the
+ *            entries block), frame_count, index_size, index_version u32,
+ *            footer_magic u32 "FPCX"}
+ *
+ * The footer is located from EOF, so the index turns a sequential stream
+ * into an O(1)-seekable one: a reader binary-searches the running element
+ * prefix to find covering frames, then resolves chunks inside a frame
+ * through the frame's own chunk table (one small ranged read of the frame
+ * prefix) — per-chunk offsets are deliberately not duplicated into the
+ * index, so there is exactly one authority for where a chunk lives.
+ * Streams without the footer magic parse exactly as before (index-less
+ * fallback); a present-but-damaged index throws CorruptStreamError and is
+ * never followed (no mis-seek).
  */
 #ifndef FPC_CORE_CONTAINER_H
 #define FPC_CORE_CONTAINER_H
 
+#include <optional>
+
 #include "core/types.h"
+#include "util/byte_source.h"
 #include "util/common.h"
 
 namespace fpc {
@@ -56,6 +83,91 @@ ContainerView ParseContainer(ByteSpan compressed);
 
 /** Size in bytes of the serialized header. */
 size_t ContainerHeaderSize();
+
+/**
+ * Header + chunk table of one container, parsed through ranged reads;
+ * no payload bytes are touched. `payload_offset` is relative to the
+ * container start (= the frame body start), `chunk_offsets` relative to
+ * the payload area — so the absolute position of chunk c is
+ * `container_start + payload_offset + chunk_offsets[c]`.
+ */
+struct ContainerPrefix {
+    ContainerHeader header;
+    std::vector<uint32_t> chunk_sizes;
+    std::vector<uint8_t> chunk_raw;
+    std::vector<size_t> chunk_offsets;
+    uint64_t payload_offset = 0;
+    uint64_t payload_size = 0;
+};
+
+/** Parse and validate the header + chunk table of the container at
+ *  [@p container_start, @p container_start + @p container_size) in
+ *  @p source, reading only the prefix bytes. Throws CorruptStreamError. */
+ContainerPrefix ParseContainerPrefix(const ByteSource& source,
+                                     uint64_t container_start,
+                                     uint64_t container_size);
+
+/** Parse and validate just the fixed-size header of the same container —
+ *  one small ranged read, for layout scans that only need sizes and the
+ *  algorithm. Throws CorruptStreamError. */
+ContainerHeader ParseContainerHeader(const ByteSource& source,
+                                     uint64_t container_start,
+                                     uint64_t container_size);
+
+/** One frame of a seekable stream, as recorded in the trailing index.
+ *  `frame_offset` addresses the frame's container *body* — the varint
+ *  length prefix precedes it — so a seek never re-reads the prefix. */
+struct SeekIndexEntry {
+    uint64_t frame_offset = 0;    ///< of the container (after the varint)
+    uint64_t frame_size = 0;      ///< container bytes (prefix excluded)
+    uint64_t element_count = 0;   ///< decoded values in this frame
+    uint64_t element_prefix = 0;  ///< sum of element_count before this frame
+};
+
+/** Parsed (and checksum-verified) trailing seek index of a stream. */
+struct SeekIndex {
+    static constexpr uint32_t kFooterMagic = 0x58435046;  // "FPCX"
+    static constexpr uint32_t kIndexVersion = 1;
+    static constexpr size_t kEntrySize = 4 * sizeof(uint64_t);
+    /** checksum + frame_count + index_size + version + magic. */
+    static constexpr size_t kFooterSize = 3 * sizeof(uint64_t) +
+                                          2 * sizeof(uint32_t);
+
+    std::vector<SeekIndexEntry> frames;
+    /** Stream offset where the index entries begin (= end of frame data). */
+    uint64_t index_offset = 0;
+
+    /** Total decoded elements across all frames. */
+    uint64_t TotalElements() const
+    {
+        return frames.empty() ? 0
+                              : frames.back().element_prefix +
+                                    frames.back().element_count;
+    }
+
+    /** Index of the frame whose element range covers @p element (which
+     *  must be < TotalElements()). */
+    size_t FrameCovering(uint64_t element) const;
+};
+
+/** Serialize @p frames + footer (entries block, checksum, magic). */
+void AppendSeekIndex(const std::vector<SeekIndexEntry>& frames, Bytes& out);
+
+/** Index of the entry in @p frames (element-prefix-ordered, as in a seek
+ *  index or stream layout) covering @p element, which must be less than
+ *  the total element count. */
+size_t FrameCoveringElement(std::span<const SeekIndexEntry> frames,
+                            uint64_t element);
+
+/**
+ * Look for a seek index at the tail of @p source. Returns nullopt when
+ * the stream has none (no footer magic, or too small to hold one) — the
+ * caller falls back to a sequential scan. Throws CorruptStreamError when
+ * the magic is present but the footer or entries are damaged (bad
+ * checksum, inconsistent sizes, non-monotonic offsets/prefixes): a
+ * damaged index is never followed.
+ */
+std::optional<SeekIndex> TryParseSeekIndex(const ByteSource& source);
 
 }  // namespace fpc
 

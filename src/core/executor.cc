@@ -184,6 +184,13 @@ class CpuExecutor final : public Executor {
                           PreDecode(options));
     }
 
+    void
+    DecodeChunks(const ContainerView& view, const PipelineSpec& spec,
+                 std::byte* dest, const Options& options) const override
+    {
+        DecodeChunks(options)(view, spec, dest);
+    }
+
  private:
     /** Chunk decode hook: dynamic OpenMP loop, one arena per worker, the
      *  last pipeline stage writing straight into the chunk's slot. */
@@ -344,6 +351,15 @@ class DeviceExecutor final : public Executor {
         gpusim::Device device(profile_);
         gpusim::DecompressIntoOnDevice(device, compressed, out,
                                        SinkOf(options), TraceOf(options));
+    }
+
+    void
+    DecodeChunks(const ContainerView& view, const PipelineSpec& spec,
+                 std::byte* dest, const Options& options) const override
+    {
+        gpusim::Device device(profile_);
+        gpusim::DecodeChunksOnDevice(device, view, spec, dest,
+                                     SinkOf(options), TraceOf(options));
     }
 
  private:

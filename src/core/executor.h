@@ -38,6 +38,9 @@
 
 namespace fpc {
 
+struct ContainerView;
+struct PipelineSpec;
+
 /** Static capabilities of a backend. */
 struct ExecutorCaps {
     /** Honours Options::threads (host-thread chunk parallelism). */
@@ -73,6 +76,16 @@ class Executor {
     virtual void DecompressInto(ByteSpan compressed,
                                 std::span<std::byte> out,
                                 const Options& options) const = 0;
+
+    /** Decode every chunk of a parsed @p view into @p dest (sized
+     *  view.header.transformed_size) with this backend's chunk
+     *  scheduling. The ranged-read path builds a sub-container over just
+     *  the covering chunks (core/orchestrate.h MakeChunkRangeView) and
+     *  drives it through this hook, so random access reuses the same
+     *  kernels and scheduling as a full decode. */
+    virtual void DecodeChunks(const ContainerView& view,
+                              const PipelineSpec& spec, std::byte* dest,
+                              const Options& options) const = 0;
 };
 
 /** Look up a backend by name (case-insensitive). Throws UsageError naming

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/telemetry.h"
 #include "util/hash.h"
 #include "util/scan.h"
 
@@ -147,6 +148,119 @@ RunDecompressInto(ByteSpan compressed, std::span<std::byte> out,
     FPC_PARSE_CHECK(Checksum64(ByteSpan(out.data(), out.size())) ==
                         view.header.checksum,
                     "content checksum mismatch");
+}
+
+size_t
+ChunkRangeBytes(size_t transformed_size, size_t first_chunk,
+                size_t chunk_end)
+{
+    const size_t n_chunks = ChunkCountOf(transformed_size);
+    FPC_CHECK(first_chunk <= chunk_end && chunk_end <= n_chunks,
+              "chunk range out of bounds");
+    if (first_chunk == chunk_end) return 0;
+    const size_t last_begin = (chunk_end - 1) * kChunkSize;
+    return (chunk_end - 1 - first_chunk) * kChunkSize +
+           std::min(kChunkSize, transformed_size - last_begin);
+}
+
+ContainerView
+MakeChunkRangeView(const ContainerPrefix& prefix, size_t first_chunk,
+                   size_t chunk_end, ByteSpan payload)
+{
+    FPC_CHECK(first_chunk <= chunk_end &&
+                  chunk_end <= prefix.chunk_sizes.size(),
+              "chunk range out of bounds");
+    const size_t n = chunk_end - first_chunk;
+    ContainerView view;
+    view.header = prefix.header;
+    view.header.chunk_count = static_cast<uint32_t>(n);
+    const size_t covered = ChunkRangeBytes(
+        prefix.header.transformed_size, first_chunk, chunk_end);
+    view.header.transformed_size = covered;
+    // The sub-range has no checksum of its own; original_size mirrors the
+    // covered bytes so pre-stage-free invariants hold, and the caller is
+    // responsible for not running a content check against this view.
+    view.header.original_size = covered;
+    view.header.checksum = 0;
+
+    view.chunk_sizes.assign(prefix.chunk_sizes.begin() + first_chunk,
+                            prefix.chunk_sizes.begin() + chunk_end);
+    view.chunk_raw.assign(prefix.chunk_raw.begin() + first_chunk,
+                          prefix.chunk_raw.begin() + chunk_end);
+    view.chunk_offsets.resize(n);
+    size_t offset = 0;
+    for (size_t c = 0; c < n; ++c) {
+        view.chunk_offsets[c] = offset;
+        offset += view.chunk_sizes[c];
+    }
+    FPC_CHECK(payload.size() == offset, "range payload size mismatch");
+    view.payload = payload;
+    return view;
+}
+
+Bytes
+RunDecompressSerial(ByteSpan compressed, ScratchArena& scratch)
+{
+    ContainerView view = ParseContainer(compressed);
+    const auto algorithm = static_cast<Algorithm>(view.header.algorithm);
+    const PipelineSpec& spec = GetPipeline(algorithm);
+    const size_t transformed_size = view.header.transformed_size;
+
+    const auto decode_all = [&](std::byte* dest) {
+        TelemetryShard* shard = scratch.Telemetry();
+        TraceRing* ring = shard != nullptr ? shard->trace : nullptr;
+        for (uint32_t c = 0; c < view.header.chunk_count; ++c) {
+            if (ring != nullptr) ring->SetChunk(c);
+            const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
+            ByteSpan payload = view.payload.subspan(view.chunk_offsets[c],
+                                                    view.chunk_sizes[c]);
+            DecodeChunk(spec, payload, view.chunk_raw[c],
+                        ChunkSlotAt(dest, transformed_size, c), scratch);
+            if (shard != nullptr) {
+                const uint64_t t1 = TelemetryNowNs();
+                shard->OnChunkDecode(t1 - t0);
+                if (ring != nullptr) {
+                    ring->Record(TraceSpanKind::kChunk, kTraceDecode, 0, c,
+                                 t0, t1);
+                }
+            }
+        }
+    };
+
+    if (spec.pre.decode == nullptr) {
+        FPC_PARSE_CHECK(
+            view.header.transformed_size == view.header.original_size,
+            "transformed size mismatch for pre-stage-free algorithm");
+        Bytes out(view.header.original_size);
+        decode_all(out.data());
+        CheckContent(view.header, ByteSpan(out));
+        return out;
+    }
+
+    FPC_PARSE_CHECK_AT(
+        view.header.original_size <= view.header.transformed_size,
+        "original size exceeds transformed size", "container", 8);
+    Bytes work(view.header.transformed_size);
+    decode_all(work.data());
+    Bytes out;
+    out.reserve(view.header.original_size);
+    {
+        TelemetryShard* shard = scratch.Telemetry();
+        const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
+        spec.pre.decode(ByteSpan(work), out, scratch);
+        if (shard != nullptr) {
+            const uint64_t t1 = TelemetryNowNs();
+            shard->OnStageDecode(spec.pre.id, work.size(), out.size(),
+                                 t1 - t0);
+            if (shard->trace != nullptr) {
+                shard->trace->Record(TraceSpanKind::kPre, kTraceDecode,
+                                     static_cast<uint8_t>(spec.pre.id), 0,
+                                     t0, t1);
+            }
+        }
+    }
+    CheckContent(view.header, ByteSpan(out));
+    return out;
 }
 
 }  // namespace fpc

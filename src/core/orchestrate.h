@@ -138,6 +138,33 @@ void RunDecompressInto(ByteSpan compressed, std::span<std::byte> out,
                        const DecodeChunksFn& decode_chunks,
                        const PreDecodeFn& pre_decode);
 
+/**
+ * Synthetic sub-container over chunks [@p first_chunk, @p chunk_end) of a
+ * parsed frame prefix, whose payload bytes are @p payload (exactly those
+ * chunks' stored bytes, contiguous as on disk). The sub-view's
+ * transformed_size covers only the selected chunks, so ChunkSlotAt math —
+ * and therefore every Executor::DecodeChunks backend — applies unchanged.
+ * The content checksum does NOT describe the sub-range; callers verify
+ * ranged reads against a full decode in tests, not per call.
+ */
+ContainerView MakeChunkRangeView(const ContainerPrefix& prefix,
+                                 size_t first_chunk, size_t chunk_end,
+                                 ByteSpan payload);
+
+/** Logical (uncompressed) bytes covered by chunks
+ *  [@p first_chunk, @p chunk_end) of a stream of @p transformed_size. */
+size_t ChunkRangeBytes(size_t transformed_size, size_t first_chunk,
+                       size_t chunk_end);
+
+/**
+ * Fully serial RunDecompress twin for streaming-pool workers: every chunk
+ * (and the pre-stage, when the algorithm has one) decodes on the calling
+ * thread against one persistent @p scratch arena, so a worker's buffers
+ * stay warm across frames. Telemetry flows through the shard attached to
+ * @p scratch, if any — the pool merges shards once, at join.
+ */
+Bytes RunDecompressSerial(ByteSpan compressed, ScratchArena& scratch);
+
 }  // namespace fpc
 
 #endif  // FPC_CORE_ORCHESTRATE_H

@@ -1,10 +1,16 @@
 #include "core/stream.h"
 
+#include <array>
+
+#include "core/executor.h"
+#include "core/orchestrate.h"
 #include "util/bitio.h"
 
 namespace fpc {
 
 namespace {
+
+constexpr const char* kStage = "stream";
 
 /** Reject a typed read of a frame whose container algorithm holds the
  *  other element width, before any bytes are reinterpreted. */
@@ -31,15 +37,43 @@ StatsOf(Options& options, std::shared_ptr<Telemetry>& owned_sink)
     return options.telemetry->Snapshot();
 }
 
+/** Where frame data ends: before a trailing seek index, or at EOF. A
+ *  damaged index throws here — sequential reads must not run into index
+ *  bytes as if they were a frame. */
+uint64_t
+FrameDataEnd(const ByteSource& source)
+{
+    if (std::optional<SeekIndex> index = TryParseSeekIndex(source)) {
+        return index->index_offset;
+    }
+    return source.Size();
+}
+
 }  // namespace
 
 size_t
 StreamCompressor::PutFrame(ByteSpan frame)
 {
+    if (finished_) {
+        throw UsageError("StreamCompressor: PutFrame after "
+                         "FinishWithIndex");
+    }
     Bytes compressed = Compress(algorithm_, frame, options_);
     ByteWriter wr(stream_);
     wr.PutVarint(compressed.size());
+    SeekIndexEntry entry;
+    entry.frame_offset = stream_.size();  // body starts after the varint
+    entry.frame_size = compressed.size();
+    entry.element_count = frame.size() / AlgorithmWordSize(algorithm_);
+    entry.element_prefix = index_.empty()
+                               ? 0
+                               : index_.back().element_prefix +
+                                     index_.back().element_count;
+    if (frame.size() % AlgorithmWordSize(algorithm_) != 0) {
+        unaligned_ = true;
+    }
     wr.PutBytes(ByteSpan(compressed));
+    index_.push_back(entry);
     bytes_in_ += frame.size();
     ++frame_count_;
     return compressed.size();
@@ -57,22 +91,141 @@ StreamCompressor::PutDoubles(std::span<const double> values)
     return PutFrame(AsBytes(values));
 }
 
+const Bytes&
+StreamCompressor::FinishWithIndex()
+{
+    if (finished_) return stream_;
+    if (unaligned_) {
+        throw UsageError(
+            "FinishWithIndex: a frame did not hold whole elements of the "
+            "algorithm's word size, so element-ranged seeks would be "
+            "meaningless");
+    }
+    AppendSeekIndex(index_, stream_);
+    finished_ = true;
+    return stream_;
+}
+
 TelemetrySnapshot
 StreamCompressor::stats()
 {
     return StatsOf(options_, owned_sink_);
 }
 
-ByteSpan
-StreamDecompressor::PeekFrame(size_t& advance) const
+StreamLayout
+ResolveStreamLayout(const ByteSource& source)
 {
-    constexpr const char* kStage = "stream";
-    FPC_PARSE_CHECK_AT(HasNext(), "no more frames", kStage, pos_);
-    ByteReader br(stream_.subspan(pos_), kStage);
-    size_t frame_size = br.GetVarint();
-    ByteSpan frame = br.GetBytes(frame_size);
-    advance = br.Pos();
-    return frame;
+    StreamLayout layout;
+    const uint64_t stream_size = source.Size();
+    layout.frames_end = stream_size;
+    if (stream_size == 0) return layout;
+
+    // A bare container is unambiguous: a stream's offset 0 is a varint
+    // whose value would have to place the magic at offset 1, not 0.
+    if (stream_size >= sizeof(uint32_t)) {
+        std::array<std::byte, sizeof(uint32_t)> magic_bytes;
+        source.ReadAt(0, magic_bytes);
+        uint32_t magic = 0;
+        std::memcpy(&magic, magic_bytes.data(), sizeof(magic));
+        if (magic == ContainerHeader::kMagic) {
+            layout.format = StreamLayout::Format::kContainer;
+            const ContainerHeader header =
+                ParseContainerHeader(source, 0, stream_size);
+            SeekIndexEntry frame;
+            frame.frame_offset = 0;
+            frame.frame_size = stream_size;
+            frame.element_count =
+                header.original_size /
+                AlgorithmWordSize(static_cast<Algorithm>(header.algorithm));
+            layout.frames.push_back(frame);
+            return layout;
+        }
+    }
+
+    if (std::optional<SeekIndex> index = TryParseSeekIndex(source)) {
+        layout.from_index = true;
+        layout.frames_end = index->index_offset;
+        layout.frames = std::move(index->frames);
+        return layout;
+    }
+
+    // Sequential fallback: varint + fixed-size header per frame; chunk
+    // tables and payloads stay untouched.
+    uint64_t pos = 0;
+    uint64_t element_prefix = 0;
+    while (pos < stream_size) {
+        std::array<std::byte, 10> varint_bytes;  // 10 = max LEB128(u64)
+        const size_t avail = static_cast<size_t>(
+            std::min<uint64_t>(varint_bytes.size(), stream_size - pos));
+        source.ReadAt(pos, std::span<std::byte>(varint_bytes.data(), avail));
+        ByteReader br(ByteSpan(varint_bytes.data(), avail), kStage);
+        const uint64_t frame_size = br.GetVarint();
+        const size_t prefix_len = br.Pos();
+        FPC_PARSE_CHECK_AT(frame_size <= stream_size - pos - prefix_len,
+                           "frame overruns stream", kStage,
+                           static_cast<size_t>(pos));
+        SeekIndexEntry frame;
+        frame.frame_offset = pos + prefix_len;
+        frame.frame_size = frame_size;
+        const ContainerHeader header = ParseContainerHeader(
+            source, frame.frame_offset, frame_size);
+        frame.element_count =
+            header.original_size /
+            AlgorithmWordSize(static_cast<Algorithm>(header.algorithm));
+        frame.element_prefix = element_prefix;
+        element_prefix += frame.element_count;
+        layout.frames.push_back(frame);
+        pos = frame.frame_offset + frame_size;
+    }
+    return layout;
+}
+
+StreamDecompressor::StreamDecompressor(ByteSpan stream, Options options)
+    : owned_source_(std::make_unique<MemoryByteSource>(stream)),
+      source_(owned_source_.get()),
+      options_(options),
+      data_end_(FrameDataEnd(*source_))
+{
+}
+
+StreamDecompressor::StreamDecompressor(ByteSpan stream,
+                                       const Executor& executor,
+                                       Options options)
+    : StreamDecompressor(stream, options)
+{
+    options_.executor = &executor;
+}
+
+StreamDecompressor::StreamDecompressor(const ByteSource& source,
+                                       Options options)
+    : source_(&source), options_(options), data_end_(FrameDataEnd(source))
+{
+}
+
+ByteSpan
+StreamDecompressor::PeekFrame(size_t& advance)
+{
+    FPC_PARSE_CHECK_AT(HasNext(), "no more frames", kStage,
+                       static_cast<size_t>(pos_));
+    std::array<std::byte, 10> varint_bytes;
+    const size_t avail = static_cast<size_t>(
+        std::min<uint64_t>(varint_bytes.size(), data_end_ - pos_));
+    source_->ReadAt(pos_, std::span<std::byte>(varint_bytes.data(), avail));
+    ByteReader br(ByteSpan(varint_bytes.data(), avail), kStage);
+    const uint64_t frame_size = br.GetVarint();
+    const size_t prefix_len = br.Pos();
+    FPC_PARSE_CHECK_AT(frame_size <= data_end_ - pos_ - prefix_len,
+                       "frame overruns stream", kStage,
+                       static_cast<size_t>(pos_));
+    advance = prefix_len + static_cast<size_t>(frame_size);
+    if (frame_size == 0) return {};
+    const uint64_t body = pos_ + prefix_len;
+    ByteSpan view =
+        source_->View(body, static_cast<size_t>(frame_size));
+    if (view.size() == frame_size) return view;
+    frame_buf_.resize(static_cast<size_t>(frame_size));
+    source_->ReadAt(body, frame_buf_);
+    return ByteSpan(frame_buf_);
 }
 
 // Next* advance pos_ only after the frame decodes cleanly: a throw from a
@@ -121,6 +274,145 @@ TelemetrySnapshot
 StreamDecompressor::stats()
 {
     return StatsOf(options_, owned_sink_);
+}
+
+// ---------------------------------------------------------------------
+// ParallelStreamDecoder
+// ---------------------------------------------------------------------
+
+ParallelStreamDecoder::ParallelStreamDecoder(const ByteSource& source,
+                                             StreamPoolOptions pool,
+                                             Options options)
+    : source_(source),
+      options_(options),
+      layout_(ResolveStreamLayout(source))
+{
+    int hardware = static_cast<int>(std::thread::hardware_concurrency());
+    if (hardware <= 0) hardware = 1;
+    workers_ = pool.workers > 0 ? pool.workers : hardware;
+    const size_t n_frames = layout_.frames.size();
+    if (n_frames > 0 && static_cast<size_t>(workers_) > n_frames) {
+        workers_ = static_cast<int>(n_frames);
+    }
+    if (workers_ < 1) workers_ = 1;
+    max_in_flight_ = pool.max_in_flight > 0
+                         ? static_cast<size_t>(pool.max_in_flight)
+                         : 2 * static_cast<size_t>(workers_);
+    if (max_in_flight_ < 1) max_in_flight_ = 1;
+    if (kTelemetryEnabled && options_.telemetry == nullptr) {
+        owned_sink_ = std::make_shared<Telemetry>();
+        options_.telemetry = owned_sink_.get();
+    }
+    if (n_frames == 0) return;  // nothing to decode; spawn no threads
+    ResolveIsa(options_);  // validate the ISA here, not on a worker thread
+    threads_.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+        threads_.emplace_back(
+            [this, w] { WorkerLoop(static_cast<size_t>(w)); });
+    }
+}
+
+ParallelStreamDecoder::~ParallelStreamDecoder()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    space_cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+}
+
+void
+ParallelStreamDecoder::WorkerLoop(size_t)
+{
+    ScratchArena arena;
+    arena.SetKernelIsa(ResolveIsa(options_));
+    Telemetry* sink = SinkOf(options_);
+    TelemetryShard shard;
+    if (sink != nullptr) arena.SetTelemetryShard(&shard);
+    Bytes staging;
+    for (;;) {
+        size_t seq = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            space_cv_.wait(lock, [&] {
+                return stop_ || next_claim_ >= layout_.frames.size() ||
+                       next_claim_ - next_deliver_ < max_in_flight_;
+            });
+            if (stop_ || next_claim_ >= layout_.frames.size()) break;
+            seq = next_claim_++;
+        }
+        FrameResult result;
+        const uint64_t t0 = sink != nullptr ? TelemetryNowNs() : 0;
+        const SeekIndexEntry& frame = layout_.frames[seq];
+        try {
+            ByteSpan body = source_.View(
+                frame.frame_offset, static_cast<size_t>(frame.frame_size));
+            if (body.size() != frame.frame_size) {
+                staging.resize(static_cast<size_t>(frame.frame_size));
+                source_.ReadAt(frame.frame_offset, staging);
+                body = ByteSpan(staging);
+            }
+            result.data = RunDecompressSerial(body, arena);
+        } catch (...) {
+            result.error = std::current_exception();
+        }
+        if (sink != nullptr && result.error == nullptr) {
+            sink->AddDecompress(frame.frame_size, result.data.size(),
+                                TelemetryNowNs() - t0);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            results_.emplace(seq, std::move(result));
+            ready_cv_.notify_all();
+        }
+    }
+    if (sink != nullptr) {
+        shard.arena_high_water_bytes =
+            std::max(shard.arena_high_water_bytes,
+                     static_cast<uint64_t>(arena.CapacityBytes()));
+        arena.SetTelemetryShard(nullptr);
+        sink->Merge(shard);
+    }
+}
+
+Bytes
+ParallelStreamDecoder::NextFrame()
+{
+    FPC_PARSE_CHECK_AT(HasNext(), "no more frames", kStage, next_deliver_);
+    FrameResult result;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const size_t seq = next_deliver_;
+        ready_cv_.wait(lock,
+                       [&] { return results_.find(seq) != results_.end(); });
+        auto it = results_.find(seq);
+        result = std::move(it->second);
+        results_.erase(it);
+        ++next_deliver_;
+    }
+    // Delivering one frame frees one in-flight slot.
+    space_cv_.notify_all();
+    if (result.error != nullptr) std::rethrow_exception(result.error);
+    return std::move(result.data);
+}
+
+TelemetrySnapshot
+ParallelStreamDecoder::stats()
+{
+    // After the last frame is delivered the workers are done; join them
+    // so every per-worker shard has merged before the snapshot.
+    if (!HasNext() && !threads_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        space_cv_.notify_all();
+        for (std::thread& thread : threads_) thread.join();
+        threads_.clear();
+    }
+    Telemetry* sink = SinkOf(options_);
+    return sink != nullptr ? sink->Snapshot() : TelemetrySnapshot{};
 }
 
 }  // namespace fpc

@@ -5,14 +5,29 @@
  * compresses one frame as an independent container and appends it, with a
  * varint length prefix, to the stream. Frames can be decompressed in
  * order on any device path.
+ *
+ * Decoding reads through a ByteSource (util/byte_source.h), so a stream
+ * on disk is consumed frame-at-a-time via pread/mmap ranged reads — the
+ * whole file is never required resident. FinishWithIndex() appends the
+ * trailing seek index (core/container.h) that makes a stream seekable;
+ * ResolveStreamLayout() recovers the frame table either from that index
+ * (O(index size)) or by a sequential header scan (one small read per
+ * frame), and ParallelStreamDecoder pipelines frame decodes through a
+ * bounded worker pool with ordered delivery.
  */
 #ifndef FPC_CORE_STREAM_H
 #define FPC_CORE_STREAM_H
 
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "core/codec.h"
+#include "core/container.h"
 #include "core/telemetry.h"
+#include "util/byte_source.h"
 
 namespace fpc {
 
@@ -31,15 +46,28 @@ class StreamCompressor {
     }
 
     /** Compress one frame and append it to the stream. Returns the
-     *  compressed frame size in bytes (excluding the length prefix). */
+     *  compressed frame size in bytes (excluding the length prefix).
+     *  Throws UsageError after FinishWithIndex(). */
     size_t PutFrame(ByteSpan frame);
 
     /** Typed helpers. */
     size_t PutFloats(std::span<const float> values);
     size_t PutDoubles(std::span<const double> values);
 
+    /**
+     * Append the trailing seek index (format v2) and return the finished
+     * stream. Requires every frame to have held whole elements of the
+     * algorithm's word size (throws UsageError otherwise — element-ranged
+     * seeks would be meaningless). Idempotent; PutFrame afterwards throws.
+     * Streams without this call stay exactly as before (index-less).
+     */
+    const Bytes& FinishWithIndex();
+
     /** The accumulated stream; valid until the next PutFrame call. */
     const Bytes& Stream() const { return stream_; }
+
+    /** Per-frame entries accumulated so far (offsets, element prefix). */
+    const std::vector<SeekIndexEntry>& FrameIndex() const { return index_; }
 
     /** Total uncompressed bytes consumed so far. */
     uint64_t BytesIn() const { return bytes_in_; }
@@ -60,27 +88,77 @@ class StreamCompressor {
     Algorithm algorithm_;
     Options options_;
     Bytes stream_;
+    std::vector<SeekIndexEntry> index_;
     uint64_t bytes_in_ = 0;
     size_t frame_count_ = 0;
+    bool finished_ = false;
+    bool unaligned_ = false;  ///< some frame was not whole elements
     std::shared_ptr<Telemetry> owned_sink_;
 };
 
-/** Frame-oriented decompressor reading from a stream buffer. */
+/**
+ * Resolved layout of a compressed input: its frame table, the format it
+ * was recognised as, and how the table was recovered. Frames reuse
+ * SeekIndexEntry (frame_offset = container body offset, prefix excluded);
+ * a bare container appears as one pseudo-frame at offset 0.
+ */
+struct StreamLayout {
+    enum class Format : uint8_t {
+        kContainer,  ///< bare container ("FPCZ" at offset 0)
+        kStream,     ///< varint-prefixed frame sequence
+    };
+
+    Format format = Format::kStream;
+    bool from_index = false;  ///< recovered from a trailing seek index
+    std::vector<SeekIndexEntry> frames;
+    uint64_t frames_end = 0;  ///< where frame data ends (index start / EOF)
+
+    uint64_t
+    TotalElements() const
+    {
+        return frames.empty() ? 0
+                              : frames.back().element_prefix +
+                                    frames.back().element_count;
+    }
+
+    /** Frame covering global @p element (< TotalElements()). */
+    size_t
+    FrameCovering(uint64_t element) const
+    {
+        return FrameCoveringElement(frames, element);
+    }
+};
+
+/**
+ * Recognise the input in @p source and recover its frame table: a bare
+ * container becomes one pseudo-frame; a stream with a valid seek index
+ * resolves in O(index); an index-less stream is scanned sequentially
+ * (varint + container header per frame — payloads are not read). Throws
+ * CorruptStreamError for damaged inputs, including a present-but-damaged
+ * index (which is never silently ignored: a reader that followed the
+ * sequential fallback after a bad checksum could mis-read a stream whose
+ * tail is not frame data).
+ */
+StreamLayout ResolveStreamLayout(const ByteSource& source);
+
+/** Frame-oriented decompressor reading from a ByteSource (or a stream
+ *  buffer, wrapped in one). Detects a trailing seek index up front so
+ *  sequential reads stop at the end of frame data; a damaged index
+ *  footer throws CorruptStreamError from the constructor. */
 class StreamDecompressor {
  public:
-    explicit StreamDecompressor(ByteSpan stream, Options options = {})
-        : stream_(stream), options_(options) {}
+    explicit StreamDecompressor(ByteSpan stream, Options options = {});
 
     /** Decompress frames on a specific backend (core/executor.h). */
     StreamDecompressor(ByteSpan stream, const Executor& executor,
-                       Options options = {})
-        : stream_(stream), options_(options)
-    {
-        options_.executor = &executor;
-    }
+                       Options options = {});
+
+    /** Read frames through @p source (caller keeps it alive). */
+    explicit StreamDecompressor(const ByteSource& source,
+                                Options options = {});
 
     /** True when at least one more frame is available. */
-    bool HasNext() const { return pos_ < stream_.size(); }
+    bool HasNext() const { return pos_ < data_end_; }
 
     /** Decompress the next frame. Throws CorruptStreamError on damage. */
     Bytes NextFrame();
@@ -95,13 +173,93 @@ class StreamDecompressor {
 
  private:
     /** Parse the next frame without consuming it; @p advance receives the
-     *  byte count (prefix + frame) to add to pos_ on consumption. */
-    ByteSpan PeekFrame(size_t& advance) const;
+     *  byte count (prefix + frame) to add to pos_ on consumption. The
+     *  returned span is valid until the next PeekFrame call. */
+    ByteSpan PeekFrame(size_t& advance);
 
-    ByteSpan stream_;
+    const ByteSource& Source() const { return *source_; }
+
+    std::unique_ptr<MemoryByteSource> owned_source_;  ///< span ctor only
+    const ByteSource* source_ = nullptr;
     Options options_;
-    size_t pos_ = 0;
+    uint64_t pos_ = 0;
+    uint64_t data_end_ = 0;  ///< frame data ends here (seek index excluded)
+    Bytes frame_buf_;        ///< ReadAt staging when View() is unavailable
     std::shared_ptr<Telemetry> owned_sink_;
+};
+
+/** Knobs of the parallel streaming decoder. */
+struct StreamPoolOptions {
+    /** Worker threads; 0 = hardware concurrency. */
+    int workers = 0;
+    /** Max frames claimed but not yet delivered (backpressure bound on
+     *  decoded-frame memory); 0 = 2 x workers. */
+    int max_in_flight = 0;
+};
+
+/**
+ * Parallel streaming decode over a ByteSource: frames are claimed by a
+ * bounded pool of workers, each decoding serially against one persistent
+ * arena (buffers stay warm across frames), and delivered strictly in
+ * stream order. Backpressure: at most `max_in_flight` frames are claimed
+ * ahead of the consumer, so peak memory is bounded by in-flight decoded
+ * frames — never by the file. A frame that fails to decode surfaces its
+ * typed error from NextFrame() at that frame's turn; later frames remain
+ * retrievable. The pool always decodes on host threads (Options::executor
+ * is not consulted; the kernel ISA from Options::with_isa is honoured).
+ */
+class ParallelStreamDecoder {
+ public:
+    explicit ParallelStreamDecoder(const ByteSource& source,
+                                   StreamPoolOptions pool = {},
+                                   Options options = {});
+    ~ParallelStreamDecoder();
+
+    ParallelStreamDecoder(const ParallelStreamDecoder&) = delete;
+    ParallelStreamDecoder& operator=(const ParallelStreamDecoder&) = delete;
+
+    /** Frames in the stream (resolved up front). */
+    size_t FrameCount() const { return layout_.frames.size(); }
+
+    /** True when the frame table came from a trailing seek index. */
+    bool UsedIndex() const { return layout_.from_index; }
+
+    /** True when at least one more frame is available. */
+    bool HasNext() const { return next_deliver_ < layout_.frames.size(); }
+
+    /** The next frame, in stream order (blocks until its decode lands). */
+    Bytes NextFrame();
+
+    /** Aggregated decode metrics (codec-owned sink unless one was passed
+     *  via Options::with_telemetry). */
+    TelemetrySnapshot stats();
+
+    /** Actual worker count after clamping. */
+    int Workers() const { return workers_; }
+
+ private:
+    struct FrameResult {
+        Bytes data;
+        std::exception_ptr error;
+    };
+
+    void WorkerLoop(size_t worker_id);
+
+    const ByteSource& source_;
+    Options options_;
+    StreamLayout layout_;
+    int workers_ = 1;
+    size_t max_in_flight_ = 1;
+    std::shared_ptr<Telemetry> owned_sink_;
+
+    std::mutex mutex_;
+    std::condition_variable space_cv_;  ///< workers wait for claim room
+    std::condition_variable ready_cv_;  ///< consumer waits for next frame
+    size_t next_claim_ = 0;
+    size_t next_deliver_ = 0;
+    bool stop_ = false;
+    std::map<size_t, FrameResult> results_;
+    std::vector<std::thread> threads_;
 };
 
 }  // namespace fpc

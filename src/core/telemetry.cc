@@ -67,6 +67,13 @@ Telemetry::AddDecompress(uint64_t input_bytes, uint64_t output_bytes,
 }
 
 void
+Telemetry::AddRangedRead(const RangedTotals& delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.ranged.Add(delta);
+}
+
+void
 Telemetry::SetContext(const std::string& executor, Algorithm algorithm,
                       const char* isa)
 {
@@ -147,8 +154,8 @@ AppendDigest(std::string& out, const char* key,
 
 }  // namespace
 
-// Schema "fpc.telemetry.v2" (v1 + latency-histogram digests): the key
-// set, nesting, and the fixed seven-entry stage order below are
+// Schema "fpc.telemetry.v3" (v2 + the "ranged" random-access block): the
+// key set, nesting, and the fixed seven-entry stage order below are
 // load-bearing — fpczip --stats, the figure benches' CSV columns, the
 // bench-regression baselines, and tools/check_stats_schema.py all
 // consume this shape. Extend by adding keys; never rename or reorder
@@ -158,14 +165,26 @@ ToJson(const TelemetrySnapshot& snapshot)
 {
     std::string out;
     out.reserve(3072);
-    out += "{\"schema\": \"fpc.telemetry.v2\", ";
+    out += "{\"schema\": \"fpc.telemetry.v3\", ";
     out += "\"executor\": \"" + snapshot.executor + "\", ";
     out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
     out += "\"isa\": \"" + snapshot.isa + "\", ";
     AppendRunTotals(out, "compress", snapshot.compress);
     out += ", ";
     AppendRunTotals(out, "decompress", snapshot.decompress);
-    out += ", \"chunks\": {";
+    out += ", \"ranged\": {";
+    AppendField(out, "calls", snapshot.ranged.calls, false);
+    AppendField(out, "elements", snapshot.ranged.elements, false);
+    AppendField(out, "frames_decoded", snapshot.ranged.frames_decoded,
+                false);
+    AppendField(out, "chunks_decoded", snapshot.ranged.chunks_decoded,
+                false);
+    AppendField(out, "chunks_skipped", snapshot.ranged.chunks_skipped,
+                false);
+    AppendField(out, "io_reads", snapshot.ranged.io_reads, false);
+    AppendField(out, "io_bytes", snapshot.ranged.io_bytes, false);
+    AppendField(out, "index_hits", snapshot.ranged.index_hits, true);
+    out += "}, \"chunks\": {";
     AppendField(out, "encoded", snapshot.counters.chunks_encoded, false);
     AppendField(out, "raw_fallback", snapshot.counters.chunks_raw, false);
     AppendField(out, "decoded", snapshot.counters.chunks_decoded, true);

@@ -29,9 +29,9 @@
  *    container totals (asserted by tests/telemetry_test.cc).
  *
  * The JSON exported by ToJson() is a stable, versioned schema
- * ("fpc.telemetry.v2": v1 plus per-stage and per-chunk latency-histogram
- * digests) consumed by `fpczip --stats`, the eval harness, and the
- * figure benches; tools/check_stats_schema.py pins it. Timeline tracing
+ * ("fpc.telemetry.v3": v2 plus the "ranged" random-access block) consumed
+ * by `fpczip --stats`, the eval harness, and the figure benches;
+ * tools/check_stats_schema.py pins it. Timeline tracing
  * (span-level, exported as Chrome trace-event JSON) lives in
  * core/trace.h and shares this file's shard/barrier machinery.
  */
@@ -242,11 +242,43 @@ struct RunTotals {
     uint64_t wall_ns = 0;
 };
 
+/**
+ * Random-access (ranged-read) totals: what a DecompressRange call touched
+ * versus what it was able to skip. `chunks_skipped` counts chunks of the
+ * covering frames that the range proved unnecessary to decode;
+ * io_reads/io_bytes come from the ByteSource counters, so they reflect
+ * actual ranged I/O, not file size.
+ */
+struct RangedTotals {
+    uint64_t calls = 0;           ///< DecompressRange invocations
+    uint64_t elements = 0;        ///< elements returned
+    uint64_t frames_decoded = 0;  ///< frames a range touched
+    uint64_t chunks_decoded = 0;  ///< chunks decoded for ranges
+    uint64_t chunks_skipped = 0;  ///< covering-frame chunks not decoded
+    uint64_t io_reads = 0;        ///< ByteSource reads issued
+    uint64_t io_bytes = 0;        ///< ByteSource bytes fetched
+    uint64_t index_hits = 0;      ///< calls resolved via a seek index
+
+    void
+    Add(const RangedTotals& other)
+    {
+        calls += other.calls;
+        elements += other.elements;
+        frames_decoded += other.frames_decoded;
+        chunks_decoded += other.chunks_decoded;
+        chunks_skipped += other.chunks_skipped;
+        io_reads += other.io_reads;
+        io_bytes += other.io_bytes;
+        index_hits += other.index_hits;
+    }
+};
+
 /** Aggregated view of a sink; a plain value, safe to copy and inspect
  *  after the sink keeps collecting. */
 struct TelemetrySnapshot {
     RunTotals compress;
     RunTotals decompress;
+    RangedTotals ranged;
     TelemetryShard counters;
     std::string executor;   ///< last executor name recorded
     std::string algorithm;  ///< last algorithm name recorded
@@ -254,7 +286,7 @@ struct TelemetrySnapshot {
 };
 
 /** Render a snapshot as one line of schema-stable JSON
- *  ("fpc.telemetry.v2"; see DESIGN.md "Observability"). */
+ *  ("fpc.telemetry.v3"; see DESIGN.md "Observability"). */
 std::string ToJson(const TelemetrySnapshot& snapshot);
 
 /**
@@ -277,6 +309,9 @@ class Telemetry {
                      uint64_t wall_ns);
     void AddDecompress(uint64_t input_bytes, uint64_t output_bytes,
                        uint64_t wall_ns);
+
+    /** Record one DecompressRange call's touched/skipped totals. */
+    void AddRangedRead(const RangedTotals& delta);
 
     /** Record which backend/algorithm/kernel-ISA the (last) run used. */
     void SetContext(const std::string& executor, Algorithm algorithm,

@@ -241,4 +241,12 @@ DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
                       DevicePreDecode(sink, trace));
 }
 
+void
+DecodeChunksOnDevice(const Device& device, const ContainerView& view,
+                     const PipelineSpec& spec, std::byte* dest,
+                     Telemetry* sink, TraceSink* trace)
+{
+    DecodeChunksOn(device, sink, trace)(view, spec, dest);
+}
+
 }  // namespace fpc::gpusim

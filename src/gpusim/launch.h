@@ -10,6 +10,8 @@
 #ifndef FPC_GPUSIM_LAUNCH_H
 #define FPC_GPUSIM_LAUNCH_H
 
+#include "core/container.h"
+#include "core/pipeline.h"
 #include "core/types.h"
 #include "gpusim/device.h"
 
@@ -36,6 +38,14 @@ void DecompressIntoOnDevice(const Device& device, ByteSpan compressed,
                             std::span<std::byte> out,
                             Telemetry* sink = nullptr,
                             TraceSink* trace = nullptr);
+
+/** Decode every chunk of @p view into @p dest through the grid launch —
+ *  the Executor::DecodeChunks hook for the device backends, used by the
+ *  ranged-read path to decode sub-containers with device scheduling. */
+void DecodeChunksOnDevice(const Device& device, const ContainerView& view,
+                          const PipelineSpec& spec, std::byte* dest,
+                          Telemetry* sink = nullptr,
+                          TraceSink* trace = nullptr);
 
 }  // namespace fpc::gpusim
 

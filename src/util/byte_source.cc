@@ -1,0 +1,181 @@
+#include "util/byte_source.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fpc {
+
+namespace {
+
+constexpr const char* kStage = "source";
+
+[[noreturn]] void
+ThrowErrno(const std::string& what, const std::string& path)
+{
+    throw UsageError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void
+ByteSource::CheckRange(uint64_t offset, uint64_t size) const
+{
+    // Subtract form: `offset + size` would wrap for a forged index entry
+    // near UINT64_MAX and pass the naive comparison.
+    FPC_PARSE_CHECK_AT(offset <= Size() && size <= Size() - offset,
+                       "ranged read outside the stream", kStage,
+                       static_cast<size_t>(offset));
+}
+
+ByteSpan
+ByteSource::View(uint64_t offset, size_t size) const
+{
+    CheckRange(offset, size);
+    return {};
+}
+
+void
+MemoryByteSource::ReadAt(uint64_t offset, std::span<std::byte> dest) const
+{
+    CheckRange(offset, dest.size());
+    if (dest.empty()) return;
+    std::memcpy(dest.data(), data_.data() + offset, dest.size());
+    Count(dest.size());
+}
+
+ByteSpan
+MemoryByteSource::View(uint64_t offset, size_t size) const
+{
+    CheckRange(offset, size);
+    Count(size);
+    return data_.subspan(static_cast<size_t>(offset), size);
+}
+
+FdByteSource::FdByteSource(const std::string& path)
+{
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) ThrowErrno("cannot open", path);
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        ThrowErrno("cannot stat", path);
+    }
+    size_ = static_cast<uint64_t>(st.st_size);
+}
+
+FdByteSource::~FdByteSource()
+{
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void
+FdByteSource::ReadAt(uint64_t offset, std::span<std::byte> dest) const
+{
+    CheckRange(offset, dest.size());
+    size_t done = 0;
+    while (done < dest.size()) {
+        const ssize_t got =
+            ::pread(fd_, dest.data() + done, dest.size() - done,
+                    static_cast<off_t>(offset + done));
+        if (got < 0) {
+            if (errno == EINTR) continue;
+            throw CorruptStreamError(
+                kStage, static_cast<size_t>(offset + done),
+                std::string("pread failed: ") + std::strerror(errno));
+        }
+        // 0 inside the stat-derived size means the file shrank under us.
+        FPC_PARSE_CHECK_AT(got != 0, "file truncated during read", kStage,
+                           static_cast<size_t>(offset + done));
+        done += static_cast<size_t>(got);
+    }
+    Count(dest.size());
+}
+
+MmapByteSource::MmapByteSource(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) ThrowErrno("cannot open", path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        ThrowErrno("cannot stat", path);
+    }
+    size_ = static_cast<uint64_t>(st.st_size);
+    if (size_ > 0) {
+        map_ = ::mmap(nullptr, static_cast<size_t>(size_), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+        if (map_ == MAP_FAILED) {
+            map_ = nullptr;
+            ::close(fd);
+            ThrowErrno("cannot mmap", path);
+        }
+    }
+    ::close(fd);  // the mapping keeps the file alive
+}
+
+MmapByteSource::~MmapByteSource()
+{
+    if (map_ != nullptr) ::munmap(map_, static_cast<size_t>(size_));
+}
+
+void
+MmapByteSource::ReadAt(uint64_t offset, std::span<std::byte> dest) const
+{
+    CheckRange(offset, dest.size());
+    if (dest.empty()) return;
+    std::memcpy(dest.data(),
+                static_cast<const std::byte*>(map_) + offset, dest.size());
+    Count(dest.size());
+}
+
+ByteSpan
+MmapByteSource::View(uint64_t offset, size_t size) const
+{
+    CheckRange(offset, size);
+    Count(size);
+    return {static_cast<const std::byte*>(map_) + offset, size};
+}
+
+std::unique_ptr<ByteSource>
+OpenByteSource(const std::string& path, ReadStrategy strategy)
+{
+    switch (strategy) {
+      case ReadStrategy::kPread:
+        return std::make_unique<FdByteSource>(path);
+      case ReadStrategy::kMmap:
+        return std::make_unique<MmapByteSource>(path);
+      case ReadStrategy::kAuto:
+        break;
+    }
+    try {
+        return std::make_unique<MmapByteSource>(path);
+    } catch (const UsageError&) {
+        // mmap can fail where pread works (special files, exotic mounts).
+        return std::make_unique<FdByteSource>(path);
+    }
+}
+
+ReadStrategy
+ParseReadStrategy(const std::string& name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name) {
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "auto") return ReadStrategy::kAuto;
+    if (lower == "pread" || lower == "fd") return ReadStrategy::kPread;
+    if (lower == "mmap") return ReadStrategy::kMmap;
+    throw UsageError("unknown read strategy \"" + name +
+                     "\" (auto, pread, mmap)");
+}
+
+}  // namespace fpc

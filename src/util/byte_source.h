@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ranged-read abstraction over compressed input. Every decode-side layer
+ * that used to demand a whole `ByteSpan` resident in memory reads through
+ * a ByteSource instead, so production-size inputs (multi-GB checkpoint
+ * streams, DB column files) are touched only where a decode actually
+ * needs bytes:
+ *
+ *   MemoryByteSource  — wraps a caller-owned span (zero-copy views)
+ *   FdByteSource      — pread(2) ranged reads from an open fd; the file
+ *                       is never mapped or buffered whole
+ *   MmapByteSource    — read-only mmap of a file (zero-copy views; the
+ *                       kernel pages in only what is accessed)
+ *
+ * The contract every implementation obeys:
+ *  - `Size()` is fixed for the lifetime of the source.
+ *  - `ReadAt(offset, dest)` fills dest completely or throws
+ *    CorruptStreamError (a short read means the stream lies about its
+ *    own layout — the caller computed `offset` from parsed metadata).
+ *    Out-of-bounds requests throw rather than clamp, so layout bugs and
+ *    forged indices surface as typed errors, never as silent short data.
+ *  - `View(offset, size)` returns a zero-copy span when the bytes are
+ *    addressable (memory, mmap) and an empty span otherwise; callers
+ *    fall back to ReadAt into their own buffer. A returned view stays
+ *    valid for the lifetime of the source.
+ *  - Reads are thread-safe and stateless (no shared cursor), so the
+ *    parallel streaming decoder can read frames concurrently.
+ *
+ * Implementations count reads/bytes (relaxed atomics — exactness under
+ * races is not required) so the ranged-read telemetry can report how
+ * little of a file a seek or range decode actually touched.
+ */
+#ifndef FPC_UTIL_BYTE_SOURCE_H
+#define FPC_UTIL_BYTE_SOURCE_H
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "util/common.h"
+
+namespace fpc {
+
+/** Read counters of a ByteSource (telemetry: "ranged" block). */
+struct ByteSourceStats {
+    uint64_t reads = 0;  ///< ReadAt/View calls served
+    uint64_t bytes = 0;  ///< bytes handed out
+};
+
+/** Random-access byte provider; see the file comment for the contract. */
+class ByteSource {
+ public:
+    virtual ~ByteSource() = default;
+
+    /** Total size in bytes of the underlying stream. */
+    virtual uint64_t Size() const = 0;
+
+    /** Fill @p dest from @p offset. Throws CorruptStreamError when the
+     *  request does not lie fully inside [0, Size()). */
+    virtual void ReadAt(uint64_t offset, std::span<std::byte> dest) const = 0;
+
+    /** Zero-copy view of [offset, offset+size), or an empty span when the
+     *  source cannot address its bytes directly (then use ReadAt). Throws
+     *  CorruptStreamError for out-of-bounds requests. */
+    virtual ByteSpan View(uint64_t offset, size_t size) const;
+
+    /** Validate that [offset, offset+size) lies inside the stream without
+     *  reading it; throws the same CorruptStreamError a read would. Lets
+     *  parsers reject forged offsets before sizing buffers from them. */
+    void CheckRangeIsReadable(uint64_t offset, uint64_t size) const
+    {
+        CheckRange(offset, size);
+    }
+
+    /** Read counters accumulated since construction. */
+    ByteSourceStats Stats() const
+    {
+        return {reads_.load(std::memory_order_relaxed),
+                bytes_.load(std::memory_order_relaxed)};
+    }
+
+ protected:
+    /** Bounds check shared by implementations; throws CorruptStreamError
+     *  (stage "source") in subtract form so near-SIZE_MAX offsets cannot
+     *  wrap. */
+    void CheckRange(uint64_t offset, uint64_t size) const;
+
+    void
+    Count(uint64_t bytes) const
+    {
+        reads_.fetch_add(1, std::memory_order_relaxed);
+        bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+
+ private:
+    mutable std::atomic<uint64_t> reads_{0};
+    mutable std::atomic<uint64_t> bytes_{0};
+};
+
+/** ByteSource over caller-owned memory (the span must outlive it). */
+class MemoryByteSource final : public ByteSource {
+ public:
+    explicit MemoryByteSource(ByteSpan data) : data_(data) {}
+
+    uint64_t Size() const override { return data_.size(); }
+    void ReadAt(uint64_t offset, std::span<std::byte> dest) const override;
+    ByteSpan View(uint64_t offset, size_t size) const override;
+
+ private:
+    ByteSpan data_;
+};
+
+/** ByteSource over an open file descriptor via pread(2); the whole file
+ *  is never resident. Owns the fd. */
+class FdByteSource final : public ByteSource {
+ public:
+    /** Open @p path read-only. Throws UsageError on open/stat failure. */
+    explicit FdByteSource(const std::string& path);
+    ~FdByteSource() override;
+
+    FdByteSource(const FdByteSource&) = delete;
+    FdByteSource& operator=(const FdByteSource&) = delete;
+
+    uint64_t Size() const override { return size_; }
+    void ReadAt(uint64_t offset, std::span<std::byte> dest) const override;
+
+ private:
+    int fd_ = -1;
+    uint64_t size_ = 0;
+};
+
+/** ByteSource over a read-only mmap of a file (zero-copy views). */
+class MmapByteSource final : public ByteSource {
+ public:
+    /** Map @p path read-only. Throws UsageError on open/map failure. */
+    explicit MmapByteSource(const std::string& path);
+    ~MmapByteSource() override;
+
+    MmapByteSource(const MmapByteSource&) = delete;
+    MmapByteSource& operator=(const MmapByteSource&) = delete;
+
+    uint64_t Size() const override { return size_; }
+    void ReadAt(uint64_t offset, std::span<std::byte> dest) const override;
+    ByteSpan View(uint64_t offset, size_t size) const override;
+
+ private:
+    void* map_ = nullptr;
+    uint64_t size_ = 0;
+};
+
+/** How OpenByteSource should back a file. */
+enum class ReadStrategy : uint8_t {
+    kAuto = 0,  ///< mmap when available, fd/pread otherwise
+    kPread,     ///< always FdByteSource
+    kMmap,      ///< always MmapByteSource (throws where unsupported)
+};
+
+/** Open @p path as a ByteSource. Throws UsageError on failure. */
+std::unique_ptr<ByteSource> OpenByteSource(
+    const std::string& path, ReadStrategy strategy = ReadStrategy::kAuto);
+
+/** Parse "auto" | "pread" | "mmap" (case-insensitive); UsageError else. */
+ReadStrategy ParseReadStrategy(const std::string& name);
+
+}  // namespace fpc
+
+#endif  // FPC_UTIL_BYTE_SOURCE_H

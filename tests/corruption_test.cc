@@ -338,5 +338,195 @@ TEST(CorruptionStream, CorruptFrameLeavesCursorForRetry)
     EXPECT_FALSE(dec.HasNext());
 }
 
+/** An indexed golden stream for the seek-index sweeps: three SPspeed
+ *  frames plus the trailing index. Returns the original bytes too. */
+Bytes
+GoldenIndexedStream(Bytes& original)
+{
+    original = SmoothInput(3 * 9000 + 2000, 0x5eed);
+    original.resize(original.size() - original.size() % sizeof(float));
+    StreamCompressor compressor(Algorithm::kSPspeed);
+    const size_t step = 9000 - 9000 % sizeof(float);
+    for (size_t at = 0; at < original.size(); at += step) {
+        compressor.PutFrame(ByteSpan(original).subspan(
+            at, std::min(step, original.size() - at)));
+    }
+    return compressor.FinishWithIndex();
+}
+
+/**
+ * The "never mis-seek" property under one mutant: the stream either
+ * decodes (via the layout the resolver picked — index or fallback scan)
+ * to exactly the original bytes, or throws CorruptStreamError. Silently
+ * wrong bytes, other exception types, crashes, and allocation spikes all
+ * fail.
+ */
+void
+ExpectSafeSeek(ByteSpan stream, const Bytes& original, size_t pos,
+               int mutant)
+{
+    g_max_alloc.store(0, std::memory_order_relaxed);
+    MemoryByteSource source{stream};
+    try {
+        const Bytes out = DecompressRange(
+            source, 0, original.size() / sizeof(float), Options{});
+        EXPECT_EQ(out, original)
+            << "mutant " << mutant << " at index byte " << pos
+            << " mis-seeked to wrong bytes";
+    } catch (const CorruptStreamError&) {
+        // The expected rejection of a damaged index (or of index bytes
+        // scanned as frames after the footer magic was destroyed).
+    }
+    EXPECT_LE(g_max_alloc.load(std::memory_order_relaxed),
+              kMaxSingleAllocation)
+        << "oversized allocation for mutant " << mutant << " at byte "
+        << pos;
+}
+
+TEST(CorruptionSeekIndex, EveryIndexByteMutationRejectedOrHarmless)
+{
+    Bytes original;
+    Bytes stream = GoldenIndexedStream(original);
+    {
+        // Locate the index region from the clean stream.
+        MemoryByteSource source{ByteSpan(stream)};
+        const std::optional<SeekIndex> index = TryParseSeekIndex(source);
+        ASSERT_TRUE(index.has_value());
+        ASSERT_EQ(index->frames.size(), 4u);
+        // Clean stream decodes through the index.
+        ExpectSafeSeek(ByteSpan(stream), original, SIZE_MAX, -1);
+
+        // Sweep every byte of the entries block and the footer with all
+        // three mutants.
+        for (size_t pos = index->index_offset; pos < stream.size(); ++pos) {
+            const auto orig = static_cast<uint8_t>(stream[pos]);
+            const uint8_t mutants[3] = {
+                static_cast<uint8_t>(orig ^ 0x01), 0x00, 0xff};
+            for (int m = 0; m < 3; ++m) {
+                if (mutants[m] == orig) continue;
+                stream[pos] = static_cast<std::byte>(mutants[m]);
+                ExpectSafeSeek(ByteSpan(stream), original, pos, m);
+            }
+            stream[pos] = static_cast<std::byte>(orig);
+        }
+    }
+}
+
+TEST(CorruptionSeekIndex, EveryIndexTruncationRejectedOrHarmless)
+{
+    Bytes original;
+    const Bytes stream = GoldenIndexedStream(original);
+    MemoryByteSource clean{ByteSpan(stream)};
+    const std::optional<SeekIndex> index = TryParseSeekIndex(clean);
+    ASSERT_TRUE(index.has_value());
+
+    // Cutting anywhere inside the index region removes the footer magic
+    // from EOF: the stream must parse index-less (exact cut at the frame
+    // data boundary) or throw — never follow a half-index.
+    for (size_t len = index->index_offset; len < stream.size(); ++len) {
+        ExpectSafeSeek(ByteSpan(stream.data(), len), original, len, 3);
+    }
+}
+
+TEST(CorruptionSeekIndex, DamagedFooterThrowsFromEveryEntryPoint)
+{
+    Bytes original;
+    Bytes stream = GoldenIndexedStream(original);
+    // Destroy the index checksum (first 8 bytes of the footer).
+    const size_t footer = stream.size() - SeekIndex::kFooterSize;
+    stream[footer] ^= std::byte{0xff};
+
+    MemoryByteSource source{ByteSpan(stream)};
+    EXPECT_THROW(TryParseSeekIndex(source), CorruptStreamError);
+    EXPECT_THROW(ResolveStreamLayout(source), CorruptStreamError);
+    EXPECT_THROW(StreamDecompressor{ByteSpan(stream)}, CorruptStreamError);
+    EXPECT_THROW(
+        ParallelStreamDecoder(source, StreamPoolOptions{2, 0}, Options{}),
+        CorruptStreamError);
+    EXPECT_THROW(DecompressRange(source, 0, 1, Options{}),
+                 CorruptStreamError);
+}
+
+TEST(CorruptionSeekIndex, ForgedFrameOffsetsNeverReadOutOfBounds)
+{
+    // Hand-build footers whose entries point outside the stream or
+    // overlap; the checksum is made valid so only the semantic validation
+    // can reject them. Every case must throw, not read wild.
+    Bytes original;
+    const Bytes clean = GoldenIndexedStream(original);
+    MemoryByteSource clean_source{ByteSpan(clean)};
+    const std::optional<SeekIndex> index = TryParseSeekIndex(clean_source);
+    ASSERT_TRUE(index.has_value());
+
+    auto rebuild = [&](std::vector<SeekIndexEntry> frames) {
+        Bytes forged(clean.begin(),
+                     clean.begin() + static_cast<std::ptrdiff_t>(
+                                         index->index_offset));
+        // AppendSeekIndex itself asserts monotonic prefixes, so serialize
+        // the forged entries by hand with a correct checksum.
+        Bytes entries;
+        ByteWriter wr(entries);
+        for (const SeekIndexEntry& f : frames) {
+            wr.Put<uint64_t>(f.frame_offset);
+            wr.Put<uint64_t>(f.frame_size);
+            wr.Put<uint64_t>(f.element_count);
+            wr.Put<uint64_t>(f.element_prefix);
+        }
+        AppendBytes(forged, ByteSpan(entries));
+        ByteWriter footer(forged);
+        footer.Put<uint64_t>(Checksum64(ByteSpan(entries)));
+        footer.Put<uint64_t>(frames.size());
+        footer.Put<uint64_t>(entries.size());
+        footer.Put<uint32_t>(SeekIndex::kIndexVersion);
+        footer.Put<uint32_t>(SeekIndex::kFooterMagic);
+        return forged;
+    };
+
+    std::vector<SeekIndexEntry> good = index->frames;
+
+    {  // offset past the end of frame data
+        std::vector<SeekIndexEntry> frames = good;
+        frames[1].frame_offset = index->index_offset + 100;
+        Bytes forged = rebuild(frames);
+        MemoryByteSource source{ByteSpan(forged)};
+        EXPECT_THROW(TryParseSeekIndex(source), CorruptStreamError);
+    }
+    {  // size overrunning the index region
+        std::vector<SeekIndexEntry> frames = good;
+        frames.back().frame_size = index->index_offset;
+        Bytes forged = rebuild(frames);
+        MemoryByteSource source{ByteSpan(forged)};
+        EXPECT_THROW(TryParseSeekIndex(source), CorruptStreamError);
+    }
+    {  // overlapping frames
+        std::vector<SeekIndexEntry> frames = good;
+        frames[1].frame_offset = frames[0].frame_offset + 1;
+        Bytes forged = rebuild(frames);
+        MemoryByteSource source{ByteSpan(forged)};
+        EXPECT_THROW(TryParseSeekIndex(source), CorruptStreamError);
+    }
+    {  // inconsistent element prefix sum
+        std::vector<SeekIndexEntry> frames = good;
+        frames[2].element_prefix += 7;
+        Bytes forged = rebuild(frames);
+        MemoryByteSource source{ByteSpan(forged)};
+        EXPECT_THROW(TryParseSeekIndex(source), CorruptStreamError);
+    }
+    {  // element count lying about the frame header (mis-seek channel)
+        std::vector<SeekIndexEntry> frames = good;
+        frames[0].element_count -= 16;
+        for (size_t f = 1; f < frames.size(); ++f) {
+            frames[f].element_prefix -= 16;
+        }
+        Bytes forged = rebuild(frames);
+        MemoryByteSource source{ByteSpan(forged)};
+        // The per-frame header cross-check rejects it at decode time.
+        EXPECT_THROW(
+            DecompressRange(source, 0,
+                            original.size() / sizeof(float) - 16, Options{}),
+            CorruptStreamError);
+    }
+}
+
 }  // namespace
 }  // namespace fpc

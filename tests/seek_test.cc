@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Random access and parallel streaming decode (DESIGN.md "Container v2 &
+ * random access"):
+ *
+ *  - DecompressRange bit-identity against the same slice of a full
+ *    decode, on all four algorithms and both backends, across the edge
+ *    cases that matter: ranges on chunk boundaries, ranges spanning
+ *    frames, the empty range, single elements, and first+count past the
+ *    total (UsageError, not a short read);
+ *  - the chunk-skipping guarantee, asserted through the telemetry ranged
+ *    counters: a small range inside a large frame decodes only the
+ *    covering 16 KiB chunks (DPratio's whole-input FCM pre-stage
+ *    legitimately decodes the whole covering frame and is pinned to);
+ *  - ByteSource equivalence: memory, pread, and mmap backings return the
+ *    same bytes, and the fd path reads far less than the file for a
+ *    small range;
+ *  - StreamCompressor::FinishWithIndex invariants and v1 compatibility:
+ *    an indexed stream's frame bytes are byte-identical to the unindexed
+ *    stream, and index-less streams still resolve by sequential scan;
+ *  - ParallelStreamDecoder: ordered delivery equal to the serial decode
+ *    for every worker/in-flight combination, bounded pools, per-frame
+ *    error delivery at the failing frame's turn, and telemetry shard
+ *    aggregation.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/codec.h"
+#include "core/container.h"
+#include "core/executor.h"
+#include "core/stream.h"
+#include "core/telemetry.h"
+#include "util/byte_source.h"
+
+namespace fpc {
+namespace {
+
+/** Deterministic smooth values: compressible, so coded chunks are hit. */
+template <typename T>
+std::vector<T>
+SmoothValues(size_t n, uint64_t seed)
+{
+    std::vector<T> values(n);
+    uint64_t state = seed;
+    double x = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        x += (static_cast<double>((state >> 33) & 0x3ff) - 512.0) / 4096.0;
+        values[i] = static_cast<T>(x);
+    }
+    return values;
+}
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kSPspeed,
+    Algorithm::kSPratio,
+    Algorithm::kDPspeed,
+    Algorithm::kDPratio,
+};
+
+constexpr const char* kBackends[] = {"cpu", "gpusim:4090"};
+
+/** Indexed stream of @p frames frames over @p original (raw bytes). */
+Bytes
+MakeIndexedStream(Algorithm algorithm, const Bytes& original, size_t frames)
+{
+    const size_t word = AlgorithmWordSize(algorithm);
+    const size_t elements = original.size() / word;
+    const size_t per_frame = std::max<size_t>(1, elements / frames) * word;
+    StreamCompressor compressor(algorithm);
+    for (size_t at = 0; at < original.size(); at += per_frame) {
+        compressor.PutFrame(ByteSpan(original).subspan(
+            at, std::min(per_frame, original.size() - at)));
+    }
+    return compressor.FinishWithIndex();
+}
+
+TEST(SeekIndexFormat, AppendAndReparseRoundTrips)
+{
+    const auto values = SmoothValues<float>(40000, 1);
+    StreamCompressor compressor(Algorithm::kSPspeed);
+    compressor.PutFloats(std::span<const float>(values.data(), 15000));
+    compressor.PutFloats(std::span<const float>(values.data() + 15000,
+                                                25000));
+    const size_t unindexed_size = compressor.Stream().size();
+    const Bytes& stream = compressor.FinishWithIndex();
+
+    // v1 compatibility: the frame bytes are untouched; the index is a
+    // pure suffix.
+    EXPECT_EQ(stream.size(), unindexed_size +
+                                 2 * SeekIndex::kEntrySize +
+                                 SeekIndex::kFooterSize);
+
+    MemoryByteSource source{ByteSpan(stream)};
+    const std::optional<SeekIndex> index = TryParseSeekIndex(source);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(index->index_offset, unindexed_size);
+    ASSERT_EQ(index->frames.size(), 2u);
+    EXPECT_EQ(index->frames[0].element_count, 15000u);
+    EXPECT_EQ(index->frames[1].element_count, 25000u);
+    EXPECT_EQ(index->frames[1].element_prefix, 15000u);
+    EXPECT_EQ(index->TotalElements(), 40000u);
+    EXPECT_EQ(index->FrameCovering(0), 0u);
+    EXPECT_EQ(index->FrameCovering(14999), 0u);
+    EXPECT_EQ(index->FrameCovering(15000), 1u);
+    EXPECT_EQ(index->FrameCovering(39999), 1u);
+
+    // FinishWithIndex is idempotent; PutFrame afterwards is an error.
+    EXPECT_EQ(compressor.FinishWithIndex().size(), stream.size());
+    EXPECT_THROW(compressor.PutFloats(std::span<const float>(
+                     values.data(), 4)),
+                 UsageError);
+}
+
+TEST(SeekIndexFormat, UnalignedFramesRefuseAnIndex)
+{
+    StreamCompressor compressor(Algorithm::kSPspeed);
+    Bytes odd(6);  // not a multiple of sizeof(float)
+    compressor.PutFrame(ByteSpan(odd));
+    EXPECT_THROW(compressor.FinishWithIndex(), UsageError);
+}
+
+TEST(StreamLayoutResolve, IndexlessStreamScansSequentially)
+{
+    const auto values = SmoothValues<double>(9000, 2);
+    StreamCompressor compressor(Algorithm::kDPspeed);
+    compressor.PutDoubles(std::span<const double>(values.data(), 4000));
+    compressor.PutDoubles(std::span<const double>(values.data() + 4000,
+                                                  5000));
+    const Bytes& stream = compressor.Stream();  // no index appended
+
+    MemoryByteSource source{ByteSpan(stream)};
+    const StreamLayout layout = ResolveStreamLayout(source);
+    EXPECT_EQ(layout.format, StreamLayout::Format::kStream);
+    EXPECT_FALSE(layout.from_index);
+    ASSERT_EQ(layout.frames.size(), 2u);
+    EXPECT_EQ(layout.frames[0].element_count, 4000u);
+    EXPECT_EQ(layout.frames[1].element_count, 5000u);
+    EXPECT_EQ(layout.frames[1].element_prefix, 4000u);
+    EXPECT_EQ(layout.frames_end, stream.size());
+
+    // The scan and the index agree on the same stream.
+    const Bytes& indexed = compressor.FinishWithIndex();
+    MemoryByteSource indexed_source{ByteSpan(indexed)};
+    const StreamLayout from_index = ResolveStreamLayout(indexed_source);
+    EXPECT_TRUE(from_index.from_index);
+    ASSERT_EQ(from_index.frames.size(), 2u);
+    for (size_t f = 0; f < 2; ++f) {
+        EXPECT_EQ(from_index.frames[f].frame_offset,
+                  layout.frames[f].frame_offset);
+        EXPECT_EQ(from_index.frames[f].frame_size,
+                  layout.frames[f].frame_size);
+        EXPECT_EQ(from_index.frames[f].element_count,
+                  layout.frames[f].element_count);
+    }
+}
+
+TEST(StreamLayoutResolve, BareContainerIsOnePseudoFrame)
+{
+    const auto values = SmoothValues<float>(20000, 3);
+    const Bytes container =
+        Compress(Algorithm::kSPratio, AsBytes(std::span<const float>(
+                                          values.data(), values.size())));
+    MemoryByteSource source{ByteSpan(container)};
+    const StreamLayout layout = ResolveStreamLayout(source);
+    EXPECT_EQ(layout.format, StreamLayout::Format::kContainer);
+    ASSERT_EQ(layout.frames.size(), 1u);
+    EXPECT_EQ(layout.frames[0].frame_offset, 0u);
+    EXPECT_EQ(layout.frames[0].frame_size, container.size());
+    EXPECT_EQ(layout.frames[0].element_count, 20000u);
+}
+
+TEST(StreamLayoutResolve, EmptySourceHasNoFrames)
+{
+    MemoryByteSource source{ByteSpan()};
+    const StreamLayout layout = ResolveStreamLayout(source);
+    EXPECT_TRUE(layout.frames.empty());
+    EXPECT_EQ(layout.TotalElements(), 0u);
+}
+
+/** Bit-identity of every ranged read against a full-decode slice. */
+class RangeIdentity
+    : public ::testing::TestWithParam<std::tuple<size_t, const char*>> {};
+
+TEST_P(RangeIdentity, MatchesFullDecodeSlice)
+{
+    auto [algo_idx, backend] = GetParam();
+    const Algorithm algorithm = kAllAlgorithms[algo_idx];
+    const size_t word = AlgorithmWordSize(algorithm);
+    // ~3.2 frames of ~5 chunks each, so ranges can span frames and every
+    // frame spans several chunks. kChunkSize elements per frame boundary
+    // would be too aligned — use an odd element count.
+    const size_t elements = (5 * kChunkSize / word) * 3 + 1237;
+    Bytes original;
+    if (word == 4) {
+        const auto values = SmoothValues<float>(elements, 40 + algo_idx);
+        original = Bytes(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    } else {
+        const auto values = SmoothValues<double>(elements, 40 + algo_idx);
+        original = Bytes(AsBytes(std::span<const double>(values)).begin(),
+                         AsBytes(std::span<const double>(values)).end());
+    }
+    const Bytes stream = MakeIndexedStream(algorithm, original, 3);
+
+    Options options;
+    options.executor = &GetExecutor(backend);
+    MemoryByteSource source{ByteSpan(stream)};
+    const StreamLayout layout = ResolveStreamLayout(source);
+    ASSERT_GE(layout.frames.size(), 3u);
+    const uint64_t frame1_start = layout.frames[1].element_prefix;
+    const size_t chunk_elements = kChunkSize / word;
+
+    const struct {
+        uint64_t first;
+        uint64_t count;
+    } cases[] = {
+        {0, 1},                                  // first element
+        {0, elements},                           // everything
+        {elements - 1, 1},                       // last element
+        {chunk_elements, chunk_elements},        // exact chunk 1
+        {chunk_elements - 3, 7},                 // chunk boundary straddle
+        {frame1_start - 5, 11},                  // frame boundary straddle
+        {7, 0},                                  // empty range
+        {frame1_start, chunk_elements + 13},     // frame start
+        {3, elements - 3},                       // all but a prefix
+    };
+    for (const auto& c : cases) {
+        const Bytes got = DecompressRange(source, c.first, c.count, options);
+        ASSERT_EQ(got.size(), c.count * word)
+            << "first=" << c.first << " count=" << c.count;
+        EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                               original.begin() +
+                                   static_cast<std::ptrdiff_t>(c.first *
+                                                               word)))
+            << "range [" << c.first << ", " << c.first + c.count
+            << ") differs from the full-decode slice";
+    }
+
+    // Past-the-end ranges are usage errors, not short reads.
+    EXPECT_THROW(DecompressRange(source, 0, elements + 1, options),
+                 UsageError);
+    EXPECT_THROW(DecompressRange(source, elements, 1, options), UsageError);
+    EXPECT_THROW(DecompressRange(source, elements + 5, 0, options),
+                 UsageError);
+    // The empty range at the exact end is fine.
+    EXPECT_TRUE(DecompressRange(source, elements, 0, options).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsBothBackends, RangeIdentity,
+    ::testing::Combine(::testing::Range(size_t{0}, size_t{4}),
+                       ::testing::ValuesIn(kBackends)),
+    [](const auto& info) {
+        std::string backend = std::get<1>(info.param);
+        for (char& c : backend) {
+            if (c == ':') c = '_';
+        }
+        return std::string(AlgorithmName(
+                   kAllAlgorithms[std::get<0>(info.param)])) +
+               "_" + backend;
+    });
+
+TEST(RangeTelemetry, SmallRangeDecodesOnlyCoveringChunks)
+{
+    if (!kTelemetryEnabled) GTEST_SKIP() << "FPC_TELEMETRY=0";
+    const auto values = SmoothValues<float>(40 * kChunkSize / 4, 50);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    // One big frame of 40 chunks.
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kSPspeed, original, 1);
+
+    Telemetry sink;
+    Options options = Options{}.with_telemetry(&sink);
+    MemoryByteSource source{ByteSpan(stream)};
+    // 10 elements inside chunk 17.
+    const uint64_t first = 17 * (kChunkSize / 4) + 100;
+    const Bytes got = DecompressRange(source, first, 10, options);
+    ASSERT_EQ(got.size(), 40u);
+
+    const TelemetrySnapshot snap = sink.Snapshot();
+    EXPECT_EQ(snap.ranged.calls, 1u);
+    EXPECT_EQ(snap.ranged.elements, 10u);
+    EXPECT_EQ(snap.ranged.frames_decoded, 1u);
+    EXPECT_EQ(snap.ranged.chunks_decoded, 1u);   // exactly chunk 17
+    EXPECT_EQ(snap.ranged.chunks_skipped, 39u);  // the other 39
+    EXPECT_EQ(snap.ranged.index_hits, 1u);
+    EXPECT_GT(snap.ranged.io_reads, 0u);
+    // The executor-side chunk counter agrees: only one chunk decoded.
+    EXPECT_EQ(snap.counters.chunks_decoded, 1u);
+    // And the I/O telemetry shows the read stayed far below the stream.
+    EXPECT_LT(snap.ranged.io_bytes, stream.size() / 2);
+}
+
+TEST(RangeTelemetry, DPratioPreStageDecodesWholeCoveringFrame)
+{
+    if (!kTelemetryEnabled) GTEST_SKIP() << "FPC_TELEMETRY=0";
+    const auto values = SmoothValues<double>(6 * kChunkSize / 8, 51);
+    const Bytes original(AsBytes(std::span<const double>(values)).begin(),
+                         AsBytes(std::span<const double>(values)).end());
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kDPratio, original, 2);
+
+    Telemetry sink;
+    Options options = Options{}.with_telemetry(&sink);
+    MemoryByteSource source{ByteSpan(stream)};
+    const Bytes got = DecompressRange(source, 5, 10, options);
+    ASSERT_EQ(got.size(), 80u);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), original.begin() + 40));
+
+    const TelemetrySnapshot snap = sink.Snapshot();
+    EXPECT_EQ(snap.ranged.frames_decoded, 1u);
+    // FCM is a whole-input pre-stage: the covering frame decodes fully,
+    // the other frame is untouched.
+    EXPECT_EQ(snap.ranged.chunks_skipped, 0u);
+    EXPECT_GT(snap.ranged.chunks_decoded, 0u);
+}
+
+TEST(RangeTyped, ValidatesElementWidth)
+{
+    const auto values = SmoothValues<float>(30000, 6);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kSPspeed, original, 2);
+
+    Codec codec(Algorithm::kSPspeed);
+    const std::vector<float> slice =
+        codec.decompress_range_as<float>(ByteSpan(stream), 12345, 678);
+    ASSERT_EQ(slice.size(), 678u);
+    EXPECT_TRUE(std::equal(
+        slice.begin(), slice.end(), values.begin() + 12345,
+        [](float a, float b) {
+            return std::memcmp(&a, &b, sizeof(float)) == 0;
+        }));
+    EXPECT_THROW(
+        codec.decompress_range_as<double>(ByteSpan(stream), 12345, 678),
+        UsageError);
+}
+
+TEST(ByteSourceEquivalence, MemoryPreadAndMmapAgree)
+{
+    const auto values = SmoothValues<float>(60000, 7);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kSPspeed, original, 4);
+
+    const std::string path =
+        ::testing::TempDir() + "/fpc_seek_test_stream.fpcz";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(stream.data()),
+                  static_cast<std::streamsize>(stream.size()));
+        ASSERT_TRUE(out.good());
+    }
+
+    MemoryByteSource memory{ByteSpan(stream)};
+    const Bytes want = DecompressRange(memory, 30000, 2000, Options{});
+
+    for (ReadStrategy strategy :
+         {ReadStrategy::kPread, ReadStrategy::kMmap, ReadStrategy::kAuto}) {
+        std::unique_ptr<ByteSource> file = OpenByteSource(path, strategy);
+        ASSERT_EQ(file->Size(), stream.size());
+        EXPECT_EQ(DecompressRange(*file, 30000, 2000, Options{}), want);
+    }
+
+    // The pread path must have touched far fewer bytes than the file.
+    std::unique_ptr<ByteSource> fd =
+        OpenByteSource(path, ReadStrategy::kPread);
+    (void)DecompressRange(*fd, 30000, 100, Options{});
+    EXPECT_LT(fd->Stats().bytes, stream.size() / 2);
+
+    std::remove(path.c_str());
+}
+
+TEST(ParallelDecode, OrderedDeliveryAcrossPoolShapes)
+{
+    const auto values = SmoothValues<float>(90000, 8);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kSPspeed, original, 7);
+    MemoryByteSource source{ByteSpan(stream)};
+    const size_t frame_count = ResolveStreamLayout(source).frames.size();
+    ASSERT_GE(frame_count, 7u);
+
+    const StreamPoolOptions shapes[] = {
+        {1, 1}, {2, 2}, {4, 2}, {4, 8}, {0, 0}, {64, 3},
+    };
+    for (const StreamPoolOptions& shape : shapes) {
+        ParallelStreamDecoder decoder(source, shape, Options{});
+        EXPECT_EQ(decoder.FrameCount(), frame_count);
+        EXPECT_TRUE(decoder.UsedIndex());
+        // Worker count is clamped to the frame count.
+        EXPECT_LE(static_cast<size_t>(decoder.Workers()), frame_count);
+        Bytes all;
+        while (decoder.HasNext()) {
+            const Bytes frame = decoder.NextFrame();
+            AppendBytes(all, ByteSpan(frame));
+        }
+        EXPECT_EQ(all, original)
+            << "workers=" << shape.workers
+            << " in_flight=" << shape.max_in_flight;
+        EXPECT_THROW(decoder.NextFrame(), CorruptStreamError);
+    }
+}
+
+TEST(ParallelDecode, IndexlessStreamAndBareContainerWork)
+{
+    const auto values = SmoothValues<double>(20000, 9);
+    const Bytes original(AsBytes(std::span<const double>(values)).begin(),
+                         AsBytes(std::span<const double>(values)).end());
+
+    StreamCompressor compressor(Algorithm::kDPspeed);
+    compressor.PutFrame(ByteSpan(original).subspan(0, 80000));
+    compressor.PutFrame(ByteSpan(original).subspan(80000));
+    const Bytes& stream = compressor.Stream();  // index-less
+    MemoryByteSource stream_source{ByteSpan(stream)};
+    ParallelStreamDecoder stream_decoder(stream_source,
+                                         StreamPoolOptions{2, 0}, Options{});
+    EXPECT_FALSE(stream_decoder.UsedIndex());
+    Bytes all;
+    while (stream_decoder.HasNext()) {
+        const Bytes frame = stream_decoder.NextFrame();
+        AppendBytes(all, ByteSpan(frame));
+    }
+    EXPECT_EQ(all, original);
+
+    const Bytes container = Compress(Algorithm::kDPspeed, ByteSpan(original));
+    MemoryByteSource container_source{ByteSpan(container)};
+    ParallelStreamDecoder container_decoder(
+        container_source, StreamPoolOptions{4, 0}, Options{});
+    EXPECT_EQ(container_decoder.FrameCount(), 1u);
+    EXPECT_EQ(container_decoder.NextFrame(), original);
+    EXPECT_FALSE(container_decoder.HasNext());
+}
+
+TEST(ParallelDecode, CorruptFrameErrorArrivesAtItsTurn)
+{
+    const auto values = SmoothValues<float>(30000, 10);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    Bytes stream = MakeIndexedStream(Algorithm::kSPspeed, original, 3);
+
+    MemoryByteSource clean{ByteSpan(stream)};
+    const StreamLayout layout = ResolveStreamLayout(clean);
+    ASSERT_EQ(layout.frames.size(), 3u);
+    // Damage the middle frame's payload (past its header + chunk table).
+    const size_t target =
+        static_cast<size_t>(layout.frames[1].frame_offset) +
+        static_cast<size_t>(layout.frames[1].frame_size) - 5;
+    stream[target] ^= std::byte{0x3c};
+
+    MemoryByteSource source{ByteSpan(stream)};
+    ParallelStreamDecoder decoder(source, StreamPoolOptions{3, 0},
+                                  Options{});
+    // Frame 0 still arrives; frame 1 rethrows its typed error; frame 2
+    // remains retrievable after it.
+    const Bytes frame0 = decoder.NextFrame();
+    EXPECT_TRUE(std::equal(frame0.begin(), frame0.end(), original.begin()));
+    EXPECT_THROW(decoder.NextFrame(), CorruptStreamError);
+    EXPECT_TRUE(decoder.HasNext());
+    const Bytes frame2 = decoder.NextFrame();
+    EXPECT_EQ(frame2.size(),
+              original.size() - 2 * frame0.size() < frame0.size()
+                  ? original.size() - 2 * frame0.size()
+                  : frame0.size());
+    EXPECT_FALSE(decoder.HasNext());
+}
+
+TEST(ParallelDecode, TelemetryAggregatesAcrossWorkers)
+{
+    if (!kTelemetryEnabled) GTEST_SKIP() << "FPC_TELEMETRY=0";
+    const auto values = SmoothValues<float>(60000, 11);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kSPspeed, original, 5);
+    MemoryByteSource source{ByteSpan(stream)};
+
+    Telemetry sink;
+    Options options = Options{}.with_telemetry(&sink);
+    ParallelStreamDecoder decoder(source, StreamPoolOptions{3, 0}, options);
+    size_t frames = 0;
+    while (decoder.HasNext()) {
+        (void)decoder.NextFrame();
+        ++frames;
+    }
+    const TelemetrySnapshot snap = decoder.stats();
+    EXPECT_EQ(frames, 5u);
+    EXPECT_EQ(snap.decompress.calls, 5u);
+    EXPECT_EQ(snap.decompress.output_bytes, original.size());
+    // Every chunk of every frame decoded exactly once, counted through
+    // the per-worker shards merged at pool join.
+    uint64_t chunks = 0;
+    for (const SeekIndexEntry& f : ResolveStreamLayout(source).frames) {
+        chunks += (f.element_count * sizeof(float) + kChunkSize - 1) /
+                  kChunkSize;
+    }
+    EXPECT_EQ(snap.counters.chunks_decoded, chunks);
+    EXPECT_GT(snap.counters.arena_high_water_bytes, 0u);
+}
+
+TEST(StreamDecompressorSource, ReadsThroughFdSource)
+{
+    const auto values = SmoothValues<float>(25000, 12);
+    StreamCompressor compressor(Algorithm::kSPratio);
+    compressor.PutFloats(std::span<const float>(values.data(), 10000));
+    compressor.PutFloats(std::span<const float>(values.data() + 10000,
+                                                15000));
+    const Bytes& stream = compressor.FinishWithIndex();
+
+    const std::string path =
+        ::testing::TempDir() + "/fpc_seek_test_decomp.fpcz";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(stream.data()),
+                  static_cast<std::streamsize>(stream.size()));
+        ASSERT_TRUE(out.good());
+    }
+    std::unique_ptr<ByteSource> file =
+        OpenByteSource(path, ReadStrategy::kPread);
+
+    // The sequential decompressor stops at the index, not at EOF.
+    StreamDecompressor dec{*file, Options{}};
+    const std::vector<float> frame0 = dec.NextFloats();
+    const std::vector<float> frame1 = dec.NextFloats();
+    EXPECT_FALSE(dec.HasNext());
+    ASSERT_EQ(frame0.size(), 10000u);
+    ASSERT_EQ(frame1.size(), 15000u);
+    EXPECT_TRUE(std::equal(
+        frame0.begin(), frame0.end(), values.begin(),
+        [](float a, float b) {
+            return std::memcmp(&a, &b, sizeof(float)) == 0;
+        }));
+
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fpc

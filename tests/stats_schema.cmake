@@ -6,7 +6,7 @@
 # Runs `fpczip --stats` for one speed and one ratio algorithm, captures
 # the telemetry JSON lines from stderr, and validates them field-by-field
 # with the Python schema checker; also runs a decompress with
-# --stats-file and --trace so the fpc.telemetry.v2 decode digests and the
+# --stats-file and --trace so the fpc.telemetry.v3 decode digests and the
 # fpc.trace.v1 timeline go through the same checker. In FPC_TELEMETRY=0
 # builds the lines still appear but stay empty, so the checker runs with
 # --allow-empty.
@@ -43,7 +43,7 @@ foreach(algorithm SPspeed DPratio)
 endforeach()
 
 # Decompress with --stats-file and --trace: both artifacts are JSON the
-# checker recognises (telemetry v2 with decode-side digests, trace v1).
+# checker recognises (telemetry v3 with decode-side digests, trace v1).
 set(stats_file "${WORK_DIR}/decode-stats.json")
 set(trace_file "${WORK_DIR}/decode-trace.json")
 execute_process(
@@ -63,6 +63,35 @@ foreach(artifact "${stats_file}" "${trace_file}")
     file(READ "${artifact}" artifact_content)
     file(APPEND "${stats_log}" "${artifact_content}")
 endforeach()
+
+# Ranged read over a seekable v2 stream: the telemetry line must carry a
+# populated "ranged" block (calls/chunks_decoded/chunks_skipped/...),
+# which the checker validates field-by-field.
+set(ranged_stats "${WORK_DIR}/ranged-stats.json")
+execute_process(
+    COMMAND "${FPCZIP}" -c -a SPspeed --frame-bytes=32k
+        "${input}" "${WORK_DIR}/stream.fpcz"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fpczip -c --frame-bytes exited ${rc}:\n${out}\n${err}")
+endif()
+execute_process(
+    COMMAND "${FPCZIP}" cat --range=10000:2000
+        "--stats-file=${ranged_stats}"
+        "${WORK_DIR}/stream.fpcz" "${WORK_DIR}/stream.slice"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fpczip cat --range --stats-file exited ${rc}:\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${ranged_stats}")
+    message(FATAL_ERROR "fpczip cat --range did not write ${ranged_stats}")
+endif()
+file(READ "${ranged_stats}" ranged_content)
+file(APPEND "${stats_log}" "${ranged_content}")
 
 set(flags "")
 if(NOT TELEMETRY)

@@ -4,12 +4,15 @@
 Reads stdin (or the files named on the command line) line by line and
 validates every JSON object whose schema tag it recognises:
 
-``fpc.telemetry.v2`` (``Telemetry::ToJson``, src/core/telemetry.cc):
+``fpc.telemetry.v3`` (``Telemetry::ToJson``, src/core/telemetry.cc):
   - top-level keys: schema, executor, algorithm, isa, compress,
-    decompress, chunks, mplg, arena, histograms, stages;
+    decompress, ranged, chunks, mplg, arena, histograms, stages;
   - isa names the dispatched kernel level (scalar/avx2/avx512);
   - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
     non-negative integers;
+  - ranged (random-access decode totals): calls, elements,
+    frames_decoded, chunks_decoded, chunks_skipped, io_reads, io_bytes,
+    index_hits — non-negative integers with index_hits <= calls;
   - chunks: encoded, raw_fallback, decoded with raw_fallback <= encoded;
   - mplg: subchunks, enhanced_subchunks with enhanced <= subchunks;
   - arena: high_water_bytes;
@@ -24,10 +27,13 @@ validates every JSON object whose schema tag it recognises:
   - every event is Chrome trace-event shaped: ph "M" (metadata) or "X"
     (complete span with numeric ts/dur >= 0, name, pid, tid).
 
-``fpc.bench.v1`` (bench/bench_regress.cc):
-  - config block carrying the corpus fingerprint;
+``fpc.bench.v1`` (bench/bench_regress.cc and bench/bench_seek.cc):
+  - config block carrying the corpus/stream fingerprint and machine
+    facts (corpus-shaped reports name values_per_file and the scales,
+    seek-shaped reports name frames/values_per_frame/queries);
   - results entries with algorithm, backend, positive ratio and
-    throughputs, and chunk latency digests.
+    throughputs, and valid latency digests (chunk_encode/chunk_decode
+    required for corpus-shaped reports, range_read for ranged ones).
 
 Exit code 0 when every recognised line validates and at least one was
 seen (pass ``--allow-empty`` when hooks are compiled out and
@@ -41,7 +47,7 @@ as the ``stats_schema`` test (tests/stats_schema.cmake); also ad hoc:
 import json
 import sys
 
-TELEMETRY_TAG = "fpc.telemetry.v2"
+TELEMETRY_TAG = "fpc.telemetry.v3"
 TRACE_TAG = "fpc.trace.v1"
 BENCH_TAG = "fpc.bench.v1"
 
@@ -58,11 +64,23 @@ TOP_KEYS = [
     "isa",
     "compress",
     "decompress",
+    "ranged",
     "chunks",
     "mplg",
     "arena",
     "histograms",
     "stages",
+]
+
+RANGED_FIELDS = [
+    "calls",
+    "elements",
+    "frames_decoded",
+    "chunks_decoded",
+    "chunks_skipped",
+    "io_reads",
+    "io_bytes",
+    "index_hits",
 ]
 
 ALGORITHMS = ["SPspeed", "SPratio", "DPspeed", "DPratio"]
@@ -120,6 +138,21 @@ def check_telemetry(line_no, doc):
 
     for direction in ("compress", "decompress"):
         ok = check_counters(line_no, direction, doc[direction]) and ok
+
+    ranged = doc["ranged"]
+    if not isinstance(ranged, dict):
+        ok = fail(line_no, "ranged is not an object")
+    else:
+        for field in RANGED_FIELDS:
+            value = ranged.get(field)
+            if not isinstance(value, int) or value < 0:
+                ok = fail(line_no, f"ranged.{field} missing or not a"
+                                   f" non-negative integer: {value!r}")
+        if ok and ranged["index_hits"] > ranged["calls"]:
+            ok = fail(line_no, "ranged.index_hits exceeds ranged.calls")
+        if ok and ranged["calls"] == 0 and ranged["chunks_decoded"] != 0:
+            ok = fail(line_no, "ranged.chunks_decoded nonzero without any"
+                               " ranged.calls")
 
     chunks = doc["chunks"]
     for field in ("encoded", "raw_fallback", "decoded"):
@@ -203,9 +236,10 @@ def check_telemetry_content(line_no, doc):
     if doc["isa"] not in ISA_LEVELS:
         ok = fail(line_no, f"isa is {doc['isa']!r}, expected one of"
                            f" {ISA_LEVELS}")
-    if doc["compress"]["calls"] + doc["decompress"]["calls"] == 0:
-        ok = fail(line_no, "neither compress nor decompress ran in an"
-                           " instrumented run")
+    if (doc["compress"]["calls"] + doc["decompress"]["calls"]
+            + doc["ranged"]["calls"] == 0):
+        ok = fail(line_no, "no compress, decompress, or ranged call ran"
+                           " in an instrumented run")
     if doc["chunks"]["encoded"] + doc["chunks"]["decoded"] == 0:
         ok = fail(line_no, "no chunks processed in an instrumented run")
     sum_of_stages = sum(s["encode"]["calls"] + s["decode"]["calls"]
@@ -266,19 +300,28 @@ def check_trace_content(line_no, doc):
 def check_bench(line_no, doc):
     ok = True
     config = doc.get("config")
+    # bench_regress reports carry the corpus knobs; bench_seek reports
+    # carry the stream/query knobs instead. Both share the fingerprint
+    # and the machine facts.
+    corpus_shaped = isinstance(config, dict) and "values_per_file" in config
     if not isinstance(config, dict):
         ok = fail(line_no, "config missing or not an object")
     else:
-        for field in ("values_per_file", "runs", "repeats", "threads"):
+        int_fields = (("values_per_file", "runs", "repeats", "threads")
+                      if corpus_shaped
+                      else ("frames", "values_per_frame", "queries",
+                            "range_elements", "repeats", "threads"))
+        for field in int_fields:
             value = config.get(field)
             if not isinstance(value, int) or value <= 0:
                 ok = fail(line_no, f"config.{field} missing or invalid:"
                                    f" {value!r}")
-        for field in ("sp_scale", "dp_scale"):
-            value = config.get(field)
-            if not isinstance(value, (int, float)) or value <= 0:
-                ok = fail(line_no, f"config.{field} missing or invalid:"
-                                   f" {value!r}")
+        if corpus_shaped:
+            for field in ("sp_scale", "dp_scale"):
+                value = config.get(field)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    ok = fail(line_no, f"config.{field} missing or"
+                                       f" invalid: {value!r}")
         if not isinstance(config.get("fingerprint"), str) \
                 or not config["fingerprint"]:
             ok = fail(line_no, "config.fingerprint missing or empty")
@@ -305,12 +348,13 @@ def check_bench(line_no, doc):
         if not isinstance(hists, dict):
             ok = fail(line_no, f"{where}.histograms missing")
             continue
-        for key in ("chunk_encode", "chunk_decode"):
-            if key not in hists:
-                ok = fail(line_no, f"{where}.histograms lacks {key}")
-            else:
-                ok = check_digest(line_no, f"{where}.histograms.{key}",
-                                  hists[key]) and ok
+        if corpus_shaped:
+            for key in ("chunk_encode", "chunk_decode"):
+                if key not in hists:
+                    ok = fail(line_no, f"{where}.histograms lacks {key}")
+        for key, digest in hists.items():
+            ok = check_digest(line_no, f"{where}.histograms.{key}",
+                              digest) and ok
     return ok
 
 

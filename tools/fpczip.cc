@@ -4,18 +4,33 @@
  * data (the four ASPLOS'25 algorithms).
  *
  * Usage:
- *   fpczip -c [-a SPspeed|SPratio|DPspeed|DPratio] [--backend=NAME] IN OUT
+ *   fpczip -c [-a SPspeed|SPratio|DPspeed|DPratio] [--backend=NAME]
+ *          [--frame-bytes=N] IN OUT
  *   fpczip -d [--backend=NAME] IN OUT
+ *   fpczip cat [--range=FIRST:COUNT] [--workers=N] [--in-flight=M]
+ *          [--read=auto|pread|mmap] IN OUT
  *   fpczip -i IN                  human-readable header summary
  *   fpczip inspect IN             one JSON line of container metadata
  *   fpczip -V | --version         version, compiled + dispatched ISA
  *
  * -a picks the algorithm (default SPspeed — pick DP* for doubles; the
  *    element width is never guessed from the file size).
+ * --frame-bytes=N makes -c emit a seekable stream: the input is cut into
+ *    N-byte frames (N is rounded down to a whole number of elements),
+ *    each compressed as an independent container, and a trailing seek
+ *    index (format v2, core/container.h) is appended. Without it -c
+ *    writes a single bare container, byte-identical to before.
+ * `cat` decompresses any input — bare container, frame stream, indexed
+ *    stream — reading it through a ranged ByteSource (the file is never
+ *    loaded whole). Frames decode on a bounded worker pool and are
+ *    written strictly in order; --workers and --in-flight bound the pool
+ *    and its memory. --range=FIRST:COUNT instead decodes only the values
+ *    [FIRST, FIRST+COUNT), touching only the covering frames/chunks.
+ *    --read picks the ByteSource backing.
  * --backend selects an executor-registry backend (cpu, gpusim:4090,
  *    gpusim:a100); all backends produce bit-identical containers (see
  *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
- * --stats prints one "fpc.telemetry.v2" JSON line (per-stage wall time
+ * --stats prints one "fpc.telemetry.v3" JSON line (per-stage wall time
  *    and byte flow, chunk/raw counts, latency histogram digests; see
  *    DESIGN.md "Observability") to stderr after a -c/-d run, so stdout
  *    stays scriptable.
@@ -32,15 +47,19 @@
  * 3 corrupt or truncated compressed stream (the message names the stage
  * and byte offset that failed validation).
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/codec.h"
 #include "core/executor.h"
+#include "core/stream.h"
 #include "core/telemetry.h"
 #include "core/trace.h"
+#include "util/byte_source.h"
 #include "util/cpu_features.h"
 #include "util/timer.h"
 
@@ -74,27 +93,114 @@ Usage()
 {
     std::fprintf(
         stderr,
-        "usage: fpczip -c [-a ALGO] [--backend=NAME] IN OUT   compress\n"
+        "usage: fpczip -c [-a ALGO] [--backend=NAME] [--frame-bytes=N]\n"
+        "              IN OUT                                compress\n"
         "       fpczip -d [--backend=NAME] IN OUT             decompress\n"
+        "       fpczip cat [--range=FIRST:COUNT] [--workers=N]\n"
+        "              [--in-flight=M] [--read=auto|pread|mmap] IN OUT\n"
+        "                     streaming / random-access decompress\n"
         "       fpczip -i IN                      inspect header (text)\n"
         "       fpczip inspect IN                 inspect header (JSON)\n"
         "       fpczip -V | --version     version + SIMD kernel levels\n"
         "ALGO:    SPspeed (default) | SPratio | DPspeed | DPratio\n"
         "NAME:    cpu (default) | gpusim:4090 | gpusim:a100\n"
         "-g:      shorthand for --backend=gpusim:4090 (identical output)\n"
+        "--frame-bytes=N: cut the input into N-byte frames (suffixes k/m/g)\n"
+        "         and append a seek index — a seekable v2 stream\n"
+        "--range=FIRST:COUNT: decode only values [FIRST, FIRST+COUNT),\n"
+        "         touching only the covering frames and 16 KiB chunks\n"
+        "--workers=N / --in-flight=M: worker pool size and max frames in\n"
+        "         flight for `cat` (defaults: cores, 2 x workers)\n"
+        "--read=S: ByteSource backing for `cat` (auto | pread | mmap)\n"
         "--isa=LEVEL: force the CPU kernel level (scalar | avx2 | avx512;\n"
         "         every level produces bit-identical containers)\n"
-        "--stats: print per-stage telemetry JSON to stderr after -c/-d\n"
+        "--stats: print per-stage telemetry JSON to stderr after a run\n"
         "--stats-file=PATH: write that JSON to PATH instead of stderr\n"
         "--trace=FILE: write a Chrome trace-event timeline of the run\n");
     return 2;
 }
 
-/** Print the container metadata of @p files[0] as one JSON line. */
+/** Parse a non-negative integer with an optional k/m/g (KiB/MiB/GiB)
+ *  suffix. Throws UsageError on garbage. */
+uint64_t
+ParseSize(const std::string& text, const char* flag)
+{
+    size_t pos = 0;
+    uint64_t value = 0;
+    try {
+        value = std::stoull(text, &pos);
+    } catch (const std::exception&) {
+        throw fpc::UsageError(std::string(flag) + ": not a number: " + text);
+    }
+    uint64_t scale = 1;
+    if (pos < text.size()) {
+        const char suffix = text[pos];
+        if (suffix == 'k' || suffix == 'K') scale = uint64_t{1} << 10;
+        else if (suffix == 'm' || suffix == 'M') scale = uint64_t{1} << 20;
+        else if (suffix == 'g' || suffix == 'G') scale = uint64_t{1} << 30;
+        else pos = text.size() + 1;  // unknown suffix -> reject below
+        ++pos;
+    }
+    if (pos != text.size()) {
+        throw fpc::UsageError(std::string(flag) + ": bad size: " + text);
+    }
+    return value * scale;
+}
+
+/** Parse "FIRST:COUNT" for --range. */
+void
+ParseRange(const std::string& text, uint64_t& first, uint64_t& count)
+{
+    const size_t colon = text.find(':');
+    if (colon == std::string::npos) {
+        throw fpc::UsageError("--range expects FIRST:COUNT, got " + text);
+    }
+    first = ParseSize(text.substr(0, colon), "--range");
+    count = ParseSize(text.substr(colon + 1), "--range");
+}
+
+/** JSON array of the per-frame element prefix table. */
+std::string
+FrameTableJson(const std::vector<fpc::SeekIndexEntry>& frames)
+{
+    std::string out = "[";
+    for (size_t f = 0; f < frames.size(); ++f) {
+        if (f != 0) out += ", ";
+        out += "{\"offset\": " + std::to_string(frames[f].frame_offset) +
+               ", \"size\": " + std::to_string(frames[f].frame_size) +
+               ", \"elements\": " +
+               std::to_string(frames[f].element_count) +
+               ", \"element_prefix\": " +
+               std::to_string(frames[f].element_prefix) + "}";
+    }
+    out += "]";
+    return out;
+}
+
+/**
+ * Print the metadata of @p path as one JSON line. A bare container keeps
+ * the original key set (plus "format"/"seek_index"); a frame stream
+ * reports the frame table instead — index presence, frame count, and the
+ * per-frame element prefix table. A damaged seek-index footer throws
+ * CorruptStreamError (exit code 3).
+ */
 int
 InspectJson(const std::string& path)
 {
     fpc::Bytes data = ReadFile(path);
+    fpc::MemoryByteSource source{fpc::ByteSpan(data)};
+    const fpc::StreamLayout layout = fpc::ResolveStreamLayout(source);
+    if (layout.format == fpc::StreamLayout::Format::kStream) {
+        std::printf(
+            "{\"format\": \"stream\", \"seek_index\": %s, "
+            "\"frame_count\": %zu, \"total_elements\": %llu, "
+            "\"frames\": %s, \"isa\": \"%s\"}\n",
+            layout.from_index ? "true" : "false", layout.frames.size(),
+            static_cast<unsigned long long>(layout.TotalElements()),
+            FrameTableJson(layout.frames).c_str(),
+            fpc::simd::IsaName(fpc::simd::DefaultIsa()));
+        return 0;
+    }
     fpc::CompressedInfo info = fpc::Inspect(data);
     std::string raw_indices = "[";
     for (size_t c = 0; c < info.chunk_raw.size(); ++c) {
@@ -108,6 +214,7 @@ InspectJson(const std::string& path)
                 "\"transformed_size\": %llu, \"compressed_size\": %llu, "
                 "\"chunk_count\": %u, \"raw_chunks\": %u, "
                 "\"raw_chunk_indices\": %s, \"isa\": \"%s\", "
+                "\"format\": \"container\", \"seek_index\": false, "
                 "\"ratio\": %.6f}\n",
                 info.algorithm_name.c_str(),
                 static_cast<unsigned>(info.algorithm),
@@ -141,6 +248,7 @@ main(int argc, char** argv)
             kNone,
             kCompress,
             kDecompress,
+            kCat,
             kInspect,
             kInspectJson
         } action = kNone;
@@ -151,6 +259,12 @@ main(int argc, char** argv)
         std::string stats_path;
         std::string trace_path;
         fpc::Algorithm algorithm = fpc::Algorithm::kSPspeed;
+        uint64_t frame_bytes = 0;  // 0 = single bare container
+        bool have_range = false;
+        uint64_t range_first = 0;
+        uint64_t range_count = 0;
+        fpc::StreamPoolOptions pool;
+        fpc::ReadStrategy read_strategy = fpc::ReadStrategy::kAuto;
         std::vector<std::string> files;
 
         for (int i = 1; i < argc; ++i) {
@@ -159,12 +273,34 @@ main(int argc, char** argv)
                 action = kCompress;
             } else if (arg == "-d") {
                 action = kDecompress;
+            } else if (arg == "cat" && action == kNone) {
+                action = kCat;
             } else if (arg == "-i") {
                 action = kInspect;
             } else if (arg == "inspect" && action == kNone) {
                 action = kInspectJson;
             } else if (arg == "-V" || arg == "--version") {
                 return PrintVersion();
+            } else if (arg.rfind("--frame-bytes=", 0) == 0) {
+                frame_bytes = ParseSize(
+                    arg.substr(std::strlen("--frame-bytes=")),
+                    "--frame-bytes");
+                if (frame_bytes == 0) {
+                    throw fpc::UsageError("--frame-bytes must be > 0");
+                }
+            } else if (arg.rfind("--range=", 0) == 0) {
+                have_range = true;
+                ParseRange(arg.substr(std::strlen("--range=")), range_first,
+                           range_count);
+            } else if (arg.rfind("--workers=", 0) == 0) {
+                pool.workers = static_cast<int>(ParseSize(
+                    arg.substr(std::strlen("--workers=")), "--workers"));
+            } else if (arg.rfind("--in-flight=", 0) == 0) {
+                pool.max_in_flight = static_cast<int>(ParseSize(
+                    arg.substr(std::strlen("--in-flight=")), "--in-flight"));
+            } else if (arg.rfind("--read=", 0) == 0) {
+                read_strategy = fpc::ParseReadStrategy(
+                    arg.substr(std::strlen("--read=")));
             } else if (arg.rfind("--isa=", 0) == 0) {
                 options.with_isa(arg.substr(std::strlen("--isa=")));
             } else if (arg == "-g") {
@@ -214,10 +350,107 @@ main(int argc, char** argv)
         }
 
         if (action == kNone || files.size() != 2) return Usage();
+
+        if (action == kCat) {
+            // The input is read through a ranged ByteSource: only the
+            // bytes a decode touches are ever resident.
+            std::unique_ptr<fpc::ByteSource> source =
+                fpc::OpenByteSource(files[0], read_strategy);
+            fpc::Timer timer;
+            if (have_range) {
+                fpc::Bytes out = fpc::DecompressRange(
+                    *source, range_first, range_count, options);
+                WriteFile(files[1], out);
+                double seconds = timer.Seconds();
+                std::printf("values [%llu, %llu): %zu bytes in %.3fs\n",
+                            static_cast<unsigned long long>(range_first),
+                            static_cast<unsigned long long>(range_first +
+                                                            range_count),
+                            out.size(), seconds);
+            } else {
+                fpc::ParallelStreamDecoder decoder(*source, pool, options);
+                std::ofstream out(files[1], std::ios::binary);
+                if (!out) {
+                    throw fpc::UsageError("cannot open " + files[1]);
+                }
+                uint64_t total = 0;
+                size_t frames = 0;
+                while (decoder.HasNext()) {
+                    fpc::Bytes frame = decoder.NextFrame();
+                    out.write(reinterpret_cast<const char*>(frame.data()),
+                              static_cast<std::streamsize>(frame.size()));
+                    if (!out) {
+                        throw fpc::UsageError("cannot write " + files[1]);
+                    }
+                    total += frame.size();
+                    ++frames;
+                }
+                out.close();
+                double seconds = timer.Seconds();
+                std::printf("%zu frame(s), %llu -> %llu bytes in %.3fs "
+                            "(%.2f GB/s, %d worker(s)%s)\n",
+                            frames,
+                            static_cast<unsigned long long>(source->Size()),
+                            static_cast<unsigned long long>(total), seconds,
+                            total / 1e9 / seconds, decoder.Workers(),
+                            decoder.UsedIndex() ? ", seek index" : "");
+                if (want_stats) {
+                    // Merge worker shards before the snapshot below.
+                    (void)decoder.stats();
+                }
+            }
+            if (want_stats) {
+                if (stats_path.empty()) {
+                    std::fprintf(stderr, "%s\n",
+                                 stats_sink.ToJson().c_str());
+                } else {
+                    std::ofstream stats_out(stats_path);
+                    if (!stats_out) {
+                        throw fpc::UsageError("cannot open " + stats_path);
+                    }
+                    stats_out << stats_sink.ToJson() << "\n";
+                    if (!stats_out) {
+                        throw fpc::UsageError("cannot write " + stats_path);
+                    }
+                }
+            }
+            if (!trace_path.empty() && !trace_sink.WriteJson(trace_path)) {
+                throw fpc::UsageError("cannot write " + trace_path);
+            }
+            return 0;
+        }
+
         fpc::Bytes input = ReadFile(files[0]);
         fpc::Timer timer;
         fpc::Bytes output;
-        if (action == kCompress) {
+        if (action == kCompress && frame_bytes > 0) {
+            // Seekable v2 stream: whole-element frames + trailing index.
+            const uint64_t word = fpc::AlgorithmWordSize(algorithm);
+            uint64_t step = frame_bytes - frame_bytes % word;
+            if (step == 0) step = word;
+            if (input.size() % word != 0) {
+                throw fpc::UsageError(
+                    "--frame-bytes: input is not a whole number of " +
+                    std::string(fpc::AlgorithmName(algorithm)) +
+                    " elements");
+            }
+            fpc::StreamCompressor compressor(algorithm, options);
+            for (uint64_t at = 0; at < input.size(); at += step) {
+                const uint64_t len =
+                    std::min<uint64_t>(step, input.size() - at);
+                compressor.PutFrame(fpc::ByteSpan(input).subspan(
+                    static_cast<size_t>(at), static_cast<size_t>(len)));
+            }
+            output = compressor.FinishWithIndex();
+            double seconds = timer.Seconds();
+            std::printf("%s: %zu -> %zu bytes (%zu frame(s) + seek index, "
+                        "ratio %.3f) in %.3fs (%.2f GB/s)\n",
+                        fpc::AlgorithmName(algorithm), input.size(),
+                        output.size(), compressor.FrameCount(),
+                        static_cast<double>(input.size()) /
+                            static_cast<double>(output.size()),
+                        seconds, input.size() / 1e9 / seconds);
+        } else if (action == kCompress) {
             output = fpc::Compress(algorithm, fpc::ByteSpan(input), options);
             double seconds = timer.Seconds();
             std::printf("%s: %zu -> %zu bytes (ratio %.3f) in %.3fs "
