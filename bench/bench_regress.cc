@@ -1,10 +1,13 @@
 /**
  * @file
- * Standing perf-regression harness: measure all four algorithms on the
- * CPU and a gpusim backend over a small seeded synthetic corpus and emit
- * one "fpc.bench.v1" JSON line — ratio, median throughput, and the chunk
+ * Standing perf-regression harness: measure all four algorithms plus
+ * mode=auto (entries "auto-SP" / "auto-DP") on the CPU and a gpusim
+ * backend over a small seeded synthetic corpus and emit one
+ * "fpc.bench.v1" JSON line — ratio, median throughput, and the chunk
  * latency digests of each configuration, plus a config fingerprint so
  * two reports are only ever compared when they measured the same corpus.
+ * The auto entries also record probe_ns vs compress_wall_ns, and the run
+ * fails outright when probing exceeds 5% of the compress wall time.
  *
  * The ctest `bench` label runs this binary and feeds its output to
  * tools/compare_bench.py against the last committed BENCH_pr<N>.json
@@ -179,6 +182,72 @@ main(int argc, char** argv)
                               AlgorithmName(algorithm), backend,
                               result.ratio, result.compress_gbps,
                               result.decompress_gbps);
+                out += buf;
+                AppendDigest(out, "chunk_encode",
+                             result.telemetry.counters.chunk_latency.encode,
+                             false);
+                AppendDigest(out, "chunk_decode",
+                             result.telemetry.counters.chunk_latency.decode,
+                             true);
+                out += "}}";
+            }
+
+            // mode=auto entries, one per element width. New relative to
+            // v1 baselines: compare_bench only gates configurations the
+            // committed baseline contains, so older baselines stay
+            // valid. The probe must stay cheap — fail the run outright
+            // when probing costs more than 5% of the compress wall time.
+            for (Algorithm width :
+                 {Algorithm::kSPspeed, Algorithm::kDPspeed}) {
+                const bool dp = AlgorithmWordSize(width) == 8;
+                eval::CodecResult result = eval::Evaluate(
+                    eval::OurAdaptiveCodec(width, executor),
+                    dp ? dp_inputs : sp_inputs, eval_config);
+                for (int rep = 1; rep < config.repeats; ++rep) {
+                    eval::CodecResult again = eval::Evaluate(
+                        eval::OurAdaptiveCodec(width, executor),
+                        dp ? dp_inputs : sp_inputs, eval_config);
+                    if (again.ratio != result.ratio) {
+                        std::fprintf(stderr,
+                                     "bench_regress: non-deterministic "
+                                     "ratio for %s@%s\n",
+                                     result.name.c_str(), backend);
+                        return 1;
+                    }
+                    const double decomp_best = std::max(
+                        result.decompress_gbps, again.decompress_gbps);
+                    if (again.compress_gbps > result.compress_gbps)
+                        result = again;
+                    result.decompress_gbps = decomp_best;
+                }
+                const uint64_t probe_ns =
+                    result.telemetry.counters.adaptive_probe_ns;
+                const uint64_t compress_ns =
+                    result.telemetry.compress.wall_ns;
+                if (kTelemetryEnabled && compress_ns > 0 &&
+                    probe_ns * 20 > compress_ns) {
+                    std::fprintf(stderr,
+                                 "bench_regress: %s@%s probe overhead "
+                                 "%.2f%% of compress wall exceeds the 5%% "
+                                 "budget\n",
+                                 result.name.c_str(), backend,
+                                 100.0 * static_cast<double>(probe_ns) /
+                                     static_cast<double>(compress_ns));
+                    return 1;
+                }
+                if (!first) out += ", ";
+                first = false;
+                std::snprintf(buf, sizeof(buf),
+                              "{\"algorithm\": \"%s\", \"backend\": "
+                              "\"%s\", \"ratio\": %.6f, "
+                              "\"compress_gbps\": %.6f, "
+                              "\"decompress_gbps\": %.6f, "
+                              "\"probe_ns\": %" PRIu64
+                              ", \"compress_wall_ns\": %" PRIu64
+                              ", \"histograms\": {",
+                              result.name.c_str(), backend, result.ratio,
+                              result.compress_gbps, result.decompress_gbps,
+                              probe_ns, compress_ns);
                 out += buf;
                 AppendDigest(out, "chunk_encode",
                              result.telemetry.counters.chunk_latency.encode,

@@ -80,6 +80,11 @@ class ScratchArena {
     /** Per-thread retained encode output (two-pass container assembly). */
     Bytes& Retained() { return retained_; }
 
+    /** Adaptive-selection trial stash (core/adaptive.cc): parks one
+     *  candidate's payload while a second candidate runs through the
+     *  ping-pong buffers. Clobbered by the next EncodeChunkAuto call. */
+    Bytes& TrialStash() { return trial_stash_; }
+
     /**
      * Decode-side allocation budget: the maximum byte count a stage decoder
      * may accept from a wire-declared size field before allocating. The
@@ -131,6 +136,7 @@ class ScratchArena {
     std::vector<Bytes> bitmap_levels_;
     std::vector<Bytes> bitmap_kept_;
     Bytes retained_;
+    Bytes trial_stash_;
     size_t decode_budget_ = SIZE_MAX;
     simd::Isa kernel_isa_ = simd::DefaultIsa();
 #if FPC_TELEMETRY

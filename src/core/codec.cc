@@ -30,29 +30,45 @@ CheckElementSize(ByteSpan compressed, size_t element_size,
     }
 }
 
-/** Algorithm recorded in a container's header, for telemetry context.
- *  Returns nullopt instead of throwing so the executor's own parse keeps
- *  sole ownership of corrupt-stream error reporting. */
-std::optional<Algorithm>
+/** Algorithm (and adaptive flag) recorded in a container's header, for
+ *  telemetry context. Returns nullopt instead of throwing so the
+ *  executor's own parse keeps sole ownership of corrupt-stream error
+ *  reporting. */
+struct HeaderContext {
+    Algorithm algorithm;
+    bool adaptive;
+};
+std::optional<HeaderContext>
 HeaderAlgorithm(ByteSpan compressed)
 {
     try {
-        return static_cast<Algorithm>(
-            ParseContainer(compressed).header.algorithm);
+        const ContainerHeader h = ParseContainer(compressed).header;
+        return HeaderContext{
+            static_cast<Algorithm>(h.algorithm),
+            h.version == ContainerHeader::kVersionAdaptive};
     } catch (...) {
         return std::nullopt;
     }
 }
 
-/** Run-span label: "compress SPspeed@cpu", "decompress DPratio@gpusim". */
+/** Algorithm label of a run — "auto" for adaptive containers, the fixed
+ *  algorithm's name otherwise, nullptr when the header did not parse. */
+const char*
+ContextAlgorithmName(const std::optional<HeaderContext>& context)
+{
+    if (!context.has_value()) return nullptr;
+    return context->adaptive ? "auto" : AlgorithmName(context->algorithm);
+}
+
+/** Run-span label: "compress SPspeed@cpu", "decompress auto@gpusim". */
 std::string
-RunLabel(const char* verb, std::optional<Algorithm> algorithm,
+RunLabel(const char* verb, const char* algorithm_name,
          const Executor& executor)
 {
     std::string label = verb;
-    if (algorithm.has_value()) {
+    if (algorithm_name != nullptr) {
         label += ' ';
-        label += AlgorithmName(*algorithm);
+        label += algorithm_name;
     }
     label += '@';
     label += executor.Name();
@@ -83,8 +99,10 @@ Compress(Algorithm algorithm, ByteSpan input, const Options& options)
     if (sink == nullptr && trace == nullptr) {
         return executor.Compress(algorithm, input, options);
     }
+    const char* algorithm_name =
+        options.adaptive ? "auto" : AlgorithmName(algorithm);
     if (sink != nullptr) {
-        sink->SetContext(executor.Name(), algorithm,
+        sink->SetContext(executor.Name(), std::string(algorithm_name),
                          RunIsaName(executor, options));
     }
     const uint64_t t0 = TelemetryNowNs();
@@ -93,7 +111,8 @@ Compress(Algorithm algorithm, ByteSpan input, const Options& options)
     if (sink != nullptr) sink->AddCompress(input.size(), out.size(), t1 - t0);
     if (trace != nullptr) {
         trace->RecordRun(kTraceEncode,
-                         RunLabel("compress", algorithm, executor), t0, t1);
+                         RunLabel("compress", algorithm_name, executor), t0,
+                         t1);
     }
     return out;
 }
@@ -110,18 +129,19 @@ Decompress(ByteSpan compressed, const Options& options)
     const uint64_t t0 = TelemetryNowNs();
     Bytes out = executor.Decompress(compressed, options);
     const uint64_t t1 = TelemetryNowNs();
-    const std::optional<Algorithm> algorithm = HeaderAlgorithm(compressed);
+    const std::optional<HeaderContext> context = HeaderAlgorithm(compressed);
+    const char* algorithm_name = ContextAlgorithmName(context);
     if (sink != nullptr) {
         sink->AddDecompress(compressed.size(), out.size(), t1 - t0);
-        if (algorithm.has_value()) {
-            sink->SetContext(executor.Name(), *algorithm,
+        if (algorithm_name != nullptr) {
+            sink->SetContext(executor.Name(), std::string(algorithm_name),
                              RunIsaName(executor, options));
         }
     }
     if (trace != nullptr) {
         trace->RecordRun(kTraceDecode,
-                         RunLabel("decompress", algorithm, executor), t0,
-                         t1);
+                         RunLabel("decompress", algorithm_name, executor),
+                         t0, t1);
     }
     return out;
 }
@@ -140,18 +160,19 @@ DecompressInto(ByteSpan compressed, std::span<std::byte> out,
     const uint64_t t0 = TelemetryNowNs();
     executor.DecompressInto(compressed, out, options);
     const uint64_t t1 = TelemetryNowNs();
-    const std::optional<Algorithm> algorithm = HeaderAlgorithm(compressed);
+    const std::optional<HeaderContext> context = HeaderAlgorithm(compressed);
+    const char* algorithm_name = ContextAlgorithmName(context);
     if (sink != nullptr) {
         sink->AddDecompress(compressed.size(), out.size(), t1 - t0);
-        if (algorithm.has_value()) {
-            sink->SetContext(executor.Name(), *algorithm,
+        if (algorithm_name != nullptr) {
+            sink->SetContext(executor.Name(), std::string(algorithm_name),
                              RunIsaName(executor, options));
         }
     }
     if (trace != nullptr) {
         trace->RecordRun(kTraceDecode,
-                         RunLabel("decompress", algorithm, executor), t0,
-                         t1);
+                         RunLabel("decompress", algorithm_name, executor),
+                         t0, t1);
     }
 }
 
@@ -187,7 +208,10 @@ DecompressRange(const ByteSource& source, uint64_t first_value,
 
     const StreamLayout layout = ResolveStreamLayout(source);
     const uint64_t total = layout.TotalElements();
-    if (!(first_value <= total && count <= total - first_value)) {
+    // An empty range is satisfiable anywhere — including first_value past
+    // the end and on zero-element streams — and returns empty bytes.
+    if (count > 0 &&
+        !(first_value <= total && count <= total - first_value)) {
         throw UsageError(std::string(caller) + ": range first=" +
                          std::to_string(first_value) + " count=" +
                          std::to_string(count) +
@@ -200,7 +224,7 @@ DecompressRange(const ByteSource& source, uint64_t first_value,
     delta.calls = 1;
     delta.elements = count;
     if (layout.from_index) delta.index_hits = 1;
-    std::optional<Algorithm> run_algorithm;
+    std::optional<HeaderContext> run_context;
     size_t word = 0;
 
     if (count > 0) {
@@ -238,7 +262,9 @@ DecompressRange(const ByteSource& source, uint64_t first_value,
                     frame.element_count * frame_word,
                 "seek index disagrees with frame header", "seek-index",
                 static_cast<size_t>(frame.frame_offset));
-            run_algorithm = algorithm;
+            run_context = HeaderContext{
+                algorithm, prefix.header.version ==
+                               ContainerHeader::kVersionAdaptive};
 
             // Frame-local element range covered by [first, first+count).
             const uint64_t frame_first =
@@ -310,15 +336,18 @@ DecompressRange(const ByteSource& source, uint64_t first_value,
         delta.io_reads = io_after.reads - io_before.reads;
         delta.io_bytes = io_after.bytes - io_before.bytes;
         sink->AddRangedRead(delta);
-        if (run_algorithm.has_value()) {
-            sink->SetContext(executor.Name(), *run_algorithm,
+        if (run_context.has_value()) {
+            sink->SetContext(executor.Name(),
+                             std::string(ContextAlgorithmName(run_context)),
                              RunIsaName(executor, options));
         }
     }
     if (trace != nullptr) {
-        trace->RecordRun(
-            kTraceDecode,
-            RunLabel("decompress-range", run_algorithm, executor), t0, t1);
+        trace->RecordRun(kTraceDecode,
+                         RunLabel("decompress-range",
+                                  ContextAlgorithmName(run_context),
+                                  executor),
+                         t0, t1);
     }
     return out;
 }
@@ -422,11 +451,29 @@ Inspect(ByteSpan compressed)
     info.chunk_sizes = std::move(view.chunk_sizes);
     info.chunk_raw = std::move(view.chunk_raw);
     for (uint8_t raw : info.chunk_raw) info.raw_chunks += raw;
+    info.adaptive =
+        view.header.version == ContainerHeader::kVersionAdaptive;
+    info.chunk_algorithms = std::move(view.chunk_algorithms);
+    for (uint8_t id : info.chunk_algorithms) ++info.algorithm_chunks[id];
     info.ratio = compressed.empty()
                      ? 0.0
                      : static_cast<double>(info.original_size) /
                            static_cast<double>(compressed.size());
     return info;
+}
+
+Options&
+Options::with_mode(const std::string& name)
+{
+    if (name == "auto") {
+        adaptive = true;
+    } else if (name == "fixed") {
+        adaptive = false;
+    } else {
+        throw UsageError("Options::with_mode: unknown mode \"" + name +
+                         "\" (expected \"auto\" or \"fixed\")");
+    }
+    return *this;
 }
 
 // ---------------------------------------------------------------------

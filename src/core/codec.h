@@ -23,6 +23,7 @@
 #ifndef FPC_CORE_CODEC_H
 #define FPC_CORE_CODEC_H
 
+#include <array>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -60,8 +61,11 @@ Bytes Decompress(ByteSpan compressed, const Options& options = {});
 void DecompressInto(ByteSpan compressed, std::span<std::byte> out,
                     const Options& options = {});
 
-/** User intent for the typed helpers: throughput or compression ratio. */
-enum class Mode : uint8_t { kSpeed, kRatio };
+/** User intent for the typed helpers: throughput, compression ratio, or
+ *  per-chunk adaptive selection (kAuto probes every 16 KiB chunk and
+ *  records the winning pipeline in a version-3 container; the element
+ *  type then only fixes the word width). */
+enum class Mode : uint8_t { kSpeed, kRatio, kAuto };
 
 namespace detail {
 /** Non-deprecated implementations behind the typed wrappers, shared with
@@ -130,6 +134,13 @@ struct CompressedInfo {
     double ratio = 0.0;             ///< original / compressed
     std::vector<uint32_t> chunk_sizes;  ///< stored payload bytes per chunk
     std::vector<uint8_t> chunk_raw;     ///< 1 = chunk stored verbatim
+    /** True for a version-3 (mode=auto) container; `algorithm` then names
+     *  the width representative, not every chunk's pipeline. */
+    bool adaptive = false;
+    /** Per-chunk algorithm ids of an adaptive container (empty for v1). */
+    std::vector<uint8_t> chunk_algorithms;
+    /** Chunks per algorithm id, counted over chunk_algorithms. */
+    std::array<uint32_t, 4> algorithm_chunks{};
 };
 
 /** Parse a container header + chunk table without decompressing. */
@@ -184,20 +195,22 @@ class Codec {
     Codec(Algorithm algorithm, const std::string& executor_name);
 
     /** Typed factory: For<float>(Mode::kRatio) selects SPratio,
-     *  For<double>(Mode::kSpeed) selects DPspeed, and so on. */
+     *  For<double>(Mode::kSpeed) selects DPspeed, and so on. Mode::kAuto
+     *  enables per-chunk adaptive selection on the width's speed
+     *  algorithm (the recorded representative of a v3 container). */
     template <typename T>
     static Codec
     For(Mode mode, Options options = {})
     {
         static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
                       "fpc::Codec::For supports float and double");
+        if (mode == Mode::kAuto) options.adaptive = true;
+        const bool ratio = mode == Mode::kRatio;
         if constexpr (std::is_same_v<T, float>) {
-            return Codec(mode == Mode::kSpeed ? Algorithm::kSPspeed
-                                              : Algorithm::kSPratio,
+            return Codec(ratio ? Algorithm::kSPratio : Algorithm::kSPspeed,
                          options);
         } else {
-            return Codec(mode == Mode::kSpeed ? Algorithm::kDPspeed
-                                              : Algorithm::kDPratio,
+            return Codec(ratio ? Algorithm::kDPratio : Algorithm::kDPspeed,
                          options);
         }
     }

@@ -11,6 +11,13 @@ namespace fpc {
 namespace {
 
 constexpr uint32_t kRawFlag = 0x80000000u;
+// v3 chunk-table entries carry the per-chunk algorithm id in bits
+// 29..30; the payload size then occupies bits 0..28 (a chunk payload is
+// at most kChunkSize bytes, far below 2^29). v1 entries keep the full
+// 31-bit size field.
+constexpr unsigned kAlgoShift = 29;
+constexpr uint32_t kAlgoMask = 0x3u << kAlgoShift;
+constexpr uint32_t kSizeMaskAdaptive = (1u << kAlgoShift) - 1;
 
 /** Parse + validate the fixed-size header fields. @p bytes must hold
  *  exactly ContainerHeaderSize() bytes; @p base is the absolute position
@@ -24,16 +31,27 @@ ParseHeaderBytes(ByteSpan bytes, const char* stage, size_t base)
     FPC_PARSE_CHECK_AT(h.magic == ContainerHeader::kMagic, "bad magic",
                        stage, base);
     h.version = br.GetU8();
-    FPC_PARSE_CHECK_AT(h.version == ContainerHeader::kVersion,
+    FPC_PARSE_CHECK_AT(h.version == ContainerHeader::kVersion ||
+                           h.version == ContainerHeader::kVersionAdaptive,
                        "unsupported version", stage, base + 4);
     h.algorithm = br.GetU8();
     FPC_PARSE_CHECK_AT(h.algorithm <= 3, "unknown algorithm id", stage,
+                       base + 5);
+    // v3 headers carry only a width-fixing representative; both legal
+    // values are pre-stage-free, so the per-chunk decode drivers apply.
+    FPC_PARSE_CHECK_AT(h.version != ContainerHeader::kVersionAdaptive ||
+                           h.algorithm == 0 || h.algorithm == 2,
+                       "invalid adaptive representative algorithm", stage,
                        base + 5);
     h.reserved = br.Get<uint16_t>();
     h.original_size = br.Get<uint64_t>();
     h.transformed_size = br.Get<uint64_t>();
     h.checksum = br.Get<uint64_t>();
     h.chunk_count = br.Get<uint32_t>();
+    FPC_PARSE_CHECK_AT(h.version != ContainerHeader::kVersionAdaptive ||
+                           h.transformed_size == h.original_size,
+                       "adaptive container with a pre-stage", stage,
+                       base + 16);
 
     const uint64_t expected_chunks =
         (h.transformed_size + kChunkSize - 1) / kChunkSize;
@@ -56,10 +74,16 @@ ContainerHeaderSize()
 void
 WriteContainerPrefix(const ContainerHeader& header,
                      const std::vector<uint32_t>& sizes,
-                     const std::vector<uint8_t>& raw_flags, Bytes& out)
+                     const std::vector<uint8_t>& raw_flags,
+                     const std::vector<uint8_t>& algorithm_ids, Bytes& out)
 {
     FPC_CHECK(sizes.size() == raw_flags.size(), "chunk table mismatch");
     FPC_CHECK(sizes.size() == header.chunk_count, "chunk count mismatch");
+    const bool adaptive =
+        header.version == ContainerHeader::kVersionAdaptive;
+    FPC_CHECK(adaptive ? algorithm_ids.size() == sizes.size()
+                       : algorithm_ids.empty(),
+              "algorithm id table mismatch");
     ByteWriter wr(out);
     wr.Put<uint32_t>(header.magic);
     wr.PutU8(header.version);
@@ -70,9 +94,26 @@ WriteContainerPrefix(const ContainerHeader& header,
     wr.Put<uint64_t>(header.checksum);
     wr.Put<uint32_t>(header.chunk_count);
     for (size_t i = 0; i < sizes.size(); ++i) {
-        FPC_CHECK(sizes[i] < kRawFlag, "chunk payload too large");
-        wr.Put<uint32_t>(sizes[i] | (raw_flags[i] ? kRawFlag : 0));
+        uint32_t entry = sizes[i] | (raw_flags[i] ? kRawFlag : 0);
+        if (adaptive) {
+            FPC_CHECK(sizes[i] <= kSizeMaskAdaptive,
+                      "chunk payload too large");
+            FPC_CHECK(algorithm_ids[i] <= 3,
+                      "per-chunk algorithm id out of range");
+            entry |= static_cast<uint32_t>(algorithm_ids[i]) << kAlgoShift;
+        } else {
+            FPC_CHECK(sizes[i] < kRawFlag, "chunk payload too large");
+        }
+        wr.Put<uint32_t>(entry);
     }
+}
+
+void
+WriteContainerPrefix(const ContainerHeader& header,
+                     const std::vector<uint32_t>& sizes,
+                     const std::vector<uint8_t>& raw_flags, Bytes& out)
+{
+    WriteContainerPrefix(header, sizes, raw_flags, {}, out);
 }
 
 ContainerView
@@ -88,19 +129,27 @@ ParseContainer(ByteSpan compressed)
 
     ByteReader br(compressed.subspan(header_size), kStage);
     // The chunk table must fit in the bytes that are actually present
-    // before the three per-chunk vectors are sized from it; a forged
-    // count would otherwise drive multi-gigabyte allocations from a
-    // tiny input.
+    // before the per-chunk vectors are sized from it; a forged count
+    // would otherwise drive multi-gigabyte allocations from a tiny
+    // input.
     FPC_PARSE_CHECK_AT(h.chunk_count <= br.Remaining() / sizeof(uint32_t),
                        "chunk table exceeds buffer", kStage, 32);
 
+    const bool adaptive = h.version == ContainerHeader::kVersionAdaptive;
     view.chunk_sizes.resize(h.chunk_count);
     view.chunk_raw.resize(h.chunk_count);
     view.chunk_offsets.resize(h.chunk_count);
+    if (adaptive) view.chunk_algorithms.resize(h.chunk_count);
     size_t offset = 0;
     for (uint32_t c = 0; c < h.chunk_count; ++c) {
         uint32_t entry = br.Get<uint32_t>();
-        view.chunk_sizes[c] = entry & ~kRawFlag;
+        if (adaptive) {
+            view.chunk_sizes[c] = entry & kSizeMaskAdaptive;
+            view.chunk_algorithms[c] =
+                static_cast<uint8_t>((entry & kAlgoMask) >> kAlgoShift);
+        } else {
+            view.chunk_sizes[c] = entry & ~kRawFlag;
+        }
         view.chunk_raw[c] = (entry & kRawFlag) ? 1 : 0;
         view.chunk_offsets[c] = offset;
         offset += view.chunk_sizes[c];
@@ -150,13 +199,21 @@ ParseContainerPrefix(const ByteSource& source, uint64_t container_start,
     Bytes table(size_t{h.chunk_count} * sizeof(uint32_t));
     source.ReadAt(container_start + header_size, table);
     ByteReader br(table, kStage);
+    const bool adaptive = h.version == ContainerHeader::kVersionAdaptive;
     prefix.chunk_sizes.resize(h.chunk_count);
     prefix.chunk_raw.resize(h.chunk_count);
     prefix.chunk_offsets.resize(h.chunk_count);
+    if (adaptive) prefix.chunk_algorithms.resize(h.chunk_count);
     size_t offset = 0;
     for (uint32_t c = 0; c < h.chunk_count; ++c) {
         uint32_t entry = br.Get<uint32_t>();
-        prefix.chunk_sizes[c] = entry & ~kRawFlag;
+        if (adaptive) {
+            prefix.chunk_sizes[c] = entry & kSizeMaskAdaptive;
+            prefix.chunk_algorithms[c] =
+                static_cast<uint8_t>((entry & kAlgoMask) >> kAlgoShift);
+        } else {
+            prefix.chunk_sizes[c] = entry & ~kRawFlag;
+        }
         prefix.chunk_raw[c] = (entry & kRawFlag) ? 1 : 0;
         prefix.chunk_offsets[c] = offset;
         offset += prefix.chunk_sizes[c];

@@ -11,6 +11,27 @@
  * equal to `original_size` for SPspeed/SPratio/DPspeed, and the FCM
  * output size for DPratio (whose pre-stage runs before chunking).
  *
+ * ## Container v3: per-chunk algorithm ids (adaptive selection)
+ *
+ * A version-3 container has the same byte layout as v1; the per-chunk
+ * algorithm id rides in bits 29..30 of each chunk-table entry (chunk
+ * payloads never exceed 16 KiB + slop, so the size needs only bits
+ * 0..28). The id names the Algorithm that encoded each chunk — DPratio
+ * chunks use the *chunked* DPratio pipeline, whose FCM stage runs per
+ * chunk, never whole-input. Packing the ids into spare bits makes the
+ * table free: on inputs where one pipeline wins every chunk, an
+ * adaptive container is exactly the size of the fixed one, so
+ * `mode=auto` never pays a per-chunk tax for the option it didn't use.
+ *
+ * `header.algorithm` then holds only a *representative* id fixing the
+ * element width (kSPspeed for 4-byte elements, kDPspeed for 8-byte) —
+ * both are pre-stage-free, so `transformed_size == original_size`
+ * always holds for v3 and every existing pre-stage-free decode driver
+ * applies, including chunk-ranged reads. Fixed-algorithm encodes keep
+ * emitting version-1 bytes unchanged (the golden checksums pin them);
+ * only `mode=auto` produces v3. Version byte 2 is deliberately skipped:
+ * "v2" names the seekable *file* format below, not a container layout.
+ *
  * Compressed data is contiguous (paper Section 5: unlike nvCOMP, our
  * compressors concatenate the chunks into one memory block).
  *
@@ -53,6 +74,9 @@ namespace fpc {
 struct ContainerHeader {
     static constexpr uint32_t kMagic = 0x5a435046;  // "FPCZ"
     static constexpr uint8_t kVersion = 1;
+    /** Mixed-algorithm container with a per-chunk id table (see the
+     *  file comment); 2 is skipped — it names the seekable file format. */
+    static constexpr uint8_t kVersionAdaptive = 3;
 
     uint32_t magic = kMagic;
     uint8_t version = kVersion;
@@ -70,10 +94,22 @@ struct ContainerView {
     std::vector<uint32_t> chunk_sizes;   ///< payload bytes per chunk
     std::vector<uint8_t> chunk_raw;      ///< 1 = stored verbatim
     std::vector<size_t> chunk_offsets;   ///< into the payload area
+    /** v3 only: the Algorithm id per chunk. Empty for v1 containers —
+     *  every chunk then uses header.algorithm. */
+    std::vector<uint8_t> chunk_algorithms;
     ByteSpan payload;                    ///< all chunk payloads
 };
 
-/** Serialize the header + chunk table. */
+/** Serialize the header + chunk table. For version kVersionAdaptive,
+ *  @p algorithm_ids must hold chunk_count entries — each is packed into
+ *  bits 29..30 of its chunk-table entry; it must be empty for v1. */
+void WriteContainerPrefix(const ContainerHeader& header,
+                          const std::vector<uint32_t>& sizes,
+                          const std::vector<uint8_t>& raw_flags,
+                          const std::vector<uint8_t>& algorithm_ids,
+                          Bytes& out);
+
+/** v1 convenience overload: no per-chunk algorithm id table. */
 void WriteContainerPrefix(const ContainerHeader& header,
                           const std::vector<uint32_t>& sizes,
                           const std::vector<uint8_t>& raw_flags, Bytes& out);
@@ -96,6 +132,8 @@ struct ContainerPrefix {
     std::vector<uint32_t> chunk_sizes;
     std::vector<uint8_t> chunk_raw;
     std::vector<size_t> chunk_offsets;
+    /** v3 only: per-chunk algorithm ids (empty for v1 containers). */
+    std::vector<uint8_t> chunk_algorithms;
     uint64_t payload_offset = 0;
     uint64_t payload_size = 0;
 };

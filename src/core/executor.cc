@@ -9,6 +9,7 @@
 #include <omp.h>
 #endif
 
+#include "core/adaptive.h"
 #include "core/orchestrate.h"
 #include "core/telemetry.h"
 #include "gpusim/launch.h"
@@ -103,10 +104,13 @@ class CpuExecutor final : public Executor {
                                 static_cast<size_t>(threads));
 
         // Whole-input pre-stage (FCM); algorithms without one chunk the
-        // input in place — no staging copy.
+        // input in place — no staging copy. Adaptive encodes never run a
+        // pre-stage: each chunk picks its own (possibly FCM-chunked)
+        // pipeline in the loop below.
+        const bool adaptive = options.adaptive;
         Bytes work;
         ByteSpan chunk_src = input;
-        if (spec.pre.encode != nullptr) {
+        if (!adaptive && spec.pre.encode != nullptr) {
             ScratchArena pre_scratch;
             pre_scratch.SetKernelIsa(ResolveIsa(options));
             const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
@@ -129,6 +133,7 @@ class CpuExecutor final : public Executor {
         // no allocations per chunk once the arenas are warm.
         const size_t n_chunks = ChunkCountOf(chunk_src.size());
         EncodePlan plan(n_chunks);
+        if (adaptive) plan.EnableAdaptive();
         std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
         const simd::Isa isa = ResolveIsa(options);
         for (ScratchArena& arena : arenas) arena.SetKernelIsa(isa);
@@ -146,8 +151,16 @@ class CpuExecutor final : public Executor {
             if (ring != nullptr) ring->SetChunk(static_cast<uint64_t>(c));
             const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
             bool raw = false;
-            ByteSpan payload =
-                EncodeChunk(spec, ChunkAt(chunk_src, c), raw, scratch);
+            ByteSpan payload;
+            if (adaptive) {
+                uint8_t id = 0;
+                payload = EncodeChunkAuto(ChunkAt(chunk_src, c), raw, id,
+                                          scratch, &EncodeChunk);
+                plan.algorithm_ids[c] = id;
+            } else {
+                payload =
+                    EncodeChunk(spec, ChunkAt(chunk_src, c), raw, scratch);
+            }
             plan.Record(c, worker, payload, raw, scratch);
             if (shard != nullptr) {
                 const uint64_t t1 = TelemetryNowNs();
@@ -160,7 +173,9 @@ class CpuExecutor final : public Executor {
         }
 
         const ContainerHeader header =
-            MakeContainerHeader(algorithm, input, chunk_src.size());
+            adaptive ? MakeAdaptiveContainerHeader(algorithm, input)
+                     : MakeContainerHeader(algorithm, input,
+                                           chunk_src.size());
         const WritePositions wp = ComputeWritePositions(plan.sizes);
         Bytes out = AssembleContainer(header, plan, wp.offsets, wp.total,
                                       arenas, threads);
@@ -231,7 +246,8 @@ class CpuExecutor final : public Executor {
                     ByteSpan payload =
                         view.payload.subspan(view.chunk_offsets[c],
                                              view.chunk_sizes[c]);
-                    DecodeChunk(spec, payload, view.chunk_raw[c],
+                    DecodeChunk(ChunkSpec(view, spec, c), payload,
+                                view.chunk_raw[c],
                                 ChunkSlotAt(dest, transformed_size, c),
                                 scratch);
                     if (shard != nullptr) {
@@ -333,7 +349,8 @@ class DeviceExecutor final : public Executor {
         // telemetry/trace sinks are taken from the options.
         gpusim::Device device(profile_);
         return gpusim::CompressOnDevice(device, algorithm, input,
-                                        SinkOf(options), TraceOf(options));
+                                        SinkOf(options), TraceOf(options),
+                                        options.adaptive);
     }
 
     Bytes

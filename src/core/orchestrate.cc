@@ -21,6 +21,22 @@ MakeContainerHeader(Algorithm algorithm, ByteSpan input,
     return header;
 }
 
+Algorithm
+AdaptiveRepresentative(Algorithm algorithm)
+{
+    return GetPipeline(algorithm).word_size == 8 ? Algorithm::kDPspeed
+                                                 : Algorithm::kSPspeed;
+}
+
+ContainerHeader
+MakeAdaptiveContainerHeader(Algorithm algorithm, ByteSpan input)
+{
+    ContainerHeader header = MakeContainerHeader(
+        AdaptiveRepresentative(algorithm), input, input.size());
+    header.version = ContainerHeader::kVersionAdaptive;
+    return header;
+}
+
 WritePositions
 ComputeWritePositions(const std::vector<uint32_t>& sizes)
 {
@@ -41,7 +57,8 @@ AssembleContainer(const ContainerHeader& header, const EncodePlan& plan,
     const size_t prefix_size = ContainerHeaderSize() + n_chunks * 4;
     Bytes out;
     out.reserve(prefix_size + total);
-    WriteContainerPrefix(header, plan.sizes, plan.raw_flags, out);
+    WriteContainerPrefix(header, plan.sizes, plan.raw_flags,
+                         plan.algorithm_ids, out);
     FPC_CHECK(out.size() == prefix_size, "container prefix size mismatch");
     out.resize(prefix_size + total);
 
@@ -187,6 +204,11 @@ MakeChunkRangeView(const ContainerPrefix& prefix, size_t first_chunk,
                             prefix.chunk_sizes.begin() + chunk_end);
     view.chunk_raw.assign(prefix.chunk_raw.begin() + first_chunk,
                           prefix.chunk_raw.begin() + chunk_end);
+    if (!prefix.chunk_algorithms.empty()) {
+        view.chunk_algorithms.assign(
+            prefix.chunk_algorithms.begin() + first_chunk,
+            prefix.chunk_algorithms.begin() + chunk_end);
+    }
     view.chunk_offsets.resize(n);
     size_t offset = 0;
     for (size_t c = 0; c < n; ++c) {
@@ -214,7 +236,7 @@ RunDecompressSerial(ByteSpan compressed, ScratchArena& scratch)
             const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
             ByteSpan payload = view.payload.subspan(view.chunk_offsets[c],
                                                     view.chunk_sizes[c]);
-            DecodeChunk(spec, payload, view.chunk_raw[c],
+            DecodeChunk(ChunkSpec(view, spec, c), payload, view.chunk_raw[c],
                         ChunkSlotAt(dest, transformed_size, c), scratch);
             if (shard != nullptr) {
                 const uint64_t t1 = TelemetryNowNs();

@@ -83,12 +83,42 @@ struct EncodePlan {
     std::vector<uint8_t> raw_flags;
     std::vector<uint32_t> sizes;
     std::vector<Ref> refs;
+    /** Per-chunk algorithm ids of an adaptive (mode=auto) encode, filled
+     *  by the scheduler next to each Record call; sized by
+     *  EnableAdaptive, empty for fixed-algorithm encodes. */
+    std::vector<uint8_t> algorithm_ids;
+
+    void EnableAdaptive() { algorithm_ids.assign(sizes.size(), 0); }
 };
 
 /** Container header for @p input compressed with @p algorithm (computes
  *  the content checksum). */
 ContainerHeader MakeContainerHeader(Algorithm algorithm, ByteSpan input,
                                     size_t transformed_size);
+
+/** The pre-stage-free algorithm of @p algorithm's element width —
+ *  kSPspeed for 4-byte, kDPspeed for 8-byte — recorded as the
+ *  representative in a v3 header (the per-chunk id table holds the real
+ *  decisions). */
+Algorithm AdaptiveRepresentative(Algorithm algorithm);
+
+/** Version-3 header for an adaptive encode of @p input: the width
+ *  representative of @p algorithm, transformed == original (adaptive
+ *  containers never run a whole-input pre-stage). */
+ContainerHeader MakeAdaptiveContainerHeader(Algorithm algorithm,
+                                            ByteSpan input);
+
+/** The pipeline that decodes chunk @p c of @p view: the recorded
+ *  per-chunk pipeline for a v3 view, @p frame_spec otherwise. */
+inline const PipelineSpec&
+ChunkSpec(const ContainerView& view, const PipelineSpec& frame_spec,
+          size_t c)
+{
+    return view.chunk_algorithms.empty()
+               ? frame_spec
+               : GetChunkPipeline(
+                     static_cast<Algorithm>(view.chunk_algorithms[c]));
+}
 
 /** Final payload write positions: exclusive prefix sum over the stored
  *  chunk sizes. The device path computes the same offsets with the

@@ -58,6 +58,25 @@ const PipelineSpec kDpRatio{
     },
 };
 
+// DPratio for one chunk of a mixed-algorithm (v3) container: FCM runs as
+// the first per-chunk stage instead of over the whole input. FCM roughly
+// doubles its input (value + match-distance arrays), so the intermediate
+// decode buffers need a 2x budget on top of the fixed slack.
+const PipelineSpec kDpRatioChunked{
+    "DPratio",
+    Algorithm::kDPratio,
+    8,
+    {},
+    {
+        {"FCM", StageId::kFcm, tf::FcmEncode, tf::FcmDecode},
+        {"DIFFMS", StageId::kDiffms, tf::DiffmsEncode64, tf::DiffmsDecode64,
+         tf::DiffmsDecodeInto64},
+        {"RAZE", StageId::kRaze, tf::RazeEncode64, tf::RazeDecode64},
+        {"RARE", StageId::kRare, tf::RareEncode64, tf::RareDecode64},
+    },
+    2,
+};
+
 }  // namespace
 
 const char*
@@ -100,6 +119,13 @@ GetPipeline(Algorithm algorithm)
       case Algorithm::kDPratio: return kDpRatio;
     }
     throw UsageError("unknown algorithm id");
+}
+
+const PipelineSpec&
+GetChunkPipeline(Algorithm algorithm)
+{
+    return algorithm == Algorithm::kDPratio ? kDpRatioChunked
+                                            : GetPipeline(algorithm);
 }
 
 ByteSpan
@@ -160,8 +186,10 @@ DecodeChunk(const PipelineSpec& spec, ByteSpan payload, bool raw,
                     "non-raw chunk in a stage-free pipeline");
     // Budget every stage's wire-declared output size before it allocates:
     // intermediate stage outputs may exceed the destination only by the
-    // fixed per-stage framing slack (see kChunkDecodeSlack).
-    scratch.SetDecodeBudget(dest.size() + kChunkDecodeSlack);
+    // spec's expansion factor (2x for the chunked-FCM DPratio pipeline)
+    // plus the fixed per-stage framing slack (see kChunkDecodeSlack).
+    scratch.SetDecodeBudget(dest.size() * spec.decode_budget_factor +
+                            kChunkDecodeSlack);
     Bytes* src = &scratch.PipelineA();
     Bytes* dst = &scratch.PipelineB();
     ByteSpan cur = payload;

@@ -48,10 +48,23 @@ struct PipelineSpec {
     unsigned word_size = 4;            ///< bytes per value (4 or 8)
     Stage pre;                         ///< whole-input stage; null if none
     std::vector<Stage> stages;         ///< per-chunk stages, encode order
+    /** Multiplier on the destination size when budgeting intermediate
+     *  decode buffers: an FCM chunk stage legitimately expands a chunk to
+     *  about twice its size, which the fixed kChunkDecodeSlack alone does
+     *  not cover. */
+    unsigned decode_budget_factor = 1;
 };
 
 /** Pipeline for one of the four algorithms. */
 const PipelineSpec& GetPipeline(Algorithm algorithm);
+
+/**
+ * Pipeline used for a single chunk of a v3 (mixed-algorithm) container.
+ * Identical to GetPipeline except for kDPratio, whose whole-input FCM
+ * pre-stage becomes a per-chunk stage — adaptive selection is a
+ * per-chunk decision, so no stage may span chunks.
+ */
+const PipelineSpec& GetChunkPipeline(Algorithm algorithm);
 
 /**
  * Run the chunk stages forward over @p chunk using @p scratch for every

@@ -306,20 +306,48 @@ ParallelStreamDecoder::ParallelStreamDecoder(const ByteSource& source,
     if (n_frames == 0) return;  // nothing to decode; spawn no threads
     ResolveIsa(options_);  // validate the ISA here, not on a worker thread
     threads_.reserve(static_cast<size_t>(workers_));
-    for (int w = 0; w < workers_; ++w) {
-        threads_.emplace_back(
-            [this, w] { WorkerLoop(static_cast<size_t>(w)); });
+    try {
+        for (int w = 0; w < workers_; ++w) {
+            threads_.emplace_back(
+                [this, w] { WorkerLoop(static_cast<size_t>(w)); });
+        }
+    } catch (...) {
+        // A worker failed to spawn (e.g. thread-resource exhaustion).
+        // Stop and join the ones already running before rethrowing —
+        // letting the exception escape with live threads would
+        // std::terminate when threads_ is destroyed.
+        Shutdown();
+        throw;
     }
 }
 
 ParallelStreamDecoder::~ParallelStreamDecoder()
+{
+    // The consumer may abandon the stream with frames still in flight
+    // (error mid-copy, partial read by design). Workers park on
+    // space_cv_ once the in-flight window fills, so wake them, join,
+    // and drop whatever they produced — including pending decode
+    // exceptions, which must not escape a destructor.
+    Shutdown();
+}
+
+void
+ParallelStreamDecoder::Shutdown() noexcept
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
     }
     space_cv_.notify_all();
-    for (std::thread& thread : threads_) thread.join();
+    ready_cv_.notify_all();
+    for (std::thread& thread : threads_) {
+        if (thread.joinable()) thread.join();
+    }
+    threads_.clear();
+    // Drain claimed-but-undelivered frames. Erasing a FrameResult drops
+    // its exception_ptr without rethrowing.
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_.clear();
 }
 
 void
@@ -402,15 +430,7 @@ ParallelStreamDecoder::stats()
 {
     // After the last frame is delivered the workers are done; join them
     // so every per-worker shard has merged before the snapshot.
-    if (!HasNext() && !threads_.empty()) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stop_ = true;
-        }
-        space_cv_.notify_all();
-        for (std::thread& thread : threads_) thread.join();
-        threads_.clear();
-    }
+    if (!HasNext() && !threads_.empty()) Shutdown();
     Telemetry* sink = SinkOf(options_);
     return sink != nullptr ? sink->Snapshot() : TelemetrySnapshot{};
 }

@@ -245,6 +245,13 @@ class ParallelStreamDecoder {
 
     void WorkerLoop(size_t worker_id);
 
+    /** Stop and join every spawned worker, then discard any claimed but
+     *  undelivered frames (their pending exceptions are dropped, never
+     *  rethrown). Safe to call repeatedly; used by the destructor when
+     *  the consumer abandons the stream early and by the constructor
+     *  when a worker fails to spawn. */
+    void Shutdown() noexcept;
+
     const ByteSource& source_;
     Options options_;
     StreamLayout layout_;

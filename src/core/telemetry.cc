@@ -35,6 +35,15 @@ TelemetryShard::Merge(const TelemetryShard& other)
     mplg_enhanced += other.mplg_enhanced;
     arena_high_water_bytes =
         std::max(arena_high_water_bytes, other.arena_high_water_bytes);
+    for (size_t a = 0; a < adaptive_chunks.size(); ++a) {
+        adaptive_chunks[a] += other.adaptive_chunks[a];
+    }
+    adaptive_raw_chunks += other.adaptive_raw_chunks;
+    adaptive_probe_calls += other.adaptive_probe_calls;
+    adaptive_probe_ns += other.adaptive_probe_ns;
+    adaptive_trials += other.adaptive_trials;
+    adaptive_predicted_bytes += other.adaptive_predicted_bytes;
+    adaptive_actual_bytes += other.adaptive_actual_bytes;
 }
 
 void
@@ -77,9 +86,16 @@ void
 Telemetry::SetContext(const std::string& executor, Algorithm algorithm,
                       const char* isa)
 {
+    SetContext(executor, std::string(AlgorithmName(algorithm)), isa);
+}
+
+void
+Telemetry::SetContext(const std::string& executor,
+                      const std::string& algorithm, const char* isa)
+{
     std::lock_guard<std::mutex> lock(mutex_);
     state_.executor = executor;
-    state_.algorithm = AlgorithmName(algorithm);
+    state_.algorithm = algorithm;
     state_.isa = isa;
 }
 
@@ -154,18 +170,20 @@ AppendDigest(std::string& out, const char* key,
 
 }  // namespace
 
-// Schema "fpc.telemetry.v3" (v2 + the "ranged" random-access block): the
+// Schema "fpc.telemetry.v4" (v3 + the "adaptive" mode=auto block): the
 // key set, nesting, and the fixed seven-entry stage order below are
 // load-bearing — fpczip --stats, the figure benches' CSV columns, the
 // bench-regression baselines, and tools/check_stats_schema.py all
 // consume this shape. Extend by adding keys; never rename or reorder
-// without bumping the schema tag.
+// without bumping the schema tag. The adaptive block is always emitted
+// (all-zero for fixed-algorithm runs) so consumers need no presence
+// checks.
 std::string
 ToJson(const TelemetrySnapshot& snapshot)
 {
     std::string out;
     out.reserve(3072);
-    out += "{\"schema\": \"fpc.telemetry.v3\", ";
+    out += "{\"schema\": \"fpc.telemetry.v4\", ";
     out += "\"executor\": \"" + snapshot.executor + "\", ";
     out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
     out += "\"isa\": \"" + snapshot.isa + "\", ";
@@ -188,6 +206,25 @@ ToJson(const TelemetrySnapshot& snapshot)
     AppendField(out, "encoded", snapshot.counters.chunks_encoded, false);
     AppendField(out, "raw_fallback", snapshot.counters.chunks_raw, false);
     AppendField(out, "decoded", snapshot.counters.chunks_decoded, true);
+    out += "}, \"adaptive\": {";
+    out += "\"chunks\": {";
+    for (size_t a = 0; a < snapshot.counters.adaptive_chunks.size(); ++a) {
+        AppendField(out, AlgorithmName(static_cast<Algorithm>(a)),
+                    snapshot.counters.adaptive_chunks[a],
+                    a + 1 == snapshot.counters.adaptive_chunks.size());
+    }
+    out += "}, ";
+    AppendField(out, "raw_chunks", snapshot.counters.adaptive_raw_chunks,
+                false);
+    AppendField(out, "probe_calls", snapshot.counters.adaptive_probe_calls,
+                false);
+    AppendField(out, "probe_ns", snapshot.counters.adaptive_probe_ns,
+                false);
+    AppendField(out, "trials", snapshot.counters.adaptive_trials, false);
+    AppendField(out, "predicted_bytes",
+                snapshot.counters.adaptive_predicted_bytes, false);
+    AppendField(out, "actual_bytes",
+                snapshot.counters.adaptive_actual_bytes, true);
     out += "}, \"mplg\": {";
     AppendField(out, "subchunks", snapshot.counters.mplg_subchunks, false);
     AppendField(out, "enhanced_subchunks", snapshot.counters.mplg_enhanced,

@@ -29,7 +29,7 @@
  *    container totals (asserted by tests/telemetry_test.cc).
  *
  * The JSON exported by ToJson() is a stable, versioned schema
- * ("fpc.telemetry.v3": v2 plus the "ranged" random-access block) consumed
+ * ("fpc.telemetry.v4": v3 plus the "adaptive" mode=auto block) consumed
  * by `fpczip --stats`, the eval harness, and the figure benches;
  * tools/check_stats_schema.py pins it. Timeline tracing
  * (span-level, exported as Chrome trace-event JSON) lives in
@@ -188,6 +188,16 @@ struct TelemetryShard {
     uint64_t mplg_subchunks = 0;  ///< MPLG subchunks seen on encode
     uint64_t mplg_enhanced = 0;   ///< subchunks that took the retry path
     uint64_t arena_high_water_bytes = 0;  ///< max arena capacity observed
+    /** Adaptive (mode=auto) selection counters (core/adaptive.cc). In an
+     *  auto run, chunks_encoded counts encode *attempts* — each margin
+     *  trial adds one — so chunks_encoded = chunks + adaptive_trials. */
+    std::array<uint64_t, 4> adaptive_chunks{};  ///< chunks won, by Algorithm
+    uint64_t adaptive_raw_chunks = 0;  ///< chunks the probe sent to raw
+    uint64_t adaptive_probe_calls = 0;
+    uint64_t adaptive_probe_ns = 0;    ///< feature probe time (not trials)
+    uint64_t adaptive_trials = 0;      ///< second-candidate trial encodes
+    uint64_t adaptive_predicted_bytes = 0;  ///< probe's winning predictions
+    uint64_t adaptive_actual_bytes = 0;     ///< stored payload bytes
     /** This worker's span ring, or nullptr when tracing is not attached
      *  for the run. Wired by TelemetryRunScope; never merged. */
     TraceRing* trace = nullptr;
@@ -286,7 +296,7 @@ struct TelemetrySnapshot {
 };
 
 /** Render a snapshot as one line of schema-stable JSON
- *  ("fpc.telemetry.v3"; see DESIGN.md "Observability"). */
+ *  ("fpc.telemetry.v4"; see DESIGN.md "Observability"). */
 std::string ToJson(const TelemetrySnapshot& snapshot);
 
 /**
@@ -316,6 +326,11 @@ class Telemetry {
     /** Record which backend/algorithm/kernel-ISA the (last) run used. */
     void SetContext(const std::string& executor, Algorithm algorithm,
                     const char* isa);
+
+    /** SetContext with a free-form algorithm label — "auto" for adaptive
+     *  (mode=auto) runs, whose containers have no single algorithm. */
+    void SetContext(const std::string& executor,
+                    const std::string& algorithm, const char* isa);
 
     TelemetrySnapshot Snapshot() const;
     std::string ToJson() const { return fpc::ToJson(Snapshot()); }

@@ -63,6 +63,11 @@ struct Options {
      *  level emits identical bytes; this is a throughput/debug knob. */
     static constexpr uint8_t kIsaAuto = 0xff;
     uint8_t isa = kIsaAuto;
+    /** Per-chunk adaptive algorithm selection (`mode=auto`): probe every
+     *  16 KiB chunk and record the winning pipeline in a version-3
+     *  container. The requested Algorithm then only fixes the element
+     *  width. False = the classic fixed-algorithm v1 container. */
+    bool adaptive = false;
 
     Options&
     with_device(Device d)
@@ -95,6 +100,18 @@ struct Options {
      *  backends always follow the process default. Defined in
      *  core/executor.cc. */
     Options& with_isa(const std::string& name);
+
+    Options&
+    with_adaptive(bool on = true)
+    {
+        adaptive = on;
+        return *this;
+    }
+
+    /** Select the chunk-algorithm mode by name: "auto" enables per-chunk
+     *  adaptive selection, "fixed" disables it. Throws UsageError for
+     *  other names. Defined in core/codec.cc. */
+    Options& with_mode(const std::string& name);
 
     Options&
     with_telemetry(Telemetry* sink)

@@ -41,6 +41,25 @@ OurCodec(Algorithm algorithm, const std::string& backend)
 }
 
 EvalCodec
+OurAdaptiveCodec(Algorithm algorithm, const Executor& executor)
+{
+    EvalCodec codec;
+    codec.name = AlgorithmWordSize(algorithm) == 8 ? "auto-DP" : "auto-SP";
+    codec.telemetry = std::make_shared<Telemetry>();
+    Options options;
+    options.executor = &executor;
+    options.telemetry = codec.telemetry.get();
+    options.adaptive = true;
+    codec.compress = [algorithm, options](ByteSpan in) {
+        return Compress(algorithm, in, options);
+    };
+    codec.decompress = [options](ByteSpan in) {
+        return Decompress(in, options);
+    };
+    return codec;
+}
+
+EvalCodec
 OurCodec(Algorithm algorithm, Device device)
 {
     return OurCodec(algorithm, ResolveExecutor(Options{.device = device}));

@@ -47,6 +47,10 @@ EvalCodec OurCodec(Algorithm algorithm, const Executor& executor,
 /** Wrap an algorithm on a backend named in the executor registry. */
 EvalCodec OurCodec(Algorithm algorithm, const std::string& backend);
 
+/** Wrap mode=auto (per-chunk adaptive selection) for @p algorithm's
+ *  element width on the given backend; named "auto-SP" / "auto-DP". */
+EvalCodec OurAdaptiveCodec(Algorithm algorithm, const Executor& executor);
+
 /** Legacy device-enum selection (maps to "cpu" / the default gpusim
  *  backend). */
 EvalCodec OurCodec(Algorithm algorithm, Device device);

@@ -760,6 +760,18 @@ LookupDeviceStage(const std::string& name, unsigned word_size)
                                                    in, out, budget);
                 }};
     }
+    if (name == "FCM" && word_size == 8) {
+        // Per-chunk FCM of the adaptive DPratio pipeline. The device FCM
+        // transform is whole-buffer; as a chunk stage the buffer is the
+        // chunk, and its decode allocations are payload-bounded (the
+        // spec's decode_budget_factor covers its ~2x intermediate).
+        return {[](ThreadBlock&, ByteSpan in, Bytes& out) {
+                    FcmEncodeDevice(in, out);
+                },
+                [](ThreadBlock&, ByteSpan in, Bytes& out, size_t) {
+                    FcmDecodeDevice(in, out);
+                }};
+    }
     throw UsageError("no device kernel for stage " + name);
 }
 
@@ -850,7 +862,8 @@ DecodeChunkDevice(const PipelineSpec& spec, ByteSpan payload, bool raw,
                     "non-raw chunk in a stage-free pipeline");
     ThreadBlock block(0, 256);
     // Same decode budget as the CPU pipeline driver (see DecodeChunk).
-    const size_t budget = dest.size() + kChunkDecodeSlack;
+    const size_t budget =
+        dest.size() * spec.decode_budget_factor + kChunkDecodeSlack;
     Bytes* src = &scratch.PipelineA();
     Bytes* dst = &scratch.PipelineB();
     ByteSpan cur = payload;

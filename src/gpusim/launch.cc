@@ -7,6 +7,7 @@
 #include <omp.h>
 #endif
 
+#include "core/adaptive.h"
 #include "core/arena.h"
 #include "core/orchestrate.h"
 #include "core/telemetry.h"
@@ -67,7 +68,7 @@ DecodeChunksOn(const Device& device, Telemetry* sink, TraceSink* trace)
                 if (ring != nullptr) ring->SetChunk(c);
                 const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
                 DecodeChunkDevice(
-                    spec,
+                    ChunkSpec(view, spec, c),
                     view.payload.subspan(view.chunk_offsets[c],
                                          view.chunk_sizes[c]),
                     view.chunk_raw[c],
@@ -152,14 +153,16 @@ DevicePreDecode(Telemetry* sink, TraceSink* trace)
 
 Bytes
 CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
-                 Telemetry* sink, TraceSink* trace)
+                 Telemetry* sink, TraceSink* trace, bool adaptive)
 {
     const PipelineSpec& spec = GetPipeline(algorithm);
     TelemetryRunScope scope(sink, trace, MaxLaunchWorkers());
 
+    // Adaptive encodes never run a whole-input pre-stage: each block
+    // picks its chunk's (possibly FCM-chunked) pipeline below.
     Bytes work;
     ByteSpan chunk_src = input;
-    if (spec.pre.encode != nullptr) {
+    if (!adaptive && spec.pre.encode != nullptr) {
         const uint64_t t0 = scope.Enabled() ? TelemetryNowNs() : 0;
         FcmEncodeDevice(input, work);
         if (TelemetryShard* shard = scope.MainShard()) {
@@ -177,6 +180,7 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
 
     const size_t n_chunks = ChunkCountOf(chunk_src.size());
     EncodePlan plan(n_chunks);
+    if (adaptive) plan.EnableAdaptive();
     std::vector<uint64_t> offsets(n_chunks, 0);
     DecoupledLookback lookback(n_chunks);
     std::vector<ScratchArena> arenas(MaxLaunchWorkers());
@@ -193,8 +197,16 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
         if (ring != nullptr) ring->SetChunk(c);
         const uint64_t t0 = shard != nullptr ? TelemetryNowNs() : 0;
         bool raw = false;
-        ByteSpan payload =
-            EncodeChunkDevice(spec, ChunkAt(chunk_src, c), raw, scratch);
+        ByteSpan payload;
+        if (adaptive) {
+            uint8_t id = 0;
+            payload = EncodeChunkAuto(ChunkAt(chunk_src, c), raw, id,
+                                      scratch, &EncodeChunkDevice);
+            plan.algorithm_ids[c] = id;
+        } else {
+            payload = EncodeChunkDevice(spec, ChunkAt(chunk_src, c), raw,
+                                        scratch);
+        }
         plan.Record(c, static_cast<uint32_t>(LaunchWorkerId()), payload,
                     raw, scratch);
         const uint64_t t1 = shard != nullptr ? TelemetryNowNs() : 0;
@@ -213,7 +225,8 @@ CompressOnDevice(const Device& device, Algorithm algorithm, ByteSpan input,
     });
 
     const ContainerHeader header =
-        MakeContainerHeader(algorithm, input, chunk_src.size());
+        adaptive ? MakeAdaptiveContainerHeader(algorithm, input)
+                 : MakeContainerHeader(algorithm, input, chunk_src.size());
     uint64_t total = 0;
     for (uint32_t size : plan.sizes) total += size;
     // Placement at the look-back-resolved positions; bytes are identical

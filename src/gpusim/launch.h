@@ -21,10 +21,11 @@ namespace fpc::gpusim {
  *  fpc::Compress(algorithm, input). Per-block counters accumulate into
  *  @p sink, and per-block/chunk/stage spans into @p trace (one shard and
  *  ring per launch worker, merged at the launch barrier), when they are
- *  non-null. */
+ *  non-null. @p adaptive selects per-chunk algorithms (mode=auto) into a
+ *  version-3 container, byte-identical to the cpu executor's. */
 Bytes CompressOnDevice(const Device& device, Algorithm algorithm,
                        ByteSpan input, Telemetry* sink = nullptr,
-                       TraceSink* trace = nullptr);
+                       TraceSink* trace = nullptr, bool adaptive = false);
 
 /** Decompress via grid launch (chunk offsets from a prefix sum over the
  *  chunk table, then fully independent block decoding). */

@@ -48,12 +48,48 @@ run_fpczip(0 inspect "${packed}")
 if(NOT last_output MATCHES "^\\{\"algorithm\": \"SPspeed\", \"algorithm_id\": 0, .*\"ratio\": [0-9.]+\\}\n$")
     message(FATAL_ERROR "unexpected inspect output: ${last_output}")
 endif()
+if(NOT last_output MATCHES "\"mode\": \"fixed\"")
+    message(FATAL_ERROR "inspect output lacks mode: ${last_output}")
+endif()
 if(NOT last_output MATCHES "\"raw_chunk_indices\": \\[[0-9, ]*\\]")
     message(FATAL_ERROR "inspect output lacks raw_chunk_indices: ${last_output}")
 endif()
 if(NOT last_output MATCHES "\"compressed_size\": [0-9]+")
     message(FATAL_ERROR "inspect output lacks compressed_size: ${last_output}")
 endif()
+
+# mode=auto: compress with per-chunk adaptive selection, inspect the v3
+# container (per-chunk algorithm table + histogram), decompress on the
+# device backend, byte-compare. --mode=fixed must match the plain run.
+set(packed_auto "${WORK_DIR}/input-auto.fpcz")
+run_fpczip(0 -c --mode=auto --backend=cpu "${input}" "${packed_auto}")
+if(NOT last_output MATCHES "^auto: ")
+    message(FATAL_ERROR "mode=auto compress did not label itself auto: ${last_output}")
+endif()
+run_fpczip(0 inspect "${packed_auto}")
+if(NOT last_output MATCHES "\"mode\": \"auto\"")
+    message(FATAL_ERROR "inspect of a v3 container lacks mode=auto: ${last_output}")
+endif()
+if(NOT last_output MATCHES "\"chunk_algorithms\": \\[\"[A-Za-z0-9\", ]+\\]")
+    message(FATAL_ERROR "inspect lacks the per-chunk algorithm table: ${last_output}")
+endif()
+if(NOT last_output MATCHES "\"algorithm_chunks\": \\{\"SPspeed\": [0-9]+, \"SPratio\": [0-9]+, \"DPspeed\": [0-9]+, \"DPratio\": [0-9]+\\}")
+    message(FATAL_ERROR "inspect lacks the algorithm histogram: ${last_output}")
+endif()
+run_fpczip(0 -d --backend=gpusim:4090 "${packed_auto}" "${restored}.auto")
+file(READ "${input}" auto_original)
+file(READ "${restored}.auto" auto_roundtrip)
+if(NOT auto_original STREQUAL auto_roundtrip)
+    message(FATAL_ERROR "mode=auto round trip changed the bytes")
+endif()
+set(packed_fixed "${WORK_DIR}/input-fixed.fpcz")
+run_fpczip(0 -c --mode=fixed -a SPspeed --backend=cpu "${input}" "${packed_fixed}")
+file(READ "${packed}" default_hex HEX)
+file(READ "${packed_fixed}" fixed_hex HEX)
+if(NOT default_hex STREQUAL fixed_hex)
+    message(FATAL_ERROR "--mode=fixed diverged from the default container bytes")
+endif()
+run_fpczip(2 -c --mode=bogus "${input}" "${packed}.bad")
 
 # decompress on a device backend: streams are cross-compatible
 run_fpczip(0 -d --backend=gpusim:4090 "${packed}" "${restored}")
@@ -71,7 +107,7 @@ endif()
 # the byte identity are checked there.
 set(packed_stats "${WORK_DIR}/input-stats.fpcz")
 run_fpczip(0 -c -a SPspeed --stats "${input}" "${packed_stats}")
-if(NOT last_error MATCHES "\\{\"schema\": \"fpc\\.telemetry\\.v3\"")
+if(NOT last_error MATCHES "\\{\"schema\": \"fpc\\.telemetry\\.v4\"")
     message(FATAL_ERROR "--stats did not print a telemetry JSON line: ${last_error}")
 endif()
 if(TELEMETRY)
@@ -107,7 +143,7 @@ if(NOT EXISTS "${stats_json}")
     message(FATAL_ERROR "--stats-file did not create ${stats_json}")
 endif()
 file(READ "${stats_json}" stats_file_line)
-if(NOT stats_file_line MATCHES "^\\{\"schema\": \"fpc\\.telemetry\\.v3\"")
+if(NOT stats_file_line MATCHES "^\\{\"schema\": \"fpc\\.telemetry\\.v4\"")
     message(FATAL_ERROR "--stats-file wrote unexpected content: ${stats_file_line}")
 endif()
 if(NOT EXISTS "${trace_json}")
@@ -135,6 +171,14 @@ endif()
 
 # unknown backend must fail with the usage exit code, not crash
 run_fpczip(2 -c --backend=tpu "${input}" "${packed}.bad")
+
+# --frame-bytes size parsing: a value whose k/m/g scaling overflows 64
+# bits, a negative count, garbage, and zero must all exit 2 (usage), not
+# wrap silently into a bogus frame size
+run_fpczip(2 -c --frame-bytes=18446744073709551615g "${input}" "${packed}.bad")
+run_fpczip(2 -c --frame-bytes=-5 "${input}" "${packed}.bad")
+run_fpczip(2 -c --frame-bytes=12q "${input}" "${packed}.bad")
+run_fpczip(2 -c --frame-bytes=0 "${input}" "${packed}.bad")
 
 # bytes that are not a container must be rejected with the dedicated
 # corrupt-stream exit code (3), distinct from usage and I/O failures

@@ -245,10 +245,10 @@ TEST_P(RangeIdentity, MatchesFullDecodeSlice)
     EXPECT_THROW(DecompressRange(source, 0, elements + 1, options),
                  UsageError);
     EXPECT_THROW(DecompressRange(source, elements, 1, options), UsageError);
-    EXPECT_THROW(DecompressRange(source, elements + 5, 0, options),
-                 UsageError);
-    // The empty range at the exact end is fine.
+    // Empty ranges are satisfiable anywhere — at the exact end and past
+    // it — and return empty bytes instead of throwing.
     EXPECT_TRUE(DecompressRange(source, elements, 0, options).empty());
+    EXPECT_TRUE(DecompressRange(source, elements + 5, 0, options).empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -264,6 +264,39 @@ INSTANTIATE_TEST_SUITE_P(
                    kAllAlgorithms[std::get<0>(info.param)])) +
                "_" + backend;
     });
+
+TEST(RangeEdgeCases, EmptyRangesOnZeroElementStreams)
+{
+    // A zero-element container: the empty range is satisfiable at any
+    // first_value (there is nothing it could miss), while any non-empty
+    // range is past the end.
+    const Bytes container = Compress(Algorithm::kSPspeed, ByteSpan());
+    MemoryByteSource source{ByteSpan(container)};
+    EXPECT_TRUE(DecompressRange(source, 0, 0, Options{}).empty());
+    EXPECT_TRUE(DecompressRange(source, 9, 0, Options{}).empty());
+    EXPECT_THROW(DecompressRange(source, 0, 1, Options{}), UsageError);
+
+    // The typed facade agrees: count == 0 returns empty, not UsageError.
+    Codec codec(Algorithm::kSPspeed);
+    EXPECT_TRUE(codec.decompress_range(ByteSpan(container), 0, 0).empty());
+    EXPECT_TRUE(
+        codec.decompress_range_as<float>(ByteSpan(container), 3, 0).empty());
+}
+
+TEST(RangeEdgeCases, FacadeCountZeroOnNonEmptyStream)
+{
+    const auto values = SmoothValues<float>(20000, 13);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    const Bytes stream = MakeIndexedStream(Algorithm::kSPspeed, original, 2);
+
+    Codec codec(Algorithm::kSPspeed);
+    EXPECT_TRUE(codec.decompress_range(ByteSpan(stream), 0, 0).empty());
+    EXPECT_TRUE(codec.decompress_range(ByteSpan(stream), 20000, 0).empty());
+    EXPECT_TRUE(
+        codec.decompress_range_as<float>(ByteSpan(stream), 20005, 0)
+            .empty());
+}
 
 TEST(RangeTelemetry, SmallRangeDecodesOnlyCoveringChunks)
 {
@@ -472,6 +505,51 @@ TEST(ParallelDecode, CorruptFrameErrorArrivesAtItsTurn)
                   ? original.size() - 2 * frame0.size()
                   : frame0.size());
     EXPECT_FALSE(decoder.HasNext());
+}
+
+TEST(ParallelDecode, EarlyAbandonmentJoinsCleanly)
+{
+    const auto values = SmoothValues<float>(120000, 14);
+    const Bytes original(AsBytes(std::span<const float>(values)).begin(),
+                         AsBytes(std::span<const float>(values)).end());
+    const Bytes stream =
+        MakeIndexedStream(Algorithm::kSPspeed, original, 10);
+    MemoryByteSource source{ByteSpan(stream)};
+
+    // Abandon after one frame: workers still hold claimed-but-undelivered
+    // frames (the tiny in-flight window keeps some parked on space_cv_).
+    // The destructor must wake, join, and drain them without hanging.
+    {
+        ParallelStreamDecoder decoder(source, StreamPoolOptions{4, 2},
+                                      Options{});
+        const Bytes frame0 = decoder.NextFrame();
+        EXPECT_TRUE(
+            std::equal(frame0.begin(), frame0.end(), original.begin()));
+    }
+
+    // Abandon without consuming anything at all.
+    {
+        ParallelStreamDecoder decoder(source, StreamPoolOptions{8, 1},
+                                      Options{});
+        EXPECT_TRUE(decoder.HasNext());
+    }
+
+    // Abandon with a pending per-frame decode error: the stored
+    // exception_ptr is dropped in the destructor, never rethrown.
+    {
+        Bytes damaged = stream;
+        MemoryByteSource clean{ByteSpan(stream)};
+        const StreamLayout layout = ResolveStreamLayout(clean);
+        ASSERT_GE(layout.frames.size(), 3u);
+        const size_t target =
+            static_cast<size_t>(layout.frames[1].frame_offset) +
+            static_cast<size_t>(layout.frames[1].frame_size) - 5;
+        damaged[target] ^= std::byte{0x3c};
+        MemoryByteSource damaged_source{ByteSpan(damaged)};
+        ParallelStreamDecoder decoder(damaged_source,
+                                      StreamPoolOptions{4, 8}, Options{});
+        (void)decoder.NextFrame();  // frame 0 is fine; frame 1's error
+    }                               // stays undelivered and is discarded
 }
 
 TEST(ParallelDecode, TelemetryAggregatesAcrossWorkers)

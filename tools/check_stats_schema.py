@@ -4,9 +4,10 @@
 Reads stdin (or the files named on the command line) line by line and
 validates every JSON object whose schema tag it recognises:
 
-``fpc.telemetry.v3`` (``Telemetry::ToJson``, src/core/telemetry.cc):
+``fpc.telemetry.v4`` (``Telemetry::ToJson``, src/core/telemetry.cc):
   - top-level keys: schema, executor, algorithm, isa, compress,
-    decompress, ranged, chunks, mplg, arena, histograms, stages;
+    decompress, ranged, chunks, adaptive, mplg, arena, histograms,
+    stages;
   - isa names the dispatched kernel level (scalar/avx2/avx512);
   - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
     non-negative integers;
@@ -14,10 +15,17 @@ validates every JSON object whose schema tag it recognises:
     frames_decoded, chunks_decoded, chunks_skipped, io_reads, io_bytes,
     index_hits — non-negative integers with index_hits <= calls;
   - chunks: encoded, raw_fallback, decoded with raw_fallback <= encoded;
+  - adaptive (mode=auto selection; all-zero for fixed runs): chunks
+    (per-algorithm winner counts), raw_chunks, probe_calls, probe_ns,
+    trials, predicted_bytes, actual_bytes, with selected chunks (winner
+    counts + raw) <= probe_calls and trials <= 3 * probe_calls (every
+    in-margin candidate may be trial-encoded);
   - mplg: subchunks, enhanced_subchunks with enhanced <= subchunks;
   - arena: high_water_bytes;
   - histograms: chunk_encode and chunk_decode latency digests (count,
-    p50_ns, p95_ns, p99_ns, max_ns with p50 <= p95 <= p99 <= max);
+    p50_ns, p95_ns, p99_ns, max_ns with p50 <= p95 <= p99 <= max), with
+    chunks.encoded == chunk_encode.count + adaptive.trials (each margin
+    trial is an extra encode attempt outside the executor chunk span);
   - stages: exactly the seven stages, in StageId order, each with an
     encode and a decode counter block plus a latency digest pair whose
     counts match the stage call counters.
@@ -47,7 +55,7 @@ as the ``stats_schema`` test (tests/stats_schema.cmake); also ad hoc:
 import json
 import sys
 
-TELEMETRY_TAG = "fpc.telemetry.v3"
+TELEMETRY_TAG = "fpc.telemetry.v4"
 TRACE_TAG = "fpc.trace.v1"
 BENCH_TAG = "fpc.bench.v1"
 
@@ -66,6 +74,7 @@ TOP_KEYS = [
     "decompress",
     "ranged",
     "chunks",
+    "adaptive",
     "mplg",
     "arena",
     "histograms",
@@ -84,6 +93,19 @@ RANGED_FIELDS = [
 ]
 
 ALGORITHMS = ["SPspeed", "SPratio", "DPspeed", "DPratio"]
+
+# Valid bench-entry algorithm labels: the four pipelines plus the
+# per-chunk adaptive mode (one entry per element width).
+BENCH_ALGORITHMS = ALGORITHMS + ["auto", "auto-SP", "auto-DP"]
+
+ADAPTIVE_FIELDS = [
+    "raw_chunks",
+    "probe_calls",
+    "probe_ns",
+    "trials",
+    "predicted_bytes",
+    "actual_bytes",
+]
 
 ISA_LEVELS = ["scalar", "avx2", "avx512"]
 
@@ -161,6 +183,35 @@ def check_telemetry(line_no, doc):
     if ok and chunks["raw_fallback"] > chunks["encoded"]:
         ok = fail(line_no, "chunks.raw_fallback exceeds chunks.encoded")
 
+    adaptive = doc["adaptive"]
+    if not isinstance(adaptive, dict):
+        ok = fail(line_no, "adaptive is not an object")
+    else:
+        for field in ADAPTIVE_FIELDS:
+            value = adaptive.get(field)
+            if not isinstance(value, int) or value < 0:
+                ok = fail(line_no, f"adaptive.{field} missing or not a"
+                                   f" non-negative integer: {value!r}")
+        winners = adaptive.get("chunks")
+        if not isinstance(winners, dict) \
+                or sorted(winners) != sorted(ALGORITHMS):
+            ok = fail(line_no, "adaptive.chunks must map exactly the four"
+                               f" algorithms, got {winners!r}")
+        elif ok:
+            for name, value in winners.items():
+                if not isinstance(value, int) or value < 0:
+                    ok = fail(line_no, f"adaptive.chunks.{name} invalid:"
+                                       f" {value!r}")
+            if ok:
+                selected = (sum(winners.values())
+                            + adaptive["raw_chunks"])
+                if selected > adaptive["probe_calls"]:
+                    ok = fail(line_no, "adaptive selections exceed"
+                                       " adaptive.probe_calls")
+                if adaptive["trials"] > 3 * adaptive["probe_calls"]:
+                    ok = fail(line_no, "adaptive.trials exceeds 3x"
+                                       " adaptive.probe_calls")
+
     mplg = doc["mplg"]
     for field in ("subchunks", "enhanced_subchunks"):
         if not isinstance(mplg.get(field), int) or mplg[field] < 0:
@@ -182,10 +233,19 @@ def check_telemetry(line_no, doc):
             else:
                 ok = check_digest(line_no, f"histograms.{key}",
                                   hists[key]) and ok
-        if ok and chunks["encoded"] != hists["chunk_encode"]["count"]:
-            ok = fail(line_no, "histograms.chunk_encode.count"
-                               f" ({hists['chunk_encode']['count']}) !="
-                               f" chunks.encoded ({chunks['encoded']})")
+        if ok:
+            # chunks.encoded counts encode *attempts*: every adaptive
+            # margin trial adds one, while the chunk-encode latency
+            # histogram records only the per-chunk executor spans.
+            trials = doc["adaptive"]["trials"] \
+                if isinstance(doc.get("adaptive"), dict) \
+                and isinstance(doc["adaptive"].get("trials"), int) else 0
+            expected = hists["chunk_encode"]["count"] + trials
+            if chunks["encoded"] != expected:
+                ok = fail(line_no, "chunks.encoded"
+                                   f" ({chunks['encoded']}) !="
+                                   " histograms.chunk_encode.count +"
+                                   f" adaptive.trials ({expected})")
 
     stages = doc["stages"]
     if not isinstance(stages, list):
@@ -333,7 +393,7 @@ def check_bench(line_no, doc):
         if not isinstance(entry, dict):
             ok = fail(line_no, f"{where} is not an object")
             continue
-        if entry.get("algorithm") not in ALGORITHMS:
+        if entry.get("algorithm") not in BENCH_ALGORITHMS:
             ok = fail(line_no, f"{where}.algorithm is"
                                f" {entry.get('algorithm')!r}")
         if not isinstance(entry.get("backend"), str) \

@@ -34,6 +34,13 @@
 #   sanitize       — ASan+UBSan over the memory-sensitive test subset,
 #                    which includes the SIMD kernel equivalence + ISA
 #                    golden matrix (ctest -L sanitize covers -L simd).
+#   tsan           — -DFPC_TSAN=ON over the threading subset (ctest -L
+#                    thread): the parallel stream decoder's claim/deliver
+#                    window and early-abandonment teardown.
+#
+# The default leg also runs a mode=auto smoke: compress a mixed corpus
+# adaptively, inspect the v3 per-chunk table, decode on the gpusim
+# backend, byte-compare, and schema-check the v4 adaptive telemetry.
 #
 # Each configuration builds into build-matrix/<name> so the normal
 # ./build tree is left alone. Exits non-zero on the first failure.
@@ -70,7 +77,7 @@ python3 "${root}/tools/check_stats_schema.py" "${out}/default/ci_trace.json"
 # of the decode must stay well below the compressed size — the pool holds
 # a fixed number of frames in flight, never the file. A ranged read out
 # of the same file then exercises the seek index end to end and its
-# fpc.telemetry.v3 ranged counters are schema-checked.
+# fpc.telemetry.v4 ranged counters are schema-checked.
 echo "==> [default] large-file streaming smoke"
 large_dir="${out}/default/large_smoke"
 rm -rf "${large_dir}"
@@ -117,6 +124,37 @@ python3 "${root}/tools/check_stats_schema.py" \
     "${large_dir}/ranged_stats.json"
 rm -rf "${large_dir}"
 
+# mode=auto smoke: a mixed-content corpus (smooth ramp + random noise,
+# so chunks genuinely pick different pipelines) compressed adaptively,
+# inspected, cross-backend decoded, byte-compared, and its adaptive
+# telemetry block schema-checked.
+echo "==> [default] mode=auto smoke"
+auto_dir="${out}/default/auto_smoke"
+rm -rf "${auto_dir}"
+mkdir -p "${auto_dir}"
+python3 - "${auto_dir}/mixed.bin" <<'EOF'
+import random, struct, sys
+random.seed(7)
+out = []
+for region in range(12):
+    if region % 2 == 0:
+        out += [1.0 + i / 4096.0 for i in range(4096)]
+    else:
+        out += [random.uniform(1.0, 2.0) for _ in range(4096)]
+with open(sys.argv[1], "wb") as f:
+    f.write(struct.pack(f"<{len(out)}f", *out))
+EOF
+"${out}/default/fpczip" -c --mode=auto \
+    "--stats-file=${auto_dir}/auto_stats.json" \
+    "${auto_dir}/mixed.bin" "${auto_dir}/mixed.fpcz"
+"${out}/default/fpczip" inspect "${auto_dir}/mixed.fpcz" \
+    | grep -q '"mode": "auto"'
+"${out}/default/fpczip" -d --backend=gpusim:4090 \
+    "${auto_dir}/mixed.fpcz" "${auto_dir}/mixed.out"
+cmp "${auto_dir}/mixed.bin" "${auto_dir}/mixed.out"
+python3 "${root}/tools/check_stats_schema.py" "${auto_dir}/auto_stats.json"
+rm -rf "${auto_dir}"
+
 # Forced-scalar dispatch over the default build: same binaries, kernel
 # tables pinned to the portable reference. The bench gate still runs;
 # compare_bench skips throughput (the recorded ISA differs from the
@@ -136,5 +174,9 @@ run_config sanitize -DFPC_SANITIZE=ON -DFPC_BUILD_BENCH=OFF \
 ctest --test-dir "${out}/sanitize" -L sanitize --output-on-failure \
     -j "${jobs}"
 
+run_config tsan -DFPC_TSAN=ON -DFPC_BUILD_BENCH=OFF \
+    -DFPC_BUILD_EXAMPLES=OFF
+ctest --test-dir "${out}/tsan" -L thread --output-on-failure -j "${jobs}"
+
 echo "==> matrix OK (default, forced-scalar, simd-off, telemetry-off," \
-    "sanitize)"
+    "sanitize, tsan)"

@@ -15,6 +15,10 @@
  *
  * -a picks the algorithm (default SPspeed — pick DP* for doubles; the
  *    element width is never guessed from the file size).
+ * --mode=auto probes every 16 KiB chunk at encode time and records the
+ *    best-scoring pipeline per chunk in a v3 container (-a then only
+ *    fixes the element width). --mode=fixed (the default) keeps the
+ *    single-algorithm v1 container, byte-identical to before.
  * --frame-bytes=N makes -c emit a seekable stream: the input is cut into
  *    N-byte frames (N is rounded down to a whole number of elements),
  *    each compressed as an independent container, and a trailing seek
@@ -30,7 +34,7 @@
  * --backend selects an executor-registry backend (cpu, gpusim:4090,
  *    gpusim:a100); all backends produce bit-identical containers (see
  *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
- * --stats prints one "fpc.telemetry.v3" JSON line (per-stage wall time
+ * --stats prints one "fpc.telemetry.v4" JSON line (per-stage wall time
  *    and byte flow, chunk/raw counts, latency histogram digests; see
  *    DESIGN.md "Observability") to stderr after a -c/-d run, so stdout
  *    stays scriptable.
@@ -48,6 +52,7 @@
  * and byte offset that failed validation).
  */
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -104,6 +109,9 @@ Usage()
         "       fpczip -V | --version     version + SIMD kernel levels\n"
         "ALGO:    SPspeed (default) | SPratio | DPspeed | DPratio\n"
         "NAME:    cpu (default) | gpusim:4090 | gpusim:a100\n"
+        "--mode=auto|fixed: auto probes every 16 KiB chunk and records\n"
+        "         the best pipeline per chunk (a v3 container; -a then\n"
+        "         only fixes the element width). Default: fixed\n"
         "-g:      shorthand for --backend=gpusim:4090 (identical output)\n"
         "--frame-bytes=N: cut the input into N-byte frames (suffixes k/m/g)\n"
         "         and append a seek index — a seekable v2 stream\n"
@@ -121,15 +129,23 @@ Usage()
 }
 
 /** Parse a non-negative integer with an optional k/m/g (KiB/MiB/GiB)
- *  suffix. Throws UsageError on garbage. */
+ *  suffix. Throws UsageError on garbage, negative input, or a value
+ *  whose scaled result would not fit in 64 bits. */
 uint64_t
 ParseSize(const std::string& text, const char* flag)
 {
+    // std::stoull accepts leading whitespace, '+', and even '-' (the
+    // negative value wraps); none of those is a size here.
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0]))) {
+        throw fpc::UsageError(std::string(flag) + ": not a number: " + text);
+    }
     size_t pos = 0;
     uint64_t value = 0;
     try {
         value = std::stoull(text, &pos);
     } catch (const std::exception&) {
+        // invalid_argument, or out_of_range for > 64-bit digit strings
         throw fpc::UsageError(std::string(flag) + ": not a number: " + text);
     }
     uint64_t scale = 1;
@@ -143,6 +159,10 @@ ParseSize(const std::string& text, const char* flag)
     }
     if (pos != text.size()) {
         throw fpc::UsageError(std::string(flag) + ": bad size: " + text);
+    }
+    if (scale != 1 && value > UINT64_MAX / scale) {
+        throw fpc::UsageError(std::string(flag) +
+                              ": size overflows 64 bits: " + text);
     }
     return value * scale;
 }
@@ -209,19 +229,45 @@ InspectJson(const std::string& path)
         raw_indices += std::to_string(c);
     }
     raw_indices += "]";
+    // mode=auto (v3) containers additionally report the per-chunk
+    // algorithm table and its per-algorithm histogram; fixed (v1)
+    // containers keep the original key set plus "mode": "fixed".
+    std::string adaptive;
+    if (info.adaptive) {
+        adaptive = "\"chunk_algorithms\": [";
+        for (size_t c = 0; c < info.chunk_algorithms.size(); ++c) {
+            if (c != 0) adaptive += ", ";
+            adaptive += '"';
+            adaptive += fpc::AlgorithmName(
+                static_cast<fpc::Algorithm>(info.chunk_algorithms[c]));
+            adaptive += '"';
+        }
+        adaptive += "], \"algorithm_chunks\": {";
+        for (size_t a = 0; a < info.algorithm_chunks.size(); ++a) {
+            if (a != 0) adaptive += ", ";
+            adaptive += '"';
+            adaptive += fpc::AlgorithmName(static_cast<fpc::Algorithm>(a));
+            adaptive += "\": ";
+            adaptive += std::to_string(info.algorithm_chunks[a]);
+        }
+        adaptive += "}, ";
+    }
     std::printf("{\"algorithm\": \"%s\", \"algorithm_id\": %u, "
+                "\"mode\": \"%s\", "
                 "\"original_size\": %llu, "
                 "\"transformed_size\": %llu, \"compressed_size\": %llu, "
                 "\"chunk_count\": %u, \"raw_chunks\": %u, "
-                "\"raw_chunk_indices\": %s, \"isa\": \"%s\", "
+                "\"raw_chunk_indices\": %s, %s\"isa\": \"%s\", "
                 "\"format\": \"container\", \"seek_index\": false, "
                 "\"ratio\": %.6f}\n",
                 info.algorithm_name.c_str(),
                 static_cast<unsigned>(info.algorithm),
+                info.adaptive ? "auto" : "fixed",
                 static_cast<unsigned long long>(info.original_size),
                 static_cast<unsigned long long>(info.transformed_size),
                 static_cast<unsigned long long>(info.compressed_size),
                 info.chunk_count, info.raw_chunks, raw_indices.c_str(),
+                adaptive.c_str(),
                 fpc::simd::IsaName(fpc::simd::DefaultIsa()), info.ratio);
     return 0;
 }
@@ -301,6 +347,8 @@ main(int argc, char** argv)
             } else if (arg.rfind("--read=", 0) == 0) {
                 read_strategy = fpc::ParseReadStrategy(
                     arg.substr(std::strlen("--read=")));
+            } else if (arg.rfind("--mode=", 0) == 0) {
+                options.with_mode(arg.substr(std::strlen("--mode=")));
             } else if (arg.rfind("--isa=", 0) == 0) {
                 options.with_isa(arg.substr(std::strlen("--isa=")));
             } else if (arg == "-g") {
@@ -340,12 +388,23 @@ main(int argc, char** argv)
             fpc::CompressedInfo info = fpc::Inspect(data);
             std::printf("algorithm:        %s\n",
                         fpc::AlgorithmName(info.algorithm));
+            std::printf("mode:             %s\n",
+                        info.adaptive ? "auto" : "fixed");
             std::printf("original size:    %llu bytes\n",
                         static_cast<unsigned long long>(info.original_size));
             std::printf("compressed size:  %zu bytes\n", data.size());
             std::printf("ratio:            %.3f\n", info.ratio);
             std::printf("chunks:           %u (%u stored raw)\n",
                         info.chunk_count, info.raw_chunks);
+            if (info.adaptive) {
+                for (size_t a = 0; a < info.algorithm_chunks.size(); ++a) {
+                    if (info.algorithm_chunks[a] == 0) continue;
+                    std::printf("  %-8s        %u chunk(s)\n",
+                                fpc::AlgorithmName(
+                                    static_cast<fpc::Algorithm>(a)),
+                                info.algorithm_chunks[a]);
+                }
+            }
             return 0;
         }
 
@@ -423,6 +482,8 @@ main(int argc, char** argv)
         fpc::Bytes input = ReadFile(files[0]);
         fpc::Timer timer;
         fpc::Bytes output;
+        const char* algo_label =
+            options.adaptive ? "auto" : fpc::AlgorithmName(algorithm);
         if (action == kCompress && frame_bytes > 0) {
             // Seekable v2 stream: whole-element frames + trailing index.
             const uint64_t word = fpc::AlgorithmWordSize(algorithm);
@@ -445,7 +506,7 @@ main(int argc, char** argv)
             double seconds = timer.Seconds();
             std::printf("%s: %zu -> %zu bytes (%zu frame(s) + seek index, "
                         "ratio %.3f) in %.3fs (%.2f GB/s)\n",
-                        fpc::AlgorithmName(algorithm), input.size(),
+                        algo_label, input.size(),
                         output.size(), compressor.FrameCount(),
                         static_cast<double>(input.size()) /
                             static_cast<double>(output.size()),
@@ -455,7 +516,7 @@ main(int argc, char** argv)
             double seconds = timer.Seconds();
             std::printf("%s: %zu -> %zu bytes (ratio %.3f) in %.3fs "
                         "(%.2f GB/s)\n",
-                        fpc::AlgorithmName(algorithm), input.size(),
+                        algo_label, input.size(),
                         output.size(),
                         static_cast<double>(input.size()) /
                             static_cast<double>(output.size()),
