@@ -54,8 +54,8 @@ main()
     std::printf("== single precision ==\n");
     auto sp_inputs = eval::ToInputs(data::SingleSuite(config));
     std::vector<eval::EvalCodec> sp_codecs{
-        eval::OurCodec(Algorithm::kSPspeed, Device::kCpu),
-        eval::OurCodec(Algorithm::kSPratio, Device::kCpu),
+        eval::OurCodec(Algorithm::kSPspeed, "cpu"),
+        eval::OurCodec(Algorithm::kSPratio, "cpu"),
     };
     for (const char* name : {"Ndzip", "Bitcomp-i0", "MPC", "FPzip", "SPDP-9",
                              "ZSTD-best"}) {
@@ -66,8 +66,8 @@ main()
     std::printf("\n== double precision ==\n");
     auto dp_inputs = eval::ToInputs(data::DoubleSuite(config));
     std::vector<eval::EvalCodec> dp_codecs{
-        eval::OurCodec(Algorithm::kDPspeed, Device::kCpu),
-        eval::OurCodec(Algorithm::kDPratio, Device::kCpu),
+        eval::OurCodec(Algorithm::kDPspeed, "cpu"),
+        eval::OurCodec(Algorithm::kDPratio, "cpu"),
     };
     for (const char* name : {"Ndzip-64", "Bitcomp-i1", "MPC-64", "FPC",
                              "GFC", "FPzip-64", "SPDP-9", "ZSTD-best"}) {

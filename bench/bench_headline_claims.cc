@@ -59,7 +59,7 @@ main()
     std::vector<eval::CodecResult> sp;
     for (const char* name : {"SPspeed", "SPratio"}) {
         sp.push_back(eval::Evaluate(
-            eval::OurCodec(ParseAlgorithm(name), Device::kCpu), sp_inputs,
+            eval::OurCodec(ParseAlgorithm(name), "cpu"), sp_inputs,
             eval_config));
     }
     sp.push_back(eval::Evaluate(eval::Wrap(baselines::Lookup("FPzip")),
@@ -88,7 +88,7 @@ main()
     std::vector<eval::CodecResult> dp;
     for (const char* name : {"DPspeed", "DPratio"}) {
         dp.push_back(eval::Evaluate(
-            eval::OurCodec(ParseAlgorithm(name), Device::kCpu), dp_inputs,
+            eval::OurCodec(ParseAlgorithm(name), "cpu"), dp_inputs,
             eval_config));
     }
     for (const char* name : {"pFPC", "FPC", "GFC", "MPC-64", "Bitcomp-i1",

@@ -39,7 +39,7 @@ BM_Compress(benchmark::State& state)
 {
     Algorithm algorithm = kAll[state.range(0)];
     Options options;
-    options.device = state.range(1) ? Device::kGpuSim : Device::kCpu;
+    options.with_executor(state.range(1) ? "gpusim:4090" : "cpu");
     Bytes input = Input(algorithm);
     Bytes out;
     for (auto _ : state) {
@@ -59,7 +59,7 @@ BM_Decompress(benchmark::State& state)
 {
     Algorithm algorithm = kAll[state.range(0)];
     Options options;
-    options.device = state.range(1) ? Device::kGpuSim : Device::kCpu;
+    options.with_executor(state.range(1) ? "gpusim:4090" : "cpu");
     Bytes input = Input(algorithm);
     Bytes compressed = Compress(algorithm, ByteSpan(input), options);
     Bytes out;

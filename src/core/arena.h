@@ -31,6 +31,9 @@
 #ifndef FPC_CORE_ARENA_H
 #define FPC_CORE_ARENA_H
 
+#include <mutex>
+#include <span>
+
 #include "util/common.h"
 #include "util/cpu_features.h"
 
@@ -79,6 +82,16 @@ class ScratchArena {
 
     /** Per-thread retained encode output (two-pass container assembly). */
     Bytes& Retained() { return retained_; }
+
+    /** Reset the per-run state (retained payloads, decode budget) while
+     *  keeping every buffer's capacity — called when an arena is reused
+     *  for a new compress/decompress call (ArenaPool::Acquire). */
+    void
+    ResetForRun()
+    {
+        retained_.clear();
+        decode_budget_ = SIZE_MAX;
+    }
 
     /** Adaptive-selection trial stash (core/adaptive.cc): parks one
      *  candidate's payload while a second candidate runs through the
@@ -156,6 +169,124 @@ inline std::vector<uint64_t>&
 ScratchArena::Words<uint64_t>()
 {
     return words64_;
+}
+
+class ArenaPool;
+
+/**
+ * A borrowed, contiguous set of arenas. Executors hold one for the
+ * duration of a call and index it per worker; on destruction the arenas
+ * go back to the pool (buffers warm) — or die with the lease when it was
+ * created without a pool (the classic call-local behaviour).
+ */
+class ArenaLease {
+ public:
+    ArenaLease() = default;
+    ArenaLease(std::vector<ScratchArena> arenas, ArenaPool* pool)
+        : arenas_(std::move(arenas)), pool_(pool) {}
+    ArenaLease(const ArenaLease&) = delete;
+    ArenaLease& operator=(const ArenaLease&) = delete;
+    ArenaLease(ArenaLease&& other) noexcept
+        : arenas_(std::move(other.arenas_)), pool_(other.pool_)
+    {
+        other.pool_ = nullptr;
+        other.arenas_.clear();
+    }
+    ArenaLease& operator=(ArenaLease&&) = delete;
+    ~ArenaLease();
+
+    std::span<ScratchArena> Span() { return arenas_; }
+
+ private:
+    std::vector<ScratchArena> arenas_;
+    ArenaPool* pool_ = nullptr;
+};
+
+/**
+ * A mutex-guarded pool of warm ScratchArenas shared across calls — the
+ * service scheduler's answer to "one arena per worker, created once per
+ * call": long-lived workers attach a pool via Options::with_arenas and
+ * every request reuses the retained buffer capacities of earlier
+ * requests instead of re-warming fresh arenas. Acquire/Release move
+ * whole arenas (pointer swaps; the buffers never copy), and each
+ * acquired arena is ResetForRun() so no request sees another's retained
+ * payloads. Honoured by the cpu executor; the device backends keep
+ * call-local arenas (they model device-resident scratch).
+ */
+class ArenaPool {
+ public:
+    ArenaPool() = default;
+    ArenaPool(const ArenaPool&) = delete;
+    ArenaPool& operator=(const ArenaPool&) = delete;
+
+    /** Borrow @p n arenas, creating cold ones only when the pool runs
+     *  short (concurrent calls hold disjoint sets). */
+    ArenaLease
+    Acquire(size_t n)
+    {
+        std::vector<ScratchArena> out;
+        out.reserve(n);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++leases_;
+            while (!free_.empty() && out.size() < n) {
+                out.push_back(std::move(free_.back()));
+                free_.pop_back();
+            }
+            created_ += n - out.size();
+        }
+        for (ScratchArena& arena : out) arena.ResetForRun();
+        while (out.size() < n) out.emplace_back();
+        return ArenaLease(std::move(out), this);
+    }
+
+    /** Leases handed out (diagnostics). */
+    uint64_t
+    Leases() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return leases_;
+    }
+
+    /** Arenas constructed cold because the pool ran short; a warmed-up
+     *  service plateaus here while Leases() keeps growing. */
+    uint64_t
+    Created() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return created_;
+    }
+
+ private:
+    friend class ArenaLease;
+
+    void
+    Release(std::vector<ScratchArena>&& arenas)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (ScratchArena& arena : arenas) {
+            free_.push_back(std::move(arena));
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::vector<ScratchArena> free_;
+    uint64_t leases_ = 0;
+    uint64_t created_ = 0;
+};
+
+inline ArenaLease::~ArenaLease()
+{
+    if (pool_ != nullptr) pool_->Release(std::move(arenas_));
+}
+
+/** The executors' arena source: borrow from @p pool when one is
+ *  attached, otherwise own fresh call-local arenas. */
+inline ArenaLease
+AcquireScratch(ArenaPool* pool, size_t n)
+{
+    if (pool != nullptr) return pool->Acquire(n);
+    return ArenaLease(std::vector<ScratchArena>(n), nullptr);
 }
 
 }  // namespace fpc

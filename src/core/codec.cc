@@ -388,39 +388,6 @@ DecompressDoubles(ByteSpan compressed, const Options& options)
 
 }  // namespace detail
 
-// Deprecated wrappers: definitions must not themselves use deprecated
-// symbols, so they forward to the detail implementations above.
-
-Bytes
-CompressFloats(std::span<const float> values, Mode mode,
-               const Options& options)
-{
-    Algorithm a =
-        mode == Mode::kSpeed ? Algorithm::kSPspeed : Algorithm::kSPratio;
-    return Compress(a, AsBytes(values), options);
-}
-
-Bytes
-CompressDoubles(std::span<const double> values, Mode mode,
-                const Options& options)
-{
-    Algorithm a =
-        mode == Mode::kSpeed ? Algorithm::kDPspeed : Algorithm::kDPratio;
-    return Compress(a, AsBytes(values), options);
-}
-
-std::vector<float>
-DecompressFloats(ByteSpan compressed, const Options& options)
-{
-    return detail::DecompressFloats(compressed, options);
-}
-
-std::vector<double>
-DecompressDoubles(ByteSpan compressed, const Options& options)
-{
-    return detail::DecompressDoubles(compressed, options);
-}
-
 Bytes
 DecompressRange(const ByteSource& source, uint64_t first_value,
                 uint64_t count, const Options& options)

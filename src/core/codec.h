@@ -16,9 +16,9 @@
  *   std::vector<float> restored = codec.decompress_as<float>(packed);
  * @endcode
  *
- * The free functions below remain as thin wrappers for existing callers;
- * new code should construct a Codec (one object carries the algorithm,
- * backend, thread count, and optional telemetry sink together).
+ * The untyped free functions below (Compress/Decompress/Inspect/...)
+ * are the one-shot primitives the facade builds on; a Codec carries the
+ * algorithm, backend, thread count, and optional telemetry sink together.
  */
 #ifndef FPC_CORE_CODEC_H
 #define FPC_CORE_CODEC_H
@@ -36,11 +36,6 @@ namespace fpc {
 class Telemetry;   // core/telemetry.h
 class TraceSink;   // core/trace.h
 class ByteSource;  // util/byte_source.h
-
-/** Marks the pre-Codec typed free functions; silence in a migration
- *  shim with `#pragma GCC diagnostic ignored "-Wdeprecated-declarations"`. */
-#define FPC_DEPRECATED_API(replacement) \
-    [[deprecated("use " replacement " (see fpc::Codec, core/codec.h)")]]
 
 /** Compress @p input with @p algorithm into a self-describing container.
  *  Runs on the backend selected by @p options (core/executor.h); every
@@ -68,8 +63,8 @@ void DecompressInto(ByteSpan compressed, std::span<std::byte> out,
 enum class Mode : uint8_t { kSpeed, kRatio, kAuto };
 
 namespace detail {
-/** Non-deprecated implementations behind the typed wrappers, shared with
- *  Codec::decompress_as so the facade never calls a deprecated symbol. */
+/** Typed decode implementations behind Codec::decompress_as (validate
+ *  the container's element width, then decode). */
 std::vector<float> DecompressFloats(ByteSpan compressed,
                                     const Options& options);
 std::vector<double> DecompressDoubles(ByteSpan compressed,
@@ -96,31 +91,6 @@ RangeToVector(Bytes&& raw)
     return values;
 }
 }  // namespace detail
-
-/** Compress a float array (selects SPspeed or SPratio).
- *  @deprecated Prefer fpc::Codec::For<float>(mode).compress(values). */
-FPC_DEPRECATED_API("fpc::Codec::For<float>(mode).compress(values)")
-Bytes CompressFloats(std::span<const float> values, Mode mode = Mode::kSpeed,
-                     const Options& options = {});
-
-/** Compress a double array (selects DPspeed or DPratio).
- *  @deprecated Prefer fpc::Codec::For<double>(mode).compress(values). */
-FPC_DEPRECATED_API("fpc::Codec::For<double>(mode).compress(values)")
-Bytes CompressDoubles(std::span<const double> values,
-                      Mode mode = Mode::kSpeed,
-                      const Options& options = {});
-
-/** Decompress a container into floats (validates element size).
- *  @deprecated Prefer fpc::Codec::decompress_as<float>. */
-FPC_DEPRECATED_API("fpc::Codec::decompress_as<float>")
-std::vector<float> DecompressFloats(ByteSpan compressed,
-                                    const Options& options = {});
-
-/** Decompress a container into doubles (validates element size).
- *  @deprecated Prefer fpc::Codec::decompress_as<double>. */
-FPC_DEPRECATED_API("fpc::Codec::decompress_as<double>")
-std::vector<double> DecompressDoubles(ByteSpan compressed,
-                                      const Options& options = {});
 
 /** Introspection result for a compressed container. */
 struct CompressedInfo {

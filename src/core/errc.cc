@@ -1,0 +1,56 @@
+#include "core/errc.h"
+
+#include "util/common.h"
+
+namespace fpc {
+
+const char*
+ErrcName(Errc code)
+{
+    switch (code) {
+        case Errc::kOk: return "ok";
+        case Errc::kInternal: return "internal";
+        case Errc::kUsage: return "usage";
+        case Errc::kCorrupt: return "corrupt";
+        case Errc::kBusy: return "busy";
+    }
+    return "internal";
+}
+
+int
+ExitCodeOf(Errc code)
+{
+    return static_cast<int>(code);
+}
+
+const char*
+ServiceBusyReasonName(ServiceBusy::Reason reason)
+{
+    switch (reason) {
+        case ServiceBusy::Reason::kQueueFull: return "queue-full";
+        case ServiceBusy::Reason::kInFlight: return "in-flight";
+        case ServiceBusy::Reason::kThrottled: return "throttled";
+    }
+    return "queue-full";
+}
+
+Errc
+CurrentErrc() noexcept
+{
+    // The one exception -> code table. Order matters only for types
+    // related by inheritance: ServiceBusy is a runtime_error and
+    // UsageError an invalid_argument, so both precede the catch-all.
+    try {
+        throw;
+    } catch (const ServiceBusy&) {
+        return Errc::kBusy;
+    } catch (const CorruptStreamError&) {
+        return Errc::kCorrupt;
+    } catch (const UsageError&) {
+        return Errc::kUsage;
+    } catch (...) {
+        return Errc::kInternal;
+    }
+}
+
+}  // namespace fpc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unified error codes for the fpcomp library and its front-ends.
+ *
+ * One enum spans three surfaces that must agree:
+ *   - the process exit codes of `fpczip` and `fpcc`,
+ *   - the status byte of the fpcd wire protocol (service/protocol.h),
+ *   - the typed exceptions thrown by the library
+ *     (UsageError / CorruptStreamError / ServiceBusy).
+ *
+ * Clients therefore never parse error strings: the numeric code is the
+ * contract, the what() text is diagnostics only.
+ */
+#ifndef FPC_CORE_ERRC_H
+#define FPC_CORE_ERRC_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fpc {
+
+/** Error classes, numerically equal to the CLI exit codes and the wire
+ *  status byte. Values are part of the on-the-wire contract — append
+ *  only, never renumber. */
+enum class Errc : uint8_t {
+    kOk = 0,        ///< success
+    kInternal = 1,  ///< I/O failure or unclassified internal error
+    kUsage = 2,     ///< caller error: bad arguments, wrong element width
+    kCorrupt = 3,   ///< malformed or truncated compressed stream
+    kBusy = 4,      ///< service backpressure: retry later (ServiceBusy)
+};
+
+/** Stable lower-case name of @p code ("ok", "internal", "usage",
+ *  "corrupt", "busy"); "internal" for out-of-range values. */
+const char* ErrcName(Errc code);
+
+/** The CLI exit code for @p code (the numeric value itself; kOk = 0). */
+int ExitCodeOf(Errc code);
+
+/**
+ * Thrown by fpc::Service when a request is rejected for backpressure
+ * rather than executed: the submission queue is full, the tenant is at
+ * its in-flight cap, or its token bucket is empty. The request had no
+ * effect; retrying after a backoff is always safe.
+ */
+class ServiceBusy : public std::runtime_error {
+ public:
+    /** Which limit rejected the request. */
+    enum class Reason : uint8_t {
+        kQueueFull = 0,   ///< global submission queue at capacity
+        kInFlight = 1,    ///< tenant at its max_in_flight cap
+        kThrottled = 2,   ///< tenant token bucket exhausted
+    };
+
+    ServiceBusy(Reason reason, const std::string& what)
+        : std::runtime_error(what), reason_(reason) {}
+
+    Reason reason() const { return reason_; }
+
+ private:
+    Reason reason_;
+};
+
+/** Stable name of a ServiceBusy reason ("queue-full", "in-flight",
+ *  "throttled"). */
+const char* ServiceBusyReasonName(ServiceBusy::Reason reason);
+
+/**
+ * Classify the exception currently being handled. Call only from inside
+ * a catch block (rethrows and re-catches the active exception); this is
+ * the single mapping table shared by fpczip, fpcd, and fpcc:
+ *
+ * @code
+ *   try { ... } catch (const std::exception& e) {
+ *       return ExitCodeOf(CurrentErrc());  // one table, all front-ends
+ *   }
+ * @endcode
+ */
+Errc CurrentErrc() noexcept;
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_ERRC_H

@@ -134,7 +134,9 @@ class CpuExecutor final : public Executor {
         const size_t n_chunks = ChunkCountOf(chunk_src.size());
         EncodePlan plan(n_chunks);
         if (adaptive) plan.EnableAdaptive();
-        std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+        ArenaLease lease =
+            AcquireScratch(options.arenas, static_cast<size_t>(threads));
+        std::span<ScratchArena> arenas = lease.Span();
         const simd::Isa isa = ResolveIsa(options);
         for (ScratchArena& arena : arenas) arena.SetKernelIsa(isa);
         scope.HintChunks(n_chunks);
@@ -216,7 +218,9 @@ class CpuExecutor final : public Executor {
                          std::byte* dest) {
             const size_t transformed_size = view.header.transformed_size;
             const int threads = EffectiveThreads(options);
-            std::vector<ScratchArena> arenas(static_cast<size_t>(threads));
+            ArenaLease lease = AcquireScratch(options.arenas,
+                                              static_cast<size_t>(threads));
+            std::span<ScratchArena> arenas = lease.Span();
             const simd::Isa isa = ResolveIsa(options);
             for (ScratchArena& arena : arenas) arena.SetKernelIsa(isa);
             TelemetryRunScope scope(SinkOf(options), TraceOf(options),
@@ -446,7 +450,6 @@ const Executor&
 ResolveExecutor(const Options& options)
 {
     if (options.executor != nullptr) return *options.executor;
-    if (options.device == Device::kGpuSim) return GetExecutor("gpusim:4090");
     return DefaultExecutor();
 }
 

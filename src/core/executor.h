@@ -99,7 +99,7 @@ const Executor* FindExecutor(const std::string& name);
 const Executor& DefaultExecutor();
 
 /** The backend a call with @p options runs on: Options::executor when
- *  set, otherwise the legacy Options::device mapping. */
+ *  set, otherwise the default backend ("cpu"). */
 const Executor& ResolveExecutor(const Options& options);
 
 /** The kernel ISA a call with @p options dispatches on:

@@ -83,6 +83,13 @@ Telemetry::AddRangedRead(const RangedTotals& delta)
 }
 
 void
+Telemetry::AddTenant(const std::string& tenant, const TenantStats& delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.tenants[tenant].Add(delta);
+}
+
+void
 Telemetry::SetContext(const std::string& executor, Algorithm algorithm,
                       const char* isa)
 {
@@ -170,20 +177,20 @@ AppendDigest(std::string& out, const char* key,
 
 }  // namespace
 
-// Schema "fpc.telemetry.v4" (v3 + the "adaptive" mode=auto block): the
+// Schema "fpc.telemetry.v5" (v4 + the "service" per-tenant block): the
 // key set, nesting, and the fixed seven-entry stage order below are
 // load-bearing — fpczip --stats, the figure benches' CSV columns, the
 // bench-regression baselines, and tools/check_stats_schema.py all
 // consume this shape. Extend by adding keys; never rename or reorder
-// without bumping the schema tag. The adaptive block is always emitted
-// (all-zero for fixed-algorithm runs) so consumers need no presence
-// checks.
+// without bumping the schema tag. The adaptive and service blocks are
+// always emitted (all-zero / empty for plain library runs) so consumers
+// need no presence checks.
 std::string
 ToJson(const TelemetrySnapshot& snapshot)
 {
     std::string out;
     out.reserve(3072);
-    out += "{\"schema\": \"fpc.telemetry.v4\", ";
+    out += "{\"schema\": \"fpc.telemetry.v5\", ";
     out += "\"executor\": \"" + snapshot.executor + "\", ";
     out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
     out += "\"isa\": \"" + snapshot.isa + "\", ";
@@ -232,7 +239,23 @@ ToJson(const TelemetrySnapshot& snapshot)
     out += "}, \"arena\": {";
     AppendField(out, "high_water_bytes",
                 snapshot.counters.arena_high_water_bytes, true);
-    out += "}, \"histograms\": {";
+    out += "}, \"service\": {\"tenants\": {";
+    {
+        size_t i = 0;
+        for (const auto& [tenant, stats] : snapshot.tenants) {
+            if (i++ != 0) out += ", ";
+            out += '"' + tenant + "\": {";
+            AppendField(out, "requests", stats.requests, false);
+            AppendField(out, "rejected", stats.rejected, false);
+            AppendField(out, "failed", stats.failed, false);
+            AppendField(out, "bytes_in", stats.bytes_in, false);
+            AppendField(out, "bytes_out", stats.bytes_out, false);
+            AppendField(out, "queue_ns", stats.queue_ns, false);
+            AppendDigest(out, "request", stats.latency, true);
+            out += '}';
+        }
+    }
+    out += "}}, \"histograms\": {";
     AppendDigest(out, "chunk_encode", snapshot.counters.chunk_latency.encode,
                  false);
     AppendDigest(out, "chunk_decode", snapshot.counters.chunk_latency.decode,

@@ -29,7 +29,7 @@
  *    container totals (asserted by tests/telemetry_test.cc).
  *
  * The JSON exported by ToJson() is a stable, versioned schema
- * ("fpc.telemetry.v4": v3 plus the "adaptive" mode=auto block) consumed
+ * ("fpc.telemetry.v5": v4 plus the "service" per-tenant block) consumed
  * by `fpczip --stats`, the eval harness, and the figure benches;
  * tools/check_stats_schema.py pins it. Timeline tracing
  * (span-level, exported as Chrome trace-event JSON) lives in
@@ -39,6 +39,7 @@
 #define FPC_CORE_TELEMETRY_H
 
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <span>
 #include <string>
@@ -283,6 +284,34 @@ struct RangedTotals {
     }
 };
 
+/**
+ * Per-tenant service counters (src/service/service.h): what one tenant's
+ * traffic did to a fpc::Service reporting into this sink. `latency` is
+ * whole-request (submit to completion, queue wait included) — the
+ * tail-latency number a service operator actually answers for.
+ */
+struct TenantStats {
+    uint64_t requests = 0;   ///< accepted and executed
+    uint64_t rejected = 0;   ///< ServiceBusy rejections at submission
+    uint64_t failed = 0;     ///< executed but errored (usage/corrupt/...)
+    uint64_t bytes_in = 0;   ///< request payload bytes accepted
+    uint64_t bytes_out = 0;  ///< response payload bytes produced
+    uint64_t queue_ns = 0;   ///< total submit-to-dispatch wait
+    LatencyHistogram latency;  ///< whole-request submit-to-done latency
+
+    void
+    Add(const TenantStats& other)
+    {
+        requests += other.requests;
+        rejected += other.rejected;
+        failed += other.failed;
+        bytes_in += other.bytes_in;
+        bytes_out += other.bytes_out;
+        queue_ns += other.queue_ns;
+        latency.Add(other.latency);
+    }
+};
+
 /** Aggregated view of a sink; a plain value, safe to copy and inspect
  *  after the sink keeps collecting. */
 struct TelemetrySnapshot {
@@ -290,13 +319,17 @@ struct TelemetrySnapshot {
     RunTotals decompress;
     RangedTotals ranged;
     TelemetryShard counters;
+    /** Per-tenant service counters, keyed by tenant id (empty unless a
+     *  fpc::Service reports into this sink). std::map: deterministic
+     *  JSON key order. */
+    std::map<std::string, TenantStats> tenants;
     std::string executor;   ///< last executor name recorded
     std::string algorithm;  ///< last algorithm name recorded
     std::string isa;        ///< kernel ISA the last run dispatched
 };
 
 /** Render a snapshot as one line of schema-stable JSON
- *  ("fpc.telemetry.v4"; see DESIGN.md "Observability"). */
+ *  ("fpc.telemetry.v5"; see DESIGN.md "Observability"). */
 std::string ToJson(const TelemetrySnapshot& snapshot);
 
 /**
@@ -322,6 +355,11 @@ class Telemetry {
 
     /** Record one DecompressRange call's touched/skipped totals. */
     void AddRangedRead(const RangedTotals& delta);
+
+    /** Merge one tenant's service counters (src/service). Called by the
+     *  scheduler per completed/rejected request — the delta is tiny and
+     *  the sink mutex is uncontended relative to request cost. */
+    void AddTenant(const std::string& tenant, const TenantStats& delta);
 
     /** Record which backend/algorithm/kernel-ISA the (last) run used. */
     void SetContext(const std::string& executor, Algorithm algorithm,

@@ -18,15 +18,7 @@ enum class Algorithm : uint8_t {
     kDPratio = 3,  ///< double precision, ratio-oriented
 };
 
-/** Legacy execution-path selector (see Options::executor for the general
- *  backend mechanism). Both paths emit byte-identical compressed
- *  streams. */
-enum class Device : uint8_t {
-    kCpu = 0,     ///< chunk-parallel OpenMP implementation
-    kGpuSim = 1,  ///< CUDA-style block/warp implementation on the GPU
-                  ///  execution-model simulator (see src/gpusim)
-};
-
+class ArenaPool;  // core/arena.h
 class Executor;   // core/executor.h
 class Telemetry;  // core/telemetry.h
 class TraceSink;  // core/trace.h
@@ -43,14 +35,10 @@ class TraceSink;  // core/trace.h
  * @endcode
  */
 struct Options {
-    /** Legacy device selector. Superseded by `executor`; it is mapped onto
-     *  the registry in exactly one place (ResolveExecutor in
-     *  core/executor.cc) — nothing else may interpret it. */
-    Device device = Device::kCpu;
     int threads = 0;  ///< 0 = library default (all available)
-    /** Execution backend (core/executor.h). When set it takes precedence
-     *  over `device`; when null, `device` selects "cpu" or the default
-     *  gpusim backend. All backends emit identical compressed bytes. */
+    /** Execution backend (core/executor.h); null selects "cpu". Pick one
+     *  with with_executor — the registry name is the only spelling. All
+     *  backends emit identical compressed bytes. */
     const Executor* executor = nullptr;
     /** Metrics sink (core/telemetry.h); null = collect nothing (the
      *  fast path — no clocks, no counters). */
@@ -58,6 +46,11 @@ struct Options {
     /** Span tracer (core/trace.h); null = record no timeline. Attaching
      *  one never changes the compressed bytes. */
     TraceSink* trace = nullptr;
+    /** Cross-call scratch pool (core/arena.h): long-lived callers (the
+     *  service scheduler) attach one so requests reuse warm arenas
+     *  instead of re-allocating. Null = call-local arenas (the
+     *  default). Honoured by the cpu executor. */
+    ArenaPool* arenas = nullptr;
     /** Kernel ISA request, stored as a simd::Isa value or kIsaAuto
      *  (= follow the process default, see util/cpu_features.h). Every
      *  level emits identical bytes; this is a throughput/debug knob. */
@@ -68,13 +61,6 @@ struct Options {
      *  container. The requested Algorithm then only fixes the element
      *  width. False = the classic fixed-algorithm v1 container. */
     bool adaptive = false;
-
-    Options&
-    with_device(Device d)
-    {
-        device = d;
-        return *this;
-    }
 
     Options&
     with_threads(int n)
@@ -112,6 +98,13 @@ struct Options {
      *  adaptive selection, "fixed" disables it. Throws UsageError for
      *  other names. Defined in core/codec.cc. */
     Options& with_mode(const std::string& name);
+
+    Options&
+    with_arenas(ArenaPool* pool)
+    {
+        arenas = pool;
+        return *this;
+    }
 
     Options&
     with_telemetry(Telemetry* sink)

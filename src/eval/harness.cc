@@ -60,12 +60,6 @@ OurAdaptiveCodec(Algorithm algorithm, const Executor& executor)
 }
 
 EvalCodec
-OurCodec(Algorithm algorithm, Device device)
-{
-    return OurCodec(algorithm, ResolveExecutor(Options{.device = device}));
-}
-
-EvalCodec
 Wrap(const baselines::BaselineCodec& baseline)
 {
     return {baseline.name, baseline.compress, baseline.decompress, nullptr,

@@ -51,10 +51,6 @@ EvalCodec OurCodec(Algorithm algorithm, const std::string& backend);
  *  element width on the given backend; named "auto-SP" / "auto-DP". */
 EvalCodec OurAdaptiveCodec(Algorithm algorithm, const Executor& executor);
 
-/** Legacy device-enum selection (maps to "cpu" / the default gpusim
- *  backend). */
-EvalCodec OurCodec(Algorithm algorithm, Device device);
-
 /** Wrap a Table 1 baseline. */
 EvalCodec Wrap(const baselines::BaselineCodec& baseline);
 

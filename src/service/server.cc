@@ -1,0 +1,190 @@
+/**
+ * @file
+ * SocketServer implementation — see service/server.h for the contract.
+ */
+#include "service/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+
+namespace fpc {
+
+namespace {
+
+Bytes
+ToBytes(const std::string& text)
+{
+    Bytes out(text.size());
+    std::memcpy(out.data(), text.data(), text.size());
+    return out;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServerConfig config)
+    : config_(std::move(config)), service_(config_.service)
+{
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (config_.socket_path.empty() ||
+        config_.socket_path.size() >= sizeof address.sun_path) {
+        throw UsageError("socket path too long: " + config_.socket_path);
+    }
+    std::memcpy(address.sun_path, config_.socket_path.c_str(),
+                config_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    ::unlink(config_.socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+               sizeof address) != 0 ||
+        ::listen(listen_fd_, config_.backlog) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw UsageError("cannot listen on " + config_.socket_path + ": " +
+                         std::strerror(err));
+    }
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+void
+SocketServer::AcceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // listen fd shut down by Stop()
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) {
+            ::close(fd);
+            return;
+        }
+        const uint64_t id = next_conn_++;
+        open_fds_.emplace(id, fd);
+        handlers_.emplace_back([this, fd, id] {
+            Serve(fd);
+            std::lock_guard<std::mutex> inner(mutex_);
+            open_fds_.erase(id);
+        });
+    }
+}
+
+void
+SocketServer::Serve(int fd)
+{
+    Bytes body;
+    for (;;) {
+        bool have_frame = false;
+        ServiceResponse response;
+        try {
+            have_frame = ReadFrame(fd, body);
+            if (!have_frame) break;  // clean disconnect between frames
+            const ServiceRequest request = DecodeRequest(ByteSpan(body));
+            response = Answer(request);
+        } catch (const std::exception&) {
+            // Malformed frame (or the peer died mid-frame): one
+            // best-effort typed error reply, then drop the connection —
+            // the framing cannot be trusted past this point.
+            response.status = CurrentErrc();
+            try {
+                response.error = "protocol error";
+                WriteFrame(fd, ByteSpan(EncodeResponse(response)));
+            } catch (...) {
+            }
+            break;
+        }
+        try {
+            WriteFrame(fd, ByteSpan(EncodeResponse(response)));
+        } catch (...) {
+            break;  // peer stopped reading
+        }
+        if (response.status == Errc::kOk) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (shutdown_) break;  // this frame was the shutdown verb
+        }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+ServiceResponse
+SocketServer::Answer(const ServiceRequest& request)
+{
+    ServiceResponse response;
+    switch (request.verb) {
+        case ServiceVerb::kStats:
+            response.payload = ToBytes(service_.telemetry().ToJson());
+            return response;
+        case ServiceVerb::kShutdown: {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                shutdown_ = true;
+            }
+            shutdown_cv_.notify_all();
+            return response;  // kOk ack; the reply still goes out
+        }
+        default:
+            return service_.Call(request);
+    }
+}
+
+void
+SocketServer::WaitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_ || stopped_; });
+}
+
+bool
+SocketServer::WaitForShutdownFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return shutdown_cv_.wait_for(
+        lock, timeout, [this] { return shutdown_ || stopped_; });
+}
+
+void
+SocketServer::Stop()
+{
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) return;
+        stopped_ = true;
+        shutdown_ = true;
+        // Wake the accept loop and every blocked connection read; the
+        // handlers own close(), Stop only shuts the streams down.
+        if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+        for (const auto& [id, fd] : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    shutdown_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread& handler : handlers) {
+        if (handler.joinable()) handler.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(config_.socket_path.c_str());
+    }
+    service_.Stop();
+}
+
+}  // namespace fpc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SocketServer — the fpcd daemon's front-end: a unix-domain stream
+ * socket speaking the framed protocol (service/protocol.h), one
+ * connection-handler thread per client, all requests funnelled into one
+ * fpc::Service (service/service.h).
+ *
+ * Division of labour: the server owns transport concerns only — accept,
+ * frame I/O, decode errors, the two control verbs (kStats answers the
+ * service telemetry JSON, kShutdown resolves WaitForShutdown) — and
+ * forwards every compute verb to Service::Call, whose ServiceResponse
+ * (success or typed failure, ServiceBusy included) becomes the reply
+ * frame verbatim. A connection that sends garbage gets one best-effort
+ * error reply and is dropped; the daemon itself never dies on client
+ * input (tests/protocol_test.cc).
+ */
+#ifndef FPC_SERVICE_SERVER_H
+#define FPC_SERVICE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace fpc {
+
+struct ServerConfig {
+    /** Filesystem path of the listening socket. A stale file at the
+     *  path is unlinked before bind (the daemon's restart story). */
+    std::string socket_path;
+    /** Scheduler configuration (workers, queue, QoS defaults...). */
+    ServiceConfig service;
+    int backlog = 64;
+};
+
+class SocketServer {
+ public:
+    /** Bind + listen + start accepting. Throws UsageError when the
+     *  socket cannot be created at the path. */
+    explicit SocketServer(ServerConfig config);
+    SocketServer(const SocketServer&) = delete;
+    SocketServer& operator=(const SocketServer&) = delete;
+    ~SocketServer();
+
+    /** The scheduler behind this server (QoS setup, telemetry). */
+    Service& service() { return service_; }
+
+    const std::string& Path() const { return config_.socket_path; }
+
+    /** Block until a client sends the shutdown verb or Stop() is
+     *  called. */
+    void WaitForShutdown();
+
+    /** WaitForShutdown with a timeout; returns true when shutdown was
+     *  requested, false on timeout — the daemon's signal-polling loop
+     *  (signals cannot wake a condition variable). */
+    bool WaitForShutdownFor(std::chrono::milliseconds timeout);
+
+    /** Stop accepting, drop every connection, drain the scheduler, and
+     *  join all threads. Idempotent; unlinks the socket path. */
+    void Stop();
+
+ private:
+    void AcceptLoop();
+    void Serve(int fd);
+    ServiceResponse Answer(const ServiceRequest& request);
+
+    ServerConfig config_;
+    Service service_;
+    int listen_fd_ = -1;
+
+    std::mutex mutex_;
+    std::condition_variable shutdown_cv_;
+    bool shutdown_ = false;
+    bool stopped_ = false;
+    std::vector<std::thread> handlers_;
+    std::map<uint64_t, int> open_fds_;  ///< live connection fds, by id
+    uint64_t next_conn_ = 0;
+
+    std::thread accept_thread_;
+};
+
+}  // namespace fpc
+
+#endif  // FPC_SERVICE_SERVER_H

@@ -193,30 +193,6 @@ TEST(Codec, TypedFacadeRoundTrip)
     EXPECT_EQ(Codec::inspect(ByteSpan(d)).algorithm, Algorithm::kDPratio);
 }
 
-// The deprecated free-function wrappers must keep producing bytes
-// identical to the Codec facade until they are removed; this is the one
-// test that intentionally exercises them (everything else uses the
-// facade), so the deprecation warnings are suppressed locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Codec, DeprecatedTypedWrappersMatchFacade)
-{
-    auto floats = data::ToFloats(data::SmoothField(3000, 5, 4, 0.01));
-    EXPECT_EQ(CompressFloats(floats, Mode::kRatio),
-              Codec::For<float>(Mode::kRatio)
-                  .compress(std::span<const float>(floats)));
-    Bytes c = CompressFloats(floats, Mode::kSpeed);
-    EXPECT_EQ(DecompressFloats(ByteSpan(c)), floats);
-
-    auto doubles = data::SmoothField(3000, 6, 4, 0.01);
-    EXPECT_EQ(CompressDoubles(doubles, Mode::kSpeed),
-              Codec::For<double>(Mode::kSpeed)
-                  .compress(std::span<const double>(doubles)));
-    Bytes d = CompressDoubles(doubles, Mode::kRatio);
-    EXPECT_EQ(DecompressDoubles(ByteSpan(d)), doubles);
-}
-#pragma GCC diagnostic pop
-
 TEST(Codec, SpecialFloatValues)
 {
     std::vector<float> values;

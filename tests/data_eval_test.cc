@@ -101,7 +101,7 @@ TEST(Harness, EvaluatesAndAggregates)
 
     eval::EvalConfig eval_config;
     eval_config.runs = 1;
-    auto codec = eval::OurCodec(Algorithm::kSPratio, Device::kCpu);
+    auto codec = eval::OurCodec(Algorithm::kSPratio, "cpu");
     eval::CodecResult result = eval::Evaluate(codec, inputs, eval_config);
 
     EXPECT_EQ(result.name, "SPratio");
@@ -132,7 +132,7 @@ TEST(Harness, GeoMeanOfGeoMeansNotSkewedByFileCounts)
     eval::EvalConfig config;
     config.runs = 1;
     auto result = eval::Evaluate(
-        eval::OurCodec(Algorithm::kSPspeed, Device::kCpu), inputs, config);
+        eval::OurCodec(Algorithm::kSPspeed, "cpu"), inputs, config);
 
     double easy_ratio = result.files[0].ratio;
     double hard_ratio = result.files[4].ratio;
@@ -180,7 +180,7 @@ TEST(Report, StageCsvHeaderPinned)
     eval::EvalConfig eval_config;
     eval_config.runs = 1;
     auto result = eval::Evaluate(
-        eval::OurCodec(Algorithm::kSPratio, Device::kCpu), inputs,
+        eval::OurCodec(Algorithm::kSPratio, "cpu"), inputs,
         eval_config);
 
     const std::string path =

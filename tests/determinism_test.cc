@@ -64,7 +64,7 @@ TEST(DeterminismTest, ThreadCountAndDeviceDoNotChangeOutput)
                 << static_cast<int>(algorithm) << ", size " << size << ")";
 
             Options gpu;
-            gpu.device = Device::kGpuSim;
+            gpu.with_executor("gpusim:4090");
             const Bytes on_device = Compress(algorithm, ByteSpan(input), gpu);
             EXPECT_EQ(reference, on_device)
                 << "gpusim changed the compressed bytes (alg "

@@ -107,15 +107,15 @@ TEST(ExecutorRegistry, ResolveExecutorHonoursOptionsPrecedence)
     EXPECT_EQ(&ResolveExecutor(Options{}), &DefaultExecutor());
     EXPECT_EQ(DefaultExecutor().Name(), "cpu");
 
-    Options legacy;
-    legacy.device = Device::kGpuSim;
-    EXPECT_EQ(ResolveExecutor(legacy).Name(), "gpusim:4090");
+    // with_executor is the only backend spelling: the named backend is
+    // resolved verbatim, anything else falls back to the default.
+    Options named;
+    named.with_executor("gpusim:4090");
+    EXPECT_EQ(ResolveExecutor(named).Name(), "gpusim:4090");
 
-    // An explicit executor wins over the legacy device enum.
-    Options both;
-    both.device = Device::kGpuSim;
-    both.executor = &GetExecutor("cpu");
-    EXPECT_EQ(&ResolveExecutor(both), &GetExecutor("cpu"));
+    Options by_ref;
+    by_ref.executor = &GetExecutor("cpu");
+    EXPECT_EQ(&ResolveExecutor(by_ref), &GetExecutor("cpu"));
 }
 
 /** Every registered backend must emit byte-identical containers and must

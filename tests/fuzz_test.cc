@@ -88,7 +88,7 @@ TEST_P(FuzzRoundTrip, BothDevicesAgreeAndRoundTrip)
 
     Options cpu;
     Options gpu;
-    gpu.device = Device::kGpuSim;
+    gpu.with_executor("gpusim:4090");
 
     Bytes from_cpu = Compress(algorithm, ByteSpan(input), cpu);
     Bytes from_gpu = Compress(algorithm, ByteSpan(input), gpu);

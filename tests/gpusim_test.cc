@@ -156,9 +156,9 @@ TEST_P(CrossDevice, IdenticalStreamsAndInterchangeableDecode)
 {
     Algorithm algorithm = kAll[GetParam()];
     Options cpu;
-    cpu.device = fpc::Device::kCpu;
+    cpu.with_executor("cpu");
     Options gpu;
-    gpu.device = fpc::Device::kGpuSim;
+    gpu.with_executor("gpusim:4090");
 
     std::vector<Bytes> inputs;
     {

@@ -333,7 +333,7 @@ TEST(TelemetryCompileSwitch, OffBuildCollectsNothing)
         EXPECT_TRUE(snap.executor.empty());
     }
     // The JSON schema line renders either way.
-    EXPECT_NE(sink.ToJson().find("\"schema\": \"fpc.telemetry.v4\""),
+    EXPECT_NE(sink.ToJson().find("\"schema\": \"fpc.telemetry.v5\""),
               std::string::npos);
 }
 
@@ -346,9 +346,9 @@ TEST(TelemetryJson, SchemaShape)
     Decompress(ByteSpan(compressed), options);
     const std::string json = sink.ToJson();
     for (const char* field :
-         {"\"schema\": \"fpc.telemetry.v4\"", "\"compress\"",
+         {"\"schema\": \"fpc.telemetry.v5\"", "\"compress\"",
           "\"decompress\"", "\"ranged\"", "\"chunks\"", "\"adaptive\"",
-          "\"mplg\"", "\"arena\"",
+          "\"mplg\"", "\"arena\"", "\"service\"", "\"tenants\"",
           "\"stages\"", "\"DIFFMS\"", "\"RARE\"", "\"histograms\"",
           "\"chunk_encode\"", "\"chunk_decode\"", "\"latency\"",
           "\"p50_ns\"", "\"p95_ns\"", "\"p99_ns\"", "\"max_ns\""}) {

@@ -4,10 +4,10 @@
 Reads stdin (or the files named on the command line) line by line and
 validates every JSON object whose schema tag it recognises:
 
-``fpc.telemetry.v4`` (``Telemetry::ToJson``, src/core/telemetry.cc):
+``fpc.telemetry.v5`` (``Telemetry::ToJson``, src/core/telemetry.cc):
   - top-level keys: schema, executor, algorithm, isa, compress,
-    decompress, ranged, chunks, adaptive, mplg, arena, histograms,
-    stages;
+    decompress, ranged, chunks, adaptive, mplg, arena, service,
+    histograms, stages;
   - isa names the dispatched kernel level (scalar/avx2/avx512);
   - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
     non-negative integers;
@@ -22,6 +22,10 @@ validates every JSON object whose schema tag it recognises:
     in-margin candidate may be trial-encoded);
   - mplg: subchunks, enhanced_subchunks with enhanced <= subchunks;
   - arena: high_water_bytes;
+  - service (the fpc::Service per-tenant block; empty tenants map for
+    library-only runs): each tenant has requests, rejected, failed,
+    bytes_in, bytes_out, queue_ns counters (failed <= requests) plus a
+    "request" whole-request latency digest whose count == requests;
   - histograms: chunk_encode and chunk_decode latency digests (count,
     p50_ns, p95_ns, p99_ns, max_ns with p50 <= p95 <= p99 <= max), with
     chunks.encoded == chunk_encode.count + adaptive.trials (each margin
@@ -35,13 +39,17 @@ validates every JSON object whose schema tag it recognises:
   - every event is Chrome trace-event shaped: ph "M" (metadata) or "X"
     (complete span with numeric ts/dur >= 0, name, pid, tid).
 
-``fpc.bench.v1`` (bench/bench_regress.cc and bench/bench_seek.cc):
+``fpc.bench.v1`` (bench/bench_regress.cc, bench/bench_seek.cc, and
+bench/bench_service.cc):
   - config block carrying the corpus/stream fingerprint and machine
     facts (corpus-shaped reports name values_per_file and the scales,
-    seek-shaped reports name frames/values_per_frame/queries);
+    seek-shaped reports name frames/values_per_frame/queries,
+    service-shaped reports name tenants/requests_per_tenant/
+    values_per_request/workers);
   - results entries with algorithm, backend, positive ratio and
     throughputs, and valid latency digests (chunk_encode/chunk_decode
-    required for corpus-shaped reports, range_read for ranged ones).
+    required for corpus-shaped reports, range_read for ranged ones,
+    request for service-shaped ones).
 
 Exit code 0 when every recognised line validates and at least one was
 seen (pass ``--allow-empty`` when hooks are compiled out and
@@ -55,7 +63,7 @@ as the ``stats_schema`` test (tests/stats_schema.cmake); also ad hoc:
 import json
 import sys
 
-TELEMETRY_TAG = "fpc.telemetry.v4"
+TELEMETRY_TAG = "fpc.telemetry.v5"
 TRACE_TAG = "fpc.trace.v1"
 BENCH_TAG = "fpc.bench.v1"
 
@@ -77,8 +85,18 @@ TOP_KEYS = [
     "adaptive",
     "mplg",
     "arena",
+    "service",
     "histograms",
     "stages",
+]
+
+TENANT_FIELDS = [
+    "requests",
+    "rejected",
+    "failed",
+    "bytes_in",
+    "bytes_out",
+    "queue_ns",
 ]
 
 RANGED_FIELDS = [
@@ -223,6 +241,32 @@ def check_telemetry(line_no, doc):
     if not isinstance(arena.get("high_water_bytes"), int):
         ok = fail(line_no, "arena.high_water_bytes missing or invalid")
 
+    service = doc["service"]
+    tenants = service.get("tenants") if isinstance(service, dict) else None
+    if not isinstance(tenants, dict):
+        ok = fail(line_no, "service.tenants missing or not an object")
+    else:
+        for name, tenant in tenants.items():
+            where = f"service.tenants[{name!r}]"
+            if not isinstance(tenant, dict):
+                ok = fail(line_no, f"{where} is not an object")
+                continue
+            for field in TENANT_FIELDS:
+                value = tenant.get(field)
+                if not isinstance(value, int) or value < 0:
+                    ok = fail(line_no, f"{where}.{field} missing or not a"
+                                       f" non-negative integer: {value!r}")
+            digest = tenant.get("request")
+            if not isinstance(digest, dict):
+                ok = fail(line_no, f"{where} lacks a request digest")
+                continue
+            ok = check_digest(line_no, f"{where}.request", digest) and ok
+            if ok and tenant["failed"] > tenant["requests"]:
+                ok = fail(line_no, f"{where}.failed exceeds requests")
+            if ok and digest["count"] != tenant["requests"]:
+                ok = fail(line_no, f"{where}.request.count !="
+                                   f" {where}.requests")
+
     hists = doc["histograms"]
     if not isinstance(hists, dict):
         ok = fail(line_no, "histograms is not an object")
@@ -360,17 +404,23 @@ def check_trace_content(line_no, doc):
 def check_bench(line_no, doc):
     ok = True
     config = doc.get("config")
-    # bench_regress reports carry the corpus knobs; bench_seek reports
-    # carry the stream/query knobs instead. Both share the fingerprint
-    # and the machine facts.
+    # bench_regress reports carry the corpus knobs, bench_seek reports
+    # the stream/query knobs, bench_service reports the tenant-load
+    # knobs. All share the fingerprint and the machine facts.
     corpus_shaped = isinstance(config, dict) and "values_per_file" in config
+    service_shaped = isinstance(config, dict) and "tenants" in config
     if not isinstance(config, dict):
         ok = fail(line_no, "config missing or not an object")
     else:
-        int_fields = (("values_per_file", "runs", "repeats", "threads")
-                      if corpus_shaped
-                      else ("frames", "values_per_frame", "queries",
-                            "range_elements", "repeats", "threads"))
+        if corpus_shaped:
+            int_fields = ("values_per_file", "runs", "repeats", "threads")
+        elif service_shaped:
+            int_fields = ("tenants", "requests_per_tenant",
+                          "values_per_request", "workers", "window",
+                          "threads")
+        else:
+            int_fields = ("frames", "values_per_frame", "queries",
+                          "range_elements", "repeats", "threads")
         for field in int_fields:
             value = config.get(field)
             if not isinstance(value, int) or value <= 0:
@@ -412,6 +462,8 @@ def check_bench(line_no, doc):
             for key in ("chunk_encode", "chunk_decode"):
                 if key not in hists:
                     ok = fail(line_no, f"{where}.histograms lacks {key}")
+        elif service_shaped and "request" not in hists:
+            ok = fail(line_no, f"{where}.histograms lacks request")
         for key, digest in hists.items():
             ok = check_digest(line_no, f"{where}.histograms.{key}",
                               digest) and ok

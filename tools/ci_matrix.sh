@@ -36,11 +36,18 @@
 #                    golden matrix (ctest -L sanitize covers -L simd).
 #   tsan           — -DFPC_TSAN=ON over the threading subset (ctest -L
 #                    thread): the parallel stream decoder's claim/deliver
-#                    window and early-abandonment teardown.
+#                    window and early-abandonment teardown, plus the
+#                    service scheduler (worker pool, per-tenant queues,
+#                    round-robin dispatch, arena pool) and the daemon's
+#                    concurrent connection handling (protocol_test).
 #
-# The default leg also runs a mode=auto smoke: compress a mixed corpus
+# The default leg also runs a mode=auto smoke (compress a mixed corpus
 # adaptively, inspect the v3 per-chunk table, decode on the gpusim
-# backend, byte-compare, and schema-check the v4 adaptive telemetry.
+# backend, byte-compare, and schema-check the v5 adaptive telemetry) and
+# a service daemon smoke: fpcd on a unix socket, concurrent fpcc
+# roundtrips for all four algorithms plus mode=auto on the gpusim
+# backend, every container byte-compared against the library path, and
+# the daemon's v5 stats (per-tenant service block) schema-checked.
 #
 # Each configuration builds into build-matrix/<name> so the normal
 # ./build tree is left alone. Exits non-zero on the first failure.
@@ -77,7 +84,7 @@ python3 "${root}/tools/check_stats_schema.py" "${out}/default/ci_trace.json"
 # of the decode must stay well below the compressed size — the pool holds
 # a fixed number of frames in flight, never the file. A ranged read out
 # of the same file then exercises the seek index end to end and its
-# fpc.telemetry.v4 ranged counters are schema-checked.
+# fpc.telemetry.v5 ranged counters are schema-checked.
 echo "==> [default] large-file streaming smoke"
 large_dir="${out}/default/large_smoke"
 rm -rf "${large_dir}"
@@ -154,6 +161,83 @@ EOF
 cmp "${auto_dir}/mixed.bin" "${auto_dir}/mixed.out"
 python3 "${root}/tools/check_stats_schema.py" "${auto_dir}/auto_stats.json"
 rm -rf "${auto_dir}"
+
+# Service daemon smoke: fpcd on a unix socket serving concurrent fpcc
+# clients — all four fixed algorithms plus mode=auto on the gpusim
+# backend, one tenant each. Every compressed container is byte-compared
+# against the library path (fpczip with the same knobs), every
+# roundtrip against the input. The daemon's stats (live via `fpcc
+# stats` and the --stats-file written at shutdown) carry the v5
+# per-tenant service block and are schema-checked.
+echo "==> [default] service daemon smoke"
+svc_dir="${out}/default/service_smoke"
+rm -rf "${svc_dir}"
+mkdir -p "${svc_dir}"
+python3 - "${svc_dir}/in.bin" <<'EOF'
+import random, struct, sys
+random.seed(11)
+out = []
+for region in range(8):
+    if region % 2 == 0:
+        out += [1.0 + i / 4096.0 for i in range(4096)]
+    else:
+        out += [random.uniform(1.0, 2.0) for _ in range(4096)]
+with open(sys.argv[1], "wb") as f:
+    f.write(struct.pack(f"<{len(out)}f", *out))
+EOF
+svc_sock="${svc_dir}/fpcd.sock"
+"${out}/default/fpcd" --socket="${svc_sock}" --workers=4 \
+    "--stats-file=${svc_dir}/fpcd_stats.json" &
+fpcd_pid=$!
+tries=0
+while [ ! -S "${svc_sock}" ]; do
+    tries=$((tries + 1))
+    if [ "${tries}" -gt 100 ]; then
+        echo "service smoke: fpcd socket never appeared"
+        exit 1
+    fi
+    sleep 0.1
+done
+svc_pids=""
+for algo in SPspeed SPratio DPspeed DPratio; do
+    (
+        set -eu
+        "${out}/default/fpcc" "--socket=${svc_sock}" \
+            "--tenant=${algo}" compress -a "${algo}" \
+            "${svc_dir}/in.bin" "${svc_dir}/${algo}.fpcz"
+        "${out}/default/fpczip" -c -a "${algo}" \
+            "${svc_dir}/in.bin" "${svc_dir}/${algo}.want"
+        cmp "${svc_dir}/${algo}.fpcz" "${svc_dir}/${algo}.want"
+        "${out}/default/fpcc" "--socket=${svc_sock}" \
+            "--tenant=${algo}" decompress \
+            "${svc_dir}/${algo}.fpcz" "${svc_dir}/${algo}.out"
+        cmp "${svc_dir}/in.bin" "${svc_dir}/${algo}.out"
+    ) &
+    svc_pids="${svc_pids} $!"
+done
+(
+    set -eu
+    "${out}/default/fpcc" "--socket=${svc_sock}" --tenant=auto \
+        --backend=gpusim:4090 compress --mode=auto \
+        "${svc_dir}/in.bin" "${svc_dir}/auto.fpcz"
+    "${out}/default/fpczip" -c --mode=auto --backend=gpusim:4090 \
+        "${svc_dir}/in.bin" "${svc_dir}/auto.want"
+    cmp "${svc_dir}/auto.fpcz" "${svc_dir}/auto.want"
+    "${out}/default/fpcc" "--socket=${svc_sock}" --tenant=auto \
+        decompress "${svc_dir}/auto.fpcz" "${svc_dir}/auto.out"
+    cmp "${svc_dir}/in.bin" "${svc_dir}/auto.out"
+) &
+svc_pids="${svc_pids} $!"
+for pid in ${svc_pids}; do
+    wait "${pid}"
+done
+"${out}/default/fpcc" "--socket=${svc_sock}" stats \
+    > "${svc_dir}/live_stats.json"
+python3 "${root}/tools/check_stats_schema.py" "${svc_dir}/live_stats.json"
+"${out}/default/fpcc" "--socket=${svc_sock}" shutdown
+wait "${fpcd_pid}"
+python3 "${root}/tools/check_stats_schema.py" "${svc_dir}/fpcd_stats.json"
+rm -rf "${svc_dir}"
 
 # Forced-scalar dispatch over the default build: same binaries, kernel
 # tables pinned to the portable reference. The bench gate still runs;

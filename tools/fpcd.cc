@@ -1,0 +1,177 @@
+/**
+ * @file
+ * fpcd — the fpcomp compression daemon: a long-lived process serving
+ * compress/decompress/decompress_range/inspect requests over a
+ * unix-domain socket (framed protocol, service/protocol.h), scheduling
+ * them through fpc::Service (bounded queue, per-tenant QoS, pooled
+ * scratch arenas).
+ *
+ * Usage:
+ *   fpcd --socket=PATH [--workers=N] [--queue=N] [--request-threads=N]
+ *        [--rate-mbps=N] [--burst-mb=N] [--max-in-flight=N]
+ *        [--stats-file=PATH] [--trace=FILE]
+ *
+ * --socket=PATH       listening unix-domain socket (required). A stale
+ *                     socket file from a crashed daemon is replaced.
+ * --workers=N         scheduler worker threads (default min(4, cores)).
+ * --queue=N           pending-request capacity before submissions are
+ *                     rejected with the busy status (default 256).
+ * --request-threads=N intra-request thread count (default 1; service
+ *                     throughput comes from request parallelism).
+ * --rate-mbps=N       default per-tenant token-bucket refill rate in
+ *                     MB/s of request payload (default: unlimited).
+ * --burst-mb=N        default per-tenant burst allowance in MiB
+ *                     (default 8).
+ * --max-in-flight=N   default per-tenant cap on queued + executing
+ *                     requests (default: unlimited).
+ * --stats-file=PATH   write the final "fpc.telemetry.v5" JSON line
+ *                     (per-stage counters + the per-tenant "service"
+ *                     block) to PATH on shutdown. `fpcc stats` reads the
+ *                     same JSON live.
+ * --trace=FILE        record one span per request and write a Chrome
+ *                     trace-event timeline to FILE on shutdown.
+ *
+ * The daemon runs in the foreground until `fpcc shutdown` or
+ * SIGINT/SIGTERM; exit codes follow the shared fpc::Errc table
+ * (core/errc.h).
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/errc.h"
+#include "core/telemetry.h"
+#include "core/trace.h"
+#include "service/server.h"
+
+namespace {
+
+// SIGINT/SIGTERM land here; the main thread polls the flag while
+// waiting for a client-driven shutdown.
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+OnSignal(int)
+{
+    g_signalled = 1;
+}
+
+int
+Usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fpcd --socket=PATH [--workers=N] [--queue=N]\n"
+        "            [--request-threads=N] [--rate-mbps=N] [--burst-mb=N]\n"
+        "            [--max-in-flight=N] [--stats-file=PATH] "
+        "[--trace=FILE]\n"
+        "Serves compress/decompress/decompress_range/inspect requests\n"
+        "over the unix-domain socket until `fpcc shutdown` or SIGTERM.\n");
+    return fpc::ExitCodeOf(fpc::Errc::kUsage);
+}
+
+uint64_t
+ParseCount(const std::string& text, const char* flag)
+{
+    try {
+        size_t pos = 0;
+        const uint64_t value = std::stoull(text, &pos);
+        if (pos != text.size()) throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception&) {
+        throw fpc::UsageError(std::string(flag) + ": not a number: " + text);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        fpc::ServerConfig config;
+        std::string stats_path;
+        std::string trace_path;
+        fpc::Telemetry stats_sink;
+        fpc::TraceSink trace_sink;
+
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&arg](const char* flag) {
+                return arg.substr(std::strlen(flag));
+            };
+            if (arg.rfind("--socket=", 0) == 0) {
+                config.socket_path = value("--socket=");
+            } else if (arg.rfind("--workers=", 0) == 0) {
+                config.service.workers = static_cast<int>(
+                    ParseCount(value("--workers="), "--workers"));
+            } else if (arg.rfind("--queue=", 0) == 0) {
+                config.service.queue_capacity = static_cast<size_t>(
+                    ParseCount(value("--queue="), "--queue"));
+            } else if (arg.rfind("--request-threads=", 0) == 0) {
+                config.service.request_threads =
+                    static_cast<int>(ParseCount(value("--request-threads="),
+                                                "--request-threads"));
+            } else if (arg.rfind("--rate-mbps=", 0) == 0) {
+                config.service.default_qos.rate_bytes_per_sec =
+                    ParseCount(value("--rate-mbps="), "--rate-mbps") *
+                    1000000;
+            } else if (arg.rfind("--burst-mb=", 0) == 0) {
+                config.service.default_qos.burst_bytes =
+                    ParseCount(value("--burst-mb="), "--burst-mb") << 20;
+            } else if (arg.rfind("--max-in-flight=", 0) == 0) {
+                config.service.default_qos.max_in_flight =
+                    static_cast<uint32_t>(ParseCount(
+                        value("--max-in-flight="), "--max-in-flight"));
+            } else if (arg.rfind("--stats-file=", 0) == 0) {
+                stats_path = value("--stats-file=");
+                if (stats_path.empty()) return Usage();
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                trace_path = value("--trace=");
+                if (trace_path.empty()) return Usage();
+            } else {
+                return Usage();
+            }
+        }
+        if (config.socket_path.empty()) return Usage();
+        config.service.telemetry = &stats_sink;
+        if (!trace_path.empty()) config.service.trace = &trace_sink;
+
+        std::signal(SIGINT, OnSignal);
+        std::signal(SIGTERM, OnSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        fpc::SocketServer server(config);
+        std::fprintf(stderr,
+                     "fpcd: listening on %s (%d worker(s), queue %zu)\n",
+                     server.Path().c_str(), server.service().workers(),
+                     config.service.queue_capacity);
+
+        // Wait for `fpcc shutdown` or a signal; signals cannot wake a
+        // condition variable, so the wait polls in short slices.
+        while (!server.WaitForShutdownFor(std::chrono::milliseconds(200))) {
+            if (g_signalled != 0) {
+                std::fprintf(stderr, "fpcd: signalled, shutting down\n");
+                break;
+            }
+        }
+        server.Stop();
+
+        if (!stats_path.empty()) {
+            std::FILE* out = std::fopen(stats_path.c_str(), "w");
+            if (out == nullptr) {
+                throw fpc::UsageError("cannot open " + stats_path);
+            }
+            std::fprintf(out, "%s\n", stats_sink.ToJson().c_str());
+            std::fclose(out);
+        }
+        if (!trace_path.empty() && !trace_sink.WriteJson(trace_path)) {
+            throw fpc::UsageError("cannot write " + trace_path);
+        }
+        return fpc::ExitCodeOf(fpc::Errc::kOk);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fpcd: %s\n", e.what());
+        return fpc::ExitCodeOf(fpc::CurrentErrc());
+    }
+}

@@ -34,7 +34,7 @@
  * --backend selects an executor-registry backend (cpu, gpusim:4090,
  *    gpusim:a100); all backends produce bit-identical containers (see
  *    DESIGN.md). -g is shorthand for --backend=gpusim:4090.
- * --stats prints one "fpc.telemetry.v4" JSON line (per-stage wall time
+ * --stats prints one "fpc.telemetry.v5" JSON line (per-stage wall time
  *    and byte flow, chunk/raw counts, latency histogram digests; see
  *    DESIGN.md "Observability") to stderr after a -c/-d run, so stdout
  *    stays scriptable.
@@ -47,9 +47,11 @@
  *    avx512); errors out if the level is not compiled in or the CPU
  *    lacks it. Every level produces bit-identical containers.
  *
- * Exit codes: 0 success, 1 I/O or internal error, 2 usage error,
- * 3 corrupt or truncated compressed stream (the message names the stage
- * and byte offset that failed validation).
+ * Exit codes follow the shared fpc::Errc table (core/errc.h) — the same
+ * numbers fpcc exits with and fpcd puts in the wire status byte:
+ * 0 success, 1 I/O or internal error, 2 usage error, 3 corrupt or
+ * truncated compressed stream (the message names the stage and byte
+ * offset that failed validation).
  */
 #include <algorithm>
 #include <cctype>
@@ -60,6 +62,7 @@
 #include <string>
 
 #include "core/codec.h"
+#include "core/errc.h"
 #include "core/executor.h"
 #include "core/stream.h"
 #include "core/telemetry.h"
@@ -549,16 +552,11 @@ main(int argc, char** argv)
             throw fpc::UsageError("cannot write " + trace_path);
         }
         return 0;
-    } catch (const fpc::CorruptStreamError& e) {
-        // Distinct exit code so scripted callers can tell damaged input
-        // from I/O or usage failures; e.what() carries stage + offset.
-        std::fprintf(stderr, "fpczip: %s\n", e.what());
-        return 3;
-    } catch (const fpc::UsageError& e) {
-        std::fprintf(stderr, "fpczip: %s\n", e.what());
-        return 2;
     } catch (const std::exception& e) {
+        // One mapping table for every front-end (core/errc.h): corrupt
+        // input, usage errors, and internal failures keep their distinct
+        // exit codes; e.what() carries stage + offset for corrupt input.
         std::fprintf(stderr, "fpczip: %s\n", e.what());
-        return 1;
+        return fpc::ExitCodeOf(fpc::CurrentErrc());
     }
 }
