@@ -29,6 +29,14 @@
  *   FPC_BENCH_SERVICE_WORKERS   service worker threads    (default 4)
  *   FPC_BENCH_SERVICE_WINDOW    in-flight per tenant      (default 8)
  *   FPC_BENCH_SERVICE_BACKEND   executor-registry name    (default cpu)
+ *   FPC_BENCH_SERVICE_SOCKET    fpcd socket path; when set the polite
+ *       tenants drive the daemon at PATH over one SocketClient each
+ *       (blocking calls, so WINDOW and WORKERS describe the daemon, not
+ *       this process). Socket mode runs no flooder — a blocking client
+ *       cannot oversubscribe a remote queue — and skips the in-process
+ *       telemetry cross-check (the daemon owns the registry); kBusy
+ *       replies count as rejections and still fail the run. This is the
+ *       load half of the ci_matrix.sh metrics-reconcile leg.
  */
 #include <atomic>
 #include <chrono>
@@ -36,6 +44,7 @@
 #include <cstdio>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +53,7 @@
 #include "core/errc.h"
 #include "core/telemetry.h"
 #include "figure_common.h"
+#include "service/client.h"
 #include "service/service.h"
 #include "util/hash.h"
 
@@ -59,6 +69,7 @@ struct ServiceBenchConfig {
     size_t workers = 4;
     size_t window = 8;
     std::string backend = "cpu";
+    std::string socket;  ///< fpcd socket path; empty = in-process
 };
 
 std::string
@@ -67,9 +78,10 @@ Fingerprint(const ServiceBenchConfig& config)
     char key[192];
     std::snprintf(key, sizeof(key),
                   "service;tenants=%zu;requests=%zu;values=%zu;"
-                  "workers=%zu;window=%zu;backend=%s",
+                  "workers=%zu;window=%zu;backend=%s;transport=%s",
                   config.tenants, config.requests, config.values,
-                  config.workers, config.window, config.backend.c_str());
+                  config.workers, config.window, config.backend.c_str(),
+                  config.socket.empty() ? "inproc" : "socket");
     char hex[32];
     std::snprintf(hex, sizeof(hex), "%016" PRIx64,
                   Checksum64(AsBytes(std::span<const char>(
@@ -175,6 +187,27 @@ PumpPhase(Service& service, const ServiceRequest& proto, size_t count,
     }
 }
 
+/** Socket-mode pump: one blocking request at a time over this tenant's
+ *  own daemon connection (concurrency comes from the tenant threads).
+ *  kBusy replies are the daemon's ServiceBusy — counted as rejections,
+ *  which the sanity gate still requires to be zero for polite load. */
+void
+PumpSocketPhase(const std::string& socket_path, const ServiceRequest& proto,
+                size_t count, TenantRun& run, Bytes* first_payload)
+{
+    SocketClient client(socket_path);
+    for (size_t i = 0; i < count; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        ServiceResponse response = client.Call(proto);
+        run.latency.Record(static_cast<uint64_t>(
+            Seconds(t0, Clock::now()) * 1e9));
+        if (response.status == Errc::kBusy) ++run.rejected;
+        else if (response.status != Errc::kOk) ++run.failed;
+        else if (first_payload != nullptr && first_payload->empty())
+            *first_payload = std::move(response.payload);
+    }
+}
+
 }  // namespace
 
 int
@@ -189,22 +222,29 @@ main(int argc, char** argv)
         config.window = bench::EnvSize("FPC_BENCH_SERVICE_WINDOW", 8);
         config.backend = bench::EnvString("FPC_BENCH_SERVICE_BACKEND",
                                           "cpu");
+        config.socket = bench::EnvString("FPC_BENCH_SERVICE_SOCKET", "");
         if (config.tenants == 0 || config.requests == 0 ||
             config.window == 0) {
             std::fprintf(stderr, "bench_service: zero-sized config\n");
             return 1;
         }
+        const bool socket_mode = !config.socket.empty();
 
-        ServiceConfig service_config;
-        service_config.workers = static_cast<int>(config.workers);
-        service_config.queue_capacity =
-            config.tenants * config.window + config.workers + 64;
-        Service service(service_config);
-        // The flooder may hold at most one request per worker; its tight
-        // submit loop bounces off this cap with ServiceBusy.
-        TenantQos flood_qos;
-        flood_qos.max_in_flight = static_cast<uint32_t>(config.workers);
-        service.SetTenantQos("flood", flood_qos);
+        std::unique_ptr<Service> owned_service;
+        if (!socket_mode) {
+            ServiceConfig service_config;
+            service_config.workers = static_cast<int>(config.workers);
+            service_config.queue_capacity =
+                config.tenants * config.window + config.workers + 64;
+            owned_service.reset(new Service(service_config));
+            // The flooder may hold at most one request per worker; its
+            // tight submit loop bounces off this cap with ServiceBusy.
+            TenantQos flood_qos;
+            flood_qos.max_in_flight =
+                static_cast<uint32_t>(config.workers);
+            owned_service->SetTenantQos("flood", flood_qos);
+        }
+        Service* service_ptr = owned_service.get();
 
         const size_t payload_bytes = config.values * sizeof(float);
         std::vector<Bytes> payloads;
@@ -223,6 +263,9 @@ main(int argc, char** argv)
         std::vector<Bytes> containers(config.tenants);
 
         // Compress phase: polite tenants + the flooder, concurrently.
+        // Socket mode runs no flooder: every connection carries one
+        // blocking request, so a remote flood cannot oversubscribe the
+        // daemon's queue the way the in-process tight loop does.
         std::atomic<bool> flood_stop{false};
         size_t flood_rejected = 0;
         size_t flood_compress_ok = 0;
@@ -230,7 +273,8 @@ main(int argc, char** argv)
         size_t flood_failed = 0;
         double flood_s = 0.0;
         LatencyHistogram flood_latency;
-        std::thread flooder([&] {
+        std::thread flooder;
+        if (!socket_mode) flooder = std::thread([&] {
             const ServiceRequest comp = MakeRequest(
                 ServiceVerb::kCompress, "flood", flood_payload,
                 config.backend);
@@ -245,8 +289,9 @@ main(int argc, char** argv)
                 const bool is_compress = (i++ % 2) == 0;
                 try {
                     ServiceRequest request = is_compress ? comp : decomp;
-                    open.emplace_back(service.Submit(std::move(request)),
-                                      is_compress);
+                    open.emplace_back(
+                        service_ptr->Submit(std::move(request)),
+                        is_compress);
                 } catch (const ServiceBusy&) {
                     ++flood_rejected;
                     std::this_thread::yield();
@@ -269,15 +314,20 @@ main(int argc, char** argv)
                     ServiceVerb::kCompress, name, payloads[t],
                     config.backend);
                 const Clock::time_point t0 = Clock::now();
-                PumpPhase(service, proto, config.requests, config.window,
-                          runs[t], &containers[t]);
+                if (socket_mode) {
+                    PumpSocketPhase(config.socket, proto, config.requests,
+                                    runs[t], &containers[t]);
+                } else {
+                    PumpPhase(*service_ptr, proto, config.requests,
+                              config.window, runs[t], &containers[t]);
+                }
                 runs[t].compress_s = Seconds(t0, Clock::now());
             });
         }
         for (std::thread& thread : tenants) thread.join();
         tenants.clear();
         flood_stop.store(true);
-        flooder.join();
+        if (flooder.joinable()) flooder.join();
 
         // Decompress phase: polite tenants only, against the containers
         // the compress phase produced.
@@ -289,13 +339,18 @@ main(int argc, char** argv)
                     ServiceVerb::kDecompress, name, containers[t],
                     config.backend);
                 const Clock::time_point t0 = Clock::now();
-                PumpPhase(service, proto, config.requests, config.window,
-                          runs[t], nullptr);
+                if (socket_mode) {
+                    PumpSocketPhase(config.socket, proto, config.requests,
+                                    runs[t], nullptr);
+                } else {
+                    PumpPhase(*service_ptr, proto, config.requests,
+                              config.window, runs[t], nullptr);
+                }
                 runs[t].decompress_s = Seconds(t0, Clock::now());
             });
         }
         for (std::thread& thread : tenants) thread.join();
-        service.Stop();
+        if (!socket_mode) service_ptr->Stop();
 
         // The run is only a benchmark if the scheduler behaved: polite
         // tenants fully inside QoS, the flooder visibly throttled but
@@ -319,13 +374,14 @@ main(int argc, char** argv)
                 sane = false;
             }
         }
-        if (flood_rejected == 0) {
+        if (!socket_mode && flood_rejected == 0) {
             std::fprintf(stderr, "bench_service: the flooder was never "
                                  "throttled — no saturation reached\n");
             sane = false;
         }
-        if (flood_compress_ok == 0 || flood_decompress_ok == 0 ||
-            flood_failed != 0) {
+        if (!socket_mode &&
+            (flood_compress_ok == 0 || flood_decompress_ok == 0 ||
+             flood_failed != 0)) {
             std::fprintf(stderr,
                          "bench_service: flood traffic broken (compress "
                          "%zu, decompress %zu, failed %zu)\n",
@@ -336,10 +392,13 @@ main(int argc, char** argv)
         if (!sane) return 1;
 
         // Cross-check the scheduler's own accounting when the hooks are
-        // compiled in: the v5 service block must agree with what the
-        // load threads observed.
-        if (kTelemetryEnabled) {
-            const TelemetrySnapshot snap = service.telemetry().Snapshot();
+        // compiled in: the v6 service block must agree with what the
+        // load threads observed. Socket mode has no in-process scheduler
+        // to ask — the daemon's accounting is reconciled externally
+        // (ci_matrix.sh scrapes /metrics against the --stats-file dump).
+        if (!socket_mode && kTelemetryEnabled) {
+            const TelemetrySnapshot snap =
+                service_ptr->telemetry().Snapshot();
             const auto flood_it = snap.tenants.find("flood");
             if (flood_it == snap.tenants.end() ||
                 flood_it->second.rejected != flood_rejected ||
@@ -360,12 +419,14 @@ main(int argc, char** argv)
                       "\"tenants\": %zu, \"requests_per_tenant\": %zu, "
                       "\"values_per_request\": %zu, \"workers\": %zu, "
                       "\"window\": %zu, \"threads\": %u, \"isa\": \"%s\", "
+                      "\"transport\": \"%s\", "
                       "\"telemetry\": %s, \"fingerprint\": \"%s\"}, "
                       "\"results\": [",
                       config.tenants, config.requests, config.values,
                       config.workers, config.window,
                       std::max(1u, std::thread::hardware_concurrency()),
                       simd::IsaName(simd::DefaultIsa()),
+                      socket_mode ? "socket" : "inproc",
                       kTelemetryEnabled ? "true" : "false",
                       Fingerprint(config).c_str());
         out += buf;
@@ -390,7 +451,7 @@ main(int argc, char** argv)
         }
         // The flooder's entry: accepted traffic only, over its whole
         // run; rejections are free by design (Submit never blocks).
-        {
+        if (!socket_mode) {
             const double ratio =
                 static_cast<double>(flood_payload.size()) /
                 static_cast<double>(flood_container.size());
@@ -418,12 +479,20 @@ main(int argc, char** argv)
                          runs[t].latency.P99() / 1000, config.requests,
                          config.requests);
         }
-        std::fprintf(stderr,
-                     "bench_service: flood  %zu served (%zu+%zu), %zu "
-                     "throttled (ServiceBusy) in %.2fs\n",
-                     flood_compress_ok + flood_decompress_ok,
-                     flood_compress_ok, flood_decompress_ok,
-                     flood_rejected, flood_s);
+        if (socket_mode) {
+            std::fprintf(stderr,
+                         "bench_service: drove daemon at %s (%zu tenants"
+                         " x 2x%zu requests)\n",
+                         config.socket.c_str(), config.tenants,
+                         config.requests);
+        } else {
+            std::fprintf(stderr,
+                         "bench_service: flood  %zu served (%zu+%zu), %zu "
+                         "throttled (ServiceBusy) in %.2fs\n",
+                         flood_compress_ok + flood_decompress_ok,
+                         flood_compress_ok, flood_decompress_ok,
+                         flood_rejected, flood_s);
+        }
 
         if (argc > 1) {
             std::FILE* f = std::fopen(argv[1], "w");

@@ -47,6 +47,11 @@ namespace fpc {
 
 struct TelemetryShard;  // core/telemetry.h
 
+/** Live-metrics hook (core/metrics.cc): pool hit/miss counters and the
+ *  lease high-water gauge. No-op under -DFPC_TELEMETRY=0. */
+void RecordArenaAcquire(uint64_t hits, uint64_t misses,
+                        uint64_t outstanding);
+
 class ScratchArena {
  public:
     ScratchArena() = default;
@@ -226,6 +231,8 @@ class ArenaPool {
     {
         std::vector<ScratchArena> out;
         out.reserve(n);
+        uint64_t hits = 0;
+        uint64_t outstanding = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++leases_;
@@ -233,8 +240,13 @@ class ArenaPool {
                 out.push_back(std::move(free_.back()));
                 free_.pop_back();
             }
+            hits = out.size();
             created_ += n - out.size();
+            outstanding_ += n;
+            if (outstanding_ > high_water_) high_water_ = outstanding_;
+            outstanding = outstanding_;
         }
+        RecordArenaAcquire(hits, n - hits, outstanding);
         for (ScratchArena& arena : out) arena.ResetForRun();
         while (out.size() < n) out.emplace_back();
         return ArenaLease(std::move(out), this);
@@ -264,6 +276,9 @@ class ArenaPool {
     Release(std::vector<ScratchArena>&& arenas)
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const uint64_t returned = arenas.size();
+        outstanding_ = outstanding_ > returned ? outstanding_ - returned
+                                               : 0;
         for (ScratchArena& arena : arenas) {
             free_.push_back(std::move(arena));
         }
@@ -273,6 +288,8 @@ class ArenaPool {
     std::vector<ScratchArena> free_;
     uint64_t leases_ = 0;
     uint64_t created_ = 0;
+    uint64_t outstanding_ = 0;  ///< arenas currently leased out
+    uint64_t high_water_ = 0;   ///< max simultaneous leased arenas
 };
 
 inline ArenaLease::~ArenaLease()

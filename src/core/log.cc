@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Structured logging implementation — see core/log.h for the contract.
+ */
+#include "core/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/metrics.h"
+
+namespace fpc {
+
+const char*
+LogLevelName(LogLevel level)
+{
+    switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+        case LogLevel::kOff: return "off";
+    }
+    return "warn";
+}
+
+LogLevel
+ParseLogLevel(const std::string& name)
+{
+    for (const LogLevel level :
+         {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+          LogLevel::kError, LogLevel::kOff}) {
+        if (name == LogLevelName(level)) return level;
+    }
+    return LogLevel::kWarn;
+}
+
+namespace {
+
+struct LogState {
+    std::mutex mutex;
+    LogLevel threshold;
+    std::FILE* out;
+    uint64_t rate_per_sec;
+    // Rate-limit window state (guarded by mutex).
+    uint64_t window_start_ns = 0;
+    uint64_t window_lines = 0;
+    uint64_t window_dropped = 0;
+    Counter* dropped_total = nullptr;
+
+    LogState()
+    {
+        const char* level_env = std::getenv("FPC_LOG_LEVEL");
+        threshold = level_env != nullptr ? ParseLogLevel(level_env)
+                                         : LogLevel::kWarn;
+        out = stderr;
+        if (const char* path = std::getenv("FPC_LOG_FILE");
+            path != nullptr && path[0] != '\0') {
+            if (std::FILE* f = std::fopen(path, "a"); f != nullptr) {
+                out = f;
+            }
+        }
+        rate_per_sec = 500;
+        if (const char* rate = std::getenv("FPC_LOG_RATE");
+            rate != nullptr) {
+            const long parsed = std::atol(rate);
+            if (parsed > 0) rate_per_sec = static_cast<uint64_t>(parsed);
+        }
+        dropped_total = MetricsRegistry::Global().GetCounter(
+            "fpc_log_dropped_total",
+            "Log lines dropped by the rate limiter.");
+    }
+};
+
+LogState&
+State()
+{
+    static LogState state;
+    return state;
+}
+
+uint64_t
+WallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+AppendJsonString(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void
+EmitLine(LogState& state, uint64_t ts_ns, LogLevel level,
+         const std::string& event, std::span<const LogField> fields)
+{
+    std::string line;
+    line.reserve(128 + fields.size() * 32);
+    line += "{\"ts_ns\": " + std::to_string(ts_ns) + ", \"level\": \"";
+    line += LogLevelName(level);
+    line += "\", \"event\": ";
+    AppendJsonString(line, event);
+    for (const LogField& field : fields) {
+        line += ", ";
+        AppendJsonString(line, field.key);
+        line += ": " + field.value;
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), state.out);
+    std::fflush(state.out);
+}
+
+}  // namespace
+
+LogLevel
+LogThreshold()
+{
+    return State().threshold;
+}
+
+void
+SetLogThreshold(LogLevel level)
+{
+    State().threshold = level;
+}
+
+LogField
+LogStr(const std::string& key, const std::string& value)
+{
+    std::string rendered;
+    AppendJsonString(rendered, value);
+    return LogField{key, std::move(rendered)};
+}
+
+LogField
+LogU64(const std::string& key, uint64_t value)
+{
+    return LogField{key, std::to_string(value)};
+}
+
+LogField
+LogI64(const std::string& key, int64_t value)
+{
+    return LogField{key, std::to_string(value)};
+}
+
+void
+Log(LogLevel level, const std::string& event,
+    std::span<const LogField> fields)
+{
+    try {
+        LogState& state = State();
+        if (level < state.threshold || state.threshold == LogLevel::kOff) {
+            return;
+        }
+        const uint64_t now = WallNowNs();
+        uint64_t report_dropped = 0;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            if (now - state.window_start_ns >= 1000000000ull) {
+                report_dropped = state.window_dropped;
+                state.window_start_ns = now;
+                state.window_lines = 0;
+                state.window_dropped = 0;
+            }
+            if (state.window_lines >= state.rate_per_sec) {
+                ++state.window_dropped;
+                state.dropped_total->Inc();
+                return;
+            }
+            state.window_lines += report_dropped != 0 ? 2 : 1;
+            if (report_dropped != 0) {
+                const LogField dropped[] = {
+                    LogU64("count", report_dropped)};
+                EmitLine(state, now, LogLevel::kWarn, "log_dropped",
+                         dropped);
+            }
+            EmitLine(state, now, level, event, fields);
+        }
+    } catch (...) {
+        // Logging must never take the process down.
+    }
+}
+
+}  // namespace fpc

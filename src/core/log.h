@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structured JSON logging for the long-running front-ends (fpcd).
+ *
+ * One line per event, machine-parseable, so an operator can join the
+ * daemon's request log with a /metrics scrape and a Perfetto timeline
+ * by request id. The library itself stays silent: only the service
+ * layer and the daemon emit events, and only at or above the
+ * configured level.
+ *
+ * Environment knobs (read once, at first use):
+ *   FPC_LOG_LEVEL  debug | info | warn | error | off   (default warn)
+ *   FPC_LOG_FILE   append to this path instead of stderr
+ *   FPC_LOG_RATE   max lines per second before dropping (default 500)
+ *
+ * Rules:
+ *  - Every line is one JSON object: {"ts_ns": ..., "level": "...",
+ *    "event": "...", <fields>}. ts_ns is wall-clock (unix epoch ns).
+ *  - Rate-limited: past FPC_LOG_RATE lines in a second, lines are
+ *    dropped and counted; the drop count is emitted as its own
+ *    "log_dropped" line when the window rolls, and exported as the
+ *    fpc_log_dropped_total metric — silence is never silent.
+ *  - Never throws and never blocks the caller on anything but the
+ *    write itself; a logging failure is swallowed (the daemon must not
+ *    die because stderr did).
+ */
+#ifndef FPC_CORE_LOG_H
+#define FPC_CORE_LOG_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fpc {
+
+enum class LogLevel : uint8_t {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/** Stable lower-case name ("debug", "info", "warn", "error", "off"). */
+const char* LogLevelName(LogLevel level);
+
+/** Parse a level name (case-sensitive); kWarn for unknown names. */
+LogLevel ParseLogLevel(const std::string& name);
+
+/** The active threshold (FPC_LOG_LEVEL, read once). */
+LogLevel LogThreshold();
+
+/** Override the threshold at runtime (the daemon's --log-level flag
+ *  wins over the environment). */
+void SetLogThreshold(LogLevel level);
+
+/** One key/value of a log line. Strings are JSON-escaped; numbers are
+ *  emitted bare. Build with the LogStr/LogU64/LogI64 helpers. */
+struct LogField {
+    std::string key;
+    std::string value;  ///< pre-rendered JSON value (quoted or bare)
+};
+
+LogField LogStr(const std::string& key, const std::string& value);
+LogField LogU64(const std::string& key, uint64_t value);
+LogField LogI64(const std::string& key, int64_t value);
+
+/** True when @p level would be emitted — guard expensive field
+ *  construction with this. */
+inline bool
+LogEnabled(LogLevel level)
+{
+    return level >= LogThreshold() && LogThreshold() != LogLevel::kOff;
+}
+
+/** Emit one structured line (rate-limited; never throws). */
+void Log(LogLevel level, const std::string& event,
+         std::span<const LogField> fields);
+
+}  // namespace fpc
+
+#endif  // FPC_CORE_LOG_H

@@ -1,5 +1,7 @@
 #include "core/telemetry.h"
 
+#include "core/metrics.h"
+
 namespace fpc {
 
 const char*
@@ -109,8 +111,17 @@ Telemetry::SetContext(const std::string& executor,
 TelemetrySnapshot
 Telemetry::Snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return state_;
+    TelemetrySnapshot out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = state_;
+    }
+    // Mirror the live metrics layer into the snapshot (outside the sink
+    // mutex: the registry has its own) so one exported document carries
+    // both the batch totals and the scrape-reconcilable samples.
+    MetricsRegistry::Global().SnapshotInto(out.metrics_counters,
+                                           out.metrics_gauges);
+    return out;
 }
 
 void
@@ -175,22 +186,40 @@ AppendDigest(std::string& out, const char* key,
     if (!last) out += ", ";
 }
 
+/** JSON string literal with the reserved characters escaped — metric
+ *  sample names carry quotes from their label sets. */
+void
+AppendJsonString(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    out += '"';
+}
+
 }  // namespace
 
-// Schema "fpc.telemetry.v5" (v4 + the "service" per-tenant block): the
-// key set, nesting, and the fixed seven-entry stage order below are
-// load-bearing — fpczip --stats, the figure benches' CSV columns, the
-// bench-regression baselines, and tools/check_stats_schema.py all
-// consume this shape. Extend by adding keys; never rename or reorder
-// without bumping the schema tag. The adaptive and service blocks are
-// always emitted (all-zero / empty for plain library runs) so consumers
-// need no presence checks.
+// Schema "fpc.telemetry.v6" (v5 + the "metrics_snapshot" live-metrics
+// mirror): the key set, nesting, and the fixed seven-entry stage order
+// below are load-bearing — fpczip --stats, the figure benches' CSV
+// columns, the bench-regression baselines, and
+// tools/check_stats_schema.py all consume this shape. Extend by adding
+// keys; never rename or reorder without bumping the schema tag. The
+// adaptive, service, and metrics_snapshot blocks are always emitted
+// (all-zero / empty for plain library runs) so consumers need no
+// presence checks.
 std::string
 ToJson(const TelemetrySnapshot& snapshot)
 {
     std::string out;
     out.reserve(3072);
-    out += "{\"schema\": \"fpc.telemetry.v5\", ";
+    out += "{\"schema\": \"fpc.telemetry.v6\", ";
     out += "\"executor\": \"" + snapshot.executor + "\", ";
     out += "\"algorithm\": \"" + snapshot.algorithm + "\", ";
     out += "\"isa\": \"" + snapshot.isa + "\", ";
@@ -253,6 +282,24 @@ ToJson(const TelemetrySnapshot& snapshot)
             AppendField(out, "queue_ns", stats.queue_ns, false);
             AppendDigest(out, "request", stats.latency, true);
             out += '}';
+        }
+    }
+    out += "}}, \"metrics_snapshot\": {\"counters\": {";
+    {
+        size_t i = 0;
+        for (const auto& [name, value] : snapshot.metrics_counters) {
+            if (i++ != 0) out += ", ";
+            AppendJsonString(out, name);
+            out += ": " + std::to_string(value);
+        }
+    }
+    out += "}, \"gauges\": {";
+    {
+        size_t i = 0;
+        for (const auto& [name, value] : snapshot.metrics_gauges) {
+            if (i++ != 0) out += ", ";
+            AppendJsonString(out, name);
+            out += ": " + std::to_string(value);
         }
     }
     out += "}}, \"histograms\": {";

@@ -29,11 +29,14 @@
  *    container totals (asserted by tests/telemetry_test.cc).
  *
  * The JSON exported by ToJson() is a stable, versioned schema
- * ("fpc.telemetry.v5": v4 plus the "service" per-tenant block) consumed
- * by `fpczip --stats`, the eval harness, and the figure benches;
+ * ("fpc.telemetry.v6": v5 plus the "metrics_snapshot" block mirroring
+ * the live MetricsRegistry, core/metrics.h) consumed by `fpczip
+ * --stats`, the eval harness, and the figure benches;
  * tools/check_stats_schema.py pins it. Timeline tracing
  * (span-level, exported as Chrome trace-event JSON) lives in
- * core/trace.h and shares this file's shard/barrier machinery.
+ * core/trace.h and shares this file's shard/barrier machinery; the
+ * live counters/gauges/exposition layer lives in core/metrics.h and is
+ * fed from this file's run barrier (RecordRunMetrics).
  */
 #ifndef FPC_CORE_TELEMETRY_H
 #define FPC_CORE_TELEMETRY_H
@@ -165,6 +168,11 @@ struct LatencyHistogram {
     uint64_t P95() const { return Quantile(0.95); }
     uint64_t P99() const { return Quantile(0.99); }
 };
+
+/** Run-barrier hook into the live metrics layer (core/metrics.h):
+ *  folds one merged shard's counters into the process-wide
+ *  MetricsRegistry. Never called per chunk. */
+void RecordRunMetrics(const TelemetryShard& merged);
 
 /** Encode + decode latency histograms of one stage / of the chunk loop. */
 struct LatencyMetrics {
@@ -326,10 +334,16 @@ struct TelemetrySnapshot {
     std::string executor;   ///< last executor name recorded
     std::string algorithm;  ///< last algorithm name recorded
     std::string isa;        ///< kernel ISA the last run dispatched
+    /** Live-metrics mirror (core/metrics.h): every counter and gauge of
+     *  the process-wide MetricsRegistry at snapshot time, keyed by the
+     *  exposition sample name. Lets one document reconcile a /metrics
+     *  scrape against the batch telemetry totals. */
+    std::map<std::string, uint64_t> metrics_counters;
+    std::map<std::string, int64_t> metrics_gauges;
 };
 
 /** Render a snapshot as one line of schema-stable JSON
- *  ("fpc.telemetry.v5"; see DESIGN.md "Observability"). */
+ *  ("fpc.telemetry.v6"; see DESIGN.md "Observability"). */
 std::string ToJson(const TelemetrySnapshot& snapshot);
 
 /**
@@ -484,7 +498,13 @@ class TelemetryRunScope {
             }
             merged.Merge(shards_[i]);
         }
-        if (sink_ != nullptr) sink_->Merge(merged);
+        if (sink_ != nullptr) {
+            sink_->Merge(merged);
+            // Fold the same merged shard into the live metrics layer —
+            // once per run, at the barrier, so the registry costs the
+            // chunk hot path nothing.
+            RecordRunMetrics(merged);
+        }
         if (trace_ != nullptr) {
             for (size_t i = 0; i < rings_.size(); ++i) {
                 trace_->MergeRing(static_cast<uint32_t>(i), rings_[i]);

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * MetricsHttpServer implementation — see service/metrics_http.h.
+ */
+#include "service/metrics_http.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/common.h"
+
+namespace fpc {
+
+namespace {
+
+/** Flat HTTP/1.1 response; the status line carries @p status verbatim. */
+std::string
+HttpResponse(const char* status, const std::string& content_type,
+             const std::string& body)
+{
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void
+SendAll(int fd, const std::string& data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t w = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return;  // peer gone; nothing to salvage
+        }
+        sent += static_cast<size_t>(w);
+    }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::string socket_path,
+                                     Producer metrics, Producer health)
+    : socket_path_(std::move(socket_path)),
+      metrics_(std::move(metrics)),
+      health_(std::move(health))
+{
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (socket_path_.empty() ||
+        socket_path_.size() >= sizeof address.sun_path) {
+        throw UsageError("metrics socket path too long: " + socket_path_);
+    }
+    std::memcpy(address.sun_path, socket_path_.c_str(),
+                socket_path_.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    ::unlink(socket_path_.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+               sizeof address) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw UsageError("cannot listen on " + socket_path_ + ": " +
+                         std::strerror(err));
+    }
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void
+MetricsHttpServer::AcceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // listen fd shut down by Stop()
+        }
+        // A scraper that connects and stalls must not pin the handler:
+        // bound every read.
+        timeval timeout{};
+        timeout.tv_sec = 2;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof timeout);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) {
+            ::close(fd);
+            return;
+        }
+        const uint64_t id = next_conn_++;
+        open_fds_.emplace(id, fd);
+        handlers_.emplace_back([this, fd, id] {
+            Serve(fd);
+            std::lock_guard<std::mutex> inner(mutex_);
+            open_fds_.erase(id);
+        });
+    }
+}
+
+void
+MetricsHttpServer::Serve(int fd)
+{
+    // Read until the end-of-head marker, the byte cap, a timeout, or
+    // EOF — whichever comes first. The request body (there should be
+    // none for a GET) is ignored.
+    std::string head;
+    char buffer[1024];
+    while (head.find("\r\n\r\n") == std::string::npos) {
+        if (head.size() > kMaxHttpRequestBytes) {
+            SendAll(fd, HttpResponse("400 Bad Request", "text/plain",
+                                     "request too large\n"));
+            ::close(fd);
+            return;
+        }
+        const ssize_t r = ::recv(fd, buffer, sizeof buffer, 0);
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) {  // EOF or timeout: no complete request, no reply
+            ::close(fd);
+            return;
+        }
+        head.append(buffer, static_cast<size_t>(r));
+    }
+
+    const size_t line_end = head.find("\r\n");
+    const std::string request_line = head.substr(0, line_end);
+    const size_t method_end = request_line.find(' ');
+    const size_t target_end = request_line.find(' ', method_end + 1);
+    std::string response;
+    if (method_end == std::string::npos ||
+        target_end == std::string::npos) {
+        response = HttpResponse("400 Bad Request", "text/plain",
+                                "malformed request line\n");
+    } else {
+        const std::string method = request_line.substr(0, method_end);
+        const std::string target = request_line.substr(
+            method_end + 1, target_end - method_end - 1);
+        if (method != "GET") {
+            response = HttpResponse("405 Method Not Allowed", "text/plain",
+                                    "only GET is supported\n");
+        } else if (target == "/metrics") {
+            response = HttpResponse(
+                "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                metrics_());
+        } else if (target == "/healthz") {
+            response =
+                HttpResponse("200 OK", "application/json", health_());
+        } else {
+            response = HttpResponse("404 Not Found", "text/plain",
+                                    "unknown path\n");
+        }
+    }
+    SendAll(fd, response);
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+void
+MetricsHttpServer::Stop()
+{
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) return;
+        stopped_ = true;
+        if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+        for (const auto& [id, fd] : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread& handler : handlers) {
+        if (handler.joinable()) handler.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(socket_path_.c_str());
+    }
+}
+
+}  // namespace fpc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * MetricsHttpServer — a deliberately tiny HTTP/1.1 responder over a
+ * unix-domain socket, serving the daemon's observability endpoints:
+ *
+ *     GET /metrics   Prometheus text exposition (fpc.metrics.v1)
+ *     GET /healthz   the daemon's health JSON
+ *
+ * Scope: this is a scrape target, not a web server. One short-lived
+ * connection per request, one request per connection, request line +
+ * headers capped at kMaxHttpRequestBytes, a read timeout so a stalled
+ * peer cannot pin a handler thread, anything but a known GET answered
+ * 404/405, and Connection: close on every response. Content comes from
+ * callbacks so the exporter stays independent of the SocketServer — the
+ * response body is rendered per scrape, never cached.
+ *
+ * fpcd wires this to `--metrics-socket=PATH`; scrape with e.g.
+ *     curl --unix-socket PATH http://localhost/metrics
+ */
+#ifndef FPC_SERVICE_METRICS_HTTP_H
+#define FPC_SERVICE_METRICS_HTTP_H
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fpc {
+
+/** Cap on one HTTP request head (request line + headers). A scraper
+ *  needs ~100 bytes; anything larger is hostile and gets 400. */
+inline constexpr size_t kMaxHttpRequestBytes = 8192;
+
+class MetricsHttpServer {
+ public:
+    /** Body producer for one route; returns (content_type, body). */
+    using Producer = std::function<std::string()>;
+
+    /**
+     * Bind + listen on the unix socket at @p socket_path and serve:
+     * /metrics from @p metrics (text/plain; version=0.0.4) and
+     * /healthz from @p health (application/json). Throws UsageError
+     * when the socket cannot be created.
+     */
+    MetricsHttpServer(std::string socket_path, Producer metrics,
+                      Producer health);
+    MetricsHttpServer(const MetricsHttpServer&) = delete;
+    MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+    ~MetricsHttpServer();
+
+    const std::string& Path() const { return socket_path_; }
+
+    /** Stop accepting, join every handler, unlink the socket path.
+     *  Idempotent. */
+    void Stop();
+
+ private:
+    void AcceptLoop();
+    void Serve(int fd);
+
+    std::string socket_path_;
+    Producer metrics_;
+    Producer health_;
+    int listen_fd_ = -1;
+
+    std::mutex mutex_;
+    bool stopped_ = false;
+    std::map<uint64_t, int> open_fds_;
+    uint64_t next_conn_ = 0;
+    std::vector<std::thread> handlers_;
+    std::thread accept_thread_;
+};
+
+}  // namespace fpc
+
+#endif  // FPC_SERVICE_METRICS_HTTP_H

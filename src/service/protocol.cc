@@ -160,16 +160,26 @@ EncodeRequest(const ServiceRequest& request)
     Bytes out;
     out.reserve(32 + request.tenant.size() + request.executor.size() +
                 request.payload.size());
+    if (request.request_id.size() > kMaxRequestIdBytes) {
+        throw UsageError("request id longer than " +
+                         std::to_string(kMaxRequestIdBytes) + " bytes");
+    }
     AppendPreamble(out, kFrameRequest);
     AppendU8(out, static_cast<uint8_t>(request.verb));
     AppendU8(out, static_cast<uint8_t>(request.algorithm));
-    AppendU8(out, request.adaptive ? 1 : 0);
+    uint8_t flags = request.adaptive ? 1 : 0;
+    if (!request.request_id.empty()) flags |= 2;
+    AppendU8(out, flags);
     AppendU8(out, static_cast<uint8_t>(request.tenant.size()));
     AppendString(out, request.tenant);
     AppendU8(out, static_cast<uint8_t>(request.executor.size()));
     AppendString(out, request.executor);
     AppendRaw(out, request.range_first);
     AppendRaw(out, request.range_count);
+    if (!request.request_id.empty()) {
+        AppendU8(out, static_cast<uint8_t>(request.request_id.size()));
+        AppendString(out, request.request_id);
+    }
     AppendBytes(out, ByteSpan(request.payload));
     return out;
 }
@@ -180,9 +190,9 @@ DecodeRequest(ByteSpan body)
     BodyReader reader = OpenBody(body, kFrameRequest);
     ServiceRequest request;
     const uint8_t verb = reader.U8("verb");
-    FPC_PARSE_CHECK_AT(verb <= static_cast<uint8_t>(ServiceVerb::kShutdown),
-                       "unknown verb " + std::to_string(verb), kStage,
-                       reader.Offset());
+    FPC_PARSE_CHECK_AT(
+        verb <= static_cast<uint8_t>(ServiceVerb::kServerStats),
+        "unknown verb " + std::to_string(verb), kStage, reader.Offset());
     request.verb = static_cast<ServiceVerb>(verb);
     const uint8_t algorithm = reader.U8("algorithm");
     FPC_PARSE_CHECK_AT(
@@ -191,7 +201,7 @@ DecodeRequest(ByteSpan body)
         reader.Offset());
     request.algorithm = static_cast<Algorithm>(algorithm);
     const uint8_t flags = reader.U8("flags");
-    FPC_PARSE_CHECK_AT((flags & ~uint8_t{1}) == 0,
+    FPC_PARSE_CHECK_AT((flags & ~uint8_t{3}) == 0,
                        "unknown flag bits " + std::to_string(flags), kStage,
                        reader.Offset());
     request.adaptive = (flags & 1) != 0;
@@ -202,6 +212,25 @@ DecodeRequest(ByteSpan body)
         reader.String(reader.U8("executor length"), "executor");
     request.range_first = reader.U64("range_first");
     request.range_count = reader.U64("range_count");
+    if ((flags & 2) != 0) {
+        const uint8_t id_length = reader.U8("request id length");
+        FPC_PARSE_CHECK_AT(id_length >= 1 &&
+                               id_length <= kMaxRequestIdBytes,
+                           "request id length " + std::to_string(id_length) +
+                               " out of range",
+                           kStage, reader.Offset());
+        request.request_id = reader.String(id_length, "request id");
+        for (const char c : request.request_id) {
+            // The id travels into log lines and trace labels verbatim:
+            // reject anything outside the quote-free safe set.
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' ||
+                            c == '_' || c == '.';
+            FPC_PARSE_CHECK_AT(ok, "request id contains invalid bytes",
+                               kStage, reader.Offset());
+        }
+    }
     request.payload = reader.Rest();
     return request;
 }

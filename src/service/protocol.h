@@ -16,14 +16,17 @@
  *
  *     4       1     verb            (ServiceVerb)
  *     5       1     algorithm       (Algorithm; compress only)
- *     6       1     flags           (bit 0: adaptive / mode=auto)
+ *     6       1     flags           (bit 0: adaptive / mode=auto;
+ *                                    bit 1: request id present)
  *     7       1     tenant length T
  *     8       T     tenant id (bytes, no NUL)
  *     8+T     1     executor length E
  *     9+T     E     executor registry name ("" = default backend)
  *     9+T+E   8     range_first     (u64 LE; decompress_range only)
  *     17+T+E  8     range_count     (u64 LE; decompress_range only)
- *     25+T+E  rest  payload
+ *     25+T+E  1+I   request id length I + id bytes — only when flag
+ *                   bit 1 is set (alnum plus `-_.`, 1..64 bytes)
+ *     rest          payload
  *
  * Response body (after the preamble):
  *
@@ -56,6 +59,11 @@ inline constexpr uint8_t kFrameResponse = 1;
  *  error answered without allocating — the daemon's defence against
  *  memory-bomb frames. */
 inline constexpr uint32_t kMaxFrameBytes = uint32_t{256} << 20;
+
+/** Cap on a client-propagated request id (flag bit 1). Ids are
+ *  restricted to [A-Za-z0-9._-] so they can ride log lines, trace
+ *  labels, and metric exposition without escaping. */
+inline constexpr size_t kMaxRequestIdBytes = 64;
 
 /** Serialize a request/response into a frame body (no length prefix —
  *  WriteFrame adds it). */

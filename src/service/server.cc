@@ -11,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/log.h"
 #include "service/protocol.h"
 
 namespace fpc {
@@ -53,6 +54,21 @@ SocketServer::SocketServer(ServerConfig config)
         throw UsageError("cannot listen on " + config_.socket_path + ": " +
                          std::strerror(err));
     }
+    start_ns_ = TelemetryNowNs();
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    metric_connections_ = registry.GetCounter(
+        "fpc_server_connections_total", "Connections accepted.");
+    metric_open_ = registry.GetGauge("fpc_server_connections_open",
+                                     "Connections currently open.");
+    metric_frames_read_ = registry.GetCounter(
+        "fpc_server_frames_total", "Protocol frames by direction.",
+        {{"direction", "read"}});
+    metric_frames_written_ = registry.GetCounter(
+        "fpc_server_frames_total", "Protocol frames by direction.",
+        {{"direction", "written"}});
+    metric_protocol_errors_ = registry.GetCounter(
+        "fpc_server_protocol_errors_total",
+        "Connections dropped after a malformed frame.");
     accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -74,8 +90,12 @@ SocketServer::AcceptLoop()
         }
         const uint64_t id = next_conn_++;
         open_fds_.emplace(id, fd);
+        ++connections_accepted_;
+        metric_connections_->Inc();
+        metric_open_->Add(1);
         handlers_.emplace_back([this, fd, id] {
             Serve(fd);
+            metric_open_->Sub(1);
             std::lock_guard<std::mutex> inner(mutex_);
             open_fds_.erase(id);
         });
@@ -92,12 +112,29 @@ SocketServer::Serve(int fd)
         try {
             have_frame = ReadFrame(fd, body);
             if (!have_frame) break;  // clean disconnect between frames
-            const ServiceRequest request = DecodeRequest(ByteSpan(body));
+            metric_frames_read_->Inc();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++frames_read_;
+            }
+            ServiceRequest request = DecodeRequest(ByteSpan(body));
+            if (request.request_id.empty()) {
+                // Mint a server-side id so every log line and trace
+                // span stays correlatable even for id-less clients.
+                request.request_id =
+                    "srv-" + std::to_string(next_request_id_.fetch_add(
+                                 1, std::memory_order_relaxed));
+            }
             response = Answer(request);
         } catch (const std::exception&) {
             // Malformed frame (or the peer died mid-frame): one
             // best-effort typed error reply, then drop the connection —
             // the framing cannot be trusted past this point.
+            metric_protocol_errors_->Inc();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++protocol_errors_;
+            }
             response.status = CurrentErrc();
             try {
                 response.error = "protocol error";
@@ -108,6 +145,11 @@ SocketServer::Serve(int fd)
         }
         try {
             WriteFrame(fd, ByteSpan(EncodeResponse(response)));
+            metric_frames_written_->Inc();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++frames_written_;
+            }
         } catch (...) {
             break;  // peer stopped reading
         }
@@ -128,6 +170,16 @@ SocketServer::Answer(const ServiceRequest& request)
         case ServiceVerb::kStats:
             response.payload = ToBytes(service_.telemetry().ToJson());
             return response;
+        case ServiceVerb::kMetrics:
+            response.payload =
+                ToBytes(MetricsRegistry::Global().Exposition());
+            return response;
+        case ServiceVerb::kHealth:
+            response.payload = ToBytes(HealthJson());
+            return response;
+        case ServiceVerb::kServerStats:
+            response.payload = ToBytes(ServerStatsJson());
+            return response;
         case ServiceVerb::kShutdown: {
             {
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -139,6 +191,44 @@ SocketServer::Answer(const ServiceRequest& request)
         default:
             return service_.Call(request);
     }
+}
+
+std::string
+SocketServer::HealthJson() const
+{
+    size_t open = 0;
+    bool draining = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        open = open_fds_.size();
+        draining = draining_ || shutdown_ || stopped_;
+    }
+    const uint64_t uptime = TelemetryNowNs() - start_ns_;
+    std::string out = "{\"status\": \"";
+    out += draining ? "draining" : "ok";
+    out += "\", \"uptime_ns\": " + std::to_string(uptime);
+    out += ", \"queue_depth\": " + std::to_string(service_.QueueDepth());
+    out += ", \"executing\": " + std::to_string(service_.Executing());
+    out += ", \"workers\": " + std::to_string(service_.workers());
+    out += ", \"open_connections\": " + std::to_string(open);
+    out += '}';
+    return out;
+}
+
+std::string
+SocketServer::ServerStatsJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"connections_accepted\": " +
+                      std::to_string(connections_accepted_);
+    out += ", \"connections_open\": " + std::to_string(open_fds_.size());
+    out += ", \"frames_read\": " + std::to_string(frames_read_);
+    out += ", \"frames_written\": " + std::to_string(frames_written_);
+    out += ", \"protocol_errors\": " + std::to_string(protocol_errors_);
+    out += ", \"draining\": ";
+    out += (draining_ || shutdown_ || stopped_) ? "true" : "false";
+    out += '}';
+    return out;
 }
 
 void
@@ -154,6 +244,45 @@ SocketServer::WaitForShutdownFor(std::chrono::milliseconds timeout)
     std::unique_lock<std::mutex> lock(mutex_);
     return shutdown_cv_.wait_for(
         lock, timeout, [this] { return shutdown_ || stopped_; });
+}
+
+void
+SocketServer::Drain(std::chrono::milliseconds deadline)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) return;
+        draining_ = true;
+        // Half-close only: the read sides see EOF (no new frames, the
+        // accept loop exits), while the write sides stay open so every
+        // already-accepted request can still be answered.
+        if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RD);
+        for (const auto& [id, fd] : open_fds_) ::shutdown(fd, SHUT_RD);
+    }
+    if (LogEnabled(LogLevel::kInfo)) {
+        const LogField fields[] = {
+            LogU64("deadline_ms", static_cast<uint64_t>(deadline.count()))};
+        Log(LogLevel::kInfo, "drain_begin", fields);
+    }
+    const auto give_up = std::chrono::steady_clock::now() + deadline;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (open_fds_.empty()) break;
+        }
+        if (std::chrono::steady_clock::now() >= give_up) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (LogEnabled(LogLevel::kInfo)) {
+        size_t open = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            open = open_fds_.size();
+        }
+        const LogField fields[] = {LogU64("connections_cut", open)};
+        Log(LogLevel::kInfo, "drain_end", fields);
+    }
+    Stop();
 }
 
 void

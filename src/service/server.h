@@ -6,17 +6,26 @@
  * fpc::Service (service/service.h).
  *
  * Division of labour: the server owns transport concerns only — accept,
- * frame I/O, decode errors, the two control verbs (kStats answers the
- * service telemetry JSON, kShutdown resolves WaitForShutdown) — and
- * forwards every compute verb to Service::Call, whose ServiceResponse
- * (success or typed failure, ServiceBusy included) becomes the reply
- * frame verbatim. A connection that sends garbage gets one best-effort
- * error reply and is dropped; the daemon itself never dies on client
- * input (tests/protocol_test.cc).
+ * frame I/O, decode errors, the control verbs (kStats answers the
+ * service telemetry JSON, kMetrics the Prometheus exposition, kHealth
+ * and kServerStats their status JSONs, kShutdown resolves
+ * WaitForShutdown) — and forwards every compute verb to Service::Call,
+ * whose ServiceResponse (success or typed failure, ServiceBusy
+ * included) becomes the reply frame verbatim. A connection that sends
+ * garbage gets one best-effort error reply and is dropped; the daemon
+ * itself never dies on client input (tests/protocol_test.cc).
+ *
+ * Requests without a client-propagated id are minted one (`srv-<n>`)
+ * before entering the scheduler, so every request log line and trace
+ * span is correlatable. Drain() is the graceful half of Stop(): it
+ * half-closes the read side of every stream so no *new* frame arrives,
+ * but keeps the write sides open until every accepted request has been
+ * answered (or a deadline passes) — no in-flight request is dropped.
  */
 #ifndef FPC_SERVICE_SERVER_H
 #define FPC_SERVICE_SERVER_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -65,6 +74,24 @@ class SocketServer {
      *  join all threads. Idempotent; unlinks the socket path. */
     void Stop();
 
+    /**
+     * Graceful shutdown: half-close (SHUT_RD) the listen socket and
+     * every open connection so no new frame can arrive, then wait up
+     * to @p deadline for the in-flight requests to be answered over
+     * the still-open write sides, then Stop(). Every request accepted
+     * before the drain began receives its response
+     * (tests/protocol_test.cc DrainDropsNoInFlightRequest).
+     */
+    void Drain(std::chrono::milliseconds deadline);
+
+    /** Liveness JSON: {"status": "ok"|"draining", "uptime_ns",
+     *  "queue_depth", "executing", "workers", "open_connections"}. */
+    std::string HealthJson() const;
+
+    /** Transport-counter JSON: connections accepted/open, frames
+     *  read/written, protocol errors, draining flag. */
+    std::string ServerStatsJson() const;
+
  private:
     void AcceptLoop();
     void Serve(int fd);
@@ -73,14 +100,30 @@ class SocketServer {
     ServerConfig config_;
     Service service_;
     int listen_fd_ = -1;
+    uint64_t start_ns_ = 0;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable shutdown_cv_;
     bool shutdown_ = false;
     bool stopped_ = false;
+    bool draining_ = false;
     std::vector<std::thread> handlers_;
     std::map<uint64_t, int> open_fds_;  ///< live connection fds, by id
     uint64_t next_conn_ = 0;
+
+    // Transport counters (guarded by mutex_; mirrored into the live
+    // metrics registry as the fpc_server_* family).
+    uint64_t connections_accepted_ = 0;
+    uint64_t frames_read_ = 0;
+    uint64_t frames_written_ = 0;
+    uint64_t protocol_errors_ = 0;
+    std::atomic<uint64_t> next_request_id_{0};  ///< srv-<n> minting
+
+    Counter* metric_connections_ = nullptr;
+    Gauge* metric_open_ = nullptr;
+    Counter* metric_frames_read_ = nullptr;
+    Counter* metric_frames_written_ = nullptr;
+    Counter* metric_protocol_errors_ = nullptr;
 
     std::thread accept_thread_;
 };

@@ -13,10 +13,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <thread>
 #include <utility>
 
 #include "core/executor.h"
+#include "core/log.h"
 
 namespace fpc {
 
@@ -80,6 +82,9 @@ ServiceVerbName(ServiceVerb verb)
         case ServiceVerb::kInspect: return "inspect";
         case ServiceVerb::kStats: return "stats";
         case ServiceVerb::kShutdown: return "shutdown";
+        case ServiceVerb::kMetrics: return "metrics";
+        case ServiceVerb::kHealth: return "health";
+        case ServiceVerb::kServerStats: return "server_stats";
     }
     return "unknown";
 }
@@ -90,7 +95,9 @@ ParseServiceVerb(const std::string& name)
     for (const ServiceVerb verb :
          {ServiceVerb::kCompress, ServiceVerb::kDecompress,
           ServiceVerb::kDecompressRange, ServiceVerb::kInspect,
-          ServiceVerb::kStats, ServiceVerb::kShutdown}) {
+          ServiceVerb::kStats, ServiceVerb::kShutdown,
+          ServiceVerb::kMetrics, ServiceVerb::kHealth,
+          ServiceVerb::kServerStats}) {
         if (name == ServiceVerbName(verb)) return verb;
     }
     throw UsageError("unknown service verb: " + name);
@@ -111,6 +118,22 @@ Service::Service(ServiceConfig config) : config_(config)
         sink_ = owned_sink_.get();
     }
     paused_ = config_.start_paused;
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    queue_depth_gauge_ = registry.GetGauge(
+        "fpc_service_queue_depth",
+        "Requests accepted but not yet dispatched to a worker.");
+    in_flight_gauge_ = registry.GetGauge(
+        "fpc_service_in_flight", "Requests currently executing.");
+    queue_wait_hist_ = registry.GetHistogram(
+        "fpc_service_queue_wait_ns",
+        "Per-request queue wait (submit to dispatch), nanoseconds.");
+    request_hist_ = registry.GetHistogram(
+        "fpc_service_request_ns",
+        "Per-request end-to-end latency (submit to completion), "
+        "nanoseconds.");
+    throttle_events_ = registry.GetCounter(
+        "fpc_service_throttle_events_total",
+        "Token-bucket throttle rejections across all tenants.");
     threads_.reserve(static_cast<size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
         threads_.emplace_back([this] { WorkerLoop(); });
@@ -132,6 +155,25 @@ Service::counters() const
     return counters_;
 }
 
+size_t
+Service::QueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_queued_;
+}
+
+size_t
+Service::Executing() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t in_flight = 0;
+    for (const auto& [tenant, state] : tenants_) {
+        in_flight += state.in_flight;
+    }
+    // in_flight counts queued + executing; subtract the queued part.
+    return in_flight > total_queued_ ? in_flight - total_queued_ : 0;
+}
+
 Service::TenantState&
 Service::TenantOf(const std::string& tenant)
 {
@@ -139,6 +181,34 @@ Service::TenantOf(const std::string& tenant)
     if (inserted) {
         it->second.qos = config_.default_qos;
         tenant_order_.push_back(tenant);
+        // Resolve this tenant's metric handles once so the per-request
+        // paths never take the registry lock.
+        MetricsRegistry& registry = MetricsRegistry::Global();
+        TenantMetrics& metrics = it->second.metrics;
+        for (size_t v = 0; v < std::size(metrics.requests_ok); ++v) {
+            metrics.requests_ok[v] = registry.GetCounter(
+                "fpc_service_requests_total",
+                "Completed requests by tenant, verb, and status.",
+                {{"tenant", tenant},
+                 {"verb", ServiceVerbName(static_cast<ServiceVerb>(v))},
+                 {"status", "ok"}});
+        }
+        for (size_t r = 0; r < std::size(metrics.rejected); ++r) {
+            const auto reason = static_cast<ServiceBusy::Reason>(r);
+            metrics.rejected[r] = registry.GetCounter(
+                "fpc_service_rejected_total",
+                "Requests rejected at admission by tenant and reason.",
+                {{"tenant", tenant},
+                 {"reason", ServiceBusyReasonName(reason)}});
+        }
+        metrics.bytes_in = registry.GetCounter(
+            "fpc_service_bytes_total",
+            "Request payload and response bytes by tenant and direction.",
+            {{"tenant", tenant}, {"direction", "in"}});
+        metrics.bytes_out = registry.GetCounter(
+            "fpc_service_bytes_total",
+            "Request payload and response bytes by tenant and direction.",
+            {{"tenant", tenant}, {"direction", "out"}});
     }
     return it->second;
 }
@@ -179,10 +249,22 @@ Service::Submit(ServiceRequest request)
         const std::string tenant = request.tenant;
         auto reject = [&](ServiceBusy::Reason reason,
                           const std::string& what) {
+            state.metrics.rejected[static_cast<size_t>(reason)]->Inc();
+            if (reason == ServiceBusy::Reason::kThrottled) {
+                throttle_events_->Inc();
+            }
             if (kTelemetryEnabled) {
                 TenantStats delta;
                 delta.rejected = 1;
                 sink_->AddTenant(tenant, delta);
+            }
+            if (LogEnabled(LogLevel::kDebug)) {
+                const LogField fields[] = {
+                    LogStr("request_id", request.request_id),
+                    LogStr("tenant", tenant),
+                    LogStr("reason", ServiceBusyReasonName(reason)),
+                };
+                Log(LogLevel::kDebug, "request_rejected", fields);
             }
             throw ServiceBusy(reason, what);
         };
@@ -232,6 +314,7 @@ Service::Submit(ServiceRequest request)
         ++total_queued_;
         ++counters_.submitted;
     }
+    queue_depth_gauge_->Add(1);
     work_cv_.notify_one();
     return future;
 }
@@ -312,19 +395,22 @@ Service::WorkerLoop()
             state->queue.pop_front();
             --total_queued_;
         }
+        queue_depth_gauge_->Sub(1);
+        in_flight_gauge_->Add(1);
 
         const uint64_t start_ns = TelemetryNowNs();
         ServiceResponse response = Execute(pending.request);
         const uint64_t end_ns = TelemetryNowNs();
 
+        in_flight_gauge_->Sub(1);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --state->in_flight;
             ++counters_.executed;
             if (response.status != Errc::kOk) ++counters_.failed;
         }
-        RecordOutcome(pending.request, response, pending.submit_ns,
-                      start_ns, end_ns);
+        RecordOutcome(pending.request, response, state->metrics,
+                      pending.submit_ns, start_ns, end_ns);
         // Fulfil last, unlocked: the waiter may immediately destroy the
         // service from its continuation.
         pending.promise.set_value(std::move(response));
@@ -374,27 +460,75 @@ Service::Execute(const ServiceRequest& request)
 
 void
 Service::RecordOutcome(const ServiceRequest& request,
-                       const ServiceResponse& response, uint64_t submit_ns,
+                       const ServiceResponse& response,
+                       const TenantMetrics& metrics, uint64_t submit_ns,
                        uint64_t start_ns, uint64_t end_ns)
 {
+    const uint64_t queue_ns = start_ns > submit_ns ? start_ns - submit_ns : 0;
+    const uint64_t total_ns = end_ns > submit_ns ? end_ns - submit_ns : 0;
+
+    // Live metrics. The common path (kOk on a compute verb) uses the
+    // handles prefilled at tenant creation; anything else resolves its
+    // status-labelled counter lazily — errors are rare by design.
+    const auto verb_index = static_cast<size_t>(request.verb);
+    if (response.status == Errc::kOk &&
+        verb_index < std::size(metrics.requests_ok)) {
+        metrics.requests_ok[verb_index]->Inc();
+    } else {
+        MetricsRegistry::Global()
+            .GetCounter("fpc_service_requests_total",
+                        "Completed requests by tenant, verb, and status.",
+                        {{"tenant", request.tenant},
+                         {"verb", ServiceVerbName(request.verb)},
+                         {"status", ErrcName(response.status)}})
+            ->Inc();
+    }
+    metrics.bytes_in->Inc(request.payload.size());
+    metrics.bytes_out->Inc(response.payload.size());
+    queue_wait_hist_->Record(queue_ns);
+    request_hist_->Record(total_ns);
+
+    // One structured line per completed request (core/log.h; failures
+    // escalate to warn so they survive the default threshold).
+    const LogLevel level = response.status == Errc::kOk ? LogLevel::kInfo
+                                                        : LogLevel::kWarn;
+    if (LogEnabled(level)) {
+        std::vector<LogField> fields;
+        fields.reserve(9);
+        fields.push_back(LogStr("request_id", request.request_id));
+        fields.push_back(LogStr("tenant", request.tenant));
+        fields.push_back(LogStr("verb", ServiceVerbName(request.verb)));
+        fields.push_back(LogStr("status", ErrcName(response.status)));
+        fields.push_back(LogU64("bytes_in", request.payload.size()));
+        fields.push_back(LogU64("bytes_out", response.payload.size()));
+        fields.push_back(LogU64("queue_ns", queue_ns));
+        fields.push_back(LogU64("total_ns", total_ns));
+        if (response.status != Errc::kOk) {
+            fields.push_back(LogStr("error", response.error));
+        }
+        Log(level, "request", fields);
+    }
+
     if (kTelemetryEnabled) {
         TenantStats delta;
         delta.requests = 1;
         delta.failed = response.status == Errc::kOk ? 0 : 1;
         delta.bytes_in = request.payload.size();
         delta.bytes_out = response.payload.size();
-        delta.queue_ns = start_ns > submit_ns ? start_ns - submit_ns : 0;
-        delta.latency.Record(end_ns > submit_ns ? end_ns - submit_ns : 0);
+        delta.queue_ns = queue_ns;
+        delta.latency.Record(total_ns);
         sink_->AddTenant(request.tenant, delta);
     }
     if (config_.trace != nullptr && kTelemetryEnabled) {
         const uint8_t dir = request.verb == ServiceVerb::kCompress
                                 ? kTraceEncode
                                 : kTraceDecode;
-        config_.trace->RecordRun(dir,
-                                 "request " + request.tenant + "/" +
-                                     ServiceVerbName(request.verb),
-                                 submit_ns, end_ns);
+        std::string label = "request " + request.tenant + "/" +
+                            ServiceVerbName(request.verb);
+        if (!request.request_id.empty()) {
+            label += " #" + request.request_id;
+        }
+        config_.trace->RecordRun(dir, label, submit_ns, end_ns);
     }
 }
 

@@ -32,8 +32,14 @@
  *
  * Telemetry: per-tenant counters and whole-request latency histograms
  * merge into the service's Telemetry sink and export in the
- * "fpc.telemetry.v5" service block; a TraceSink (ServiceConfig::trace)
- * additionally records one span per request.
+ * "fpc.telemetry.v6" service block; a TraceSink (ServiceConfig::trace)
+ * additionally records one span per request. The scheduler also feeds
+ * the live metrics registry (core/metrics.h): admission / rejection /
+ * completion counters per tenant and status, queue-depth and in-flight
+ * gauges, queue-wait and end-to-end latency histograms — all scrapable
+ * via the daemon's /metrics endpoint while requests are in flight.
+ * Each completed request additionally emits one structured log line
+ * (core/log.h, level info) carrying the request id.
  */
 #ifndef FPC_SERVICE_SERVICE_H
 #define FPC_SERVICE_SERVICE_H
@@ -51,15 +57,16 @@
 #include "core/arena.h"
 #include "core/codec.h"
 #include "core/errc.h"
+#include "core/metrics.h"
 #include "core/telemetry.h"
 #include "util/common.h"
 
 namespace fpc {
 
-/** Request verbs. The first four are scheduled compute verbs; kStats
- *  and kShutdown are control verbs answered by the front-end (the
- *  socket server) without entering the queue. Values ride the wire
- *  protocol (service/protocol.h) — append only. */
+/** Request verbs. The first four are scheduled compute verbs; the rest
+ *  are control verbs answered by the front-end (the socket server)
+ *  without entering the queue. Values ride the wire protocol
+ *  (service/protocol.h) — append only. */
 enum class ServiceVerb : uint8_t {
     kCompress = 0,
     kDecompress = 1,
@@ -67,6 +74,9 @@ enum class ServiceVerb : uint8_t {
     kInspect = 3,
     kStats = 4,
     kShutdown = 5,
+    kMetrics = 6,      ///< Prometheus text exposition of the registry
+    kHealth = 7,       ///< liveness/readiness JSON (status, queue, uptime)
+    kServerStats = 8,  ///< socket-server counters JSON (frames, conns)
 };
 
 /** Stable lower-case verb name ("compress", ...). */
@@ -89,6 +99,11 @@ struct ServiceRequest {
     Bytes payload;
     uint64_t range_first = 0;  ///< decompress_range only
     uint64_t range_count = 0;  ///< decompress_range only
+    /** Correlation id threaded through the request log line and the
+     *  trace span label. Clients may set one (propagated over the wire
+     *  behind protocol flag bit 1); the server mints `srv-<n>` when
+     *  absent. Empty = unset. */
+    std::string request_id;
 };
 
 /** The outcome of one request. status == Errc::kOk means payload holds
@@ -203,6 +218,13 @@ class Service {
     };
     Counters counters() const;
 
+    /** Requests accepted but not yet dispatched (the health endpoint's
+     *  instantaneous queue depth). */
+    size_t QueueDepth() const;
+
+    /** Requests currently executing on a worker. */
+    size_t Executing() const;
+
     int workers() const { return static_cast<int>(threads_.size()); }
 
  private:
@@ -210,6 +232,16 @@ class Service {
         ServiceRequest request;
         std::promise<ServiceResponse> promise;
         uint64_t submit_ns = 0;
+    };
+
+    /** Live-metrics handles a tenant's requests update; resolved once
+     *  at tenant creation (TenantOf) so the per-request path never
+     *  takes the registry lock. Indexed by reject reason / direction. */
+    struct TenantMetrics {
+        Counter* requests_ok[4] = {};  ///< by compute-verb value, kOk
+        Counter* rejected[3] = {};     ///< by ServiceBusy::Reason value
+        Counter* bytes_in = nullptr;
+        Counter* bytes_out = nullptr;
     };
 
     /** Tenant scheduling state. Lives in a std::map, so pointers held
@@ -221,6 +253,7 @@ class Service {
         double tokens = 0.0;
         uint64_t refill_ns = 0;
         bool bucket_started = false;
+        TenantMetrics metrics;
     };
 
     void WorkerLoop();
@@ -229,7 +262,8 @@ class Service {
     TenantState* NextTenant();
     ServiceResponse Execute(const ServiceRequest& request);
     void RecordOutcome(const ServiceRequest& request,
-                       const ServiceResponse& response, uint64_t submit_ns,
+                       const ServiceResponse& response,
+                       const TenantMetrics& metrics, uint64_t submit_ns,
                        uint64_t start_ns, uint64_t end_ns);
     TenantState& TenantOf(const std::string& tenant);  ///< holds mutex_
 
@@ -237,6 +271,14 @@ class Service {
     std::unique_ptr<Telemetry> owned_sink_;
     Telemetry* sink_ = nullptr;
     ArenaPool arenas_;
+
+    // Process-wide live-metrics handles (core/metrics.h); stable for
+    // the registry's lifetime, updated lock-free on the request path.
+    Gauge* queue_depth_gauge_ = nullptr;
+    Gauge* in_flight_gauge_ = nullptr;
+    Histogram* queue_wait_hist_ = nullptr;
+    Histogram* request_hist_ = nullptr;
+    Counter* throttle_events_ = nullptr;
 
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;

@@ -327,7 +327,7 @@ TEST(ProtocolTest, StatsAndShutdownVerbsWorkOverTheWire)
     const std::string json(
         reinterpret_cast<const char*>(report.payload.data()),
         report.payload.size());
-    EXPECT_EQ(json.rfind("{\"schema\": \"fpc.telemetry.v5\"", 0), 0u);
+    EXPECT_EQ(json.rfind("{\"schema\": \"fpc.telemetry.v6\"", 0), 0u);
     if (kTelemetryEnabled) {
         EXPECT_NE(json.find("\"service\": {\"tenants\": {\"ops\""),
                   std::string::npos);
@@ -339,6 +339,172 @@ TEST(ProtocolTest, StatsAndShutdownVerbsWorkOverTheWire)
     EXPECT_TRUE(
         server.WaitForShutdownFor(std::chrono::milliseconds(2000)));
     server.Stop();
+    ::unlink(config.socket_path.c_str());
+}
+
+TEST(ProtocolTest, AdminVerbFramesRoundTrip)
+{
+    for (const ServiceVerb verb :
+         {ServiceVerb::kMetrics, ServiceVerb::kHealth,
+          ServiceVerb::kServerStats}) {
+        ServiceRequest request;
+        request.verb = verb;
+        const ServiceRequest back =
+            DecodeRequest(ByteSpan(EncodeRequest(request)));
+        EXPECT_EQ(back.verb, verb);
+        EXPECT_TRUE(back.request_id.empty());
+    }
+}
+
+TEST(ProtocolTest, AdminVerbsAnswerOverTheWire)
+{
+    ServerConfig config;
+    config.socket_path = TestSocketPath("admin");
+    config.service.workers = 1;
+    SocketServer server(config);
+    SocketClient client(config.socket_path);
+
+    ServiceRequest compress;
+    compress.verb = ServiceVerb::kCompress;
+    compress.tenant = "ops";
+    compress.payload = MakePayload(4096);
+    ASSERT_EQ(client.Call(compress).status, Errc::kOk);
+
+    const auto text = [](const ServiceResponse& response) {
+        return std::string(
+            reinterpret_cast<const char*>(response.payload.data()),
+            response.payload.size());
+    };
+
+    ServiceRequest metrics;
+    metrics.verb = ServiceVerb::kMetrics;
+    const ServiceResponse exposition = client.Call(metrics);
+    ASSERT_EQ(exposition.status, Errc::kOk);
+    EXPECT_EQ(text(exposition).rfind("# fpc.metrics.v1\n", 0), 0u);
+    if (kTelemetryEnabled) {
+        EXPECT_NE(text(exposition).find(
+                      "fpc_service_requests_total{tenant=\"ops\""),
+                  std::string::npos);
+    }
+
+    ServiceRequest health;
+    health.verb = ServiceVerb::kHealth;
+    const ServiceResponse liveness = client.Call(health);
+    ASSERT_EQ(liveness.status, Errc::kOk);
+    EXPECT_EQ(text(liveness).rfind("{\"status\": \"ok\"", 0), 0u);
+
+    ServiceRequest stats;
+    stats.verb = ServiceVerb::kServerStats;
+    const ServiceResponse transport = client.Call(stats);
+    ASSERT_EQ(transport.status, Errc::kOk);
+    EXPECT_NE(text(transport).find("\"protocol_errors\": 0"),
+              std::string::npos);
+    EXPECT_NE(text(transport).find("\"draining\": false"),
+              std::string::npos);
+
+    server.Stop();
+    ::unlink(config.socket_path.c_str());
+}
+
+TEST(ProtocolTest, RequestIdRoundTripsThroughTheFrame)
+{
+    ServiceRequest request;
+    request.verb = ServiceVerb::kCompress;
+    request.tenant = "t";
+    request.request_id = "job-42.retry_1";
+    request.payload = MakePayload(16);
+    const ServiceRequest back =
+        DecodeRequest(ByteSpan(EncodeRequest(request)));
+    EXPECT_EQ(back.request_id, request.request_id);
+    EXPECT_EQ(back.payload, request.payload);
+
+    // No id -> flag clear -> decodes back empty.
+    request.request_id.clear();
+    EXPECT_TRUE(DecodeRequest(ByteSpan(EncodeRequest(request)))
+                    .request_id.empty());
+}
+
+TEST(ProtocolTest, HostileRequestIdsAreRejectedTyped)
+{
+    ServiceRequest request;
+    request.verb = ServiceVerb::kCompress;
+    request.tenant = "t";
+    request.request_id = "abc";
+    const Bytes frame = EncodeRequest(request);
+    // Layout (protocol.h): tenant "t", executor "" -> the id length
+    // byte sits at 25+T+E = 26, the id bytes at 27..29 (no payload).
+    ASSERT_EQ(frame.size(), 30u);
+
+    // An id byte outside [A-Za-z0-9._-].
+    Bytes bad_charset = frame;
+    bad_charset[27] = std::byte{' '};
+    EXPECT_THROW((void)DecodeRequest(ByteSpan(bad_charset)),
+                 CorruptStreamError);
+
+    // Flag bit set but a zero-length id.
+    Bytes zero_len = frame;
+    zero_len[26] = std::byte{0};
+    EXPECT_THROW((void)DecodeRequest(ByteSpan(zero_len)),
+                 CorruptStreamError);
+
+    // A declared id length running past the frame end.
+    Bytes overrun = frame;
+    overrun[26] = std::byte{64};
+    EXPECT_THROW((void)DecodeRequest(ByteSpan(overrun)),
+                 CorruptStreamError);
+
+    // Unknown flag bits must be rejected, not silently ignored — they
+    // are the protocol's forward-compatibility tripwire.
+    Bytes bad_flags = frame;
+    bad_flags[6] = std::byte{0x80};
+    EXPECT_THROW((void)DecodeRequest(ByteSpan(bad_flags)),
+                 CorruptStreamError);
+
+    // Oversized ids never leave the client: EncodeRequest refuses.
+    request.request_id = std::string(kMaxRequestIdBytes + 1, 'a');
+    EXPECT_THROW((void)EncodeRequest(request), UsageError);
+}
+
+TEST(ProtocolTest, DrainDropsNoInFlightRequest)
+{
+    ServerConfig config;
+    config.socket_path = TestSocketPath("drain");
+    config.service.workers = 1;
+    // Dispatch held back, so the request is provably *queued* (not yet
+    // executing) when the drain begins — the hardest case to honour.
+    config.service.start_paused = true;
+    SocketServer server(config);
+
+    ServiceResponse response;
+    std::thread caller([&] {
+        SocketClient client(config.socket_path);
+        ServiceRequest request;
+        request.verb = ServiceVerb::kCompress;
+        request.tenant = "drain";
+        request.request_id = "drain-proof";
+        request.payload = MakePayload(4096);
+        response = client.Call(request);
+    });
+
+    // Wait until the scheduler holds the request.
+    for (int i = 0; i < 500 && server.service().QueueDepth() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(server.service().QueueDepth(), 1u);
+
+    std::thread drainer(
+        [&] { server.Drain(std::chrono::milliseconds(10000)); });
+    // The drain must report itself while it waits for the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_NE(server.HealthJson().find("\"status\": \"draining\""),
+              std::string::npos);
+
+    server.service().Resume();
+    drainer.join();
+    caller.join();
+
+    EXPECT_EQ(response.status, Errc::kOk);
+    EXPECT_FALSE(response.payload.empty());
     ::unlink(config.socket_path.c_str());
 }
 

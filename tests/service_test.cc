@@ -15,6 +15,7 @@
 #include "core/codec.h"
 #include "core/errc.h"
 #include "core/executor.h"
+#include "core/metrics.h"
 #include "core/telemetry.h"
 #include "service/service.h"
 
@@ -341,6 +342,90 @@ TEST(ServiceTest, PerTenantTelemetryLandsInTheServiceBlock)
               std::string::npos);
     EXPECT_NE(json.find("\"physics\""), std::string::npos);
     EXPECT_NE(json.find("\"request\": {\"count\": 3"), std::string::npos);
+}
+
+TEST(ServiceTest, LiveMetricsCountersTrackRequests)
+{
+    // The scheduler feeds the process-global registry, so assert on
+    // deltas: other tests in this binary (and earlier requests in this
+    // one) have already moved the absolute values.
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    Counter* ok_compress = registry.GetCounter(
+        "fpc_service_requests_total",
+        "Completed requests by tenant, verb, and status.",
+        {{"tenant", "metrics-tenant"},
+         {"verb", "compress"},
+         {"status", "ok"}});
+    Counter* bytes_in = registry.GetCounter(
+        "fpc_service_bytes_total",
+        "Request payload and response bytes by tenant and direction.",
+        {{"tenant", "metrics-tenant"}, {"direction", "in"}});
+    Histogram* request_hist = registry.GetHistogram(
+        "fpc_service_request_ns",
+        "Per-request end-to-end latency (submit to completion), "
+        "nanoseconds.");
+    const uint64_t ok_before = ok_compress->Value();
+    const uint64_t bytes_before = bytes_in->Value();
+    const uint64_t hist_before = request_hist->Count();
+
+    const Bytes payload = MakePayload(20000);
+    Service service(MakeConfig(2));
+    constexpr size_t kRequests = 3;
+    for (size_t i = 0; i < kRequests; ++i) {
+        const ServiceResponse response = service.Call(CompressRequest(
+            payload, Algorithm::kSPspeed, "", false, "metrics-tenant"));
+        ASSERT_EQ(response.status, Errc::kOk) << response.error;
+    }
+    service.Stop();
+
+    EXPECT_EQ(ok_compress->Value() - ok_before, kRequests);
+    EXPECT_EQ(bytes_in->Value() - bytes_before,
+              kRequests * payload.size());
+    EXPECT_GE(request_hist->Count() - hist_before, kRequests);
+
+    // The gauges are levels, not totals: everything submitted has
+    // completed, so both must read zero for this idle scheduler.
+    EXPECT_EQ(registry
+                  .GetGauge("fpc_service_queue_depth",
+                            "Requests accepted but not yet dispatched "
+                            "to a worker.")
+                  ->Value(),
+              0);
+    EXPECT_EQ(registry
+                  .GetGauge("fpc_service_in_flight",
+                            "Requests currently executing.")
+                  ->Value(),
+              0);
+}
+
+TEST(ServiceTest, LiveMetricsCountRejections)
+{
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    Counter* rejected = registry.GetCounter(
+        "fpc_service_rejected_total",
+        "Requests rejected at admission by tenant and reason.",
+        {{"tenant", "rejected-tenant"}, {"reason", "in-flight"}});
+    const uint64_t before = rejected->Value();
+
+    // One worker, held back, and an in-flight cap of 1: the second
+    // submission must bounce and land on the reject counter.
+    Service service(MakeConfig(1, 256, /*start_paused=*/true));
+    TenantQos qos;
+    qos.max_in_flight = 1;
+    service.SetTenantQos("rejected-tenant", qos);
+
+    const Bytes payload = MakePayload(20000);
+    auto first = service.Submit(CompressRequest(
+        payload, Algorithm::kSPspeed, "", false, "rejected-tenant"));
+    EXPECT_THROW(
+        (void)service.Submit(CompressRequest(
+            payload, Algorithm::kSPspeed, "", false, "rejected-tenant")),
+        ServiceBusy);
+    service.Resume();
+    EXPECT_EQ(first.get().status, Errc::kOk);
+    service.Stop();
+
+    EXPECT_EQ(rejected->Value() - before, 1u);
 }
 
 TEST(ServiceTest, SubmitAfterStopIsAUsageError)

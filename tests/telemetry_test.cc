@@ -333,7 +333,7 @@ TEST(TelemetryCompileSwitch, OffBuildCollectsNothing)
         EXPECT_TRUE(snap.executor.empty());
     }
     // The JSON schema line renders either way.
-    EXPECT_NE(sink.ToJson().find("\"schema\": \"fpc.telemetry.v5\""),
+    EXPECT_NE(sink.ToJson().find("\"schema\": \"fpc.telemetry.v6\""),
               std::string::npos);
 }
 
@@ -346,7 +346,7 @@ TEST(TelemetryJson, SchemaShape)
     Decompress(ByteSpan(compressed), options);
     const std::string json = sink.ToJson();
     for (const char* field :
-         {"\"schema\": \"fpc.telemetry.v5\"", "\"compress\"",
+         {"\"schema\": \"fpc.telemetry.v6\"", "\"compress\"",
           "\"decompress\"", "\"ranged\"", "\"chunks\"", "\"adaptive\"",
           "\"mplg\"", "\"arena\"", "\"service\"", "\"tenants\"",
           "\"stages\"", "\"DIFFMS\"", "\"RARE\"", "\"histograms\"",

@@ -4,10 +4,13 @@
 Reads stdin (or the files named on the command line) line by line and
 validates every JSON object whose schema tag it recognises:
 
-``fpc.telemetry.v5`` (``Telemetry::ToJson``, src/core/telemetry.cc):
+``fpc.telemetry.v6`` (``Telemetry::ToJson``, src/core/telemetry.cc):
   - top-level keys: schema, executor, algorithm, isa, compress,
     decompress, ranged, chunks, adaptive, mplg, arena, service,
-    histograms, stages;
+    metrics_snapshot, histograms, stages;
+  - metrics_snapshot: the live-metrics mirror — "counters" (exposition
+    sample name -> non-negative integer) and "gauges" (name -> integer,
+    may be negative);
   - isa names the dispatched kernel level (scalar/avx2/avx512);
   - compress/decompress: calls, input_bytes, output_bytes, wall_ns — all
     non-negative integers;
@@ -51,6 +54,18 @@ bench/bench_service.cc):
     required for corpus-shaped reports, range_read for ranged ones,
     request for service-shaped ones).
 
+``fpc.metrics.v1`` (``MetricsRegistry::Exposition``, src/core/metrics.cc;
+the daemon's /metrics and ``fpcc metrics`` output):
+  - a ``# fpc.metrics.v1`` marker line followed by Prometheus
+    text-format comment and sample lines (consumed until a blank or
+    JSON line);
+  - HELP/TYPE at most once per family, every sample typed, no
+    duplicate sample identities (name + label set);
+  - counter and histogram samples non-negative (gauges may go
+    negative);
+  - histogram series: cumulative ``le`` buckets monotone, bounds
+    ascending, and the ``+Inf`` bucket equal to ``_count``.
+
 Exit code 0 when every recognised line validates and at least one was
 seen (pass ``--allow-empty`` when hooks are compiled out and
 context/counter content is not expected), 1 otherwise. Wired into ctest
@@ -61,11 +76,13 @@ as the ``stats_schema`` test (tests/stats_schema.cmake); also ad hoc:
 """
 
 import json
+import re
 import sys
 
-TELEMETRY_TAG = "fpc.telemetry.v5"
+TELEMETRY_TAG = "fpc.telemetry.v6"
 TRACE_TAG = "fpc.trace.v1"
 BENCH_TAG = "fpc.bench.v1"
+METRICS_TAG = "fpc.metrics.v1"
 
 STAGE_ORDER = ["DIFFMS", "MPLG", "BIT", "RZE", "FCM", "RAZE", "RARE"]
 
@@ -86,6 +103,7 @@ TOP_KEYS = [
     "mplg",
     "arena",
     "service",
+    "metrics_snapshot",
     "histograms",
     "stages",
 ]
@@ -266,6 +284,22 @@ def check_telemetry(line_no, doc):
             if ok and digest["count"] != tenant["requests"]:
                 ok = fail(line_no, f"{where}.request.count !="
                                    f" {where}.requests")
+
+    snapshot = doc["metrics_snapshot"]
+    if not isinstance(snapshot, dict) \
+            or sorted(snapshot) != ["counters", "gauges"]:
+        ok = fail(line_no, "metrics_snapshot must hold exactly"
+                           f" counters + gauges, got {snapshot!r}")
+    else:
+        for name, value in snapshot["counters"].items():
+            if not isinstance(value, int) or value < 0:
+                ok = fail(line_no, f"metrics_snapshot.counters[{name!r}]"
+                                   f" not a non-negative integer:"
+                                   f" {value!r}")
+        for name, value in snapshot["gauges"].items():
+            if not isinstance(value, int):
+                ok = fail(line_no, f"metrics_snapshot.gauges[{name!r}]"
+                                   f" not an integer: {value!r}")
 
     hists = doc["histograms"]
     if not isinstance(hists, dict):
@@ -470,6 +504,133 @@ def check_bench(line_no, doc):
     return ok
 
 
+# One exposition sample: name, optional {label="value",...} block,
+# integer value (gauges may be negative; histogram buckets also carry
+# le="+Inf"). MetricsRegistry renders integers only — no floats.
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' (-?[0-9]+)$')
+
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def check_exposition(first_no, block):
+    """Validate one fpc.metrics.v1 text-exposition block.
+
+    ``block`` is the list of lines after the ``# fpc.metrics.v1`` marker.
+    Checks: every line parses (comment or sample), no duplicate sample
+    identities, HELP/TYPE appear once per family, counters are
+    non-negative, and for every histogram series the cumulative ``le``
+    buckets are monotone with ``+Inf`` equal to ``_count``.
+    """
+    ok = True
+    seen_samples = set()
+    family_type = {}
+    helped = set()
+    # (base family, labels-without-le) -> {"buckets": [...], "inf": v,
+    # "count": v, "sum": v}
+    series = {}
+
+    for offset, line in enumerate(block):
+        line_no = first_no + 1 + offset
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[2]:
+                ok = fail(line_no, f"malformed comment line: {line!r}")
+                continue
+            family = parts[2]
+            if parts[1] == "TYPE":
+                if family in family_type:
+                    ok = fail(line_no, f"duplicate TYPE for {family}")
+                elif parts[3] not in ("counter", "gauge", "histogram"):
+                    ok = fail(line_no, f"unknown TYPE {parts[3]!r} for"
+                                       f" {family}")
+                else:
+                    family_type[family] = parts[3]
+            else:
+                if family in helped:
+                    ok = fail(line_no, f"duplicate HELP for {family}")
+                helped.add(family)
+            continue
+        if line.startswith("#"):
+            ok = fail(line_no, f"unrecognised comment line: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            ok = fail(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name, label_text, value = m.group(1), m.group(2) or "", \
+            int(m.group(3))
+        identity = name + label_text
+        if identity in seen_samples:
+            ok = fail(line_no, f"duplicate sample {identity}")
+        seen_samples.add(identity)
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) \
+                    and name[:-len(suffix)] in family_type:
+                base = name[:-len(suffix)]
+                break
+        mtype = family_type.get(base)
+        if mtype is None:
+            ok = fail(line_no, f"sample {name} has no TYPE line")
+            continue
+        if mtype != "gauge" and value < 0:
+            ok = fail(line_no, f"{mtype} sample {identity} is negative:"
+                               f" {value}")
+        if mtype != "histogram":
+            continue
+
+        labels = dict(LABEL_RE.findall(label_text))
+        le = labels.pop("le", None)
+        rest = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        entry = series.setdefault((base, rest),
+                                  {"buckets": [], "inf": None,
+                                   "count": None, "sum": None})
+        if name.endswith("_bucket"):
+            if le is None:
+                ok = fail(line_no, f"{identity} lacks an le label")
+            elif le == "+Inf":
+                entry["inf"] = value
+            else:
+                entry["buckets"].append((int(le), value))
+        elif name.endswith("_sum"):
+            entry["sum"] = value
+        elif name.endswith("_count"):
+            entry["count"] = value
+
+    for (base, rest), entry in series.items():
+        where = f"{base}{{{rest}}}" if rest else base
+        for field in ("inf", "count", "sum"):
+            if entry[field] is None:
+                ok = fail(first_no, f"histogram {where} lacks"
+                                    f" {field} sample")
+        bounds = [b for b, _ in entry["buckets"]]
+        values = [v for _, v in entry["buckets"]]
+        if bounds != sorted(bounds):
+            ok = fail(first_no, f"histogram {where} le bounds out of"
+                                " order")
+        if any(a > b for a, b in zip(values, values[1:])):
+            ok = fail(first_no, f"histogram {where} cumulative buckets"
+                                " decrease")
+        if entry["inf"] is not None:
+            if values and values[-1] > entry["inf"]:
+                ok = fail(first_no, f"histogram {where} last bucket"
+                                    " exceeds +Inf")
+            if entry["count"] is not None \
+                    and entry["inf"] != entry["count"]:
+                ok = fail(first_no, f"histogram {where} +Inf bucket"
+                                    f" ({entry['inf']}) != _count"
+                                    f" ({entry['count']})")
+
+    if not seen_samples:
+        ok = fail(first_no, "exposition block has no samples")
+    return ok
+
+
 def main(argv):
     allow_empty = "--allow-empty" in argv
     paths = [a for a in argv[1:] if not a.startswith("--")]
@@ -484,8 +645,24 @@ def main(argv):
 
     seen = 0
     ok = True
-    for line_no, line in enumerate(lines, start=1):
-        line = line.strip()
+    index = 0
+    while index < len(lines):
+        line_no = index + 1
+        line = lines[index].strip()
+        index += 1
+        if line == f"# {METRICS_TAG}":
+            # Consume the contiguous exposition block: comment and
+            # sample lines until a blank line, a JSON line, or EOF.
+            block = []
+            while index < len(lines):
+                text = lines[index].rstrip("\r\n")
+                if not text.strip() or text.lstrip().startswith("{"):
+                    break
+                block.append(text)
+                index += 1
+            seen += 1
+            ok = check_exposition(line_no, block) and ok
+            continue
         if not line.startswith("{"):
             continue
         try:
@@ -514,7 +691,8 @@ def main(argv):
 
     if seen == 0:
         print("check_stats_schema: no recognised schema lines found"
-              f" ({TELEMETRY_TAG} / {TRACE_TAG} / {BENCH_TAG})",
+              f" ({TELEMETRY_TAG} / {TRACE_TAG} / {BENCH_TAG} /"
+              f" {METRICS_TAG})",
               file=sys.stderr)
         return 1
     if ok:

@@ -43,11 +43,11 @@
 #
 # The default leg also runs a mode=auto smoke (compress a mixed corpus
 # adaptively, inspect the v3 per-chunk table, decode on the gpusim
-# backend, byte-compare, and schema-check the v5 adaptive telemetry) and
+# backend, byte-compare, and schema-check the v6 adaptive telemetry) and
 # a service daemon smoke: fpcd on a unix socket, concurrent fpcc
 # roundtrips for all four algorithms plus mode=auto on the gpusim
 # backend, every container byte-compared against the library path, and
-# the daemon's v5 stats (per-tenant service block) schema-checked.
+# the daemon's v6 stats (per-tenant service block) schema-checked.
 #
 # Each configuration builds into build-matrix/<name> so the normal
 # ./build tree is left alone. Exits non-zero on the first failure.
@@ -84,7 +84,7 @@ python3 "${root}/tools/check_stats_schema.py" "${out}/default/ci_trace.json"
 # of the decode must stay well below the compressed size — the pool holds
 # a fixed number of frames in flight, never the file. A ranged read out
 # of the same file then exercises the seek index end to end and its
-# fpc.telemetry.v5 ranged counters are schema-checked.
+# fpc.telemetry.v6 ranged counters are schema-checked.
 echo "==> [default] large-file streaming smoke"
 large_dir="${out}/default/large_smoke"
 rm -rf "${large_dir}"
@@ -167,7 +167,7 @@ rm -rf "${auto_dir}"
 # backend, one tenant each. Every compressed container is byte-compared
 # against the library path (fpczip with the same knobs), every
 # roundtrip against the input. The daemon's stats (live via `fpcc
-# stats` and the --stats-file written at shutdown) carry the v5
+# stats` and the --stats-file written at shutdown) carry the v6
 # per-tenant service block and are schema-checked.
 echo "==> [default] service daemon smoke"
 svc_dir="${out}/default/service_smoke"
@@ -238,6 +238,141 @@ python3 "${root}/tools/check_stats_schema.py" "${svc_dir}/live_stats.json"
 wait "${fpcd_pid}"
 python3 "${root}/tools/check_stats_schema.py" "${svc_dir}/fpcd_stats.json"
 rm -rf "${svc_dir}"
+
+# Live-metrics + drain-reconcile smoke: fpcd with a --metrics-socket
+# exporter, driven by bench_service in socket mode (polite tenants over
+# real daemon connections). Mid-run the HTTP /metrics endpoint is
+# scraped with a 50 ms latency budget and schema-checked; after the
+# load settles a final scrape is taken, the daemon is drained with
+# SIGTERM, and the scraped fpc_service_requests_total samples must
+# reconcile *exactly* with the per-tenant request totals in the v6
+# telemetry the daemon wrote to --stats-file at shutdown.
+echo "==> [default] live metrics + drain reconcile"
+met_dir="${out}/default/metrics_smoke"
+rm -rf "${met_dir}"
+mkdir -p "${met_dir}"
+met_sock="${met_dir}/fpcd.sock"
+met_http="${met_dir}/metrics.sock"
+"${out}/default/fpcd" --socket="${met_sock}" --workers=4 --queue=64 \
+    --metrics-socket="${met_http}" --drain-ms=10000 \
+    "--stats-file=${met_dir}/fpcd_stats.json" \
+    2> "${met_dir}/fpcd_stderr.log" &
+met_pid=$!
+tries=0
+while [ ! -S "${met_sock}" ] || [ ! -S "${met_http}" ]; do
+    tries=$((tries + 1))
+    if [ "${tries}" -gt 100 ]; then
+        echo "metrics smoke: fpcd sockets never appeared"
+        exit 1
+    fi
+    sleep 0.1
+done
+FPC_BENCH_SERVICE_SOCKET="${met_sock}" \
+    FPC_BENCH_SERVICE_TENANTS=4 FPC_BENCH_SERVICE_REQUESTS=32 \
+    FPC_BENCH_SERVICE_VALUES=65536 \
+    "${out}/default/bench/bench_service" "${met_dir}/bench.json" \
+    2> "${met_dir}/bench_stderr.log" &
+bench_pid=$!
+sleep 0.3
+# Timed mid-run scrape over the unix-socket HTTP endpoint (python
+# stdlib only): the exporter must answer inside the 50 ms budget even
+# while every worker is busy, and the body must validate.
+python3 - "${met_http}" "${met_dir}/scrape_midrun.txt" 50 <<'EOF'
+import socket, sys, time
+path, out, budget_ms = sys.argv[1], sys.argv[2], float(sys.argv[3])
+t0 = time.monotonic()
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+s.sendall(b"GET /metrics HTTP/1.1\r\nHost: fpcd\r\n"
+          b"Connection: close\r\n\r\n")
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+elapsed_ms = (time.monotonic() - t0) * 1e3
+s.close()
+head, _, body = data.partition(b"\r\n\r\n")
+if not head.startswith(b"HTTP/1.1 200"):
+    sys.exit(f"metrics smoke: scrape returned {head.splitlines()[0]!r}")
+with open(out, "wb") as f:
+    f.write(body)
+print(f"metrics smoke: /metrics answered in {elapsed_ms:.1f} ms")
+if elapsed_ms > budget_ms:
+    sys.exit(f"metrics smoke: scrape took {elapsed_ms:.1f} ms "
+             f"(budget {budget_ms:.0f} ms)")
+EOF
+python3 "${root}/tools/check_stats_schema.py" \
+    "${met_dir}/scrape_midrun.txt"
+wait "${bench_pid}"
+python3 "${root}/tools/check_stats_schema.py" "${met_dir}/bench.json"
+# Admin surface through the framed protocol: the exposition and the
+# health document are also served over the daemon socket itself.
+"${out}/default/fpcc" "--socket=${met_sock}" metrics \
+    > "${met_dir}/fpcc_metrics.txt"
+python3 "${root}/tools/check_stats_schema.py" \
+    "${met_dir}/fpcc_metrics.txt"
+"${out}/default/fpcc" "--socket=${met_sock}" health \
+    | grep -q '"status": "ok"'
+"${out}/default/fpcc" "--socket=${met_sock}" server_stats \
+    | grep -q '"protocol_errors": 0'
+# Final scrape with the daemon idle, then a SIGTERM drain; the
+# shutdown telemetry must agree with the last scrape to the request.
+python3 - "${met_http}" "${met_dir}/scrape_final.txt" 5000 <<'EOF'
+import socket, sys, time
+path, out, budget_ms = sys.argv[1], sys.argv[2], float(sys.argv[3])
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+s.sendall(b"GET /metrics HTTP/1.1\r\nHost: fpcd\r\n"
+          b"Connection: close\r\n\r\n")
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+head, _, body = data.partition(b"\r\n\r\n")
+if not head.startswith(b"HTTP/1.1 200"):
+    sys.exit("metrics smoke: final scrape failed")
+with open(out, "wb") as f:
+    f.write(body)
+EOF
+kill -TERM "${met_pid}"
+wait "${met_pid}"
+python3 "${root}/tools/check_stats_schema.py" "${met_dir}/fpcd_stats.json"
+grep -q '"event": "drain_begin"' "${met_dir}/fpcd_stderr.log"
+python3 - "${met_dir}/scrape_final.txt" "${met_dir}/fpcd_stats.json" <<'EOF'
+import json, re, sys
+scrape_path, stats_path = sys.argv[1], sys.argv[2]
+scraped = 0
+sample = re.compile(r'^fpc_service_requests_total(?:\{[^}]*\})? (\d+)$')
+with open(scrape_path) as f:
+    for line in f:
+        m = sample.match(line.strip())
+        if m:
+            scraped += int(m.group(1))
+doc = None
+with open(stats_path) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("{"):
+            parsed = json.loads(line)
+            if parsed.get("schema") == "fpc.telemetry.v6":
+                doc = parsed
+if doc is None:
+    sys.exit("metrics smoke: no telemetry document in the stats file")
+telemetry = sum(t["requests"] for t in doc["service"]["tenants"].values())
+mirror = sum(v for k, v in doc["metrics_snapshot"]["counters"].items()
+             if k.startswith("fpc_service_requests_total"))
+print(f"metrics smoke: scrape={scraped} telemetry={telemetry} "
+      f"snapshot={mirror} completed requests")
+if scraped == 0 or scraped != telemetry or mirror != telemetry:
+    sys.exit("metrics smoke: scraped request totals do not reconcile "
+             "with the shutdown telemetry")
+EOF
+rm -rf "${met_dir}"
 
 # Forced-scalar dispatch over the default build: same binaries, kernel
 # tables pinned to the portable reference. The bench gate still runs;

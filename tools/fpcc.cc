@@ -14,12 +14,20 @@
  *        [--tenant=ID] IN OUT
  *   fpcc --socket=PATH inspect IN           one JSON line of metadata
  *   fpcc --socket=PATH stats                daemon telemetry JSON
- *        ("fpc.telemetry.v5", incl. the per-tenant "service" block)
+ *        ("fpc.telemetry.v6", incl. the per-tenant "service" block and
+ *        the "metrics_snapshot" mirror of the live registry)
+ *   fpcc --socket=PATH metrics              Prometheus text exposition
+ *        of the daemon's live metrics (fpc.metrics.v1)
+ *   fpcc --socket=PATH health               daemon health JSON (status,
+ *        uptime, queue depth, open connections)
+ *   fpcc --socket=PATH server_stats         transport counters JSON
  *   fpcc --socket=PATH shutdown             ask the daemon to exit
  *
  * --tenant names the QoS bucket the daemon accounts the request to
- * (default "default"). When the daemon rejects for backpressure the
- * exit code is 4 (busy) — retry after a backoff.
+ * (default "default"). --request-id=ID tags the request in the
+ * daemon's log and trace (alnum plus `-_.`, at most 64 bytes; the
+ * daemon mints `srv-<n>` when absent). When the daemon rejects for
+ * backpressure the exit code is 4 (busy) — retry after a backoff.
  */
 #include <cstdio>
 #include <cstring>
@@ -68,7 +76,12 @@ Usage()
         "           IN OUT\n"
         "       inspect IN          print container metadata JSON\n"
         "       stats               print daemon telemetry JSON\n"
+        "       metrics             print Prometheus text exposition\n"
+        "       health              print daemon health JSON\n"
+        "       server_stats        print transport counters JSON\n"
         "       shutdown            ask the daemon to exit\n"
+        "Every verb accepts --request-id=ID (tags the daemon's request\n"
+        "log and trace; alnum plus -_. only).\n"
         "ALGO:  SPspeed (default) | SPratio | DPspeed | DPratio\n"
         "Exit codes (fpc::Errc): 0 ok, 1 internal, 2 usage, 3 corrupt,\n"
         "4 busy (backpressure: retry later)\n");
@@ -113,6 +126,10 @@ main(int argc, char** argv)
                 if (request.tenant.empty()) return Usage();
             } else if (arg.rfind("--backend=", 0) == 0) {
                 request.executor = arg.substr(std::strlen("--backend="));
+            } else if (arg.rfind("--request-id=", 0) == 0) {
+                request.request_id =
+                    arg.substr(std::strlen("--request-id="));
+                if (request.request_id.empty()) return Usage();
             } else if (arg.rfind("--mode=", 0) == 0) {
                 const std::string mode = arg.substr(std::strlen("--mode="));
                 if (mode == "auto") request.adaptive = true;
@@ -145,6 +162,9 @@ main(int argc, char** argv)
                 break;
             case fpc::ServiceVerb::kStats:
             case fpc::ServiceVerb::kShutdown:
+            case fpc::ServiceVerb::kMetrics:
+            case fpc::ServiceVerb::kHealth:
+            case fpc::ServiceVerb::kServerStats:
                 expected_files = 0;
                 break;
             case fpc::ServiceVerb::kDecompressRange:
@@ -169,10 +189,13 @@ main(int argc, char** argv)
         if (files.size() == 2) {
             WriteFile(files[1], response.payload);
         } else if (!response.payload.empty()) {
-            // inspect/stats: the payload is one JSON line for stdout.
+            // inspect/stats/health/server_stats: one JSON line for
+            // stdout; metrics: multi-line text already newline-ended.
             std::fwrite(response.payload.data(), 1, response.payload.size(),
                         stdout);
-            std::fputc('\n', stdout);
+            if (static_cast<char>(response.payload.back()) != '\n') {
+                std::fputc('\n', stdout);
+            }
         }
         return fpc::ExitCodeOf(fpc::Errc::kOk);
     } catch (const std::exception& e) {

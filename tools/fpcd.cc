@@ -9,7 +9,8 @@
  * Usage:
  *   fpcd --socket=PATH [--workers=N] [--queue=N] [--request-threads=N]
  *        [--rate-mbps=N] [--burst-mb=N] [--max-in-flight=N]
- *        [--stats-file=PATH] [--trace=FILE]
+ *        [--stats-file=PATH] [--trace=FILE] [--metrics-socket=PATH]
+ *        [--drain-ms=N] [--log-level=LEVEL]
  *
  * --socket=PATH       listening unix-domain socket (required). A stale
  *                     socket file from a crashed daemon is replaced.
@@ -24,25 +25,45 @@
  *                     (default 8).
  * --max-in-flight=N   default per-tenant cap on queued + executing
  *                     requests (default: unlimited).
- * --stats-file=PATH   write the final "fpc.telemetry.v5" JSON line
- *                     (per-stage counters + the per-tenant "service"
- *                     block) to PATH on shutdown. `fpcc stats` reads the
- *                     same JSON live.
+ * --stats-file=PATH   write the final "fpc.telemetry.v6" JSON line
+ *                     (per-stage counters, the per-tenant "service"
+ *                     block, and the "metrics_snapshot" mirror) to PATH
+ *                     on shutdown. `fpcc stats` reads the same JSON
+ *                     live.
  * --trace=FILE        record one span per request and write a Chrome
  *                     trace-event timeline to FILE on shutdown.
+ * --metrics-socket=PATH  serve HTTP `GET /metrics` (Prometheus text
+ *                     exposition) and `GET /healthz` on a second unix
+ *                     socket: `curl --unix-socket PATH
+ *                     http://localhost/metrics`.
+ * --drain-ms=N        graceful-shutdown budget (default 5000): on
+ *                     SIGTERM/SIGINT/`fpcc shutdown` the daemon stops
+ *                     reading, answers every in-flight request, and
+ *                     only then exits; connections still busy after N
+ *                     ms are cut.
+ * --log-level=LEVEL   debug|info|warn|error|off — threshold of the
+ *                     structured request log (one JSON line per
+ *                     request on stderr; FPC_LOG_FILE redirects it).
+ *                     Default: FPC_LOG_LEVEL, or info.
  *
  * The daemon runs in the foreground until `fpcc shutdown` or
  * SIGINT/SIGTERM; exit codes follow the shared fpc::Errc table
- * (core/errc.h).
+ * (core/errc.h). The final metrics exposition is printed to stderr at
+ * shutdown so a scrape-less run still leaves a snapshot behind.
  */
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/errc.h"
+#include "core/log.h"
+#include "core/metrics.h"
 #include "core/telemetry.h"
 #include "core/trace.h"
+#include "service/metrics_http.h"
 #include "service/server.h"
 
 namespace {
@@ -66,8 +87,11 @@ Usage()
         "            [--request-threads=N] [--rate-mbps=N] [--burst-mb=N]\n"
         "            [--max-in-flight=N] [--stats-file=PATH] "
         "[--trace=FILE]\n"
+        "            [--metrics-socket=PATH] [--drain-ms=N]\n"
+        "            [--log-level=debug|info|warn|error|off]\n"
         "Serves compress/decompress/decompress_range/inspect requests\n"
-        "over the unix-domain socket until `fpcc shutdown` or SIGTERM.\n");
+        "over the unix-domain socket until `fpcc shutdown` or SIGTERM;\n"
+        "--metrics-socket adds HTTP GET /metrics and /healthz.\n");
     return fpc::ExitCodeOf(fpc::Errc::kUsage);
 }
 
@@ -93,8 +117,16 @@ main(int argc, char** argv)
         fpc::ServerConfig config;
         std::string stats_path;
         std::string trace_path;
+        std::string metrics_socket;
+        uint64_t drain_ms = 5000;
         fpc::Telemetry stats_sink;
         fpc::TraceSink trace_sink;
+        // The daemon is the one front-end where a request log is the
+        // point: default to info unless the environment or --log-level
+        // says otherwise (the library default stays warn).
+        if (std::getenv("FPC_LOG_LEVEL") == nullptr) {
+            fpc::SetLogThreshold(fpc::LogLevel::kInfo);
+        }
 
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -130,6 +162,19 @@ main(int argc, char** argv)
             } else if (arg.rfind("--trace=", 0) == 0) {
                 trace_path = value("--trace=");
                 if (trace_path.empty()) return Usage();
+            } else if (arg.rfind("--metrics-socket=", 0) == 0) {
+                metrics_socket = value("--metrics-socket=");
+                if (metrics_socket.empty()) return Usage();
+            } else if (arg.rfind("--drain-ms=", 0) == 0) {
+                drain_ms = ParseCount(value("--drain-ms="), "--drain-ms");
+            } else if (arg.rfind("--log-level=", 0) == 0) {
+                const std::string name = value("--log-level=");
+                const fpc::LogLevel level = fpc::ParseLogLevel(name);
+                if (name != fpc::LogLevelName(level)) {
+                    throw fpc::UsageError("--log-level: unknown level: " +
+                                          name);
+                }
+                fpc::SetLogThreshold(level);
             } else {
                 return Usage();
             }
@@ -143,6 +188,13 @@ main(int argc, char** argv)
         std::signal(SIGPIPE, SIG_IGN);
 
         fpc::SocketServer server(config);
+        std::unique_ptr<fpc::MetricsHttpServer> exporter;
+        if (!metrics_socket.empty()) {
+            exporter = std::make_unique<fpc::MetricsHttpServer>(
+                metrics_socket,
+                [] { return fpc::MetricsRegistry::Global().Exposition(); },
+                [&server] { return server.HealthJson(); });
+        }
         std::fprintf(stderr,
                      "fpcd: listening on %s (%d worker(s), queue %zu)\n",
                      server.Path().c_str(), server.service().workers(),
@@ -152,11 +204,19 @@ main(int argc, char** argv)
         // condition variable, so the wait polls in short slices.
         while (!server.WaitForShutdownFor(std::chrono::milliseconds(200))) {
             if (g_signalled != 0) {
-                std::fprintf(stderr, "fpcd: signalled, shutting down\n");
+                std::fprintf(stderr, "fpcd: signalled, draining\n");
                 break;
             }
         }
-        server.Stop();
+        // Graceful either way: answer every accepted request before
+        // exiting, bounded by --drain-ms.
+        server.Drain(std::chrono::milliseconds(drain_ms));
+        if (exporter != nullptr) exporter->Stop();
+
+        // Leave a final snapshot behind even when nothing scraped us.
+        const std::string exposition =
+            fpc::MetricsRegistry::Global().Exposition();
+        std::fwrite(exposition.data(), 1, exposition.size(), stderr);
 
         if (!stats_path.empty()) {
             std::FILE* out = std::fopen(stats_path.c_str(), "w");
